@@ -1,0 +1,20 @@
+//! # tempora-baseline — spatial vectorization baselines
+//!
+//! The three pre-existing solutions to the data alignment conflict that
+//! the paper compares against (§2.2), implemented from scratch:
+//!
+//! * [`multiload`] — overlapping unaligned loads (Algorithm 2); the code
+//!   shape auto-vectorizing compilers emit, used as the paper's "auto"
+//!   measurement curves, for all five Jacobi benchmarks;
+//! * [`reorg`] — aligned loads + inter-register shuffles;
+//! * [`dlt`] — Dimension-Lifting Transpose (Henretty CC'11).
+//!
+//! None of these applies to Gauss-Seidel stencils — that is the gap the
+//! temporal scheme (in `tempora-core`) fills.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dlt;
+pub mod multiload;
+pub mod reorg;

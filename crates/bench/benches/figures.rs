@@ -1,0 +1,165 @@
+//! Criterion wrappers around one representative configuration per paper
+//! figure, so `cargo bench` alone exercises every experiment end to end
+//! (the full sweeps with all sizes/core-counts live in the `repro`
+//! binary: `cargo run --release -p tempora-bench --bin repro -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tempora_core::kernels::*;
+use tempora_core::{lcs, t1d, t2d, t3d};
+use tempora_grid::*;
+use tempora_parallel::Pool;
+use tempora_stencil::*;
+use tempora_tiling::{ghost, lcs_rect, skew, Mode};
+
+fn sequential_figures(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("figures_seq");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+
+    {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let mut g = Grid1::new(1 << 16, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4a_heat1d_our", |b| {
+            b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, 16, 7)))
+        });
+    }
+    {
+        let c = Heat2dCoeffs::classic(0.125);
+        let kern = JacobiKern2d(c);
+        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
+        fill_random_2d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4c_heat2d_our", |b| {
+            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
+        });
+    }
+    {
+        let c = Heat3dCoeffs::classic(1.0 / 6.0);
+        let kern = JacobiKern3d(c);
+        let mut g = Grid3::new(48, 48, 48, 1, Boundary::Dirichlet(0.0));
+        fill_random_3d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4e_heat3d_our", |b| {
+            b.iter(|| std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, 8, 2)))
+        });
+    }
+    {
+        let c = Box2dCoeffs::smooth(0.1);
+        let kern = BoxKern2d(c);
+        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
+        fill_random_2d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4g_2d9p_our", |b| {
+            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
+        });
+    }
+    {
+        let rule = LifeRule::b2s23();
+        let kern = LifeKern2d(rule);
+        let mut g = Grid2::<i32>::new(256, 256, 1, Boundary::Dirichlet(0));
+        fill_random_life(&mut g, 1, 0.35);
+        group.bench_function("fig4i_life_our", |b| {
+            b.iter(|| std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, 16, 2)))
+        });
+    }
+    {
+        let c = Gs1dCoeffs::classic(0.25);
+        let kern = GsKern1d(c);
+        let mut g = Grid1::new(1 << 16, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig5a_gs1d_our", |b| {
+            b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, 16, 7)))
+        });
+    }
+    {
+        let c = Gs2dCoeffs::classic(0.2);
+        let kern = GsKern2d(c);
+        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
+        fill_random_2d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig5c_gs2d_our", |b| {
+            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
+        });
+    }
+    {
+        let c = Gs3dCoeffs::classic(0.125);
+        let kern = GsKern3d(c);
+        let mut g = Grid3::new(48, 48, 48, 1, Boundary::Dirichlet(0.0));
+        fill_random_3d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig5e_gs3d_our", |b| {
+            b.iter(|| std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, 8, 2)))
+        });
+    }
+    {
+        let a = random_sequence(2048, 4, 1);
+        let b_seq = random_sequence(2048, 4, 2);
+        group.bench_function("fig5g_lcs_our", |b| {
+            b.iter(|| std::hint::black_box(lcs::length(&a, &b_seq, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn parallel_figures(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("figures_par");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    let pool = Pool::max();
+
+    {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let mut g = Grid1::new(1 << 18, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4b_heat1d_par_our", |b| {
+            b.iter(|| {
+                std::hint::black_box(ghost::run_jacobi_1d(
+                    &g,
+                    &kern,
+                    32,
+                    1 << 14,
+                    16,
+                    Mode::Temporal(7),
+                    &pool,
+                ))
+            })
+        });
+    }
+    {
+        let c = Heat2dCoeffs::classic(0.125);
+        let kern = JacobiKern2d(c);
+        let mut g = Grid2::new(384, 384, 1, Boundary::Dirichlet(0.0));
+        fill_random_2d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig4d_heat2d_par_our", |b| {
+            b.iter(|| {
+                std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
+                    &g,
+                    &kern,
+                    16,
+                    96,
+                    8,
+                    Mode::Temporal(2),
+                    &pool,
+                ))
+            })
+        });
+    }
+    {
+        let c = Gs1dCoeffs::classic(0.25);
+        let kern = GsKern1d(c);
+        let mut g = Grid1::new(1 << 18, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 1, -1.0, 1.0);
+        group.bench_function("fig5b_gs1d_par_our", |b| {
+            b.iter(|| std::hint::black_box(skew::run_gs_1d(&g, &kern, 32, 1 << 13, 16, 7, true, &pool)))
+        });
+    }
+    {
+        let a = random_sequence(4096, 4, 1);
+        let b_seq = random_sequence(4096, 4, 2);
+        group.bench_function("fig5h_lcs_par_our", |b| {
+            b.iter(|| std::hint::black_box(lcs_rect::run_lcs(&a, &b_seq, 512, 512, 1, true, &pool)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sequential_figures, parallel_figures);
+criterion_main!(benches);

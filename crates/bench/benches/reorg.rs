@@ -1,0 +1,99 @@
+//! Criterion benches for the data-reorganization primitives themselves —
+//! the per-instruction costs the paper's §3.3 lane analysis reasons
+//! about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use tempora_simd::arch;
+use tempora_simd::{F64x4, Pack};
+
+fn lane_ops(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("lane_ops");
+    group.sample_size(20).measurement_time(Duration::from_millis(500));
+
+    let v = Pack([1.0, 2.0, 3.0, 4.0]);
+    group.bench_function("portable_rotate_up", |b| {
+        b.iter(|| {
+            let mut x = std::hint::black_box(v);
+            for _ in 0..64 {
+                x = x.rotate_up();
+            }
+            std::hint::black_box(x)
+        })
+    });
+    group.bench_function("portable_shift_up_insert", |b| {
+        b.iter(|| {
+            let mut x = std::hint::black_box(v);
+            for i in 0..64 {
+                x = x.shift_up_insert(i as f64);
+            }
+            std::hint::black_box(x)
+        })
+    });
+
+    #[cfg(target_arch = "x86_64")]
+    if arch::avx2_available() {
+        use tempora_simd::arch::avx2;
+        group.bench_function("avx2_rotate_up", |b| {
+            b.iter(|| {
+                let mut x = avx2::from_pack(std::hint::black_box(v));
+                for _ in 0..64 {
+                    // SAFETY: guarded by avx2_available above.
+                    x = unsafe { avx2::rotate_up(x) };
+                }
+                std::hint::black_box(avx2::to_pack(x))
+            })
+        });
+        group.bench_function("avx2_shift_up_insert", |b| {
+            b.iter(|| {
+                let mut x = avx2::from_pack(std::hint::black_box(v));
+                for i in 0..64 {
+                    // SAFETY: guarded by avx2_available above.
+                    x = unsafe { avx2::shift_up_insert(x, i as f64) };
+                }
+                std::hint::black_box(avx2::to_pack(x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn transpose_ops(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("transpose4x4");
+    group.sample_size(20).measurement_time(Duration::from_millis(500));
+
+    let rows: [F64x4; 4] = core::array::from_fn(|i| F64x4::from_fn(|j| (i * 4 + j) as f64));
+    group.bench_function("portable", |b| {
+        b.iter(|| {
+            let mut r = std::hint::black_box(rows);
+            for _ in 0..32 {
+                tempora_simd::transpose(&mut r);
+            }
+            std::hint::black_box(r)
+        })
+    });
+
+    #[cfg(target_arch = "x86_64")]
+    if arch::avx2_available() {
+        use tempora_simd::arch::avx2;
+        group.bench_function("avx2", |b| {
+            b.iter(|| {
+                let r = std::hint::black_box(rows);
+                let mut m: [_; 4] = core::array::from_fn(|i| avx2::from_pack(r[i]));
+                for _ in 0..32 {
+                    let (a, rest) = m.split_at_mut(1);
+                    let (bb, rest2) = rest.split_at_mut(1);
+                    let (c, d) = rest2.split_at_mut(1);
+                    // SAFETY: guarded by avx2_available above.
+                    unsafe { avx2::transpose4(&mut a[0], &mut bb[0], &mut c[0], &mut d[0]) };
+                }
+                std::hint::black_box(avx2::to_pack(m[0]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lane_ops, transpose_ops);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale K] [--cores N] [--csv DIR] <target>...
+//!
+//! targets: table1, fig4a..fig4j, fig5a..fig5h,
+//!          ablate-reorg, ablate-stride, ablate-baselines,
+//!          seq (all sequential), par (all parallel), all
+//! --scale K   divide the paper's problem sizes by K (default 16;
+//!             --scale 1 = paper sizes, needs a big machine)
+//! --cores N   max worker count for parallel figures (default: all)
+//! --csv DIR   additionally write each figure as DIR/<id>.csv
+//! ```
+
+use std::io::Write;
+
+use tempora_bench as tb;
+
+fn machine_banner() -> String {
+    format!(
+        "machine: {} logical cores, avx2+fma: {}\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        tempora_simd::arch::avx2_available(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 16usize;
+    let mut cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut csv_dir: Option<String> = None;
+    let mut targets: Vec<String> = vec![];
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs an integer");
+            }
+            "--paper" => scale = 1,
+            "--cores" => {
+                cores = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cores needs an integer");
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().expect("--csv needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!("{}", include_str!("repro.rs").lines().take(14).skip(1).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+
+    let seq_ids = [
+        "fig4a", "fig4c", "fig4e", "fig4g", "fig4i", "fig5a", "fig5c", "fig5e", "fig5g",
+    ];
+    let par_ids = [
+        "fig4b", "fig4d", "fig4f", "fig4h", "fig4j", "fig5b", "fig5d", "fig5f", "fig5h",
+    ];
+    let ablate_ids = ["ablate-reorg", "ablate-stride", "ablate-baselines"];
+
+    let mut expanded: Vec<String> = vec![];
+    for t in &targets {
+        match t.as_str() {
+            "all" => {
+                expanded.push("table1".into());
+                expanded.extend(seq_ids.iter().map(|s| s.to_string()));
+                expanded.extend(par_ids.iter().map(|s| s.to_string()));
+                expanded.extend(ablate_ids.iter().map(|s| s.to_string()));
+            }
+            "seq" => expanded.extend(seq_ids.iter().map(|s| s.to_string())),
+            "par" => expanded.extend(par_ids.iter().map(|s| s.to_string())),
+            "ablate" => expanded.extend(ablate_ids.iter().map(|s| s.to_string())),
+            other => expanded.push(other.to_string()),
+        }
+    }
+
+    print!("{}", machine_banner());
+    println!("scale: 1/{scale}, max cores: {cores}\n");
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &expanded {
+        let fig = match id.as_str() {
+            "table1" => {
+                writeln!(out, "{}", tb::table1(scale)).unwrap();
+                continue;
+            }
+            "ablate-reorg" => {
+                writeln!(out, "{}", tb::ablate_reorg()).unwrap();
+                continue;
+            }
+            "ablate-stride" => tb::ablate_stride(scale),
+            "ablate-baselines" => tb::ablate_baselines(scale),
+            "fig4a" => tb::fig4a(scale),
+            "fig4b" => tb::fig4b(scale, cores),
+            "fig4c" => tb::fig4c(scale),
+            "fig4d" => tb::fig4d(scale, cores),
+            "fig4e" => tb::fig4e(scale),
+            "fig4f" => tb::fig4f(scale, cores),
+            "fig4g" => tb::fig4g(scale),
+            "fig4h" => tb::fig4h(scale, cores),
+            "fig4i" => tb::fig4i(scale),
+            "fig4j" => tb::fig4j(scale, cores),
+            "fig5a" => tb::fig5a(scale),
+            "fig5b" => tb::fig5b(scale, cores),
+            "fig5c" => tb::fig5c(scale),
+            "fig5d" => tb::fig5d(scale, cores),
+            "fig5e" => tb::fig5e(scale),
+            "fig5f" => tb::fig5f(scale, cores),
+            "fig5g" => tb::fig5g(scale),
+            "fig5h" => tb::fig5h(scale, cores),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        };
+        writeln!(out, "{}", fig.to_table()).unwrap();
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", fig.id);
+            std::fs::write(&path, fig.to_csv()).expect("write csv");
+        }
+    }
+}

@@ -1,0 +1,1289 @@
+//! # tempora-bench — reproduction harness for the paper's evaluation
+//!
+//! One runner per table/figure of the evaluation section (§4), wired to
+//! the `repro` binary:
+//!
+//! | id | artefact | runner |
+//! |---|---|---|
+//! | `table1` | Table 1 problem/blocking sizes | [`table1`] |
+//! | `fig4a`/`fig4b` | Heat-1D sequential / parallel | [`fig4a`], [`fig4b`] |
+//! | `fig4c`/`fig4d` | Heat-2D | [`fig4c`], [`fig4d`] |
+//! | `fig4e`/`fig4f` | Heat-3D | [`fig4e`], [`fig4f`] |
+//! | `fig4g`/`fig4h` | 2D9P | [`fig4g`], [`fig4h`] |
+//! | `fig4i`/`fig4j` | Life | [`fig4i`], [`fig4j`] |
+//! | `fig5a`/`fig5b` | GS-1D | [`fig5a`], [`fig5b`] |
+//! | `fig5c`/`fig5d` | GS-2D | [`fig5c`], [`fig5d`] |
+//! | `fig5e`/`fig5f` | GS-3D | [`fig5e`], [`fig5f`] |
+//! | `fig5g`/`fig5h` | LCS | [`fig5g`], [`fig5h`] |
+//! | `ablate-reorg` | §3.3/§3.5 reorganization budgets | [`ablate_reorg`] |
+//! | `ablate-stride` | §3.3 stride/ILP sweep | [`ablate_stride`] |
+//! | `ablate-baselines` | §2.2 baseline comparison | [`ablate_baselines`] |
+//!
+//! Measurements report **Gstencils/s** (grid points updated per second,
+//! the paper's metric). The `scale` parameter shrinks the paper's problem
+//! sizes by a linear factor so the full suite runs on a laptop; `scale =
+//! 1` reproduces the paper's sizes (Table 1). Shapes — who wins, by what
+//! factor, where curves cross — are the reproduction target, not
+//! absolute numbers (different machine, different vector ISA).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Instant;
+
+use tempora_baseline::{dlt, multiload, reorg};
+use tempora_core::kernels::{
+    BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, LifeKern2d,
+};
+use tempora_core::{lcs as tlcs, t1d, t2d, t3d};
+use tempora_grid::{
+    fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence, Boundary,
+    Grid1, Grid2, Grid3,
+};
+use tempora_parallel::Pool;
+use tempora_stencil::{
+    reference, Box2dCoeffs, Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs,
+    Heat3dCoeffs, LifeRule,
+};
+use tempora_tiling::{ghost, lcs_rect, skew, Mode};
+
+/// One measured curve: label + `(x, Gstencils/s)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Scheme name (`our`, `auto`, `scalar`, …).
+    pub label: String,
+    /// `(x, Gstencils/s)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One reproduced figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Identifier (e.g. `fig4a`).
+    pub id: String,
+    /// Human title matching the paper.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// The measured curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text table (the harness output format).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {}\n", self.id, self.title));
+        out.push_str(&format!("{:>12}", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!("{:>12}", s.label));
+        }
+        out.push('\n');
+        let npts = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..npts {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+                .unwrap_or(f64::NAN);
+            if x == x.trunc() && x.abs() < 1e15 {
+                out.push_str(&format!("{:>12}", x as i64));
+            } else {
+                out.push_str(&format!("{:>12.3}", x));
+            }
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, g)) => out.push_str(&format!("{:>12.4}", g)),
+                    None => out.push_str(&format!("{:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (`x,label1,label2,…`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push('x');
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        let npts = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        for i in 0..npts {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, g)) => out.push_str(&format!(",{g}")),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Time a closure once, in seconds.
+pub fn time_once<F: FnOnce()>(f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}
+
+/// Convert a measurement to Gstencils/s.
+pub fn gstencils(points: usize, steps: usize, secs: f64) -> f64 {
+    (points as f64) * (steps as f64) / secs / 1e9
+}
+
+/// Pick a step count so one measurement touches roughly `budget` point
+/// updates (clamped to `[lo, hi]`, rounded up to a multiple of 4).
+pub fn choose_steps(points: usize, budget: f64, lo: usize, hi: usize) -> usize {
+    let raw = (budget / points.max(1) as f64).round() as usize;
+    let clamped = raw.clamp(lo, hi);
+    clamped.div_ceil(4) * 4
+}
+
+/// Per-measurement point-update budget (tuned so a full sequential sweep
+/// finishes in minutes on a laptop).
+pub const SEQ_BUDGET: f64 = 6.0e7;
+
+const SEED: u64 = 0x7e3707a;
+
+// ---------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------
+
+/// Scaled parallel configurations `(size, steps, block, height)` per
+/// benchmark (`height` = time-block depth of Table 1, clamped to the
+/// scaled step count and rounded to the engine's vector length).
+pub struct ParallelConfigs {
+    /// Heat-1D `(n, steps, block, height)`.
+    pub heat1d: (usize, usize, usize, usize),
+    /// Heat-2D `(n, steps, block, height)`.
+    pub heat2d: (usize, usize, usize, usize),
+    /// 2D9P `(n, steps, block, height)`.
+    pub box2d: (usize, usize, usize, usize),
+    /// Heat-3D `(n, steps, block, height)`.
+    pub heat3d: (usize, usize, usize, usize),
+    /// Life `(n, steps, block, height)`.
+    pub life: (usize, usize, usize, usize),
+    /// GS-1D `(n, steps, block, height)`.
+    pub gs1d: (usize, usize, usize, usize),
+    /// GS-2D `(n, steps, block, height)`.
+    pub gs2d: (usize, usize, usize, usize),
+    /// GS-3D `(n, steps, block, height)`.
+    pub gs3d: (usize, usize, usize, usize),
+    /// LCS `(len, xblock, yblock)`.
+    pub lcs: (usize, usize, usize),
+}
+
+/// Table-1 configurations divided by `scale` (linear dimensions), with
+/// step counts shortened so runtimes stay laptop-sized.
+pub fn parallel_configs(scale: usize) -> ParallelConfigs {
+    let s = scale.max(1);
+    let d = |v: usize, lo: usize| (v / s).max(lo);
+    // Clamp a paper time-block height: ghost (Jacobi) tiles want a few
+    // bands and a ghost width well below the block; skewed (GS) tiles
+    // want a deep enough pipeline (>= 8 bands) for wavefront parallelism.
+    let hj = |paper: usize, steps: usize, block: usize, vl: usize| {
+        (paper.min(steps / 2).min(block / 4).max(vl) / vl) * vl
+    };
+    let hg = |paper: usize, steps: usize, block: usize, s_: usize, vl: usize| {
+        let cap = block.saturating_sub(vl * s_ + vl); // wave disjointness
+        (paper.min(steps / 8).min(cap).max(vl) / vl) * vl
+    };
+    let heat1d = (d(16_000_000, 4096), d(6000, 64).min(256), d(16384, 512));
+    let heat2d = (d(8000, 128), d(2000, 32).min(64), d(256, 32));
+    let heat3d = (d(800, 32), d(200, 16).min(32), d(32, 8));
+    let life = (d(8000, 128), d(2000, 32).min(64), d(256, 32));
+    let gs1d_n = d(16_000_000, 4096);
+    let gs1d = (gs1d_n, d(6000, 64).min(256), (gs1d_n / 64).max(512));
+    let gs2d_n = d(8000, 128);
+    let gs2d = (gs2d_n, d(2000, 32).min(64), (gs2d_n / 4).max(32));
+    let gs3d_n = d(800, 32);
+    let gs3d = (gs3d_n, d(200, 16).min(32), (gs3d_n / 2).max(24));
+    ParallelConfigs {
+        heat1d: (heat1d.0, heat1d.1, heat1d.2, hj(128, heat1d.1, heat1d.2, 4)),
+        heat2d: (heat2d.0, heat2d.1, heat2d.2, hj(64, heat2d.1, heat2d.2, 4)),
+        box2d: (heat2d.0, heat2d.1, heat2d.2, hj(64, heat2d.1, heat2d.2, 4)),
+        heat3d: (heat3d.0, heat3d.1, heat3d.2, hj(8, heat3d.1, heat3d.2, 4)),
+        life: (life.0, life.1, life.2, hj(32, life.1, life.2, 8)),
+        gs1d: (gs1d.0, gs1d.1, gs1d.2, hg(64, gs1d.1, gs1d.2, 7, 4)),
+        gs2d: (gs2d.0, gs2d.1, gs2d.2, hg(32, gs2d.1 * 2, gs2d.2, 2, 4)),
+        gs3d: (gs3d.0, gs3d.1, gs3d.2, hg(32, gs3d.1 * 2, gs3d.2, 2, 4)),
+        lcs: (d(200_000, 2048), d(4096, 256), d(4096, 256)),
+    }
+}
+
+/// Reproduce Table 1: benchmark names, paper problem/blocking sizes, and
+/// the sizes this harness actually runs at the given `scale` divisor.
+pub fn table1(scale: usize) -> String {
+    let s = scale.max(1);
+    let rows = [
+        ("Heat-1D", "16000000 x 6000", "16384 x 128"),
+        ("Heat-2D", "8000^2 x 2000", "256^2 x 64"),
+        ("2D9P", "8000^2 x 2000", "256^2 x 64"),
+        ("Heat-3D", "800^3 x 200", "32^3 x 8"),
+        ("Life", "8000^2 x 2000", "256^2 x 32"),
+        ("GS-1D", "16000000 x 6000", "2048 x 64"),
+        ("GS-2D", "8000^2 x 2000", "128^2 x 32"),
+        ("GS-3D", "800^3 x 200", "32^3 x 32"),
+        ("LCS", "200000 x 200000", "4096 x 4096"),
+    ];
+    let p = parallel_configs(s);
+    let scaled = [
+        format!("{} x {} / blk {}x{}", p.heat1d.0, p.heat1d.1, p.heat1d.2, p.heat1d.3),
+        format!("{}^2 x {} / blk {}x{}", p.heat2d.0, p.heat2d.1, p.heat2d.2, p.heat2d.3),
+        format!("{}^2 x {} / blk {}x{}", p.box2d.0, p.box2d.1, p.box2d.2, p.box2d.3),
+        format!("{}^3 x {} / blk {}x{}", p.heat3d.0, p.heat3d.1, p.heat3d.2, p.heat3d.3),
+        format!("{}^2 x {} / blk {}x{}", p.life.0, p.life.1, p.life.2, p.life.3),
+        format!("{} x {} / blk {}x{}", p.gs1d.0, p.gs1d.1, p.gs1d.2, p.gs1d.3),
+        format!("{}^2 x {} / blk {}x{}", p.gs2d.0, p.gs2d.1, p.gs2d.2, p.gs2d.3),
+        format!("{}^3 x {} / blk {}x{}", p.gs3d.0, p.gs3d.1, p.gs3d.2, p.gs3d.3),
+        format!("{}^2 / blk {}^2", p.lcs.0, p.lcs.1),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# table1 — Problem and blocking sizes (paper vs this run, scale 1/{s})\n"
+    ));
+    out.push_str(&format!(
+        "{:<10}{:>22}{:>16}{:>34}\n",
+        "benchmark", "paper size", "paper block", "this run"
+    ));
+    for (i, (name, size, blockv)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<10}{:>22}{:>16}{:>34}\n",
+            name, size, blockv, scaled[i]
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Workload builders
+// ---------------------------------------------------------------------
+
+fn grid1(n: usize) -> Grid1<f64> {
+    let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.0));
+    fill_random_1d(&mut g, SEED, -1.0, 1.0);
+    g
+}
+
+fn grid2(n: usize) -> Grid2<f64> {
+    let mut g = Grid2::new(n, n, 1, Boundary::Dirichlet(0.0));
+    fill_random_2d(&mut g, SEED, -1.0, 1.0);
+    g
+}
+
+fn grid3(n: usize) -> Grid3<f64> {
+    let mut g = Grid3::new(n, n, n, 1, Boundary::Dirichlet(0.0));
+    fill_random_3d(&mut g, SEED, -1.0, 1.0);
+    g
+}
+
+fn pow2_sizes(lo_exp: u32, hi_exp: u32) -> Vec<usize> {
+    (lo_exp..=hi_exp).map(|e| 1usize << e).collect()
+}
+
+fn seq_sweep<'a>(
+    id: &str,
+    title: &str,
+    xlabel: &str,
+    xs: &[usize],
+    xmap: impl Fn(usize) -> f64,
+    points_of: impl Fn(usize) -> usize,
+    runs: Vec<(&'static str, Box<dyn Fn(usize, usize) -> f64 + 'a>)>,
+    steps_hi: usize,
+) -> Figure {
+    let mut series: Vec<Series> = runs
+        .iter()
+        .map(|(label, _)| Series {
+            label: label.to_string(),
+            points: vec![],
+        })
+        .collect();
+    for &n in xs {
+        let pts = points_of(n);
+        let steps = choose_steps(pts, SEQ_BUDGET, 4, steps_hi);
+        for (k, (_, run)) in runs.iter().enumerate() {
+            let t = run(n, steps);
+            series[k].points.push((xmap(n), gstencils(pts, steps, t)));
+        }
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: xlabel.into(),
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sequential figures (left column of Figures 4 and 5)
+// ---------------------------------------------------------------------
+
+/// Figure 4a: Heat-1D sequential, Gstencils/s vs problem size (2^x).
+pub fn fig4a(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 23,
+        2..=4 => 22,
+        5..=16 => 20,
+        _ => 18,
+    };
+    let c = Heat1dCoeffs::classic(0.25);
+    let kern = JacobiKern1d(c);
+    seq_sweep(
+        "fig4a",
+        "Heat-1D Sequential",
+        "log2(N)",
+        &pow2_sizes(7, hi),
+        |n| (n as f64).log2(),
+        |n| n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
+                    })
+                }),
+            ),
+            (
+                "auto",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        65536,
+    )
+}
+
+/// Figure 4c: Heat-2D sequential.
+pub fn fig4c(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Heat2dCoeffs::classic(0.125);
+    let kern = JacobiKern2d(c);
+    seq_sweep(
+        "fig4c",
+        "Heat-2D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "auto",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::heat2d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::heat2d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        2000,
+    )
+}
+
+/// Figure 4e: Heat-3D sequential.
+pub fn fig4e(scale: usize) -> Figure {
+    let cap = match scale {
+        0..=1 => 512,
+        2..=4 => 256,
+        _ => 128,
+    };
+    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Heat3dCoeffs::classic(1.0 / 6.0);
+    let kern = JacobiKern3d(c);
+    seq_sweep(
+        "fig4e",
+        "Heat-3D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid3(n);
+                    time_once(|| {
+                        std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "auto",
+                Box::new(move |n, steps| {
+                    let g = grid3(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::heat3d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid3(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::heat3d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        512,
+    )
+}
+
+/// Figure 4g: 2D9P sequential.
+pub fn fig4g(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Box2dCoeffs::smooth(0.1);
+    let kern = BoxKern2d(c);
+    seq_sweep(
+        "fig4g",
+        "2D9P Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "auto",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::box2d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::box2d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        2000,
+    )
+}
+
+/// Figure 4i: Life sequential (integer 2D9P, 8 lanes).
+pub fn fig4i(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let rule = LifeRule::b2s23();
+    let kern = LifeKern2d(rule);
+    let mk = |n: usize| {
+        let mut g = Grid2::<i32>::new(n, n, 1, Boundary::Dirichlet(0));
+        fill_random_life(&mut g, SEED, 0.35);
+        g
+    };
+    seq_sweep(
+        "fig4i",
+        "Life Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = mk(n);
+                    time_once(|| {
+                        std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "auto",
+                Box::new(move |n, steps| {
+                    let g = mk(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::life(&g, rule, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = mk(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::life(&g, rule, steps));
+                    })
+                }),
+            ),
+        ],
+        2000,
+    )
+}
+
+/// Figure 5a: GS-1D sequential (no "auto" — spatial vectorization of
+/// Gauss-Seidel loops is illegal).
+pub fn fig5a(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 23,
+        2..=4 => 22,
+        5..=16 => 20,
+        _ => 18,
+    };
+    let c = Gs1dCoeffs::classic(0.25);
+    let kern = GsKern1d(c);
+    seq_sweep(
+        "fig5a",
+        "GS-1D Sequential",
+        "log2(N)",
+        &pow2_sizes(7, hi),
+        |n| (n as f64).log2(),
+        |n| n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::gs1d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        65536,
+    )
+}
+
+/// Figure 5c: GS-2D sequential.
+pub fn fig5c(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Gs2dCoeffs::classic(0.2);
+    let kern = GsKern2d(c);
+    seq_sweep(
+        "fig5c",
+        "GS-2D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid2(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::gs2d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        2000,
+    )
+}
+
+/// Figure 5e: GS-3D sequential.
+pub fn fig5e(scale: usize) -> Figure {
+    let cap = match scale {
+        0..=1 => 512,
+        2..=4 => 256,
+        _ => 128,
+    };
+    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Gs3dCoeffs::classic(0.125);
+    let kern = GsKern3d(c);
+    seq_sweep(
+        "fig5e",
+        "GS-3D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid3(n);
+                    time_once(|| {
+                        std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, steps, 2));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid3(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::gs3d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        512,
+    )
+}
+
+/// Figure 5g: LCS sequential (one full DP table; Gcells/s).
+pub fn fig5g(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 17,
+        2..=4 => 16,
+        _ => 14,
+    };
+    let mut our = vec![];
+    let mut scalar = vec![];
+    for n in pow2_sizes(7, hi) {
+        let a = random_sequence(n, 4, SEED);
+        let b = random_sequence(n, 4, SEED + 1);
+        let t_our = time_once(|| {
+            std::hint::black_box(tlcs::length(&a, &b, 1));
+        });
+        let t_scalar = time_once(|| {
+            std::hint::black_box(reference::lcs_len(&a, &b));
+        });
+        let x = (n as f64).log2();
+        our.push((x, gstencils(n, n, t_our)));
+        scalar.push((x, gstencils(n, n, t_scalar)));
+    }
+    Figure {
+        id: "fig5g".into(),
+        title: "LCS Sequential".into(),
+        xlabel: "log2(N)".into(),
+        series: vec![
+            Series {
+                label: "our".into(),
+                points: our,
+            },
+            Series {
+                label: "scalar".into(),
+                points: scalar,
+            },
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel figures (right column of Figures 4 and 5)
+// ---------------------------------------------------------------------
+
+fn core_counts(max_cores: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = vec![1];
+    let mut c = 2;
+    while c <= max_cores {
+        v.push(c);
+        c += if c < 4 { 1 } else { 4 };
+    }
+    v.dedup();
+    v
+}
+
+fn parallel_sweep<'a>(
+    id: &str,
+    title: &str,
+    max_cores: usize,
+    pts: usize,
+    steps: usize,
+    runs: Vec<(&'static str, Box<dyn Fn(&Pool) + 'a>)>,
+) -> Figure {
+    let mut series: Vec<Series> = runs
+        .iter()
+        .map(|(label, _)| Series {
+            label: label.to_string(),
+            points: vec![],
+        })
+        .collect();
+    for &cores in &core_counts(max_cores) {
+        let pool = Pool::new(cores);
+        for (k, (_, run)) in runs.iter().enumerate() {
+            run(&pool); // warm-up: fault in pages, spin up workers
+            let t = time_once(|| run(&pool));
+            series[k]
+                .points
+                .push((cores as f64, gstencils(pts, steps, t)));
+        }
+    }
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        xlabel: "cores".into(),
+        series,
+    }
+}
+
+/// Figure 4b: Heat-1D parallel scaling (ghost-zone temporal bands).
+pub fn fig4b(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).heat1d;
+    let c = Heat1dCoeffs::classic(0.25);
+    let kern = JacobiKern1d(c);
+    let g = grid1(n);
+    parallel_sweep(
+        "fig4b",
+        "Heat-1D Parallel",
+        max_cores,
+        n,
+        steps,
+        vec![
+            (
+                "our",
+                Box::new(|pool: &Pool| {
+                    std::hint::black_box(ghost::run_jacobi_1d(
+                        &g,
+                        &kern,
+                        steps,
+                        block,
+                        height,
+                        Mode::Temporal(7),
+                        pool,
+                    ));
+                }),
+            ),
+            (
+                "auto",
+                Box::new(|pool: &Pool| {
+                    std::hint::black_box(ghost::run_jacobi_1d(
+                        &g,
+                        &kern,
+                        steps,
+                        block,
+                        height,
+                        Mode::Auto,
+                        pool,
+                    ));
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(|pool: &Pool| {
+                    std::hint::black_box(ghost::run_jacobi_1d(
+                        &g,
+                        &kern,
+                        steps,
+                        block,
+                        height,
+                        Mode::Scalar,
+                        pool,
+                    ));
+                }),
+            ),
+        ],
+    )
+}
+
+/// Figure 4d: Heat-2D parallel scaling.
+pub fn fig4d(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).heat2d;
+    let c = Heat2dCoeffs::classic(0.125);
+    let kern = JacobiKern2d(c);
+    let g = grid2(n);
+    let run = |mode: Mode| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
+                g, kern, steps, block, height, mode, pool,
+            ));
+        }
+    };
+    parallel_sweep(
+        "fig4d",
+        "Heat-2D Parallel",
+        max_cores,
+        n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("auto", Box::new(run(Mode::Auto))),
+            ("scalar", Box::new(run(Mode::Scalar))),
+        ],
+    )
+}
+
+/// Figure 4f: Heat-3D parallel scaling.
+pub fn fig4f(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).heat3d;
+    let c = Heat3dCoeffs::classic(1.0 / 6.0);
+    let kern = JacobiKern3d(c);
+    let g = grid3(n);
+    let run = |mode: Mode| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(ghost::run_jacobi_3d(g, kern, steps, block, height, mode, pool));
+        }
+    };
+    parallel_sweep(
+        "fig4f",
+        "Heat-3D Parallel",
+        max_cores,
+        n * n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("auto", Box::new(run(Mode::Auto))),
+            ("scalar", Box::new(run(Mode::Scalar))),
+        ],
+    )
+}
+
+/// Figure 4h: 2D9P parallel scaling.
+pub fn fig4h(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).box2d;
+    let c = Box2dCoeffs::smooth(0.1);
+    let kern = BoxKern2d(c);
+    let g = grid2(n);
+    let run = |mode: Mode| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
+                g, kern, steps, block, height, mode, pool,
+            ));
+        }
+    };
+    parallel_sweep(
+        "fig4h",
+        "2D9P Parallel",
+        max_cores,
+        n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("auto", Box::new(run(Mode::Auto))),
+            ("scalar", Box::new(run(Mode::Scalar))),
+        ],
+    )
+}
+
+/// Figure 4j: Life parallel scaling.
+pub fn fig4j(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).life;
+    let rule = LifeRule::b2s23();
+    let kern = LifeKern2d(rule);
+    let mut g = Grid2::<i32>::new(n, n, 1, Boundary::Dirichlet(0));
+    fill_random_life(&mut g, SEED, 0.35);
+    let run = |mode: Mode| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(ghost::run_jacobi_2d::<i32, 8, _>(
+                g, kern, steps, block, height, mode, pool,
+            ));
+        }
+    };
+    parallel_sweep(
+        "fig4j",
+        "Life Parallel",
+        max_cores,
+        n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("auto", Box::new(run(Mode::Auto))),
+            ("scalar", Box::new(run(Mode::Scalar))),
+        ],
+    )
+}
+
+/// Figure 5b: GS-1D parallel scaling (pipelined parallelogram tiles).
+pub fn fig5b(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).gs1d;
+    let c = Gs1dCoeffs::classic(0.25);
+    let kern = GsKern1d(c);
+    let g = grid1(n);
+    let run = |temporal: bool| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(skew::run_gs_1d(g, kern, steps, block, height, 7, temporal, pool));
+        }
+    };
+    parallel_sweep(
+        "fig5b",
+        "GS-1D Parallel",
+        max_cores,
+        n,
+        steps,
+        vec![
+            ("our", Box::new(run(true))),
+            ("scalar", Box::new(run(false))),
+        ],
+    )
+}
+
+/// Figure 5d: GS-2D parallel scaling.
+pub fn fig5d(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).gs2d;
+    let c = Gs2dCoeffs::classic(0.2);
+    let kern = GsKern2d(c);
+    let g = grid2(n);
+    let run = |temporal: bool| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(skew::run_gs_2d(g, kern, steps, block, height, 2, temporal, pool));
+        }
+    };
+    parallel_sweep(
+        "fig5d",
+        "GS-2D Parallel",
+        max_cores,
+        n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(true))),
+            ("scalar", Box::new(run(false))),
+        ],
+    )
+}
+
+/// Figure 5f: GS-3D parallel scaling.
+pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
+    let (n, steps, block, height) = parallel_configs(scale).gs3d;
+    let c = Gs3dCoeffs::classic(0.125);
+    let kern = GsKern3d(c);
+    let g = grid3(n);
+    let run = |temporal: bool| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            std::hint::black_box(skew::run_gs_3d(g, kern, steps, block, height, 2, temporal, pool));
+        }
+    };
+    parallel_sweep(
+        "fig5f",
+        "GS-3D Parallel",
+        max_cores,
+        n * n * n,
+        steps,
+        vec![
+            ("our", Box::new(run(true))),
+            ("scalar", Box::new(run(false))),
+        ],
+    )
+}
+
+/// Figure 5h: LCS parallel scaling (rectangle tiles, wavefront).
+pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
+    let (n, xb, yb) = parallel_configs(scale).lcs;
+    let a = random_sequence(n, 4, SEED);
+    let b = random_sequence(n, 4, SEED + 1);
+    let run = |temporal: bool| {
+        let a = &a;
+        let b = &b;
+        move |pool: &Pool| {
+            std::hint::black_box(lcs_rect::run_lcs(a, b, xb, yb, 1, temporal, pool));
+        }
+    };
+    parallel_sweep(
+        "fig5h",
+        "LCS Parallel",
+        max_cores,
+        n,
+        n,
+        vec![
+            ("our", Box::new(run(true))),
+            ("scalar", Box::new(run(false))),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// §3.3/§3.5 reorganization-instruction budgets, measured with the
+/// counting kernels: the temporal scheme's constant per-output-vector
+/// cost versus the data-reorganization baseline.
+pub fn ablate_reorg() -> String {
+    use tempora_simd::count;
+    let c = Heat1dCoeffs::classic(0.25);
+    let g = grid1(1 << 14);
+    let mut out = String::new();
+    out.push_str("# ablate-reorg — data-reorganization ops per output vector (1D3P, vl=4)\n");
+    out.push_str(&format!(
+        "{:<28}{:>10}{:>12}{:>10}{:>10}\n",
+        "scheme", "in-lane", "cross-lane", "total", "gathers"
+    ));
+    {
+        let sess = count::Session::start();
+        let _ = t1d::run_counted::<4, _>(&g, &JacobiKern1d(c), 4, 7);
+        let k = sess.finish();
+        out.push_str(&format!(
+            "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
+            "temporal (ours)",
+            k.in_lane_per_output(),
+            k.cross_lane_per_output(),
+            k.reorg_per_output(),
+            k.gather,
+        ));
+    }
+    {
+        let sess = count::Session::start();
+        let _ = t1d::run_batched_counted::<4, _>(&g, &JacobiKern1d(c), 4, 7);
+        let k = sess.finish();
+        out.push_str(&format!(
+            "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
+            "temporal, batched tops",
+            k.in_lane_per_output(),
+            k.cross_lane_per_output(),
+            k.reorg_per_output(),
+            k.gather,
+        ));
+    }
+    {
+        let sess = count::Session::start();
+        let _ = reorg::heat1d_counted(&g, c, 4);
+        let k = sess.finish();
+        out.push_str(&format!(
+            "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
+            "data-reorganization",
+            k.in_lane_per_output(),
+            k.cross_lane_per_output(),
+            k.reorg_per_output(),
+            k.gather,
+        ));
+    }
+    out.push_str(
+        "\npaper's analysis: temporal = 1 rotate (cross-lane) + 1 blend (in-lane)\n\
+         per output vector, independent of vl, order and dimension; the\n\
+         data-reorganization baseline needs >= 2 shuffles per vector and grows\n\
+         with stencil order and dimensionality (§3.5).\n",
+    );
+    out
+}
+
+/// §3.3 stride sweep: Gstencils/s of the 1-D temporal engine as the
+/// space stride `s` (and with it the number of in-flight input vectors /
+/// ILP) varies.
+pub fn ablate_stride(scale: usize) -> Figure {
+    let n = ((1usize << 20) / scale.max(1)).max(1 << 12);
+    let c = Heat1dCoeffs::classic(0.25);
+    let kern = JacobiKern1d(c);
+    let g = grid1(n);
+    let steps = choose_steps(n, SEQ_BUDGET, 8, 4096);
+    let mut pts = vec![];
+    for s in 2..=8 {
+        let t = time_once(|| {
+            std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, s));
+        });
+        pts.push((s as f64, gstencils(n, steps, t)));
+    }
+    Figure {
+        id: "ablate-stride".into(),
+        title: "Temporal stride sweep (Heat-1D)".into(),
+        xlabel: "stride s".into(),
+        series: vec![Series {
+            label: "our".into(),
+            points: pts,
+        }],
+    }
+}
+
+/// §2.2 baseline comparison: all five sequential schemes on Heat-1D.
+pub fn ablate_baselines(scale: usize) -> Figure {
+    let hi = if scale <= 2 { 22 } else { 19 };
+    let c = Heat1dCoeffs::classic(0.25);
+    let kern = JacobiKern1d(c);
+    seq_sweep(
+        "ablate-baselines",
+        "All vectorization schemes (Heat-1D sequential)",
+        "log2(N)",
+        &pow2_sizes(10, hi),
+        |n| (n as f64).log2(),
+        |n| n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
+                    })
+                }),
+            ),
+            (
+                "multiload",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(multiload::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "reorg",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(reorg::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "dlt",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(dlt::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| {
+                    let g = grid1(n);
+                    time_once(|| {
+                        std::hint::black_box(reference::heat1d(&g, c, steps));
+                    })
+                }),
+            ),
+        ],
+        16384,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_selection() {
+        assert_eq!(choose_steps(1 << 20, 1e7, 8, 4096) % 4, 0);
+        assert!(choose_steps(10, 1e7, 8, 4096) <= 4096);
+        assert!(choose_steps(usize::MAX / 2, 1e7, 8, 4096) >= 8);
+    }
+
+    #[test]
+    fn figure_rendering() {
+        let f = Figure {
+            id: "t".into(),
+            title: "T".into(),
+            xlabel: "x".into(),
+            series: vec![Series {
+                label: "a".into(),
+                points: vec![(1.0, 2.0), (2.0, 3.0)],
+            }],
+        };
+        let table = f.to_table();
+        assert!(table.contains("# t — T"));
+        let csv = f.to_csv();
+        assert!(csv.starts_with("x,a\n"));
+        assert!(csv.contains("1,2\n"));
+    }
+
+    #[test]
+    fn reorg_ablation_confirms_paper_budget() {
+        let r = ablate_reorg();
+        assert!(r.contains("temporal (ours)"));
+        // The temporal line must report exactly 1 in-lane + 1 cross-lane
+        // per output vector.
+        let line = r.lines().find(|l| l.starts_with("temporal")).unwrap();
+        assert!(line.contains("1.000"), "{line}");
+    }
+
+    #[test]
+    fn parallel_configs_scale_down() {
+        let p1 = parallel_configs(1);
+        let p16 = parallel_configs(16);
+        assert!(p16.heat1d.0 < p1.heat1d.0);
+        assert!(p16.lcs.0 < p1.lcs.0);
+        assert!(p16.heat2d.0 >= 128);
+    }
+
+    #[test]
+    fn core_count_ladder() {
+        assert_eq!(core_counts(1), vec![1]);
+        assert_eq!(core_counts(2), vec![1, 2]);
+        assert_eq!(core_counts(4), vec![1, 2, 3, 4]);
+        let c24 = core_counts(24);
+        assert!(c24.starts_with(&[1, 2, 3, 4, 8, 12]));
+    }
+}

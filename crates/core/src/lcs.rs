@@ -1,0 +1,371 @@
+//! Temporal vectorization of the LCS dynamic program (paper §3.4).
+//!
+//! LCS is the paper's demonstration that temporal vectorization extends
+//! beyond PDE stencils to dynamic-programming wavefronts. With the `x`
+//! loop (sequence `A`) viewed as *time* and the `y` loop (sequence `B`)
+//! as *space*, the recurrence
+//!
+//! ```text
+//! lcs[x][y] = if A[x] == B[y] { lcs[x-1][y-1] + 1 }
+//!             else            { max(lcs[x-1][y], lcs[x][y-1]) }
+//! ```
+//!
+//! is a 1-D Gauss-Seidel stencil whose only same-time dependence is the
+//! west neighbour — so the minimum temporal stride is `s = 1` (no old
+//! east neighbour exists, unlike the 3-point stencils). One vector packs
+//! `VL = 8` consecutive `A`-positions (`i32` lanes); per inner iteration
+//! the kernel needs
+//!
+//! * `diag` = `V(y-1)`, `up` = `V(y)` (input-vector ring),
+//! * `left` = `O(y-1)` (previous output vector — the Gauss-Seidel rule),
+//! * the character equality mask: lane `i` compares `A[x0+1+i]` (a
+//!   per-tile constant vector) against `B[y + (VL-1-i)·s]` (a strided
+//!   gather acting as the paper's "variable coefficient"),
+//!
+//! and produces `O(y) = select(eq, diag + 1, max(up, left))` — the
+//! paper's "blend instruction with a mask vector of equalities". The
+//! sweep state is a single rolling row (the paper's `lcsA`/`lcsB`
+//! wavefront arrays), updated in place.
+//!
+//! For the paper's rectangle tiling ("LCS allows the rectangle tiling in
+//! the iteration space"), [`tile_seg`] runs the same schedule on a row
+//! *segment*, importing the per-level west values of the neighbouring
+//! block as a column vector and exporting its own east column.
+
+use tempora_simd::{Mask, Pack};
+use tempora_stencil::{lcs_update, lcs_update_pack};
+
+/// Scratch for the LCS engine (head/tail wavefront triangles).
+pub struct ScratchLcs<const VL: usize> {
+    head: Vec<Vec<i32>>,
+    tail: Vec<Vec<i32>>,
+    ring: Vec<Pack<i32, VL>>,
+}
+
+impl<const VL: usize> ScratchLcs<VL> {
+    /// Allocate scratch for stride `s`.
+    pub fn new(s: usize) -> Self {
+        ScratchLcs {
+            head: (0..VL).map(|k| vec![0; (VL - k) * s + 2]).collect(),
+            tail: (0..VL).map(|i| vec![0; (i + 1) * s + 2]).collect(),
+            ring: vec![Pack::splat(0); s + 2],
+        }
+    }
+}
+
+/// One scalar DP row step over the segment `y ∈ [y0, y1]` (1-based).
+///
+/// `west` supplies the newest west value `lcs[x][y0-1]` and `nw` the
+/// diagonal `lcs[x-1][y0-1]` — both must be passed explicitly because at
+/// a block boundary `row[y0-1]` already holds a *newer* level than the
+/// one this step consumes.
+pub fn scalar_row_step_seg(
+    row: &mut [i32],
+    ca: u8,
+    b: &[u8],
+    y0: usize,
+    y1: usize,
+    west: i32,
+    nw: i32,
+) {
+    let mut diag = nw;
+    let mut west = west;
+    for y in y0..=y1 {
+        let up = row[y];
+        let v = lcs_update(diag, up, west, ca, b[y - 1]);
+        row[y] = v;
+        west = v;
+        diag = up;
+    }
+}
+
+/// Advance the DP rows by `VL` sequence-`A` positions over the column
+/// segment `[y0, y1]` (one temporal tile of one rectangle block).
+///
+/// * `row` holds `lcs[x0][·]` on the segment on entry, `lcs[x0+VL][·]` on
+///   exit (positions outside the segment are not touched);
+/// * `a_tile` = `A[x0+1 ..= x0+VL]`; `b` is the full second sequence;
+/// * `left_col[k]` = `lcs[x0+k][y0-1]` for `k ∈ 0..=VL` (all zeros when
+///   the segment starts at column 1);
+/// * on return `right_col[k]` = `lcs[x0+k][y1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg<const VL: usize>(
+    row: &mut [i32],
+    y0: usize,
+    y1: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    left_col: &[i32],
+    right_col: &mut [i32],
+    sc: &mut ScratchLcs<VL>,
+) {
+    assert!(s >= 1);
+    assert_eq!(a_tile.len(), VL);
+    assert!(left_col.len() >= VL + 1 && right_col.len() >= VL + 1);
+    debug_assert!(y0 >= 1 && y1 >= y0 && y1 < row.len());
+    let seg = y1 + 1 - y0;
+    right_col[0] = row[y1];
+
+    if seg < VL * s + 1 {
+        for (k, &ca) in a_tile.iter().enumerate() {
+            scalar_row_step_seg(row, ca, b, y0, y1, left_col[k + 1], left_col[k]);
+            right_col[k + 1] = row[y1];
+        }
+        return;
+    }
+    let y_max = y1 - VL * s; // last steady anchor (absolute column)
+
+    // Prologue: head[k][j] = lcs[x0+k][y0-1+j] for j ∈ 0..=(VL-k)·s.
+    for k in 1..VL {
+        let hi = (VL - k) * s;
+        let (lo, hi_planes) = sc.head.split_at_mut(k);
+        let plane = &mut hi_planes[0];
+        plane[0] = left_col[k];
+        let ca = a_tile[k - 1];
+        for j in 1..=hi {
+            let y = y0 - 1 + j;
+            let (diag, up) = if k == 1 {
+                // At the segment edge row[y0-1] already holds a newer
+                // level; the true level-0 diagonal is left_col[0].
+                let d = if j == 1 { left_col[0] } else { row[y - 1] };
+                (d, row[y])
+            } else {
+                (lo[k - 1][j - 1], lo[k - 1][j])
+            };
+            plane[j] = lcs_update(diag, up, plane[j - 1], ca, b[y - 1]);
+        }
+    }
+
+    // Initial ring V(y0-1) ..= V(y0-1+s): lane i = lcs[x0+i][y+(VL-1-i)·s]
+    // (the anchor one left of the first steady iteration, as in
+    // Algorithm 3 lines 5-7).
+    let rlen = s + 1;
+    for jj in 0..=s {
+        let y = y0 - 1 + jj;
+        let head = &sc.head;
+        sc.ring[y % rlen] = Pack::from_fn(|i| {
+            let yy = y + (VL - 1 - i) * s;
+            if i == 0 {
+                row[yy]
+            } else {
+                head[i][yy - (y0 - 1)]
+            }
+        });
+    }
+    // O(y0-1): lane i = lcs[x0+1+i][y0-1 + (VL-1-i)·s].
+    let mut o_prev = Pack::<i32, VL>::from_fn(|i| {
+        let j = (VL - 1 - i) * s;
+        if i == VL - 1 {
+            left_col[VL]
+        } else {
+            sc.head[i + 1][j]
+        }
+    });
+
+    // Per-tile constant: lane i compares against A[x0+1+i].
+    let a_pack = Pack::<i32, VL>::from_fn(|i| a_tile[i] as i32);
+
+    // Steady state.
+    for y in y0..=y_max {
+        let diag = sc.ring[(y + rlen - 1) % rlen];
+        let up = sc.ring[y % rlen];
+        let b_pack = Pack::<i32, VL>::from_fn(|i| b[y + (VL - 1 - i) * s - 1] as i32);
+        let eq: Mask<VL> = a_pack.eq_mask(b_pack);
+        let o = lcs_update_pack(diag, up, o_prev, eq);
+        row[y] = o.top();
+        let bottom = row[y + VL * s];
+        sc.ring[(y + s) % rlen] = o.shift_up_insert(bottom);
+        o_prev = o;
+    }
+
+    // Epilogue: drain ring into tail planes, then finish each level.
+    for i in 1..VL {
+        let base = y_max + (VL - 1 - i) * s;
+        for j in y_max..=y_max + s {
+            let v = sc.ring[j % rlen];
+            sc.tail[i][j - y_max] = v.extract(i);
+        }
+        let ca = a_tile[i - 1];
+        let (lo, hi_planes) = sc.tail.split_at_mut(i);
+        let plane = &mut hi_planes[0];
+        for y in base + s + 1..=y1 {
+            let rel = y - base;
+            let (diag, up) = if i == 1 {
+                (row[y - 1], row[y])
+            } else {
+                let bb = y - (base + s);
+                (lo[i - 1][bb - 1], lo[i - 1][bb])
+            };
+            plane[rel] = lcs_update(diag, up, plane[rel - 1], ca, b[y - 1]);
+        }
+        right_col[i] = plane[y1 - base];
+    }
+    // Final level VL.
+    {
+        let below = &sc.tail[VL - 1]; // based at y_max
+        let ca = a_tile[VL - 1];
+        for y in y_max + 1..=y1 {
+            let rel = y - y_max;
+            row[y] = lcs_update(below[rel - 1], below[rel], row[y - 1], ca, b[y - 1]);
+        }
+        right_col[VL] = row[y1];
+    }
+}
+
+/// Advance the full DP row by `VL` sequence-`A` positions (whole-row
+/// temporal tile — the non-blocked configuration).
+pub fn tile<const VL: usize>(
+    row: &mut [i32],
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    sc: &mut ScratchLcs<VL>,
+) {
+    let lb = b.len();
+    let zeros = [0i32; 17];
+    let mut sink = [0i32; 17];
+    assert!(VL + 1 <= zeros.len());
+    tile_seg::<VL>(row, 1, lb, a_tile, b, s, &zeros, &mut sink, sc);
+}
+
+/// One scalar DP row step over the whole row (left boundary column 0).
+pub fn scalar_row_step(row: &mut [i32], ca: u8, b: &[u8]) {
+    scalar_row_step_seg(row, ca, b, 1, b.len(), 0, 0);
+}
+
+/// Compute the final DP row `lcs[a.len()][0..=b.len()]` with the temporal
+/// scheme (vector length `VL`, stride `s`). Bit-identical to
+/// `tempora_stencil::reference::lcs_final_row`.
+pub fn final_row<const VL: usize>(a: &[u8], b: &[u8], s: usize) -> Vec<i32> {
+    let mut row = vec![0i32; b.len() + 1];
+    if b.is_empty() {
+        return row;
+    }
+    let mut sc = ScratchLcs::<VL>::new(s);
+    let tiles = a.len() / VL;
+    for t in 0..tiles {
+        tile::<VL>(&mut row, &a[t * VL..(t + 1) * VL], b, s, &mut sc);
+    }
+    for &ca in &a[tiles * VL..] {
+        scalar_row_step(&mut row, ca, b);
+    }
+    row
+}
+
+/// LCS length via the temporal scheme (`VL = 8`, the paper's integer
+/// configuration).
+pub fn length(a: &[u8], b: &[u8], s: usize) -> i32 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    *final_row::<8>(a, b, s).last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_grid::random_sequence;
+    use tempora_stencil::reference;
+
+    #[test]
+    fn final_row_matches_reference() {
+        for &(la, lb) in &[(8usize, 40usize), (16, 100), (24, 33), (40, 17), (7, 50), (64, 257)] {
+            for s in 1..=3 {
+                let a = random_sequence(la, 4, la as u64);
+                let b = random_sequence(lb, 4, lb as u64 + 1);
+                let ours = final_row::<8>(&a, &b, s);
+                let gold = reference::lcs_final_row(&a, &b);
+                assert_eq!(ours, gold, "la={la} lb={lb} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn vl4_variant_matches_reference() {
+        let a = random_sequence(30, 3, 1);
+        let b = random_sequence(77, 3, 2);
+        for s in 1..=4 {
+            assert_eq!(final_row::<4>(&a, &b, s), reference::lcs_final_row(&a, &b));
+        }
+    }
+
+    #[test]
+    fn length_known_answers() {
+        assert_eq!(length(b"ABCBDAB", b"BDCABA", 1), 4);
+        assert_eq!(length(b"GATTACA", b"GATTACA", 2), 7);
+        assert_eq!(length(b"AAAA", b"BBBB", 1), 0);
+        assert_eq!(length(b"", b"ABC", 1), 0);
+        assert_eq!(length(b"ABCDEFGHIJKLMNOP", b"", 1), 0);
+    }
+
+    #[test]
+    fn binary_alphabet_stress() {
+        for seed in 0..5 {
+            let a = random_sequence(48, 2, seed);
+            let b = random_sequence(96, 2, seed + 100);
+            assert_eq!(
+                length(&a, &b, 1),
+                *reference::lcs_final_row(&a, &b).last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_b_falls_back_to_scalar() {
+        let a = random_sequence(16, 4, 9);
+        let b = random_sequence(5, 4, 10);
+        assert_eq!(final_row::<8>(&a, &b, 1), reference::lcs_final_row(&a, &b));
+    }
+
+    #[test]
+    fn segmented_tiles_stitch_exactly() {
+        // Process the table in column blocks, threading the column edges
+        // through tile_seg, and compare every block boundary against the
+        // full-table reference.
+        let a = random_sequence(32, 3, 5);
+        let b = random_sequence(200, 3, 6);
+        let (la, lb) = (a.len(), b.len());
+        let gold_table = reference::lcs_table(&a, &b);
+        let w = lb + 1;
+        for s in [1usize, 2] {
+            for block in [24usize, 64, 96] {
+                let mut row = vec![0i32; lb + 1];
+                let mut sc = ScratchLcs::<8>::new(s);
+                for t in 0..la / 8 {
+                    let x0 = t * 8;
+                    let mut left = [0i32; 9];
+                    let mut right = [0i32; 9];
+                    let mut y0 = 1usize;
+                    while y0 <= lb {
+                        let y1 = (y0 + block - 1).min(lb);
+                        tile_seg::<8>(
+                            &mut row,
+                            y0,
+                            y1,
+                            &a[x0..x0 + 8],
+                            &b,
+                            s,
+                            &left,
+                            &mut right,
+                            &mut sc,
+                        );
+                        // Exported east column must match the table.
+                        for k in 0..=8 {
+                            assert_eq!(
+                                right[k],
+                                gold_table[(x0 + k) * w + y1],
+                                "s={s} block={block} x0={x0} y1={y1} k={k}"
+                            );
+                        }
+                        left = right;
+                        y0 = y1 + 1;
+                    }
+                }
+                // Final rows match.
+                let gold_row = &gold_table[(la / 8 * 8) * w..(la / 8 * 8) * w + w];
+                assert_eq!(&row[..], gold_row);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # tempora-core — temporal vectorization engines
+//!
+//! The primary contribution of the reproduced paper ("Temporal
+//! Vectorization for Stencils", SC'21): engines that vectorize stencils in
+//! the *iteration space*, packing `VL` consecutive time levels into each
+//! SIMD register and paying a constant reorganization cost per produced
+//! vector regardless of vector length, stencil order and dimensionality.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`t1d`] | 1-D Jacobi and Gauss-Seidel engines (Algorithm 3), phase API |
+//! | [`t1d_avx2`] | hand-scheduled `std::arch` AVX2 steady state + dispatch |
+//! | [`t1d_band`] | skewed (parallelogram) 1-D Gauss-Seidel bands (§3.4) |
+//! | [`t2d`] | 2-D outer-loop engine: Heat-2D, 2D9P, Life (`i32×8`), GS-2D |
+//! | [`t2d_band`] / [`t3d_band`] | skewed 2-D/3-D Gauss-Seidel bands |
+//! | [`t3d`] | 3-D outer-loop engine: Heat-3D, GS-3D |
+//! | [`lcs`] | the LCS dynamic program as a temporal 1-D stencil (`i32×8`) |
+//! | [`kernels`] | operand-convention adapters between stencils and engines |
+//!
+//! Convenience entry points for the 1-D benchmarks live at the crate
+//! root ([`temporal1d_jacobi`] etc.).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kernels;
+pub mod lcs;
+pub mod t1d;
+pub mod t1d_avx2;
+pub mod t1d_band;
+pub mod t2d;
+pub mod t2d_band;
+pub mod t3d;
+pub mod t3d_band;
+
+use tempora_grid::Grid1;
+use tempora_stencil::{Gs1dCoeffs, Heat1dCoeffs};
+
+/// Run `steps` time steps of the 1D3P Jacobi (Heat-1D) stencil with the
+/// temporal scheme at vector length 4 and space stride `s` (the paper uses
+/// `s = 7`). Bit-identical to `tempora_stencil::reference::heat1d`.
+pub fn temporal1d_jacobi(g: &Grid1<f64>, c: Heat1dCoeffs, steps: usize, s: usize) -> Grid1<f64> {
+    t1d::run::<4, _>(g, &kernels::JacobiKern1d(c), steps, s)
+}
+
+/// Run `steps` time steps of the 1D3P Gauss-Seidel stencil with the
+/// temporal scheme at vector length 4 and space stride `s`.
+/// Bit-identical to `tempora_stencil::reference::gs1d`.
+pub fn temporal1d_gs(g: &Grid1<f64>, c: Gs1dCoeffs, steps: usize, s: usize) -> Grid1<f64> {
+    t1d::run::<4, _>(g, &kernels::GsKern1d(c), steps, s)
+}

@@ -1,0 +1,714 @@
+//! Temporal vectorization of one-dimensional stencils (paper §3.2,
+//! Algorithm 3, generalized).
+//!
+//! # The scheme
+//!
+//! One *time tile* advances the whole grid from level `t` to level
+//! `t + VL` (`VL` = vector length). Within the tile, the **input vector**
+//! anchored at `x` packs one value from each level (lane `i` = level `i`):
+//!
+//! ```text
+//! V(x) = (lane VL-1 .. lane 0) = ( a[t+VL-1][x], …, a[t+1][x+(VL-2)·s], a[t][x+(VL-1)·s] )
+//! ```
+//!
+//! Applying the 3-point stencil to `V(x-1), V(x), V(x+1)` lane-wise yields
+//! the **output vector** `O(x)` whose lane `i` is the level-`i+1` value at
+//! `x + (VL-1-i)·s` — one fused update of `VL` different time levels. The
+//! top lane `a[t+VL][x]` is the finished value and is stored; the rest
+//! shift up one lane and absorb one fresh level-`t` element to become
+//! `V(x+s)` (one `vrotate` + one `vblend`, the paper's constant
+//! reorganization cost):
+//!
+//! ```text
+//!   t+4 |    .  O₃ .  .  .  .  .  .  .        O(x) = S(V(x-1), V(x), V(x+1))
+//!   t+3 |    .  V₃ .  O₂ .  .  .  .  .        V(x+s) = O(x) ⟰ a[t][x+4s]
+//!   t+2 |    .  .  .  V₂ .  O₁ .  .  .        (s = 2, VL = 4)
+//!   t+1 |    .  .  .  .  .  V₁ .  O₀ .
+//!   t   |    .  .  .  .  .  .  .  V₀ ⬓
+//!        ───────────────────────────────→ x
+//! ```
+//!
+//! A triangular **prologue** pre-computes levels `1..VL` near the left
+//! boundary scalar-wise (Algorithm 3 lines 2-4), the strided gather of
+//! lines 5-7 assembles the initial `s+1` input vectors, the steady-state
+//! loop runs `x = 1 ..= NX+1-VL·s`, and a triangular **epilogue** drains
+//! the surviving ring vectors and finishes the right edge scalar-wise
+//! (lines 16-22).
+//!
+//! # Gauss-Seidel
+//!
+//! For Gauss-Seidel stencils the newest-value west operand is lane-aligned
+//! in the *previous output vector* (§3.4): `O(x) = S(O(x-1), V(x),
+//! V(x+1))`. Everything else — prologue, production rule, epilogue — is
+//! identical; this module implements both update kinds over the same
+//! skeleton.
+//!
+//! # Single-array execution (§3.5)
+//!
+//! The sweep is **in place**: the store of `a[t+VL][x]` lands `VL·s` cells
+//! behind every remaining level-`t` read, so one array serves as both
+//! input and output and the memory traffic of Jacobi stencils halves.
+//! Intermediate levels `1..VL` exist only in vector registers plus `O(s)`
+//! scratch at the two boundaries, exactly as the paper prescribes.
+
+use crate::kernels::Kernel1d;
+use tempora_grid::Grid1;
+use tempora_simd::count::{self, Op};
+use tempora_simd::Pack;
+
+/// Minimum interior size for the vector path of one tile; below this the
+/// tile falls back to the scalar schedule (same results).
+#[inline]
+pub fn min_vector_n<const VL: usize>(s: usize) -> usize {
+    VL * s
+}
+
+/// Scratch buffers for one sweep configuration, reusable across tiles.
+///
+/// Head plane `k` (1-based level) holds levels computed by the prologue
+/// over `x ∈ 0 ..= (VL-k)·s` (entry 0 is the left boundary value); tail
+/// plane `i` holds the level-`i` values surrounding the right edge,
+/// re-based at `x_max + (VL-1-i)·s`.
+pub struct Scratch1d<const VL: usize> {
+    head: Vec<Vec<f64>>,
+    tail: Vec<Vec<f64>>,
+}
+
+impl<const VL: usize> Scratch1d<VL> {
+    /// Allocate scratch for stride `s`.
+    pub fn new(s: usize) -> Self {
+        let head = (0..VL).map(|k| vec![0.0; (VL - k) * s + 2]).collect();
+        let tail = (0..VL).map(|i| vec![0.0; (i + 1) * s + 2]).collect();
+        let _ = s;
+        Scratch1d { head, tail }
+    }
+}
+
+/// Advance `a` (interior `1..=n`, Dirichlet halos at `0` and `n+1`) by
+/// `VL` time steps with the temporal-vectorized schedule.
+///
+/// `COUNT` enables reorganization-instruction accounting (see
+/// [`tempora_simd::count`]); the counted variant is for analysis only.
+///
+/// # Panics
+/// Panics if `s` is illegal for the kernel (`s < K::MIN_STRIDE`).
+pub fn tile<const VL: usize, const COUNT: bool, K: Kernel1d>(
+    a: &mut [f64],
+    n: usize,
+    kern: &K,
+    s: usize,
+    scratch: &mut Scratch1d<VL>,
+) {
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    assert!(a.len() >= n + 2, "slice must include one halo cell per side");
+    if n < min_vector_n::<VL>(s) {
+        // Degenerate tile: pure scalar schedule.
+        for _ in 0..VL {
+            scalar_step_inplace(a, n, kern);
+        }
+        return;
+    }
+    let (ring_init, x_max) = tile_prologue::<VL, K>(a, n, kern, s, scratch);
+    let ring_len = s + 1;
+
+    // For Gauss-Seidel: O(0), lane i = level i+1 at (VL-1-i)·s.
+    let boundary_l = a[0];
+    let mut o_prev = if K::IS_GS {
+        Pack::<f64, VL>::from_fn(|i| {
+            let x = (VL - 1 - i) * s;
+            if i == VL - 1 {
+                boundary_l
+            } else {
+                scratch.head[i + 1][x]
+            }
+        })
+    } else {
+        Pack::splat(0.0)
+    };
+
+    // ------------------------------------------------------------------
+    // Steady state (Algorithm 3 lines 8-15), in place. V(x-1) and V(x)
+    // are carried in registers between iterations (vm1 ← v0 ← vp1); only
+    // V(x+1) is loaded from the ring and only the produced V(x+s) is
+    // stored back — one vector load + one vector store per output vector.
+    // Ring indices are consecutive modulo ring_len, tracked incrementally
+    // (no division in the hot loop); V(x+s) reuses the dead V(x-1) slot
+    // ((x+s) ≡ (x-1) mod s+1).
+    // ------------------------------------------------------------------
+    let mut ring = ring_init;
+    {
+        let ring = &mut ring[..ring_len];
+        let mut vm1 = ring[0];
+        let mut v0 = ring[1 % ring_len];
+        let mut ip1 = 2 % ring_len;
+        let mut im1 = 0usize;
+        for x in 1..=x_max {
+            let vp1 = ring[ip1];
+            let west = if K::IS_GS { o_prev } else { vm1 };
+            let o = kern.pack::<VL>(west, v0, vp1);
+            if COUNT {
+                count::record_output(1);
+            }
+            // Store the finished top lane a[t+VL][x] (line 12)…
+            a[x] = o.top();
+            // …and produce V(x+s) = shift-up + fresh bottom (lines 13-14).
+            let bottom = a[x + VL * s];
+            ring[im1] = o.shift_up_insert(bottom);
+            if COUNT {
+                count::record(Op::ScalarExtract, 1);
+                count::record(Op::CrossLane, 1); // vrotate
+                count::record(Op::InLane, 1); // vblend
+                count::record(Op::ScalarInsert, 1);
+            }
+            if K::IS_GS {
+                o_prev = o;
+            }
+            vm1 = v0;
+            v0 = vp1;
+            im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
+            ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+        }
+    }
+
+    tile_epilogue::<VL, K>(a, n, kern, s, scratch, &ring, x_max);
+}
+
+/// Like [`tile`], but with the paper's **batched top/bottom vectors**
+/// (§3.2): "the values at the highest position of the output vectors in
+/// every four continuous iterations of the innermost loop are assembled
+/// in one top vector and written to memory with a vector-storing
+/// instruction", and symmetrically one vector load of `VL` contiguous
+/// level-0 values feeds the blends of `VL` produced input vectors.
+///
+/// Numerically identical to [`tile`] (the batching only defers the
+/// finished-value stores to the end of each group, which is safe because
+/// every in-group read sits `VL·s > VL` cells ahead of the deferred
+/// stores). The accounting matches the paper's §3.2 budget: per group of
+/// `VL` output vectors, `VL` lane-crossing rotates + 5 top-batch + 5
+/// bottom-batch in-lane operations — `1 + 10/VL = 3.5` reorganizations
+/// per output vector at `VL = 4`.
+pub fn tile_batched<const VL: usize, const COUNT: bool, K: Kernel1d>(
+    a: &mut [f64],
+    n: usize,
+    kern: &K,
+    s: usize,
+    scratch: &mut Scratch1d<VL>,
+) {
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    assert!(a.len() >= n + 2, "slice must include one halo cell per side");
+    if n < min_vector_n::<VL>(s) {
+        for _ in 0..VL {
+            scalar_step_inplace(a, n, kern);
+        }
+        return;
+    }
+    let (mut ring, x_max) = tile_prologue::<VL, K>(a, n, kern, s, scratch);
+    let ring_len = s + 1;
+
+    let boundary_l = a[0];
+    let mut o_prev = if K::IS_GS {
+        Pack::<f64, VL>::from_fn(|i| {
+            let x = (VL - 1 - i) * s;
+            if i == VL - 1 {
+                boundary_l
+            } else {
+                scratch.head[i + 1][x]
+            }
+        })
+    } else {
+        Pack::splat(0.0)
+    };
+
+    {
+        let ring = &mut ring[..ring_len];
+        let mut x = 1usize;
+        // Grouped steady state: VL iterations per trip.
+        while x + VL - 1 <= x_max {
+            // One vector load covers the group's bottom elements
+            // (contiguous level-0 values, untouched by the deferred
+            // stores below since x + VL·s > x + VL - 1).
+            let vbottom = Pack::<f64, VL>::load(a, x + VL * s);
+            let mut vtop = Pack::<f64, VL>::splat(0.0);
+            for k in 0..VL {
+                let xi = x + k;
+                let im1 = (xi + ring_len - 1) % ring_len;
+                let vm1 = ring[im1];
+                let v0 = ring[xi % ring_len];
+                let vp1 = ring[(xi + 1) % ring_len];
+                let west = if K::IS_GS { o_prev } else { vm1 };
+                let o = kern.pack::<VL>(west, v0, vp1);
+                vtop[k] = o.top();
+                ring[im1] = o.shift_up_insert(vbottom.extract(k));
+                if K::IS_GS {
+                    o_prev = o;
+                }
+            }
+            // One vector store retires the group's finished values.
+            vtop.store(a, x);
+            if COUNT {
+                count::record_output(VL as u64);
+                count::record(Op::CrossLane, VL as u64); // vrotate per vector
+                count::record(Op::InLane, 10); // 5 top-batch + 5 bottom-batch
+                count::record(Op::VecLoad, 1);
+                count::record(Op::VecStore, 1);
+            }
+            x += VL;
+        }
+        // Ungrouped tail of the steady state.
+        for x in x..=x_max {
+            let im1 = (x + ring_len - 1) % ring_len;
+            let vm1 = ring[im1];
+            let v0 = ring[x % ring_len];
+            let vp1 = ring[(x + 1) % ring_len];
+            let west = if K::IS_GS { o_prev } else { vm1 };
+            let o = kern.pack::<VL>(west, v0, vp1);
+            if COUNT {
+                count::record_output(1);
+                count::record(Op::CrossLane, 1);
+                count::record(Op::InLane, 1);
+                count::record(Op::ScalarExtract, 1);
+                count::record(Op::ScalarInsert, 1);
+            }
+            a[x] = o.top();
+            let bottom = a[x + VL * s];
+            ring[im1] = o.shift_up_insert(bottom);
+            if K::IS_GS {
+                o_prev = o;
+            }
+        }
+    }
+
+    tile_epilogue::<VL, K>(a, n, kern, s, scratch, &ring, x_max);
+}
+
+/// [`run`] with the batched-vector steady state of [`tile_batched`].
+pub fn run_batched<const VL: usize, K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let n = g.n();
+    let mut scratch = Scratch1d::<VL>::new(s);
+    let a = g.data_mut();
+    for _ in 0..steps / VL {
+        tile_batched::<VL, false, K>(a, n, kern, s, &mut scratch);
+    }
+    for _ in 0..steps % VL {
+        scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+/// Counted variant of [`run_batched`] for the §3.2 reorganization-budget
+/// ablation.
+pub fn run_batched_counted<const VL: usize, K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let n = g.n();
+    let mut scratch = Scratch1d::<VL>::new(s);
+    let a = g.data_mut();
+    for _ in 0..steps / VL {
+        tile_batched::<VL, true, K>(a, n, kern, s, &mut scratch);
+    }
+    for _ in 0..steps % VL {
+        scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+/// Ring capacity of the phase API (supports strides up to 16).
+pub const RING_CAP: usize = 17;
+
+/// Phase 1 of a temporal tile: scalar prologue triangles plus the strided
+/// gather of the initial input vectors `V(0) ..= V(s)` (Algorithm 3 lines
+/// 2-7). Returns the initial ring (slot `j % (s+1)` holds `V(j)`) and the
+/// steady-state bound `x_max`.
+///
+/// Exposed so arch-specialized steady states (see `t1d_avx2`) can share
+/// the exact boundary machinery of the portable engine.
+pub fn tile_prologue<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    n: usize,
+    kern: &K,
+    s: usize,
+    scratch: &mut Scratch1d<VL>,
+) -> ([Pack<f64, VL>; RING_CAP], usize) {
+    debug_assert!(n >= min_vector_n::<VL>(s));
+    debug_assert!(scratch.head.len() >= VL);
+    assert!(s + 1 <= RING_CAP, "stride too large for the ring capacity");
+    let boundary_l = a[0];
+    let x_max = n + 1 - VL * s;
+
+    // Prologue: levels k = 1..VL-1 over x ∈ 1..=(VL-k)·s, scalar.
+    // head[k][x] = a[t+k][x]; head[0] is not used (level 0 lives in `a`).
+    for k in 1..VL {
+        let hi = (VL - k) * s;
+        // Split so we can read head[k-1] while writing head[k].
+        let (lo_planes, hi_planes) = scratch.head.split_at_mut(k);
+        let plane = &mut hi_planes[0];
+        plane[0] = boundary_l;
+        if k == 1 {
+            for x in 1..=hi {
+                plane[x] = kern.scalar(plane[x - 1], a[x - 1], a[x], a[x + 1]);
+            }
+        } else {
+            let below = &lo_planes[k - 1];
+            for x in 1..=hi {
+                plane[x] = kern.scalar(plane[x - 1], below[x - 1], below[x], below[x + 1]);
+            }
+        }
+    }
+
+    // Initial input vectors V(0) ..= V(s) (Algorithm 3 lines 5-7):
+    // lane i of V(j) = level i at x = j + (VL-1-i)·s.
+    let ring_len = s + 1;
+    let mut ring = [Pack::<f64, VL>::splat(0.0); RING_CAP];
+    for j in 0..=s {
+        let v = Pack::<f64, VL>::from_fn(|i| {
+            let x = j + (VL - 1 - i) * s;
+            if i == 0 {
+                a[x]
+            } else if x == 0 {
+                boundary_l
+            } else {
+                scratch.head[i][x]
+            }
+        });
+        // Off the hot path: records only into an active counting session.
+        count::record(Op::Gather, 1);
+        ring[j % ring_len] = v;
+    }
+    (ring, x_max)
+}
+
+/// Phase 3 of a temporal tile: drain the surviving ring into the tail
+/// planes and finish every level scalar-wise up to `x = n` (Algorithm 3
+/// lines 16-22). `ring` must hold `V(j)` at slot `j % (s+1)` for
+/// `j ∈ x_max ..= x_max+s`, as left behind by the steady state.
+pub fn tile_epilogue<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    n: usize,
+    kern: &K,
+    s: usize,
+    scratch: &mut Scratch1d<VL>,
+    ring: &[Pack<f64, VL>],
+    x_max: usize,
+) {
+    let ring_len = s + 1;
+    let boundary_r = a[n + 1];
+    for i in 1..VL {
+        let base = x_max + (VL - 1 - i) * s;
+        // Extract the s+1 surviving lane values of level i.
+        for j in x_max..=x_max + s {
+            let v = ring[j % ring_len];
+            scratch.tail[i][j + (VL - 1 - i) * s - base] = v.extract(i);
+        }
+        // Scalar completion of level i over x ∈ base+s+1 ..= n, reading
+        // level i-1 from tail[i-1] (or `a` when i == 1).
+        let done_hi = base + s; // = x_max + (VL-i)·s
+        let (lo_planes, hi_planes) = scratch.tail.split_at_mut(i);
+        let plane = &mut hi_planes[0];
+        for x in done_hi + 1..=n {
+            let rel = x - base;
+            let (bm1, b0, bp1) = if i == 1 {
+                (a[x - 1], a[x], a[x + 1])
+            } else {
+                let below = &lo_planes[i - 1];
+                let bb = x - (base + s); // base_{i-1} = base + s
+                (below[bb - 1], below[bb], below[bb + 1])
+            };
+            let west = plane[rel - 1];
+            plane[rel] = kern.scalar(west, bm1, b0, bp1);
+        }
+        // Right halo of the plane.
+        let rel_halo = n + 1 - base;
+        scratch.tail[i][rel_halo] = boundary_r;
+    }
+
+    // Final level VL over x ∈ x_max+1 ..= n, writing into `a`.
+    {
+        let base = x_max; // base of tail[VL-1]
+        let below = &scratch.tail[VL - 1];
+        for x in x_max + 1..=n {
+            let rel = x - base;
+            let west = a[x - 1]; // already level VL (GS) — unused for Jacobi
+            a[x] = kern.scalar(west, below[rel - 1], below[rel], below[rel + 1]);
+        }
+    }
+}
+
+/// One in-place scalar time step (used for degenerate tiles and for the
+/// `T mod VL` remainder steps). Bit-identical to the double-buffered
+/// reference: for Jacobi the old west value is carried in a register so a
+/// single array suffices; for Gauss-Seidel in-place *is* the definition.
+pub fn scalar_step_inplace<K: Kernel1d>(a: &mut [f64], n: usize, kern: &K) {
+    if K::IS_GS {
+        for x in 1..=n {
+            a[x] = kern.scalar(a[x - 1], a[x - 1], a[x], a[x + 1]);
+        }
+    } else {
+        let mut prev = a[0];
+        for x in 1..=n {
+            let cur = a[x];
+            a[x] = kern.scalar(prev, prev, cur, a[x + 1]);
+            prev = cur;
+        }
+    }
+}
+
+/// Run `steps` time steps of a 1-D stencil with the temporal-vectorized
+/// schedule (vector length `VL`), returning the final grid.
+///
+/// Full tiles of height `VL` run vectorized; the `steps mod VL` remainder
+/// runs scalar. Results are bit-identical to the scalar reference.
+pub fn run<const VL: usize, K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let n = g.n();
+    let mut scratch = Scratch1d::<VL>::new(s);
+    let tiles = steps / VL;
+    let a = g.data_mut();
+    for _ in 0..tiles {
+        tile::<VL, false, K>(a, n, kern, s, &mut scratch);
+    }
+    for _ in 0..steps % VL {
+        scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+/// Counted variant of [`run`]: identical numerics, but every
+/// data-reorganization operation of the steady state is recorded in the
+/// active [`tempora_simd::count::Session`].
+pub fn run_counted<const VL: usize, K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let n = g.n();
+    let mut scratch = Scratch1d::<VL>::new(s);
+    let tiles = steps / VL;
+    let a = g.data_mut();
+    for _ in 0..tiles {
+        tile::<VL, true, K>(a, n, kern, s, &mut scratch);
+    }
+    for _ in 0..steps % VL {
+        scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{GsKern1d, JacobiKern1d};
+    use tempora_grid::{fill_random_1d, Boundary};
+    use tempora_stencil::reference;
+    use tempora_stencil::{Gs1dCoeffs, Heat1dCoeffs};
+
+    fn random_grid(n: usize, seed: u64, b: f64) -> Grid1<f64> {
+        let mut g = Grid1::new(n, 1, Boundary::Dirichlet(b));
+        fill_random_1d(&mut g, seed, -1.0, 1.0);
+        g
+    }
+
+    #[test]
+    fn jacobi_single_tile_matches_reference() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        for &n in &[8usize, 9, 16, 31, 64, 100, 127] {
+            for s in 2..=7 {
+                let g = random_grid(n, 42 + n as u64, 0.5);
+                let ours = run::<4, _>(&g, &kern, 4, s);
+                let gold = reference::heat1d(&g, c, 4);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "n={n} s={s} first diff: {:?}",
+                    ours.first_diff(&gold)
+                );
+                ours.check_canaries().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_many_steps_and_remainders() {
+        let c = Heat1dCoeffs::classic(0.2);
+        let kern = JacobiKern1d(c);
+        for steps in [0usize, 1, 2, 3, 4, 5, 7, 8, 12, 13, 29] {
+            let g = random_grid(61, 7, -0.25);
+            let ours = run::<4, _>(&g, &kern, steps, 3);
+            let gold = reference::heat1d(&g, c, steps);
+            assert!(
+                ours.interior_eq(&gold),
+                "steps={steps} diff {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+
+    #[test]
+    fn jacobi_tiny_grids_fall_back_to_scalar() {
+        let c = Heat1dCoeffs::classic(0.3);
+        let kern = JacobiKern1d(c);
+        for n in 1..=16 {
+            let g = random_grid(n, n as u64, 1.0);
+            let ours = run::<4, _>(&g, &kern, 8, 4); // needs n >= 16 for vector path
+            let gold = reference::heat1d(&g, c, 8);
+            assert!(ours.interior_eq(&gold), "n={n}");
+        }
+    }
+
+    #[test]
+    fn jacobi_vl8_matches_reference() {
+        // The engine is generic over vector length: VL = 8 models an
+        // AVX-512-width register.
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        for &n in &[32usize, 57, 96] {
+            let g = random_grid(n, 3, 0.0);
+            let ours = run::<8, _>(&g, &kern, 16, 2);
+            let gold = reference::heat1d(&g, c, 16);
+            assert!(ours.interior_eq(&gold), "n={n} {:?}", ours.first_diff(&gold));
+        }
+    }
+
+    #[test]
+    fn gs_single_tile_matches_reference() {
+        let c = Gs1dCoeffs::classic(0.25);
+        let kern = GsKern1d(c);
+        for &n in &[8usize, 15, 33, 64, 101] {
+            for s in 2..=7 {
+                let g = random_grid(n, 100 + n as u64, 0.25);
+                let ours = run::<4, _>(&g, &kern, 4, s);
+                let gold = reference::gs1d(&g, c, 4);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "n={n} s={s} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gs_many_steps_matches_reference() {
+        let c = Gs1dCoeffs::new(0.4, 0.35, 0.25);
+        let kern = GsKern1d(c);
+        for steps in [1usize, 4, 6, 8, 11, 20] {
+            let g = random_grid(77, 9, -1.0);
+            let ours = run::<4, _>(&g, &kern, steps, 7); // the paper's s = 7
+            let gold = reference::gs1d(&g, c, steps);
+            assert!(
+                ours.interior_eq(&gold),
+                "steps={steps} diff {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn illegal_stride_panics() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let g = random_grid(64, 1, 0.0);
+        let _ = run::<4, _>(&g, &kern, 4, 1);
+    }
+
+    #[test]
+    fn nonzero_boundary_is_respected() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let g = random_grid(40, 5, 2.5);
+        let ours = run::<4, _>(&g, &kern, 12, 2);
+        let gold = reference::heat1d(&g, c, 12);
+        assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+        // Halo cells must still hold the boundary value.
+        assert_eq!(ours.get(0), 2.5);
+        assert_eq!(ours.get(41), 2.5);
+    }
+
+    #[test]
+    fn batched_variant_matches_reference_bitwise() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        for &n in &[16usize, 61, 200, 1000] {
+            for s in 2..=7 {
+                for steps in [4usize, 8, 13] {
+                    let g = random_grid(n, (n + s + steps) as u64, 0.2);
+                    let ours = run_batched::<4, _>(&g, &kern, steps, s);
+                    let gold = reference::heat1d(&g, c, steps);
+                    assert!(
+                        ours.interior_eq(&gold),
+                        "n={n} s={s} steps={steps} {:?}",
+                        ours.first_diff(&gold)
+                    );
+                }
+            }
+        }
+        // Gauss-Seidel through the batched path as well.
+        let cg = Gs1dCoeffs::classic(0.3);
+        let kg = GsKern1d(cg);
+        let g = random_grid(333, 5, -0.5);
+        let ours = run_batched::<4, _>(&g, &kg, 12, 7);
+        let gold = reference::gs1d(&g, cg, 12);
+        assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+    }
+
+    #[test]
+    fn batched_budget_matches_paper_3_5_per_output() {
+        // §3.2: 1 rotate + 10/4 batch operations = 3.5 reorganizations
+        // per output vector.
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let g = random_grid(4096, 3, 0.0);
+        let session = tempora_simd::count::Session::start();
+        let _ = run_batched_counted::<4, _>(&g, &kern, 4, 7);
+        let counts = session.finish();
+        assert!(counts.output_vectors > 500);
+        let per_output = counts.reorg_per_output();
+        assert!(
+            (per_output - 3.5).abs() < 0.05,
+            "expected ~3.5 reorg/output, got {per_output}"
+        );
+        // And the batching turns most scalar element traffic into full
+        // vector loads/stores.
+        assert!(counts.vec_load > 0 && counts.vec_store > 0);
+        assert!(counts.scalar_extract < counts.output_vectors / 16);
+    }
+
+    #[test]
+    fn counted_run_reports_constant_reorg_per_output() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let g = random_grid(4096, 11, 0.0);
+        let session = tempora_simd::count::Session::start();
+        let _ = run_counted::<4, _>(&g, &kern, 4, 7);
+        let counts = session.finish();
+        assert!(counts.output_vectors > 0);
+        // Per-iteration production rule: exactly 1 lane-crossing rotate
+        // and 1 in-lane blend per output vector, independent of n and s —
+        // the paper's "small fixed number".
+        assert_eq!(counts.cross_lane, counts.output_vectors);
+        assert_eq!(counts.in_lane, counts.output_vectors);
+        // Gathers only at tile start: s+1 = 8.
+        assert_eq!(counts.gather, 8);
+    }
+}

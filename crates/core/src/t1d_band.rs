@@ -1,0 +1,289 @@
+//! Skewed-band (parallelogram) execution of the 1-D Gauss-Seidel engine —
+//! the building block of the paper's parallel GS runs (§3.4:
+//! "we utilize parallelogram tiling for all space dimensions").
+//!
+//! # Geometry and staircase invariants
+//!
+//! A *band* advances `VL` time levels. Under parallelogram tiling with
+//! slope −1, the tile anchored at `[xl, xr]` (its level-1 window) updates,
+//! at local level `k ∈ 1..=VL`, the window `x ∈ [xl-(k-1), xr-(k-1)]`
+//! (clamped to the domain `[1, n]`) — a parallelogram leaning left in
+//! `(t, x)` space. Executing the blocks of one band in ascending `x`
+//! order (bands pipelined in wavefront order, see `tempora-tiling`)
+//! maintains the **staircase invariant** on the single in-place array:
+//!
+//! * when a tile starts, every position `p ≥ xl` still holds the
+//!   band-base level `t`;
+//! * position `xl-k` (left of the tile) holds level `t+k` — exactly the
+//!   *newest* west operand level `k` needs at its window edge;
+//! * inside the tile, position `xr-k+2` holds level `t+k-1` when level
+//!   `k`'s rightmost point reads it — the *old* east operand — because
+//!   level `k`'s window stops one short of level `k-1`'s.
+//!
+//! No halo buffers are exchanged: the array itself carries every
+//! inter-tile value. This module provides the scalar banded executor
+//! (also the oracle) and the temporally vectorized one; the vector
+//! algebra is *identical* to the rectangular engine — the skew only
+//! re-shapes the prologue/steady/epilogue ranges, which is the paper's
+//! point that the scheme composes with blocking by "only changing the
+//! loop boundary conditions".
+
+use crate::kernels::Kernel1d;
+use tempora_simd::Pack;
+
+/// One scalar skewed band: advance levels `1..=vl` over the shifting
+/// windows `[xl-(k-1), xr-(k-1)] ∩ [1, n]`, in place.
+pub fn band_scalar_gs<K: Kernel1d>(
+    a: &mut [f64],
+    xl: usize,
+    xr: usize,
+    vl: usize,
+    n: usize,
+    kern: &K,
+) {
+    debug_assert!(K::IS_GS, "banded skewed execution is for Gauss-Seidel");
+    for k in 1..=vl {
+        let lo = xl.saturating_sub(k - 1).max(1);
+        let hi = (xr + 1).saturating_sub(k).min(n);
+        for x in lo..=hi {
+            a[x] = kern.scalar(a[x - 1], a[x - 1], a[x], a[x + 1]);
+        }
+    }
+}
+
+/// One temporally vectorized skewed band (Gauss-Seidel), bit-identical to
+/// [`band_scalar_gs`].
+///
+/// Interior tiles (`xl > VL`, `xr ≤ n`, width large enough) run the
+/// vector schedule; domain-edge or narrow tiles fall back to the scalar
+/// band (identical results).
+pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    xl: usize,
+    xr: usize,
+    n: usize,
+    s: usize,
+    kern: &K,
+) {
+    debug_assert!(K::IS_GS);
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    let width = (xr + 1).saturating_sub(xl);
+    if xl <= VL || xr > n || width < (VL + 1) * s + VL {
+        band_scalar_gs(a, xl, xr, VL, n, kern);
+        return;
+    }
+
+    // Steady-state anchors: O(x) lane i writes level i+1 at
+    // x + (VL-1-i)·s; lane VL-1 binds the left end (x ≥ xl-(VL-1)) and
+    // the bottom fill x + VL·s ≤ xr+1 binds the right end.
+    let x_start = xl - (VL - 1);
+    let x_max = xr + 1 - VL * s;
+    debug_assert!(x_max >= x_start);
+
+    // ------------------------------------------------------------------
+    // Prologue: level k scalar over [xl-(k-1), x_start+(VL-k)·s], the
+    // prefix the initial gather below needs. In-place reads are valid by
+    // the staircase invariants (see module docs) — with one exception:
+    // the *last* write of pass k lands on x_start+(VL-k)·s, which still
+    // holds the level-(k-1) value that lane k-1 of V(x_start) needs, so
+    // that value is stashed in `saved` just before each pass.
+    // ------------------------------------------------------------------
+    let mut saved = [0.0f64; 16];
+    assert!(VL <= saved.len());
+    for k in 1..VL {
+        saved[k - 1] = a[x_start + (VL - k) * s];
+        let lo = xl - (k - 1);
+        let hi = x_start + (VL - k) * s;
+        for x in lo..=hi {
+            a[x] = kern.scalar(a[x - 1], a[x - 1], a[x], a[x + 1]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Initial ring V(x_start) ..= V(x_start+s) and O(x_start-1), gathered
+    // from the in-place staircase (plus the stashed values for the first
+    // vector): every lane value is the most recent surviving write.
+    // ------------------------------------------------------------------
+    let rlen = s + 1;
+    let mut ring = [Pack::<f64, VL>::splat(0.0); 17]; // supports s <= 16
+    assert!(rlen <= ring.len());
+    ring[x_start % rlen] = Pack::from_fn(|i| {
+        if i == VL - 1 {
+            a[x_start] // staircase: holds level VL-1 from the left tile
+        } else {
+            saved[i] // level i at x_start + (VL-1-i)·s, pre-clobber
+        }
+    });
+    for j in 1..=s {
+        let x = x_start + j;
+        ring[x % rlen] = Pack::from_fn(|i| a[x + (VL - 1 - i) * s]);
+    }
+    let mut o_prev = Pack::<f64, VL>::from_fn(|i| a[x_start - 1 + (VL - 1 - i) * s]);
+
+    // ------------------------------------------------------------------
+    // Steady state — identical algebra to the rectangular engine; only
+    // the finished top lane touches the array.
+    // ------------------------------------------------------------------
+    for x in x_start..=x_max {
+        let v0 = ring[x % rlen];
+        let vp1 = ring[(x + 1) % rlen];
+        let o = kern.pack::<VL>(o_prev, v0, vp1);
+        a[x] = o.top();
+        let bottom = a[x + VL * s];
+        // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
+        ring[(x + s) % rlen] = o.shift_up_insert(bottom);
+        o_prev = o;
+    }
+
+    // ------------------------------------------------------------------
+    // Epilogue: materialize the register-resident levels back into the
+    // array staircase, then finish each level scalar, ascending.
+    // ------------------------------------------------------------------
+    for j in x_max + 1..=x_max + s {
+        let v = ring[j % rlen];
+        for i in 1..VL {
+            a[j + (VL - 1 - i) * s] = v.extract(i);
+        }
+    }
+    // O(x_max): lane i = level i+1 at x_max + (VL-1-i)·s (lane VL-1, the
+    // level-VL value at x_max, is already in the array).
+    for i in 0..VL - 1 {
+        a[x_max + (VL - 1 - i) * s] = o_prev.extract(i);
+    }
+
+    // Scalar completion: level k resumes right after the vector frontier
+    // x_max + (VL-k)·s and runs to its window end xr+1-k.
+    for k in 1..=VL {
+        let lo = x_max + (VL - k) * s + 1;
+        let hi = xr + 1 - k;
+        for x in lo..=hi {
+            a[x] = kern.scalar(a[x - 1], a[x - 1], a[x], a[x + 1]);
+        }
+    }
+}
+
+/// Decompose one band of height `vl` into skewed blocks of anchor width
+/// `block` and execute them left to right (the sequential schedule; the
+/// parallel executor in `tempora-tiling`/`tempora-parallel` runs the same
+/// blocks in pipelined wavefront order).
+pub fn band_sweep_gs<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    n: usize,
+    block: usize,
+    s: usize,
+    kern: &K,
+    temporal: bool,
+) {
+    let span = n + VL - 1; // anchors must reach n + vl - 1 so the last
+                           // level's window still covers x = n
+    let nblocks = span.div_ceil(block);
+    for i in 0..nblocks {
+        let xl = i * block + 1;
+        let xr = ((i + 1) * block).min(span);
+        if temporal {
+            band_temporal_gs::<VL, K>(a, xl, xr, n, s, kern);
+        } else {
+            band_scalar_gs(a, xl, xr, VL, n, kern);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::GsKern1d;
+    use tempora_grid::{fill_random_1d, Boundary, Grid1};
+    use tempora_stencil::reference;
+    use tempora_stencil::Gs1dCoeffs;
+
+    fn run_banded(
+        g: &Grid1<f64>,
+        kern: &GsKern1d,
+        steps: usize,
+        block: usize,
+        s: usize,
+        temporal: bool,
+    ) -> Grid1<f64> {
+        const VL: usize = 4;
+        let mut g = g.clone();
+        let n = g.n();
+        let a = g.data_mut();
+        for _ in 0..steps / VL {
+            band_sweep_gs::<VL, _>(a, n, block, s, kern, temporal);
+        }
+        for _ in 0..steps % VL {
+            crate::t1d::scalar_step_inplace(a, n, kern);
+        }
+        g
+    }
+
+    #[test]
+    fn scalar_banded_sweep_matches_reference() {
+        let c = Gs1dCoeffs::classic(0.25);
+        let kern = GsKern1d(c);
+        for &(n, block) in &[(64usize, 16usize), (100, 25), (200, 37), (61, 64), (33, 5)] {
+            let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.4));
+            fill_random_1d(&mut g, n as u64, -1.0, 1.0);
+            for steps in [4usize, 8, 10] {
+                let ours = run_banded(&g, &kern, steps, block, 2, false);
+                let gold = reference::gs1d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "n={n} block={block} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_banded_sweep_matches_reference() {
+        let c = Gs1dCoeffs::new(0.37, 0.4, 0.23);
+        let kern = GsKern1d(c);
+        for &(n, block, s) in &[
+            (256usize, 64usize, 2usize),
+            (300, 75, 3),
+            (512, 128, 7),
+            (200, 50, 2),
+            (1000, 128, 7),
+        ] {
+            let mut g = Grid1::new(n, 1, Boundary::Dirichlet(-0.3));
+            fill_random_1d(&mut g, (n + s) as u64, -1.0, 1.0);
+            for steps in [4usize, 8, 12] {
+                let ours = run_banded(&g, &kern, steps, block, s, true);
+                let gold = reference::gs1d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "n={n} block={block} s={s} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_band_falls_back_on_narrow_blocks() {
+        let c = Gs1dCoeffs::classic(0.2);
+        let kern = GsKern1d(c);
+        let mut g = Grid1::new(64, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 3, -1.0, 1.0);
+        // block = 8 is too narrow for the vector path with s = 2: every
+        // tile falls back to scalar and the sweep is still exact.
+        let ours = run_banded(&g, &kern, 8, 8, 2, true);
+        let gold = reference::gs1d(&g, c, 8);
+        assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+    }
+
+    #[test]
+    fn boundary_values_respected() {
+        let c = Gs1dCoeffs::classic(0.3);
+        let kern = GsKern1d(c);
+        let mut g = Grid1::new(400, 1, Boundary::Dirichlet(1.75));
+        fill_random_1d(&mut g, 8, -1.0, 1.0);
+        let ours = run_banded(&g, &kern, 8, 100, 4, true);
+        let gold = reference::gs1d(&g, c, 8);
+        assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+        assert_eq!(ours.get(0), 1.75);
+        assert_eq!(ours.get(401), 1.75);
+    }
+}

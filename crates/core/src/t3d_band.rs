@@ -1,0 +1,350 @@
+//! Skewed-band (parallelogram) execution of the 3-D Gauss-Seidel engine —
+//! [`crate::t1d_band`] with whole `(y, z)` planes as the unit of the
+//! outer dimension.
+
+use crate::kernels::{Kernel3d, Nbhd3};
+use tempora_grid::Grid3;
+use tempora_simd::Pack;
+
+/// Scalar in-place 3-D Gauss-Seidel update of one slab `x`.
+#[inline]
+fn gs_slab<K: Kernel3d<f64>>(
+    a: &mut [f64],
+    x: usize,
+    ny: usize,
+    nz: usize,
+    p: usize,
+    pl: usize,
+    kern: &K,
+) {
+    for y in 1..=ny {
+        let r = x * pl + y * p;
+        for z in 1..=nz {
+            let nb = Nbhd3 {
+                xm: 0.0,
+                ym: 0.0,
+                zm: 0.0,
+                m: a[r + z],
+                zp: a[r + z + 1],
+                yp: a[r + p + z],
+                xp: a[r + pl + z],
+                new_xm: a[r - pl + z],
+                new_ym: a[r - p + z],
+                new_zm: a[r + z - 1],
+            };
+            a[r + z] = kern.scalar(nb);
+        }
+    }
+}
+
+/// One scalar skewed band over slab windows `[xl-(k-1), xr-(k-1)] ∩ [1, nx]`.
+pub fn band_scalar_gs3d<K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    xl: usize,
+    xr: usize,
+    vl: usize,
+    kern: &K,
+) {
+    debug_assert!(K::IS_GS);
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    let a = g.data_mut();
+    for k in 1..=vl {
+        let lo = xl.saturating_sub(k - 1).max(1);
+        let hi = (xr + 1).saturating_sub(k).min(nx);
+        for x in lo..=hi {
+            gs_slab(a, x, ny, nz, p, pl, kern);
+        }
+    }
+}
+
+/// Scratch for the banded 3-D engine.
+pub struct BandScratch3d<const VL: usize> {
+    ring: Vec<Vec<Pack<f64, VL>>>,
+    o_prev: Vec<Pack<f64, VL>>,
+    o_cur: Vec<Pack<f64, VL>>,
+    saved: Vec<Vec<f64>>,
+    ny: usize,
+    nz: usize,
+}
+
+impl<const VL: usize> BandScratch3d<VL> {
+    /// Allocate scratch for stride `s` and inner extents `ny × nz`.
+    pub fn new(s: usize, ny: usize, nz: usize) -> Self {
+        let wp = (ny + 2) * (nz + 2);
+        BandScratch3d {
+            ring: (0..s + 1).map(|_| vec![Pack::splat(0.0); wp]).collect(),
+            o_prev: vec![Pack::splat(0.0); wp],
+            o_cur: vec![Pack::splat(0.0); wp],
+            saved: (0..VL).map(|_| vec![0.0; wp]).collect(),
+            ny,
+            nz,
+        }
+    }
+}
+
+/// One temporally vectorized skewed band (3-D Gauss-Seidel),
+/// bit-identical to [`band_scalar_gs3d`]; edge/narrow tiles fall back.
+pub fn band_temporal_gs3d<const VL: usize, K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch3d<VL>,
+) {
+    debug_assert!(K::IS_GS);
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    assert_eq!((sc.ny, sc.nz), (ny, nz), "scratch shape mismatch");
+    let width = (xr + 1).saturating_sub(xl);
+    if xl <= VL || xr > nx || width < (VL + 1) * s + VL {
+        band_scalar_gs3d(g, xl, xr, VL, kern);
+        return;
+    }
+    let bc = g.boundary().value();
+    let a = g.data_mut();
+    let x_start = xl - (VL - 1);
+    let x_max = xr + 1 - VL * s;
+    let wz = nz + 2;
+    let _wp = (ny + 2) * wz;
+    let lp = |y: usize, z: usize| y * wz + z;
+
+    // Prologue slabs, stashing the slab each pass is about to clobber.
+    for k in 1..VL {
+        let src = (x_start + (VL - k) * s) * pl;
+        let dst = &mut sc.saved[k - 1];
+        for y in 0..ny + 2 {
+            for z in 0..wz {
+                dst[lp(y, z)] = a[src + y * p + z];
+            }
+        }
+        for x in xl - (k - 1)..=x_start + (VL - k) * s {
+            gs_slab(a, x, ny, nz, p, pl, kern);
+        }
+    }
+
+    // Initial ring planes and O(x_start-1).
+    let rlen = s + 1;
+    for plane in sc.ring.iter_mut() {
+        for slot in plane.iter_mut() {
+            *slot = Pack::splat(bc);
+        }
+    }
+    {
+        let dst = &mut sc.ring[x_start % rlen];
+        for y in 1..=ny {
+            for z in 1..=nz {
+                dst[lp(y, z)] = Pack::from_fn(|i| {
+                    if i == VL - 1 {
+                        a[x_start * pl + y * p + z]
+                    } else {
+                        sc.saved[i][lp(y, z)]
+                    }
+                });
+            }
+        }
+    }
+    for j in 1..=s {
+        let x = x_start + j;
+        let dst = &mut sc.ring[x % rlen];
+        for y in 1..=ny {
+            for z in 1..=nz {
+                dst[lp(y, z)] = Pack::from_fn(|i| a[(x + (VL - 1 - i) * s) * pl + y * p + z]);
+            }
+        }
+    }
+    for slot in sc.o_prev.iter_mut() {
+        *slot = Pack::splat(bc);
+    }
+    for y in 1..=ny {
+        for z in 1..=nz {
+            sc.o_prev[lp(y, z)] =
+                Pack::from_fn(|i| a[(x_start - 1 + (VL - 1 - i) * s) * pl + y * p + z]);
+        }
+    }
+    for slot in sc.o_cur.iter_mut() {
+        *slot = Pack::splat(bc);
+    }
+
+    // Steady state.
+    let zero = Pack::<f64, VL>::splat(0.0);
+    for x in x_start..=x_max {
+        let i0 = x % rlen;
+        let ip1 = (x + 1) % rlen;
+        let ips = (x + s) % rlen;
+        let mut wplane = core::mem::take(&mut sc.ring[ips]);
+        {
+            let r0 = &sc.ring[i0];
+            let rp1 = &sc.ring[ip1];
+            for y in 1..=ny {
+                let mut o_z = Pack::splat(bc);
+                for z in 1..=nz {
+                    let idx = lp(y, z);
+                    let nb = Nbhd3 {
+                        xm: zero,
+                        ym: zero,
+                        zm: zero,
+                        m: r0[idx],
+                        zp: r0[idx + 1],
+                        yp: r0[idx + wz],
+                        xp: rp1[idx],
+                        new_xm: sc.o_prev[idx],
+                        new_ym: sc.o_cur[idx - wz],
+                        new_zm: o_z,
+                    };
+                    let o = kern.pack(nb);
+                    a[x * pl + y * p + z] = o.top();
+                    let bottom = a[(x + VL * s) * pl + y * p + z];
+                    wplane[idx] = o.shift_up_insert(bottom);
+                    sc.o_cur[idx] = o;
+                    o_z = o;
+                }
+            }
+            for z in 0..wz {
+                wplane[lp(0, z)] = Pack::splat(bc);
+                wplane[lp(ny + 1, z)] = Pack::splat(bc);
+            }
+            for y in 1..=ny {
+                wplane[lp(y, 0)] = Pack::splat(bc);
+                wplane[lp(y, nz + 1)] = Pack::splat(bc);
+            }
+        }
+        sc.ring[ips] = wplane;
+        core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
+        for z in 0..wz {
+            sc.o_cur[lp(0, z)] = Pack::splat(bc);
+        }
+    }
+
+    // Epilogue: materialize register-resident levels, then finish scalar.
+    for j in x_max + 1..=x_max + s {
+        let src = &sc.ring[j % rlen];
+        for i in 1..VL {
+            let slab = (j + (VL - 1 - i) * s) * pl;
+            for y in 1..=ny {
+                for z in 1..=nz {
+                    a[slab + y * p + z] = src[lp(y, z)].extract(i);
+                }
+            }
+        }
+    }
+    for i in 0..VL - 1 {
+        let slab = (x_max + (VL - 1 - i) * s) * pl;
+        for y in 1..=ny {
+            for z in 1..=nz {
+                a[slab + y * p + z] = sc.o_prev[lp(y, z)].extract(i);
+            }
+        }
+    }
+    for k in 1..=VL {
+        let lo = x_max + (VL - k) * s + 1;
+        let hi = xr + 1 - k;
+        for x in lo..=hi {
+            gs_slab(a, x, ny, nz, p, pl, kern);
+        }
+    }
+}
+
+/// Decompose one band of height `VL` into skewed slab-blocks and execute
+/// them in ascending order.
+pub fn band_sweep_gs3d<const VL: usize, K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    block: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch3d<VL>,
+    temporal: bool,
+) {
+    let nx = g.nx();
+    let span = nx + VL - 1;
+    let nblocks = span.div_ceil(block);
+    for i in 0..nblocks {
+        let xl = i * block + 1;
+        let xr = ((i + 1) * block).min(span);
+        if temporal {
+            band_temporal_gs3d::<VL, K>(g, xl, xr, s, kern, sc);
+        } else {
+            band_scalar_gs3d(g, xl, xr, VL, kern);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::GsKern3d;
+    use tempora_grid::{fill_random_3d, Boundary};
+    use tempora_stencil::reference;
+    use tempora_stencil::Gs3dCoeffs;
+
+    fn run_banded(
+        g: &Grid3<f64>,
+        kern: &GsKern3d,
+        steps: usize,
+        block: usize,
+        s: usize,
+        temporal: bool,
+    ) -> Grid3<f64> {
+        const VL: usize = 4;
+        let mut g = g.clone();
+        let mut sc = BandScratch3d::<VL>::new(s, g.ny(), g.nz());
+        for _ in 0..steps / VL {
+            band_sweep_gs3d::<VL, _>(&mut g, block, s, kern, &mut sc, temporal);
+        }
+        for _ in 0..steps % VL {
+            let wp = (g.ny() + 2) * (g.nz() + 2);
+            let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+            crate::t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
+        }
+        g
+    }
+
+    #[test]
+    fn scalar_banded_sweep_matches_reference() {
+        let c = Gs3dCoeffs::classic(0.12);
+        let kern = GsKern3d(c);
+        for &(nx, block) in &[(20usize, 6usize), (33, 11), (16, 16)] {
+            let mut g = Grid3::new(nx, 5, 6, 1, Boundary::Dirichlet(0.3));
+            fill_random_3d(&mut g, nx as u64, -1.0, 1.0);
+            let ours = run_banded(&g, &kern, 8, block, 2, false);
+            let gold = reference::gs3d(&g, c, 8);
+            assert!(
+                ours.interior_eq(&gold),
+                "nx={nx} block={block} diff {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_banded_sweep_matches_reference() {
+        let c = Gs3dCoeffs::new(0.14, 0.11, 0.1, 0.22, 0.09, 0.12, 0.08);
+        let kern = GsKern3d(c);
+        for &(nx, block, s) in &[(96usize, 32usize, 2usize), (120, 40, 3)] {
+            let mut g = Grid3::new(nx, 5, 7, 1, Boundary::Dirichlet(-0.1));
+            fill_random_3d(&mut g, (nx + s) as u64, -1.0, 1.0);
+            for steps in [4usize, 8] {
+                let ours = run_banded(&g, &kern, steps, block, s, true);
+                let gold = reference::gs3d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "nx={nx} block={block} s={s} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_blocks_fall_back() {
+        let c = Gs3dCoeffs::classic(0.1);
+        let kern = GsKern3d(c);
+        let mut g = Grid3::new(30, 4, 4, 1, Boundary::Dirichlet(0.0));
+        fill_random_3d(&mut g, 7, -1.0, 1.0);
+        let ours = run_banded(&g, &kern, 8, 8, 2, true);
+        let gold = reference::gs3d(&g, c, 8);
+        assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+    }
+}

@@ -1,0 +1,158 @@
+//! 64-byte aligned heap buffers.
+//!
+//! Stencil kernels want their arrays aligned to cache lines (and therefore
+//! to every vector width in use). `Vec<T>` gives no alignment guarantee
+//! beyond `align_of::<T>()`, so the workspace allocates through
+//! [`AlignedBuf`], a minimal owned buffer with a fixed 64-byte alignment.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+use tempora_simd::Scalar;
+
+/// Cache-line alignment used for every grid allocation (bytes).
+pub const GRID_ALIGN: usize = 64;
+
+/// An owned, fixed-length, 64-byte aligned buffer of `T`.
+///
+/// Dereferences to `[T]`; all element access goes through ordinary slices,
+/// so the only `unsafe` in this type is the allocation itself.
+pub struct AlignedBuf<T: Scalar> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf owns its allocation exclusively; T: Scalar is
+// Send + Sync plain data.
+unsafe impl<T: Scalar> Send for AlignedBuf<T> {}
+// SAFETY: shared access is only through &[T].
+unsafe impl<T: Scalar> Sync for AlignedBuf<T> {}
+
+impl<T: Scalar> AlignedBuf<T> {
+    /// Allocate `len` elements, zero-initialized (then overwritten with
+    /// `T::ZERO`, which for every supported `T` is the all-zeroes pattern).
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: core::ptr::NonNull::<T>::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) } as *mut T;
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        AlignedBuf { ptr: raw, len }
+    }
+
+    /// Allocate `len` elements, all set to `fill`.
+    pub fn filled(len: usize, fill: T) -> Self {
+        let mut b = Self::zeroed(len);
+        for v in b.iter_mut() {
+            *v = fill;
+        }
+        b
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * core::mem::size_of::<T>(), GRID_ALIGN)
+            .expect("grid allocation too large")
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<T: Scalar> Deref for AlignedBuf<T> {
+    type Target = [T];
+    #[inline(always)]
+    fn deref(&self) -> &[T] {
+        // SAFETY: ptr is valid for len elements for the lifetime of self.
+        unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl<T: Scalar> DerefMut for AlignedBuf<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: ptr is valid for len elements and we hold &mut self.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl<T: Scalar> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the identical layout.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl<T: Scalar> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        let mut b = Self::zeroed(self.len);
+        b.copy_from_slice(self);
+        b
+    }
+}
+
+impl<T: Scalar> core::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "AlignedBuf(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_zeroing() {
+        for len in [1usize, 3, 64, 1000, 4097] {
+            let b = AlignedBuf::<f64>::zeroed(len);
+            assert_eq!(b.as_ptr() as usize % GRID_ALIGN, 0);
+            assert_eq!(b.len(), len);
+            assert!(b.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn filled_and_clone() {
+        let b = AlignedBuf::<i32>::filled(100, 7);
+        assert!(b.iter().all(|&v| v == 7));
+        let mut c = b.clone();
+        c[0] = 1;
+        assert_eq!(b[0], 7);
+        assert_eq!(c[0], 1);
+        assert_eq!(c.as_ptr() as usize % GRID_ALIGN, 0);
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let b = AlignedBuf::<f64>::zeroed(0);
+        assert!(b.is_empty());
+        let c = b.clone();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mutation_via_slice() {
+        let mut b = AlignedBuf::<f64>::zeroed(16);
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        assert_eq!(b[15], 15.0);
+    }
+}

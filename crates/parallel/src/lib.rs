@@ -1,0 +1,379 @@
+//! # tempora-parallel — worker pool and wavefront executor
+//!
+//! The multicore substrate for the parallel experiments (paper §4: "The
+//! parallel codes were scaled from uni-core to all the 24 cores"),
+//! replacing the authors' OpenMP runtime with a small crossbeam-based
+//! executor:
+//!
+//! * [`Pool::for_each_index`] — a bulk-synchronous parallel-for with
+//!   atomic work stealing, used by the ghost-zone (overlapped) Jacobi
+//!   tiling where every tile of a time band is independent;
+//! * [`Pool::waves`] — a pipelined wavefront over a `(band, block)` grid
+//!   with the dependence pattern of skewed/rectangular time tiling
+//!   (`(b, i)` waits for `(b, i-1)` and `(b-1, i..=i+1)`), scheduled by
+//!   waves `w = 2b + i` so that same-wave tasks are provably disjoint;
+//! * [`SyncSlice`] — a shared-mutable slice handle for tile executors
+//!   whose write sets are disjoint by construction.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A fat pointer to the current region's task, smuggled to the workers.
+///
+/// The dispatching call blocks until every worker has finished the
+/// region, so the erased lifetime never escapes the borrow.
+#[derive(Clone, Copy)]
+struct TaskRef(&'static (dyn Fn(usize) + Sync));
+
+// SAFETY: the underlying closure is Sync and only invoked while the
+// dispatching `for_each_index` call keeps the original borrow alive.
+unsafe impl Send for TaskRef {}
+
+struct PoolState {
+    /// Region generation; bumped once per dispatched parallel region.
+    generation: u64,
+    /// The current region's task and task count.
+    task: Option<(TaskRef, usize)>,
+    /// Workers still running the current region.
+    active: usize,
+    /// Pool shutdown flag (set on drop).
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    next: AtomicUsize,
+}
+
+/// A fixed-width worker pool with **persistent, parked workers**.
+///
+/// Stencil time-tiling dispatches thousands of small parallel regions
+/// (one or two per band or wavefront); spawning threads per region costs
+/// hundreds of microseconds on some kernels and would dominate the tile
+/// work, so the workers are created once and woken through a condvar.
+/// The dispatching thread participates in the work.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pool(threads={})", self.threads)
+    }
+}
+
+impl Pool {
+    /// Create a pool using `threads` workers (clamped to ≥ 1). One of
+    /// them is the caller itself, so `threads - 1` OS threads are
+    /// spawned.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                task: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            handles,
+        }
+    }
+
+    /// A pool sized to the machine.
+    pub fn max() -> Self {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of workers (including the dispatching thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(i)` for every `i ∈ 0..n`, distributing indices over the
+    /// workers with an atomic counter. Returns when all tasks finished
+    /// (bulk-synchronous).
+    pub fn for_each_index<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        // Erase the closure's lifetime; the wait below keeps it alive
+        // until every worker is done with it.
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: see TaskRef — the borrow outlives the region because
+        // this function blocks until `active == 0`.
+        let task = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
+        });
+
+        {
+            let mut st = self.shared.state.lock();
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.task = Some((task, n));
+            st.active = self.threads - 1;
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // The dispatcher helps.
+        loop {
+            let i = self.shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            f(i);
+        }
+        // Wait for the workers to drain their in-flight tasks.
+        let mut st = self.shared.state.lock();
+        while st.active != 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.task = None;
+    }
+
+    /// Execute `f(band, block)` for all `(band, block) ∈ n_bands × n_blocks`
+    /// in pipelined wavefront order: wave `w` runs every task with
+    /// `2·band + block == w`, waves in ascending order with a barrier
+    /// between them.
+    ///
+    /// This order satisfies the dependences of skewed time tiling —
+    /// `(b, i)` after `(b, i-1)` (wave `w-1`) and after `(b-1, i)` /
+    /// `(b-1, i+1)` (waves `w-2` / `w-1`) — while keeping same-wave tasks
+    /// at band distance ≥ 1 and block distance ≥ 2, which the tiling
+    /// layer uses to prove write-set disjointness.
+    pub fn waves<F>(&self, n_bands: usize, n_blocks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n_bands == 0 || n_blocks == 0 {
+            return;
+        }
+        let max_wave = 2 * (n_bands - 1) + (n_blocks - 1);
+        for w in 0..=max_wave {
+            // Tasks on this wave: band b with block i = w - 2b.
+            let b_lo = w.saturating_sub(n_blocks - 1).div_ceil(2);
+            let b_hi = (w / 2).min(n_bands - 1);
+            if b_lo > b_hi {
+                continue;
+            }
+            let count = b_hi - b_lo + 1;
+            self.for_each_index(count, |k| {
+                let b = b_lo + k;
+                let i = w - 2 * b;
+                f(b, i);
+            });
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let (task, n) = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break;
+                }
+                shared.work_cv.wait(&mut st);
+            }
+            st.task.expect("woken without a task")
+        };
+        loop {
+            let i = shared.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            (task.0)(i);
+        }
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// A shared, mutably-aliasable slice for tile executors with provably
+/// disjoint write sets.
+///
+/// The stencil tiling layers hand each task a region of one global array;
+/// the scheduling proofs (ghost-zone independence, wavefront distance)
+/// guarantee no two concurrent tasks touch overlapping elements, which
+/// Rust's type system cannot express directly. `SyncSlice` centralizes
+/// the single `unsafe` escape hatch behind that argument.
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access discipline is delegated to the caller per the type docs;
+// the pointer itself is valid for 'a.
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wrap a mutable slice for concurrent disjoint access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SyncSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrow the whole slice mutably.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no two concurrently-live borrows
+    /// (from any thread) access overlapping index ranges, and that reads
+    /// of ranges written by other tasks happen only after those tasks
+    /// completed (e.g. across a pool barrier).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self) -> &mut [T] {
+        core::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    #[test]
+    fn for_each_index_covers_all_once() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            pool.for_each_index(100, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn for_each_empty_and_single() {
+        let pool = Pool::new(4);
+        pool.for_each_index(0, |_| panic!("no tasks expected"));
+        let count = AtomicUsize::new(0);
+        pool.for_each_index(1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn waves_cover_grid_and_respect_order() {
+        let (nb, nc) = (5usize, 7usize);
+        let pool = Pool::new(2);
+        let log = Mutex::new(Vec::new());
+        let stamp = AtomicU64::new(0);
+        pool.waves(nb, nc, |b, i| {
+            let t = stamp.fetch_add(1, Ordering::SeqCst);
+            log.lock().unwrap().push((b, i, t));
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), nb * nc);
+        // Completion stamps must respect the dependence order.
+        let stamp_of = |b: usize, i: usize| log.iter().find(|e| e.0 == b && e.1 == i).unwrap().2;
+        for b in 0..nb {
+            for i in 0..nc {
+                if i > 0 {
+                    assert!(stamp_of(b, i - 1) < stamp_of(b, i), "left dep violated");
+                }
+                if b > 0 {
+                    assert!(stamp_of(b - 1, i) < stamp_of(b, i), "below dep violated");
+                    if i + 1 < nc {
+                        assert!(
+                            stamp_of(b - 1, i + 1) < stamp_of(b, i),
+                            "below-right dep violated"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_slice_disjoint_parallel_writes() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u64; 64];
+        let shared = SyncSlice::new(&mut data);
+        pool.for_each_index(8, |i| {
+            // SAFETY: each task writes a disjoint 8-element block.
+            let s = unsafe { shared.slice_mut() };
+            for v in &mut s[i * 8..(i + 1) * 8] {
+                *v = i as u64 + 1;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, (j / 8) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn pool_sizes() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::max().threads() >= 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Data-reorganization instruction accounting (§3.3, §3.5 of the paper).
+//!
+//! The paper's comparison between vectorization schemes is partly
+//! *analytical*: it counts how many data-reorganization instructions each
+//! scheme executes per produced output vector, split into
+//!
+//! * **in-lane** operations (shuffles that stay within a 128-bit half of a
+//!   256-bit register, ~1 cycle latency: `vblendpd`, `vshufpd`,
+//!   `vunpcklpd`, …), and
+//! * **lane-crossing** operations (permutes that move data across the
+//!   128-bit boundary, ~3 cycle latency: `vpermpd`, `vperm2f128`, …).
+//!
+//! The claimed budgets (per output vector, 1D3P Jacobi, `vl = 4`):
+//!
+//! | scheme | in-lane | lane-crossing | total |
+//! |---|---|---|---|
+//! | temporal, naive (Alg. 3) | 2.5 | 1.0 | 3.5 |
+//! | temporal, dual-stride (§3.3) | 2.0 | 0.75 | 2.75 |
+//! | data-reorganization baseline | 2.0 | 1.0 | 3.0 (grows with order/dim) |
+//!
+//! This module provides a thread-local counting session that the
+//! `*_counted` kernel variants in `tempora-core` and `tempora-baseline`
+//! tick, so unit tests and the `repro ablate-reorg` harness can verify the
+//! claims empirically instead of trusting the arithmetic.
+//!
+//! Counting is off by default and never enabled on hot benchmark paths;
+//! the counted kernels are separate entry points used only for analysis.
+
+use core::cell::Cell;
+
+/// Classification of a vector data-movement operation (the paper's §3.3
+/// taxonomy plus memory-side categories used by the traffic ablation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Shuffle/blend that stays within 128-bit lanes (~1 cycle).
+    InLane,
+    /// Permute that crosses the 128-bit lane boundary (~3 cycles).
+    CrossLane,
+    /// Strided element gather (`vloadset` / `_mm256_set_pd`).
+    Gather,
+    /// Full-width contiguous vector load.
+    VecLoad,
+    /// Full-width contiguous vector store.
+    VecStore,
+    /// Scalar element insert into a vector register.
+    ScalarInsert,
+    /// Scalar element extract from a vector register.
+    ScalarExtract,
+}
+
+/// Aggregated operation counts for one counting session.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Counts {
+    /// In-lane shuffles/blends.
+    pub in_lane: u64,
+    /// Lane-crossing permutes.
+    pub cross_lane: u64,
+    /// Strided gathers.
+    pub gather: u64,
+    /// Contiguous vector loads.
+    pub vec_load: u64,
+    /// Contiguous vector stores.
+    pub vec_store: u64,
+    /// Scalar inserts.
+    pub scalar_insert: u64,
+    /// Scalar extracts.
+    pub scalar_extract: u64,
+    /// Output vectors produced (the denominator of the paper's
+    /// per-output-vector budgets). Kernels tick this via [`record_output`].
+    pub output_vectors: u64,
+}
+
+impl Counts {
+    /// Total reorganization instructions (in-lane + lane-crossing), the
+    /// quantity the paper bounds by a constant.
+    pub fn reorg_total(&self) -> u64 {
+        self.in_lane + self.cross_lane
+    }
+
+    /// In-lane operations per produced output vector.
+    pub fn in_lane_per_output(&self) -> f64 {
+        self.in_lane as f64 / self.output_vectors.max(1) as f64
+    }
+
+    /// Lane-crossing operations per produced output vector.
+    pub fn cross_lane_per_output(&self) -> f64 {
+        self.cross_lane as f64 / self.output_vectors.max(1) as f64
+    }
+
+    /// Total reorganization operations per produced output vector.
+    pub fn reorg_per_output(&self) -> f64 {
+        self.reorg_total() as f64 / self.output_vectors.max(1) as f64
+    }
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COUNTS: Cell<Counts> = const { Cell::new(Counts {
+        in_lane: 0, cross_lane: 0, gather: 0, vec_load: 0, vec_store: 0,
+        scalar_insert: 0, scalar_extract: 0, output_vectors: 0,
+    }) };
+}
+
+/// Record `n` operations of class `op` into the active session (no-op when
+/// no session is active).
+#[inline]
+pub fn record(op: Op, n: u64) {
+    ACTIVE.with(|a| {
+        if a.get() {
+            COUNTS.with(|c| {
+                let mut v = c.get();
+                match op {
+                    Op::InLane => v.in_lane += n,
+                    Op::CrossLane => v.cross_lane += n,
+                    Op::Gather => v.gather += n,
+                    Op::VecLoad => v.vec_load += n,
+                    Op::VecStore => v.vec_store += n,
+                    Op::ScalarInsert => v.scalar_insert += n,
+                    Op::ScalarExtract => v.scalar_extract += n,
+                }
+                c.set(v);
+            });
+        }
+    });
+}
+
+/// Record `n` produced output vectors into the active session.
+#[inline]
+pub fn record_output(n: u64) {
+    ACTIVE.with(|a| {
+        if a.get() {
+            COUNTS.with(|c| {
+                let mut v = c.get();
+                v.output_vectors += n;
+                c.set(v);
+            });
+        }
+    });
+}
+
+/// RAII counting session. Creating a session zeroes the thread-local
+/// counters and enables recording; [`Session::finish`] (or drop) disables
+/// recording. Sessions must not be nested.
+pub struct Session {
+    done: bool,
+}
+
+impl Session {
+    /// Start a counting session on this thread.
+    ///
+    /// # Panics
+    /// Panics if a session is already active (nesting would silently merge
+    /// unrelated measurements).
+    pub fn start() -> Self {
+        ACTIVE.with(|a| {
+            assert!(!a.get(), "count::Session must not be nested");
+            a.set(true);
+        });
+        COUNTS.with(|c| c.set(Counts::default()));
+        Session { done: false }
+    }
+
+    /// Stop recording and return the aggregated counts.
+    pub fn finish(mut self) -> Counts {
+        self.done = true;
+        ACTIVE.with(|a| a.set(false));
+        COUNTS.with(|c| c.get())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.done {
+            ACTIVE.with(|a| a.set(false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_collects_and_resets() {
+        let s = Session::start();
+        record(Op::InLane, 2);
+        record(Op::CrossLane, 1);
+        record(Op::Gather, 3);
+        record_output(4);
+        let c = s.finish();
+        assert_eq!(c.in_lane, 2);
+        assert_eq!(c.cross_lane, 1);
+        assert_eq!(c.gather, 3);
+        assert_eq!(c.output_vectors, 4);
+        assert_eq!(c.reorg_total(), 3);
+        assert_eq!(c.in_lane_per_output(), 0.5);
+
+        // A new session starts from zero.
+        let s2 = Session::start();
+        let c2 = s2.finish();
+        assert_eq!(c2, Counts::default());
+    }
+
+    #[test]
+    fn recording_outside_session_is_a_noop() {
+        record(Op::CrossLane, 100);
+        let s = Session::start();
+        let c = s.finish();
+        assert_eq!(c.cross_lane, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn nested_sessions_panic() {
+        let _a = Session::start();
+        let _b = Session::start();
+    }
+
+    #[test]
+    fn per_output_ratios_guard_div_by_zero() {
+        let c = Counts {
+            in_lane: 7,
+            ..Counts::default()
+        };
+        assert_eq!(c.in_lane_per_output(), 7.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tempora-stencil — problem definitions and scalar oracles
+//!
+//! The nine benchmarks of the paper's evaluation (Table 1), each as a
+//! coefficient/rule struct with **matched scalar and pack update
+//! functions** (identical fused operation trees → bit-for-bit comparable),
+//! a projected dependence set for the §3.2 legality analysis, plus the
+//! naive scalar reference sweeps every optimized scheme is tested against.
+//!
+//! | benchmark | module | kind |
+//! |---|---|---|
+//! | Heat-1D (1D3P) | [`heat`] | Jacobi |
+//! | Heat-2D (2D5P) | [`heat`] | Jacobi star |
+//! | Heat-3D (3D7P) | [`heat`] | Jacobi star |
+//! | 2D9P           | [`heat`] | Jacobi box |
+//! | Life (B2S23)   | [`life`] | Jacobi box, integer |
+//! | GS-1D/2D/3D    | [`gs`]   | Gauss-Seidel |
+//! | LCS            | [`lcs`]  | DP wavefront / 1-D Gauss-Seidel |
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod deps;
+pub mod gs;
+pub mod heat;
+pub mod lcs;
+pub mod life;
+pub mod reference;
+
+pub use deps::{validate_schedule, Dep, DepSet};
+pub use gs::{Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs};
+pub use heat::{Box2dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs};
+pub use lcs::{lcs_deps, lcs_update, lcs_update_pack};
+pub use life::LifeRule;

@@ -1,0 +1,586 @@
+//! Ghost-zone (overlapped) temporal band tiling for Jacobi stencils.
+//!
+//! The paper parallelizes its Jacobi benchmarks with diamond tiling on
+//! the outermost space loop (§3.4). This reproduction substitutes the
+//! closest temporal-blocking scheme that composes *unchanged* with the
+//! rectangular temporal engines: **overlapped (ghost-zone) tiling**
+//! (Meng & Skadron, the paper's reference [22]; Ding & He's ghost-cell
+//! expansion, reference [9]). Both schemes share the properties the
+//! evaluation depends on — every tile advances `VL` time levels per
+//! synchronization, all tiles of a band run concurrently, and the
+//! in-tile kernel is exactly the sequential engine — so the scalability
+//! *shape* of Figure 4(b/d/f/h/j) is preserved; the ghost scheme pays a
+//! small redundant-compute overhead (`2·height` columns per tile per band)
+//! instead of the diamond's phase alternation. The substitution is
+//! recorded in DESIGN.md.
+//!
+//! # Correctness (contamination argument)
+//!
+//! Each tile copies its block plus `height + 1` extra columns per side into a
+//! private buffer and advances the buffer `height` levels treating the buffer
+//! ends as Dirichlet cells. The values near the buffer edge are wrong
+//! (they use the fake boundary), but a radius-1 stencil propagates the
+//! error at most one column per level, so after `height` levels the
+//! invalid region is exactly the `height` outermost columns per side — strictly
+//! inside the ghost. The written-back interior is bit-identical to the
+//! sequential result.
+//!
+//! # Parallel discipline
+//!
+//! Each band is two barrier-separated phases: **copy-in** (tiles read the
+//! shared array, write only their private buffers) and **advance +
+//! write-back** (tiles write only their own disjoint blocks, read nothing
+//! shared). The pool barrier between the phases is what makes the
+//! overlapping ghost reads race-free.
+
+use tempora_core::kernels::{Kernel1d, Kernel2d, Kernel3d, Nbhd, Nbhd3};
+use tempora_core::{t1d, t2d, t3d};
+use tempora_grid::{Grid1, Grid2, Grid3};
+use tempora_parallel::{Pool, SyncSlice};
+use tempora_simd::{Pack, Scalar};
+
+/// Which in-tile kernel advances a ghost buffer by `VL` levels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Scalar in-place steps (the paper's "scalar" parallel curves).
+    Scalar,
+    /// Spatial multi-load vectorization (the paper's "auto" curves).
+    Auto,
+    /// Temporal vectorization with the given space stride (the paper's
+    /// "our" curves).
+    Temporal(usize),
+}
+
+/// Tile extents along the banded dimension: interior block `[a, b]` and
+/// ghost-extended source range `[lo, hi]` (global coordinates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileExtent {
+    /// First owned cell.
+    pub a: usize,
+    /// Last owned cell.
+    pub b: usize,
+    /// First copied cell (ghost start, may be a halo cell).
+    pub lo: usize,
+    /// Last copied cell (ghost end, may be a halo cell).
+    pub hi: usize,
+}
+
+/// Compute the extents of tile `t` for interior size `n`, block width
+/// `block` and ghost width `ghost`.
+pub fn tile_extent(t: usize, n: usize, block: usize, ghost: usize) -> TileExtent {
+    let a = t * block + 1;
+    let b = ((t + 1) * block).min(n);
+    TileExtent {
+        a,
+        b,
+        lo: a.saturating_sub(ghost),
+        hi: (b + ghost).min(n + 1),
+    }
+}
+
+/// One multi-load (spatially vectorized) Jacobi step on a 1-D buffer.
+fn auto_step_1d<K: Kernel1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
+    const N: usize = 4;
+    let mut x = 1;
+    while x + N <= n + 1 {
+        let l = Pack::<f64, N>::load(src, x - 1);
+        let m = Pack::<f64, N>::load(src, x);
+        let r = Pack::<f64, N>::load(src, x + 1);
+        kern.pack(l, m, r).store(dst, x);
+        x += N;
+    }
+    for x in x..=n {
+        dst[x] = kern.scalar(0.0, src[x - 1], src[x], src[x + 1]);
+    }
+}
+
+/// Advance a 1-D buffer (interior `1..=n`, one halo cell per side) by
+/// `vl` levels under the given mode.
+fn advance_1d<K: Kernel1d>(
+    buf: &mut [f64],
+    tmp: &mut [f64],
+    n: usize,
+    vl: usize,
+    kern: &K,
+    mode: Mode,
+) {
+    match mode {
+        Mode::Scalar => {
+            for _ in 0..vl {
+                t1d::scalar_step_inplace(buf, n, kern);
+            }
+        }
+        Mode::Auto => {
+            tmp[..n + 2].copy_from_slice(&buf[..n + 2]);
+            for step in 0..vl {
+                if step % 2 == 0 {
+                    auto_step_1d(buf, tmp, n, kern);
+                } else {
+                    auto_step_1d(tmp, buf, n, kern);
+                }
+            }
+            if vl % 2 == 1 {
+                buf[..n + 2].copy_from_slice(&tmp[..n + 2]);
+            }
+        }
+        Mode::Temporal(s) => {
+            let mut scratch = t1d::Scratch1d::<4>::new(s);
+            t1d::tile::<4, false, K>(buf, n, kern, s, &mut scratch);
+        }
+    }
+}
+
+/// Run `steps` Jacobi time steps over the grid with ghost-zone band
+/// tiling: bands of `height` time levels, blocks of `block` interior cells,
+/// tiles of one band executed in parallel on `pool`.
+///
+/// Results are bit-identical to the sequential engines and the scalar
+/// reference.
+pub fn run_jacobi_1d<K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    pool: &Pool,
+) -> Grid1<f64> {
+    const VL: usize = 4;
+    assert_eq!(grid.halo(), 1);
+    assert!(block >= 1);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    let mut g = grid.clone();
+    let n = g.n();
+    let ntiles = n.div_ceil(block);
+    let ghost = height + 1;
+    let buf_len = block + 2 * ghost + 2;
+    let mut arena = vec![0.0f64; ntiles * buf_len * 2];
+
+    let bands = steps / height;
+    for _ in 0..bands {
+        let data = g.data_mut();
+        let shared = SyncSlice::new(data);
+        let arena_shared = SyncSlice::new(&mut arena);
+        // Phase A: copy-in (shared array is read-only here).
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: tile t writes only its own arena chunk; the global
+            // array is only read during this phase.
+            let global = unsafe { shared.slice_mut() };
+            let chunk =
+                unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len] };
+            let e = tile_extent(t, n, block, ghost);
+            chunk[..e.hi - e.lo + 1].copy_from_slice(&global[e.lo..=e.hi]);
+        });
+        // Phase B: advance private buffers, write back disjoint blocks.
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: tile t writes global[a..=b] only — disjoint across
+            // tiles — and reads nothing from the shared array.
+            let global = unsafe { shared.slice_mut() };
+            let chunk =
+                unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2] };
+            let (buf, tmp) = chunk.split_at_mut(buf_len);
+            let e = tile_extent(t, n, block, ghost);
+            let nb = e.hi - e.lo - 1;
+            for _ in 0..height / VL {
+                advance_1d(buf, tmp, nb, VL, kern, mode);
+            }
+            let off = e.a - e.lo;
+            global[e.a..=e.b].copy_from_slice(&buf[off..off + (e.b - e.a + 1)]);
+        });
+    }
+    let a = g.data_mut();
+    for _ in 0..steps % height {
+        t1d::scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+/// One multi-load Jacobi step on a 2-D buffer grid (vectorized along `y`).
+fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T>, kern: &K) {
+    const N: usize = 4;
+    let (nx, ny, p) = (src.nx(), src.ny(), src.pitch());
+    let a = src.data();
+    let b = dst.data_mut();
+    let zero = Pack::<T, N>::splat(T::ZERO);
+    for x in 1..=nx {
+        let r = x * p;
+        let rows = [r - p, r, r + p];
+        let mut y = 1;
+        while y + N <= ny + 1 {
+            let at = |row: usize, d: usize| Pack::<T, N>::load(a, rows[row] + y + d - 1);
+            let v = if K::IS_BOX {
+                [
+                    [at(0, 0), at(0, 1), at(0, 2)],
+                    [at(1, 0), at(1, 1), at(1, 2)],
+                    [at(2, 0), at(2, 1), at(2, 2)],
+                ]
+            } else {
+                [
+                    [zero, at(0, 1), zero],
+                    [at(1, 0), at(1, 1), at(1, 2)],
+                    [zero, at(2, 1), zero],
+                ]
+            };
+            kern.pack(Nbhd {
+                v,
+                new_n: zero,
+                new_w: zero,
+            })
+            .store(b, r + y);
+            y += N;
+        }
+        for y in y..=ny {
+            let v = [
+                [a[rows[0] + y - 1], a[rows[0] + y], a[rows[0] + y + 1]],
+                [a[rows[1] + y - 1], a[rows[1] + y], a[rows[1] + y + 1]],
+                [a[rows[2] + y - 1], a[rows[2] + y], a[rows[2] + y + 1]],
+            ];
+            b[r + y] = kern.scalar(Nbhd {
+                v,
+                new_n: T::ZERO,
+                new_w: T::ZERO,
+            });
+        }
+    }
+}
+
+/// Run `steps` Jacobi time steps over a 2-D grid with ghost-zone band
+/// tiling along the outer dimension (`VL` = 4 for `f64` kernels, 8 for
+/// the integer Life kernel).
+pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    grid: &Grid2<T>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    pool: &Pool,
+) -> Grid2<T> {
+    assert_eq!(grid.halo(), 1);
+    assert!(block >= 1);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of VL");
+    let mut g = grid.clone();
+    let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
+    let bc = g.boundary();
+    let ntiles = nx.div_ceil(block);
+    let ghost = height + 1;
+
+    // Persistent per-tile buffer grids (sized per tile).
+    let mut bufs: Vec<Grid2<T>> = (0..ntiles)
+        .map(|t| {
+            let e = tile_extent(t, nx, block, ghost);
+            Grid2::new(e.hi - e.lo - 1, ny, 1, bc)
+        })
+        .collect();
+
+    let bands = steps / height;
+    for _ in 0..bands {
+        let data = g.data_mut();
+        let shared = SyncSlice::new(data);
+        let bufs_shared = SyncSlice::new(&mut bufs);
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
+            let global = unsafe { shared.slice_mut() };
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let e = tile_extent(t, nx, block, ghost);
+            let rows = e.hi - e.lo + 1;
+            buf.data_mut()[..rows * p].copy_from_slice(&global[e.lo * p..(e.hi + 1) * p]);
+        });
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: phase B — global writes are the disjoint row blocks
+            // [a, b]; no shared reads.
+            let global = unsafe { shared.slice_mut() };
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let e = tile_extent(t, nx, block, ghost);
+            match mode {
+                Mode::Scalar => {
+                    let w = ny + 2;
+                    let (mut ra, mut rb) = (vec![T::ZERO; w], vec![T::ZERO; w]);
+                    for _ in 0..height {
+                        t2d::scalar_step_inplace(buf, kern, &mut ra, &mut rb);
+                    }
+                }
+                Mode::Auto => {
+                    let mut tmp = buf.clone();
+                    for step in 0..height {
+                        if step % 2 == 0 {
+                            auto_step_2d(buf, &mut tmp, kern);
+                        } else {
+                            auto_step_2d(&tmp, buf, kern);
+                        }
+                    }
+                    if height % 2 == 1 {
+                        core::mem::swap(buf, &mut tmp);
+                    }
+                }
+                Mode::Temporal(s) => {
+                    let mut sc = t2d::Scratch2d::<T, VL>::new(s, ny);
+                    for _ in 0..height / VL {
+                        t2d::tile::<T, VL, K>(buf, kern, s, &mut sc);
+                    }
+                }
+            }
+            let off = e.a - e.lo;
+            let src = buf.data();
+            global[e.a * p..(e.b + 1) * p]
+                .copy_from_slice(&src[off * p..(off + e.b - e.a + 1) * p]);
+        });
+    }
+    let rem = steps % height;
+    if rem > 0 {
+        let w = ny + 2;
+        let (mut ra, mut rb) = (vec![T::ZERO; w], vec![T::ZERO; w]);
+        for _ in 0..rem {
+            t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
+        }
+    }
+    g
+}
+
+/// One multi-load Jacobi step on a 3-D buffer grid (vectorized along `z`).
+fn auto_step_3d<K: Kernel3d<f64>>(src: &Grid3<f64>, dst: &mut Grid3<f64>, kern: &K) {
+    const N: usize = 4;
+    let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
+    let (p, pl) = (src.pitch(), src.plane());
+    let a = src.data();
+    let b = dst.data_mut();
+    let zero = Pack::<f64, N>::splat(0.0);
+    for x in 1..=nx {
+        for y in 1..=ny {
+            let r = x * pl + y * p;
+            let mut z = 1;
+            while z + N <= nz + 1 {
+                let nb = Nbhd3 {
+                    xm: Pack::<f64, N>::load(a, r - pl + z),
+                    ym: Pack::<f64, N>::load(a, r - p + z),
+                    zm: Pack::<f64, N>::load(a, r + z - 1),
+                    m: Pack::<f64, N>::load(a, r + z),
+                    zp: Pack::<f64, N>::load(a, r + z + 1),
+                    yp: Pack::<f64, N>::load(a, r + p + z),
+                    xp: Pack::<f64, N>::load(a, r + pl + z),
+                    new_xm: zero,
+                    new_ym: zero,
+                    new_zm: zero,
+                };
+                kern.pack(nb).store(b, r + z);
+                z += N;
+            }
+            for z in z..=nz {
+                let nb = Nbhd3 {
+                    xm: a[r - pl + z],
+                    ym: a[r - p + z],
+                    zm: a[r + z - 1],
+                    m: a[r + z],
+                    zp: a[r + z + 1],
+                    yp: a[r + p + z],
+                    xp: a[r + pl + z],
+                    new_xm: 0.0,
+                    new_ym: 0.0,
+                    new_zm: 0.0,
+                };
+                b[r + z] = kern.scalar(nb);
+            }
+        }
+    }
+}
+
+/// Run `steps` Jacobi time steps over a 3-D grid with ghost-zone band
+/// tiling along the outer dimension.
+pub fn run_jacobi_3d<K: Kernel3d<f64>>(
+    grid: &Grid3<f64>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    pool: &Pool,
+) -> Grid3<f64> {
+    const VL: usize = 4;
+    assert_eq!(grid.halo(), 1);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    let mut g = grid.clone();
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    let pl = g.plane();
+    let bc = g.boundary();
+    let ntiles = nx.div_ceil(block);
+    let ghost = height + 1;
+
+    let mut bufs: Vec<Grid3<f64>> = (0..ntiles)
+        .map(|t| {
+            let e = tile_extent(t, nx, block, ghost);
+            Grid3::new(e.hi - e.lo - 1, ny, nz, 1, bc)
+        })
+        .collect();
+
+    let bands = steps / height;
+    for _ in 0..bands {
+        let data = g.data_mut();
+        let shared = SyncSlice::new(data);
+        let bufs_shared = SyncSlice::new(&mut bufs);
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: phase A — see run_jacobi_2d.
+            let global = unsafe { shared.slice_mut() };
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let e = tile_extent(t, nx, block, ghost);
+            let slabs = e.hi - e.lo + 1;
+            buf.data_mut()[..slabs * pl].copy_from_slice(&global[e.lo * pl..(e.hi + 1) * pl]);
+        });
+        pool.for_each_index(ntiles, |t| {
+            // SAFETY: phase B — see run_jacobi_2d.
+            let global = unsafe { shared.slice_mut() };
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let e = tile_extent(t, nx, block, ghost);
+            match mode {
+                Mode::Scalar => {
+                    let wp = (ny + 2) * (nz + 2);
+                    let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+                    for _ in 0..height {
+                        t3d::scalar_step_inplace(buf, kern, &mut pa, &mut pb);
+                    }
+                }
+                Mode::Auto => {
+                    let mut tmp = buf.clone();
+                    for step in 0..height {
+                        if step % 2 == 0 {
+                            auto_step_3d(buf, &mut tmp, kern);
+                        } else {
+                            auto_step_3d(&tmp, buf, kern);
+                        }
+                    }
+                    if height % 2 == 1 {
+                        core::mem::swap(buf, &mut tmp);
+                    }
+                }
+                Mode::Temporal(s) => {
+                    let mut sc = t3d::Scratch3d::<f64, VL>::new(s, ny, nz);
+                    for _ in 0..height / VL {
+                        t3d::tile::<f64, VL, K>(buf, kern, s, &mut sc);
+                    }
+                }
+            }
+            let off = e.a - e.lo;
+            let src = buf.data();
+            global[e.a * pl..(e.b + 1) * pl]
+                .copy_from_slice(&src[off * pl..(off + e.b - e.a + 1) * pl]);
+        });
+    }
+    let rem = steps % height;
+    if rem > 0 {
+        let wp = (ny + 2) * (nz + 2);
+        let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+        for _ in 0..rem {
+            t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::kernels::{BoxKern2d, JacobiKern1d, JacobiKern2d, JacobiKern3d, LifeKern2d};
+    use tempora_grid::{
+        fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, Boundary,
+    };
+    use tempora_stencil::reference;
+    use tempora_stencil::{Box2dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs, LifeRule};
+
+    #[test]
+    fn extents_partition_domain() {
+        for &(n, block) in &[(100usize, 17usize), (64, 64), (10, 3)] {
+            let ntiles = n.div_ceil(block);
+            let mut covered = 0;
+            for t in 0..ntiles {
+                let e = tile_extent(t, n, block, 5);
+                assert_eq!(e.a, covered + 1);
+                covered = e.b;
+                assert!(e.lo <= e.a && e.hi >= e.b && e.hi <= n + 1);
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn ghost_1d_all_modes_match_reference() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for &(n, block, steps) in &[(200usize, 64usize, 8usize), (333, 50, 13), (64, 100, 4)] {
+                let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.5));
+                fill_random_1d(&mut g, n as u64, -1.0, 1.0);
+                let gold = reference::heat1d(&g, c, steps);
+                for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
+                    let ours = run_jacobi_1d(&g, &kern, steps, block, 4, mode, &pool);
+                    assert!(
+                        ours.interior_eq(&gold),
+                        "threads={threads} n={n} block={block} steps={steps} mode={mode:?} {:?}",
+                        ours.first_diff(&gold)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_2d_star_and_box_match_reference() {
+        let pool = Pool::new(2);
+        let c = Heat2dCoeffs::classic(0.12);
+        let kern = JacobiKern2d(c);
+        let mut g = Grid2::new(60, 13, 1, Boundary::Dirichlet(0.1));
+        fill_random_2d(&mut g, 9, -1.0, 1.0);
+        let gold = reference::heat2d(&g, c, 8);
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+            let ours = run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, mode, &pool);
+            assert!(
+                ours.interior_eq(&gold),
+                "mode={mode:?} {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+
+        let cb = Box2dCoeffs::smooth(0.08);
+        let kb = BoxKern2d(cb);
+        let goldb = reference::box2d(&g, cb, 8);
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+            let ours = run_jacobi_2d::<f64, 4, _>(&g, &kb, 8, 16, 4, mode, &pool);
+            assert!(ours.interior_eq(&goldb), "box mode={mode:?}");
+        }
+    }
+
+    #[test]
+    fn ghost_2d_life_vl8_matches_reference() {
+        let pool = Pool::new(2);
+        let rule = LifeRule::b2s23();
+        let kern = LifeKern2d(rule);
+        let mut g = Grid2::<i32>::new(70, 20, 1, Boundary::Dirichlet(0));
+        fill_random_life(&mut g, 4, 0.4);
+        let gold = reference::life(&g, rule, 16);
+        for mode in [Mode::Scalar, Mode::Temporal(2)] {
+            let ours = run_jacobi_2d::<i32, 8, _>(&g, &kern, 16, 24, 8, mode, &pool);
+            assert!(
+                ours.interior_eq(&gold),
+                "life mode={mode:?} {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+
+    #[test]
+    fn ghost_3d_matches_reference() {
+        let pool = Pool::new(2);
+        let c = Heat3dCoeffs::classic(0.1);
+        let kern = JacobiKern3d(c);
+        let mut g = Grid3::new(40, 6, 7, 1, Boundary::Dirichlet(-0.2));
+        fill_random_3d(&mut g, 11, -1.0, 1.0);
+        let gold = reference::heat3d(&g, c, 9); // 2 bands + 1 remainder
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+            let ours = run_jacobi_3d(&g, &kern, 9, 12, 4, mode, &pool);
+            assert!(
+                ours.interior_eq(&gold),
+                "mode={mode:?} {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Rectangle tiling for the LCS dynamic program (paper §3.4: "LCS allows
+//! the rectangle tiling in the iteration space"), with pipelined
+//! wavefront parallelism.
+//!
+//! The DP table is cut into `xblock × yblock` rectangles. Tile `(I, J)`
+//! needs tile `(I-1, J)` (the row segment at its top edge, carried by the
+//! shared rolling row) and tile `(I, J-1)` (its west column, carried by a
+//! per-`J` column buffer — the paper's `lcsA`/`lcsB` wavefront arrays).
+//! [`tempora_parallel::Pool::waves`] with waves `w = 2I + J` satisfies
+//! both dependences, and same-wave tiles touch disjoint row segments and
+//! distinct column buffers.
+
+use tempora_core::lcs::{scalar_row_step_seg, tile_seg, ScratchLcs};
+use tempora_parallel::{Pool, SyncSlice};
+
+const VL: usize = 8;
+
+/// Per-tile working state: the temporal scratch reused across the tile's
+/// sub-bands.
+struct TileRun<'a> {
+    a: &'a [u8],
+    b: &'a [u8],
+    s: usize,
+    temporal: bool,
+}
+
+impl TileRun<'_> {
+    /// Advance the row segment `[y0, y1]` from level `x0` to `x1`
+    /// (exclusive upper), reading `left[h] = lcs[x0+h][y0-1]` and filling
+    /// `right[h] = lcs[x0+h][y1]` for `h ∈ 0..=x1-x0`.
+    fn run(&self, row: &mut [i32], x0: usize, x1: usize, y0: usize, y1: usize, left: &[i32], right: &mut [i32]) {
+        let height = x1 - x0;
+        right[0] = row[y1];
+        if self.temporal {
+            let mut sc = ScratchLcs::<VL>::new(self.s);
+            let bands = height / VL;
+            for t in 0..bands {
+                let base = t * VL;
+                tile_seg::<VL>(
+                    row,
+                    y0,
+                    y1,
+                    &self.a[x0 + base..x0 + base + VL],
+                    self.b,
+                    self.s,
+                    &left[base..base + VL + 1],
+                    &mut right[base..base + VL + 1],
+                    &mut sc,
+                );
+            }
+            for h in bands * VL..height {
+                scalar_row_step_seg(row, self.a[x0 + h], self.b, y0, y1, left[h + 1], left[h]);
+                right[h + 1] = row[y1];
+            }
+        } else {
+            for h in 0..height {
+                scalar_row_step_seg(row, self.a[x0 + h], self.b, y0, y1, left[h + 1], left[h]);
+                right[h + 1] = row[y1];
+            }
+        }
+    }
+}
+
+/// Compute the LCS length of `a` and `b` with rectangle tiling
+/// (`xblock × yblock`) executed as a pipelined wavefront on `pool`.
+///
+/// `temporal` selects the temporally vectorized in-tile kernel ("our")
+/// versus the scalar rows ("scalar"); both are exact.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lcs(
+    a: &[u8],
+    b: &[u8],
+    xblock: usize,
+    yblock: usize,
+    s: usize,
+    temporal: bool,
+    pool: &Pool,
+) -> i32 {
+    assert!(s >= 1 && xblock >= 1 && yblock >= 1);
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 || lb == 0 {
+        return 0;
+    }
+    let n_i = la.div_ceil(xblock);
+    let n_j = lb.div_ceil(yblock);
+
+    let mut row = vec![0i32; lb + 1];
+    // Column buffers: cols[j][h] = lcs[x0+h][y_j1] for the current tile
+    // row I; cols[0] is the (all-zero) table west edge, reallocated per I
+    // because x0 changes (column 0 of the table is always zero).
+    let mut cols: Vec<Vec<i32>> = (0..n_j + 1).map(|_| vec![0i32; xblock + 1]).collect();
+
+    let run = TileRun { a, b, s, temporal };
+    {
+        let row_shared = SyncSlice::new(&mut row);
+        let cols_shared = SyncSlice::new(&mut cols);
+        pool.waves(n_i, n_j, |i, j| {
+            // SAFETY: tile (i, j) writes row[y0..=y1] (disjoint segments
+            // across same-wave tiles, which differ in j by ≥ 2) and
+            // cols[j+1]; it reads cols[j], written by (i, j-1) on an
+            // earlier wave. The zero column cols[0] is never written.
+            let row = unsafe { row_shared.slice_mut() };
+            let cols = unsafe { cols_shared.slice_mut() };
+            let x0 = i * xblock;
+            let x1 = ((i + 1) * xblock).min(la);
+            let y0 = j * yblock + 1;
+            let y1 = ((j + 1) * yblock).min(lb);
+            // Split the aliasing manually: left = cols[j], right = cols[j+1].
+            let (head, tail) = cols.split_at_mut(j + 1);
+            let left = &head[j];
+            let right = &mut tail[0];
+            run.run(row, x0, x1, y0, y1, left, right);
+        });
+    }
+    row[lb]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_grid::random_sequence;
+    use tempora_stencil::reference;
+
+    #[test]
+    fn tiled_lcs_matches_reference() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for &(la, lb) in &[(40usize, 120usize), (64, 64), (100, 333), (31, 57)] {
+                let a = random_sequence(la, 4, la as u64);
+                let b = random_sequence(lb, 4, lb as u64 + 7);
+                let gold = reference::lcs_len(&a, &b);
+                for &(xb, yb) in &[(16usize, 32usize), (24, 40), (64, 128)] {
+                    for temporal in [false, true] {
+                        let got = run_lcs(&a, &b, xb, yb, 1, temporal, &pool);
+                        assert_eq!(
+                            got, gold,
+                            "threads={threads} la={la} lb={lb} xb={xb} yb={yb} temporal={temporal}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stride_two_and_binary_alphabet() {
+        let pool = Pool::new(2);
+        let a = random_sequence(77, 2, 1);
+        let b = random_sequence(201, 2, 2);
+        let gold = reference::lcs_len(&a, &b);
+        for s in 1..=2 {
+            assert_eq!(run_lcs(&a, &b, 32, 64, s, true, &pool), gold, "s={s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let pool = Pool::new(2);
+        assert_eq!(run_lcs(b"", b"ABC", 8, 8, 1, true, &pool), 0);
+        assert_eq!(run_lcs(b"ABC", b"", 8, 8, 1, true, &pool), 0);
+        assert_eq!(run_lcs(b"A", b"A", 8, 8, 1, true, &pool), 1);
+        assert_eq!(run_lcs(b"GATTACA", b"TACCAGA", 2, 3, 1, false, &pool), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tempora-tiling — time-tiled, parallel execution of the engines
+//!
+//! The blocking layer of the *tempora* workspace (paper §3.4), combining
+//! the temporal-vectorization engines of `tempora-core` with time-space
+//! tiling and the `tempora-parallel` executor:
+//!
+//! * [`ghost`] — overlapped (ghost-zone) band tiling for the five Jacobi
+//!   benchmarks: embarrassingly parallel tiles per `VL`-level band, with
+//!   scalar / multi-load ("auto") / temporal in-tile kernels. This is the
+//!   documented substitution for the paper's diamond tiling (see
+//!   DESIGN.md §2).
+//! * [`skew`] — parallelogram (time-skewed) tiling with pipelined
+//!   wavefronts for the three Gauss-Seidel benchmarks, exactly the
+//!   paper's scheme; in-place staircase arrays, no halo exchange.
+//! * [`lcs_rect`] — rectangle tiling with pipelined wavefronts for LCS,
+//!   the paper's `lcsA`/`lcsB` wavefront-array scheme.
+//!
+//! Every parallel path is bit-identical to the sequential engines and the
+//! scalar references, for every thread count — verified by the test
+//! suites of each module and the cross-crate integration tests.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ghost;
+pub mod lcs_rect;
+pub mod skew;
+
+pub use ghost::Mode;

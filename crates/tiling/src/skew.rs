@@ -1,0 +1,275 @@
+//! Parallelogram (time-skewed) tiling for Gauss-Seidel stencils, with
+//! pipelined wavefront parallelism (paper §3.4: "we utilize parallelogram
+//! tiling for all space dimensions" — here applied along the outermost
+//! dimension, the one the temporal scheme vectorizes).
+//!
+//! The iteration space is cut into bands of `height` time levels × skewed
+//! blocks of `block` anchor columns; block `(band, i)` is the
+//! parallelogram executed by the banded engines in `tempora-core`
+//! (`t1d_band`/`t2d_band`/`t3d_band`), executed as `height/VL` successive
+//! `VL`-level sub-bands whose anchors shift left by `VL` each (one
+//! parallelogram of the paper's Table-1 time-block depth). Dependences
+//! are `(b, i-1)`, `(b-1, i)` and `(b-1, i+1)`, so
+//! [`tempora_parallel::Pool::waves`] (waves `w = 2b + i`) is a legal
+//! schedule; same-wave tasks are at block distance ≥ 2 and their
+//! read/write sets are disjoint whenever `block ≥ height + VL·s + VL`
+//! (asserted), because a tile touches at most
+//! `[xl - height - VL·s, xr + 1]` and same-wave neighbours sit two
+//! blocks away.
+
+use tempora_core::kernels::{Kernel1d, Kernel2d, Kernel3d};
+use tempora_core::{t1d, t1d_band, t2d, t2d_band, t3d, t3d_band};
+use tempora_grid::{Grid1, Grid2, Grid3};
+use tempora_parallel::{Pool, SyncSlice};
+
+const VL: usize = 4;
+
+/// Number of skewed blocks for interior size `n`, anchor width `block`
+/// and band height `height` (anchors must reach `n + height - 1` so the
+/// deepest level's window still covers `x = n`).
+fn block_count(n: usize, block: usize, height: usize) -> usize {
+    (n + height - 1).div_ceil(block)
+}
+
+/// Anchor bounds (level-1 window) of skewed block `i`.
+fn block_bounds(i: usize, n: usize, block: usize, height: usize) -> (usize, usize) {
+    let span = n + height - 1;
+    (i * block + 1, ((i + 1) * block).min(span))
+}
+
+/// Run `steps` Gauss-Seidel time steps over a 1-D grid with pipelined
+/// skewed tiling. `temporal` selects the vectorized band executor ("our")
+/// versus the scalar one ("scalar"); both are bit-identical to the
+/// reference.
+pub fn run_gs_1d<K: Kernel1d>(
+    grid: &Grid1<f64>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    temporal: bool,
+    pool: &Pool,
+) -> Grid1<f64> {
+    assert!(K::IS_GS);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        block >= height + VL * s + VL,
+        "block too narrow for wave disjointness"
+    );
+    let mut g = grid.clone();
+    let n = g.n();
+    let bands = steps / height;
+    let nblocks = block_count(n, block, height);
+    {
+        let data = g.data_mut();
+        let shared = SyncSlice::new(data);
+        pool.waves(bands, nblocks, |_b, i| {
+            // SAFETY: wave scheduling keeps concurrent tiles ≥ 2 blocks
+            // apart; a tile touches [xl - height - VL·s, xr + 1] ⊂ its
+            // block ± one block for block ≥ height + VL·s + VL (asserted).
+            let a = unsafe { shared.slice_mut() };
+            let (xl, xr) = block_bounds(i, n, block, height);
+            for j in 0..height / VL {
+                let off = j * VL;
+                if xr <= off {
+                    break;
+                }
+                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                if temporal {
+                    t1d_band::band_temporal_gs::<VL, K>(a, xlj, xrj, n, s, kern);
+                } else {
+                    t1d_band::band_scalar_gs(a, xlj, xrj, VL, n, kern);
+                }
+            }
+        });
+    }
+    let a = g.data_mut();
+    for _ in 0..steps % height {
+        t1d::scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
+/// Run `steps` Gauss-Seidel time steps over a 2-D grid with pipelined
+/// skewed tiling along the outer dimension.
+pub fn run_gs_2d<K: Kernel2d<f64>>(
+    grid: &Grid2<f64>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    temporal: bool,
+    pool: &Pool,
+) -> Grid2<f64> {
+    assert!(K::IS_GS);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        block >= height + VL * s + VL,
+        "block too narrow for wave disjointness"
+    );
+    let mut g = grid.clone();
+    let (nx, ny) = (g.nx(), g.ny());
+    let bands = steps / height;
+    let nblocks = block_count(nx, block, height);
+    {
+        let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
+        pool.waves(bands, nblocks, |_b, i| {
+            // SAFETY: same wave-distance argument as run_gs_1d, with rows
+            // as the banded unit.
+            let g = &mut unsafe { shared_grid.slice_mut() }[0];
+            let (xl, xr) = block_bounds(i, nx, block, height);
+            let mut sc = t2d_band::BandScratch2d::<VL>::new(s, ny);
+            for j in 0..height / VL {
+                let off = j * VL;
+                if xr <= off {
+                    break;
+                }
+                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                if temporal {
+                    t2d_band::band_temporal_gs2d::<VL, K>(g, xlj, xrj, s, kern, &mut sc);
+                } else {
+                    t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern);
+                }
+            }
+        });
+    }
+    let rem = steps % height;
+    if rem > 0 {
+        let w = ny + 2;
+        let (mut ra, mut rb) = (vec![0.0; w], vec![0.0; w]);
+        for _ in 0..rem {
+            t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
+        }
+    }
+    g
+}
+
+/// Run `steps` Gauss-Seidel time steps over a 3-D grid with pipelined
+/// skewed tiling along the outer dimension.
+pub fn run_gs_3d<K: Kernel3d<f64>>(
+    grid: &Grid3<f64>,
+    kern: &K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    temporal: bool,
+    pool: &Pool,
+) -> Grid3<f64> {
+    assert!(K::IS_GS);
+    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        block >= height + VL * s + VL,
+        "block too narrow for wave disjointness"
+    );
+    let mut g = grid.clone();
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    let bands = steps / height;
+    let nblocks = block_count(nx, block, height);
+    {
+        let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
+        pool.waves(bands, nblocks, |_b, i| {
+            // SAFETY: same wave-distance argument, slabs as the unit.
+            let g = &mut unsafe { shared_grid.slice_mut() }[0];
+            let (xl, xr) = block_bounds(i, nx, block, height);
+            let mut sc = t3d_band::BandScratch3d::<VL>::new(s, ny, nz);
+            for j in 0..height / VL {
+                let off = j * VL;
+                if xr <= off {
+                    break;
+                }
+                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                if temporal {
+                    t3d_band::band_temporal_gs3d::<VL, K>(g, xlj, xrj, s, kern, &mut sc);
+                } else {
+                    t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern);
+                }
+            }
+        });
+    }
+    let rem = steps % height;
+    if rem > 0 {
+        let wp = (ny + 2) * (nz + 2);
+        let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+        for _ in 0..rem {
+            t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_core::kernels::{GsKern1d, GsKern2d, GsKern3d};
+    use tempora_grid::{fill_random_1d, fill_random_2d, fill_random_3d, Boundary};
+    use tempora_stencil::reference;
+    use tempora_stencil::{Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs};
+
+    #[test]
+    fn gs1d_parallel_matches_reference_all_thread_counts() {
+        let c = Gs1dCoeffs::classic(0.27);
+        let kern = GsKern1d(c);
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            for &(n, block, s, steps) in &[
+                (500usize, 64usize, 2usize, 8usize),
+                (1000, 128, 7, 12),
+                (300, 120, 3, 13),
+            ] {
+                let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.6));
+                fill_random_1d(&mut g, n as u64 + threads as u64, -1.0, 1.0);
+                let gold = reference::gs1d(&g, c, steps);
+                for temporal in [false, true] {
+                    let ours = run_gs_1d(&g, &kern, steps, block, 4, s, temporal, &pool);
+                    assert!(
+                        ours.interior_eq(&gold),
+                        "threads={threads} n={n} block={block} s={s} steps={steps} \
+                         temporal={temporal} {:?}",
+                        ours.first_diff(&gold)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gs2d_parallel_matches_reference() {
+        let c = Gs2dCoeffs::classic(0.19);
+        let kern = GsKern2d(c);
+        for threads in [1usize, 2] {
+            let pool = Pool::new(threads);
+            let mut g = Grid2::new(120, 9, 1, Boundary::Dirichlet(-0.3));
+            fill_random_2d(&mut g, 21, -1.0, 1.0);
+            let gold = reference::gs2d(&g, c, 8);
+            for temporal in [false, true] {
+                let ours = run_gs_2d(&g, &kern, 8, 48, 8, 2, temporal, &pool);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "threads={threads} temporal={temporal} {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gs3d_parallel_matches_reference() {
+        let c = Gs3dCoeffs::classic(0.11);
+        let kern = GsKern3d(c);
+        let pool = Pool::new(2);
+        let mut g = Grid3::new(80, 5, 6, 1, Boundary::Dirichlet(0.2));
+        fill_random_3d(&mut g, 13, -1.0, 1.0);
+        let gold = reference::gs3d(&g, c, 9); // 2 bands + remainder
+        for temporal in [false, true] {
+            let ours = run_gs_3d(&g, &kern, 9, 24, 4, 2, temporal, &pool);
+            assert!(
+                ours.interior_eq(&gold),
+                "temporal={temporal} {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+}

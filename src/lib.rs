@@ -1,0 +1,70 @@
+//! # tempora — Temporal Vectorization for Stencils
+//!
+//! A from-scratch Rust reproduction of **"Temporal Vectorization for
+//! Stencils"** (Liang Yuan, Hang Cao, Yunquan Zhang, Kun Li, Pengqi Lu,
+//! Yue Yue — SC'21, arXiv:2010.04868).
+//!
+//! Classic stencil vectorization packs *spatially* adjacent points of one
+//! time level into a SIMD register and pays for it with the *data alignment
+//! conflict*: overlapping loads or shuffle trees. The paper's temporal
+//! scheme instead packs points of **different time levels** into one
+//! register — lane `i` holds `a[t+i][x + (vl-1-i)·s]` — so a single stencil
+//! application advances `vl` time levels at once and the per-vector
+//! reorganization cost collapses to a small constant (one rotate + one
+//! blend), independent of vector length, stencil order and dimensionality.
+//! Uniquely, the scheme also vectorizes **Gauss-Seidel** stencils and
+//! dynamic-programming wavefronts (LCS).
+//!
+//! This façade crate re-exports the workspace layers:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`simd`] | portable packs, `std::arch` AVX2 paths, reorg-op counting |
+//! | [`grid`] | aligned 1/2/3-D grids, ghost cells, double buffering |
+//! | [`stencil`] | problem definitions, dependence analysis, scalar oracles |
+//! | [`baseline`] | spatial schemes: multi-load, data-reorganization, DLT |
+//! | [`core`] | **the paper's contribution**: temporal vectorization engines |
+//! | [`tiling`] | diamond / parallelogram / hybrid / rectangle tiling |
+//! | [`parallel`] | crossbeam worker pool + wavefront executor |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tempora::prelude::*;
+//!
+//! // A 1-D heat equation on 1000 points, 64 time steps.
+//! let coeffs = Heat1dCoeffs::classic(0.25);
+//! let mut grid = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
+//! grid.fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+//!
+//! // Temporal vectorization (the paper's scheme, space stride s = 7).
+//! let ours = temporal1d_jacobi(&grid, coeffs, 64, 7);
+//!
+//! // Scalar reference.
+//! let gold = reference::heat1d(&grid, coeffs, 64);
+//! assert!(ours.interior_eq(&gold));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use tempora_baseline as baseline;
+pub use tempora_core as core;
+pub use tempora_grid as grid;
+pub use tempora_parallel as parallel;
+pub use tempora_simd as simd;
+pub use tempora_stencil as stencil;
+pub use tempora_tiling as tiling;
+
+/// Convenience re-exports covering the common workflow: build a grid,
+/// pick a stencil, run a scheme, compare against the oracle.
+pub mod prelude {
+    pub use tempora_core::{temporal1d_gs, temporal1d_jacobi};
+    pub use tempora_grid::{Boundary, DoubleBuffer, Grid1, Grid2, Grid3};
+    pub use tempora_simd::{F64x4, I32x8, Pack, Scalar};
+    pub use tempora_stencil::reference;
+    pub use tempora_stencil::{
+        Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs,
+        Box2dCoeffs, LifeRule,
+    };
+}

@@ -1,0 +1,185 @@
+//! Cross-crate equivalence: every optimized execution path — spatial
+//! baselines, temporal engines, tiled + parallel schedules — must
+//! reproduce the scalar references exactly (bit-for-bit for floats, since
+//! all kernels share the same fused operation trees; exact for integers).
+
+use tempora::baseline::{dlt, multiload, reorg};
+use tempora::core::kernels::*;
+use tempora::core::{lcs, t1d, t2d, t3d};
+use tempora::grid::*;
+use tempora::parallel::Pool;
+use tempora::stencil::*;
+use tempora::tiling::{ghost, lcs_rect, skew, Mode};
+
+fn g1(n: usize, seed: u64, b: f64) -> Grid1<f64> {
+    let mut g = Grid1::new(n, 1, Boundary::Dirichlet(b));
+    fill_random_1d(&mut g, seed, -1.0, 1.0);
+    g
+}
+
+fn g2(nx: usize, ny: usize, seed: u64, b: f64) -> Grid2<f64> {
+    let mut g = Grid2::new(nx, ny, 1, Boundary::Dirichlet(b));
+    fill_random_2d(&mut g, seed, -1.0, 1.0);
+    g
+}
+
+fn g3(n: usize, seed: u64) -> Grid3<f64> {
+    let mut g = Grid3::new(n, n, n, 1, Boundary::Dirichlet(0.1));
+    fill_random_3d(&mut g, seed, -1.0, 1.0);
+    g
+}
+
+#[test]
+fn heat1d_all_schemes_agree() {
+    let c = Heat1dCoeffs::classic(0.24);
+    let kern = JacobiKern1d(c);
+    let g = g1(1000, 1, 0.5);
+    let steps = 24;
+    let gold = reference::heat1d(&g, c, steps);
+    assert!(t1d::run::<4, _>(&g, &kern, steps, 7).interior_eq(&gold), "temporal");
+    assert!(t1d::run::<8, _>(&g, &kern, steps, 2).interior_eq(&gold), "temporal vl=8");
+    assert!(multiload::heat1d(&g, c, steps).interior_eq(&gold), "multiload");
+    assert!(reorg::heat1d(&g, c, steps).interior_eq(&gold), "reorg");
+    assert!(dlt::heat1d(&g, c, steps).interior_eq(&gold), "dlt");
+    let pool = Pool::new(2);
+    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
+        assert!(
+            ghost::run_jacobi_1d(&g, &kern, steps, 128, 8, mode, &pool).interior_eq(&gold),
+            "ghost {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn heat2d_and_box2d_all_schemes_agree() {
+    let pool = Pool::new(2);
+    let steps = 12;
+    let g = g2(96, 33, 2, -0.25);
+
+    let c = Heat2dCoeffs::classic(0.11);
+    let kern = JacobiKern2d(c);
+    let gold = reference::heat2d(&g, c, steps);
+    assert!(t2d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
+    assert!(multiload::heat2d(&g, c, steps).interior_eq(&gold));
+    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+        assert!(ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, steps, 24, 8, mode, &pool)
+            .interior_eq(&gold));
+    }
+
+    let cb = Box2dCoeffs::smooth(0.07);
+    let kb = BoxKern2d(cb);
+    let goldb = reference::box2d(&g, cb, steps);
+    assert!(t2d::run::<f64, 4, _>(&g, &kb, steps, 2).interior_eq(&goldb));
+    assert!(multiload::box2d(&g, cb, steps).interior_eq(&goldb));
+}
+
+#[test]
+fn life_all_schemes_agree() {
+    let pool = Pool::new(2);
+    let rule = LifeRule::b2s23();
+    let kern = LifeKern2d(rule);
+    let mut g = Grid2::<i32>::new(80, 40, 1, Boundary::Dirichlet(0));
+    fill_random_life(&mut g, 5, 0.37);
+    let steps = 16;
+    let gold = reference::life(&g, rule, steps);
+    assert!(t2d::run::<i32, 8, _>(&g, &kern, steps, 2).interior_eq(&gold));
+    assert!(multiload::life(&g, rule, steps).interior_eq(&gold));
+    for mode in [Mode::Scalar, Mode::Temporal(2)] {
+        assert!(ghost::run_jacobi_2d::<i32, 8, _>(&g, &kern, steps, 24, 8, mode, &pool)
+            .interior_eq(&gold));
+    }
+}
+
+#[test]
+fn heat3d_all_schemes_agree() {
+    let pool = Pool::new(2);
+    let c = Heat3dCoeffs::classic(0.09);
+    let kern = JacobiKern3d(c);
+    let g = g3(24, 7);
+    let steps = 8;
+    let gold = reference::heat3d(&g, c, steps);
+    assert!(t3d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
+    assert!(multiload::heat3d(&g, c, steps).interior_eq(&gold));
+    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+        assert!(ghost::run_jacobi_3d(&g, &kern, steps, 10, 4, mode, &pool).interior_eq(&gold));
+    }
+}
+
+#[test]
+fn gauss_seidel_all_schemes_agree() {
+    let pool = Pool::new(2);
+    let steps = 12;
+
+    let c1 = Gs1dCoeffs::classic(0.23);
+    let k1 = GsKern1d(c1);
+    let g = g1(2000, 3, 0.4);
+    let gold1 = reference::gs1d(&g, c1, steps);
+    assert!(t1d::run::<4, _>(&g, &k1, steps, 7).interior_eq(&gold1));
+    for temporal in [false, true] {
+        assert!(skew::run_gs_1d(&g, &k1, steps, 256, 8, 7, temporal, &pool).interior_eq(&gold1));
+    }
+
+    let c2 = Gs2dCoeffs::classic(0.17);
+    let k2 = GsKern2d(c2);
+    let h = g2(100, 21, 4, -0.1);
+    let gold2 = reference::gs2d(&h, c2, steps);
+    assert!(t2d::run::<f64, 4, _>(&h, &k2, steps, 2).interior_eq(&gold2));
+    for temporal in [false, true] {
+        assert!(skew::run_gs_2d(&h, &k2, steps, 32, 8, 2, temporal, &pool).interior_eq(&gold2));
+    }
+
+    let c3 = Gs3dCoeffs::classic(0.12);
+    let k3 = GsKern3d(c3);
+    let v = g3(32, 9);
+    let gold3 = reference::gs3d(&v, c3, 8);
+    assert!(t3d::run::<f64, 4, _>(&v, &k3, 8, 2).interior_eq(&gold3));
+    for temporal in [false, true] {
+        assert!(skew::run_gs_3d(&v, &k3, 8, 20, 4, 2, temporal, &pool).interior_eq(&gold3));
+    }
+}
+
+#[test]
+fn lcs_all_schemes_agree() {
+    let a = random_sequence(300, 4, 11);
+    let b = random_sequence(777, 4, 12);
+    let gold = reference::lcs_len(&a, &b);
+    assert_eq!(lcs::length(&a, &b, 1), gold);
+    assert_eq!(lcs::length(&a, &b, 2), gold);
+    for threads in [1, 2, 4] {
+        let pool = Pool::new(threads);
+        for temporal in [false, true] {
+            assert_eq!(lcs_rect::run_lcs(&a, &b, 64, 128, 1, temporal, &pool), gold);
+        }
+    }
+}
+
+#[test]
+fn parallel_results_are_deterministic_across_thread_counts() {
+    let c = Heat1dCoeffs::classic(0.25);
+    let kern = JacobiKern1d(c);
+    let g = g1(4096, 21, 0.0);
+    let r1 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(1));
+    let r2 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(2));
+    let r4 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(4));
+    assert!(r1.interior_eq(&r2) && r2.interior_eq(&r4));
+
+    let cg = Gs1dCoeffs::classic(0.2);
+    let kg = GsKern1d(cg);
+    let s1 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(1));
+    let s4 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(4));
+    assert!(s1.interior_eq(&s4));
+}
+
+#[test]
+fn canaries_survive_every_engine() {
+    // No engine may write into the alignment padding.
+    let c = Heat2dCoeffs::classic(0.125);
+    let kern = JacobiKern2d(c);
+    let g = g2(40, 37, 8, 0.0); // ny chosen so padding exists (37+2=39 -> pitch 40)
+    let r = t2d::run::<f64, 4, _>(&g, &kern, 8, 2);
+    r.check_canaries().unwrap();
+    let rm = multiload::heat2d(&g, c, 8);
+    rm.check_canaries().unwrap();
+    let rp = ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, Mode::Temporal(2), &Pool::new(2));
+    rp.check_canaries().unwrap();
+}
