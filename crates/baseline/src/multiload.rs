@@ -76,8 +76,13 @@ pub fn heat2d(g: &Grid2<f64>, c: Heat2dCoeffs, steps: usize) -> Grid2<f64> {
                 y += N;
             }
             for y in y..=ny {
-                b[r + y] =
-                    c.apply(a[r - p + y], a[r + y - 1], a[r + y], a[r + y + 1], a[r + p + y]);
+                b[r + y] = c.apply(
+                    a[r - p + y],
+                    a[r + y - 1],
+                    a[r + y],
+                    a[r + y + 1],
+                    a[r + p + y],
+                );
             }
         }
         core::mem::swap(&mut cur, &mut next);
@@ -205,7 +210,9 @@ pub fn life(g: &Grid2<i32>, rule: LifeRule, steps: usize) -> Grid2<i32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tempora_grid::{fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, Boundary};
+    use tempora_grid::{
+        fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, Boundary,
+    };
     use tempora_stencil::reference;
 
     #[test]

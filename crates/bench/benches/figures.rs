@@ -15,7 +15,9 @@ use tempora_tiling::{ghost, lcs_rect, skew, Mode};
 
 fn sequential_figures(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("figures_seq");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
 
     {
         let c = Heat1dCoeffs::classic(0.25);
@@ -101,7 +103,9 @@ fn sequential_figures(crit: &mut Criterion) {
 
 fn parallel_figures(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("figures_par");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     let pool = Pool::max();
 
     {
@@ -148,7 +152,9 @@ fn parallel_figures(crit: &mut Criterion) {
         let mut g = Grid1::new(1 << 18, 1, Boundary::Dirichlet(0.0));
         fill_random_1d(&mut g, 1, -1.0, 1.0);
         group.bench_function("fig5b_gs1d_par_our", |b| {
-            b.iter(|| std::hint::black_box(skew::run_gs_1d(&g, &kern, 32, 1 << 13, 16, 7, true, &pool)))
+            b.iter(|| {
+                std::hint::black_box(skew::run_gs_1d(&g, &kern, 32, 1 << 13, 16, 7, true, &pool))
+            })
         });
     }
     {

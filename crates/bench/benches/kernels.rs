@@ -20,7 +20,9 @@ fn heat1d_schemes(crit: &mut Criterion) {
     fill_random_1d(&mut g, 1, -1.0, 1.0);
 
     let mut group = crit.benchmark_group("heat1d_64k_x32");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal_s7", |b| {
         b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7)))
     });
@@ -51,7 +53,9 @@ fn heat2d_schemes(crit: &mut Criterion) {
     fill_random_2d(&mut g, 1, -1.0, 1.0);
 
     let mut group = crit.benchmark_group("heat2d_256_x8");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal", |b| {
         b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2)))
     });
@@ -73,7 +77,9 @@ fn heat3d_schemes(crit: &mut Criterion) {
     fill_random_3d(&mut g, 1, -1.0, 1.0);
 
     let mut group = crit.benchmark_group("heat3d_48_x8");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal", |b| {
         b.iter(|| std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, steps, 2)))
     });
@@ -95,7 +101,9 @@ fn life_schemes(crit: &mut Criterion) {
     fill_random_life(&mut g, 1, 0.35);
 
     let mut group = crit.benchmark_group("life_256_x16");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal_vl8", |b| {
         b.iter(|| std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, steps, 2)))
     });
@@ -117,7 +125,9 @@ fn gs_schemes(crit: &mut Criterion) {
     fill_random_1d(&mut g, 1, -1.0, 1.0);
 
     let mut group = crit.benchmark_group("gs1d_64k_x16");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal_s7", |b| {
         b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7)))
     });
@@ -133,7 +143,9 @@ fn lcs_schemes(crit: &mut Criterion) {
     let b_seq = random_sequence(n, 4, 2);
 
     let mut group = crit.benchmark_group("lcs_2k");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
     group.bench_function("temporal_i32x8", |b| {
         b.iter(|| std::hint::black_box(lcs::length(&a, &b_seq, 1)))
     });

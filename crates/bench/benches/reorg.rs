@@ -10,7 +10,9 @@ use tempora_simd::{F64x4, Pack};
 
 fn lane_ops(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("lane_ops");
-    group.sample_size(20).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(500));
 
     let v = Pack([1.0, 2.0, 3.0, 4.0]);
     group.bench_function("portable_rotate_up", |b| {
@@ -61,7 +63,9 @@ fn lane_ops(crit: &mut Criterion) {
 
 fn transpose_ops(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("transpose4x4");
-    group.sample_size(20).measurement_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(500));
 
     let rows: [F64x4; 4] = core::array::from_fn(|i| F64x4::from_fn(|j| (i * 4 + j) as f64));
     group.bench_function("portable", |b| {

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale K] [--cores N] [--csv DIR] <target>...
+//! repro [--scale K] [--cores N] [--csv DIR] [--json FILE] <target>...
 //!
 //! targets: table1, fig4a..fig4j, fig5a..fig5h,
 //!          ablate-reorg, ablate-stride, ablate-baselines,
@@ -10,6 +10,8 @@
 //!             --scale 1 = paper sizes, needs a big machine)
 //! --cores N   max worker count for parallel figures (default: all)
 //! --csv DIR   additionally write each figure as DIR/<id>.csv
+//! --json FILE additionally write all figures + machine metadata as one
+//!             JSON document (the committed BENCH_*.json baseline format)
 //! ```
 
 use std::io::Write;
@@ -33,6 +35,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut csv_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut targets: Vec<String> = vec![];
 
     let mut it = args.into_iter();
@@ -54,8 +57,31 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(it.next().expect("--csv needs a directory"));
             }
+            "--json" => {
+                json_path = Some(it.next().expect("--json needs a file path"));
+            }
             "--help" | "-h" => {
-                println!("{}", include_str!("repro.rs").lines().take(14).skip(1).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+                // Print the usage block between the doc comment's two
+                // ```text fences, so the help text tracks doc edits
+                // without hand-maintained line numbers.
+                let lines: Vec<&str> = include_str!("repro.rs")
+                    .lines()
+                    .map(|l| {
+                        l.strip_prefix("//! ")
+                            .unwrap_or(l.trim_start_matches("//!"))
+                    })
+                    .collect();
+                let fences: Vec<usize> = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.starts_with("```"))
+                    .map(|(i, _)| i)
+                    .take(2)
+                    .collect();
+                let [open, close] = fences[..] else {
+                    unreachable!("usage block fences missing from repro.rs docs")
+                };
+                println!("{}", lines[open + 1..close].join("\n"));
                 return;
             }
             t => targets.push(t.to_string()),
@@ -94,6 +120,7 @@ fn main() {
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    let mut figures: Vec<tb::Figure> = vec![];
     for id in &expanded {
         let fig = match id.as_str() {
             "table1" => {
@@ -135,5 +162,19 @@ fn main() {
             let path = format!("{dir}/{}.csv", fig.id);
             std::fs::write(&path, fig.to_csv()).expect("write csv");
         }
+        figures.push(fig);
+    }
+
+    if let Some(path) = &json_path {
+        let figs: Vec<String> = figures.iter().map(|f| f.to_json()).collect();
+        let doc = format!(
+            "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"avx2\":{},\"scale\":{},\"figures\":[\n{}\n]}}\n",
+            cores,
+            tempora_simd::arch::avx2_available(),
+            scale,
+            figs.join(",\n")
+        );
+        std::fs::write(path, doc).expect("write json");
+        println!("wrote {path}");
     }
 }

@@ -79,7 +79,12 @@ impl Figure {
             out.push_str(&format!("{:>12}", s.label));
         }
         out.push('\n');
-        let npts = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let npts = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..npts {
             let x = self
                 .series
@@ -111,7 +116,12 @@ impl Figure {
             out.push_str(&s.label);
         }
         out.push('\n');
-        let npts = self.series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+        let npts = self
+            .series
+            .iter()
+            .map(|s| s.points.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..npts {
             let x = self
                 .series
@@ -128,6 +138,59 @@ impl Figure {
             out.push('\n');
         }
         out
+    }
+
+    /// Render as a JSON object (`{"id", "title", "xlabel", "series"}`),
+    /// the element format of the committed `BENCH_*.json` baselines.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let pts: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|&(x, g)| format!("[{},{}]", json_num(x), json_num(g)))
+                    .collect();
+                format!(
+                    "{{\"label\":\"{}\",\"points\":[{}]}}",
+                    json_escape(&s.label),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"xlabel\":\"{}\",\"series\":[{}]}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_escape(&self.xlabel),
+            series.join(",")
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number; JSON has no inf/NaN, so non-finite
+/// measurements (e.g. throughput over a sub-resolution timing) become
+/// `null` rather than corrupting the whole document.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -240,14 +303,38 @@ pub fn table1(scale: usize) -> String {
     ];
     let p = parallel_configs(s);
     let scaled = [
-        format!("{} x {} / blk {}x{}", p.heat1d.0, p.heat1d.1, p.heat1d.2, p.heat1d.3),
-        format!("{}^2 x {} / blk {}x{}", p.heat2d.0, p.heat2d.1, p.heat2d.2, p.heat2d.3),
-        format!("{}^2 x {} / blk {}x{}", p.box2d.0, p.box2d.1, p.box2d.2, p.box2d.3),
-        format!("{}^3 x {} / blk {}x{}", p.heat3d.0, p.heat3d.1, p.heat3d.2, p.heat3d.3),
-        format!("{}^2 x {} / blk {}x{}", p.life.0, p.life.1, p.life.2, p.life.3),
-        format!("{} x {} / blk {}x{}", p.gs1d.0, p.gs1d.1, p.gs1d.2, p.gs1d.3),
-        format!("{}^2 x {} / blk {}x{}", p.gs2d.0, p.gs2d.1, p.gs2d.2, p.gs2d.3),
-        format!("{}^3 x {} / blk {}x{}", p.gs3d.0, p.gs3d.1, p.gs3d.2, p.gs3d.3),
+        format!(
+            "{} x {} / blk {}x{}",
+            p.heat1d.0, p.heat1d.1, p.heat1d.2, p.heat1d.3
+        ),
+        format!(
+            "{}^2 x {} / blk {}x{}",
+            p.heat2d.0, p.heat2d.1, p.heat2d.2, p.heat2d.3
+        ),
+        format!(
+            "{}^2 x {} / blk {}x{}",
+            p.box2d.0, p.box2d.1, p.box2d.2, p.box2d.3
+        ),
+        format!(
+            "{}^3 x {} / blk {}x{}",
+            p.heat3d.0, p.heat3d.1, p.heat3d.2, p.heat3d.3
+        ),
+        format!(
+            "{}^2 x {} / blk {}x{}",
+            p.life.0, p.life.1, p.life.2, p.life.3
+        ),
+        format!(
+            "{} x {} / blk {}x{}",
+            p.gs1d.0, p.gs1d.1, p.gs1d.2, p.gs1d.3
+        ),
+        format!(
+            "{}^2 x {} / blk {}x{}",
+            p.gs2d.0, p.gs2d.1, p.gs2d.2, p.gs2d.3
+        ),
+        format!(
+            "{}^3 x {} / blk {}x{}",
+            p.gs3d.0, p.gs3d.1, p.gs3d.2, p.gs3d.3
+        ),
         format!("{}^2 / blk {}^2", p.lcs.0, p.lcs.1),
     ];
     let mut out = String::new();
@@ -293,6 +380,12 @@ fn pow2_sizes(lo_exp: u32, hi_exp: u32) -> Vec<usize> {
     (lo_exp..=hi_exp).map(|e| 1usize << e).collect()
 }
 
+/// Labelled `(n, steps) -> Gstencils/s` runner for a sequential sweep.
+type SeqRun<'a> = (&'static str, Box<dyn Fn(usize, usize) -> f64 + 'a>);
+/// Labelled pool-driven runner for a core-count sweep.
+type ParRun<'a> = (&'static str, Box<dyn Fn(&Pool) + 'a>);
+
+#[allow(clippy::too_many_arguments)]
 fn seq_sweep<'a>(
     id: &str,
     title: &str,
@@ -300,7 +393,7 @@ fn seq_sweep<'a>(
     xs: &[usize],
     xmap: impl Fn(usize) -> f64,
     points_of: impl Fn(usize) -> usize,
-    runs: Vec<(&'static str, Box<dyn Fn(usize, usize) -> f64 + 'a>)>,
+    runs: Vec<SeqRun<'a>>,
     steps_hi: usize,
 ) -> Figure {
     let mut series: Vec<Series> = runs
@@ -771,7 +864,7 @@ fn parallel_sweep<'a>(
     max_cores: usize,
     pts: usize,
     steps: usize,
-    runs: Vec<(&'static str, Box<dyn Fn(&Pool) + 'a>)>,
+    runs: Vec<ParRun<'a>>,
 ) -> Figure {
     let mut series: Vec<Series> = runs
         .iter()
@@ -896,7 +989,9 @@ pub fn fig4f(scale: usize, max_cores: usize) -> Figure {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(ghost::run_jacobi_3d(g, kern, steps, block, height, mode, pool));
+            std::hint::black_box(ghost::run_jacobi_3d(
+                g, kern, steps, block, height, mode, pool,
+            ));
         }
     };
     parallel_sweep(
@@ -982,7 +1077,9 @@ pub fn fig5b(scale: usize, max_cores: usize) -> Figure {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_1d(g, kern, steps, block, height, 7, temporal, pool));
+            std::hint::black_box(skew::run_gs_1d(
+                g, kern, steps, block, height, 7, temporal, pool,
+            ));
         }
     };
     parallel_sweep(
@@ -1008,7 +1105,9 @@ pub fn fig5d(scale: usize, max_cores: usize) -> Figure {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_2d(g, kern, steps, block, height, 2, temporal, pool));
+            std::hint::black_box(skew::run_gs_2d(
+                g, kern, steps, block, height, 2, temporal, pool,
+            ));
         }
     };
     parallel_sweep(
@@ -1034,7 +1133,9 @@ pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_3d(g, kern, steps, block, height, 2, temporal, pool));
+            std::hint::black_box(skew::run_gs_3d(
+                g, kern, steps, block, height, 2, temporal, pool,
+            ));
         }
     };
     parallel_sweep(

@@ -102,7 +102,7 @@ pub fn tile_seg<const VL: usize>(
 ) {
     assert!(s >= 1);
     assert_eq!(a_tile.len(), VL);
-    assert!(left_col.len() >= VL + 1 && right_col.len() >= VL + 1);
+    assert!(left_col.len() > VL && right_col.len() > VL);
     debug_assert!(y0 >= 1 && y1 >= y0 && y1 < row.len());
     let seg = y1 + 1 - y0;
     right_col[0] = row[y1];
@@ -225,7 +225,7 @@ pub fn tile<const VL: usize>(
     let lb = b.len();
     let zeros = [0i32; 17];
     let mut sink = [0i32; 17];
-    assert!(VL + 1 <= zeros.len());
+    assert!(VL < zeros.len());
     tile_seg::<VL>(row, 1, lb, a_tile, b, s, &zeros, &mut sink, sc);
 }
 
@@ -270,7 +270,14 @@ mod tests {
 
     #[test]
     fn final_row_matches_reference() {
-        for &(la, lb) in &[(8usize, 40usize), (16, 100), (24, 33), (40, 17), (7, 50), (64, 257)] {
+        for &(la, lb) in &[
+            (8usize, 40usize),
+            (16, 100),
+            (24, 33),
+            (40, 17),
+            (7, 50),
+            (64, 257),
+        ] {
             for s in 1..=3 {
                 let a = random_sequence(la, 4, la as u64);
                 let b = random_sequence(lb, 4, lb as u64 + 1);

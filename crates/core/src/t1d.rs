@@ -100,7 +100,10 @@ pub fn tile<const VL: usize, const COUNT: bool, K: Kernel1d>(
     scratch: &mut Scratch1d<VL>,
 ) {
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
-    assert!(a.len() >= n + 2, "slice must include one halo cell per side");
+    assert!(
+        a.len() >= n + 2,
+        "slice must include one halo cell per side"
+    );
     if n < min_vector_n::<VL>(s) {
         // Degenerate tile: pure scalar schedule.
         for _ in 0..VL {
@@ -195,7 +198,10 @@ pub fn tile_batched<const VL: usize, const COUNT: bool, K: Kernel1d>(
     scratch: &mut Scratch1d<VL>,
 ) {
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
-    assert!(a.len() >= n + 2, "slice must include one halo cell per side");
+    assert!(
+        a.len() >= n + 2,
+        "slice must include one halo cell per side"
+    );
     if n < min_vector_n::<VL>(s) {
         for _ in 0..VL {
             scalar_step_inplace(a, n, kern);
@@ -343,7 +349,7 @@ pub fn tile_prologue<const VL: usize, K: Kernel1d>(
 ) -> ([Pack<f64, VL>; RING_CAP], usize) {
     debug_assert!(n >= min_vector_n::<VL>(s));
     debug_assert!(scratch.head.len() >= VL);
-    assert!(s + 1 <= RING_CAP, "stride too large for the ring capacity");
+    assert!(s < RING_CAP, "stride too large for the ring capacity");
     let boundary_l = a[0];
     let x_max = n + 1 - VL * s;
 
@@ -585,7 +591,11 @@ mod tests {
             let g = random_grid(n, 3, 0.0);
             let ours = run::<8, _>(&g, &kern, 16, 2);
             let gold = reference::heat1d(&g, c, 16);
-            assert!(ours.interior_eq(&gold), "n={n} {:?}", ours.first_diff(&gold));
+            assert!(
+                ours.interior_eq(&gold),
+                "n={n} {:?}",
+                ours.first_diff(&gold)
+            );
         }
     }
 

@@ -41,7 +41,7 @@ mod imp {
         scratch: &mut Scratch1d<4>,
     ) {
         const VL: usize = 4;
-        assert!(s >= JacobiKern1d::MIN_STRIDE && s <= MAX_STRIDE);
+        assert!((JacobiKern1d::MIN_STRIDE..=MAX_STRIDE).contains(&s));
         if n < VL * s {
             t1d::tile::<4, false, JacobiKern1d>(a, n, kern, s, scratch);
             return;
@@ -96,7 +96,12 @@ mod imp {
 /// Run `steps` Heat-1D time steps with the AVX2 steady state; panics if
 /// AVX2+FMA are unavailable (use [`run_heat1d_auto`] for dispatch).
 #[cfg(target_arch = "x86_64")]
-pub fn run_heat1d_avx2(grid: &Grid1<f64>, kern: &JacobiKern1d, steps: usize, s: usize) -> Grid1<f64> {
+pub fn run_heat1d_avx2(
+    grid: &Grid1<f64>,
+    kern: &JacobiKern1d,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
     assert!(
         tempora_simd::arch::avx2_available(),
         "AVX2+FMA not available on this CPU"
@@ -119,7 +124,12 @@ pub fn run_heat1d_avx2(grid: &Grid1<f64>, kern: &JacobiKern1d, steps: usize, s: 
 /// Run Heat-1D with the best available engine: the `std::arch` AVX2 path
 /// on capable x86-64 CPUs, the portable pack engine elsewhere. Both are
 /// bit-identical to the scalar reference.
-pub fn run_heat1d_auto(grid: &Grid1<f64>, kern: &JacobiKern1d, steps: usize, s: usize) -> Grid1<f64> {
+pub fn run_heat1d_auto(
+    grid: &Grid1<f64>,
+    kern: &JacobiKern1d,
+    steps: usize,
+    s: usize,
+) -> Grid1<f64> {
     #[cfg(target_arch = "x86_64")]
     {
         if tempora_simd::arch::avx2_available() && s <= MAX_STRIDE {

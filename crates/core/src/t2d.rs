@@ -61,8 +61,12 @@ impl<T: Scalar, const VL: usize> Scratch2d<T, VL> {
     pub fn new(s: usize, ny: usize) -> Self {
         let w = ny + 2;
         Scratch2d {
-            head: (0..VL).map(|k| vec![T::ZERO; ((VL - k) * s + 1) * w]).collect(),
-            tail: (0..VL).map(|i| vec![T::ZERO; ((i + 1) * s + 2) * w]).collect(),
+            head: (0..VL)
+                .map(|k| vec![T::ZERO; ((VL - k) * s + 1) * w])
+                .collect(),
+            tail: (0..VL)
+                .map(|i| vec![T::ZERO; ((i + 1) * s + 2) * w])
+                .collect(),
             ring: (0..s + 2).map(|_| vec![Pack::splat(T::ZERO); w]).collect(),
             o_prev: vec![Pack::splat(T::ZERO); w],
             o_cur: vec![Pack::splat(T::ZERO); w],
@@ -97,7 +101,11 @@ pub fn scalar_step_inplace<T: Scalar, K: Kernel2d<T>>(
                 v: [
                     [row_a[y - 1], row_a[y], row_a[y + 1]],
                     [row_b[y - 1], row_b[y], row_b[y + 1]],
-                    [a[(x + 1) * p + y - 1], a[(x + 1) * p + y], a[(x + 1) * p + y + 1]],
+                    [
+                        a[(x + 1) * p + y - 1],
+                        a[(x + 1) * p + y],
+                        a[(x + 1) * p + y + 1],
+                    ],
                 ],
                 new_n: a[(x - 1) * p + y],
                 new_w: a[x * p + y - 1],
@@ -126,7 +134,10 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
     let bc = g.boundary().value();
     if nx < VL * s {
         for _ in 0..VL {
-            let (mut ra, mut rb) = (core::mem::take(&mut sc.row_a), core::mem::take(&mut sc.row_b));
+            let (mut ra, mut rb) = (
+                core::mem::take(&mut sc.row_a),
+                core::mem::take(&mut sc.row_b),
+            );
             scalar_step_inplace(g, kern, &mut ra, &mut rb);
             sc.row_a = ra;
             sc.row_b = rb;
@@ -234,7 +245,7 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             let r0 = &sc.ring[i0];
             let rp1 = &sc.ring[ip1];
             let mut o_west = Pack::splat(bc); // O(x, 0): y-boundary column
-            // West and centre packs are carried in registers (w ← m ← e).
+                                              // West and centre packs are carried in registers (w ← m ← e).
             let mut w_pack = r0[0];
             let mut m_pack = r0[1];
             for y in 1..=ny {
@@ -331,9 +342,21 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             for y in 1..=ny {
                 let nb = Nbhd {
                     v: [
-                        [below[(rel - 1) * w + y - 1], below[(rel - 1) * w + y], below[(rel - 1) * w + y + 1]],
-                        [below[rel * w + y - 1], below[rel * w + y], below[rel * w + y + 1]],
-                        [below[(rel + 1) * w + y - 1], below[(rel + 1) * w + y], below[(rel + 1) * w + y + 1]],
+                        [
+                            below[(rel - 1) * w + y - 1],
+                            below[(rel - 1) * w + y],
+                            below[(rel - 1) * w + y + 1],
+                        ],
+                        [
+                            below[rel * w + y - 1],
+                            below[rel * w + y],
+                            below[rel * w + y + 1],
+                        ],
+                        [
+                            below[(rel + 1) * w + y - 1],
+                            below[(rel + 1) * w + y],
+                            below[(rel + 1) * w + y + 1],
+                        ],
                     ],
                     new_n: a[(x - 1) * p + y],
                     new_w: a[x * p + y - 1],
@@ -360,7 +383,10 @@ pub fn run<T: Scalar, const VL: usize, K: Kernel2d<T>>(
         tile::<T, VL, K>(&mut g, kern, s, &mut sc);
     }
     for _ in 0..steps % VL {
-        let (mut ra, mut rb) = (core::mem::take(&mut sc.row_a), core::mem::take(&mut sc.row_b));
+        let (mut ra, mut rb) = (
+            core::mem::take(&mut sc.row_a),
+            core::mem::take(&mut sc.row_b),
+        );
         scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
         sc.row_a = ra;
         sc.row_b = rb;
@@ -409,7 +435,11 @@ mod tests {
             let g = grid(21, 9, steps as u64, -1.0);
             let ours = run::<f64, 4, _>(&g, &kern, steps, 2);
             let gold = reference::heat2d(&g, c, steps);
-            assert!(ours.interior_eq(&gold), "steps={steps} {:?}", ours.first_diff(&gold));
+            assert!(
+                ours.interior_eq(&gold),
+                "steps={steps} {:?}",
+                ours.first_diff(&gold)
+            );
         }
     }
 
@@ -421,7 +451,11 @@ mod tests {
             let g = grid(35, 7, s as u64, 0.0);
             let ours = run::<f64, 4, _>(&g, &kern, 8, s);
             let gold = reference::heat2d(&g, c, 8);
-            assert!(ours.interior_eq(&gold), "s={s} {:?}", ours.first_diff(&gold));
+            assert!(
+                ours.interior_eq(&gold),
+                "s={s} {:?}",
+                ours.first_diff(&gold)
+            );
         }
     }
 

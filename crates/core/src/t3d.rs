@@ -42,8 +42,12 @@ impl<T: Scalar, const VL: usize> Scratch3d<T, VL> {
     pub fn new(s: usize, ny: usize, nz: usize) -> Self {
         let wp = (ny + 2) * (nz + 2);
         Scratch3d {
-            head: (0..VL).map(|k| vec![T::ZERO; ((VL - k) * s + 1) * wp]).collect(),
-            tail: (0..VL).map(|i| vec![T::ZERO; ((i + 1) * s + 1) * wp]).collect(),
+            head: (0..VL)
+                .map(|k| vec![T::ZERO; ((VL - k) * s + 1) * wp])
+                .collect(),
+            tail: (0..VL)
+                .map(|i| vec![T::ZERO; ((i + 1) * s + 1) * wp])
+                .collect(),
             ring: (0..s + 2).map(|_| vec![Pack::splat(T::ZERO); wp]).collect(),
             o_prev: vec![Pack::splat(T::ZERO); wp],
             o_cur: vec![Pack::splat(T::ZERO); wp],
@@ -114,14 +118,20 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel3d<T>>(
 ) {
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
     assert_eq!(g.halo(), 1, "temporal engines use halo width 1");
-    assert_eq!((sc.s, sc.ny, sc.nz), (s, g.ny(), g.nz()), "scratch shape mismatch");
+    assert_eq!(
+        (sc.s, sc.ny, sc.nz),
+        (s, g.ny(), g.nz()),
+        "scratch shape mismatch"
+    );
     let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
     let (p, pl) = (g.pitch(), g.plane());
     let bc = g.boundary().value();
     if nx < VL * s {
         for _ in 0..VL {
-            let (mut pa, mut pb) =
-                (core::mem::take(&mut sc.plane_a), core::mem::take(&mut sc.plane_b));
+            let (mut pa, mut pb) = (
+                core::mem::take(&mut sc.plane_a),
+                core::mem::take(&mut sc.plane_b),
+            );
             scalar_step_inplace(g, kern, &mut pa, &mut pb);
             sc.plane_a = pa;
             sc.plane_b = pb;
@@ -402,7 +412,10 @@ pub fn run<T: Scalar, const VL: usize, K: Kernel3d<T>>(
         tile::<T, VL, K>(&mut g, kern, s, &mut sc);
     }
     for _ in 0..steps % VL {
-        let (mut pa, mut pb) = (core::mem::take(&mut sc.plane_a), core::mem::take(&mut sc.plane_b));
+        let (mut pa, mut pb) = (
+            core::mem::take(&mut sc.plane_a),
+            core::mem::take(&mut sc.plane_b),
+        );
         scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
         sc.plane_a = pa;
         sc.plane_b = pb;

@@ -142,12 +142,8 @@ impl<T: Scalar> Grid2<T> {
                     *v = b;
                 }
             } else {
-                for y in 0..h {
-                    row[y] = b;
-                }
-                for y in h + ny..w {
-                    row[y] = b;
-                }
+                row[..h].fill(b);
+                row[h + ny..w].fill(b);
             }
         }
     }
@@ -201,7 +197,8 @@ impl<T: Scalar> Grid2<T> {
         let mut m = 0.0f64;
         for i in 0..self.nx {
             for j in 0..self.ny {
-                let d = (self.get(h + i, h + j).to_f64() - other.get(oh + i, oh + j).to_f64()).abs();
+                let d =
+                    (self.get(h + i, h + j).to_f64() - other.get(oh + i, oh + j).to_f64()).abs();
                 m = m.max(d);
             }
         }

@@ -131,12 +131,8 @@ impl<T: Scalar> Grid3<T> {
         for x in 0..nx + 2 * h {
             for y in 0..ny + 2 * h {
                 for z in 0..nz + 2 * h {
-                    let ghost = x < h
-                        || x >= h + nx
-                        || y < h
-                        || y >= h + ny
-                        || z < h
-                        || z >= h + nz;
+                    let ghost =
+                        x < h || x >= h + nx || y < h || y >= h + ny || z < h || z >= h + nz;
                     if ghost {
                         self.set(x, y, z, b);
                     }
@@ -214,7 +210,10 @@ impl<T: Scalar> Grid3<T> {
         for i in 0..self.nx {
             for j in 0..self.ny {
                 for k in 0..self.nz {
-                    let (a, b) = (self.get(h + i, h + j, h + k), other.get(oh + i, oh + j, oh + k));
+                    let (a, b) = (
+                        self.get(h + i, h + j, h + k),
+                        other.get(oh + i, oh + j, oh + k),
+                    );
                     if a != b {
                         return Some((i, j, k, a, b));
                     }

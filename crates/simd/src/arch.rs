@@ -162,7 +162,12 @@ pub mod avx2 {
     /// Requires AVX2 (guard with [`super::avx2_available`]).
     #[target_feature(enable = "avx2")]
     #[inline]
-    pub unsafe fn transpose4(r0: &mut __m256d, r1: &mut __m256d, r2: &mut __m256d, r3: &mut __m256d) {
+    pub unsafe fn transpose4(
+        r0: &mut __m256d,
+        r1: &mut __m256d,
+        r2: &mut __m256d,
+        r3: &mut __m256d,
+    ) {
         let t0 = _mm256_unpacklo_pd(*r0, *r1); // a0 b0 a2 b2
         let t1 = _mm256_unpackhi_pd(*r0, *r1); // a1 b1 a3 b3
         let t2 = _mm256_unpacklo_pd(*r2, *r3); // c0 d0 c2 d2

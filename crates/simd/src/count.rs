@@ -217,6 +217,60 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_sessions_are_thread_isolated() {
+        // paper_claims.rs trusts these counters for the §3.2 constant-cost
+        // claim; a session must never observe another thread's operations,
+        // and two live sessions on different threads must not be treated
+        // as "nested".
+        let t1 = std::thread::spawn(|| {
+            let s = Session::start();
+            record(Op::CrossLane, 5);
+            record_output(5);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            s.finish()
+        });
+        let t2 = std::thread::spawn(|| {
+            let s = Session::start();
+            record(Op::InLane, 3);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            s.finish()
+        });
+        let c1 = t1.join().unwrap();
+        let c2 = t2.join().unwrap();
+        assert_eq!((c1.cross_lane, c1.in_lane, c1.output_vectors), (5, 0, 5));
+        assert_eq!((c2.cross_lane, c2.in_lane, c2.output_vectors), (0, 3, 0));
+    }
+
+    #[test]
+    fn sequential_sessions_do_not_accumulate() {
+        // Back-to-back start/finish pairs each see only their own ops —
+        // no carry-over that would double-count per-output budgets.
+        for round in 1..=3u64 {
+            let s = Session::start();
+            record(Op::InLane, round);
+            record_output(1);
+            let c = s.finish();
+            assert_eq!(c.in_lane, round, "round {round} leaked prior counts");
+            assert_eq!(c.output_vectors, 1);
+        }
+    }
+
+    #[test]
+    fn dropped_session_disables_recording() {
+        {
+            let _s = Session::start();
+            record(Op::Gather, 9);
+            // Dropped without finish (e.g. a panicking measurement).
+        }
+        // If Drop failed to deactivate, this start() would hit the
+        // "must not be nested" assertion; a fresh session starts clean.
+        let s = Session::start();
+        record(Op::Gather, 2);
+        let c = s.finish();
+        assert_eq!(c.gather, 2);
+    }
+
+    #[test]
     fn per_output_ratios_guard_div_by_zero() {
         let c = Counts {
             in_lane: 7,

@@ -262,7 +262,11 @@ impl<const N: usize> Mask<N> {
     }
 
     /// Lane-wise logical NOT.
+    ///
+    /// An inherent method (not the `std::ops::Not` trait) so call sites
+    /// read as the mask vocabulary `m.not().and(k)` used throughout.
     #[inline(always)]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Mask(core::array::from_fn(|i| !self.0[i]))
     }
@@ -459,7 +463,9 @@ impl<T: Scalar, const N: usize> Pack<T, N> {
     /// kernels agree bit-for-bit.
     #[inline(always)]
     pub fn mul_add(self, m: Self, a: Self) -> Self {
-        Pack(core::array::from_fn(|i| self.0[i].mul_add_s(m.0[i], a.0[i])))
+        Pack(core::array::from_fn(|i| {
+            self.0[i].mul_add_s(m.0[i], a.0[i])
+        }))
     }
 
     /// Lane-wise minimum.
@@ -734,9 +740,9 @@ mod tests {
             core::array::from_fn(|i| F64x4::from_fn(|j| (10 * i + j) as f64));
         let orig = rows;
         transpose(&mut rows);
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(rows[i].0[j], orig[j].0[i]);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, v) in row.0.iter().enumerate() {
+                assert_eq!(*v, orig[j].0[i]);
             }
         }
         transpose(&mut rows);

@@ -79,7 +79,11 @@ impl DepSet {
 
     /// Stencil radius in the outer dimension (`max |dx|`).
     pub fn radius(&self) -> u32 {
-        self.deps.iter().map(|d| d.dx.unsigned_abs()).max().unwrap_or(0)
+        self.deps
+            .iter()
+            .map(|d| d.dx.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum legal space stride `s` for the temporal scheme.
@@ -123,9 +127,7 @@ impl DepSet {
 pub fn validate_schedule(deps: &DepSet, vl: usize, s: usize, nx: usize) -> Result<(), String> {
     // done[k][x] = point (level k, x) has been produced; level 0 = initial.
     let mut done = vec![vec![false; nx + 2]; vl + 1];
-    for x in 0..nx + 2 {
-        done[0][x] = true;
-    }
+    done[0].fill(true);
 
     let check_and_set = |done: &mut Vec<Vec<bool>>, k: usize, x: usize| -> Result<(), String> {
         for d in &deps.deps {

@@ -119,10 +119,7 @@ impl Gs2dCoeffs {
     pub fn apply(&self, n_new: f64, w_new: f64, m: f64, e: f64, s: f64) -> f64 {
         n_new.mul_add(
             self.cn,
-            w_new.mul_add(
-                self.cw,
-                m.mul_add(self.cc, e.mul_add(self.ce, s * self.cs)),
-            ),
+            w_new.mul_add(self.cw, m.mul_add(self.cc, e.mul_add(self.ce, s * self.cs))),
         )
     }
 
@@ -172,15 +169,7 @@ pub struct Gs3dCoeffs {
 impl Gs3dCoeffs {
     /// Arbitrary coefficients.
     #[allow(clippy::too_many_arguments)]
-    pub const fn new(
-        cxm: f64,
-        cym: f64,
-        czm: f64,
-        cc: f64,
-        czp: f64,
-        cyp: f64,
-        cxp: f64,
-    ) -> Self {
+    pub const fn new(cxm: f64, cym: f64, czm: f64, cc: f64, czp: f64, cyp: f64, cxp: f64) -> Self {
         Gs3dCoeffs {
             cxm,
             cym,
@@ -296,7 +285,10 @@ mod tests {
         let r = Pack([0.25, 4.0, 0.5, -2.0]);
         let p = c.apply_pack(l, m, r);
         for i in 0..4 {
-            assert_eq!(p.extract(i), c.apply(l.extract(i), m.extract(i), r.extract(i)));
+            assert_eq!(
+                p.extract(i),
+                c.apply(l.extract(i), m.extract(i), r.extract(i))
+            );
         }
     }
 
@@ -315,7 +307,10 @@ mod tests {
         let p3 = c3.apply_pack(w[0], w[1], w[2], w[3], w[4], w[5], w[6]);
         for i in 0..4 {
             let s: Vec<f64> = w.iter().map(|q| q.extract(i)).collect();
-            assert_eq!(p3.extract(i), c3.apply(s[0], s[1], s[2], s[3], s[4], s[5], s[6]));
+            assert_eq!(
+                p3.extract(i),
+                c3.apply(s[0], s[1], s[2], s[3], s[4], s[5], s[6])
+            );
         }
     }
 

@@ -117,10 +117,7 @@ impl Heat2dCoeffs {
     pub fn apply(&self, n: f64, w: f64, m: f64, e: f64, s: f64) -> f64 {
         n.mul_add(
             self.cn,
-            w.mul_add(
-                self.cw,
-                m.mul_add(self.cc, e.mul_add(self.ce, s * self.cs)),
-            ),
+            w.mul_add(self.cw, m.mul_add(self.cc, e.mul_add(self.ce, s * self.cs))),
         )
     }
 
@@ -172,15 +169,7 @@ pub struct Heat3dCoeffs {
 impl Heat3dCoeffs {
     /// Arbitrary coefficients.
     #[allow(clippy::too_many_arguments)]
-    pub const fn new(
-        cxm: f64,
-        cym: f64,
-        czm: f64,
-        cc: f64,
-        czp: f64,
-        cyp: f64,
-        cxp: f64,
-    ) -> Self {
+    pub const fn new(cxm: f64, cym: f64, czm: f64, cc: f64, czp: f64, cyp: f64, cxp: f64) -> Self {
         Heat3dCoeffs {
             cxm,
             cym,
@@ -313,10 +302,8 @@ impl Box2dCoeffs {
                             c[1][1],
                             v[1][2].mul_add(
                                 c[1][2],
-                                v[2][0].mul_add(
-                                    c[2][0],
-                                    v[2][1].mul_add(c[2][1], v[2][2] * c[2][2]),
-                                ),
+                                v[2][0]
+                                    .mul_add(c[2][0], v[2][1].mul_add(c[2][1], v[2][2] * c[2][2])),
                             ),
                         ),
                     ),
@@ -368,7 +355,10 @@ mod tests {
         let r = Pack([-0.3, 9.1, 0.0, 3.25]);
         let p = c.apply_pack(l, m, r);
         for i in 0..4 {
-            assert_eq!(p.extract(i), c.apply(l.extract(i), m.extract(i), r.extract(i)));
+            assert_eq!(
+                p.extract(i),
+                c.apply(l.extract(i), m.extract(i), r.extract(i))
+            );
         }
     }
 
@@ -412,7 +402,10 @@ mod tests {
         let p = c.apply_pack(v[0], v[1], v[2], v[3], v[4], v[5], v[6]);
         for i in 0..4 {
             let s: Vec<f64> = v.iter().map(|q| q.extract(i)).collect();
-            assert_eq!(p.extract(i), c.apply(s[0], s[1], s[2], s[3], s[4], s[5], s[6]));
+            assert_eq!(
+                p.extract(i),
+                c.apply(s[0], s[1], s[2], s[3], s[4], s[5], s[6])
+            );
         }
     }
 

@@ -92,8 +92,7 @@ impl LifeRule {
         &self,
         v: [[Pack<i32, N>; 3]; 3],
     ) -> Pack<i32, N> {
-        let sum =
-            v[0][0] + v[0][1] + v[0][2] + v[1][0] + v[1][2] + v[2][0] + v[2][1] + v[2][2];
+        let sum = v[0][0] + v[0][1] + v[0][2] + v[1][0] + v[1][2] + v[2][0] + v[2][1] + v[2][2];
         self.apply_pack(v[1][1], sum)
     }
 }

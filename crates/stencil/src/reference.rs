@@ -44,7 +44,13 @@ pub fn heat2d(g: &Grid2<f64>, c: Heat2dCoeffs, steps: usize) -> Grid2<f64> {
         for x in h..h + nx {
             let r = x * p;
             for y in h..h + ny {
-                b[r + y] = c.apply(a[r - p + y], a[r + y - 1], a[r + y], a[r + y + 1], a[r + p + y]);
+                b[r + y] = c.apply(
+                    a[r - p + y],
+                    a[r + y - 1],
+                    a[r + y],
+                    a[r + y + 1],
+                    a[r + p + y],
+                );
             }
         }
         core::mem::swap(&mut cur, &mut next);
@@ -159,7 +165,13 @@ pub fn gs2d(g: &Grid2<f64>, c: Gs2dCoeffs, steps: usize) -> Grid2<f64> {
         for x in h..h + nx {
             let r = x * p;
             for y in h..h + ny {
-                a[r + y] = c.apply(a[r - p + y], a[r + y - 1], a[r + y], a[r + y + 1], a[r + p + y]);
+                a[r + y] = c.apply(
+                    a[r - p + y],
+                    a[r + y - 1],
+                    a[r + y],
+                    a[r + y + 1],
+                    a[r + p + y],
+                );
             }
         }
     }
@@ -270,7 +282,10 @@ mod tests {
         assert_eq!(r1.interior(), &[0.0, 0.25, 0.5, 0.25, 0.0, 0.0, 0.0]);
         let r2 = heat1d(&g, c, 2);
         // Second step by hand: conv of [.25,.5,.25] with itself.
-        assert_eq!(r2.interior(), &[0.0625, 0.25, 0.375, 0.25, 0.0625, 0.0, 0.0]);
+        assert_eq!(
+            r2.interior(),
+            &[0.0625, 0.25, 0.375, 0.25, 0.0625, 0.0, 0.0]
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ pub fn run_jacobi_1d<K: Kernel1d>(
     const VL: usize = 4;
     assert_eq!(grid.halo(), 1);
     assert!(block >= 1);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
     let mut g = grid.clone();
     let n = g.n();
     let ntiles = n.div_ceil(block);
@@ -166,8 +169,9 @@ pub fn run_jacobi_1d<K: Kernel1d>(
             // SAFETY: tile t writes only its own arena chunk; the global
             // array is only read during this phase.
             let global = unsafe { shared.slice_mut() };
-            let chunk =
-                unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len] };
+            let chunk = unsafe {
+                &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len]
+            };
             let e = tile_extent(t, n, block, ghost);
             chunk[..e.hi - e.lo + 1].copy_from_slice(&global[e.lo..=e.hi]);
         });
@@ -258,7 +262,10 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
 ) -> Grid2<T> {
     assert_eq!(grid.halo(), 1);
     assert!(block >= 1);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of VL");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of VL"
+    );
     let mut g = grid.clone();
     let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
     let bc = g.boundary();
@@ -397,7 +404,10 @@ pub fn run_jacobi_3d<K: Kernel3d<f64>>(
 ) -> Grid3<f64> {
     const VL: usize = 4;
     assert_eq!(grid.halo(), 1);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
     let mut g = grid.clone();
     let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
     let pl = g.plane();

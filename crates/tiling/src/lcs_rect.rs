@@ -28,7 +28,17 @@ impl TileRun<'_> {
     /// Advance the row segment `[y0, y1]` from level `x0` to `x1`
     /// (exclusive upper), reading `left[h] = lcs[x0+h][y0-1]` and filling
     /// `right[h] = lcs[x0+h][y1]` for `h ∈ 0..=x1-x0`.
-    fn run(&self, row: &mut [i32], x0: usize, x1: usize, y0: usize, y1: usize, left: &[i32], right: &mut [i32]) {
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        row: &mut [i32],
+        x0: usize,
+        x1: usize,
+        y0: usize,
+        y1: usize,
+        left: &[i32],
+        right: &mut [i32],
+    ) {
         let height = x1 - x0;
         right[0] = row[y1];
         if self.temporal {

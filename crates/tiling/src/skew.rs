@@ -41,6 +41,9 @@ fn block_bounds(i: usize, n: usize, block: usize, height: usize) -> (usize, usiz
 /// skewed tiling. `temporal` selects the vectorized band executor ("our")
 /// versus the scalar one ("scalar"); both are bit-identical to the
 /// reference.
+// The run_gs_* parameter lists mirror the paper's tiling knobs
+// (steps, block, band, stride, executor, pool) one-to-one.
+#[allow(clippy::too_many_arguments)]
 pub fn run_gs_1d<K: Kernel1d>(
     grid: &Grid1<f64>,
     kern: &K,
@@ -52,7 +55,10 @@ pub fn run_gs_1d<K: Kernel1d>(
     pool: &Pool,
 ) -> Grid1<f64> {
     assert!(K::IS_GS);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
     assert!(
         block >= height + VL * s + VL,
         "block too narrow for wave disjointness"
@@ -93,6 +99,7 @@ pub fn run_gs_1d<K: Kernel1d>(
 
 /// Run `steps` Gauss-Seidel time steps over a 2-D grid with pipelined
 /// skewed tiling along the outer dimension.
+#[allow(clippy::too_many_arguments)]
 pub fn run_gs_2d<K: Kernel2d<f64>>(
     grid: &Grid2<f64>,
     kern: &K,
@@ -104,7 +111,10 @@ pub fn run_gs_2d<K: Kernel2d<f64>>(
     pool: &Pool,
 ) -> Grid2<f64> {
     assert!(K::IS_GS);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
     assert!(
         block >= height + VL * s + VL,
         "block too narrow for wave disjointness"
@@ -148,6 +158,7 @@ pub fn run_gs_2d<K: Kernel2d<f64>>(
 
 /// Run `steps` Gauss-Seidel time steps over a 3-D grid with pipelined
 /// skewed tiling along the outer dimension.
+#[allow(clippy::too_many_arguments)]
 pub fn run_gs_3d<K: Kernel3d<f64>>(
     grid: &Grid3<f64>,
     kern: &K,
@@ -159,7 +170,10 @@ pub fn run_gs_3d<K: Kernel3d<f64>>(
     pool: &Pool,
 ) -> Grid3<f64> {
     assert!(K::IS_GS);
-    assert!(height >= VL && height % VL == 0, "height must be a multiple of {VL}");
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
     assert!(
         block >= height + VL * s + VL,
         "block too narrow for wave disjointness"

@@ -12,7 +12,9 @@ use tempora::stencil::reference;
 use tempora::tiling::lcs_rect;
 
 fn to_dna(seq: &[u8]) -> String {
-    seq.iter().map(|&c| b"ACGT"[c as usize % 4] as char).collect()
+    seq.iter()
+        .map(|&c| b"ACGT"[c as usize % 4] as char)
+        .collect()
 }
 
 fn main() {
@@ -32,7 +34,11 @@ fn main() {
     let n = 32_768;
     let sa = random_sequence(n, 4, 1);
     let sb = random_sequence(n, 4, 2);
-    println!("\nsequences: {}… vs {}…", &to_dna(&sa)[..48], &to_dna(&sb)[..48]);
+    println!(
+        "\nsequences: {}… vs {}…",
+        &to_dna(&sa)[..48],
+        &to_dna(&sb)[..48]
+    );
 
     let t0 = Instant::now();
     let gold = reference::lcs_len(&sa, &sb);
@@ -50,15 +56,29 @@ fn main() {
     assert_eq!(par, gold);
 
     let gcells = |t: f64| (n as f64) * (n as f64) / t / 1e9;
-    println!("LCS length = {gold} ({:.1}% of n)", 100.0 * gold as f64 / n as f64);
-    println!("scalar DP:             {:.3}s = {:.2} Gcells/s", t_scalar, gcells(t_scalar));
-    println!("temporal (i32 x 8):    {:.3}s = {:.2} Gcells/s", t_temporal, gcells(t_temporal));
+    println!(
+        "LCS length = {gold} ({:.1}% of n)",
+        100.0 * gold as f64 / n as f64
+    );
+    println!(
+        "scalar DP:             {:.3}s = {:.2} Gcells/s",
+        t_scalar,
+        gcells(t_scalar)
+    );
+    println!(
+        "temporal (i32 x 8):    {:.3}s = {:.2} Gcells/s",
+        t_temporal,
+        gcells(t_temporal)
+    );
     println!(
         "temporal + tiles ({}T): {:.3}s = {:.2} Gcells/s",
         pool.threads(),
         t_par,
         gcells(t_par)
     );
-    println!("speedup over scalar:   {:.2}x (sequential), {:.2}x (parallel)",
-        t_scalar / t_temporal, t_scalar / t_par);
+    println!(
+        "speedup over scalar:   {:.2}x (sequential), {:.2}x (parallel)",
+        t_scalar / t_temporal,
+        t_scalar / t_par
+    );
 }

@@ -9,8 +9,8 @@
 
 use tempora::core::kernels::LifeKern2d;
 use tempora::core::t2d;
-use tempora::prelude::*;
 use tempora::grid::Grid2;
+use tempora::prelude::*;
 
 fn render(g: &Grid2<i32>, rows: usize, cols: usize) {
     for x in 1..=rows {

@@ -18,7 +18,13 @@ fn main() {
 
     let mut grid = Grid1::new(n, 1, Boundary::Dirichlet(0.0));
     // A hot spot in the middle of a cold rod.
-    grid.fill_interior(|i| if (n / 2 - 50..n / 2 + 50).contains(&i) { 1.0 } else { 0.0 });
+    grid.fill_interior(|i| {
+        if (n / 2 - 50..n / 2 + 50).contains(&i) {
+            1.0
+        } else {
+            0.0
+        }
+    });
 
     // The paper's temporal vectorization: vector length 4 (AVX doubles),
     // space stride s = 7 (8 in-flight input vectors, §3.3).
@@ -38,8 +44,16 @@ fn main() {
 
     let gsten = |t: f64| (n as f64 * steps as f64) / t / 1e9;
     println!("grid:              {n} points, {steps} steps");
-    println!("temporal (our):    {:.3}s  = {:.3} Gstencils/s", t_our, gsten(t_our));
-    println!("scalar reference:  {:.3}s  = {:.3} Gstencils/s", t_ref, gsten(t_ref));
+    println!(
+        "temporal (our):    {:.3}s  = {:.3} Gstencils/s",
+        t_our,
+        gsten(t_our)
+    );
+    println!(
+        "scalar reference:  {:.3}s  = {:.3} Gstencils/s",
+        t_ref,
+        gsten(t_ref)
+    );
     println!("speedup:           {:.2}x", t_ref / t_our);
     println!("results:           bit-identical ✓");
 

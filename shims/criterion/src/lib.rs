@@ -1,0 +1,223 @@
+//! Minimal offline stand-in for [`criterion`](https://crates.io/crates/criterion),
+//! covering the surface the *tempora* benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, and chained
+//! `sample_size` / `measurement_time` / `bench_function` / `finish`.
+//!
+//! Measurement is deliberately simple — per sample, the iteration count
+//! is scaled so one sample spans at least ~1 ms of wall time, and the
+//! **median** per-iteration time over the configured sample count is
+//! reported. No statistical analysis, no HTML reports, no comparison with
+//! saved baselines; the `tempora_bench` crate's `repro` binary is the
+//! workspace's real measurement harness, and these benches exist to keep
+//! hot paths runnable under `cargo bench`.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _crit: core::marker::PhantomData,
+        }
+    }
+
+    /// Run a single free-standing benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _crit: core::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples (median-of) per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Measure `f` and print the median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+
+        // Calibrate: how many iterations fit in ~1 ms?
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let per_sample_budget =
+            (self.measurement_time / self.sample_size as u32).max(Duration::from_millis(1));
+        let iters = (per_sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!(
+            "bench: {label:<48} {:>14}/iter (median of {} samples × {iters} iters)",
+            format_time(median),
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevent the optimizer from const-folding a value away
+/// (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main`, running each group in order (ignores criterion CLI args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(6));
+        let mut calls = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn calibration_clamps_iteration_count() {
+        // A ~1 ms body must not be scheduled for millions of iterations.
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("slow");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        let mut calls = 0u64;
+        group.bench_function("sleep", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            })
+        });
+        group.finish();
+        assert!(calls < 100, "calls={calls}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal offline stand-in for [`parking_lot`](https://crates.io/crates/parking_lot),
+//! implemented over `std::sync`, covering the surface the *tempora*
+//! worker pool uses: a poison-free `Mutex` whose `lock()` returns the
+//! guard directly, and a `Condvar` whose `wait` reborrows the guard
+//! (`&mut MutexGuard`) instead of consuming it.
+//!
+//! Poisoning is deliberately swallowed (`PoisonError::into_inner`): the
+//! real `parking_lot` has no poisoning, and the pool's own shutdown
+//! protocol is what guarantees state consistency across panics.
+
+#![deny(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock without poisoning, mirroring `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can take the
+/// guard out by value (std's wait consumes it) and put it back, while
+/// callers keep holding a `&mut` borrow.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable mirroring `parking_lot::Condvar`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically release the guarded lock and block until notified; the
+    /// lock is re-acquired (into the same guard) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already taken");
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Wake a single waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let mut g = s2.0.lock();
+            while *g == 0 {
+                s2.1.wait(&mut g);
+            }
+            *g += 1;
+        });
+        {
+            let mut g = shared.0.lock();
+            *g = 1;
+            shared.1.notify_all();
+        }
+        t.join().unwrap();
+        assert_eq!(*shared.0.lock(), 2);
+    }
+
+    #[test]
+    fn guard_survives_spurious_wakeups() {
+        // wait() must leave the guard usable afterwards.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            *p2.0.lock() = true;
+            p2.1.notify_one();
+        });
+        let mut g = pair.0.lock();
+        while !*g {
+            pair.1.wait(&mut g);
+        }
+        assert!(*g);
+        drop(g);
+        t.join().unwrap();
+    }
+}

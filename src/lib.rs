@@ -64,7 +64,7 @@ pub mod prelude {
     pub use tempora_simd::{F64x4, I32x8, Pack, Scalar};
     pub use tempora_stencil::reference;
     pub use tempora_stencil::{
-        Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs,
-        Box2dCoeffs, LifeRule,
+        Box2dCoeffs, Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs,
+        LifeRule,
     };
 }

@@ -36,9 +36,18 @@ fn heat1d_all_schemes_agree() {
     let g = g1(1000, 1, 0.5);
     let steps = 24;
     let gold = reference::heat1d(&g, c, steps);
-    assert!(t1d::run::<4, _>(&g, &kern, steps, 7).interior_eq(&gold), "temporal");
-    assert!(t1d::run::<8, _>(&g, &kern, steps, 2).interior_eq(&gold), "temporal vl=8");
-    assert!(multiload::heat1d(&g, c, steps).interior_eq(&gold), "multiload");
+    assert!(
+        t1d::run::<4, _>(&g, &kern, steps, 7).interior_eq(&gold),
+        "temporal"
+    );
+    assert!(
+        t1d::run::<8, _>(&g, &kern, steps, 2).interior_eq(&gold),
+        "temporal vl=8"
+    );
+    assert!(
+        multiload::heat1d(&g, c, steps).interior_eq(&gold),
+        "multiload"
+    );
     assert!(reorg::heat1d(&g, c, steps).interior_eq(&gold), "reorg");
     assert!(dlt::heat1d(&g, c, steps).interior_eq(&gold), "dlt");
     let pool = Pool::new(2);
@@ -62,8 +71,10 @@ fn heat2d_and_box2d_all_schemes_agree() {
     assert!(t2d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::heat2d(&g, c, steps).interior_eq(&gold));
     for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-        assert!(ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, steps, 24, 8, mode, &pool)
-            .interior_eq(&gold));
+        assert!(
+            ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, steps, 24, 8, mode, &pool)
+                .interior_eq(&gold)
+        );
     }
 
     let cb = Box2dCoeffs::smooth(0.07);
@@ -85,8 +96,10 @@ fn life_all_schemes_agree() {
     assert!(t2d::run::<i32, 8, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::life(&g, rule, steps).interior_eq(&gold));
     for mode in [Mode::Scalar, Mode::Temporal(2)] {
-        assert!(ghost::run_jacobi_2d::<i32, 8, _>(&g, &kern, steps, 24, 8, mode, &pool)
-            .interior_eq(&gold));
+        assert!(
+            ghost::run_jacobi_2d::<i32, 8, _>(&g, &kern, steps, 24, 8, mode, &pool)
+                .interior_eq(&gold)
+        );
     }
 }
 
@@ -180,6 +193,7 @@ fn canaries_survive_every_engine() {
     r.check_canaries().unwrap();
     let rm = multiload::heat2d(&g, c, 8);
     rm.check_canaries().unwrap();
-    let rp = ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, Mode::Temporal(2), &Pool::new(2));
+    let rp =
+        ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, Mode::Temporal(2), &Pool::new(2));
     rp.check_canaries().unwrap();
 }

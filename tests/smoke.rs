@@ -1,0 +1,29 @@
+//! Smoke test for the README/quickstart path: the exact grid, coefficients
+//! and call sequence shown in the crate-level docs must build, run, and
+//! agree with the scalar oracle bit-for-bit.
+
+use tempora::prelude::*;
+
+#[test]
+fn quickstart_temporal_matches_reference() {
+    let coeffs = Heat1dCoeffs::classic(0.25);
+    let mut grid = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
+    grid.fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+
+    let ours = temporal1d_jacobi(&grid, coeffs, 64, 7);
+    let gold = reference::heat1d(&grid, coeffs, 64);
+    assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+    ours.check_canaries().unwrap();
+}
+
+#[test]
+fn quickstart_gs_variant_matches_reference() {
+    // The Gauss-Seidel prelude export, exercised the same way.
+    let coeffs = Gs1dCoeffs::classic(0.3);
+    let mut grid = Grid1::new(777, 1, Boundary::Dirichlet(0.1));
+    grid.fill_interior(|i| (i as f64 * 0.37).sin());
+
+    let ours = temporal1d_gs(&grid, coeffs, 24, 4);
+    let gold = reference::gs1d(&grid, coeffs, 24);
+    assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+}
