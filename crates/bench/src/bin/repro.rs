@@ -20,11 +20,12 @@ use tempora_bench as tb;
 
 fn machine_banner() -> String {
     format!(
-        "machine: {} logical cores, avx2+fma: {}\n",
+        "machine: {} logical cores, avx2+fma: {}, engine: {} (TEMPORA_ENGINE)\n",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         tempora_simd::arch::avx2_available(),
+        tempora_core::engine::Select::from_env().name(),
     )
 }
 
@@ -168,9 +169,10 @@ fn main() {
     if let Some(path) = &json_path {
         let figs: Vec<String> = figures.iter().map(|f| f.to_json()).collect();
         let doc = format!(
-            "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"avx2\":{},\"scale\":{},\"figures\":[\n{}\n]}}\n",
+            "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"avx2\":{},\"engine_select\":\"{}\",\"scale\":{},\"figures\":[\n{}\n]}}\n",
             cores,
             tempora_simd::arch::avx2_available(),
+            tempora_core::engine::Select::from_env().name(),
             scale,
             figs.join(",\n")
         );

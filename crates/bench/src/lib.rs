@@ -32,10 +32,11 @@
 use std::time::Instant;
 
 use tempora_baseline::{dlt, multiload, reorg};
+use tempora_core::engine::{self, Select};
 use tempora_core::kernels::{
     BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, LifeKern2d,
 };
-use tempora_core::{lcs as tlcs, t1d, t2d, t3d};
+use tempora_core::t1d;
 use tempora_grid::{
     fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence, Boundary,
     Grid1, Grid2, Grid3,
@@ -52,8 +53,24 @@ use tempora_tiling::{ghost, lcs_rect, skew, Mode};
 pub struct Series {
     /// Scheme name (`our`, `auto`, `scalar`, …).
     pub label: String,
+    /// The engine the dispatch layer resolved to for this series
+    /// (`portable` | `avx2`), when the series routes through
+    /// `tempora_core::engine`. `None` for baseline schemes and for
+    /// tiling-driven parallel sweeps.
+    pub engine: Option<String>,
     /// `(x, Gstencils/s)` samples.
     pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Column heading: the label, suffixed with the resolved engine for
+    /// dispatched series (`our:avx2`).
+    pub fn column_label(&self) -> String {
+        match &self.engine {
+            Some(e) => format!("{}:{e}", self.label),
+            None => self.label.clone(),
+        }
+    }
 }
 
 /// One reproduced figure.
@@ -74,9 +91,9 @@ impl Figure {
     pub fn to_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("# {} — {}\n", self.id, self.title));
-        out.push_str(&format!("{:>12}", self.xlabel));
+        out.push_str(&format!("{:>13}", self.xlabel));
         for s in &self.series {
-            out.push_str(&format!("{:>12}", s.label));
+            out.push_str(&format!("{:>13}", s.column_label()));
         }
         out.push('\n');
         let npts = self
@@ -92,14 +109,14 @@ impl Figure {
                 .find_map(|s| s.points.get(i).map(|p| p.0))
                 .unwrap_or(f64::NAN);
             if x == x.trunc() && x.abs() < 1e15 {
-                out.push_str(&format!("{:>12}", x as i64));
+                out.push_str(&format!("{:>13}", x as i64));
             } else {
-                out.push_str(&format!("{:>12.3}", x));
+                out.push_str(&format!("{:>13.3}", x));
             }
             for s in &self.series {
                 match s.points.get(i) {
-                    Some(&(_, g)) => out.push_str(&format!("{:>12.4}", g)),
-                    None => out.push_str(&format!("{:>12}", "-")),
+                    Some(&(_, g)) => out.push_str(&format!("{:>13.4}", g)),
+                    None => out.push_str(&format!("{:>13}", "-")),
                 }
             }
             out.push('\n');
@@ -152,8 +169,12 @@ impl Figure {
                     .iter()
                     .map(|&(x, g)| format!("[{},{}]", json_num(x), json_num(g)))
                     .collect();
+                let engine = match &s.engine {
+                    Some(e) => format!("\"engine\":\"{}\",", json_escape(e)),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"label\":\"{}\",\"points\":[{}]}}",
+                    "{{\"label\":\"{}\",{engine}\"points\":[{}]}}",
                     json_escape(&s.label),
                     pts.join(",")
                 )
@@ -194,11 +215,35 @@ fn json_num(x: f64) -> String {
     }
 }
 
-/// Time a closure once, in seconds.
+/// Time a closure once, in seconds — a single **cold** measurement.
+/// Prefer [`time_stable`] for anything that lands in reported figures.
 pub fn time_once<F: FnOnce()>(f: F) -> f64 {
     let t = Instant::now();
     f();
     t.elapsed().as_secs_f64()
+}
+
+/// One untimed warm-up call (faults in pages, warms caches and branch
+/// predictors, spins up worker pools) followed by `reps` timed calls;
+/// returns the **median** of the timed calls. The median is robust to the
+/// one-off outliers a cold single-shot measurement produces (e.g. the
+/// fig5g scalar dip in `BENCH_pr1.json`).
+pub fn time_median<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f(); // warm-up, untimed
+    let mut ts: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    ts.sort_by(f64::total_cmp);
+    ts[ts.len() / 2]
+}
+
+/// The harness's standard measurement: warm-up plus median of 3.
+pub fn time_stable<F: FnMut()>(f: F) -> f64 {
+    time_median(f, 3)
 }
 
 /// Convert a measurement to Gstencils/s.
@@ -207,11 +252,13 @@ pub fn gstencils(points: usize, steps: usize, secs: f64) -> f64 {
 }
 
 /// Pick a step count so one measurement touches roughly `budget` point
-/// updates (clamped to `[lo, hi]`, rounded up to a multiple of 4).
+/// updates: rounded up to a multiple of 4 (a whole number of `VL = 4`
+/// temporal tiles) **then** clamped to `[lo, hi]`, so the result can
+/// never exceed `hi`. Callers keep `lo` and `hi` multiples of 4 so the
+/// clamp preserves the tile alignment.
 pub fn choose_steps(points: usize, budget: f64, lo: usize, hi: usize) -> usize {
     let raw = (budget / points.max(1) as f64).round() as usize;
-    let clamped = raw.clamp(lo, hi);
-    clamped.div_ceil(4) * 4
+    (raw.div_ceil(4) * 4).clamp(lo, hi)
 }
 
 /// Per-measurement point-update budget (tuned so a full sequential sweep
@@ -380,8 +427,39 @@ fn pow2_sizes(lo_exp: u32, hi_exp: u32) -> Vec<usize> {
     (lo_exp..=hi_exp).map(|e| 1usize << e).collect()
 }
 
-/// Labelled `(n, steps) -> Gstencils/s` runner for a sequential sweep.
-type SeqRun<'a> = (&'static str, Box<dyn Fn(usize, usize) -> f64 + 'a>);
+/// One sequential measurement: median wall time plus the engine the
+/// dispatch layer resolved to (for schemes that route through
+/// `tempora_core::engine`; `None` for baselines).
+pub struct Sample {
+    /// Median measured wall time, seconds.
+    pub secs: f64,
+    /// Resolved engine name (`portable` | `avx2`), for dispatched schemes.
+    pub engine: Option<&'static str>,
+}
+
+impl Sample {
+    /// A measurement of a non-dispatched (baseline) scheme.
+    pub fn plain(secs: f64) -> Sample {
+        Sample { secs, engine: None }
+    }
+
+    /// Measure a scheme that routes through `tempora_core::engine`:
+    /// warm-up + median-of-3 over `f`, recording the engine the dispatch
+    /// layer resolved to. The run result is black-boxed so the work is
+    /// not optimized away.
+    pub fn dispatched<R>(mut f: impl FnMut() -> (R, engine::Engine)) -> Sample {
+        let mut eng = None;
+        let secs = time_stable(|| {
+            let (r, e) = f();
+            std::hint::black_box(r);
+            eng = Some(e.name());
+        });
+        Sample { secs, engine: eng }
+    }
+}
+
+/// Labelled `(n, steps) -> Sample` runner for a sequential sweep.
+type SeqRun<'a> = (&'static str, Box<dyn Fn(usize, usize) -> Sample + 'a>);
 /// Labelled pool-driven runner for a core-count sweep.
 type ParRun<'a> = (&'static str, Box<dyn Fn(&Pool) + 'a>);
 
@@ -400,6 +478,7 @@ fn seq_sweep<'a>(
         .iter()
         .map(|(label, _)| Series {
             label: label.to_string(),
+            engine: None,
             points: vec![],
         })
         .collect();
@@ -407,8 +486,13 @@ fn seq_sweep<'a>(
         let pts = points_of(n);
         let steps = choose_steps(pts, SEQ_BUDGET, 4, steps_hi);
         for (k, (_, run)) in runs.iter().enumerate() {
-            let t = run(n, steps);
-            series[k].points.push((xmap(n), gstencils(pts, steps, t)));
+            let smp = run(n, steps);
+            if series[k].engine.is_none() {
+                series[k].engine = smp.engine.map(str::to_string);
+            }
+            series[k]
+                .points
+                .push((xmap(n), gstencils(pts, steps, smp.secs)));
         }
     }
     Figure {
@@ -433,6 +517,7 @@ pub fn fig4a(scale: usize) -> Figure {
     };
     let c = Heat1dCoeffs::classic(0.25);
     let kern = JacobiKern1d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig4a",
         "Heat-1D Sequential",
@@ -445,27 +530,25 @@ pub fn fig4a(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
-                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
-                    })
+                    Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, 7))
                 }),
             ),
             (
                 "auto",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -482,6 +565,7 @@ pub fn fig4c(scale: usize) -> Figure {
         .collect();
     let c = Heat2dCoeffs::classic(0.125);
     let kern = JacobiKern2d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig4c",
         "Heat-2D Sequential",
@@ -494,27 +578,25 @@ pub fn fig4c(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
-                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_heat2d(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "auto",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::heat2d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::heat2d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -535,6 +617,7 @@ pub fn fig4e(scale: usize) -> Figure {
         .collect();
     let c = Heat3dCoeffs::classic(1.0 / 6.0);
     let kern = JacobiKern3d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig4e",
         "Heat-3D Sequential",
@@ -547,27 +630,25 @@ pub fn fig4e(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid3(n);
-                    time_once(|| {
-                        std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_heat3d(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "auto",
                 Box::new(move |n, steps| {
                     let g = grid3(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::heat3d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid3(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::heat3d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -584,6 +665,7 @@ pub fn fig4g(scale: usize) -> Figure {
         .collect();
     let c = Box2dCoeffs::smooth(0.1);
     let kern = BoxKern2d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig4g",
         "2D9P Sequential",
@@ -596,27 +678,25 @@ pub fn fig4g(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
-                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_box2d(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "auto",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::box2d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::box2d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -638,6 +718,7 @@ pub fn fig4i(scale: usize) -> Figure {
         fill_random_life(&mut g, SEED, 0.35);
         g
     };
+    let sel = Select::from_env();
     seq_sweep(
         "fig4i",
         "Life Sequential",
@@ -650,27 +731,25 @@ pub fn fig4i(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = mk(n);
-                    time_once(|| {
-                        std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_life(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "auto",
                 Box::new(move |n, steps| {
                     let g = mk(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::life(&g, rule, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = mk(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::life(&g, rule, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -689,6 +768,7 @@ pub fn fig5a(scale: usize) -> Figure {
     };
     let c = Gs1dCoeffs::classic(0.25);
     let kern = GsKern1d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig5a",
         "GS-1D Sequential",
@@ -701,18 +781,16 @@ pub fn fig5a(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
-                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
-                    })
+                    Sample::dispatched(|| engine::run_gs1d(sel, &g, &kern, steps, 7))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::gs1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -729,6 +807,7 @@ pub fn fig5c(scale: usize) -> Figure {
         .collect();
     let c = Gs2dCoeffs::classic(0.2);
     let kern = GsKern2d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig5c",
         "GS-2D Sequential",
@@ -741,18 +820,16 @@ pub fn fig5c(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
-                        std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_gs2d(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid2(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::gs2d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -773,6 +850,7 @@ pub fn fig5e(scale: usize) -> Figure {
         .collect();
     let c = Gs3dCoeffs::classic(0.125);
     let kern = GsKern3d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "fig5e",
         "GS-3D Sequential",
@@ -785,18 +863,16 @@ pub fn fig5e(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid3(n);
-                    time_once(|| {
-                        std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, steps, 2));
-                    })
+                    Sample::dispatched(|| engine::run_gs3d(sel, &g, &kern, steps, 2))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid3(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::gs3d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -811,19 +887,20 @@ pub fn fig5g(scale: usize) -> Figure {
         2..=4 => 16,
         _ => 14,
     };
+    let sel = Select::from_env();
     let mut our = vec![];
     let mut scalar = vec![];
+    let mut our_engine = None;
     for n in pow2_sizes(7, hi) {
         let a = random_sequence(n, 4, SEED);
         let b = random_sequence(n, 4, SEED + 1);
-        let t_our = time_once(|| {
-            std::hint::black_box(tlcs::length(&a, &b, 1));
-        });
-        let t_scalar = time_once(|| {
+        let smp = Sample::dispatched(|| engine::run_lcs(sel, &a, &b, 1));
+        our_engine = smp.engine.map(str::to_string);
+        let t_scalar = time_stable(|| {
             std::hint::black_box(reference::lcs_len(&a, &b));
         });
         let x = (n as f64).log2();
-        our.push((x, gstencils(n, n, t_our)));
+        our.push((x, gstencils(n, n, smp.secs)));
         scalar.push((x, gstencils(n, n, t_scalar)));
     }
     Figure {
@@ -833,10 +910,12 @@ pub fn fig5g(scale: usize) -> Figure {
         series: vec![
             Series {
                 label: "our".into(),
+                engine: our_engine,
                 points: our,
             },
             Series {
                 label: "scalar".into(),
+                engine: None,
                 points: scalar,
             },
         ],
@@ -870,14 +949,16 @@ fn parallel_sweep<'a>(
         .iter()
         .map(|(label, _)| Series {
             label: label.to_string(),
+            engine: None,
             points: vec![],
         })
         .collect();
     for &cores in &core_counts(max_cores) {
         let pool = Pool::new(cores);
         for (k, (_, run)) in runs.iter().enumerate() {
-            run(&pool); // warm-up: fault in pages, spin up workers
-            let t = time_once(|| run(&pool));
+            // time_stable's built-in warm-up faults in pages and spins up
+            // the workers before the three timed runs.
+            let t = time_stable(|| run(&pool));
             series[k]
                 .points
                 .push((cores as f64, gstencils(pts, steps, t)));
@@ -1248,14 +1329,15 @@ pub fn ablate_stride(scale: usize) -> Figure {
     let n = ((1usize << 20) / scale.max(1)).max(1 << 12);
     let c = Heat1dCoeffs::classic(0.25);
     let kern = JacobiKern1d(c);
+    let sel = Select::from_env();
     let g = grid1(n);
     let steps = choose_steps(n, SEQ_BUDGET, 8, 4096);
     let mut pts = vec![];
+    let mut eng = None;
     for s in 2..=8 {
-        let t = time_once(|| {
-            std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, s));
-        });
-        pts.push((s as f64, gstencils(n, steps, t)));
+        let smp = Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, s));
+        eng = smp.engine.map(str::to_string);
+        pts.push((s as f64, gstencils(n, steps, smp.secs)));
     }
     Figure {
         id: "ablate-stride".into(),
@@ -1263,6 +1345,7 @@ pub fn ablate_stride(scale: usize) -> Figure {
         xlabel: "stride s".into(),
         series: vec![Series {
             label: "our".into(),
+            engine: eng,
             points: pts,
         }],
     }
@@ -1273,6 +1356,7 @@ pub fn ablate_baselines(scale: usize) -> Figure {
     let hi = if scale <= 2 { 22 } else { 19 };
     let c = Heat1dCoeffs::classic(0.25);
     let kern = JacobiKern1d(c);
+    let sel = Select::from_env();
     seq_sweep(
         "ablate-baselines",
         "All vectorization schemes (Heat-1D sequential)",
@@ -1285,45 +1369,43 @@ pub fn ablate_baselines(scale: usize) -> Figure {
                 "our",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
-                        std::hint::black_box(t1d::run::<4, _>(&g, &kern, steps, 7));
-                    })
+                    Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, 7))
                 }),
             ),
             (
                 "multiload",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(multiload::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "reorg",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reorg::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "dlt",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(dlt::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
             (
                 "scalar",
                 Box::new(move |n, steps| {
                     let g = grid1(n);
-                    time_once(|| {
+                    Sample::plain(time_stable(|| {
                         std::hint::black_box(reference::heat1d(&g, c, steps));
-                    })
+                    }))
                 }),
             ),
         ],
@@ -1343,21 +1425,64 @@ mod tests {
     }
 
     #[test]
+    fn steps_never_exceed_hi() {
+        // Regression: rounding up to a multiple of 4 *after* clamping used
+        // to push the result past `hi` (e.g. hi = 5 -> 8).
+        assert_eq!(choose_steps(1, 1e9, 4, 5), 5);
+        assert_eq!(choose_steps(1, 1e9, 4, 2000), 2000);
+        for hi in [4usize, 5, 512, 2000, 65536] {
+            assert!(choose_steps(1, 1e12, 4, hi) <= hi, "hi={hi}");
+        }
+        // Small raw counts still land on a tile multiple within range.
+        assert_eq!(choose_steps(1 << 20, 6e7, 4, 65536), 60);
+    }
+
+    #[test]
     fn figure_rendering() {
         let f = Figure {
             id: "t".into(),
             title: "T".into(),
             xlabel: "x".into(),
-            series: vec![Series {
-                label: "a".into(),
-                points: vec![(1.0, 2.0), (2.0, 3.0)],
-            }],
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    engine: None,
+                    points: vec![(1.0, 2.0), (2.0, 3.0)],
+                },
+                Series {
+                    label: "our".into(),
+                    engine: Some("avx2".into()),
+                    points: vec![(1.0, 4.0), (2.0, 5.0)],
+                },
+            ],
         };
         let table = f.to_table();
         assert!(table.contains("# t — T"));
+        assert!(table.contains("our:avx2"), "{table}");
         let csv = f.to_csv();
-        assert!(csv.starts_with("x,a\n"));
-        assert!(csv.contains("1,2\n"));
+        assert!(csv.starts_with("x,a,our\n"));
+        assert!(csv.contains("1,2,4\n"));
+        let json = f.to_json();
+        assert!(json.contains("\"engine\":\"avx2\""), "{json}");
+        assert!(!json.contains("\"label\":\"a\",\"engine\""), "{json}");
+    }
+
+    #[test]
+    fn time_median_is_robust_to_one_outlier() {
+        // The first (cold) call is the slowest by construction; the median
+        // of the post-warm-up runs must not report it.
+        let mut calls = 0u32;
+        let t = time_median(
+            || {
+                calls += 1;
+                if calls == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+            },
+            3,
+        );
+        assert_eq!(calls, 4); // 1 warm-up + 3 timed
+        assert!(t < 0.015, "median contaminated by warm-up outlier: {t}");
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! Unified engine dispatch: one place that decides, per workload, whether
+//! the portable pack steady state or the hand-scheduled `std::arch` AVX2
+//! steady state runs.
+//!
+//! Every `run_*` entry point here returns the result **and** the
+//! [`Engine`] that actually executed, so callers (the bench harness in
+//! particular) can report honestly which instruction mix was measured.
+//! The selection policy is a three-valued [`Select`]:
+//!
+//! * [`Select::Auto`] (the default) — AVX2+FMA steady state whenever the
+//!   CPU supports it and the workload has one, portable otherwise;
+//! * [`Select::Portable`] — always the portable pack engine;
+//! * [`Select::Avx2`] — require the AVX2 path (panics if the CPU lacks
+//!   AVX2+FMA; workloads with no hand-scheduled variant still resolve to
+//!   portable, reported as such).
+//!
+//! Degenerate shapes that cannot exercise a vector steady state at all —
+//! fewer than one full `VL = 4` time tile, or an outer extent below
+//! `VL·s` — also resolve portable, because every engine would run the
+//! identical scalar schedule there and reporting `avx2` would misname
+//! the instruction mix that actually executed.
+//!
+//! The selection is overridable at process level through the
+//! `TEMPORA_ENGINE` environment variable (`auto` | `portable` | `avx2`,
+//! read by [`Select::from_env`]); the `repro` harness records both the
+//! selection and the per-series resolved engine in its JSON output.
+//!
+//! All engines are bit-identical to the scalar oracles, so dispatch never
+//! changes results — only speed.
+
+use crate::kernels::{
+    BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, LifeKern2d,
+};
+use crate::{lcs, t1d, t2d, t3d};
+use tempora_grid::{Grid1, Grid2, Grid3};
+
+/// Environment variable consulted by [`Select::from_env`].
+pub const ENV_VAR: &str = "TEMPORA_ENGINE";
+
+/// Engine-selection policy (see the [module docs](self)).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Select {
+    /// Best available: AVX2 where supported and implemented, else portable.
+    #[default]
+    Auto,
+    /// Force the portable pack engine.
+    Portable,
+    /// Require the `std::arch` AVX2 engine (panics without AVX2+FMA).
+    Avx2,
+}
+
+impl Select {
+    /// Parse a selection name (`auto` | `portable` | `avx2`,
+    /// case-insensitive; the empty string means `auto`).
+    pub fn parse(s: &str) -> Option<Select> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(Select::Auto),
+            "portable" => Some(Select::Portable),
+            "avx2" => Some(Select::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Read the selection from the `TEMPORA_ENGINE` environment variable
+    /// ([`Select::Auto`] when unset).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value, so typos fail loudly instead of
+    /// silently benchmarking the wrong engine.
+    pub fn from_env() -> Select {
+        match std::env::var(ENV_VAR) {
+            Ok(v) => Select::parse(&v).unwrap_or_else(|| {
+                panic!("{ENV_VAR}={v:?} not recognized (expected auto | portable | avx2)")
+            }),
+            Err(_) => Select::Auto,
+        }
+    }
+
+    /// The canonical name of this selection (`auto` | `portable` | `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Select::Auto => "auto",
+            Select::Portable => "portable",
+            Select::Avx2 => "avx2",
+        }
+    }
+
+    /// Resolve the policy against CPU capability and whether the workload
+    /// has a hand-scheduled AVX2 steady state.
+    fn resolve(self, has_avx2_impl: bool) -> Engine {
+        match self {
+            Select::Portable => Engine::Portable,
+            Select::Auto => {
+                if has_avx2_impl && tempora_simd::arch::avx2_available() {
+                    Engine::Avx2
+                } else {
+                    Engine::Portable
+                }
+            }
+            Select::Avx2 => {
+                assert!(
+                    tempora_simd::arch::avx2_available(),
+                    "{ENV_VAR}=avx2 requested but this CPU lacks AVX2+FMA"
+                );
+                if has_avx2_impl {
+                    Engine::Avx2
+                } else {
+                    Engine::Portable
+                }
+            }
+        }
+    }
+}
+
+/// The concrete steady state a dispatch decision resolved to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The portable `Pack` engine (LLVM auto-selection).
+    Portable,
+    /// The hand-scheduled `std::arch` AVX2+FMA engine.
+    Avx2,
+}
+
+impl Engine {
+    /// The engine name as recorded in bench output (`portable` | `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Portable => "portable",
+            Engine::Avx2 => "avx2",
+        }
+    }
+}
+
+/// True when a workload shape can actually exercise a vector steady
+/// state: at least one full `VL = 4` time tile, and an outer extent that
+/// hosts the vector schedule (`n ≥ VL·s`). Degenerate shapes run the
+/// scalar schedule in *every* engine, so dispatch resolves them portable
+/// — the returned [`Engine`] must name the steady state that executes,
+/// not the one that was asked for.
+fn shape_has_vector_tiles(n_outer: usize, steps: usize, s: usize) -> bool {
+    steps >= 4 && n_outer >= 4 * s
+}
+
+/// Run Heat-1D (1D3P Jacobi) under `sel`; returns the final grid and the
+/// engine that executed. The AVX2 ring is register-resident and capped at
+/// stride [`crate::t1d_avx2::MAX_STRIDE`]; wider strides resolve portable.
+pub fn run_heat1d(
+    sel: Select,
+    grid: &Grid1<f64>,
+    kern: &JacobiKern1d,
+    steps: usize,
+    s: usize,
+) -> (Grid1<f64>, Engine) {
+    let has_impl = s <= crate::t1d_avx2::MAX_STRIDE && shape_has_vector_tiles(grid.n(), steps, s);
+    match sel.resolve(has_impl) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t1d_avx2::run_heat1d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (t1d::run::<4, _>(grid, kern, steps, s), Engine::Portable),
+    }
+}
+
+/// Run GS-1D (1D3P Gauss-Seidel) under `sel`; returns the final grid and
+/// the engine that executed.
+pub fn run_gs1d(
+    sel: Select,
+    grid: &Grid1<f64>,
+    kern: &GsKern1d,
+    steps: usize,
+    s: usize,
+) -> (Grid1<f64>, Engine) {
+    let has_impl = s <= crate::t1d_avx2::MAX_STRIDE && shape_has_vector_tiles(grid.n(), steps, s);
+    match sel.resolve(has_impl) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t1d_avx2::run_gs1d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (t1d::run::<4, _>(grid, kern, steps, s), Engine::Portable),
+    }
+}
+
+/// Run Heat-2D (2D5P Jacobi) under `sel`; returns the final grid and the
+/// engine that executed.
+pub fn run_heat2d(
+    sel: Select,
+    grid: &Grid2<f64>,
+    kern: &JacobiKern2d,
+    steps: usize,
+    s: usize,
+) -> (Grid2<f64>, Engine) {
+    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t2d_avx2::run_heat2d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t2d::run::<f64, 4, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
+}
+
+/// Run 2D9P (box Jacobi) under `sel`; returns the final grid and the
+/// engine that executed.
+pub fn run_box2d(
+    sel: Select,
+    grid: &Grid2<f64>,
+    kern: &BoxKern2d,
+    steps: usize,
+    s: usize,
+) -> (Grid2<f64>, Engine) {
+    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t2d_avx2::run_box2d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t2d::run::<f64, 4, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
+}
+
+/// Run GS-2D (2D5P Gauss-Seidel) under `sel`; returns the final grid and
+/// the engine that executed.
+pub fn run_gs2d(
+    sel: Select,
+    grid: &Grid2<f64>,
+    kern: &GsKern2d,
+    steps: usize,
+    s: usize,
+) -> (Grid2<f64>, Engine) {
+    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t2d_avx2::run_gs2d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t2d::run::<f64, 4, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
+}
+
+/// Run Game-of-Life (integer 2D9P, 8 lanes) under `sel`. No AVX2 integer
+/// steady state exists yet, so every selection resolves to the portable
+/// engine (reported honestly).
+pub fn run_life(
+    sel: Select,
+    grid: &Grid2<i32>,
+    kern: &LifeKern2d,
+    steps: usize,
+    s: usize,
+) -> (Grid2<i32>, Engine) {
+    let engine = sel.resolve(false);
+    debug_assert_eq!(engine, Engine::Portable);
+    (t2d::run::<i32, 8, _>(grid, kern, steps, s), engine)
+}
+
+/// Run Heat-3D (3D7P Jacobi) under `sel`; returns the final grid and the
+/// engine that executed.
+pub fn run_heat3d(
+    sel: Select,
+    grid: &Grid3<f64>,
+    kern: &JacobiKern3d,
+    steps: usize,
+    s: usize,
+) -> (Grid3<f64>, Engine) {
+    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t3d_avx2::run_heat3d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t3d::run::<f64, 4, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
+}
+
+/// Run GS-3D (3D7P Gauss-Seidel) under `sel`; returns the final grid and
+/// the engine that executed.
+pub fn run_gs3d(
+    sel: Select,
+    grid: &Grid3<f64>,
+    kern: &GsKern3d,
+    steps: usize,
+    s: usize,
+) -> (Grid3<f64>, Engine) {
+    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t3d_avx2::run_gs3d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t3d::run::<f64, 4, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
+}
+
+/// Run the LCS length DP under `sel`. The `i32×8` LCS kernel has no AVX2
+/// steady state yet, so every selection resolves to portable.
+pub fn run_lcs(sel: Select, a: &[u8], b: &[u8], s: usize) -> (i32, Engine) {
+    let engine = sel.resolve(false);
+    debug_assert_eq!(engine, Engine::Portable);
+    (lcs::length(a, b, s), engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_grid::{fill_random_1d, Boundary};
+    use tempora_stencil::{reference, Heat1dCoeffs};
+
+    #[test]
+    fn select_parses_all_names() {
+        assert_eq!(Select::parse("auto"), Some(Select::Auto));
+        assert_eq!(Select::parse(""), Some(Select::Auto));
+        assert_eq!(Select::parse("Portable"), Some(Select::Portable));
+        assert_eq!(Select::parse(" AVX2 "), Some(Select::Avx2));
+        assert_eq!(Select::parse("sse"), None);
+        for sel in [Select::Auto, Select::Portable, Select::Avx2] {
+            assert_eq!(Select::parse(sel.name()), Some(sel));
+        }
+    }
+
+    #[test]
+    fn portable_selection_always_reports_portable() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let mut g = Grid1::new(200, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 1, -1.0, 1.0);
+        let (r, e) = run_heat1d(Select::Portable, &g, &kern, 8, 7);
+        assert_eq!(e, Engine::Portable);
+        assert!(r.interior_eq(&reference::heat1d(&g, c, 8)));
+    }
+
+    #[test]
+    fn auto_matches_portable_bitwise() {
+        let c = Heat1dCoeffs::new(0.3, 0.45, 0.25);
+        let kern = JacobiKern1d(c);
+        let mut g = Grid1::new(500, 1, Boundary::Dirichlet(-1.0));
+        fill_random_1d(&mut g, 9, -1.0, 1.0);
+        let (auto, _) = run_heat1d(Select::Auto, &g, &kern, 12, 7);
+        let (port, _) = run_heat1d(Select::Portable, &g, &kern, 12, 7);
+        assert!(auto.interior_eq(&port));
+    }
+
+    #[test]
+    fn degenerate_shapes_resolve_portable() {
+        // Shapes whose every step runs the scalar schedule must report
+        // the portable engine, whatever the selection policy — on these
+        // shapes no AVX2 steady-state instruction ever executes.
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let mut small = Grid1::new(5, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut small, 4, -1.0, 1.0);
+        let mut big = Grid1::new(200, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut big, 5, -1.0, 1.0);
+        for sel in [Select::Auto, Select::Portable] {
+            // n = 5 < VL·s = 8: no vector tile fits.
+            let (r, e) = run_heat1d(sel, &small, &kern, 8, 2);
+            assert_eq!(e, Engine::Portable, "{sel:?}");
+            assert!(r.interior_eq(&reference::heat1d(&small, c, 8)));
+            // steps = 3 < VL: only scalar remainder steps run.
+            let (r, e) = run_heat1d(sel, &big, &kern, 3, 2);
+            assert_eq!(e, Engine::Portable, "{sel:?}");
+            assert!(r.interior_eq(&reference::heat1d(&big, c, 3)));
+        }
+        let c2 = tempora_stencil::Heat2dCoeffs::classic(0.12);
+        let k2 = JacobiKern2d(c2);
+        let mut g2 = tempora_grid::Grid2::new(5, 9, 1, Boundary::Dirichlet(0.0));
+        tempora_grid::fill_random_2d(&mut g2, 6, -1.0, 1.0);
+        let (r, e) = run_heat2d(Select::Auto, &g2, &k2, 8, 2);
+        assert_eq!(e, Engine::Portable);
+        assert!(r.interior_eq(&tempora_stencil::reference::heat2d(&g2, c2, 8)));
+    }
+
+    #[test]
+    fn workloads_without_avx2_impl_resolve_portable() {
+        // Stride beyond the 1-D register-ring cap must resolve portable
+        // even under Auto on an AVX2 host.
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let mut g = Grid1::new(4096, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 2, -1.0, 1.0);
+        let wide = crate::t1d_avx2::MAX_STRIDE + 1;
+        let (r, e) = run_heat1d(Select::Auto, &g, &kern, 4, wide);
+        assert_eq!(e, Engine::Portable);
+        assert!(r.interior_eq(&reference::heat1d(&g, c, 4)));
+    }
+}

@@ -117,14 +117,7 @@ pub fn tile<const VL: usize, const COUNT: bool, K: Kernel1d>(
     // For Gauss-Seidel: O(0), lane i = level i+1 at (VL-1-i)·s.
     let boundary_l = a[0];
     let mut o_prev = if K::IS_GS {
-        Pack::<f64, VL>::from_fn(|i| {
-            let x = (VL - 1 - i) * s;
-            if i == VL - 1 {
-                boundary_l
-            } else {
-                scratch.head[i + 1][x]
-            }
-        })
+        gs_initial_output::<VL>(boundary_l, s, scratch)
     } else {
         Pack::splat(0.0)
     };
@@ -213,14 +206,7 @@ pub fn tile_batched<const VL: usize, const COUNT: bool, K: Kernel1d>(
 
     let boundary_l = a[0];
     let mut o_prev = if K::IS_GS {
-        Pack::<f64, VL>::from_fn(|i| {
-            let x = (VL - 1 - i) * s;
-            if i == VL - 1 {
-                boundary_l
-            } else {
-                scratch.head[i + 1][x]
-            }
-        })
+        gs_initial_output::<VL>(boundary_l, s, scratch)
     } else {
         Pack::splat(0.0)
     };
@@ -332,6 +318,26 @@ pub fn run_batched_counted<const VL: usize, K: Kernel1d>(
 
 /// Ring capacity of the phase API (supports strides up to 16).
 pub const RING_CAP: usize = 17;
+
+/// The initial Gauss-Seidel output vector `O(0)` — lane `i` holds the
+/// level-`i+1` value at `x = (VL-1-i)·s` (boundary value in the top lane)
+/// — assembled from the prologue's head planes. Shared by the portable
+/// steady states and the arch-specialized ones (see `t1d_avx2`), so every
+/// engine seeds the §3.4 recurrence identically.
+pub fn gs_initial_output<const VL: usize>(
+    boundary_l: f64,
+    s: usize,
+    scratch: &Scratch1d<VL>,
+) -> Pack<f64, VL> {
+    Pack::from_fn(|i| {
+        let x = (VL - 1 - i) * s;
+        if i == VL - 1 {
+            boundary_l
+        } else {
+            scratch.head[i + 1][x]
+        }
+    })
+}
 
 /// Phase 1 of a temporal tile: scalar prologue triangles plus the strided
 /// gather of the initial input vectors `V(0) ..= V(s)` (Algorithm 3 lines

@@ -1,18 +1,21 @@
-//! Hand-scheduled AVX2 (`std::arch`) variant of the 1-D Jacobi temporal
-//! engine.
+//! Hand-scheduled AVX2 (`std::arch`) variants of the 1-D temporal
+//! engines (Jacobi *and* Gauss-Seidel).
 //!
 //! The portable engine in [`crate::t1d`] leaves instruction selection to
-//! LLVM; this variant pins the steady state to the exact AVX instruction
+//! LLVM; these variants pin the steady state to the exact AVX instruction
 //! mix the paper's §3.3 analysis assumes — `vfmadd231pd` for the stencil,
 //! one `vpermpd` (lane-crossing rotate) plus one `vblendpd` (in-lane) for
 //! the input-vector production — with the ring kept in `__m256d`
 //! registers via a fixed-capacity array. Prologue, epilogue and all
 //! boundary handling are shared with the portable engine, so results stay
-//! bit-identical to it (and therefore to the scalar reference).
+//! bit-identical to it (and therefore to the scalar reference). The
+//! Gauss-Seidel steady state feeds the previous *output* vector back as
+//! the newest-west operand (§3.4) from a register.
 //!
-//! Use [`run_heat1d_auto`] for transparent runtime dispatch.
+//! Use [`crate::engine`] (or the legacy [`run_heat1d_auto`]) for
+//! transparent runtime dispatch.
 
-use crate::kernels::{JacobiKern1d, Kernel1d};
+use crate::kernels::{GsKern1d, JacobiKern1d, Kernel1d};
 use crate::t1d::{self, Scratch1d};
 use tempora_grid::Grid1;
 
@@ -91,6 +94,65 @@ mod imp {
         }
         t1d::tile_epilogue::<4, JacobiKern1d>(a, n, kern, s, scratch, &back, x_max);
     }
+
+    /// One Gauss-Seidel temporal tile with the AVX2 steady state. Falls
+    /// back to the portable tile for degenerate sizes.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_gs_avx2(
+        a: &mut [f64],
+        n: usize,
+        kern: &GsKern1d,
+        s: usize,
+        scratch: &mut Scratch1d<4>,
+    ) {
+        const VL: usize = 4;
+        assert!((GsKern1d::MIN_STRIDE..=MAX_STRIDE).contains(&s));
+        if n < VL * s {
+            t1d::tile::<4, false, GsKern1d>(a, n, kern, s, scratch);
+            return;
+        }
+        let boundary_l = a[0];
+        let (ring_init, x_max) = t1d::tile_prologue::<4, GsKern1d>(a, n, kern, s, scratch);
+
+        let cw = avx2::splat(kern.0.w);
+        let cc = avx2::splat(kern.0.c);
+        let ce = avx2::splat(kern.0.e);
+
+        let ring_len = s + 1;
+        let mut ring = [avx2::splat(0.0); MAX_STRIDE + 2];
+        for (k, slot) in ring_init.iter().enumerate().take(ring_len) {
+            ring[k] = avx2::from_pack(*slot);
+        }
+
+        // §3.4: the newest-west operand is the previous output vector.
+        let mut o_prev = avx2::from_pack(t1d::gs_initial_output::<4>(boundary_l, s, scratch));
+        let mut v0 = ring[1 % ring_len];
+        let mut ip1 = 2 % ring_len;
+        let mut im1 = 0usize;
+        for x in 1..=x_max {
+            let vp1 = ring[ip1];
+            // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
+            // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
+            let o = _mm256_fmadd_pd(o_prev, cw, _mm256_fmadd_pd(v0, cc, _mm256_mul_pd(vp1, ce)));
+            a[x] = avx2::extract_top(o);
+            let bottom = a[x + VL * s];
+            ring[im1] = avx2::shift_up_insert(o, bottom);
+            o_prev = o;
+            v0 = vp1;
+            im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
+            ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+        }
+
+        let mut back = [Pack::<f64, 4>::splat(0.0); 17];
+        for k in 0..ring_len {
+            back[k] = avx2::to_pack(ring[k]);
+        }
+        t1d::tile_epilogue::<4, GsKern1d>(a, n, kern, s, scratch, &back, x_max);
+    }
 }
 
 /// Run `steps` Heat-1D time steps with the AVX2 steady state; panics if
@@ -121,29 +183,49 @@ pub fn run_heat1d_avx2(
     g
 }
 
+/// Run `steps` GS-1D time steps with the AVX2 steady state; panics if
+/// AVX2+FMA are unavailable (use [`crate::engine`] for dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn run_gs1d_avx2(grid: &Grid1<f64>, kern: &GsKern1d, steps: usize, s: usize) -> Grid1<f64> {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let n = g.n();
+    let mut scratch = Scratch1d::<4>::new(s);
+    let a = g.data_mut();
+    for _ in 0..steps / 4 {
+        // SAFETY: availability asserted above.
+        unsafe { imp::tile_gs_avx2(a, n, kern, s, &mut scratch) };
+    }
+    for _ in 0..steps % 4 {
+        t1d::scalar_step_inplace(a, n, kern);
+    }
+    g
+}
+
 /// Run Heat-1D with the best available engine: the `std::arch` AVX2 path
 /// on capable x86-64 CPUs, the portable pack engine elsewhere. Both are
 /// bit-identical to the scalar reference.
+///
+/// Thin wrapper over [`crate::engine::run_heat1d`] with
+/// [`crate::engine::Select::Auto`] (kept for API compatibility).
 pub fn run_heat1d_auto(
     grid: &Grid1<f64>,
     kern: &JacobiKern1d,
     steps: usize,
     s: usize,
 ) -> Grid1<f64> {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if tempora_simd::arch::avx2_available() && s <= MAX_STRIDE {
-            return run_heat1d_avx2(grid, kern, steps, s);
-        }
-    }
-    t1d::run::<4, _>(grid, kern, steps, s)
+    crate::engine::run_heat1d(crate::engine::Select::Auto, grid, kern, steps, s).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tempora_grid::{fill_random_1d, Boundary};
-    use tempora_stencil::{reference, Heat1dCoeffs};
+    use tempora_stencil::{reference, Gs1dCoeffs, Heat1dCoeffs};
 
     #[test]
     fn avx2_engine_matches_reference_bitwise() {
@@ -166,6 +248,38 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gs1d_avx2_matches_reference_bitwise() {
+        if !tempora_simd::arch::avx2_available() {
+            return;
+        }
+        let c = Gs1dCoeffs::new(0.4, 0.35, 0.25);
+        let kern = GsKern1d(c);
+        for &n in &[16usize, 63, 200, 777] {
+            for s in 2..=7 {
+                for steps in [4usize, 8, 13] {
+                    let mut g = Grid1::new(n, 1, Boundary::Dirichlet(-0.3));
+                    fill_random_1d(&mut g, (2 * n + s + steps) as u64, -1.0, 1.0);
+                    let ours = run_gs1d_avx2(&g, &kern, steps, s);
+                    let gold = reference::gs1d(&g, c, steps);
+                    assert!(
+                        ours.interior_eq(&gold),
+                        "n={n} s={s} steps={steps} {:?}",
+                        ours.first_diff(&gold)
+                    );
+                }
+            }
+        }
+        // Degenerate n < VL·s falls back to the portable tile.
+        for n in 1..=15 {
+            let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.1));
+            fill_random_1d(&mut g, n as u64, -1.0, 1.0);
+            let ours = run_gs1d_avx2(&g, &kern, 8, 4);
+            let gold = reference::gs1d(&g, c, 8);
+            assert!(ours.interior_eq(&gold), "n={n}");
         }
     }
 

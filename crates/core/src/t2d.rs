@@ -39,21 +39,21 @@ use tempora_simd::{Pack, Scalar};
 pub struct Scratch2d<T: Scalar, const VL: usize> {
     /// Head planes: `head[k]` holds level-`k` rows `0..=(VL-k)·s` (row 0 =
     /// boundary), width `ny + 2`, flat row-major.
-    head: Vec<Vec<T>>,
+    pub(crate) head: Vec<Vec<T>>,
     /// Tail planes: `tail[i]` holds level-`i` rows re-based at
     /// `x_max + (VL-1-i)·s`, `(i+1)·s + 2` rows of width `ny + 2`.
-    tail: Vec<Vec<T>>,
+    pub(crate) tail: Vec<Vec<T>>,
     /// Wavefront ring: `s + 2` rows of `ny + 2` input-vector packs.
-    ring: Vec<Vec<Pack<T, VL>>>,
+    pub(crate) ring: Vec<Vec<Pack<T, VL>>>,
     /// Previous output row `O(x-1, ·)` (Gauss-Seidel only).
-    o_prev: Vec<Pack<T, VL>>,
+    pub(crate) o_prev: Vec<Pack<T, VL>>,
     /// Output row being produced `O(x, ·)` (Gauss-Seidel only).
-    o_cur: Vec<Pack<T, VL>>,
+    pub(crate) o_cur: Vec<Pack<T, VL>>,
     /// Two old-row copies for the in-place scalar step.
-    row_a: Vec<T>,
-    row_b: Vec<T>,
-    s: usize,
-    ny: usize,
+    pub(crate) row_a: Vec<T>,
+    pub(crate) row_b: Vec<T>,
+    pub(crate) s: usize,
+    pub(crate) ny: usize,
 }
 
 impl<T: Scalar, const VL: usize> Scratch2d<T, VL> {
@@ -119,6 +119,11 @@ pub fn scalar_step_inplace<T: Scalar, K: Kernel2d<T>>(
 /// Advance the grid by `VL` time steps with the temporal-vectorized
 /// schedule (in place, single array).
 ///
+/// The tile is the composition of the three phases exposed below —
+/// [`tile_prologue`], [`tile_steady`], [`tile_epilogue`] — so that
+/// arch-specialized steady states (see `t2d_avx2`) can swap the middle
+/// phase while sharing the exact boundary machinery.
+///
 /// # Panics
 /// Panics if `s < K::MIN_STRIDE` or the grid's halo is not 1.
 pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
@@ -127,23 +132,61 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
     s: usize,
     sc: &mut Scratch2d<T, VL>,
 ) {
+    if tile_fallback_if_degenerate::<T, VL, K>(g, kern, s, sc) {
+        return;
+    }
+    let x_max = tile_prologue::<T, VL, K>(g, kern, s, sc);
+    tile_steady::<T, VL, K>(g, kern, s, sc, x_max);
+    tile_epilogue::<T, VL, K>(g, kern, s, sc, x_max);
+}
+
+/// Shared degenerate-tile guard: when the outer extent cannot host the
+/// vector schedule (`nx < VL·s`), run the `VL` steps with the scalar
+/// schedule instead (same results) and report `true`.
+pub fn tile_fallback_if_degenerate<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    g: &mut Grid2<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch2d<T, VL>,
+) -> bool {
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    assert_eq!(g.halo(), 1, "temporal engines use halo width 1");
+    assert_eq!((sc.s, sc.ny), (s, g.ny()), "scratch shape mismatch");
+    if g.nx() >= VL * s {
+        return false;
+    }
+    for _ in 0..VL {
+        let (mut ra, mut rb) = (
+            core::mem::take(&mut sc.row_a),
+            core::mem::take(&mut sc.row_b),
+        );
+        scalar_step_inplace(g, kern, &mut ra, &mut rb);
+        sc.row_a = ra;
+        sc.row_b = rb;
+    }
+    true
+}
+
+/// Phase 1 of a 2-D temporal tile: scalar head bands for levels `1..VL`,
+/// the initial wavefront ring `W(0) ..= W(s)`, and (for Gauss-Seidel) the
+/// initial output row `O(0, ·)` in `sc.o_prev`. Returns the steady-state
+/// bound `x_max`.
+pub fn tile_prologue<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    g: &mut Grid2<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch2d<T, VL>,
+) -> usize {
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
     assert_eq!(g.halo(), 1, "temporal engines use halo width 1");
     assert_eq!((sc.s, sc.ny), (s, g.ny()), "scratch shape mismatch");
     let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
+    assert!(
+        nx >= VL * s,
+        "degenerate tile (nx={nx} < VL*s={}): call tile_fallback_if_degenerate first",
+        VL * s
+    );
     let bc = g.boundary().value();
-    if nx < VL * s {
-        for _ in 0..VL {
-            let (mut ra, mut rb) = (
-                core::mem::take(&mut sc.row_a),
-                core::mem::take(&mut sc.row_b),
-            );
-            scalar_step_inplace(g, kern, &mut ra, &mut rb);
-            sc.row_a = ra;
-            sc.row_b = rb;
-        }
-        return;
-    }
     let x_max = nx + 1 - VL * s;
     let w = ny + 2;
     let rlen = s + 2;
@@ -228,10 +271,23 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             };
         }
     }
+    x_max
+}
 
-    // ------------------------------------------------------------------
-    // Steady state: one vectorized pass per outer row x.
-    // ------------------------------------------------------------------
+/// Phase 2 of a 2-D temporal tile (portable): one vectorized pass per
+/// outer row `x ∈ 1..=x_max`, producing `W(x+s)` from `W(x-1..=x+1)` with
+/// the rotate-and-blend rule. `x_max` must come from [`tile_prologue`].
+pub fn tile_steady<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    g: &mut Grid2<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch2d<T, VL>,
+    x_max: usize,
+) {
+    let (ny, p) = (g.ny(), g.pitch());
+    let bc = g.boundary().value();
+    let rlen = s + 2;
+    let a = g.data_mut();
     let zero = Pack::<T, VL>::splat(T::ZERO);
     for x in 1..=x_max {
         let im1 = (x - 1) % rlen;
@@ -281,10 +337,25 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Epilogue: drain the ring into tail planes, then finish each level.
-    // ------------------------------------------------------------------
+/// Phase 3 of a 2-D temporal tile: drain the surviving wavefront ring into
+/// the tail planes and finish every level scalar-wise up to row `nx`.
+/// `x_max` must match the value [`tile_prologue`] returned and the ring
+/// must hold `W(j)` at slot `j % (s+2)` for `j ∈ x_max ..= x_max+s`, as
+/// left behind by the steady state.
+pub fn tile_epilogue<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    g: &mut Grid2<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch2d<T, VL>,
+    x_max: usize,
+) {
+    let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
+    let bc = g.boundary().value();
+    let w = ny + 2;
+    let rlen = s + 2;
+    let a = g.data_mut();
     for i in 1..VL {
         let base = x_max + (VL - 1 - i) * s;
         let rows = (i + 1) * s + 1; // rel 0 ..= (i+1)·s, last = halo row nx+1

@@ -1,0 +1,401 @@
+//! Hand-scheduled AVX2 (`std::arch`) steady states for the 2-D temporal
+//! engines: Heat-2D (2D5P Jacobi), 2D9P (box Jacobi) and GS-2D.
+//!
+//! The portable engine in [`crate::t2d`] leaves instruction selection to
+//! LLVM; these variants pin the steady state to the instruction mix the
+//! paper's §3.3 analysis assumes — `vfmadd231pd` for the stencil update,
+//! one `vpermpd` (lane-crossing rotate) plus one `vblendpd` (in-lane) for
+//! the input-vector production — while the wavefront ring, prologue,
+//! epilogue and all boundary handling are shared with the portable engine
+//! through its three-phase split ([`crate::t2d::tile_prologue`] /
+//! [`crate::t2d::tile_epilogue`]). Results stay bit-identical to the
+//! portable engine and therefore to the scalar references.
+//!
+//! Use [`crate::engine`] for transparent runtime dispatch.
+
+#[cfg(target_arch = "x86_64")]
+use crate::kernels::Kernel2d;
+#[cfg(target_arch = "x86_64")]
+use crate::t2d::{self, Scratch2d};
+#[cfg(target_arch = "x86_64")]
+use tempora_grid::Grid2;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+    use crate::kernels::{BoxKern2d, GsKern2d, JacobiKern2d};
+    use core::arch::x86_64::__m256d;
+    use tempora_simd::arch::avx2;
+
+    /// AVX2 steady state of the Heat-2D (2D5P star Jacobi) tile: same
+    /// loop structure as [`t2d::tile_steady`], with the west/centre packs
+    /// carried in `__m256d` registers between inner iterations.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn steady_heat2d(
+        g: &mut Grid2<f64>,
+        kern: &JacobiKern2d,
+        s: usize,
+        sc: &mut Scratch2d<f64, 4>,
+        x_max: usize,
+    ) {
+        const VL: usize = 4;
+        let (ny, p) = (g.ny(), g.pitch());
+        let rlen = s + 2;
+        let a = g.data_mut();
+        let cn = avx2::splat(kern.0.cn);
+        let cw = avx2::splat(kern.0.cw);
+        let cc = avx2::splat(kern.0.cc);
+        let ce = avx2::splat(kern.0.ce);
+        let cs = avx2::splat(kern.0.cs);
+        for x in 1..=x_max {
+            let im1 = (x - 1) % rlen;
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wrow = core::mem::take(&mut sc.ring[ips]);
+            {
+                let rm1 = &sc.ring[im1];
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                let mut w = avx2::from_pack(r0[0]);
+                let mut m = avx2::from_pack(r0[1]);
+                for y in 1..=ny {
+                    let e = avx2::from_pack(r0[y + 1]);
+                    let n = avx2::from_pack(rm1[y]);
+                    let sth = avx2::from_pack(rp1[y]);
+                    // n·cn + (w·cw + (m·cc + (e·ce + s·cs))), the same
+                    // fused tree as Heat2dCoeffs::apply.
+                    let o = avx2::fmadd(
+                        n,
+                        cn,
+                        avx2::fmadd(
+                            w,
+                            cw,
+                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                        ),
+                    );
+                    a[x * p + y] = avx2::extract_top(o);
+                    let bottom = a[(x + VL * s) * p + y];
+                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                    w = m;
+                    m = e;
+                }
+            }
+            sc.ring[ips] = wrow;
+        }
+    }
+
+    /// AVX2 steady state of the 2D9P (box Jacobi) tile.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn steady_box2d(
+        g: &mut Grid2<f64>,
+        kern: &BoxKern2d,
+        s: usize,
+        sc: &mut Scratch2d<f64, 4>,
+        x_max: usize,
+    ) {
+        const VL: usize = 4;
+        let (ny, p) = (g.ny(), g.pitch());
+        let rlen = s + 2;
+        let a = g.data_mut();
+        let c: [[__m256d; 3]; 3] =
+            core::array::from_fn(|i| core::array::from_fn(|j| avx2::splat(kern.0.c[i][j])));
+        for x in 1..=x_max {
+            let im1 = (x - 1) % rlen;
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wrow = core::mem::take(&mut sc.ring[ips]);
+            {
+                let rm1 = &sc.ring[im1];
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                let mut w = avx2::from_pack(r0[0]);
+                let mut m = avx2::from_pack(r0[1]);
+                for y in 1..=ny {
+                    let e = avx2::from_pack(r0[y + 1]);
+                    // Row-major 3×3 fused chain, identical to
+                    // Box2dCoeffs::apply.
+                    let v: [[__m256d; 3]; 3] = [
+                        [
+                            avx2::from_pack(rm1[y - 1]),
+                            avx2::from_pack(rm1[y]),
+                            avx2::from_pack(rm1[y + 1]),
+                        ],
+                        [w, m, e],
+                        [
+                            avx2::from_pack(rp1[y - 1]),
+                            avx2::from_pack(rp1[y]),
+                            avx2::from_pack(rp1[y + 1]),
+                        ],
+                    ];
+                    let mut o = avx2::mul(v[2][2], c[2][2]);
+                    o = avx2::fmadd(v[2][1], c[2][1], o);
+                    o = avx2::fmadd(v[2][0], c[2][0], o);
+                    o = avx2::fmadd(v[1][2], c[1][2], o);
+                    o = avx2::fmadd(v[1][1], c[1][1], o);
+                    o = avx2::fmadd(v[1][0], c[1][0], o);
+                    o = avx2::fmadd(v[0][2], c[0][2], o);
+                    o = avx2::fmadd(v[0][1], c[0][1], o);
+                    o = avx2::fmadd(v[0][0], c[0][0], o);
+                    a[x * p + y] = avx2::extract_top(o);
+                    let bottom = a[(x + VL * s) * p + y];
+                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                    w = m;
+                    m = e;
+                }
+            }
+            sc.ring[ips] = wrow;
+        }
+    }
+
+    /// AVX2 steady state of the GS-2D (2D5P Gauss-Seidel) tile: the
+    /// newest-north operand comes from the previous output row
+    /// (`sc.o_prev`), the newest-west operand from the previous output
+    /// vector carried in a register (§3.4).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn steady_gs2d(
+        g: &mut Grid2<f64>,
+        kern: &GsKern2d,
+        s: usize,
+        sc: &mut Scratch2d<f64, 4>,
+        x_max: usize,
+    ) {
+        const VL: usize = 4;
+        let (ny, p) = (g.ny(), g.pitch());
+        let bc = g.boundary().value();
+        let rlen = s + 2;
+        let a = g.data_mut();
+        let cn = avx2::splat(kern.0.cn);
+        let cw = avx2::splat(kern.0.cw);
+        let cc = avx2::splat(kern.0.cc);
+        let ce = avx2::splat(kern.0.ce);
+        let cs = avx2::splat(kern.0.cs);
+        for x in 1..=x_max {
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wrow = core::mem::take(&mut sc.ring[ips]);
+            {
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
+                let mut m = avx2::from_pack(r0[1]);
+                for y in 1..=ny {
+                    let e = avx2::from_pack(r0[y + 1]);
+                    let sth = avx2::from_pack(rp1[y]);
+                    let n_new = avx2::from_pack(sc.o_prev[y]);
+                    // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
+                    // the same fused tree as Gs2dCoeffs::apply.
+                    let o = avx2::fmadd(
+                        n_new,
+                        cn,
+                        avx2::fmadd(
+                            o_west,
+                            cw,
+                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                        ),
+                    );
+                    a[x * p + y] = avx2::extract_top(o);
+                    let bottom = a[(x + VL * s) * p + y];
+                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                    sc.o_cur[y] = avx2::to_pack(o);
+                    o_west = o;
+                    m = e;
+                }
+            }
+            sc.ring[ips] = wrow;
+            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
+        }
+    }
+}
+
+/// Drive `steps` time steps through the three-phase tile with an AVX2
+/// steady state; the `steps mod 4` remainder runs scalar, exactly like
+/// [`t2d::run`].
+#[cfg(target_arch = "x86_64")]
+fn run_with<K: Kernel2d<f64>>(
+    grid: &Grid2<f64>,
+    kern: &K,
+    steps: usize,
+    s: usize,
+    steady: impl Fn(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>, usize),
+) -> Grid2<f64> {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
+    let mut g = grid.clone();
+    let mut sc = Scratch2d::<f64, 4>::new(s, g.ny());
+    for _ in 0..steps / 4 {
+        if t2d::tile_fallback_if_degenerate::<f64, 4, K>(&mut g, kern, s, &mut sc) {
+            continue;
+        }
+        let x_max = t2d::tile_prologue::<f64, 4, K>(&mut g, kern, s, &mut sc);
+        steady(&mut g, kern, s, &mut sc, x_max);
+        t2d::tile_epilogue::<f64, 4, K>(&mut g, kern, s, &mut sc, x_max);
+    }
+    for _ in 0..steps % 4 {
+        let (mut ra, mut rb) = (
+            core::mem::take(&mut sc.row_a),
+            core::mem::take(&mut sc.row_b),
+        );
+        t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
+        sc.row_a = ra;
+        sc.row_b = rb;
+    }
+    g
+}
+
+/// Run `steps` Heat-2D time steps with the AVX2 steady state; panics if
+/// AVX2+FMA are unavailable (use [`crate::engine`] for dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn run_heat2d_avx2(
+    grid: &Grid2<f64>,
+    kern: &crate::kernels::JacobiKern2d,
+    steps: usize,
+    s: usize,
+) -> Grid2<f64> {
+    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
+        // SAFETY: availability asserted by `run_with`.
+        unsafe { imp::steady_heat2d(g, k, s, sc, xm) }
+    })
+}
+
+/// Run `steps` 2D9P (box Jacobi) time steps with the AVX2 steady state;
+/// panics if AVX2+FMA are unavailable (use [`crate::engine`] for
+/// dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn run_box2d_avx2(
+    grid: &Grid2<f64>,
+    kern: &crate::kernels::BoxKern2d,
+    steps: usize,
+    s: usize,
+) -> Grid2<f64> {
+    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
+        // SAFETY: availability asserted by `run_with`.
+        unsafe { imp::steady_box2d(g, k, s, sc, xm) }
+    })
+}
+
+/// Run `steps` GS-2D time steps with the AVX2 steady state; panics if
+/// AVX2+FMA are unavailable (use [`crate::engine`] for dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn run_gs2d_avx2(
+    grid: &Grid2<f64>,
+    kern: &crate::kernels::GsKern2d,
+    steps: usize,
+    s: usize,
+) -> Grid2<f64> {
+    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
+        // SAFETY: availability asserted by `run_with`.
+        unsafe { imp::steady_gs2d(g, k, s, sc, xm) }
+    })
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxKern2d, GsKern2d, JacobiKern2d};
+    use tempora_grid::{fill_random_2d, Boundary};
+    use tempora_simd::arch::avx2_available;
+    use tempora_stencil::{reference, Box2dCoeffs, Gs2dCoeffs, Heat2dCoeffs};
+
+    fn grid(nx: usize, ny: usize, seed: u64, b: f64) -> Grid2<f64> {
+        let mut g = Grid2::new(nx, ny, 1, Boundary::Dirichlet(b));
+        fill_random_2d(&mut g, seed, -1.0, 1.0);
+        g
+    }
+
+    #[test]
+    fn heat2d_avx2_matches_reference_bitwise() {
+        if !avx2_available() {
+            return;
+        }
+        let c = Heat2dCoeffs::classic(0.12);
+        let kern = JacobiKern2d(c);
+        for &(nx, ny) in &[(8usize, 5usize), (17, 12), (33, 9), (40, 40)] {
+            for s in 2..=3 {
+                for steps in [4usize, 7, 8] {
+                    let g = grid(nx, ny, (nx * ny + s + steps) as u64, 0.25);
+                    let ours = run_heat2d_avx2(&g, &kern, steps, s);
+                    let gold = reference::heat2d(&g, c, steps);
+                    assert!(
+                        ours.interior_eq(&gold),
+                        "nx={nx} ny={ny} s={s} steps={steps} {:?}",
+                        ours.first_diff(&gold)
+                    );
+                    ours.check_canaries().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box2d_avx2_matches_reference_bitwise() {
+        if !avx2_available() {
+            return;
+        }
+        let c = Box2dCoeffs::new([[0.01, 0.07, 0.03], [0.09, 0.55, 0.08], [0.05, 0.06, 0.06]]);
+        let kern = BoxKern2d(c);
+        for &(nx, ny) in &[(16usize, 11usize), (25, 16), (33, 8)] {
+            let g = grid(nx, ny, 77, 0.1);
+            let ours = run_box2d_avx2(&g, &kern, 8, 2);
+            let gold = reference::box2d(&g, c, 8);
+            assert!(
+                ours.interior_eq(&gold),
+                "nx={nx} ny={ny} {:?}",
+                ours.first_diff(&gold)
+            );
+        }
+    }
+
+    #[test]
+    fn gs2d_avx2_matches_reference_bitwise() {
+        if !avx2_available() {
+            return;
+        }
+        let c = Gs2dCoeffs::new(0.31, 0.17, 0.23, 0.11, 0.13);
+        let kern = GsKern2d(c);
+        for &(nx, ny) in &[(9usize, 6usize), (16, 16), (29, 10), (41, 23)] {
+            for steps in [4usize, 7, 12] {
+                let g = grid(nx, ny, (nx + ny + steps) as u64, -0.5);
+                let ours = run_gs2d_avx2(&g, &kern, steps, 2);
+                let gold = reference::gs2d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "nx={nx} ny={ny} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_outer_extent_falls_back() {
+        if !avx2_available() {
+            return;
+        }
+        let c = Heat2dCoeffs::classic(0.2);
+        let kern = JacobiKern2d(c);
+        for nx in 1..8 {
+            let g = grid(nx, 6, nx as u64, 0.5);
+            let ours = run_heat2d_avx2(&g, &kern, 5, 2); // nx < 4·2
+            let gold = reference::heat2d(&g, c, 5);
+            assert!(ours.interior_eq(&gold), "nx={nx}");
+        }
+    }
+}

@@ -20,21 +20,21 @@ use tempora_simd::{Pack, Scalar};
 pub struct Scratch3d<T: Scalar, const VL: usize> {
     /// `head[k]`: level-`k` slabs `x ∈ 0..=(VL-k)·s` (slab 0 = boundary),
     /// each slab `(ny+2) × (nz+2)` flat.
-    head: Vec<Vec<T>>,
+    pub(crate) head: Vec<Vec<T>>,
     /// `tail[i]`: level-`i` slabs re-based at `x_max + (VL-1-i)·s`,
     /// `(i+1)·s + 1` slabs.
-    tail: Vec<Vec<T>>,
+    pub(crate) tail: Vec<Vec<T>>,
     /// Wavefront ring: `s + 2` planes of `(ny+2) × (nz+2)` packs.
-    ring: Vec<Vec<Pack<T, VL>>>,
+    pub(crate) ring: Vec<Vec<Pack<T, VL>>>,
     /// Previous / current output planes (Gauss-Seidel only).
-    o_prev: Vec<Pack<T, VL>>,
-    o_cur: Vec<Pack<T, VL>>,
+    pub(crate) o_prev: Vec<Pack<T, VL>>,
+    pub(crate) o_cur: Vec<Pack<T, VL>>,
     /// Two old-plane copies for the in-place scalar step.
-    plane_a: Vec<T>,
-    plane_b: Vec<T>,
-    s: usize,
-    ny: usize,
-    nz: usize,
+    pub(crate) plane_a: Vec<T>,
+    pub(crate) plane_b: Vec<T>,
+    pub(crate) s: usize,
+    pub(crate) ny: usize,
+    pub(crate) nz: usize,
 }
 
 impl<T: Scalar, const VL: usize> Scratch3d<T, VL> {
@@ -110,12 +110,66 @@ pub fn scalar_step_inplace<T: Scalar, K: Kernel3d<T>>(
 
 /// Advance the grid by `VL` time steps with the temporal-vectorized
 /// schedule (in place, single array).
+///
+/// The tile is the composition of the three phases exposed below —
+/// [`tile_prologue`], [`tile_steady`], [`tile_epilogue`] — so that
+/// arch-specialized steady states (see `t3d_avx2`) can swap the middle
+/// phase while sharing the exact boundary machinery.
 pub fn tile<T: Scalar, const VL: usize, K: Kernel3d<T>>(
     g: &mut Grid3<T>,
     kern: &K,
     s: usize,
     sc: &mut Scratch3d<T, VL>,
 ) {
+    if tile_fallback_if_degenerate::<T, VL, K>(g, kern, s, sc) {
+        return;
+    }
+    let x_max = tile_prologue::<T, VL, K>(g, kern, s, sc);
+    tile_steady::<T, VL, K>(g, kern, s, sc, x_max);
+    tile_epilogue::<T, VL, K>(g, kern, s, sc, x_max);
+}
+
+/// Shared degenerate-tile guard: when the outer extent cannot host the
+/// vector schedule (`nx < VL·s`), run the `VL` steps with the scalar
+/// schedule instead (same results) and report `true`.
+pub fn tile_fallback_if_degenerate<T: Scalar, const VL: usize, K: Kernel3d<T>>(
+    g: &mut Grid3<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch3d<T, VL>,
+) -> bool {
+    assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
+    assert_eq!(g.halo(), 1, "temporal engines use halo width 1");
+    assert_eq!(
+        (sc.s, sc.ny, sc.nz),
+        (s, g.ny(), g.nz()),
+        "scratch shape mismatch"
+    );
+    if g.nx() >= VL * s {
+        return false;
+    }
+    for _ in 0..VL {
+        let (mut pa, mut pb) = (
+            core::mem::take(&mut sc.plane_a),
+            core::mem::take(&mut sc.plane_b),
+        );
+        scalar_step_inplace(g, kern, &mut pa, &mut pb);
+        sc.plane_a = pa;
+        sc.plane_b = pb;
+    }
+    true
+}
+
+/// Phase 1 of a 3-D temporal tile: scalar head slabs for levels `1..VL`,
+/// the initial wavefront ring `W(0) ..= W(s)`, and (for Gauss-Seidel) the
+/// initial output plane `O(0, ·, ·)` in `sc.o_prev` (with `sc.o_cur`
+/// halo-initialized). Returns the steady-state bound `x_max`.
+pub fn tile_prologue<T: Scalar, const VL: usize, K: Kernel3d<T>>(
+    g: &mut Grid3<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch3d<T, VL>,
+) -> usize {
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
     assert_eq!(g.halo(), 1, "temporal engines use halo width 1");
     assert_eq!(
@@ -125,19 +179,12 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel3d<T>>(
     );
     let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
     let (p, pl) = (g.pitch(), g.plane());
+    assert!(
+        nx >= VL * s,
+        "degenerate tile (nx={nx} < VL*s={}): call tile_fallback_if_degenerate first",
+        VL * s
+    );
     let bc = g.boundary().value();
-    if nx < VL * s {
-        for _ in 0..VL {
-            let (mut pa, mut pb) = (
-                core::mem::take(&mut sc.plane_a),
-                core::mem::take(&mut sc.plane_b),
-            );
-            scalar_step_inplace(g, kern, &mut pa, &mut pb);
-            sc.plane_a = pa;
-            sc.plane_b = pb;
-        }
-        return;
-    }
     let x_max = nx + 1 - VL * s;
     let wz = nz + 2;
     let wp = (ny + 2) * wz;
@@ -246,10 +293,25 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel3d<T>>(
             *slot = Pack::splat(bc);
         }
     }
+    x_max
+}
 
-    // ------------------------------------------------------------------
-    // Steady state.
-    // ------------------------------------------------------------------
+/// Phase 2 of a 3-D temporal tile (portable): one vectorized pass per
+/// outer slab `x ∈ 1..=x_max`. `x_max` must come from [`tile_prologue`].
+pub fn tile_steady<T: Scalar, const VL: usize, K: Kernel3d<T>>(
+    g: &mut Grid3<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch3d<T, VL>,
+    x_max: usize,
+) {
+    let (ny, nz) = (g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    let bc = g.boundary().value();
+    let wz = nz + 2;
+    let rlen = s + 2;
+    let lp = |y: usize, z: usize| y * wz + z;
+    let a = g.data_mut();
     let zero = Pack::<T, VL>::splat(T::ZERO);
     for x in 1..=x_max {
         let im1 = (x - 1) % rlen;
@@ -299,10 +361,27 @@ pub fn tile<T: Scalar, const VL: usize, K: Kernel3d<T>>(
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Epilogue.
-    // ------------------------------------------------------------------
+/// Phase 3 of a 3-D temporal tile: drain the surviving wavefront ring into
+/// the tail slabs and finish every level scalar-wise up to slab `nx`.
+/// `x_max` must match the value [`tile_prologue`] returned, with the ring
+/// left behind by the steady state.
+pub fn tile_epilogue<T: Scalar, const VL: usize, K: Kernel3d<T>>(
+    g: &mut Grid3<T>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch3d<T, VL>,
+    x_max: usize,
+) {
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    let bc = g.boundary().value();
+    let wz = nz + 2;
+    let wp = (ny + 2) * wz;
+    let rlen = s + 2;
+    let lp = |y: usize, z: usize| y * wz + z;
+    let a = g.data_mut();
     for i in 1..VL {
         let base = x_max + (VL - 1 - i) * s;
         let slabs = (i + 1) * s + 1; // rel 0 ..= (i+1)·s, last = halo slab nx+1

@@ -91,6 +91,17 @@ pub mod avx2 {
         _mm256_fmadd_pd(a, b, c)
     }
 
+    /// Lane-wise multiply `a*b` (`vmulpd`) — the unfused tail of every
+    /// kernel's `mul_add` chain.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn mul(a: __m256d, b: __m256d) -> __m256d {
+        _mm256_mul_pd(a, b)
+    }
+
     /// The paper's `vrotate` (Algorithm 3 line 13): lane `j` of the result
     /// is lane `(j+3) % 4` of the input — a single lane-crossing `vpermpd`.
     ///

@@ -23,9 +23,15 @@
 //! | [`grid`] | aligned 1/2/3-D grids, ghost cells, double buffering |
 //! | [`stencil`] | problem definitions, dependence analysis, scalar oracles |
 //! | [`baseline`] | spatial schemes: multi-load, data-reorganization, DLT |
-//! | [`core`] | **the paper's contribution**: temporal vectorization engines |
+//! | [`core`] | **the paper's contribution**: temporal engines, AVX2 steady states, [`engine`] dispatch |
 //! | [`tiling`] | diamond / parallelogram / hybrid / rectangle tiling |
 //! | [`parallel`] | crossbeam worker pool + wavefront executor |
+//!
+//! Engine selection (portable pack model vs hand-scheduled `std::arch`
+//! AVX2) is unified in [`engine`]; the `TEMPORA_ENGINE` environment
+//! variable (`auto` | `portable` | `avx2`) overrides it process-wide.
+//! Every engine is bit-identical to the scalar oracles, so dispatch
+//! never changes results.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +56,7 @@
 
 pub use tempora_baseline as baseline;
 pub use tempora_core as core;
+pub use tempora_core::engine;
 pub use tempora_grid as grid;
 pub use tempora_parallel as parallel;
 pub use tempora_simd as simd;

@@ -4,6 +4,7 @@
 //! all kernels share the same fused operation trees; exact for integers).
 
 use tempora::baseline::{dlt, multiload, reorg};
+use tempora::core::engine::{self, Engine, Select};
 use tempora::core::kernels::*;
 use tempora::core::{lcs, t1d, t2d, t3d};
 use tempora::grid::*;
@@ -181,6 +182,213 @@ fn parallel_results_are_deterministic_across_thread_counts() {
     let s1 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(1));
     let s4 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(4));
     assert!(s1.interior_eq(&s4));
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_avx2() -> bool {
+    tempora::simd::arch::avx2_available()
+}
+
+/// The hand-scheduled AVX2 steady states must reproduce the scalar
+/// oracles bit-for-bit over a grid of (n, s, steps) configurations,
+/// including degenerate `n < VL·s` shapes that fall back to the portable
+/// (scalar-schedule) tile.
+#[test]
+#[cfg(target_arch = "x86_64")]
+fn avx2_engines_match_scalar_oracles_bitwise() {
+    use tempora::core::{t1d_avx2, t2d_avx2, t3d_avx2};
+    if !has_avx2() {
+        return;
+    }
+
+    // 1-D: Jacobi and Gauss-Seidel over strides up to the paper's s = 7.
+    let c1 = Heat1dCoeffs::classic(0.24);
+    let cg1 = Gs1dCoeffs::classic(0.23);
+    for &n in &[5usize, 16, 63, 200, 1000] {
+        for s in [2usize, 4, 7] {
+            for steps in [4usize, 8, 13] {
+                let g = g1(n, (n + s + steps) as u64, 0.5);
+                let ours = t1d_avx2::run_heat1d_avx2(&g, &JacobiKern1d(c1), steps, s);
+                let gold = reference::heat1d(&g, c1, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "heat1d n={n} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+                let ours = t1d_avx2::run_gs1d_avx2(&g, &GsKern1d(cg1), steps, s);
+                let gold = reference::gs1d(&g, cg1, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "gs1d n={n} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    // 2-D: star Jacobi, box Jacobi and Gauss-Seidel. nx = 5 with s >= 2
+    // exercises the degenerate fallback.
+    let c2 = Heat2dCoeffs::classic(0.11);
+    let cb = Box2dCoeffs::smooth(0.07);
+    let cg2 = Gs2dCoeffs::classic(0.17);
+    for &(nx, ny) in &[(5usize, 9usize), (8, 5), (17, 12), (40, 23), (96, 33)] {
+        for s in [2usize, 3] {
+            for steps in [4usize, 7, 12] {
+                let g = g2(nx, ny, (nx * ny + s + steps) as u64, -0.25);
+                let ours = t2d_avx2::run_heat2d_avx2(&g, &JacobiKern2d(c2), steps, s);
+                let gold = reference::heat2d(&g, c2, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "heat2d nx={nx} ny={ny} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+                ours.check_canaries().unwrap();
+                let ours = t2d_avx2::run_box2d_avx2(&g, &BoxKern2d(cb), steps, s);
+                let gold = reference::box2d(&g, cb, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "box2d nx={nx} ny={ny} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+                let ours = t2d_avx2::run_gs2d_avx2(&g, &GsKern2d(cg2), steps, s);
+                let gold = reference::gs2d(&g, cg2, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "gs2d nx={nx} ny={ny} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    // 3-D: star Jacobi and Gauss-Seidel. nx = 5 exercises the fallback.
+    let c3 = Heat3dCoeffs::classic(0.09);
+    let cg3 = Gs3dCoeffs::classic(0.12);
+    for &(nx, ny, nz) in &[(5usize, 6usize, 6usize), (9, 5, 6), (16, 8, 7), (24, 9, 8)] {
+        for s in [2usize, 3] {
+            for steps in [4usize, 8, 9] {
+                let mut g = Grid3::new(nx, ny, nz, 1, Boundary::Dirichlet(0.1));
+                fill_random_3d(&mut g, (nx + ny + nz + s + steps) as u64, -1.0, 1.0);
+                let ours = t3d_avx2::run_heat3d_avx2(&g, &JacobiKern3d(c3), steps, s);
+                let gold = reference::heat3d(&g, c3, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "heat3d nx={nx} ny={ny} nz={nz} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+                let ours = t3d_avx2::run_gs3d_avx2(&g, &GsKern3d(cg3), steps, s);
+                let gold = reference::gs3d(&g, cg3, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "gs3d nx={nx} ny={ny} nz={nz} s={s} steps={steps} {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+}
+
+/// Property: a `TEMPORA_ENGINE`-forced portable run and a forced AVX2 run
+/// of the same workload agree bit-for-bit, and the dispatch layer reports
+/// the engine that actually executed.
+#[test]
+fn forced_portable_and_avx2_selections_agree_bitwise() {
+    let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
+    let sels: &[Select] = if can_force_avx2 {
+        &[Select::Portable, Select::Avx2, Select::Auto]
+    } else {
+        &[Select::Portable, Select::Auto]
+    };
+    let expect = |sel: Select, has_impl: bool| match sel {
+        Select::Portable => Engine::Portable,
+        _ if can_force_avx2 && has_impl => Engine::Avx2,
+        _ => Engine::Portable,
+    };
+
+    for &(n, s, steps) in &[(200usize, 2usize, 8usize), (1000, 7, 12), (4096, 3, 5)] {
+        let g = g1(n, (n + s) as u64, 0.4);
+        let c = Heat1dCoeffs::classic(0.24);
+        let cg = Gs1dCoeffs::classic(0.21);
+        let mut results = vec![];
+        for &sel in sels {
+            let (r, e) = engine::run_heat1d(sel, &g, &JacobiKern1d(c), steps, s);
+            assert_eq!(e, expect(sel, true), "heat1d {sel:?}");
+            let (rg, eg) = engine::run_gs1d(sel, &g, &GsKern1d(cg), steps, s);
+            assert_eq!(eg, expect(sel, true), "gs1d {sel:?}");
+            results.push((r, rg));
+        }
+        for (r, rg) in &results[1..] {
+            assert!(r.interior_eq(&results[0].0), "heat1d n={n} s={s}");
+            assert!(rg.interior_eq(&results[0].1), "gs1d n={n} s={s}");
+        }
+    }
+
+    let g = g2(41, 23, 7, -0.5);
+    let c2 = Heat2dCoeffs::classic(0.11);
+    let cb = Box2dCoeffs::smooth(0.07);
+    let cg2 = Gs2dCoeffs::classic(0.17);
+    let g3v = g3(20, 3);
+    let c3 = Heat3dCoeffs::classic(0.09);
+    let cg3 = Gs3dCoeffs::classic(0.12);
+    let mut results = vec![];
+    for &sel in sels {
+        let (h2, e) = engine::run_heat2d(sel, &g, &JacobiKern2d(c2), 8, 2);
+        assert_eq!(e, expect(sel, true), "heat2d {sel:?}");
+        let (b2, e) = engine::run_box2d(sel, &g, &BoxKern2d(cb), 8, 2);
+        assert_eq!(e, expect(sel, true), "box2d {sel:?}");
+        let (s2, e) = engine::run_gs2d(sel, &g, &GsKern2d(cg2), 8, 2);
+        assert_eq!(e, expect(sel, true), "gs2d {sel:?}");
+        let (h3, e) = engine::run_heat3d(sel, &g3v, &JacobiKern3d(c3), 8, 2);
+        assert_eq!(e, expect(sel, true), "heat3d {sel:?}");
+        let (s3, e) = engine::run_gs3d(sel, &g3v, &GsKern3d(cg3), 8, 2);
+        assert_eq!(e, expect(sel, true), "gs3d {sel:?}");
+        results.push((h2, b2, s2, h3, s3));
+    }
+    for r in &results[1..] {
+        assert!(r.0.interior_eq(&results[0].0), "heat2d");
+        assert!(r.1.interior_eq(&results[0].1), "box2d");
+        assert!(r.2.interior_eq(&results[0].2), "gs2d");
+        assert!(r.3.interior_eq(&results[0].3), "heat3d");
+        assert!(r.4.interior_eq(&results[0].4), "gs3d");
+    }
+
+    // Workloads without an AVX2 steady state resolve portable honestly.
+    let rule = LifeRule::b2s23();
+    let mut gl = Grid2::<i32>::new(40, 30, 1, Boundary::Dirichlet(0));
+    fill_random_life(&mut gl, 3, 0.35);
+    let gold = reference::life(&gl, rule, 8);
+    for &sel in sels {
+        let (r, e) = engine::run_life(sel, &gl, &LifeKern2d(rule), 8, 2);
+        assert_eq!(e, Engine::Portable, "life {sel:?}");
+        assert!(r.interior_eq(&gold));
+    }
+    let a = random_sequence(300, 4, 11);
+    let b = random_sequence(500, 4, 12);
+    for &sel in sels {
+        let (len, e) = engine::run_lcs(sel, &a, &b, 1);
+        assert_eq!(e, Engine::Portable, "lcs {sel:?}");
+        assert_eq!(len, reference::lcs_len(&a, &b));
+    }
+}
+
+/// The `TEMPORA_ENGINE` environment variable drives `Select::from_env`.
+#[test]
+fn tempora_engine_env_is_honoured() {
+    // Parsing (pure).
+    assert_eq!(Select::parse("auto"), Some(Select::Auto));
+    assert_eq!(Select::parse("PORTABLE"), Some(Select::Portable));
+    assert_eq!(Select::parse(" avx2 "), Some(Select::Avx2));
+    assert_eq!(Select::parse("neon"), None);
+    // End-to-end through the process environment. No other test in this
+    // binary reads TEMPORA_ENGINE, so the temporary mutation is safe.
+    std::env::set_var(engine::ENV_VAR, "portable");
+    assert_eq!(Select::from_env(), Select::Portable);
+    let g = g1(300, 1, 0.0);
+    let c = Heat1dCoeffs::classic(0.25);
+    let (_, e) = engine::run_heat1d(Select::from_env(), &g, &JacobiKern1d(c), 8, 7);
+    assert_eq!(e, Engine::Portable);
+    std::env::remove_var(engine::ENV_VAR);
+    assert_eq!(Select::from_env(), Select::Auto);
 }
 
 #[test]
