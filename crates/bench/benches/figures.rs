@@ -6,6 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
+use tempora_core::engine::Select;
 use tempora_core::kernels::*;
 use tempora_core::{lcs, t1d, t2d, t3d};
 use tempora_grid::*;
@@ -122,6 +123,7 @@ fn parallel_figures(crit: &mut Criterion) {
                     1 << 14,
                     16,
                     Mode::Temporal(7),
+                    Select::Auto,
                     &pool,
                 ))
             })
@@ -141,6 +143,7 @@ fn parallel_figures(crit: &mut Criterion) {
                     96,
                     8,
                     Mode::Temporal(2),
+                    Select::Auto,
                     &pool,
                 ))
             })
@@ -153,7 +156,16 @@ fn parallel_figures(crit: &mut Criterion) {
         fill_random_1d(&mut g, 1, -1.0, 1.0);
         group.bench_function("fig5b_gs1d_par_our", |b| {
             b.iter(|| {
-                std::hint::black_box(skew::run_gs_1d(&g, &kern, 32, 1 << 13, 16, 7, true, &pool))
+                std::hint::black_box(skew::run_gs_1d(
+                    &g,
+                    &kern,
+                    32,
+                    1 << 13,
+                    16,
+                    Mode::Temporal(7),
+                    Select::Auto,
+                    &pool,
+                ))
             })
         });
     }

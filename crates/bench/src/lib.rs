@@ -55,8 +55,9 @@ pub struct Series {
     pub label: String,
     /// The engine the dispatch layer resolved to for this series
     /// (`portable` | `avx2`), when the series routes through
-    /// `tempora_core::engine`. `None` for baseline schemes and for
-    /// tiling-driven parallel sweeps.
+    /// `tempora_core::engine` — sequential *and* tiling-driven parallel
+    /// sweeps alike. `None` for baseline schemes, non-dispatched modes
+    /// and the LCS wavefront.
     pub engine: Option<String>,
     /// `(x, Gstencils/s)` samples.
     pub points: Vec<(f64, f64)>,
@@ -460,8 +461,14 @@ impl Sample {
 
 /// Labelled `(n, steps) -> Sample` runner for a sequential sweep.
 type SeqRun<'a> = (&'static str, Box<dyn Fn(usize, usize) -> Sample + 'a>);
-/// Labelled pool-driven runner for a core-count sweep.
-type ParRun<'a> = (&'static str, Box<dyn Fn(&Pool) + 'a>);
+/// Labelled pool-driven runner for a core-count sweep; returns the engine
+/// the tiled dispatch layer resolved to (`None` for non-dispatched
+/// schemes), so parallel figures report `our:avx2` vs `our:portable`
+/// exactly like the sequential ones.
+type ParRun<'a> = (
+    &'static str,
+    Box<dyn Fn(&Pool) -> Option<&'static str> + 'a>,
+);
 
 #[allow(clippy::too_many_arguments)]
 fn seq_sweep<'a>(
@@ -958,7 +965,11 @@ fn parallel_sweep<'a>(
         for (k, (_, run)) in runs.iter().enumerate() {
             // time_stable's built-in warm-up faults in pages and spins up
             // the workers before the three timed runs.
-            let t = time_stable(|| run(&pool));
+            let mut eng = None;
+            let t = time_stable(|| eng = run(&pool));
+            if series[k].engine.is_none() {
+                series[k].engine = eng.map(str::to_string);
+            }
             series[k]
                 .points
                 .push((cores as f64, gstencils(pts, steps, t)));
@@ -972,12 +983,23 @@ fn parallel_sweep<'a>(
     }
 }
 
-/// Figure 4b: Heat-1D parallel scaling (ghost-zone temporal bands).
+/// Figure 4b: Heat-1D parallel scaling (ghost-zone temporal bands,
+/// in-tile engine dispatched through `tempora_core::engine`).
 pub fn fig4b(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat1d;
     let c = Heat1dCoeffs::classic(0.25);
     let kern = JacobiKern1d(c);
+    let sel = Select::from_env();
     let g = grid1(n);
+    let run = |mode: Mode| {
+        let g = &g;
+        let kern = &kern;
+        move |pool: &Pool| {
+            let (r, e) = ghost::run_jacobi_1d(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
+        }
+    };
     parallel_sweep(
         "fig4b",
         "Heat-1D Parallel",
@@ -985,48 +1007,9 @@ pub fn fig4b(scale: usize, max_cores: usize) -> Figure {
         n,
         steps,
         vec![
-            (
-                "our",
-                Box::new(|pool: &Pool| {
-                    std::hint::black_box(ghost::run_jacobi_1d(
-                        &g,
-                        &kern,
-                        steps,
-                        block,
-                        height,
-                        Mode::Temporal(7),
-                        pool,
-                    ));
-                }),
-            ),
-            (
-                "auto",
-                Box::new(|pool: &Pool| {
-                    std::hint::black_box(ghost::run_jacobi_1d(
-                        &g,
-                        &kern,
-                        steps,
-                        block,
-                        height,
-                        Mode::Auto,
-                        pool,
-                    ));
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(|pool: &Pool| {
-                    std::hint::black_box(ghost::run_jacobi_1d(
-                        &g,
-                        &kern,
-                        steps,
-                        block,
-                        height,
-                        Mode::Scalar,
-                        pool,
-                    ));
-                }),
-            ),
+            ("our", Box::new(run(Mode::Temporal(7)))),
+            ("auto", Box::new(run(Mode::Auto))),
+            ("scalar", Box::new(run(Mode::Scalar))),
         ],
     )
 }
@@ -1036,14 +1019,16 @@ pub fn fig4d(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat2d;
     let c = Heat2dCoeffs::classic(0.125);
     let kern = JacobiKern2d(c);
+    let sel = Select::from_env();
     let g = grid2(n);
     let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
-                g, kern, steps, block, height, mode, pool,
-            ));
+            let (r, e) =
+                ghost::run_jacobi_2d::<f64, 4, _>(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1065,14 +1050,15 @@ pub fn fig4f(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat3d;
     let c = Heat3dCoeffs::classic(1.0 / 6.0);
     let kern = JacobiKern3d(c);
+    let sel = Select::from_env();
     let g = grid3(n);
     let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(ghost::run_jacobi_3d(
-                g, kern, steps, block, height, mode, pool,
-            ));
+            let (r, e) = ghost::run_jacobi_3d(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1094,14 +1080,16 @@ pub fn fig4h(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).box2d;
     let c = Box2dCoeffs::smooth(0.1);
     let kern = BoxKern2d(c);
+    let sel = Select::from_env();
     let g = grid2(n);
     let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
-                g, kern, steps, block, height, mode, pool,
-            ));
+            let (r, e) =
+                ghost::run_jacobi_2d::<f64, 4, _>(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1123,15 +1111,17 @@ pub fn fig4j(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).life;
     let rule = LifeRule::b2s23();
     let kern = LifeKern2d(rule);
+    let sel = Select::from_env();
     let mut g = Grid2::<i32>::new(n, n, 1, Boundary::Dirichlet(0));
     fill_random_life(&mut g, SEED, 0.35);
     let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(ghost::run_jacobi_2d::<i32, 8, _>(
-                g, kern, steps, block, height, mode, pool,
-            ));
+            let (r, e) =
+                ghost::run_jacobi_2d::<i32, 8, _>(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1153,14 +1143,15 @@ pub fn fig5b(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs1d;
     let c = Gs1dCoeffs::classic(0.25);
     let kern = GsKern1d(c);
+    let sel = Select::from_env();
     let g = grid1(n);
-    let run = |temporal: bool| {
+    let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_1d(
-                g, kern, steps, block, height, 7, temporal, pool,
-            ));
+            let (r, e) = skew::run_gs_1d(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1170,8 +1161,8 @@ pub fn fig5b(scale: usize, max_cores: usize) -> Figure {
         n,
         steps,
         vec![
-            ("our", Box::new(run(true))),
-            ("scalar", Box::new(run(false))),
+            ("our", Box::new(run(Mode::Temporal(7)))),
+            ("scalar", Box::new(run(Mode::Scalar))),
         ],
     )
 }
@@ -1181,14 +1172,15 @@ pub fn fig5d(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs2d;
     let c = Gs2dCoeffs::classic(0.2);
     let kern = GsKern2d(c);
+    let sel = Select::from_env();
     let g = grid2(n);
-    let run = |temporal: bool| {
+    let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_2d(
-                g, kern, steps, block, height, 2, temporal, pool,
-            ));
+            let (r, e) = skew::run_gs_2d(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1198,8 +1190,8 @@ pub fn fig5d(scale: usize, max_cores: usize) -> Figure {
         n * n,
         steps,
         vec![
-            ("our", Box::new(run(true))),
-            ("scalar", Box::new(run(false))),
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("scalar", Box::new(run(Mode::Scalar))),
         ],
     )
 }
@@ -1209,14 +1201,15 @@ pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs3d;
     let c = Gs3dCoeffs::classic(0.125);
     let kern = GsKern3d(c);
+    let sel = Select::from_env();
     let g = grid3(n);
-    let run = |temporal: bool| {
+    let run = |mode: Mode| {
         let g = &g;
         let kern = &kern;
         move |pool: &Pool| {
-            std::hint::black_box(skew::run_gs_3d(
-                g, kern, steps, block, height, 2, temporal, pool,
-            ));
+            let (r, e) = skew::run_gs_3d(g, kern, steps, block, height, mode, sel, pool);
+            std::hint::black_box(r);
+            e.map(engine::Engine::name)
         }
     };
     parallel_sweep(
@@ -1226,8 +1219,8 @@ pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
         n * n * n,
         steps,
         vec![
-            ("our", Box::new(run(true))),
-            ("scalar", Box::new(run(false))),
+            ("our", Box::new(run(Mode::Temporal(2)))),
+            ("scalar", Box::new(run(Mode::Scalar))),
         ],
     )
 }
@@ -1242,6 +1235,7 @@ pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
         let b = &b;
         move |pool: &Pool| {
             std::hint::black_box(lcs_rect::run_lcs(a, b, xb, yb, 1, temporal, pool));
+            None // the LCS wavefront does not route through the dispatcher yet
         }
     };
     parallel_sweep(

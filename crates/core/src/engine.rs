@@ -86,8 +86,11 @@ impl Select {
     }
 
     /// Resolve the policy against CPU capability and whether the workload
-    /// has a hand-scheduled AVX2 steady state.
-    fn resolve(self, has_avx2_impl: bool) -> Engine {
+    /// has a hand-scheduled AVX2 steady state. Public so the tiled layer
+    /// (`tempora-tiling`) can resolve its in-tile engine **once per run**
+    /// and report it honestly; degenerate geometries must pass
+    /// `has_avx2_impl = false`.
+    pub fn resolve(self, has_avx2_impl: bool) -> Engine {
         match self {
             Select::Portable => Engine::Portable,
             Select::Auto => {
@@ -327,6 +330,264 @@ pub fn run_lcs(sel: Select, a: &[u8], b: &[u8], s: usize) -> (i32, Engine) {
     let engine = sel.resolve(false);
     debug_assert_eq!(engine, Engine::Portable);
     (lcs::length(a, b, s), engine)
+}
+
+// ---------------------------------------------------------------------
+// Per-kernel AVX2 executor hooks for the tiled / parallel layer
+// ---------------------------------------------------------------------
+
+use crate::kernels::{Kernel1d, Kernel2d, Kernel3d};
+use crate::t1d::Scratch1d;
+use crate::t1d_band::MAX_BAND_STRIDE;
+use crate::t2d::Scratch2d;
+use crate::t2d_band::BandScratch2d;
+use crate::t3d::Scratch3d;
+use crate::t3d_band::BandScratch3d;
+use tempora_simd::Scalar;
+
+/// Hand-scheduled AVX2 executors a 1-D kernel exposes to the tiled layer
+/// (`tempora-tiling`): one temporal tile for the ghost-zone Jacobi
+/// runners, one skewed band for the parallelogram Gauss-Seidel runners.
+/// Kernels without a hand-scheduled steady state keep the defaults (no
+/// AVX2 path) and the tiled runners resolve their [`Select`] to the
+/// portable engine. The `avx2_*` availability checks fold in the CPU
+/// feature test, so a `true` return is a licence to call the executor.
+pub trait Avx2Exec1d: Kernel1d {
+    /// True when this kernel has a hand-scheduled AVX2 temporal tile at
+    /// stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_tile(s: usize) -> bool {
+        let _ = s;
+        false
+    }
+
+    /// Advance one `VL = 4` temporal tile with the AVX2 steady state
+    /// (bit-identical to `t1d::tile`). Only callable when
+    /// [`Avx2Exec1d::avx2_tile`] returned true.
+    fn tile_avx2(&self, a: &mut [f64], n: usize, s: usize, scratch: &mut Scratch1d<4>) {
+        let _ = (a, n, s, scratch);
+        unreachable!("kernel has no AVX2 temporal tile");
+    }
+
+    /// True when this kernel has a hand-scheduled AVX2 skewed-band
+    /// executor at stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_band(s: usize) -> bool {
+        let _ = s;
+        false
+    }
+
+    /// Execute one skewed band with the AVX2 steady state (bit-identical
+    /// to `t1d_band::band_temporal_gs`). Only callable when
+    /// [`Avx2Exec1d::avx2_band`] returned true.
+    fn band_avx2(&self, a: &mut [f64], xl: usize, xr: usize, n: usize, s: usize) {
+        let _ = (a, xl, xr, n, s);
+        unreachable!("kernel has no AVX2 band executor");
+    }
+}
+
+impl Avx2Exec1d for JacobiKern1d {
+    fn avx2_tile(s: usize) -> bool {
+        s <= crate::t1d_avx2::MAX_STRIDE && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, a: &mut [f64], n: usize, s: usize, scratch: &mut Scratch1d<4>) {
+        crate::t1d_avx2::tile_heat1d_avx2(a, n, self, s, scratch);
+    }
+}
+
+impl Avx2Exec1d for GsKern1d {
+    fn avx2_tile(s: usize) -> bool {
+        s <= crate::t1d_avx2::MAX_STRIDE && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, a: &mut [f64], n: usize, s: usize, scratch: &mut Scratch1d<4>) {
+        crate::t1d_avx2::tile_gs1d_avx2(a, n, self, s, scratch);
+    }
+
+    fn avx2_band(s: usize) -> bool {
+        s <= MAX_BAND_STRIDE && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn band_avx2(&self, a: &mut [f64], xl: usize, xr: usize, n: usize, s: usize) {
+        crate::t1d_band::band_temporal_gs_avx2(a, xl, xr, n, s, self);
+    }
+}
+
+/// Hand-scheduled AVX2 executors a 2-D kernel exposes to the tiled layer;
+/// see [`Avx2Exec1d`]. The temporal tile exists only at `vl = 4` f64
+/// lanes (the AVX2 register width), so `avx2_tile` takes the vector
+/// length the caller runs at.
+pub trait Avx2Exec2d<T: Scalar>: Kernel2d<T> {
+    /// True when this kernel has a hand-scheduled AVX2 temporal tile at
+    /// vector length `vl` and stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_tile(vl: usize, s: usize) -> bool {
+        let _ = (vl, s);
+        false
+    }
+
+    /// Advance one `VL = 4` temporal tile with the AVX2 steady state
+    /// (bit-identical to `t2d::tile`). Only callable when
+    /// [`Avx2Exec2d::avx2_tile`] returned true.
+    fn tile_avx2(&self, g: &mut Grid2<T>, s: usize, sc: &mut Scratch2d<T, 4>) {
+        let _ = (g, s, sc);
+        unreachable!("kernel has no AVX2 temporal tile");
+    }
+
+    /// True when this kernel has a hand-scheduled AVX2 skewed-band
+    /// executor at stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_band(s: usize) -> bool {
+        let _ = s;
+        false
+    }
+
+    /// Execute one skewed band with the AVX2 steady state (bit-identical
+    /// to `t2d_band::band_temporal_gs2d`). Only callable when
+    /// [`Avx2Exec2d::avx2_band`] returned true.
+    fn band_avx2(
+        &self,
+        g: &mut Grid2<T>,
+        xl: usize,
+        xr: usize,
+        s: usize,
+        sc: &mut BandScratch2d<4>,
+    ) {
+        let _ = (g, xl, xr, s, sc);
+        unreachable!("kernel has no AVX2 band executor");
+    }
+}
+
+impl Avx2Exec2d<f64> for JacobiKern2d {
+    fn avx2_tile(vl: usize, _s: usize) -> bool {
+        vl == 4 && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
+        crate::t2d_avx2::tile_heat2d_avx2(g, self, s, sc);
+    }
+}
+
+impl Avx2Exec2d<f64> for BoxKern2d {
+    fn avx2_tile(vl: usize, _s: usize) -> bool {
+        vl == 4 && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
+        crate::t2d_avx2::tile_box2d_avx2(g, self, s, sc);
+    }
+}
+
+impl Avx2Exec2d<f64> for GsKern2d {
+    fn avx2_tile(vl: usize, _s: usize) -> bool {
+        vl == 4 && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
+        crate::t2d_avx2::tile_gs2d_avx2(g, self, s, sc);
+    }
+
+    fn avx2_band(_s: usize) -> bool {
+        tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn band_avx2(
+        &self,
+        g: &mut Grid2<f64>,
+        xl: usize,
+        xr: usize,
+        s: usize,
+        sc: &mut BandScratch2d<4>,
+    ) {
+        crate::t2d_band::band_temporal_gs2d_avx2(g, xl, xr, s, self, sc);
+    }
+}
+
+/// No AVX2 integer steady state exists yet: Life keeps every default and
+/// the tiled runners honestly resolve it portable.
+impl Avx2Exec2d<i32> for LifeKern2d {}
+
+/// Hand-scheduled AVX2 executors a 3-D kernel exposes to the tiled layer;
+/// see [`Avx2Exec1d`].
+pub trait Avx2Exec3d: Kernel3d<f64> {
+    /// True when this kernel has a hand-scheduled AVX2 temporal tile at
+    /// stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_tile(s: usize) -> bool {
+        let _ = s;
+        false
+    }
+
+    /// Advance one `VL = 4` temporal tile with the AVX2 steady state
+    /// (bit-identical to `t3d::tile`). Only callable when
+    /// [`Avx2Exec3d::avx2_tile`] returned true.
+    fn tile_avx2(&self, g: &mut Grid3<f64>, s: usize, sc: &mut Scratch3d<f64, 4>) {
+        let _ = (g, s, sc);
+        unreachable!("kernel has no AVX2 temporal tile");
+    }
+
+    /// True when this kernel has a hand-scheduled AVX2 skewed-band
+    /// executor at stride `s` and the CPU supports AVX2+FMA.
+    fn avx2_band(s: usize) -> bool {
+        let _ = s;
+        false
+    }
+
+    /// Execute one skewed band with the AVX2 steady state (bit-identical
+    /// to `t3d_band::band_temporal_gs3d`). Only callable when
+    /// [`Avx2Exec3d::avx2_band`] returned true.
+    fn band_avx2(
+        &self,
+        g: &mut Grid3<f64>,
+        xl: usize,
+        xr: usize,
+        s: usize,
+        sc: &mut BandScratch3d<4>,
+    ) {
+        let _ = (g, xl, xr, s, sc);
+        unreachable!("kernel has no AVX2 band executor");
+    }
+}
+
+impl Avx2Exec3d for JacobiKern3d {
+    fn avx2_tile(_s: usize) -> bool {
+        tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, g: &mut Grid3<f64>, s: usize, sc: &mut Scratch3d<f64, 4>) {
+        crate::t3d_avx2::tile_heat3d_avx2(g, self, s, sc);
+    }
+}
+
+impl Avx2Exec3d for GsKern3d {
+    fn avx2_tile(_s: usize) -> bool {
+        tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2(&self, g: &mut Grid3<f64>, s: usize, sc: &mut Scratch3d<f64, 4>) {
+        crate::t3d_avx2::tile_gs3d_avx2(g, self, s, sc);
+    }
+
+    fn avx2_band(_s: usize) -> bool {
+        tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn band_avx2(
+        &self,
+        g: &mut Grid3<f64>,
+        xl: usize,
+        xr: usize,
+        s: usize,
+        sc: &mut BandScratch3d<4>,
+    ) {
+        crate::t3d_band::band_temporal_gs3d_avx2(g, xl, xr, s, self, sc);
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,45 @@ mod imp {
     }
 }
 
+/// One Heat-1D temporal tile with the AVX2 steady state (shared
+/// prologue/epilogue with the portable engine; degenerate `n < VL·s`
+/// tiles fall back to the portable schedule). Panics if AVX2+FMA are
+/// unavailable. The tiled layer reaches this through
+/// [`crate::engine::Avx2Exec1d`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_heat1d_avx2(
+    a: &mut [f64],
+    n: usize,
+    kern: &JacobiKern1d,
+    s: usize,
+    scratch: &mut Scratch1d<4>,
+) {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    // SAFETY: availability asserted above.
+    unsafe { imp::tile_avx2(a, n, kern, s, scratch) }
+}
+
+/// One GS-1D temporal tile with the AVX2 steady state; see
+/// [`tile_heat1d_avx2`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_gs1d_avx2(
+    a: &mut [f64],
+    n: usize,
+    kern: &GsKern1d,
+    s: usize,
+    scratch: &mut Scratch1d<4>,
+) {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    // SAFETY: availability asserted above.
+    unsafe { imp::tile_gs_avx2(a, n, kern, s, scratch) }
+}
+
 /// Run `steps` Heat-1D time steps with the AVX2 steady state; panics if
 /// AVX2+FMA are unavailable (use [`run_heat1d_auto`] for dispatch).
 #[cfg(target_arch = "x86_64")]
@@ -164,18 +203,13 @@ pub fn run_heat1d_avx2(
     steps: usize,
     s: usize,
 ) -> Grid1<f64> {
-    assert!(
-        tempora_simd::arch::avx2_available(),
-        "AVX2+FMA not available on this CPU"
-    );
     assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
     let mut g = grid.clone();
     let n = g.n();
     let mut scratch = Scratch1d::<4>::new(s);
     let a = g.data_mut();
     for _ in 0..steps / 4 {
-        // SAFETY: availability asserted above.
-        unsafe { imp::tile_avx2(a, n, kern, s, &mut scratch) };
+        tile_heat1d_avx2(a, n, kern, s, &mut scratch);
     }
     for _ in 0..steps % 4 {
         t1d::scalar_step_inplace(a, n, kern);
@@ -187,18 +221,13 @@ pub fn run_heat1d_avx2(
 /// AVX2+FMA are unavailable (use [`crate::engine`] for dispatch).
 #[cfg(target_arch = "x86_64")]
 pub fn run_gs1d_avx2(grid: &Grid1<f64>, kern: &GsKern1d, steps: usize, s: usize) -> Grid1<f64> {
-    assert!(
-        tempora_simd::arch::avx2_available(),
-        "AVX2+FMA not available on this CPU"
-    );
     assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
     let mut g = grid.clone();
     let n = g.n();
     let mut scratch = Scratch1d::<4>::new(s);
     let a = g.data_mut();
     for _ in 0..steps / 4 {
-        // SAFETY: availability asserted above.
-        unsafe { imp::tile_gs_avx2(a, n, kern, s, &mut scratch) };
+        tile_gs1d_avx2(a, n, kern, s, &mut scratch);
     }
     for _ in 0..steps % 4 {
         t1d::scalar_step_inplace(a, n, kern);

@@ -31,6 +31,25 @@
 use crate::kernels::Kernel1d;
 use tempora_simd::Pack;
 
+/// Ring capacity of the banded executors.
+const RING_CAP: usize = 17;
+
+/// Maximum space stride the banded executors support (ring capacity
+/// minus the produced slot).
+pub const MAX_BAND_STRIDE: usize = RING_CAP - 1;
+
+/// True when the skewed tile anchored at `[xl, xr]` hosts the vector
+/// steady state: interior (`xl > VL`, `xr ≤ n`) and wide enough for the
+/// prologue triangles plus at least one steady-state column. Edge or
+/// narrow tiles run the scalar band instead (identical results). Shared
+/// with the 2-D/3-D banded executors and with the tiling layer's
+/// engine-resolution honesty check.
+#[inline]
+pub fn vector_band_shape<const VL: usize>(xl: usize, xr: usize, n: usize, s: usize) -> bool {
+    let width = (xr + 1).saturating_sub(xl);
+    xl > VL && xr <= n && width >= (VL + 1) * s + VL
+}
+
 /// One scalar skewed band: advance levels `1..=vl` over the shifting
 /// windows `[xl-(k-1), xr-(k-1)] ∩ [1, n]`, in place.
 pub fn band_scalar_gs<K: Kernel1d>(
@@ -67,12 +86,45 @@ pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
 ) {
     debug_assert!(K::IS_GS);
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
-    let width = (xr + 1).saturating_sub(xl);
-    if xl <= VL || xr > n || width < (VL + 1) * s + VL {
+    if !vector_band_shape::<VL>(xl, xr, n, s) {
         band_scalar_gs(a, xl, xr, VL, n, kern);
         return;
     }
+    let (mut ring, mut o_prev, x_start, x_max) = band_prologue::<VL, K>(a, xl, xr, s, kern);
 
+    // ------------------------------------------------------------------
+    // Steady state — identical algebra to the rectangular engine; only
+    // the finished top lane touches the array.
+    // ------------------------------------------------------------------
+    let rlen = s + 1;
+    for x in x_start..=x_max {
+        let v0 = ring[x % rlen];
+        let vp1 = ring[(x + 1) % rlen];
+        let o = kern.pack::<VL>(o_prev, v0, vp1);
+        a[x] = o.top();
+        let bottom = a[x + VL * s];
+        // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
+        ring[(x + s) % rlen] = o.shift_up_insert(bottom);
+        o_prev = o;
+    }
+
+    band_epilogue::<VL, K>(a, xr, s, kern, &ring, o_prev, x_max);
+}
+
+/// Phase 1 of a temporal band: the scalar prologue triangles plus the
+/// initial ring `V(x_start) ..= V(x_start+s)` and the previous output
+/// vector `O(x_start-1)`. Returns `(ring, o_prev, x_start, x_max)`; ring
+/// slot `j % (s+1)` holds `V(j)`. Shared by the portable steady state and
+/// the AVX2 one ([`band_temporal_gs_avx2`]), so both bands seed the §3.4
+/// recurrence identically. Callers must have checked
+/// [`vector_band_shape`].
+fn band_prologue<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &K,
+) -> ([Pack<f64, VL>; RING_CAP], Pack<f64, VL>, usize, usize) {
     // Steady-state anchors: O(x) lane i writes level i+1 at
     // x + (VL-1-i)·s; lane VL-1 binds the left end (x ≥ xl-(VL-1)) and
     // the bottom fill x + VL·s ≤ xr+1 binds the right end.
@@ -88,7 +140,7 @@ pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
     // holds the level-(k-1) value that lane k-1 of V(x_start) needs, so
     // that value is stashed in `saved` just before each pass.
     // ------------------------------------------------------------------
-    let mut saved = [0.0f64; 16];
+    let mut saved = [0.0f64; MAX_BAND_STRIDE];
     assert!(VL <= saved.len());
     for k in 1..VL {
         saved[k - 1] = a[x_start + (VL - k) * s];
@@ -105,7 +157,7 @@ pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
     // vector): every lane value is the most recent surviving write.
     // ------------------------------------------------------------------
     let rlen = s + 1;
-    let mut ring = [Pack::<f64, VL>::splat(0.0); 17]; // supports s <= 16
+    let mut ring = [Pack::<f64, VL>::splat(0.0); RING_CAP];
     assert!(rlen <= ring.len());
     ring[x_start % rlen] = Pack::from_fn(|i| {
         if i == VL - 1 {
@@ -118,27 +170,25 @@ pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
         let x = x_start + j;
         ring[x % rlen] = Pack::from_fn(|i| a[x + (VL - 1 - i) * s]);
     }
-    let mut o_prev = Pack::<f64, VL>::from_fn(|i| a[x_start - 1 + (VL - 1 - i) * s]);
+    let o_prev = Pack::<f64, VL>::from_fn(|i| a[x_start - 1 + (VL - 1 - i) * s]);
+    (ring, o_prev, x_start, x_max)
+}
 
-    // ------------------------------------------------------------------
-    // Steady state — identical algebra to the rectangular engine; only
-    // the finished top lane touches the array.
-    // ------------------------------------------------------------------
-    for x in x_start..=x_max {
-        let v0 = ring[x % rlen];
-        let vp1 = ring[(x + 1) % rlen];
-        let o = kern.pack::<VL>(o_prev, v0, vp1);
-        a[x] = o.top();
-        let bottom = a[x + VL * s];
-        // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
-        ring[(x + s) % rlen] = o.shift_up_insert(bottom);
-        o_prev = o;
-    }
-
-    // ------------------------------------------------------------------
-    // Epilogue: materialize the register-resident levels back into the
-    // array staircase, then finish each level scalar, ascending.
-    // ------------------------------------------------------------------
+/// Phase 3 of a temporal band: materialize the register-resident levels
+/// back into the array staircase, then finish each level scalar,
+/// ascending. `ring` must hold `V(j)` at slot `j % (s+1)` for
+/// `j ∈ x_max ..= x_max+s` and `o_prev` must be `O(x_max)`, as left
+/// behind by the steady state.
+fn band_epilogue<const VL: usize, K: Kernel1d>(
+    a: &mut [f64],
+    xr: usize,
+    s: usize,
+    kern: &K,
+    ring: &[Pack<f64, VL>],
+    o_prev: Pack<f64, VL>,
+    x_max: usize,
+) {
+    let rlen = s + 1;
     for j in x_max + 1..=x_max + s {
         let v = ring[j % rlen];
         for i in 1..VL {
@@ -159,6 +209,107 @@ pub fn band_temporal_gs<const VL: usize, K: Kernel1d>(
         for x in lo..=hi {
             a[x] = kern.scalar(a[x - 1], a[x - 1], a[x], a[x + 1]);
         }
+    }
+}
+
+/// One temporally vectorized skewed band with the hand-scheduled AVX2
+/// steady state — the same `vfmadd231pd` + `vpermpd` + `vblendpd`
+/// scheduling as `crate::t1d_avx2`, with the previous *output* vector fed
+/// back as the newest-west operand from a register (§3.4). Prologue and
+/// epilogue are shared with [`band_temporal_gs`], so results stay
+/// bit-identical to it and to [`band_scalar_gs`]; edge or narrow tiles
+/// fall back to the scalar band. Panics without AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+pub fn band_temporal_gs_avx2(
+    a: &mut [f64],
+    xl: usize,
+    xr: usize,
+    n: usize,
+    s: usize,
+    kern: &crate::kernels::GsKern1d,
+) {
+    use crate::kernels::GsKern1d;
+    const VL: usize = 4;
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    assert!(
+        (GsKern1d::MIN_STRIDE..=MAX_BAND_STRIDE).contains(&s),
+        "stride {s} illegal for the banded AVX2 executor"
+    );
+    if !vector_band_shape::<VL>(xl, xr, n, s) {
+        band_scalar_gs(a, xl, xr, VL, n, kern);
+        return;
+    }
+    let (ring, o_prev, x_start, x_max) = band_prologue::<VL, GsKern1d>(a, xl, xr, s, kern);
+    // SAFETY: availability asserted above.
+    let (ring, o_prev) =
+        unsafe { imp::band_steady_gs_avx2(a, s, kern, &ring, o_prev, x_start, x_max) };
+    band_epilogue::<VL, GsKern1d>(a, xr, s, kern, &ring, o_prev, x_max);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::{Pack, MAX_BAND_STRIDE, RING_CAP};
+    use crate::kernels::GsKern1d;
+    use core::arch::x86_64::*;
+    use tempora_simd::arch::avx2;
+
+    /// The AVX2 steady state of one skewed Gauss-Seidel band: identical
+    /// algebra and iteration order to the portable loop in
+    /// [`super::band_temporal_gs`], with the ring kept in `__m256d`
+    /// registers and incremental ring indices. Returns the surviving ring
+    /// and `O(x_max)` for the shared epilogue.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn band_steady_gs_avx2(
+        a: &mut [f64],
+        s: usize,
+        kern: &GsKern1d,
+        ring_init: &[Pack<f64, 4>; RING_CAP],
+        o_prev0: Pack<f64, 4>,
+        x_start: usize,
+        x_max: usize,
+    ) -> ([Pack<f64, 4>; RING_CAP], Pack<f64, 4>) {
+        const VL: usize = 4;
+        debug_assert!(s <= MAX_BAND_STRIDE);
+        let rlen = s + 1;
+        let cw = avx2::splat(kern.0.w);
+        let cc = avx2::splat(kern.0.c);
+        let ce = avx2::splat(kern.0.e);
+
+        let mut ring = [avx2::splat(0.0); RING_CAP];
+        for k in 0..rlen {
+            ring[k] = avx2::from_pack(ring_init[k]);
+        }
+        let mut o_prev = avx2::from_pack(o_prev0);
+        let mut v0 = ring[x_start % rlen];
+        let mut ip1 = (x_start + 1) % rlen;
+        // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
+        let mut ips = (x_start + s) % rlen;
+        for x in x_start..=x_max {
+            let vp1 = ring[ip1];
+            // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
+            // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
+            let o = _mm256_fmadd_pd(o_prev, cw, _mm256_fmadd_pd(v0, cc, _mm256_mul_pd(vp1, ce)));
+            a[x] = avx2::extract_top(o);
+            let bottom = a[x + VL * s];
+            ring[ips] = avx2::shift_up_insert(o, bottom);
+            o_prev = o;
+            v0 = vp1;
+            ips = if ips + 1 == rlen { 0 } else { ips + 1 };
+            ip1 = if ip1 + 1 == rlen { 0 } else { ip1 + 1 };
+        }
+
+        let mut back = [Pack::<f64, 4>::splat(0.0); RING_CAP];
+        for k in 0..rlen {
+            back[k] = avx2::to_pack(ring[k]);
+        }
+        (back, avx2::to_pack(o_prev))
     }
 }
 
@@ -272,6 +423,51 @@ mod tests {
         let ours = run_banded(&g, &kern, 8, 8, 2, true);
         let gold = reference::gs1d(&g, c, 8);
         assert!(ours.interior_eq(&gold), "{:?}", ours.first_diff(&gold));
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_band_matches_scalar_oracle_bitwise() {
+        if !tempora_simd::arch::avx2_available() {
+            return;
+        }
+        const VL: usize = 4;
+        let c = Gs1dCoeffs::new(0.37, 0.4, 0.23);
+        let kern = GsKern1d(c);
+        for &(n, block, s) in &[
+            (256usize, 64usize, 2usize),
+            (300, 75, 3),
+            (512, 128, 7),
+            (1000, 128, 7),
+            (64, 8, 2), // every tile narrow: pure scalar fallback
+        ] {
+            let mut g = Grid1::new(n, 1, Boundary::Dirichlet(-0.3));
+            fill_random_1d(&mut g, (n + s) as u64, -1.0, 1.0);
+            for steps in [4usize, 8, 12] {
+                let mut ours = g.clone();
+                {
+                    let nn = ours.n();
+                    let a = ours.data_mut();
+                    let span = nn + VL - 1;
+                    for _ in 0..steps / VL {
+                        for i in 0..span.div_ceil(block) {
+                            let xl = i * block + 1;
+                            let xr = ((i + 1) * block).min(span);
+                            band_temporal_gs_avx2(a, xl, xr, nn, s, &kern);
+                        }
+                    }
+                    for _ in 0..steps % VL {
+                        crate::t1d::scalar_step_inplace(a, nn, &kern);
+                    }
+                }
+                let gold = reference::gs1d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "n={n} block={block} s={s} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
     }
 
     #[test]

@@ -222,31 +222,92 @@ mod imp {
     }
 }
 
-/// Drive `steps` time steps through the three-phase tile with an AVX2
-/// steady state; the `steps mod 4` remainder runs scalar, exactly like
-/// [`t2d::run`].
+/// One Heat-2D temporal tile with the AVX2 steady state (shared
+/// prologue/epilogue with the portable engine; degenerate `nx < VL·s`
+/// tiles fall back to the scalar schedule). Panics if AVX2+FMA are
+/// unavailable. The tiled layer reaches this through
+/// [`crate::engine::Avx2Exec2d`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_heat2d_avx2(
+    g: &mut Grid2<f64>,
+    kern: &crate::kernels::JacobiKern2d,
+    s: usize,
+    sc: &mut Scratch2d<f64, 4>,
+) {
+    tile_with(g, kern, s, sc, |g, k, s, sc, xm| {
+        // SAFETY: tile_with asserted AVX2+FMA availability.
+        unsafe { imp::steady_heat2d(g, k, s, sc, xm) }
+    });
+}
+
+/// Shared three-phase sandwich of one AVX2 tile: availability assert,
+/// degenerate fallback, portable prologue, the given steady state,
+/// portable epilogue.
+#[cfg(target_arch = "x86_64")]
+fn tile_with<K: Kernel2d<f64>>(
+    g: &mut Grid2<f64>,
+    kern: &K,
+    s: usize,
+    sc: &mut Scratch2d<f64, 4>,
+    steady: impl FnOnce(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>, usize),
+) {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    if t2d::tile_fallback_if_degenerate::<f64, 4, K>(g, kern, s, sc) {
+        return;
+    }
+    let x_max = t2d::tile_prologue::<f64, 4, K>(g, kern, s, sc);
+    steady(g, kern, s, sc, x_max);
+    t2d::tile_epilogue::<f64, 4, K>(g, kern, s, sc, x_max);
+}
+
+/// One 2D9P (box Jacobi) temporal tile with the AVX2 steady state; see
+/// [`tile_heat2d_avx2`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_box2d_avx2(
+    g: &mut Grid2<f64>,
+    kern: &crate::kernels::BoxKern2d,
+    s: usize,
+    sc: &mut Scratch2d<f64, 4>,
+) {
+    tile_with(g, kern, s, sc, |g, k, s, sc, xm| {
+        // SAFETY: tile_with asserted AVX2+FMA availability.
+        unsafe { imp::steady_box2d(g, k, s, sc, xm) }
+    });
+}
+
+/// One GS-2D temporal tile with the AVX2 steady state; see
+/// [`tile_heat2d_avx2`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_gs2d_avx2(
+    g: &mut Grid2<f64>,
+    kern: &crate::kernels::GsKern2d,
+    s: usize,
+    sc: &mut Scratch2d<f64, 4>,
+) {
+    tile_with(g, kern, s, sc, |g, k, s, sc, xm| {
+        // SAFETY: tile_with asserted AVX2+FMA availability.
+        unsafe { imp::steady_gs2d(g, k, s, sc, xm) }
+    });
+}
+
+/// Drive `steps` time steps through whole AVX2 tiles; the `steps mod 4`
+/// remainder runs scalar, exactly like [`t2d::run`].
 #[cfg(target_arch = "x86_64")]
 fn run_with<K: Kernel2d<f64>>(
     grid: &Grid2<f64>,
     kern: &K,
     steps: usize,
     s: usize,
-    steady: impl Fn(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>, usize),
+    tile: impl Fn(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>),
 ) -> Grid2<f64> {
-    assert!(
-        tempora_simd::arch::avx2_available(),
-        "AVX2+FMA not available on this CPU"
-    );
     assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
     let mut g = grid.clone();
     let mut sc = Scratch2d::<f64, 4>::new(s, g.ny());
     for _ in 0..steps / 4 {
-        if t2d::tile_fallback_if_degenerate::<f64, 4, K>(&mut g, kern, s, &mut sc) {
-            continue;
-        }
-        let x_max = t2d::tile_prologue::<f64, 4, K>(&mut g, kern, s, &mut sc);
-        steady(&mut g, kern, s, &mut sc, x_max);
-        t2d::tile_epilogue::<f64, 4, K>(&mut g, kern, s, &mut sc, x_max);
+        tile(&mut g, kern, s, &mut sc);
     }
     for _ in 0..steps % 4 {
         let (mut ra, mut rb) = (
@@ -269,10 +330,7 @@ pub fn run_heat2d_avx2(
     steps: usize,
     s: usize,
 ) -> Grid2<f64> {
-    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
-        // SAFETY: availability asserted by `run_with`.
-        unsafe { imp::steady_heat2d(g, k, s, sc, xm) }
-    })
+    run_with(grid, kern, steps, s, tile_heat2d_avx2)
 }
 
 /// Run `steps` 2D9P (box Jacobi) time steps with the AVX2 steady state;
@@ -285,10 +343,7 @@ pub fn run_box2d_avx2(
     steps: usize,
     s: usize,
 ) -> Grid2<f64> {
-    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
-        // SAFETY: availability asserted by `run_with`.
-        unsafe { imp::steady_box2d(g, k, s, sc, xm) }
-    })
+    run_with(grid, kern, steps, s, tile_box2d_avx2)
 }
 
 /// Run `steps` GS-2D time steps with the AVX2 steady state; panics if
@@ -300,10 +355,7 @@ pub fn run_gs2d_avx2(
     steps: usize,
     s: usize,
 ) -> Grid2<f64> {
-    run_with(grid, kern, steps, s, |g, k, s, sc, xm| {
-        // SAFETY: availability asserted by `run_with`.
-        unsafe { imp::steady_gs2d(g, k, s, sc, xm) }
-    })
+    run_with(grid, kern, steps, s, tile_gs2d_avx2)
 }
 
 #[cfg(all(test, target_arch = "x86_64"))]

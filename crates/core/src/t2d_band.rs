@@ -69,13 +69,31 @@ pub fn band_temporal_gs2d<const VL: usize, K: Kernel2d<f64>>(
 ) {
     debug_assert!(K::IS_GS);
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
-    let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
+    let (nx, ny) = (g.nx(), g.ny());
     assert_eq!(sc.ny, ny, "scratch shape mismatch");
-    let width = (xr + 1).saturating_sub(xl);
-    if xl <= VL || xr > nx || width < (VL + 1) * s + VL {
+    if !crate::t1d_band::vector_band_shape::<VL>(xl, xr, nx, s) {
         band_scalar_gs2d(g, xl, xr, VL, kern);
         return;
     }
+    let (x_start, x_max) = band_prologue2d::<VL, K>(g, xl, xr, s, kern, sc);
+    band_steady2d::<VL, K>(g, s, kern, sc, x_start, x_max);
+    band_epilogue2d::<VL, K>(g, xr, s, kern, sc, x_max);
+}
+
+/// Phase 1 of a 2-D temporal band: scalar prologue rows plus the initial
+/// ring rows `V(x_start, ·) ..= V(x_start+s, ·)` and the previous output
+/// row `O(x_start-1, ·)` in `sc.o_prev`. Returns `(x_start, x_max)`.
+/// Shared by the portable and AVX2 steady states. Callers must have
+/// checked [`crate::t1d_band::vector_band_shape`].
+fn band_prologue2d<const VL: usize, K: Kernel2d<f64>>(
+    g: &mut Grid2<f64>,
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch2d<VL>,
+) -> (usize, usize) {
+    let (ny, p) = (g.ny(), g.pitch());
     let bc = g.boundary().value();
     let a = g.data_mut();
     let x_start = xl - (VL - 1);
@@ -125,8 +143,23 @@ pub fn band_temporal_gs2d<const VL: usize, K: Kernel2d<f64>>(
             Pack::from_fn(|i| a[(x_start - 1 + (VL - 1 - i) * s) * p + y])
         };
     }
+    (x_start, x_max)
+}
 
-    // Steady state (identical to the rectangular engine's inner loop).
+/// Portable steady state of a 2-D temporal band (identical to the
+/// rectangular engine's inner loop).
+fn band_steady2d<const VL: usize, K: Kernel2d<f64>>(
+    g: &mut Grid2<f64>,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch2d<VL>,
+    x_start: usize,
+    x_max: usize,
+) {
+    let (ny, p) = (g.ny(), g.pitch());
+    let bc = g.boundary().value();
+    let a = g.data_mut();
+    let rlen = s + 1;
     let zero = Pack::<f64, VL>::splat(0.0);
     for x in x_start..=x_max {
         let i0 = x % rlen;
@@ -163,8 +196,21 @@ pub fn band_temporal_gs2d<const VL: usize, K: Kernel2d<f64>>(
         sc.o_cur[0] = Pack::splat(bc);
         sc.o_cur[ny + 1] = Pack::splat(bc);
     }
+}
 
-    // Epilogue: materialize register-resident levels into the staircase…
+/// Phase 3 of a 2-D temporal band: materialize register-resident levels
+/// into the staircase, then finish each level scalar.
+fn band_epilogue2d<const VL: usize, K: Kernel2d<f64>>(
+    g: &mut Grid2<f64>,
+    xr: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch2d<VL>,
+    x_max: usize,
+) {
+    let (ny, p) = (g.ny(), g.pitch());
+    let a = g.data_mut();
+    let rlen = s + 1;
     for j in x_max + 1..=x_max + s {
         let src = &sc.ring[j % rlen];
         for i in 1..VL {
@@ -180,12 +226,125 @@ pub fn band_temporal_gs2d<const VL: usize, K: Kernel2d<f64>>(
             a[row + y] = sc.o_prev[y].extract(i);
         }
     }
-    // …then finish each level scalar.
     for k in 1..=VL {
         let lo = x_max + (VL - k) * s + 1;
         let hi = xr + 1 - k;
         for x in lo..=hi {
             gs_row(a, x, ny, p, kern);
+        }
+    }
+}
+
+/// One temporally vectorized skewed band (2-D Gauss-Seidel) with the
+/// hand-scheduled AVX2 steady state — the same scheduling
+/// (`vfmadd231pd`, `vpermpd`, `vblendpd`) as `crate::t2d_avx2`, with the newest-north
+/// operand from the previous output row and the newest-west operand from
+/// the previous output vector in a register (§3.4). Prologue/epilogue are
+/// shared with [`band_temporal_gs2d`], so results stay bit-identical to
+/// it and to [`band_scalar_gs2d`]; edge or narrow tiles fall back to the
+/// scalar band. Panics without AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+pub fn band_temporal_gs2d_avx2(
+    g: &mut Grid2<f64>,
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &crate::kernels::GsKern2d,
+    sc: &mut BandScratch2d<4>,
+) {
+    use crate::kernels::GsKern2d;
+    const VL: usize = 4;
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    assert!(
+        s >= GsKern2d::MIN_STRIDE,
+        "stride {s} illegal for this kernel"
+    );
+    let (nx, ny) = (g.nx(), g.ny());
+    assert_eq!(sc.ny, ny, "scratch shape mismatch");
+    if !crate::t1d_band::vector_band_shape::<VL>(xl, xr, nx, s) {
+        band_scalar_gs2d(g, xl, xr, VL, kern);
+        return;
+    }
+    let (x_start, x_max) = band_prologue2d::<VL, GsKern2d>(g, xl, xr, s, kern, sc);
+    // SAFETY: availability asserted above.
+    unsafe { imp::band_steady_gs2d_avx2(g, s, kern, sc, x_start, x_max) };
+    band_epilogue2d::<VL, GsKern2d>(g, xr, s, kern, sc, x_max);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::{BandScratch2d, Grid2, Pack};
+    use crate::kernels::GsKern2d;
+    use tempora_simd::arch::avx2;
+
+    /// The AVX2 steady state of one skewed 2-D Gauss-Seidel band:
+    /// identical algebra and iteration order to
+    /// [`super::band_steady2d`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn band_steady_gs2d_avx2(
+        g: &mut Grid2<f64>,
+        s: usize,
+        kern: &GsKern2d,
+        sc: &mut BandScratch2d<4>,
+        x_start: usize,
+        x_max: usize,
+    ) {
+        const VL: usize = 4;
+        let (ny, p) = (g.ny(), g.pitch());
+        let bc = g.boundary().value();
+        let a = g.data_mut();
+        let rlen = s + 1;
+        let cn = avx2::splat(kern.0.cn);
+        let cw = avx2::splat(kern.0.cw);
+        let cc = avx2::splat(kern.0.cc);
+        let ce = avx2::splat(kern.0.ce);
+        let cs = avx2::splat(kern.0.cs);
+        for x in x_start..=x_max {
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wrow = core::mem::take(&mut sc.ring[ips]);
+            {
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
+                let mut m = avx2::from_pack(r0[1]);
+                for y in 1..=ny {
+                    let e = avx2::from_pack(r0[y + 1]);
+                    let sth = avx2::from_pack(rp1[y]);
+                    let n_new = avx2::from_pack(sc.o_prev[y]);
+                    // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
+                    // the same fused tree as Gs2dCoeffs::apply.
+                    let o = avx2::fmadd(
+                        n_new,
+                        cn,
+                        avx2::fmadd(
+                            o_west,
+                            cw,
+                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                        ),
+                    );
+                    a[x * p + y] = avx2::extract_top(o);
+                    let bottom = a[(x + VL * s) * p + y];
+                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                    sc.o_cur[y] = avx2::to_pack(o);
+                    o_west = o;
+                    m = e;
+                }
+                wrow[0] = Pack::splat(bc);
+                wrow[ny + 1] = Pack::splat(bc);
+            }
+            sc.ring[ips] = wrow;
+            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
+            sc.o_cur[0] = Pack::splat(bc);
+            sc.o_cur[ny + 1] = Pack::splat(bc);
         }
     }
 }
@@ -296,6 +455,48 @@ mod tests {
             fill_random_2d(&mut g, (nx + ny) as u64, -1.0, 1.0);
             for steps in [4usize, 8, 10] {
                 let ours = run_banded(&g, &kern, steps, block, s, true);
+                let gold = reference::gs2d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "nx={nx} block={block} s={s} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_band_matches_scalar_oracle_bitwise() {
+        if !tempora_simd::arch::avx2_available() {
+            return;
+        }
+        const VL: usize = 4;
+        let c = Gs2dCoeffs::new(0.19, 0.23, 0.21, 0.17, 0.2);
+        let kern = GsKern2d(c);
+        for &(nx, ny, block, s) in &[
+            (128usize, 10usize, 32usize, 2usize),
+            (150, 7, 50, 3),
+            (96, 16, 48, 2),
+            (40, 8, 10, 2), // every tile narrow: pure scalar fallback
+        ] {
+            let mut g = Grid2::new(nx, ny, 1, Boundary::Dirichlet(-0.4));
+            fill_random_2d(&mut g, (nx + ny) as u64, -1.0, 1.0);
+            for steps in [4usize, 8, 10] {
+                let mut ours = g.clone();
+                let mut sc = BandScratch2d::<VL>::new(s, ny);
+                let span = nx + VL - 1;
+                for _ in 0..steps / VL {
+                    for i in 0..span.div_ceil(block) {
+                        let xl = i * block + 1;
+                        let xr = ((i + 1) * block).min(span);
+                        band_temporal_gs2d_avx2(&mut ours, xl, xr, s, &kern, &mut sc);
+                    }
+                }
+                for _ in 0..steps % VL {
+                    let (mut ra, mut rb) = (vec![0.0; ny + 2], vec![0.0; ny + 2]);
+                    crate::t2d::scalar_step_inplace(&mut ours, &kern, &mut ra, &mut rb);
+                }
                 let gold = reference::gs2d(&g, c, steps);
                 assert!(
                     ours.interior_eq(&gold),

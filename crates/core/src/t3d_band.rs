@@ -96,19 +96,36 @@ pub fn band_temporal_gs3d<const VL: usize, K: Kernel3d<f64>>(
     debug_assert!(K::IS_GS);
     assert!(s >= K::MIN_STRIDE, "stride {s} illegal for this kernel");
     let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
-    let (p, pl) = (g.pitch(), g.plane());
     assert_eq!((sc.ny, sc.nz), (ny, nz), "scratch shape mismatch");
-    let width = (xr + 1).saturating_sub(xl);
-    if xl <= VL || xr > nx || width < (VL + 1) * s + VL {
+    if !crate::t1d_band::vector_band_shape::<VL>(xl, xr, nx, s) {
         band_scalar_gs3d(g, xl, xr, VL, kern);
         return;
     }
+    let (x_start, x_max) = band_prologue3d::<VL, K>(g, xl, xr, s, kern, sc);
+    band_steady3d::<VL, K>(g, s, kern, sc, x_start, x_max);
+    band_epilogue3d::<VL, K>(g, xr, s, kern, sc, x_max);
+}
+
+/// Phase 1 of a 3-D temporal band: scalar prologue slabs plus the initial
+/// ring planes and the previous output plane `O(x_start-1, ·, ·)` in
+/// `sc.o_prev` (with `sc.o_cur` reset to the boundary value — its row 0
+/// feeds the first plane's `y = 1` newest-north reads). Returns
+/// `(x_start, x_max)`. Shared by the portable and AVX2 steady states.
+fn band_prologue3d<const VL: usize, K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch3d<VL>,
+) -> (usize, usize) {
+    let (ny, nz) = (g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
     let bc = g.boundary().value();
     let a = g.data_mut();
     let x_start = xl - (VL - 1);
     let x_max = xr + 1 - VL * s;
     let wz = nz + 2;
-    let _wp = (ny + 2) * wz;
     let lp = |y: usize, z: usize| y * wz + z;
 
     // Prologue slabs, stashing the slab each pass is about to clobber.
@@ -167,8 +184,25 @@ pub fn band_temporal_gs3d<const VL: usize, K: Kernel3d<f64>>(
     for slot in sc.o_cur.iter_mut() {
         *slot = Pack::splat(bc);
     }
+    (x_start, x_max)
+}
 
-    // Steady state.
+/// Portable steady state of a 3-D temporal band.
+fn band_steady3d<const VL: usize, K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch3d<VL>,
+    x_start: usize,
+    x_max: usize,
+) {
+    let (ny, nz) = (g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    let bc = g.boundary().value();
+    let a = g.data_mut();
+    let wz = nz + 2;
+    let lp = |y: usize, z: usize| y * wz + z;
+    let rlen = s + 1;
     let zero = Pack::<f64, VL>::splat(0.0);
     for x in x_start..=x_max {
         let i0 = x % rlen;
@@ -217,8 +251,24 @@ pub fn band_temporal_gs3d<const VL: usize, K: Kernel3d<f64>>(
             sc.o_cur[lp(0, z)] = Pack::splat(bc);
         }
     }
+}
 
-    // Epilogue: materialize register-resident levels, then finish scalar.
+/// Phase 3 of a 3-D temporal band: materialize register-resident levels,
+/// then finish each level scalar.
+fn band_epilogue3d<const VL: usize, K: Kernel3d<f64>>(
+    g: &mut Grid3<f64>,
+    xr: usize,
+    s: usize,
+    kern: &K,
+    sc: &mut BandScratch3d<VL>,
+    x_max: usize,
+) {
+    let (ny, nz) = (g.ny(), g.nz());
+    let (p, pl) = (g.pitch(), g.plane());
+    let a = g.data_mut();
+    let wz = nz + 2;
+    let lp = |y: usize, z: usize| y * wz + z;
+    let rlen = s + 1;
     for j in x_max + 1..=x_max + s {
         let src = &sc.ring[j % rlen];
         for i in 1..VL {
@@ -243,6 +293,149 @@ pub fn band_temporal_gs3d<const VL: usize, K: Kernel3d<f64>>(
         let hi = xr + 1 - k;
         for x in lo..=hi {
             gs_slab(a, x, ny, nz, p, pl, kern);
+        }
+    }
+}
+
+/// One temporally vectorized skewed band (3-D Gauss-Seidel) with the
+/// hand-scheduled AVX2 steady state — the same scheduling
+/// (`vfmadd231pd`, `vpermpd`, `vblendpd`) as `crate::t3d_avx2`, with newest operands
+/// from the previous output plane (`x-1`), the output plane being filled
+/// (`y-1`) and the previous output register (`z-1`), exactly as in the
+/// portable steady state (§3.4). Prologue/epilogue are shared with
+/// [`band_temporal_gs3d`], so results stay bit-identical to it and to
+/// [`band_scalar_gs3d`]; edge or narrow tiles fall back to the scalar
+/// band. Panics without AVX2+FMA.
+#[cfg(target_arch = "x86_64")]
+pub fn band_temporal_gs3d_avx2(
+    g: &mut Grid3<f64>,
+    xl: usize,
+    xr: usize,
+    s: usize,
+    kern: &crate::kernels::GsKern3d,
+    sc: &mut BandScratch3d<4>,
+) {
+    use crate::kernels::GsKern3d;
+    const VL: usize = 4;
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    assert!(
+        s >= GsKern3d::MIN_STRIDE,
+        "stride {s} illegal for this kernel"
+    );
+    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
+    assert_eq!((sc.ny, sc.nz), (ny, nz), "scratch shape mismatch");
+    if !crate::t1d_band::vector_band_shape::<VL>(xl, xr, nx, s) {
+        band_scalar_gs3d(g, xl, xr, VL, kern);
+        return;
+    }
+    let (x_start, x_max) = band_prologue3d::<VL, GsKern3d>(g, xl, xr, s, kern, sc);
+    // SAFETY: availability asserted above.
+    unsafe { imp::band_steady_gs3d_avx2(g, s, kern, sc, x_start, x_max) };
+    band_epilogue3d::<VL, GsKern3d>(g, xr, s, kern, sc, x_max);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::{BandScratch3d, Grid3, Pack};
+    use crate::kernels::GsKern3d;
+    use tempora_simd::arch::avx2;
+
+    /// The AVX2 steady state of one skewed 3-D Gauss-Seidel band:
+    /// identical algebra and iteration order to
+    /// [`super::band_steady3d`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn band_steady_gs3d_avx2(
+        g: &mut Grid3<f64>,
+        s: usize,
+        kern: &GsKern3d,
+        sc: &mut BandScratch3d<4>,
+        x_start: usize,
+        x_max: usize,
+    ) {
+        const VL: usize = 4;
+        let (ny, nz) = (g.ny(), g.nz());
+        let (p, pl) = (g.pitch(), g.plane());
+        let bc = g.boundary().value();
+        let a = g.data_mut();
+        let wz = nz + 2;
+        let lp = |y: usize, z: usize| y * wz + z;
+        let rlen = s + 1;
+        let cxm = avx2::splat(kern.0.cxm);
+        let cym = avx2::splat(kern.0.cym);
+        let czm = avx2::splat(kern.0.czm);
+        let cc = avx2::splat(kern.0.cc);
+        let czp = avx2::splat(kern.0.czp);
+        let cyp = avx2::splat(kern.0.cyp);
+        let cxp = avx2::splat(kern.0.cxp);
+        for x in x_start..=x_max {
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wplane = core::mem::take(&mut sc.ring[ips]);
+            {
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                for y in 1..=ny {
+                    let mut o_z = avx2::splat(bc); // O(x, y, 0): z-boundary
+                    let mut m = avx2::from_pack(r0[lp(y, 1)]);
+                    for z in 1..=nz {
+                        let idx = lp(y, z);
+                        let zp = avx2::from_pack(r0[idx + 1]);
+                        let yp = avx2::from_pack(r0[idx + wz]);
+                        let xp = avx2::from_pack(rp1[idx]);
+                        let new_xm = avx2::from_pack(sc.o_prev[idx]);
+                        let new_ym = avx2::from_pack(sc.o_cur[idx - wz]);
+                        // The same fused tree as Gs3dCoeffs::apply.
+                        let o = avx2::fmadd(
+                            new_xm,
+                            cxm,
+                            avx2::fmadd(
+                                new_ym,
+                                cym,
+                                avx2::fmadd(
+                                    o_z,
+                                    czm,
+                                    avx2::fmadd(
+                                        m,
+                                        cc,
+                                        avx2::fmadd(
+                                            zp,
+                                            czp,
+                                            avx2::fmadd(yp, cyp, avx2::mul(xp, cxp)),
+                                        ),
+                                    ),
+                                ),
+                            ),
+                        );
+                        a[x * pl + y * p + z] = avx2::extract_top(o);
+                        let bottom = a[(x + VL * s) * pl + y * p + z];
+                        wplane[idx] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                        sc.o_cur[idx] = avx2::to_pack(o);
+                        o_z = o;
+                        m = zp;
+                    }
+                }
+                for z in 0..wz {
+                    wplane[lp(0, z)] = Pack::splat(bc);
+                    wplane[lp(ny + 1, z)] = Pack::splat(bc);
+                }
+                for y in 1..=ny {
+                    wplane[lp(y, 0)] = Pack::splat(bc);
+                    wplane[lp(y, nz + 1)] = Pack::splat(bc);
+                }
+            }
+            sc.ring[ips] = wplane;
+            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
+            for z in 0..wz {
+                sc.o_cur[lp(0, z)] = Pack::splat(bc);
+            }
         }
     }
 }
@@ -327,6 +520,48 @@ mod tests {
             fill_random_3d(&mut g, (nx + s) as u64, -1.0, 1.0);
             for steps in [4usize, 8] {
                 let ours = run_banded(&g, &kern, steps, block, s, true);
+                let gold = reference::gs3d(&g, c, steps);
+                assert!(
+                    ours.interior_eq(&gold),
+                    "nx={nx} block={block} s={s} steps={steps} diff {:?}",
+                    ours.first_diff(&gold)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_band_matches_scalar_oracle_bitwise() {
+        if !tempora_simd::arch::avx2_available() {
+            return;
+        }
+        const VL: usize = 4;
+        let c = Gs3dCoeffs::new(0.14, 0.11, 0.1, 0.22, 0.09, 0.12, 0.08);
+        let kern = GsKern3d(c);
+        for &(nx, block, s) in &[
+            (96usize, 32usize, 2usize),
+            (120, 40, 3),
+            (30, 8, 2), // every tile narrow: pure scalar fallback
+        ] {
+            let mut g = Grid3::new(nx, 5, 7, 1, Boundary::Dirichlet(-0.1));
+            fill_random_3d(&mut g, (nx + s) as u64, -1.0, 1.0);
+            for steps in [4usize, 8] {
+                let mut ours = g.clone();
+                let mut sc = BandScratch3d::<VL>::new(s, ours.ny(), ours.nz());
+                let span = nx + VL - 1;
+                for _ in 0..steps / VL {
+                    for i in 0..span.div_ceil(block) {
+                        let xl = i * block + 1;
+                        let xr = ((i + 1) * block).min(span);
+                        band_temporal_gs3d_avx2(&mut ours, xl, xr, s, &kern, &mut sc);
+                    }
+                }
+                for _ in 0..steps % VL {
+                    let wp = (ours.ny() + 2) * (ours.nz() + 2);
+                    let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+                    crate::t3d::scalar_step_inplace(&mut ours, &kern, &mut pa, &mut pb);
+                }
                 let gold = reference::gs3d(&g, c, steps);
                 assert!(
                     ours.interior_eq(&gold),

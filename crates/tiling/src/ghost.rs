@@ -14,6 +14,20 @@
 //! instead of the diamond's phase alternation. The substitution is
 //! recorded in DESIGN.md.
 //!
+//! # Engine dispatch
+//!
+//! The temporal in-tile kernel goes through the same dispatch as the
+//! sequential engines: every runner takes a [`Select`], resolves it
+//! **once per run** against the kernel's AVX2 capability
+//! ([`Avx2Exec1d`] and friends) and the tile geometry, and returns
+//! the resolved [`Engine`] next to the result so the bench
+//! harness can report which steady state the parallel series actually
+//! measured. Degenerate geometries — no full band, or tiles too narrow to
+//! host a vector steady state — resolve portable, because every engine
+//! would run the identical scalar schedule there. Per-tile scratch lives
+//! in a run-level arena (one slot per tile), so the band loop runs
+//! allocation-free.
+//!
 //! # Correctness (contamination argument)
 //!
 //! Each tile copies its block plus `height + 1` extra columns per side into a
@@ -31,9 +45,11 @@
 //! shared array, write only their private buffers) and **advance +
 //! write-back** (tiles write only their own disjoint blocks, read nothing
 //! shared). The pool barrier between the phases is what makes the
-//! overlapping ghost reads race-free.
+//! overlapping ghost reads race-free. Per-tile scratch slots are touched
+//! only by their owning tile.
 
-use tempora_core::kernels::{Kernel1d, Kernel2d, Kernel3d, Nbhd, Nbhd3};
+use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select};
+use tempora_core::kernels::{Kernel2d, Kernel3d, Nbhd, Nbhd3};
 use tempora_core::{t1d, t2d, t3d};
 use tempora_grid::{Grid1, Grid2, Grid3};
 use tempora_parallel::{Pool, SyncSlice};
@@ -47,7 +63,8 @@ pub enum Mode {
     /// Spatial multi-load vectorization (the paper's "auto" curves).
     Auto,
     /// Temporal vectorization with the given space stride (the paper's
-    /// "our" curves).
+    /// "our" curves); the concrete steady state — portable or AVX2 — is
+    /// resolved from the runner's [`Select`].
     Temporal(usize),
 }
 
@@ -78,8 +95,35 @@ pub fn tile_extent(t: usize, n: usize, block: usize, ghost: usize) -> TileExtent
     }
 }
 
+/// Resolve the in-tile engine for a temporal ghost run: the kernel must
+/// have an AVX2 tile at this stride, at least one full band must run, and
+/// **every** tile buffer must be wide enough to host the vector steady
+/// state (`nb ≥ VL·s`) — otherwise some tile would silently run the
+/// scalar fallback schedule and the reported engine would misname the
+/// instruction mix.
+fn resolve_ghost<const VL: usize>(
+    sel: Select,
+    has_kernel_avx2: bool,
+    n: usize,
+    block: usize,
+    ghost: usize,
+    bands: usize,
+    s: usize,
+) -> Engine {
+    let ntiles = n.div_ceil(block);
+    let vectorizable = bands > 0
+        && (0..ntiles).all(|t| {
+            let e = tile_extent(t, n, block, ghost);
+            // Buffer interior nb = hi - lo - 1, tested against the
+            // engines' own vector-path minimum so this check can never
+            // drift from the in-tile fallback condition.
+            e.hi - e.lo > t1d::min_vector_n::<VL>(s)
+        });
+    sel.resolve(has_kernel_avx2 && vectorizable)
+}
+
 /// One multi-load (spatially vectorized) Jacobi step on a 1-D buffer.
-fn auto_step_1d<K: Kernel1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
+fn auto_step_1d<K: Avx2Exec1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
     const N: usize = 4;
     let mut x = 1;
     while x + N <= n + 1 {
@@ -94,57 +138,26 @@ fn auto_step_1d<K: Kernel1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
     }
 }
 
-/// Advance a 1-D buffer (interior `1..=n`, one halo cell per side) by
-/// `vl` levels under the given mode.
-fn advance_1d<K: Kernel1d>(
-    buf: &mut [f64],
-    tmp: &mut [f64],
-    n: usize,
-    vl: usize,
-    kern: &K,
-    mode: Mode,
-) {
-    match mode {
-        Mode::Scalar => {
-            for _ in 0..vl {
-                t1d::scalar_step_inplace(buf, n, kern);
-            }
-        }
-        Mode::Auto => {
-            tmp[..n + 2].copy_from_slice(&buf[..n + 2]);
-            for step in 0..vl {
-                if step % 2 == 0 {
-                    auto_step_1d(buf, tmp, n, kern);
-                } else {
-                    auto_step_1d(tmp, buf, n, kern);
-                }
-            }
-            if vl % 2 == 1 {
-                buf[..n + 2].copy_from_slice(&tmp[..n + 2]);
-            }
-        }
-        Mode::Temporal(s) => {
-            let mut scratch = t1d::Scratch1d::<4>::new(s);
-            t1d::tile::<4, false, K>(buf, n, kern, s, &mut scratch);
-        }
-    }
-}
-
 /// Run `steps` Jacobi time steps over the grid with ghost-zone band
 /// tiling: bands of `height` time levels, blocks of `block` interior cells,
-/// tiles of one band executed in parallel on `pool`.
+/// tiles of one band executed in parallel on `pool`. For
+/// [`Mode::Temporal`], `sel` picks the in-tile steady state (resolved once
+/// per run); the resolved [`Engine`] is returned next to the grid
+/// (`None` for the non-dispatched scalar/auto modes).
 ///
 /// Results are bit-identical to the sequential engines and the scalar
-/// reference.
-pub fn run_jacobi_1d<K: Kernel1d>(
+/// reference under every mode, selection and thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_jacobi_1d<K: Avx2Exec1d>(
     grid: &Grid1<f64>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
     mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid1<f64> {
+) -> (Grid1<f64>, Option<Engine>) {
     const VL: usize = 4;
     assert_eq!(grid.halo(), 1);
     assert!(block >= 1);
@@ -158,12 +171,32 @@ pub fn run_jacobi_1d<K: Kernel1d>(
     let ghost = height + 1;
     let buf_len = block + 2 * ghost + 2;
     let mut arena = vec![0.0f64; ntiles * buf_len * 2];
-
     let bands = steps / height;
+
+    let engine = match mode {
+        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+            sel,
+            K::avx2_tile(s),
+            n,
+            block,
+            ghost,
+            bands,
+            s,
+        )),
+        _ => None,
+    };
+    // Per-tile temporal scratch, hoisted out of the band loop (one arena
+    // slot per tile; the steady state runs allocation-free).
+    let mut scratch: Vec<t1d::Scratch1d<VL>> = match mode {
+        Mode::Temporal(s) => (0..ntiles).map(|_| t1d::Scratch1d::new(s)).collect(),
+        _ => Vec::new(),
+    };
+
     for _ in 0..bands {
         let data = g.data_mut();
         let shared = SyncSlice::new(data);
         let arena_shared = SyncSlice::new(&mut arena);
+        let scratch_shared = SyncSlice::new(&mut scratch);
         // Phase A: copy-in (shared array is read-only here).
         pool.for_each_index(ntiles, |t| {
             // SAFETY: tile t writes only its own arena chunk; the global
@@ -178,15 +211,48 @@ pub fn run_jacobi_1d<K: Kernel1d>(
         // Phase B: advance private buffers, write back disjoint blocks.
         pool.for_each_index(ntiles, |t| {
             // SAFETY: tile t writes global[a..=b] only — disjoint across
-            // tiles — and reads nothing from the shared array.
+            // tiles — and reads nothing from the shared array; its arena
+            // chunk and scratch slot are its own.
             let global = unsafe { shared.slice_mut() };
             let chunk =
                 unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2] };
             let (buf, tmp) = chunk.split_at_mut(buf_len);
             let e = tile_extent(t, n, block, ghost);
             let nb = e.hi - e.lo - 1;
-            for _ in 0..height / VL {
-                advance_1d(buf, tmp, nb, VL, kern, mode);
+            match mode {
+                Mode::Scalar => {
+                    for _ in 0..height {
+                        t1d::scalar_step_inplace(buf, nb, kern);
+                    }
+                }
+                Mode::Auto => {
+                    tmp[..nb + 2].copy_from_slice(&buf[..nb + 2]);
+                    for step in 0..height {
+                        if step % 2 == 0 {
+                            auto_step_1d(buf, tmp, nb, kern);
+                        } else {
+                            auto_step_1d(tmp, buf, nb, kern);
+                        }
+                    }
+                    if height % 2 == 1 {
+                        buf[..nb + 2].copy_from_slice(&tmp[..nb + 2]);
+                    }
+                }
+                Mode::Temporal(s) => {
+                    let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
+                    match engine {
+                        Some(Engine::Avx2) => {
+                            for _ in 0..height / VL {
+                                kern.tile_avx2(buf, nb, s, sc);
+                            }
+                        }
+                        _ => {
+                            for _ in 0..height / VL {
+                                t1d::tile::<VL, false, K>(buf, nb, kern, s, sc);
+                            }
+                        }
+                    }
+                }
             }
             let off = e.a - e.lo;
             global[e.a..=e.b].copy_from_slice(&buf[off..off + (e.b - e.a + 1)]);
@@ -196,7 +262,7 @@ pub fn run_jacobi_1d<K: Kernel1d>(
     for _ in 0..steps % height {
         t1d::scalar_step_inplace(a, n, kern);
     }
-    g
+    (g, engine)
 }
 
 /// One multi-load Jacobi step on a 2-D buffer grid (vectorized along `y`).
@@ -248,18 +314,35 @@ fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T>, k
     }
 }
 
+/// Per-tile worker state for [`run_jacobi_2d`], allocated once per run so
+/// the band loop runs allocation-free. The temporal scratch splits by
+/// resolved engine because the AVX2 steady state is pinned to 4 lanes.
+enum TileState2<T: Scalar, const VL: usize> {
+    /// Scalar in-place row buffers.
+    Rows(Vec<T>, Vec<T>),
+    /// Multi-load ping-pong buffer.
+    Tmp(Grid2<T>),
+    /// Portable temporal scratch at the runner's vector length.
+    Portable(t2d::Scratch2d<T, VL>),
+    /// AVX2 temporal scratch (`VL = 4`).
+    Avx2(t2d::Scratch2d<T, 4>),
+}
+
 /// Run `steps` Jacobi time steps over a 2-D grid with ghost-zone band
 /// tiling along the outer dimension (`VL` = 4 for `f64` kernels, 8 for
-/// the integer Life kernel).
-pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+/// the integer Life kernel). See [`run_jacobi_1d`] for the `sel` /
+/// resolved-engine contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>>(
     grid: &Grid2<T>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
     mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid2<T> {
+) -> (Grid2<T>, Option<Engine>) {
     assert_eq!(grid.halo(), 1);
     assert!(block >= 1);
     assert!(
@@ -271,6 +354,20 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
     let bc = g.boundary();
     let ntiles = nx.div_ceil(block);
     let ghost = height + 1;
+    let bands = steps / height;
+
+    let engine = match mode {
+        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+            sel,
+            K::avx2_tile(VL, s),
+            nx,
+            block,
+            ghost,
+            bands,
+            s,
+        )),
+        _ => None,
+    };
 
     // Persistent per-tile buffer grids (sized per tile).
     let mut bufs: Vec<Grid2<T>> = (0..ntiles)
@@ -279,12 +376,21 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             Grid2::new(e.hi - e.lo - 1, ny, 1, bc)
         })
         .collect();
+    // Per-tile worker state, hoisted out of the band loop.
+    let mut states: Vec<TileState2<T, VL>> = (0..ntiles)
+        .map(|t| match (mode, engine) {
+            (Mode::Scalar, _) => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
+            (Mode::Auto, _) => TileState2::Tmp(bufs[t].clone()),
+            (Mode::Temporal(s), Some(Engine::Avx2)) => TileState2::Avx2(t2d::Scratch2d::new(s, ny)),
+            (Mode::Temporal(s), _) => TileState2::Portable(t2d::Scratch2d::new(s, ny)),
+        })
+        .collect();
 
-    let bands = steps / height;
     for _ in 0..bands {
         let data = g.data_mut();
         let shared = SyncSlice::new(data);
         let bufs_shared = SyncSlice::new(&mut bufs);
+        let states_shared = SyncSlice::new(&mut states);
         pool.for_each_index(ntiles, |t| {
             // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
             let global = unsafe { shared.slice_mut() };
@@ -295,35 +401,47 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
         });
         pool.for_each_index(ntiles, |t| {
             // SAFETY: phase B — global writes are the disjoint row blocks
-            // [a, b]; no shared reads.
+            // [a, b]; no shared reads; bufs[t] and states[t] are tile t's
+            // own slots.
             let global = unsafe { shared.slice_mut() };
             let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let st = unsafe { &mut states_shared.slice_mut()[t] };
             let e = tile_extent(t, nx, block, ghost);
-            match mode {
-                Mode::Scalar => {
-                    let w = ny + 2;
-                    let (mut ra, mut rb) = (vec![T::ZERO; w], vec![T::ZERO; w]);
+            match st {
+                TileState2::Rows(ra, rb) => {
                     for _ in 0..height {
-                        t2d::scalar_step_inplace(buf, kern, &mut ra, &mut rb);
+                        t2d::scalar_step_inplace(buf, kern, ra, rb);
                     }
                 }
-                Mode::Auto => {
-                    let mut tmp = buf.clone();
+                TileState2::Tmp(tmp) => {
+                    // Refresh the ping-pong buffer (including halo rows,
+                    // which the copy-in phase rewrote in `buf`).
+                    tmp.data_mut().copy_from_slice(buf.data());
                     for step in 0..height {
                         if step % 2 == 0 {
-                            auto_step_2d(buf, &mut tmp, kern);
+                            auto_step_2d(buf, tmp, kern);
                         } else {
-                            auto_step_2d(&tmp, buf, kern);
+                            auto_step_2d(tmp, buf, kern);
                         }
                     }
                     if height % 2 == 1 {
-                        core::mem::swap(buf, &mut tmp);
+                        core::mem::swap(buf, tmp);
                     }
                 }
-                Mode::Temporal(s) => {
-                    let mut sc = t2d::Scratch2d::<T, VL>::new(s, ny);
+                TileState2::Portable(sc) => {
+                    let Mode::Temporal(s) = mode else {
+                        unreachable!()
+                    };
                     for _ in 0..height / VL {
-                        t2d::tile::<T, VL, K>(buf, kern, s, &mut sc);
+                        t2d::tile::<T, VL, K>(buf, kern, s, sc);
+                    }
+                }
+                TileState2::Avx2(sc) => {
+                    let Mode::Temporal(s) = mode else {
+                        unreachable!()
+                    };
+                    for _ in 0..height / VL {
+                        kern.tile_avx2(buf, s, sc);
                     }
                 }
             }
@@ -341,7 +459,7 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Kernel2d<T>>(
             t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
         }
     }
-    g
+    (g, engine)
 }
 
 /// One multi-load Jacobi step on a 3-D buffer grid (vectorized along `z`).
@@ -391,17 +509,31 @@ fn auto_step_3d<K: Kernel3d<f64>>(src: &Grid3<f64>, dst: &mut Grid3<f64>, kern: 
     }
 }
 
+/// Per-tile worker state for [`run_jacobi_3d`], allocated once per run.
+enum TileState3 {
+    /// Scalar in-place plane buffers.
+    Planes(Vec<f64>, Vec<f64>),
+    /// Multi-load ping-pong buffer.
+    Tmp(Grid3<f64>),
+    /// Temporal scratch (shared by the portable and AVX2 steady states —
+    /// both run at `VL = 4` in 3-D).
+    Temporal(t3d::Scratch3d<f64, 4>),
+}
+
 /// Run `steps` Jacobi time steps over a 3-D grid with ghost-zone band
-/// tiling along the outer dimension.
-pub fn run_jacobi_3d<K: Kernel3d<f64>>(
+/// tiling along the outer dimension. See [`run_jacobi_1d`] for the
+/// `sel` / resolved-engine contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_jacobi_3d<K: Avx2Exec3d>(
     grid: &Grid3<f64>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
     mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid3<f64> {
+) -> (Grid3<f64>, Option<Engine>) {
     const VL: usize = 4;
     assert_eq!(grid.halo(), 1);
     assert!(
@@ -414,6 +546,20 @@ pub fn run_jacobi_3d<K: Kernel3d<f64>>(
     let bc = g.boundary();
     let ntiles = nx.div_ceil(block);
     let ghost = height + 1;
+    let bands = steps / height;
+
+    let engine = match mode {
+        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+            sel,
+            K::avx2_tile(s),
+            nx,
+            block,
+            ghost,
+            bands,
+            s,
+        )),
+        _ => None,
+    };
 
     let mut bufs: Vec<Grid3<f64>> = (0..ntiles)
         .map(|t| {
@@ -421,12 +567,22 @@ pub fn run_jacobi_3d<K: Kernel3d<f64>>(
             Grid3::new(e.hi - e.lo - 1, ny, nz, 1, bc)
         })
         .collect();
+    let mut states: Vec<TileState3> = (0..ntiles)
+        .map(|t| match mode {
+            Mode::Scalar => {
+                let wp = (ny + 2) * (nz + 2);
+                TileState3::Planes(vec![0.0; wp], vec![0.0; wp])
+            }
+            Mode::Auto => TileState3::Tmp(bufs[t].clone()),
+            Mode::Temporal(s) => TileState3::Temporal(t3d::Scratch3d::new(s, ny, nz)),
+        })
+        .collect();
 
-    let bands = steps / height;
     for _ in 0..bands {
         let data = g.data_mut();
         let shared = SyncSlice::new(data);
         let bufs_shared = SyncSlice::new(&mut bufs);
+        let states_shared = SyncSlice::new(&mut states);
         pool.for_each_index(ntiles, |t| {
             // SAFETY: phase A — see run_jacobi_2d.
             let global = unsafe { shared.slice_mut() };
@@ -439,32 +595,42 @@ pub fn run_jacobi_3d<K: Kernel3d<f64>>(
             // SAFETY: phase B — see run_jacobi_2d.
             let global = unsafe { shared.slice_mut() };
             let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            let st = unsafe { &mut states_shared.slice_mut()[t] };
             let e = tile_extent(t, nx, block, ghost);
-            match mode {
-                Mode::Scalar => {
-                    let wp = (ny + 2) * (nz + 2);
-                    let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
+            match st {
+                TileState3::Planes(pa, pb) => {
                     for _ in 0..height {
-                        t3d::scalar_step_inplace(buf, kern, &mut pa, &mut pb);
+                        t3d::scalar_step_inplace(buf, kern, pa, pb);
                     }
                 }
-                Mode::Auto => {
-                    let mut tmp = buf.clone();
+                TileState3::Tmp(tmp) => {
+                    tmp.data_mut().copy_from_slice(buf.data());
                     for step in 0..height {
                         if step % 2 == 0 {
-                            auto_step_3d(buf, &mut tmp, kern);
+                            auto_step_3d(buf, tmp, kern);
                         } else {
-                            auto_step_3d(&tmp, buf, kern);
+                            auto_step_3d(tmp, buf, kern);
                         }
                     }
                     if height % 2 == 1 {
-                        core::mem::swap(buf, &mut tmp);
+                        core::mem::swap(buf, tmp);
                     }
                 }
-                Mode::Temporal(s) => {
-                    let mut sc = t3d::Scratch3d::<f64, VL>::new(s, ny, nz);
-                    for _ in 0..height / VL {
-                        t3d::tile::<f64, VL, K>(buf, kern, s, &mut sc);
+                TileState3::Temporal(sc) => {
+                    let Mode::Temporal(s) = mode else {
+                        unreachable!()
+                    };
+                    match engine {
+                        Some(Engine::Avx2) => {
+                            for _ in 0..height / VL {
+                                kern.tile_avx2(buf, s, sc);
+                            }
+                        }
+                        _ => {
+                            for _ in 0..height / VL {
+                                t3d::tile::<f64, VL, K>(buf, kern, s, sc);
+                            }
+                        }
                     }
                 }
             }
@@ -482,7 +648,7 @@ pub fn run_jacobi_3d<K: Kernel3d<f64>>(
             t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
         }
     }
-    g
+    (g, engine)
 }
 
 #[cfg(test)]
@@ -521,7 +687,8 @@ mod tests {
                 fill_random_1d(&mut g, n as u64, -1.0, 1.0);
                 let gold = reference::heat1d(&g, c, steps);
                 for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
-                    let ours = run_jacobi_1d(&g, &kern, steps, block, 4, mode, &pool);
+                    let (ours, _) =
+                        run_jacobi_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
                     assert!(
                         ours.interior_eq(&gold),
                         "threads={threads} n={n} block={block} steps={steps} mode={mode:?} {:?}",
@@ -529,6 +696,42 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ghost_1d_engine_report_is_honest() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let pool = Pool::new(2);
+        // n divisible by block: every tile (runt included) hosts the
+        // vector steady state at s = 7.
+        let mut g = Grid1::new(448, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, 3, -1.0, 1.0);
+        // Non-temporal modes never dispatch.
+        let (_, e) = run_jacobi_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
+        assert_eq!(e, None);
+        // Forced portable reports portable.
+        let (_, e) = run_jacobi_1d(
+            &g,
+            &kern,
+            8,
+            64,
+            4,
+            Mode::Temporal(7),
+            Select::Portable,
+            &pool,
+        );
+        assert_eq!(e, Some(Engine::Portable));
+        // A degenerate geometry (block so narrow that every tile falls
+        // back to the scalar schedule) must resolve portable even when
+        // AVX2 is available.
+        let (_, e) = run_jacobi_1d(&g, &kern, 8, 2, 4, Mode::Temporal(7), Select::Auto, &pool);
+        assert_eq!(e, Some(Engine::Portable));
+        // On an AVX2 host, a healthy geometry resolves avx2 under Auto.
+        if tempora_simd::arch::avx2_available() {
+            let (_, e) = run_jacobi_1d(&g, &kern, 8, 64, 4, Mode::Temporal(7), Select::Auto, &pool);
+            assert_eq!(e, Some(Engine::Avx2));
         }
     }
 
@@ -541,7 +744,8 @@ mod tests {
         fill_random_2d(&mut g, 9, -1.0, 1.0);
         let gold = reference::heat2d(&g, c, 8);
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let ours = run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, mode, &pool);
+            let (ours, _) =
+                run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "mode={mode:?} {:?}",
@@ -553,7 +757,8 @@ mod tests {
         let kb = BoxKern2d(cb);
         let goldb = reference::box2d(&g, cb, 8);
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let ours = run_jacobi_2d::<f64, 4, _>(&g, &kb, 8, 16, 4, mode, &pool);
+            let (ours, _) =
+                run_jacobi_2d::<f64, 4, _>(&g, &kb, 8, 16, 4, mode, Select::Auto, &pool);
             assert!(ours.interior_eq(&goldb), "box mode={mode:?}");
         }
     }
@@ -567,12 +772,18 @@ mod tests {
         fill_random_life(&mut g, 4, 0.4);
         let gold = reference::life(&g, rule, 16);
         for mode in [Mode::Scalar, Mode::Temporal(2)] {
-            let ours = run_jacobi_2d::<i32, 8, _>(&g, &kern, 16, 24, 8, mode, &pool);
+            let (ours, e) =
+                run_jacobi_2d::<i32, 8, _>(&g, &kern, 16, 24, 8, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "life mode={mode:?} {:?}",
                 ours.first_diff(&gold)
             );
+            // Life has no AVX2 integer steady state: temporal mode
+            // honestly reports portable.
+            if let Mode::Temporal(_) = mode {
+                assert_eq!(e, Some(Engine::Portable));
+            }
         }
     }
 
@@ -585,7 +796,7 @@ mod tests {
         fill_random_3d(&mut g, 11, -1.0, 1.0);
         let gold = reference::heat3d(&g, c, 9); // 2 bands + 1 remainder
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let ours = run_jacobi_3d(&g, &kern, 9, 12, 4, mode, &pool);
+            let (ours, _) = run_jacobi_3d(&g, &kern, 9, 12, 4, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "mode={mode:?} {:?}",

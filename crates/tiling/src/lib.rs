@@ -15,9 +15,17 @@
 //! * [`lcs_rect`] — rectangle tiling with pipelined wavefronts for LCS,
 //!   the paper's `lcsA`/`lcsB` wavefront-array scheme.
 //!
+//! The temporal in-tile kernels go through the same engine dispatch as
+//! the sequential engines: [`ghost`] and [`skew`] runners take a
+//! `tempora_core::engine::Select`, resolve it once per run (portable vs
+//! hand-scheduled AVX2, degenerate geometries honestly portable) and
+//! return the resolved engine next to the result for per-series
+//! reporting in the bench harness.
+//!
 //! Every parallel path is bit-identical to the sequential engines and the
-//! scalar references, for every thread count — verified by the test
-//! suites of each module and the cross-crate integration tests.
+//! scalar references, for every thread count, engine selection and mode —
+//! verified by the test suites of each module and the cross-crate
+//! integration tests.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -16,11 +16,30 @@
 //! (asserted), because a tile touches at most
 //! `[xl - height - VL·s, xr + 1]` and same-wave neighbours sit two
 //! blocks away.
+//!
+//! # Engine dispatch
+//!
+//! The temporal band executor goes through the same dispatch as the
+//! sequential engines: every runner takes a [`Mode`] (scalar bands for
+//! the paper's "scalar" curves, [`Mode::Temporal`] for "our"; spatial
+//! auto-vectorization of Gauss-Seidel is illegal and rejected) plus a
+//! [`Select`], resolves the selection **once per run** against the
+//! kernel's AVX2 band capability ([`Avx2Exec1d::avx2_band`] and friends)
+//! and the block geometry, and returns the resolved [`Engine`] next to
+//! the result. Geometries where *no* skewed block can host the vector
+//! steady state resolve portable, so the reported engine names the
+//! instruction mix that actually ran. Per-block band scratch lives in a
+//! run-level arena (one slot per block index — tasks with the same block
+//! index are ordered by the wave dependences, so slots are never touched
+//! concurrently).
 
-use tempora_core::kernels::{Kernel1d, Kernel2d, Kernel3d};
+use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select};
+use tempora_core::t1d_band::vector_band_shape;
 use tempora_core::{t1d, t1d_band, t2d, t2d_band, t3d, t3d_band};
 use tempora_grid::{Grid1, Grid2, Grid3};
 use tempora_parallel::{Pool, SyncSlice};
+
+pub use crate::ghost::Mode;
 
 const VL: usize = 4;
 
@@ -37,24 +56,74 @@ fn block_bounds(i: usize, n: usize, block: usize, height: usize) -> (usize, usiz
     (i * block + 1, ((i + 1) * block).min(span))
 }
 
+/// The stride a mode implies for the disjointness bound (scalar bands
+/// reach back only `height` columns, i.e. stride 0); `Mode::Auto` is
+/// illegal for Gauss-Seidel.
+fn gs_stride(mode: Mode) -> usize {
+    match mode {
+        Mode::Temporal(s) => s,
+        Mode::Scalar => 0,
+        Mode::Auto => panic!("Gauss-Seidel loops cannot be spatially auto-vectorized"),
+    }
+}
+
+/// True when at least one `(block, sub-band)` pair of the schedule passes
+/// the band executors' own vector-shape test — all-degenerate geometries
+/// must resolve portable so the reported engine stays honest.
+fn any_vector_band(n_outer: usize, block: usize, height: usize, s: usize) -> bool {
+    let nblocks = block_count(n_outer, block, height);
+    (0..nblocks).any(|i| {
+        let (xl, xr) = block_bounds(i, n_outer, block, height);
+        (0..height / VL).any(|j| {
+            let off = j * VL;
+            if xr <= off {
+                return false;
+            }
+            let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+            vector_band_shape::<VL>(xlj, xrj, n_outer, s)
+        })
+    })
+}
+
+/// Resolve the banded engine once per run.
+fn resolve_skew(
+    sel: Select,
+    mode: Mode,
+    has_kernel_avx2: bool,
+    n_outer: usize,
+    block: usize,
+    height: usize,
+    bands: usize,
+) -> Option<Engine> {
+    match mode {
+        Mode::Temporal(s) => Some(
+            sel.resolve(has_kernel_avx2 && bands > 0 && any_vector_band(n_outer, block, height, s)),
+        ),
+        _ => None,
+    }
+}
+
 /// Run `steps` Gauss-Seidel time steps over a 1-D grid with pipelined
-/// skewed tiling. `temporal` selects the vectorized band executor ("our")
-/// versus the scalar one ("scalar"); both are bit-identical to the
-/// reference.
+/// skewed tiling. `mode` selects the band executor — [`Mode::Temporal`]
+/// for the paper's "our" curves, [`Mode::Scalar`] for "scalar" — and
+/// `sel` picks the temporal steady state (portable or AVX2, resolved once
+/// per run and returned next to the grid). All paths are bit-identical to
+/// the reference.
 // The run_gs_* parameter lists mirror the paper's tiling knobs
-// (steps, block, band, stride, executor, pool) one-to-one.
+// (steps, block, band, executor mode, engine selection, pool) one-to-one.
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_1d<K: Kernel1d>(
+pub fn run_gs_1d<K: Avx2Exec1d>(
     grid: &Grid1<f64>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
-    s: usize,
-    temporal: bool,
+    mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid1<f64> {
+) -> (Grid1<f64>, Option<Engine>) {
     assert!(K::IS_GS);
+    let s = gs_stride(mode);
     assert!(
         height >= VL && height % VL == 0,
         "height must be a multiple of {VL}"
@@ -67,6 +136,7 @@ pub fn run_gs_1d<K: Kernel1d>(
     let n = g.n();
     let bands = steps / height;
     let nblocks = block_count(n, block, height);
+    let engine = resolve_skew(sel, mode, K::avx2_band(s), n, block, height, bands);
     {
         let data = g.data_mut();
         let shared = SyncSlice::new(data);
@@ -82,10 +152,12 @@ pub fn run_gs_1d<K: Kernel1d>(
                     break;
                 }
                 let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                if temporal {
-                    t1d_band::band_temporal_gs::<VL, K>(a, xlj, xrj, n, s, kern);
-                } else {
-                    t1d_band::band_scalar_gs(a, xlj, xrj, VL, n, kern);
+                match engine {
+                    None => t1d_band::band_scalar_gs(a, xlj, xrj, VL, n, kern),
+                    Some(Engine::Avx2) => kern.band_avx2(a, xlj, xrj, n, s),
+                    Some(Engine::Portable) => {
+                        t1d_band::band_temporal_gs::<VL, K>(a, xlj, xrj, n, s, kern)
+                    }
                 }
             }
         });
@@ -94,23 +166,25 @@ pub fn run_gs_1d<K: Kernel1d>(
     for _ in 0..steps % height {
         t1d::scalar_step_inplace(a, n, kern);
     }
-    g
+    (g, engine)
 }
 
 /// Run `steps` Gauss-Seidel time steps over a 2-D grid with pipelined
-/// skewed tiling along the outer dimension.
+/// skewed tiling along the outer dimension. See [`run_gs_1d`] for the
+/// mode / selection / resolved-engine contract.
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_2d<K: Kernel2d<f64>>(
+pub fn run_gs_2d<K: Avx2Exec2d<f64>>(
     grid: &Grid2<f64>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
-    s: usize,
-    temporal: bool,
+    mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid2<f64> {
+) -> (Grid2<f64>, Option<Engine>) {
     assert!(K::IS_GS);
+    let s = gs_stride(mode);
     assert!(
         height >= VL && height % VL == 0,
         "height must be a multiple of {VL}"
@@ -123,24 +197,40 @@ pub fn run_gs_2d<K: Kernel2d<f64>>(
     let (nx, ny) = (g.nx(), g.ny());
     let bands = steps / height;
     let nblocks = block_count(nx, block, height);
+    let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
+    // Per-block band scratch, hoisted out of the wave loop (the wave
+    // dependences serialize all tasks of one block index).
+    let mut scratch: Vec<t2d_band::BandScratch2d<VL>> = match engine {
+        Some(_) => (0..nblocks)
+            .map(|_| t2d_band::BandScratch2d::new(s, ny))
+            .collect(),
+        None => Vec::new(),
+    };
     {
         let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
+        let scratch_shared = SyncSlice::new(&mut scratch);
         pool.waves(bands, nblocks, |_b, i| {
             // SAFETY: same wave-distance argument as run_gs_1d, with rows
-            // as the banded unit.
+            // as the banded unit; scratch slot i belongs to block i alone.
             let g = &mut unsafe { shared_grid.slice_mut() }[0];
             let (xl, xr) = block_bounds(i, nx, block, height);
-            let mut sc = t2d_band::BandScratch2d::<VL>::new(s, ny);
             for j in 0..height / VL {
                 let off = j * VL;
                 if xr <= off {
                     break;
                 }
                 let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                if temporal {
-                    t2d_band::band_temporal_gs2d::<VL, K>(g, xlj, xrj, s, kern, &mut sc);
-                } else {
-                    t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern);
+                match engine {
+                    None => t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern),
+                    Some(eng) => {
+                        let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+                        match eng {
+                            Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
+                            Engine::Portable => {
+                                t2d_band::band_temporal_gs2d::<VL, K>(g, xlj, xrj, s, kern, sc)
+                            }
+                        }
+                    }
                 }
             }
         });
@@ -153,23 +243,25 @@ pub fn run_gs_2d<K: Kernel2d<f64>>(
             t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
         }
     }
-    g
+    (g, engine)
 }
 
 /// Run `steps` Gauss-Seidel time steps over a 3-D grid with pipelined
-/// skewed tiling along the outer dimension.
+/// skewed tiling along the outer dimension. See [`run_gs_1d`] for the
+/// mode / selection / resolved-engine contract.
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_3d<K: Kernel3d<f64>>(
+pub fn run_gs_3d<K: Avx2Exec3d>(
     grid: &Grid3<f64>,
     kern: &K,
     steps: usize,
     block: usize,
     height: usize,
-    s: usize,
-    temporal: bool,
+    mode: Mode,
+    sel: Select,
     pool: &Pool,
-) -> Grid3<f64> {
+) -> (Grid3<f64>, Option<Engine>) {
     assert!(K::IS_GS);
+    let s = gs_stride(mode);
     assert!(
         height >= VL && height % VL == 0,
         "height must be a multiple of {VL}"
@@ -182,23 +274,38 @@ pub fn run_gs_3d<K: Kernel3d<f64>>(
     let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
     let bands = steps / height;
     let nblocks = block_count(nx, block, height);
+    let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
+    let mut scratch: Vec<t3d_band::BandScratch3d<VL>> = match engine {
+        Some(_) => (0..nblocks)
+            .map(|_| t3d_band::BandScratch3d::new(s, ny, nz))
+            .collect(),
+        None => Vec::new(),
+    };
     {
         let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
+        let scratch_shared = SyncSlice::new(&mut scratch);
         pool.waves(bands, nblocks, |_b, i| {
-            // SAFETY: same wave-distance argument, slabs as the unit.
+            // SAFETY: same wave-distance argument, slabs as the unit;
+            // scratch slot i belongs to block i alone.
             let g = &mut unsafe { shared_grid.slice_mut() }[0];
             let (xl, xr) = block_bounds(i, nx, block, height);
-            let mut sc = t3d_band::BandScratch3d::<VL>::new(s, ny, nz);
             for j in 0..height / VL {
                 let off = j * VL;
                 if xr <= off {
                     break;
                 }
                 let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                if temporal {
-                    t3d_band::band_temporal_gs3d::<VL, K>(g, xlj, xrj, s, kern, &mut sc);
-                } else {
-                    t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern);
+                match engine {
+                    None => t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern),
+                    Some(eng) => {
+                        let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+                        match eng {
+                            Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
+                            Engine::Portable => {
+                                t3d_band::band_temporal_gs3d::<VL, K>(g, xlj, xrj, s, kern, sc)
+                            }
+                        }
+                    }
                 }
             }
         });
@@ -211,7 +318,7 @@ pub fn run_gs_3d<K: Kernel3d<f64>>(
             t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
         }
     }
-    g
+    (g, engine)
 }
 
 #[cfg(test)]
@@ -236,16 +343,60 @@ mod tests {
                 let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.6));
                 fill_random_1d(&mut g, n as u64 + threads as u64, -1.0, 1.0);
                 let gold = reference::gs1d(&g, c, steps);
-                for temporal in [false, true] {
-                    let ours = run_gs_1d(&g, &kern, steps, block, 4, s, temporal, &pool);
+                for mode in [Mode::Scalar, Mode::Temporal(s)] {
+                    let (ours, _) =
+                        run_gs_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
                     assert!(
                         ours.interior_eq(&gold),
                         "threads={threads} n={n} block={block} s={s} steps={steps} \
-                         temporal={temporal} {:?}",
+                         mode={mode:?} {:?}",
                         ours.first_diff(&gold)
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gs1d_engine_report_is_honest() {
+        let c = Gs1dCoeffs::classic(0.27);
+        let kern = GsKern1d(c);
+        let pool = Pool::new(2);
+        let mut g = Grid1::new(500, 1, Boundary::Dirichlet(0.6));
+        fill_random_1d(&mut g, 9, -1.0, 1.0);
+        let (_, e) = run_gs_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
+        assert_eq!(e, None);
+        let (_, e) = run_gs_1d(
+            &g,
+            &kern,
+            8,
+            64,
+            4,
+            Mode::Temporal(2),
+            Select::Portable,
+            &pool,
+        );
+        assert_eq!(e, Some(Engine::Portable));
+        if tempora_simd::arch::avx2_available() {
+            let (_, e) = run_gs_1d(&g, &kern, 8, 64, 4, Mode::Temporal(2), Select::Auto, &pool);
+            assert_eq!(e, Some(Engine::Avx2));
+            // All-degenerate geometry (every block is an edge block or too
+            // narrow for the vector band): honest portable even when AVX2
+            // is requested.
+            let mut small = Grid1::new(60, 1, Boundary::Dirichlet(0.0));
+            fill_random_1d(&mut small, 2, -1.0, 1.0);
+            let (r, e) = run_gs_1d(
+                &small,
+                &kern,
+                8,
+                36,
+                4,
+                Mode::Temporal(7),
+                Select::Avx2,
+                &pool,
+            );
+            assert_eq!(e, Some(Engine::Portable));
+            assert!(r.interior_eq(&reference::gs1d(&small, c, 8)));
         }
     }
 
@@ -258,11 +409,11 @@ mod tests {
             let mut g = Grid2::new(120, 9, 1, Boundary::Dirichlet(-0.3));
             fill_random_2d(&mut g, 21, -1.0, 1.0);
             let gold = reference::gs2d(&g, c, 8);
-            for temporal in [false, true] {
-                let ours = run_gs_2d(&g, &kern, 8, 48, 8, 2, temporal, &pool);
+            for mode in [Mode::Scalar, Mode::Temporal(2)] {
+                let (ours, _) = run_gs_2d(&g, &kern, 8, 48, 8, mode, Select::Auto, &pool);
                 assert!(
                     ours.interior_eq(&gold),
-                    "threads={threads} temporal={temporal} {:?}",
+                    "threads={threads} mode={mode:?} {:?}",
                     ours.first_diff(&gold)
                 );
             }
@@ -277,11 +428,11 @@ mod tests {
         let mut g = Grid3::new(80, 5, 6, 1, Boundary::Dirichlet(0.2));
         fill_random_3d(&mut g, 13, -1.0, 1.0);
         let gold = reference::gs3d(&g, c, 9); // 2 bands + remainder
-        for temporal in [false, true] {
-            let ours = run_gs_3d(&g, &kern, 9, 24, 4, 2, temporal, &pool);
+        for mode in [Mode::Scalar, Mode::Temporal(2)] {
+            let (ours, _) = run_gs_3d(&g, &kern, 9, 24, 4, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
-                "temporal={temporal} {:?}",
+                "mode={mode:?} {:?}",
                 ours.first_diff(&gold)
             );
         }

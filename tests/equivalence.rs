@@ -54,7 +54,9 @@ fn heat1d_all_schemes_agree() {
     let pool = Pool::new(2);
     for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
         assert!(
-            ghost::run_jacobi_1d(&g, &kern, steps, 128, 8, mode, &pool).interior_eq(&gold),
+            ghost::run_jacobi_1d(&g, &kern, steps, 128, 8, mode, Select::Auto, &pool)
+                .0
+                .interior_eq(&gold),
             "ghost {mode:?}"
         );
     }
@@ -72,10 +74,18 @@ fn heat2d_and_box2d_all_schemes_agree() {
     assert!(t2d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::heat2d(&g, c, steps).interior_eq(&gold));
     for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-        assert!(
-            ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, steps, 24, 8, mode, &pool)
-                .interior_eq(&gold)
-        );
+        assert!(ghost::run_jacobi_2d::<f64, 4, _>(
+            &g,
+            &kern,
+            steps,
+            24,
+            8,
+            mode,
+            Select::Auto,
+            &pool
+        )
+        .0
+        .interior_eq(&gold));
     }
 
     let cb = Box2dCoeffs::smooth(0.07);
@@ -97,10 +107,18 @@ fn life_all_schemes_agree() {
     assert!(t2d::run::<i32, 8, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::life(&g, rule, steps).interior_eq(&gold));
     for mode in [Mode::Scalar, Mode::Temporal(2)] {
-        assert!(
-            ghost::run_jacobi_2d::<i32, 8, _>(&g, &kern, steps, 24, 8, mode, &pool)
-                .interior_eq(&gold)
-        );
+        assert!(ghost::run_jacobi_2d::<i32, 8, _>(
+            &g,
+            &kern,
+            steps,
+            24,
+            8,
+            mode,
+            Select::Auto,
+            &pool
+        )
+        .0
+        .interior_eq(&gold));
     }
 }
 
@@ -115,7 +133,11 @@ fn heat3d_all_schemes_agree() {
     assert!(t3d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::heat3d(&g, c, steps).interior_eq(&gold));
     for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-        assert!(ghost::run_jacobi_3d(&g, &kern, steps, 10, 4, mode, &pool).interior_eq(&gold));
+        assert!(
+            ghost::run_jacobi_3d(&g, &kern, steps, 10, 4, mode, Select::Auto, &pool)
+                .0
+                .interior_eq(&gold)
+        );
     }
 }
 
@@ -129,8 +151,12 @@ fn gauss_seidel_all_schemes_agree() {
     let g = g1(2000, 3, 0.4);
     let gold1 = reference::gs1d(&g, c1, steps);
     assert!(t1d::run::<4, _>(&g, &k1, steps, 7).interior_eq(&gold1));
-    for temporal in [false, true] {
-        assert!(skew::run_gs_1d(&g, &k1, steps, 256, 8, 7, temporal, &pool).interior_eq(&gold1));
+    for mode in [Mode::Scalar, Mode::Temporal(7)] {
+        assert!(
+            skew::run_gs_1d(&g, &k1, steps, 256, 8, mode, Select::Auto, &pool)
+                .0
+                .interior_eq(&gold1)
+        );
     }
 
     let c2 = Gs2dCoeffs::classic(0.17);
@@ -138,8 +164,12 @@ fn gauss_seidel_all_schemes_agree() {
     let h = g2(100, 21, 4, -0.1);
     let gold2 = reference::gs2d(&h, c2, steps);
     assert!(t2d::run::<f64, 4, _>(&h, &k2, steps, 2).interior_eq(&gold2));
-    for temporal in [false, true] {
-        assert!(skew::run_gs_2d(&h, &k2, steps, 32, 8, 2, temporal, &pool).interior_eq(&gold2));
+    for mode in [Mode::Scalar, Mode::Temporal(2)] {
+        assert!(
+            skew::run_gs_2d(&h, &k2, steps, 32, 8, mode, Select::Auto, &pool)
+                .0
+                .interior_eq(&gold2)
+        );
     }
 
     let c3 = Gs3dCoeffs::classic(0.12);
@@ -147,8 +177,12 @@ fn gauss_seidel_all_schemes_agree() {
     let v = g3(32, 9);
     let gold3 = reference::gs3d(&v, c3, 8);
     assert!(t3d::run::<f64, 4, _>(&v, &k3, 8, 2).interior_eq(&gold3));
-    for temporal in [false, true] {
-        assert!(skew::run_gs_3d(&v, &k3, 8, 20, 4, 2, temporal, &pool).interior_eq(&gold3));
+    for mode in [Mode::Scalar, Mode::Temporal(2)] {
+        assert!(
+            skew::run_gs_3d(&v, &k3, 8, 20, 4, mode, Select::Auto, &pool)
+                .0
+                .interior_eq(&gold3)
+        );
     }
 }
 
@@ -172,15 +206,16 @@ fn parallel_results_are_deterministic_across_thread_counts() {
     let c = Heat1dCoeffs::classic(0.25);
     let kern = JacobiKern1d(c);
     let g = g1(4096, 21, 0.0);
-    let r1 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(1));
-    let r2 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(2));
-    let r4 = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, Mode::Temporal(7), &Pool::new(4));
+    let m = Mode::Temporal(7);
+    let (r1, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(1));
+    let (r2, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(2));
+    let (r4, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(4));
     assert!(r1.interior_eq(&r2) && r2.interior_eq(&r4));
 
     let cg = Gs1dCoeffs::classic(0.2);
     let kg = GsKern1d(cg);
-    let s1 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(1));
-    let s4 = skew::run_gs_1d(&g, &kg, 32, 512, 16, 7, true, &Pool::new(4));
+    let (s1, _) = skew::run_gs_1d(&g, &kg, 32, 512, 16, m, Select::Auto, &Pool::new(1));
+    let (s4, _) = skew::run_gs_1d(&g, &kg, 32, 512, 16, m, Select::Auto, &Pool::new(4));
     assert!(s1.interior_eq(&s4));
 }
 
@@ -371,6 +406,115 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
     }
 }
 
+/// Property: the tiled parallel runners agree bitwise between a forced
+/// portable run and a forced AVX2 run under a multi-thread pool, and both
+/// match the scalar reference — including degenerate tiles
+/// (`block < VL·s`, where every tile falls back to the scalar schedule
+/// and the resolved engine honestly reports portable) and
+/// `steps % height != 0` tails.
+#[test]
+fn tiled_forced_engines_agree_bitwise() {
+    let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
+    let sels: &[Select] = if can_force_avx2 {
+        &[Select::Portable, Select::Avx2, Select::Auto]
+    } else {
+        &[Select::Portable, Select::Auto]
+    };
+    let pool = Pool::new(4);
+
+    // Ghost-zone Jacobi, 1-D: (block, height, steps, s, healthy-geometry?).
+    // steps = 19 with height 8 leaves a 3-step scalar tail; block = 2
+    // with s = 7 makes every tile degenerate.
+    let c1 = Heat1dCoeffs::classic(0.24);
+    let k1 = JacobiKern1d(c1);
+    let g = g1(448, 5, 0.3);
+    for &(block, height, steps, s, healthy) in &[
+        (64usize, 8usize, 19usize, 7usize, true),
+        (2, 4, 13, 7, false),
+    ] {
+        let gold = reference::heat1d(&g, c1, steps);
+        for &sel in sels {
+            let (r, e) =
+                ghost::run_jacobi_1d(&g, &k1, steps, block, height, Mode::Temporal(s), sel, &pool);
+            assert!(
+                r.interior_eq(&gold),
+                "ghost1d sel={sel:?} block={block} {:?}",
+                r.first_diff(&gold)
+            );
+            let expect = if sel != Select::Portable && can_force_avx2 && healthy {
+                Engine::Avx2
+            } else {
+                Engine::Portable
+            };
+            assert_eq!(e, Some(expect), "ghost1d sel={sel:?} block={block}");
+        }
+    }
+
+    // Ghost-zone Jacobi, 2-D star + box and 3-D star, with a tail.
+    let c2 = Heat2dCoeffs::classic(0.11);
+    let k2 = JacobiKern2d(c2);
+    let cb = Box2dCoeffs::smooth(0.07);
+    let kb = BoxKern2d(cb);
+    let h = g2(96, 17, 2, -0.25);
+    let gold2 = reference::heat2d(&h, c2, 13);
+    let goldb = reference::box2d(&h, cb, 13);
+    let c3 = Heat3dCoeffs::classic(0.09);
+    let k3 = JacobiKern3d(c3);
+    let v = g3(24, 7);
+    let gold3 = reference::heat3d(&v, c3, 9);
+    for &sel in sels {
+        let (r, e) =
+            ghost::run_jacobi_2d::<f64, 4, _>(&h, &k2, 13, 24, 8, Mode::Temporal(2), sel, &pool);
+        assert!(r.interior_eq(&gold2), "ghost2d sel={sel:?}");
+        assert!(e.is_some(), "ghost2d must report an engine");
+        let (r, _) =
+            ghost::run_jacobi_2d::<f64, 4, _>(&h, &kb, 13, 24, 8, Mode::Temporal(2), sel, &pool);
+        assert!(r.interior_eq(&goldb), "ghost2d box sel={sel:?}");
+        let (r, _) = ghost::run_jacobi_3d(&v, &k3, 9, 8, 4, Mode::Temporal(2), sel, &pool);
+        assert!(r.interior_eq(&gold3), "ghost3d sel={sel:?}");
+    }
+
+    // Skewed Gauss-Seidel, 1/2/3-D, with tails; the (n=60, block=36,
+    // s=7) geometry has no interior vector block, so the engine honestly
+    // resolves portable whatever the selection.
+    let cg1 = Gs1dCoeffs::classic(0.21);
+    let kg1 = GsKern1d(cg1);
+    let gg = g1(1000, 11, 0.4);
+    let gold = reference::gs1d(&gg, cg1, 21);
+    for &sel in sels {
+        let (r, e) = skew::run_gs_1d(&gg, &kg1, 21, 128, 8, Mode::Temporal(7), sel, &pool);
+        assert!(r.interior_eq(&gold), "skew1d sel={sel:?}");
+        let expect = if sel != Select::Portable && can_force_avx2 {
+            Engine::Avx2
+        } else {
+            Engine::Portable
+        };
+        assert_eq!(e, Some(expect), "skew1d sel={sel:?}");
+    }
+    let small = g1(60, 13, 0.0);
+    let gold_small = reference::gs1d(&small, cg1, 10);
+    for &sel in sels {
+        let (r, e) = skew::run_gs_1d(&small, &kg1, 10, 36, 4, Mode::Temporal(7), sel, &pool);
+        assert!(r.interior_eq(&gold_small), "skew1d degenerate sel={sel:?}");
+        assert_eq!(e, Some(Engine::Portable), "skew1d degenerate sel={sel:?}");
+    }
+
+    let cg2 = Gs2dCoeffs::classic(0.17);
+    let kg2 = GsKern2d(cg2);
+    let hh = g2(100, 21, 4, -0.1);
+    let gold2 = reference::gs2d(&hh, cg2, 14);
+    let cg3 = Gs3dCoeffs::classic(0.12);
+    let kg3 = GsKern3d(cg3);
+    let vv = g3(32, 9);
+    let gold3 = reference::gs3d(&vv, cg3, 10);
+    for &sel in sels {
+        let (r, _) = skew::run_gs_2d(&hh, &kg2, 14, 32, 8, Mode::Temporal(2), sel, &pool);
+        assert!(r.interior_eq(&gold2), "skew2d sel={sel:?}");
+        let (r, _) = skew::run_gs_3d(&vv, &kg3, 10, 20, 4, Mode::Temporal(2), sel, &pool);
+        assert!(r.interior_eq(&gold3), "skew3d sel={sel:?}");
+    }
+}
+
 /// The `TEMPORA_ENGINE` environment variable drives `Select::from_env`.
 #[test]
 fn tempora_engine_env_is_honoured() {
@@ -401,7 +545,15 @@ fn canaries_survive_every_engine() {
     r.check_canaries().unwrap();
     let rm = multiload::heat2d(&g, c, 8);
     rm.check_canaries().unwrap();
-    let rp =
-        ghost::run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, Mode::Temporal(2), &Pool::new(2));
+    let (rp, _) = ghost::run_jacobi_2d::<f64, 4, _>(
+        &g,
+        &kern,
+        8,
+        16,
+        8,
+        Mode::Temporal(2),
+        Select::Auto,
+        &Pool::new(2),
+    );
     rp.check_canaries().unwrap();
 }

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use tempora::core::engine::Select;
 use tempora::core::kernels::*;
 use tempora::core::{lcs, t1d, t2d};
 use tempora::grid::*;
@@ -96,7 +97,8 @@ proptest! {
         let pool = Pool::new(2);
         let gold = reference::heat1d(&g, c, steps);
         for mode in [Mode::Scalar, Mode::Temporal(3)] {
-            let ours = ghost::run_jacobi_1d(&g, &kern, steps, block, 4, mode, &pool);
+            let (ours, _) =
+                ghost::run_jacobi_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
             prop_assert!(ours.interior_eq(&gold), "mode={mode:?}");
         }
     }
@@ -116,9 +118,9 @@ proptest! {
         fill_random_1d(&mut g, seed, -1.0, 1.0);
         let pool = Pool::new(2);
         let gold = reference::gs1d(&g, c, steps);
-        for temporal in [false, true] {
-            let ours = skew::run_gs_1d(&g, &kern, steps, block, 4, s, temporal, &pool);
-            prop_assert!(ours.interior_eq(&gold), "temporal={temporal}");
+        for mode in [Mode::Scalar, Mode::Temporal(s)] {
+            let (ours, _) = skew::run_gs_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
+            prop_assert!(ours.interior_eq(&gold), "mode={mode:?}");
         }
     }
 
