@@ -2,103 +2,112 @@
 //! figure, so `cargo bench` alone exercises every experiment end to end
 //! (the full sweeps with all sizes/core-counts live in the `repro`
 //! binary: `cargo run --release -p tempora-bench --bin repro -- all`).
+//!
+//! Every benchmark compiles a `tempora_plan::Plan` once and times
+//! repeated `plan.run(&mut state)` calls — the reuse pattern the plan
+//! API amortizes setup for.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use tempora_core::engine::Select;
-use tempora_core::kernels::*;
-use tempora_core::{lcs, t1d, t2d, t3d};
-use tempora_grid::*;
-use tempora_parallel::Pool;
+use tempora_grid::{
+    fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence,
+};
+use tempora_plan::{Method, Plan, PlanBuilder, Problem, State, Tiling};
 use tempora_stencil::*;
-use tempora_tiling::{ghost, lcs_rect, skew, Mode};
+
+fn compiled(problem: Problem, builder: PlanBuilder) -> (Plan, State) {
+    let plan = builder.build(&problem).expect("valid bench configuration");
+    let mut state = problem.state();
+    match &mut state {
+        State::Grid1(g) => fill_random_1d(g, 1, -1.0, 1.0),
+        State::Grid2(g) => fill_random_2d(g, 1, -1.0, 1.0),
+        State::Grid2i(g) => fill_random_life(g, 1, 0.35),
+        State::Grid3(g) => fill_random_3d(g, 1, -1.0, 1.0),
+        State::Lcs(l) => {
+            let (la, lb) = (l.a.len(), l.b.len());
+            l.a = random_sequence(la, 4, 1);
+            l.b = random_sequence(lb, 4, 2);
+        }
+    }
+    (plan, state)
+}
+
+fn bench_plan(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    problem: Problem,
+    builder: PlanBuilder,
+) {
+    let (mut plan, mut state) = compiled(problem, builder);
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            std::hint::black_box(plan.run(&mut state).expect("state matches plan"));
+        })
+    });
+}
 
 fn sequential_figures(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("figures_seq");
     group
         .sample_size(10)
         .measurement_time(Duration::from_millis(600));
+    let our = |s: usize| PlanBuilder::new().stride(s);
 
-    {
-        let c = Heat1dCoeffs::classic(0.25);
-        let kern = JacobiKern1d(c);
-        let mut g = Grid1::new(1 << 16, 1, Boundary::Dirichlet(0.0));
-        fill_random_1d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4a_heat1d_our", |b| {
-            b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, 16, 7)))
-        });
-    }
-    {
-        let c = Heat2dCoeffs::classic(0.125);
-        let kern = JacobiKern2d(c);
-        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
-        fill_random_2d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4c_heat2d_our", |b| {
-            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
-        });
-    }
-    {
-        let c = Heat3dCoeffs::classic(1.0 / 6.0);
-        let kern = JacobiKern3d(c);
-        let mut g = Grid3::new(48, 48, 48, 1, Boundary::Dirichlet(0.0));
-        fill_random_3d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4e_heat3d_our", |b| {
-            b.iter(|| std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, 8, 2)))
-        });
-    }
-    {
-        let c = Box2dCoeffs::smooth(0.1);
-        let kern = BoxKern2d(c);
-        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
-        fill_random_2d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4g_2d9p_our", |b| {
-            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
-        });
-    }
-    {
-        let rule = LifeRule::b2s23();
-        let kern = LifeKern2d(rule);
-        let mut g = Grid2::<i32>::new(256, 256, 1, Boundary::Dirichlet(0));
-        fill_random_life(&mut g, 1, 0.35);
-        group.bench_function("fig4i_life_our", |b| {
-            b.iter(|| std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, 16, 2)))
-        });
-    }
-    {
-        let c = Gs1dCoeffs::classic(0.25);
-        let kern = GsKern1d(c);
-        let mut g = Grid1::new(1 << 16, 1, Boundary::Dirichlet(0.0));
-        fill_random_1d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig5a_gs1d_our", |b| {
-            b.iter(|| std::hint::black_box(t1d::run::<4, _>(&g, &kern, 16, 7)))
-        });
-    }
-    {
-        let c = Gs2dCoeffs::classic(0.2);
-        let kern = GsKern2d(c);
-        let mut g = Grid2::new(256, 256, 1, Boundary::Dirichlet(0.0));
-        fill_random_2d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig5c_gs2d_our", |b| {
-            b.iter(|| std::hint::black_box(t2d::run::<f64, 4, _>(&g, &kern, 8, 2)))
-        });
-    }
-    {
-        let c = Gs3dCoeffs::classic(0.125);
-        let kern = GsKern3d(c);
-        let mut g = Grid3::new(48, 48, 48, 1, Boundary::Dirichlet(0.0));
-        fill_random_3d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig5e_gs3d_our", |b| {
-            b.iter(|| std::hint::black_box(t3d::run::<f64, 4, _>(&g, &kern, 8, 2)))
-        });
-    }
-    {
-        let a = random_sequence(2048, 4, 1);
-        let b_seq = random_sequence(2048, 4, 2);
-        group.bench_function("fig5g_lcs_our", |b| {
-            b.iter(|| std::hint::black_box(lcs::length(&a, &b_seq, 1)))
-        });
-    }
+    bench_plan(
+        &mut group,
+        "fig4a_heat1d_our",
+        Problem::heat1d(1 << 16, 16, Heat1dCoeffs::classic(0.25)),
+        our(7),
+    );
+    bench_plan(
+        &mut group,
+        "fig4c_heat2d_our",
+        Problem::heat2d(256, 256, 8, Heat2dCoeffs::classic(0.125)),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig4e_heat3d_our",
+        Problem::heat3d(48, 48, 48, 8, Heat3dCoeffs::classic(1.0 / 6.0)),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig4g_2d9p_our",
+        Problem::box2d(256, 256, 8, Box2dCoeffs::smooth(0.1)),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig4i_life_our",
+        Problem::life(256, 256, 16, LifeRule::b2s23()),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig5a_gs1d_our",
+        Problem::gs1d(1 << 16, 16, Gs1dCoeffs::classic(0.25)),
+        our(7),
+    );
+    bench_plan(
+        &mut group,
+        "fig5c_gs2d_our",
+        Problem::gs2d(256, 256, 8, Gs2dCoeffs::classic(0.2)),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig5e_gs3d_our",
+        Problem::gs3d(48, 48, 48, 8, Gs3dCoeffs::classic(0.125)),
+        our(2),
+    );
+    bench_plan(
+        &mut group,
+        "fig5g_lcs_our",
+        Problem::lcs(2048, 2048),
+        our(1),
+    );
     group.finish();
 }
 
@@ -107,75 +116,71 @@ fn parallel_figures(crit: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_millis(800));
-    let pool = Pool::max();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    {
-        let c = Heat1dCoeffs::classic(0.25);
-        let kern = JacobiKern1d(c);
-        let mut g = Grid1::new(1 << 18, 1, Boundary::Dirichlet(0.0));
-        fill_random_1d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4b_heat1d_par_our", |b| {
-            b.iter(|| {
-                std::hint::black_box(ghost::run_jacobi_1d(
-                    &g,
-                    &kern,
-                    32,
-                    1 << 14,
-                    16,
-                    Mode::Temporal(7),
-                    Select::Auto,
-                    &pool,
-                ))
+    bench_plan(
+        &mut group,
+        "fig4b_heat1d_par_our",
+        Problem::heat1d(1 << 18, 32, Heat1dCoeffs::classic(0.25)),
+        PlanBuilder::new()
+            .stride(7)
+            .tiling(Tiling::Ghost {
+                block: 1 << 14,
+                height: 16,
             })
-        });
-    }
-    {
-        let c = Heat2dCoeffs::classic(0.125);
-        let kern = JacobiKern2d(c);
-        let mut g = Grid2::new(384, 384, 1, Boundary::Dirichlet(0.0));
-        fill_random_2d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig4d_heat2d_par_our", |b| {
-            b.iter(|| {
-                std::hint::black_box(ghost::run_jacobi_2d::<f64, 4, _>(
-                    &g,
-                    &kern,
-                    16,
-                    96,
-                    8,
-                    Mode::Temporal(2),
-                    Select::Auto,
-                    &pool,
-                ))
+            .threads(threads),
+    );
+    bench_plan(
+        &mut group,
+        "fig4d_heat2d_par_our",
+        Problem::heat2d(384, 384, 16, Heat2dCoeffs::classic(0.125)),
+        PlanBuilder::new()
+            .stride(2)
+            .tiling(Tiling::Ghost {
+                block: 96,
+                height: 8,
             })
-        });
-    }
-    {
-        let c = Gs1dCoeffs::classic(0.25);
-        let kern = GsKern1d(c);
-        let mut g = Grid1::new(1 << 18, 1, Boundary::Dirichlet(0.0));
-        fill_random_1d(&mut g, 1, -1.0, 1.0);
-        group.bench_function("fig5b_gs1d_par_our", |b| {
-            b.iter(|| {
-                std::hint::black_box(skew::run_gs_1d(
-                    &g,
-                    &kern,
-                    32,
-                    1 << 13,
-                    16,
-                    Mode::Temporal(7),
-                    Select::Auto,
-                    &pool,
-                ))
+            .threads(threads),
+    );
+    bench_plan(
+        &mut group,
+        "fig5b_gs1d_par_our",
+        Problem::gs1d(1 << 18, 32, Gs1dCoeffs::classic(0.25)),
+        PlanBuilder::new()
+            .stride(7)
+            .tiling(Tiling::Skew {
+                block: 1 << 13,
+                height: 16,
             })
-        });
-    }
-    {
-        let a = random_sequence(4096, 4, 1);
-        let b_seq = random_sequence(4096, 4, 2);
-        group.bench_function("fig5h_lcs_par_our", |b| {
-            b.iter(|| std::hint::black_box(lcs_rect::run_lcs(&a, &b_seq, 512, 512, 1, true, &pool)))
-        });
-    }
+            .threads(threads),
+    );
+    bench_plan(
+        &mut group,
+        "fig5h_lcs_par_our",
+        Problem::lcs(4096, 4096),
+        PlanBuilder::new()
+            .stride(1)
+            .tiling(Tiling::LcsRect {
+                xblock: 512,
+                yblock: 512,
+            })
+            .threads(threads),
+    );
+    // A scalar reference point through the same API.
+    bench_plan(
+        &mut group,
+        "fig4b_heat1d_par_scalar",
+        Problem::heat1d(1 << 18, 32, Heat1dCoeffs::classic(0.25)),
+        PlanBuilder::new()
+            .method(Method::Scalar)
+            .tiling(Tiling::Ghost {
+                block: 1 << 14,
+                height: 16,
+            })
+            .threads(threads),
+    );
     group.finish();
 }
 

@@ -19,6 +19,14 @@
 //! | `ablate-stride` | §3.3 stride/ILP sweep | [`ablate_stride`] |
 //! | `ablate-baselines` | §2.2 baseline comparison | [`ablate_baselines`] |
 //!
+//! Every series runs through the unified solver API
+//! (`tempora_plan::Plan`): the harness compiles one plan per
+//! configuration — geometry validated, engine resolved, scratch and
+//! thread pool allocated once — and times repeated `plan.run(&mut
+//! state)` calls, exactly the serving pattern the plan API exists for.
+//! Each dispatched ("our") series records the engine its plan resolved
+//! to; the JSON baselines carry it as the per-series `"engine"` field.
+//!
 //! Measurements report **Gstencils/s** (grid points updated per second,
 //! the paper's metric). The `scale` parameter shrinks the paper's problem
 //! sizes by a linear factor so the full suite runs on a laptop; `scale =
@@ -31,33 +39,25 @@
 
 use std::time::Instant;
 
-use tempora_baseline::{dlt, multiload, reorg};
-use tempora_core::engine::{self, Select};
-use tempora_core::kernels::{
-    BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, LifeKern2d,
-};
 use tempora_core::t1d;
 use tempora_grid::{
-    fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence, Boundary,
-    Grid1, Grid2, Grid3,
+    fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence,
 };
-use tempora_parallel::Pool;
+use tempora_plan::{Method, PlanBuilder, Problem, Select, State, Tiling};
 use tempora_stencil::{
-    reference, Box2dCoeffs, Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs,
-    Heat3dCoeffs, LifeRule,
+    Box2dCoeffs, Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs,
+    LifeRule,
 };
-use tempora_tiling::{ghost, lcs_rect, skew, Mode};
 
 /// One measured curve: label + `(x, Gstencils/s)` points.
 #[derive(Clone, Debug)]
 pub struct Series {
     /// Scheme name (`our`, `auto`, `scalar`, …).
     pub label: String,
-    /// The engine the dispatch layer resolved to for this series
-    /// (`portable` | `avx2`), when the series routes through
-    /// `tempora_core::engine` — sequential *and* tiling-driven parallel
-    /// sweeps alike. `None` for baseline schemes, non-dispatched modes
-    /// and the LCS wavefront.
+    /// The engine the plan resolved to for this series (`portable` |
+    /// `avx2`), for dispatched (temporal) series — sequential *and*
+    /// tiling-driven parallel sweeps alike, LCS included. `None` for
+    /// baseline schemes and non-dispatched methods.
     pub engine: Option<String>,
     /// `(x, Gstencils/s)` samples.
     pub points: Vec<(f64, f64)>,
@@ -269,6 +269,55 @@ pub const SEQ_BUDGET: f64 = 6.0e7;
 const SEED: u64 = 0x7e3707a;
 
 // ---------------------------------------------------------------------
+// Plan-driven measurement
+// ---------------------------------------------------------------------
+
+/// One measurement: median wall time of repeated `plan.run` calls plus
+/// the engine the plan resolved to (for dispatched temporal plans).
+pub struct Sample {
+    /// Median measured wall time, seconds.
+    pub secs: f64,
+    /// Resolved engine name (`portable` | `avx2`), for dispatched plans.
+    pub engine: Option<&'static str>,
+}
+
+/// Compile `builder` against `problem`, build and fill a state, then
+/// measure repeated `plan.run(&mut state)` calls (warm-up + median of 3;
+/// setup — validation, engine resolution, scratch and pool allocation —
+/// happens once, outside the timed region, exactly as a serving system
+/// would amortize it).
+pub fn plan_sample(problem: &Problem, builder: PlanBuilder, fill: &dyn Fn(&mut State)) -> Sample {
+    let mut plan = builder
+        .build(problem)
+        .expect("bench configurations are valid by construction");
+    let mut state = problem.state();
+    fill(&mut state);
+    let mut engine = None;
+    let secs = time_stable(|| {
+        let report = plan.run(&mut state).expect("state matches plan");
+        engine = report.engine.map(|e| e.name());
+        std::hint::black_box(&state);
+    });
+    Sample { secs, engine }
+}
+
+/// Fill helper: seeded random interior for whichever grid the state
+/// holds; LCS states get two random 4-symbol sequences.
+fn fill_state(state: &mut State) {
+    match state {
+        State::Grid1(g) => fill_random_1d(g, SEED, -1.0, 1.0),
+        State::Grid2(g) => fill_random_2d(g, SEED, -1.0, 1.0),
+        State::Grid2i(g) => fill_random_life(g, SEED, 0.35),
+        State::Grid3(g) => fill_random_3d(g, SEED, -1.0, 1.0),
+        State::Lcs(l) => {
+            let (la, lb) = (l.a.len(), l.b.len());
+            l.a = random_sequence(la, 4, SEED);
+            l.b = random_sequence(lb, 4, SEED + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Table 1
 // ---------------------------------------------------------------------
 
@@ -403,71 +452,18 @@ pub fn table1(scale: usize) -> String {
 }
 
 // ---------------------------------------------------------------------
-// Workload builders
+// Sweep scaffolding
 // ---------------------------------------------------------------------
-
-fn grid1(n: usize) -> Grid1<f64> {
-    let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.0));
-    fill_random_1d(&mut g, SEED, -1.0, 1.0);
-    g
-}
-
-fn grid2(n: usize) -> Grid2<f64> {
-    let mut g = Grid2::new(n, n, 1, Boundary::Dirichlet(0.0));
-    fill_random_2d(&mut g, SEED, -1.0, 1.0);
-    g
-}
-
-fn grid3(n: usize) -> Grid3<f64> {
-    let mut g = Grid3::new(n, n, n, 1, Boundary::Dirichlet(0.0));
-    fill_random_3d(&mut g, SEED, -1.0, 1.0);
-    g
-}
 
 fn pow2_sizes(lo_exp: u32, hi_exp: u32) -> Vec<usize> {
     (lo_exp..=hi_exp).map(|e| 1usize << e).collect()
 }
 
-/// One sequential measurement: median wall time plus the engine the
-/// dispatch layer resolved to (for schemes that route through
-/// `tempora_core::engine`; `None` for baselines).
-pub struct Sample {
-    /// Median measured wall time, seconds.
-    pub secs: f64,
-    /// Resolved engine name (`portable` | `avx2`), for dispatched schemes.
-    pub engine: Option<&'static str>,
-}
-
-impl Sample {
-    /// A measurement of a non-dispatched (baseline) scheme.
-    pub fn plain(secs: f64) -> Sample {
-        Sample { secs, engine: None }
-    }
-
-    /// Measure a scheme that routes through `tempora_core::engine`:
-    /// warm-up + median-of-3 over `f`, recording the engine the dispatch
-    /// layer resolved to. The run result is black-boxed so the work is
-    /// not optimized away.
-    pub fn dispatched<R>(mut f: impl FnMut() -> (R, engine::Engine)) -> Sample {
-        let mut eng = None;
-        let secs = time_stable(|| {
-            let (r, e) = f();
-            std::hint::black_box(r);
-            eng = Some(e.name());
-        });
-        Sample { secs, engine: eng }
-    }
-}
-
-/// Labelled `(n, steps) -> Sample` runner for a sequential sweep.
-type SeqRun<'a> = (&'static str, Box<dyn Fn(usize, usize) -> Sample + 'a>);
-/// Labelled pool-driven runner for a core-count sweep; returns the engine
-/// the tiled dispatch layer resolved to (`None` for non-dispatched
-/// schemes), so parallel figures report `our:avx2` vs `our:portable`
-/// exactly like the sequential ones.
-type ParRun<'a> = (
+/// Labelled `(n, steps) -> (Problem, PlanBuilder)` factory for one series
+/// of a sequential sweep.
+type SeqRun<'a> = (
     &'static str,
-    Box<dyn Fn(&Pool) -> Option<&'static str> + 'a>,
+    Box<dyn Fn(usize, usize) -> (Problem, PlanBuilder) + 'a>,
 );
 
 #[allow(clippy::too_many_arguments)]
@@ -493,7 +489,8 @@ fn seq_sweep<'a>(
         let pts = points_of(n);
         let steps = choose_steps(pts, SEQ_BUDGET, 4, steps_hi);
         for (k, (_, run)) in runs.iter().enumerate() {
-            let smp = run(n, steps);
+            let (problem, builder) = run(n, steps);
+            let smp = plan_sample(&problem, builder, &fill_state);
             if series[k].engine.is_none() {
                 series[k].engine = smp.engine.map(str::to_string);
             }
@@ -510,429 +507,6 @@ fn seq_sweep<'a>(
     }
 }
 
-// ---------------------------------------------------------------------
-// Sequential figures (left column of Figures 4 and 5)
-// ---------------------------------------------------------------------
-
-/// Figure 4a: Heat-1D sequential, Gstencils/s vs problem size (2^x).
-pub fn fig4a(scale: usize) -> Figure {
-    let hi = match scale {
-        0..=1 => 23,
-        2..=4 => 22,
-        5..=16 => 20,
-        _ => 18,
-    };
-    let c = Heat1dCoeffs::classic(0.25);
-    let kern = JacobiKern1d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig4a",
-        "Heat-1D Sequential",
-        "log2(N)",
-        &pow2_sizes(7, hi),
-        |n| (n as f64).log2(),
-        |n| n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, 7))
-                }),
-            ),
-            (
-                "auto",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        65536,
-    )
-}
-
-/// Figure 4c: Heat-2D sequential.
-pub fn fig4c(scale: usize) -> Figure {
-    let cap = 8192 / scale.clamp(1, 8);
-    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let c = Heat2dCoeffs::classic(0.125);
-    let kern = JacobiKern2d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig4c",
-        "Heat-2D Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::dispatched(|| engine::run_heat2d(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "auto",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::heat2d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::heat2d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        2000,
-    )
-}
-
-/// Figure 4e: Heat-3D sequential.
-pub fn fig4e(scale: usize) -> Figure {
-    let cap = match scale {
-        0..=1 => 512,
-        2..=4 => 256,
-        _ => 128,
-    };
-    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let c = Heat3dCoeffs::classic(1.0 / 6.0);
-    let kern = JacobiKern3d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig4e",
-        "Heat-3D Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid3(n);
-                    Sample::dispatched(|| engine::run_heat3d(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "auto",
-                Box::new(move |n, steps| {
-                    let g = grid3(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::heat3d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid3(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::heat3d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        512,
-    )
-}
-
-/// Figure 4g: 2D9P sequential.
-pub fn fig4g(scale: usize) -> Figure {
-    let cap = 8192 / scale.clamp(1, 8);
-    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let c = Box2dCoeffs::smooth(0.1);
-    let kern = BoxKern2d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig4g",
-        "2D9P Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::dispatched(|| engine::run_box2d(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "auto",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::box2d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::box2d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        2000,
-    )
-}
-
-/// Figure 4i: Life sequential (integer 2D9P, 8 lanes).
-pub fn fig4i(scale: usize) -> Figure {
-    let cap = 8192 / scale.clamp(1, 8);
-    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let rule = LifeRule::b2s23();
-    let kern = LifeKern2d(rule);
-    let mk = |n: usize| {
-        let mut g = Grid2::<i32>::new(n, n, 1, Boundary::Dirichlet(0));
-        fill_random_life(&mut g, SEED, 0.35);
-        g
-    };
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig4i",
-        "Life Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = mk(n);
-                    Sample::dispatched(|| engine::run_life(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "auto",
-                Box::new(move |n, steps| {
-                    let g = mk(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::life(&g, rule, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = mk(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::life(&g, rule, steps));
-                    }))
-                }),
-            ),
-        ],
-        2000,
-    )
-}
-
-/// Figure 5a: GS-1D sequential (no "auto" — spatial vectorization of
-/// Gauss-Seidel loops is illegal).
-pub fn fig5a(scale: usize) -> Figure {
-    let hi = match scale {
-        0..=1 => 23,
-        2..=4 => 22,
-        5..=16 => 20,
-        _ => 18,
-    };
-    let c = Gs1dCoeffs::classic(0.25);
-    let kern = GsKern1d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig5a",
-        "GS-1D Sequential",
-        "log2(N)",
-        &pow2_sizes(7, hi),
-        |n| (n as f64).log2(),
-        |n| n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::dispatched(|| engine::run_gs1d(sel, &g, &kern, steps, 7))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::gs1d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        65536,
-    )
-}
-
-/// Figure 5c: GS-2D sequential.
-pub fn fig5c(scale: usize) -> Figure {
-    let cap = 8192 / scale.clamp(1, 8);
-    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let c = Gs2dCoeffs::classic(0.2);
-    let kern = GsKern2d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig5c",
-        "GS-2D Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::dispatched(|| engine::run_gs2d(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid2(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::gs2d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        2000,
-    )
-}
-
-/// Figure 5e: GS-3D sequential.
-pub fn fig5e(scale: usize) -> Figure {
-    let cap = match scale {
-        0..=1 => 512,
-        2..=4 => 256,
-        _ => 128,
-    };
-    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
-        .into_iter()
-        .filter(|&n| n <= cap)
-        .collect();
-    let c = Gs3dCoeffs::classic(0.125);
-    let kern = GsKern3d(c);
-    let sel = Select::from_env();
-    seq_sweep(
-        "fig5e",
-        "GS-3D Sequential",
-        "N",
-        &sizes,
-        |n| n as f64,
-        |n| n * n * n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid3(n);
-                    Sample::dispatched(|| engine::run_gs3d(sel, &g, &kern, steps, 2))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid3(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::gs3d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
-        512,
-    )
-}
-
-/// Figure 5g: LCS sequential (one full DP table; Gcells/s).
-pub fn fig5g(scale: usize) -> Figure {
-    let hi = match scale {
-        0..=1 => 17,
-        2..=4 => 16,
-        _ => 14,
-    };
-    let sel = Select::from_env();
-    let mut our = vec![];
-    let mut scalar = vec![];
-    let mut our_engine = None;
-    for n in pow2_sizes(7, hi) {
-        let a = random_sequence(n, 4, SEED);
-        let b = random_sequence(n, 4, SEED + 1);
-        let smp = Sample::dispatched(|| engine::run_lcs(sel, &a, &b, 1));
-        our_engine = smp.engine.map(str::to_string);
-        let t_scalar = time_stable(|| {
-            std::hint::black_box(reference::lcs_len(&a, &b));
-        });
-        let x = (n as f64).log2();
-        our.push((x, gstencils(n, n, smp.secs)));
-        scalar.push((x, gstencils(n, n, t_scalar)));
-    }
-    Figure {
-        id: "fig5g".into(),
-        title: "LCS Sequential".into(),
-        xlabel: "log2(N)".into(),
-        series: vec![
-            Series {
-                label: "our".into(),
-                engine: our_engine,
-                points: our,
-            },
-            Series {
-                label: "scalar".into(),
-                engine: None,
-                points: scalar,
-            },
-        ],
-    }
-}
-
-// ---------------------------------------------------------------------
-// Parallel figures (right column of Figures 4 and 5)
-// ---------------------------------------------------------------------
-
 fn core_counts(max_cores: usize) -> Vec<usize> {
     let mut v: Vec<usize> = vec![1];
     let mut c = 2;
@@ -943,6 +517,11 @@ fn core_counts(max_cores: usize) -> Vec<usize> {
     v.dedup();
     v
 }
+
+/// Labelled `(cores) -> (Problem, PlanBuilder)` factory for one series of
+/// a core-count sweep; the builder already carries the tiling, and the
+/// sweep adds `.threads(cores)`.
+type ParRun<'a> = (&'static str, Box<dyn Fn() -> (Problem, PlanBuilder) + 'a>);
 
 fn parallel_sweep<'a>(
     id: &str,
@@ -961,18 +540,17 @@ fn parallel_sweep<'a>(
         })
         .collect();
     for &cores in &core_counts(max_cores) {
-        let pool = Pool::new(cores);
         for (k, (_, run)) in runs.iter().enumerate() {
-            // time_stable's built-in warm-up faults in pages and spins up
-            // the workers before the three timed runs.
-            let mut eng = None;
-            let t = time_stable(|| eng = run(&pool));
+            let (problem, builder) = run();
+            // plan_sample's built-in warm-up faults in pages and spins up
+            // the plan's workers before the three timed runs.
+            let smp = plan_sample(&problem, builder.threads(cores), &fill_state);
             if series[k].engine.is_none() {
-                series[k].engine = eng.map(str::to_string);
+                series[k].engine = smp.engine.map(str::to_string);
             }
             series[k]
                 .points
-                .push((cores as f64, gstencils(pts, steps, t)));
+                .push((cores as f64, gstencils(pts, steps, smp.secs)));
         }
     }
     Figure {
@@ -983,22 +561,347 @@ fn parallel_sweep<'a>(
     }
 }
 
-/// Figure 4b: Heat-1D parallel scaling (ghost-zone temporal bands,
-/// in-tile engine dispatched through `tempora_core::engine`).
+/// The three standard sequential builders: temporal ("our"), multi-load
+/// ("auto"), scalar.
+fn seq_builders(sel: Select, stride: usize) -> [(&'static str, PlanBuilder); 3] {
+    [
+        ("our", PlanBuilder::new().stride(stride).select(sel)),
+        ("auto", PlanBuilder::new().method(Method::Multiload)),
+        ("scalar", PlanBuilder::new().method(Method::Scalar)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Sequential figures (left column of Figures 4 and 5)
+// ---------------------------------------------------------------------
+
+/// Figure 4a: Heat-1D sequential, Gstencils/s vs problem size (2^x).
+pub fn fig4a(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 23,
+        2..=4 => 22,
+        5..=16 => 20,
+        _ => 18,
+    };
+    let c = Heat1dCoeffs::classic(0.25);
+    let sel = Select::from_env();
+    seq_sweep(
+        "fig4a",
+        "Heat-1D Sequential",
+        "log2(N)",
+        &pow2_sizes(7, hi),
+        |n| (n as f64).log2(),
+        |n| n,
+        seq_builders(sel, 7)
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::heat1d(n, steps, c), b)),
+                )
+            })
+            .collect(),
+        65536,
+    )
+}
+
+/// Figure 4c: Heat-2D sequential.
+pub fn fig4c(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Heat2dCoeffs::classic(0.125);
+    let sel = Select::from_env();
+    seq_sweep(
+        "fig4c",
+        "Heat-2D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        seq_builders(sel, 2)
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::heat2d(n, n, steps, c), b)),
+                )
+            })
+            .collect(),
+        2000,
+    )
+}
+
+/// Figure 4e: Heat-3D sequential.
+pub fn fig4e(scale: usize) -> Figure {
+    let cap = match scale {
+        0..=1 => 512,
+        2..=4 => 256,
+        _ => 128,
+    };
+    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Heat3dCoeffs::classic(1.0 / 6.0);
+    let sel = Select::from_env();
+    seq_sweep(
+        "fig4e",
+        "Heat-3D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n * n,
+        seq_builders(sel, 2)
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::heat3d(n, n, n, steps, c), b)),
+                )
+            })
+            .collect(),
+        512,
+    )
+}
+
+/// Figure 4g: 2D9P sequential.
+pub fn fig4g(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Box2dCoeffs::smooth(0.1);
+    let sel = Select::from_env();
+    seq_sweep(
+        "fig4g",
+        "2D9P Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        seq_builders(sel, 2)
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::box2d(n, n, steps, c), b)),
+                )
+            })
+            .collect(),
+        2000,
+    )
+}
+
+/// Figure 4i: Life sequential (integer 2D9P, 8 lanes).
+pub fn fig4i(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let rule = LifeRule::b2s23();
+    let sel = Select::from_env();
+    seq_sweep(
+        "fig4i",
+        "Life Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        seq_builders(sel, 2)
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::life(n, n, steps, rule), b)),
+                )
+            })
+            .collect(),
+        2000,
+    )
+}
+
+/// Figure 5a: GS-1D sequential (no "auto" — spatial vectorization of
+/// Gauss-Seidel loops is illegal, and the plan API rejects it).
+pub fn fig5a(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 23,
+        2..=4 => 22,
+        5..=16 => 20,
+        _ => 18,
+    };
+    let c = Gs1dCoeffs::classic(0.25);
+    let sel = Select::from_env();
+    let our = PlanBuilder::new().stride(7).select(sel);
+    let scalar = PlanBuilder::new().method(Method::Scalar);
+    seq_sweep(
+        "fig5a",
+        "GS-1D Sequential",
+        "log2(N)",
+        &pow2_sizes(7, hi),
+        |n| (n as f64).log2(),
+        |n| n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| (Problem::gs1d(n, steps, c), our)),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| (Problem::gs1d(n, steps, c), scalar)),
+            ),
+        ],
+        65536,
+    )
+}
+
+/// Figure 5c: GS-2D sequential.
+pub fn fig5c(scale: usize) -> Figure {
+    let cap = 8192 / scale.clamp(1, 8);
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096, 8192]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Gs2dCoeffs::classic(0.2);
+    let sel = Select::from_env();
+    let our = PlanBuilder::new().stride(2).select(sel);
+    let scalar = PlanBuilder::new().method(Method::Scalar);
+    seq_sweep(
+        "fig5c",
+        "GS-2D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| (Problem::gs2d(n, n, steps, c), our)),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| (Problem::gs2d(n, n, steps, c), scalar)),
+            ),
+        ],
+        2000,
+    )
+}
+
+/// Figure 5e: GS-3D sequential.
+pub fn fig5e(scale: usize) -> Figure {
+    let cap = match scale {
+        0..=1 => 512,
+        2..=4 => 256,
+        _ => 128,
+    };
+    let sizes: Vec<usize> = [16usize, 32, 64, 128, 256, 512]
+        .into_iter()
+        .filter(|&n| n <= cap)
+        .collect();
+    let c = Gs3dCoeffs::classic(0.125);
+    let sel = Select::from_env();
+    let our = PlanBuilder::new().stride(2).select(sel);
+    let scalar = PlanBuilder::new().method(Method::Scalar);
+    seq_sweep(
+        "fig5e",
+        "GS-3D Sequential",
+        "N",
+        &sizes,
+        |n| n as f64,
+        |n| n * n * n,
+        vec![
+            (
+                "our",
+                Box::new(move |n, steps| (Problem::gs3d(n, n, n, steps, c), our)),
+            ),
+            (
+                "scalar",
+                Box::new(move |n, steps| (Problem::gs3d(n, n, n, steps, c), scalar)),
+            ),
+        ],
+        512,
+    )
+}
+
+/// Figure 5g: LCS sequential (one full DP table; Gcells/s). The temporal
+/// series is dispatched like every other figure: its plan resolves (and
+/// reports) the engine — honestly portable, as no AVX2 LCS steady state
+/// exists.
+pub fn fig5g(scale: usize) -> Figure {
+    let hi = match scale {
+        0..=1 => 17,
+        2..=4 => 16,
+        _ => 14,
+    };
+    let sel = Select::from_env();
+    let builders: [(&'static str, PlanBuilder); 2] = [
+        ("our", PlanBuilder::new().stride(1).select(sel)),
+        ("scalar", PlanBuilder::new().method(Method::Scalar)),
+    ];
+    let mut series: Vec<Series> = builders
+        .iter()
+        .map(|(label, _)| Series {
+            label: label.to_string(),
+            engine: None,
+            points: vec![],
+        })
+        .collect();
+    // One run computes the whole n × n table, so the "step" count is n
+    // DP rows — fixed by the problem, not by the point budget.
+    for n in pow2_sizes(7, hi) {
+        let problem = Problem::lcs(n, n);
+        for (k, (_, builder)) in builders.iter().enumerate() {
+            let smp = plan_sample(&problem, *builder, &fill_state);
+            if series[k].engine.is_none() {
+                series[k].engine = smp.engine.map(str::to_string);
+            }
+            series[k]
+                .points
+                .push(((n as f64).log2(), gstencils(n, n, smp.secs)));
+        }
+    }
+    Figure {
+        id: "fig5g".into(),
+        title: "LCS Sequential".into(),
+        xlabel: "log2(N)".into(),
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel figures (right column of Figures 4 and 5)
+// ---------------------------------------------------------------------
+
+/// Figure 4b: Heat-1D parallel scaling (ghost-zone temporal bands; each
+/// plan owns its pool and in-tile engine resolution).
 pub fn fig4b(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat1d;
     let c = Heat1dCoeffs::classic(0.25);
-    let kern = JacobiKern1d(c);
     let sel = Select::from_env();
-    let g = grid1(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) = ghost::run_jacobi_1d(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
+    let ghost = Tiling::Ghost { block, height };
+    let mk = move |method: Method, stride: usize| -> ParRun<'static> {
+        let label = match method {
+            Method::Temporal => "our",
+            Method::Multiload => "auto",
+            _ => "scalar",
+        };
+        (
+            label,
+            Box::new(move || {
+                (
+                    Problem::heat1d(n, steps, c),
+                    PlanBuilder::new()
+                        .method(method)
+                        .tiling(ghost)
+                        .stride(stride)
+                        .select(sel),
+                )
+            }),
+        )
     };
     parallel_sweep(
         "fig4b",
@@ -1007,236 +910,231 @@ pub fn fig4b(scale: usize, max_cores: usize) -> Figure {
         n,
         steps,
         vec![
-            ("our", Box::new(run(Mode::Temporal(7)))),
-            ("auto", Box::new(run(Mode::Auto))),
-            ("scalar", Box::new(run(Mode::Scalar))),
+            mk(Method::Temporal, 7),
+            mk(Method::Multiload, 7),
+            mk(Method::Scalar, 7),
         ],
     )
+}
+
+/// Shared scaffolding for the 2-D/3-D ghost-tiled parallel figures.
+#[allow(clippy::too_many_arguments)]
+fn ghost_par_fig(
+    id: &str,
+    title: &str,
+    max_cores: usize,
+    pts: usize,
+    steps: usize,
+    problem: Problem,
+    tiling: Tiling,
+    with_auto: bool,
+) -> Figure {
+    let sel = Select::from_env();
+    let mk = move |method: Method| -> ParRun<'static> {
+        let label = match method {
+            Method::Temporal => "our",
+            Method::Multiload => "auto",
+            _ => "scalar",
+        };
+        (
+            label,
+            Box::new(move || {
+                (
+                    problem,
+                    PlanBuilder::new()
+                        .method(method)
+                        .tiling(tiling)
+                        .stride(2)
+                        .select(sel),
+                )
+            }),
+        )
+    };
+    let mut runs = vec![mk(Method::Temporal)];
+    if with_auto {
+        runs.push(mk(Method::Multiload));
+    }
+    runs.push(mk(Method::Scalar));
+    parallel_sweep(id, title, max_cores, pts, steps, runs)
 }
 
 /// Figure 4d: Heat-2D parallel scaling.
 pub fn fig4d(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat2d;
-    let c = Heat2dCoeffs::classic(0.125);
-    let kern = JacobiKern2d(c);
-    let sel = Select::from_env();
-    let g = grid2(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) =
-                ghost::run_jacobi_2d::<f64, 4, _>(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    ghost_par_fig(
         "fig4d",
         "Heat-2D Parallel",
         max_cores,
         n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("auto", Box::new(run(Mode::Auto))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::heat2d(n, n, steps, Heat2dCoeffs::classic(0.125)),
+        Tiling::Ghost { block, height },
+        true,
     )
 }
 
 /// Figure 4f: Heat-3D parallel scaling.
 pub fn fig4f(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).heat3d;
-    let c = Heat3dCoeffs::classic(1.0 / 6.0);
-    let kern = JacobiKern3d(c);
-    let sel = Select::from_env();
-    let g = grid3(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) = ghost::run_jacobi_3d(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    ghost_par_fig(
         "fig4f",
         "Heat-3D Parallel",
         max_cores,
         n * n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("auto", Box::new(run(Mode::Auto))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::heat3d(n, n, n, steps, Heat3dCoeffs::classic(1.0 / 6.0)),
+        Tiling::Ghost { block, height },
+        true,
     )
 }
 
 /// Figure 4h: 2D9P parallel scaling.
 pub fn fig4h(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).box2d;
-    let c = Box2dCoeffs::smooth(0.1);
-    let kern = BoxKern2d(c);
-    let sel = Select::from_env();
-    let g = grid2(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) =
-                ghost::run_jacobi_2d::<f64, 4, _>(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    ghost_par_fig(
         "fig4h",
         "2D9P Parallel",
         max_cores,
         n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("auto", Box::new(run(Mode::Auto))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::box2d(n, n, steps, Box2dCoeffs::smooth(0.1)),
+        Tiling::Ghost { block, height },
+        true,
     )
 }
 
 /// Figure 4j: Life parallel scaling.
 pub fn fig4j(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).life;
-    let rule = LifeRule::b2s23();
-    let kern = LifeKern2d(rule);
-    let sel = Select::from_env();
-    let mut g = Grid2::<i32>::new(n, n, 1, Boundary::Dirichlet(0));
-    fill_random_life(&mut g, SEED, 0.35);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) =
-                ghost::run_jacobi_2d::<i32, 8, _>(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    ghost_par_fig(
         "fig4j",
         "Life Parallel",
         max_cores,
         n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("auto", Box::new(run(Mode::Auto))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::life(n, n, steps, LifeRule::b2s23()),
+        Tiling::Ghost { block, height },
+        true,
+    )
+}
+
+/// Shared scaffolding for the skew-tiled Gauss-Seidel parallel figures.
+#[allow(clippy::too_many_arguments)]
+fn skew_par_fig(
+    id: &str,
+    title: &str,
+    max_cores: usize,
+    pts: usize,
+    steps: usize,
+    problem: Problem,
+    tiling: Tiling,
+    stride: usize,
+) -> Figure {
+    let sel = Select::from_env();
+    let mk = move |method: Method| -> ParRun<'static> {
+        let label = if method == Method::Temporal {
+            "our"
+        } else {
+            "scalar"
+        };
+        (
+            label,
+            Box::new(move || {
+                (
+                    problem,
+                    PlanBuilder::new()
+                        .method(method)
+                        .tiling(tiling)
+                        .stride(stride)
+                        .select(sel),
+                )
+            }),
+        )
+    };
+    parallel_sweep(
+        id,
+        title,
+        max_cores,
+        pts,
+        steps,
+        vec![mk(Method::Temporal), mk(Method::Scalar)],
     )
 }
 
 /// Figure 5b: GS-1D parallel scaling (pipelined parallelogram tiles).
 pub fn fig5b(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs1d;
-    let c = Gs1dCoeffs::classic(0.25);
-    let kern = GsKern1d(c);
-    let sel = Select::from_env();
-    let g = grid1(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) = skew::run_gs_1d(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    skew_par_fig(
         "fig5b",
         "GS-1D Parallel",
         max_cores,
         n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(7)))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::gs1d(n, steps, Gs1dCoeffs::classic(0.25)),
+        Tiling::Skew { block, height },
+        7,
     )
 }
 
 /// Figure 5d: GS-2D parallel scaling.
 pub fn fig5d(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs2d;
-    let c = Gs2dCoeffs::classic(0.2);
-    let kern = GsKern2d(c);
-    let sel = Select::from_env();
-    let g = grid2(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) = skew::run_gs_2d(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    skew_par_fig(
         "fig5d",
         "GS-2D Parallel",
         max_cores,
         n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::gs2d(n, n, steps, Gs2dCoeffs::classic(0.2)),
+        Tiling::Skew { block, height },
+        2,
     )
 }
 
 /// Figure 5f: GS-3D parallel scaling.
 pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
     let (n, steps, block, height) = parallel_configs(scale).gs3d;
-    let c = Gs3dCoeffs::classic(0.125);
-    let kern = GsKern3d(c);
-    let sel = Select::from_env();
-    let g = grid3(n);
-    let run = |mode: Mode| {
-        let g = &g;
-        let kern = &kern;
-        move |pool: &Pool| {
-            let (r, e) = skew::run_gs_3d(g, kern, steps, block, height, mode, sel, pool);
-            std::hint::black_box(r);
-            e.map(engine::Engine::name)
-        }
-    };
-    parallel_sweep(
+    skew_par_fig(
         "fig5f",
         "GS-3D Parallel",
         max_cores,
         n * n * n,
         steps,
-        vec![
-            ("our", Box::new(run(Mode::Temporal(2)))),
-            ("scalar", Box::new(run(Mode::Scalar))),
-        ],
+        Problem::gs3d(n, n, n, steps, Gs3dCoeffs::classic(0.125)),
+        Tiling::Skew { block, height },
+        2,
     )
 }
 
-/// Figure 5h: LCS parallel scaling (rectangle tiles, wavefront).
+/// Figure 5h: LCS parallel scaling (rectangle tiles, wavefront). Routed
+/// through the same plan dispatch as every other figure, so the temporal
+/// series now reports its resolved engine (honestly portable).
 pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
     let (n, xb, yb) = parallel_configs(scale).lcs;
-    let a = random_sequence(n, 4, SEED);
-    let b = random_sequence(n, 4, SEED + 1);
-    let run = |temporal: bool| {
-        let a = &a;
-        let b = &b;
-        move |pool: &Pool| {
-            std::hint::black_box(lcs_rect::run_lcs(a, b, xb, yb, 1, temporal, pool));
-            None // the LCS wavefront does not route through the dispatcher yet
-        }
+    let sel = Select::from_env();
+    let tiling = Tiling::LcsRect {
+        xblock: xb,
+        yblock: yb,
+    };
+    let mk = move |method: Method| -> ParRun<'static> {
+        let label = if method == Method::Temporal {
+            "our"
+        } else {
+            "scalar"
+        };
+        (
+            label,
+            Box::new(move || {
+                (
+                    Problem::lcs(n, n),
+                    PlanBuilder::new()
+                        .method(method)
+                        .tiling(tiling)
+                        .stride(1)
+                        .select(sel),
+                )
+            }),
+        )
     };
     parallel_sweep(
         "fig5h",
@@ -1244,10 +1142,7 @@ pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
         max_cores,
         n,
         n,
-        vec![
-            ("our", Box::new(run(true))),
-            ("scalar", Box::new(run(false))),
-        ],
+        vec![mk(Method::Temporal), mk(Method::Scalar)],
     )
 }
 
@@ -1255,58 +1150,59 @@ pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
 // Ablations
 // ---------------------------------------------------------------------
 
-/// §3.3/§3.5 reorganization-instruction budgets, measured with the
-/// counting kernels: the temporal scheme's constant per-output-vector
-/// cost versus the data-reorganization baseline.
+/// §3.3/§3.5 reorganization-instruction budgets, measured through plan
+/// reports (`PlanBuilder::count_reorg`): the temporal scheme's constant
+/// per-output-vector cost versus the data-reorganization baseline. The
+/// batched-top variant keeps its direct counted engine call (it is an
+/// engine ablation, not a plan method).
 pub fn ablate_reorg() -> String {
+    use tempora_core::kernels::JacobiKern1d;
     use tempora_simd::count;
     let c = Heat1dCoeffs::classic(0.25);
-    let g = grid1(1 << 14);
+    let n = 1 << 14;
     let mut out = String::new();
     out.push_str("# ablate-reorg — data-reorganization ops per output vector (1D3P, vl=4)\n");
     out.push_str(&format!(
         "{:<28}{:>10}{:>12}{:>10}{:>10}\n",
         "scheme", "in-lane", "cross-lane", "total", "gathers"
     ));
-    {
-        let sess = count::Session::start();
-        let _ = t1d::run_counted::<4, _>(&g, &JacobiKern1d(c), 4, 7);
-        let k = sess.finish();
+    let mut line = |name: &str, k: count::Counts| {
         out.push_str(&format!(
             "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
-            "temporal (ours)",
+            name,
             k.in_lane_per_output(),
             k.cross_lane_per_output(),
             k.reorg_per_output(),
             k.gather,
         ));
-    }
+    };
+    let counted = |method: Method| -> count::Counts {
+        let problem = Problem::heat1d(n, 4, c);
+        let mut plan = PlanBuilder::new()
+            .method(method)
+            .stride(7)
+            .select(Select::Portable)
+            .count_reorg(true)
+            .build(&problem)
+            .expect("counting configuration is valid");
+        let mut state = problem.state();
+        fill_state(&mut state);
+        plan.run(&mut state)
+            .expect("state matches plan")
+            .reorg
+            .expect("count_reorg plans report counts")
+    };
+    line("temporal (ours)", counted(Method::Temporal));
     {
+        // Batched top/bottom vectors: an engine-level ablation of the
+        // same schedule, counted directly.
+        let mut g = tempora_grid::Grid1::new(n, 1, tempora_grid::Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g, SEED, -1.0, 1.0);
         let sess = count::Session::start();
         let _ = t1d::run_batched_counted::<4, _>(&g, &JacobiKern1d(c), 4, 7);
-        let k = sess.finish();
-        out.push_str(&format!(
-            "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
-            "temporal, batched tops",
-            k.in_lane_per_output(),
-            k.cross_lane_per_output(),
-            k.reorg_per_output(),
-            k.gather,
-        ));
+        line("temporal, batched tops", sess.finish());
     }
-    {
-        let sess = count::Session::start();
-        let _ = reorg::heat1d_counted(&g, c, 4);
-        let k = sess.finish();
-        out.push_str(&format!(
-            "{:<28}{:>10.3}{:>12.3}{:>10.3}{:>10}\n",
-            "data-reorganization",
-            k.in_lane_per_output(),
-            k.cross_lane_per_output(),
-            k.reorg_per_output(),
-            k.gather,
-        ));
-    }
+    line("data-reorganization", counted(Method::Reorg));
     out.push_str(
         "\npaper's analysis: temporal = 1 rotate (cross-lane) + 1 blend (in-lane)\n\
          per output vector, independent of vl, order and dimension; the\n\
@@ -1322,14 +1218,17 @@ pub fn ablate_reorg() -> String {
 pub fn ablate_stride(scale: usize) -> Figure {
     let n = ((1usize << 20) / scale.max(1)).max(1 << 12);
     let c = Heat1dCoeffs::classic(0.25);
-    let kern = JacobiKern1d(c);
     let sel = Select::from_env();
-    let g = grid1(n);
     let steps = choose_steps(n, SEQ_BUDGET, 8, 4096);
+    let problem = Problem::heat1d(n, steps, c);
     let mut pts = vec![];
     let mut eng = None;
     for s in 2..=8 {
-        let smp = Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, s));
+        let smp = plan_sample(
+            &problem,
+            PlanBuilder::new().stride(s).select(sel),
+            &fill_state,
+        );
         eng = smp.engine.map(str::to_string);
         pts.push((s as f64, gstencils(n, steps, smp.secs)));
     }
@@ -1345,12 +1244,19 @@ pub fn ablate_stride(scale: usize) -> Figure {
     }
 }
 
-/// §2.2 baseline comparison: all five sequential schemes on Heat-1D.
+/// §2.2 baseline comparison: all five sequential schemes on Heat-1D,
+/// each as a plan method.
 pub fn ablate_baselines(scale: usize) -> Figure {
     let hi = if scale <= 2 { 22 } else { 19 };
     let c = Heat1dCoeffs::classic(0.25);
-    let kern = JacobiKern1d(c);
     let sel = Select::from_env();
+    let schemes: [(&'static str, PlanBuilder); 5] = [
+        ("our", PlanBuilder::new().stride(7).select(sel)),
+        ("multiload", PlanBuilder::new().method(Method::Multiload)),
+        ("reorg", PlanBuilder::new().method(Method::Reorg)),
+        ("dlt", PlanBuilder::new().method(Method::Dlt)),
+        ("scalar", PlanBuilder::new().method(Method::Scalar)),
+    ];
     seq_sweep(
         "ablate-baselines",
         "All vectorization schemes (Heat-1D sequential)",
@@ -1358,51 +1264,15 @@ pub fn ablate_baselines(scale: usize) -> Figure {
         &pow2_sizes(10, hi),
         |n| (n as f64).log2(),
         |n| n,
-        vec![
-            (
-                "our",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::dispatched(|| engine::run_heat1d(sel, &g, &kern, steps, 7))
-                }),
-            ),
-            (
-                "multiload",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(multiload::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "reorg",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reorg::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "dlt",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(dlt::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-            (
-                "scalar",
-                Box::new(move |n, steps| {
-                    let g = grid1(n);
-                    Sample::plain(time_stable(|| {
-                        std::hint::black_box(reference::heat1d(&g, c, steps));
-                    }))
-                }),
-            ),
-        ],
+        schemes
+            .into_iter()
+            .map(|(label, b)| -> SeqRun<'_> {
+                (
+                    label,
+                    Box::new(move |n, steps| (Problem::heat1d(n, steps, c), b)),
+                )
+            })
+            .collect(),
         16384,
     )
 }
@@ -1487,6 +1357,41 @@ mod tests {
         // per output vector.
         let line = r.lines().find(|l| l.starts_with("temporal")).unwrap();
         assert!(line.contains("1.000"), "{line}");
+    }
+
+    #[test]
+    fn plan_sample_reports_engine_for_temporal_only() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let problem = Problem::heat1d(512, 8, c);
+        let our = plan_sample(&problem, PlanBuilder::new().stride(7), &fill_state);
+        assert!(our.engine.is_some());
+        let scalar = plan_sample(
+            &problem,
+            PlanBuilder::new().method(Method::Scalar),
+            &fill_state,
+        );
+        assert!(scalar.engine.is_none());
+    }
+
+    #[test]
+    fn lcs_series_report_portable_engine() {
+        // fig5g/fig5h regression: the LCS temporal series must carry the
+        // resolved engine like every other dispatched series.
+        let problem = Problem::lcs(128, 128);
+        let seq = plan_sample(&problem, PlanBuilder::new().stride(1), &fill_state);
+        assert_eq!(seq.engine, Some("portable"));
+        let par = plan_sample(
+            &problem,
+            PlanBuilder::new()
+                .stride(1)
+                .tiling(Tiling::LcsRect {
+                    xblock: 32,
+                    yblock: 32,
+                })
+                .threads(2),
+            &fill_state,
+        );
+        assert_eq!(par.engine, Some("portable"));
     }
 
     #[test]

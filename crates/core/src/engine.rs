@@ -2,10 +2,14 @@
 //! the portable pack steady state or the hand-scheduled `std::arch` AVX2
 //! steady state runs.
 //!
-//! Every `run_*` entry point here returns the result **and** the
-//! [`Engine`] that actually executed, so callers (the bench harness in
-//! particular) can report honestly which instruction mix was measured.
-//! The selection policy is a three-valued [`Select`]:
+//! The preferred entry point is the `tempora_plan` crate's
+//! `Problem → PlanBuilder → Plan → Report` lifecycle, which resolves the
+//! selection once per plan and reuses scratch across runs; the one-shot
+//! `run_*` wrappers here are kept as `#[deprecated]` shims for one
+//! release. Every entry point returns the result **and** the [`Engine`]
+//! that actually executed, so callers (the bench harness in particular)
+//! can report honestly which instruction mix was measured. The selection
+//! policy is a three-valued [`Select`]:
 //!
 //! * [`Select::Auto`] (the default) — AVX2+FMA steady state whenever the
 //!   CPU supports it and the workload has one, portable otherwise;
@@ -140,13 +144,17 @@ impl Engine {
 /// scalar schedule in *every* engine, so dispatch resolves them portable
 /// — the returned [`Engine`] must name the steady state that executes,
 /// not the one that was asked for.
-fn shape_has_vector_tiles(n_outer: usize, steps: usize, s: usize) -> bool {
+pub fn shape_has_vector_tiles(n_outer: usize, steps: usize, s: usize) -> bool {
     steps >= 4 && n_outer >= 4 * s
 }
 
 /// Run Heat-1D (1D3P Jacobi) under `sel`; returns the final grid and the
 /// engine that executed. The AVX2 ring is register-resident and capped at
 /// stride [`crate::t1d_avx2::MAX_STRIDE`]; wider strides resolve portable.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_heat1d(
     sel: Select,
     grid: &Grid1<f64>,
@@ -154,7 +162,20 @@ pub fn run_heat1d(
     steps: usize,
     s: usize,
 ) -> (Grid1<f64>, Engine) {
-    let has_impl = s <= crate::t1d_avx2::MAX_STRIDE && shape_has_vector_tiles(grid.n(), steps, s);
+    run_heat1d_impl(sel, grid, kern, steps, s)
+}
+
+/// Shared Heat-1D dispatch body, so the deprecated shim and the
+/// non-deprecated crate-root convenience (`temporal1d_jacobi`) cannot
+/// drift apart.
+pub(crate) fn run_heat1d_impl(
+    sel: Select,
+    grid: &Grid1<f64>,
+    kern: &JacobiKern1d,
+    steps: usize,
+    s: usize,
+) -> (Grid1<f64>, Engine) {
+    let has_impl = JacobiKern1d::avx2_tile(s) && shape_has_vector_tiles(grid.n(), steps, s);
     match sel.resolve(has_impl) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
@@ -169,6 +190,10 @@ pub fn run_heat1d(
 
 /// Run GS-1D (1D3P Gauss-Seidel) under `sel`; returns the final grid and
 /// the engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_gs1d(
     sel: Select,
     grid: &Grid1<f64>,
@@ -176,7 +201,18 @@ pub fn run_gs1d(
     steps: usize,
     s: usize,
 ) -> (Grid1<f64>, Engine) {
-    let has_impl = s <= crate::t1d_avx2::MAX_STRIDE && shape_has_vector_tiles(grid.n(), steps, s);
+    run_gs1d_impl(sel, grid, kern, steps, s)
+}
+
+/// Shared GS-1D dispatch body (see [`run_heat1d_impl`]).
+pub(crate) fn run_gs1d_impl(
+    sel: Select,
+    grid: &Grid1<f64>,
+    kern: &GsKern1d,
+    steps: usize,
+    s: usize,
+) -> (Grid1<f64>, Engine) {
+    let has_impl = GsKern1d::avx2_tile(s) && shape_has_vector_tiles(grid.n(), steps, s);
     match sel.resolve(has_impl) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
@@ -191,6 +227,10 @@ pub fn run_gs1d(
 
 /// Run Heat-2D (2D5P Jacobi) under `sel`; returns the final grid and the
 /// engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_heat2d(
     sel: Select,
     grid: &Grid2<f64>,
@@ -215,6 +255,10 @@ pub fn run_heat2d(
 
 /// Run 2D9P (box Jacobi) under `sel`; returns the final grid and the
 /// engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_box2d(
     sel: Select,
     grid: &Grid2<f64>,
@@ -239,6 +283,10 @@ pub fn run_box2d(
 
 /// Run GS-2D (2D5P Gauss-Seidel) under `sel`; returns the final grid and
 /// the engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_gs2d(
     sel: Select,
     grid: &Grid2<f64>,
@@ -264,6 +312,10 @@ pub fn run_gs2d(
 /// Run Game-of-Life (integer 2D9P, 8 lanes) under `sel`. No AVX2 integer
 /// steady state exists yet, so every selection resolves to the portable
 /// engine (reported honestly).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_life(
     sel: Select,
     grid: &Grid2<i32>,
@@ -278,6 +330,10 @@ pub fn run_life(
 
 /// Run Heat-3D (3D7P Jacobi) under `sel`; returns the final grid and the
 /// engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_heat3d(
     sel: Select,
     grid: &Grid3<f64>,
@@ -302,6 +358,10 @@ pub fn run_heat3d(
 
 /// Run GS-3D (3D7P Gauss-Seidel) under `sel`; returns the final grid and
 /// the engine that executed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_gs3d(
     sel: Select,
     grid: &Grid3<f64>,
@@ -326,6 +386,10 @@ pub fn run_gs3d(
 
 /// Run the LCS length DP under `sel`. The `i32×8` LCS kernel has no AVX2
 /// steady state yet, so every selection resolves to portable.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_lcs(sel: Select, a: &[u8], b: &[u8], s: usize) -> (i32, Engine) {
     let engine = sel.resolve(false);
     debug_assert_eq!(engine, Engine::Portable);
@@ -591,6 +655,7 @@ impl Avx2Exec3d for GsKern3d {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tempora_grid::{fill_random_1d, Boundary};

@@ -53,7 +53,7 @@ use tempora_stencil::{Gs1dCoeffs, Heat1dCoeffs};
 /// `s = 7`), dispatched to the best engine for this CPU (respecting
 /// `TEMPORA_ENGINE`). Bit-identical to `tempora_stencil::reference::heat1d`.
 pub fn temporal1d_jacobi(g: &Grid1<f64>, c: Heat1dCoeffs, steps: usize, s: usize) -> Grid1<f64> {
-    engine::run_heat1d(
+    engine::run_heat1d_impl(
         engine::Select::from_env(),
         g,
         &kernels::JacobiKern1d(c),
@@ -68,7 +68,7 @@ pub fn temporal1d_jacobi(g: &Grid1<f64>, c: Heat1dCoeffs, steps: usize, s: usize
 /// the best engine for this CPU (respecting `TEMPORA_ENGINE`).
 /// Bit-identical to `tempora_stencil::reference::gs1d`.
 pub fn temporal1d_gs(g: &Grid1<f64>, c: Gs1dCoeffs, steps: usize, s: usize) -> Grid1<f64> {
-    engine::run_gs1d(
+    engine::run_gs1d_impl(
         engine::Select::from_env(),
         g,
         &kernels::GsKern1d(c),

@@ -241,12 +241,17 @@ pub fn run_gs1d_avx2(grid: &Grid1<f64>, kern: &GsKern1d, steps: usize, s: usize)
 ///
 /// Thin wrapper over [`crate::engine::run_heat1d`] with
 /// [`crate::engine::Select::Auto`] (kept for API compatibility).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
+)]
 pub fn run_heat1d_auto(
     grid: &Grid1<f64>,
     kern: &JacobiKern1d,
     steps: usize,
     s: usize,
 ) -> Grid1<f64> {
+    #[allow(deprecated)]
     crate::engine::run_heat1d(crate::engine::Select::Auto, grid, kern, steps, s).0
 }
 
@@ -313,6 +318,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn auto_dispatch_matches_portable() {
         let c = Heat1dCoeffs::new(0.3, 0.45, 0.25);
         let kern = JacobiKern1d(c);

@@ -7,11 +7,30 @@
 
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use tempora_simd::Scalar;
 
 /// Cache-line alignment used for every grid allocation (bytes).
 pub const GRID_ALIGN: usize = 64;
+
+/// Process-wide count of non-empty [`AlignedBuf`] allocations.
+///
+/// Every grid, tile buffer and aligned arena in the workspace allocates
+/// through [`AlignedBuf::zeroed`], so the counter is a cheap way to prove
+/// a hot path is allocation-free: snapshot it with [`alloc_count`] before
+/// and after the path and assert the delta is zero. Monotonic; never
+/// decremented on drop.
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide [`AlignedBuf`] allocation counter.
+///
+/// The counter is monotonic, so `alloc_count() - before` is the number of
+/// aligned-buffer allocations performed since the `before` snapshot
+/// (across all threads).
+pub fn alloc_count() -> u64 {
+    ALLOC_COUNT.load(Ordering::Relaxed)
+}
 
 /// An owned, fixed-length, 64-byte aligned buffer of `T`.
 ///
@@ -38,6 +57,7 @@ impl<T: Scalar> AlignedBuf<T> {
                 len: 0,
             };
         }
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > 0) and valid alignment.
         let raw = unsafe { alloc_zeroed(layout) } as *mut T;
@@ -145,6 +165,18 @@ mod tests {
         assert!(b.is_empty());
         let c = b.clone();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn alloc_counter_tracks_nonempty_allocations() {
+        // The counter is process-global and sibling tests allocate
+        // concurrently, so assert a lower bound: our three allocations
+        // must all have been counted.
+        let before = alloc_count();
+        let _a = AlignedBuf::<f64>::zeroed(8);
+        let _b = AlignedBuf::<i32>::filled(5, 1);
+        let _c = _a.clone();
+        assert!(alloc_count() - before >= 3);
     }
 
     #[test]

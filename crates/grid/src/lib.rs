@@ -25,7 +25,7 @@ pub mod grid1;
 pub mod grid2;
 pub mod grid3;
 
-pub use alloc::{AlignedBuf, GRID_ALIGN};
+pub use alloc::{alloc_count, AlignedBuf, GRID_ALIGN};
 pub use grid1::Grid1;
 pub use grid2::Grid2;
 pub use grid3::Grid3;

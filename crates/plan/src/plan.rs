@@ -1,0 +1,930 @@
+//! [`PlanBuilder`] → [`Plan`] → [`Report`]: compile a [`Problem`] into a
+//! reusable execution plan.
+
+use crate::exec::{
+    Dlt1d, Exec, GhostExec1d, GhostExec2d, GhostExec3d, Multiload1d, Multiload2d, Multiload3d,
+    RectLcs, Reorg1d, Scalar1d, Scalar2d, Scalar3d, Scratch2, SeqLcs, SkewExec1d, SkewExec2d,
+    SkewExec3d, Temporal1d, Temporal2d, Temporal3d,
+};
+use crate::{PlanError, Problem, State};
+use tempora_core::engine::{
+    shape_has_vector_tiles, Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select,
+};
+use tempora_core::kernels::{
+    BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, Kernel1d,
+    Kernel2d, Kernel3d, LifeKern2d,
+};
+use tempora_core::{lcs, t1d, t2d, t3d};
+use tempora_grid::{Boundary, Grid2, Grid3};
+use tempora_parallel::Pool;
+use tempora_simd::count;
+use tempora_simd::Scalar;
+use tempora_tiling::{
+    ghost, GhostJacobi1d, GhostJacobi2d, GhostJacobi3d, LcsRect, SkewGs1d, SkewGs2d, SkewGs3d,
+};
+
+/// The vectorization scheme a plan executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Method {
+    /// The paper's temporal vectorization (the "our" curves).
+    #[default]
+    Temporal,
+    /// Spatial multi-load vectorization (the "auto" curves); illegal for
+    /// Gauss-Seidel stencils and the LCS wavefront.
+    Multiload,
+    /// The data-reorganization baseline (§2.2), Heat-1D only. One-shot by
+    /// design — rebuilds its transposed layout per run.
+    Reorg,
+    /// The dimension-lifted-transpose baseline (§2.2), Heat-1D only.
+    /// One-shot by design.
+    Dlt,
+    /// The scalar reference sweep.
+    Scalar,
+}
+
+/// The time-space tiling a plan wraps around the method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Tiling {
+    /// No tiling: the sequential engine on one worker.
+    #[default]
+    None,
+    /// Overlapped (ghost-zone) band tiling — Jacobi stencils only.
+    Ghost {
+        /// Interior cells per tile along the outer dimension.
+        block: usize,
+        /// Time levels per band (a positive multiple of the vector
+        /// length).
+        height: usize,
+    },
+    /// Parallelogram (time-skewed) tiling with pipelined wavefronts —
+    /// Gauss-Seidel stencils only.
+    Skew {
+        /// Anchor columns per skewed block.
+        block: usize,
+        /// Time levels per band (a positive multiple of 4).
+        height: usize,
+    },
+    /// Rectangle tiling with pipelined wavefronts — LCS only.
+    LcsRect {
+        /// DP rows per rectangle.
+        xblock: usize,
+        /// DP columns per rectangle.
+        yblock: usize,
+    },
+}
+
+/// Tile geometry a plan resolved (for tiled plans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileGeometry {
+    /// Tiles per band (ghost), skewed blocks per band (skew), or
+    /// rectangles per wavefront sweep (LCS).
+    pub tiles: usize,
+    /// Block extent along the outer dimension (`xblock` — DP rows per
+    /// rectangle — for LCS).
+    pub block: usize,
+    /// Time levels per band (`yblock` — DP columns per rectangle — for
+    /// LCS).
+    pub height: usize,
+}
+
+/// What one [`Plan::run`] call did: the resolved engine, the work
+/// executed, and optional instrumentation.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The steady state that executed, for dispatched (temporal) methods:
+    /// `Some(Engine::Avx2)` or `Some(Engine::Portable)`; `None` for
+    /// non-dispatched methods (scalar, multi-load, baselines).
+    pub engine: Option<Engine>,
+    /// Time steps advanced (DP rows for LCS).
+    pub steps: usize,
+    /// Worker threads the plan's pool runs.
+    pub threads: usize,
+    /// Tile geometry, for tiled plans.
+    pub tiles: Option<TileGeometry>,
+    /// Reorganization-op counts of this run, when the plan was built with
+    /// [`PlanBuilder::count_reorg`].
+    pub reorg: Option<count::Counts>,
+    /// The LCS length, for LCS problems.
+    pub lcs_length: Option<i32>,
+}
+
+/// Builder for a [`Plan`]: method, tiling, engine selection, worker
+/// count, temporal stride and optional instrumentation. Every invalid
+/// combination is reported as a [`PlanError`] by [`PlanBuilder::build`] —
+/// no panics, no silent fallbacks beyond the documented engine-resolution
+/// ones.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanBuilder {
+    method: Method,
+    tiling: Tiling,
+    select: Select,
+    threads: Option<usize>,
+    stride: Option<usize>,
+    count_reorg: bool,
+}
+
+impl PlanBuilder {
+    /// A builder with the defaults: temporal method, no tiling,
+    /// [`Select::Auto`], one thread, per-kind default stride.
+    pub fn new() -> PlanBuilder {
+        PlanBuilder::default()
+    }
+
+    /// Set the vectorization method.
+    pub fn method(mut self, method: Method) -> PlanBuilder {
+        self.method = method;
+        self
+    }
+
+    /// Set the time-space tiling.
+    pub fn tiling(mut self, tiling: Tiling) -> PlanBuilder {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Set the engine selection policy (default [`Select::Auto`]; use
+    /// [`Select::from_env`] to honour `TEMPORA_ENGINE`).
+    pub fn select(mut self, select: Select) -> PlanBuilder {
+        self.select = select;
+        self
+    }
+
+    /// Set the worker-thread count (default 1). More than one thread
+    /// requires a tiling scheme.
+    pub fn threads(mut self, threads: usize) -> PlanBuilder {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Set the temporal space stride `s` (default: the paper's values —
+    /// 7 in 1-D, 2 in 2-D/3-D, 1 for LCS).
+    pub fn stride(mut self, stride: usize) -> PlanBuilder {
+        self.stride = Some(stride);
+        self
+    }
+
+    /// Record data-reorganization operation counts in each run's
+    /// [`Report`]. Only the instrumented paths support this: 1-D temporal
+    /// under [`Select::Portable`] without tiling, and the reorg baseline.
+    pub fn count_reorg(mut self, on: bool) -> PlanBuilder {
+        self.count_reorg = on;
+        self
+    }
+
+    /// Default temporal stride per problem kind (the paper's choices).
+    fn default_stride(problem: &Problem) -> usize {
+        match problem {
+            Problem::Heat1d { .. } | Problem::Gs1d { .. } => 7,
+            Problem::Lcs { .. } => 1,
+            _ => 2,
+        }
+    }
+
+    /// Compile `problem` into a [`Plan`]: validate the configuration,
+    /// resolve the engine and tile geometry once, and allocate the thread
+    /// pool and every scratch arena the execution will need.
+    ///
+    /// # Errors
+    /// Any invalid configuration returns a descriptive [`PlanError`];
+    /// see the variants for the catalogue. Degenerate-but-legal
+    /// geometries (interiors below `VL·s`, workloads without an AVX2
+    /// steady state) are *not* errors: they build fine and honestly
+    /// resolve to the portable engine.
+    pub fn build(&self, problem: &Problem) -> Result<Plan, PlanError> {
+        let threads = self.threads.unwrap_or(1);
+        if threads == 0 {
+            return Err(PlanError::ZeroThreads);
+        }
+        if matches!(self.tiling, Tiling::None) && threads > 1 {
+            return Err(PlanError::ThreadsRequireTiling { threads });
+        }
+        if problem.extents().contains(&0) && !matches!(problem, Problem::Lcs { .. }) {
+            return Err(PlanError::EmptyDomain);
+        }
+        if self.select == Select::Avx2 && !tempora_simd::arch::avx2_available() {
+            return Err(PlanError::Avx2Unavailable);
+        }
+        let s = match self.stride {
+            Some(0) => return Err(PlanError::ZeroStride),
+            Some(s) => s,
+            None => Self::default_stride(problem),
+        };
+        self.check_method(problem)?;
+        self.check_tiling(problem, s)?;
+        self.check_count(problem)?;
+
+        let (exec, engine, tiles) = self.build_exec(problem, s)?;
+        Ok(Plan {
+            problem: *problem,
+            method: self.method,
+            tiling: self.tiling,
+            engine,
+            tiles,
+            threads,
+            count_reorg: self.count_reorg,
+            pool: Pool::new(threads),
+            exec,
+        })
+    }
+
+    /// Method × problem legality.
+    fn check_method(&self, problem: &Problem) -> Result<(), PlanError> {
+        let reject = |why| {
+            Err(PlanError::MethodUnsupported {
+                method: self.method,
+                problem: problem.kind_name(),
+                why,
+            })
+        };
+        match self.method {
+            Method::Multiload if problem.is_gauss_seidel() => {
+                reject("spatial auto-vectorization of Gauss-Seidel loops is illegal (loop-carried dependence)")
+            }
+            Method::Multiload if matches!(problem, Problem::Lcs { .. }) => {
+                reject("the LCS wavefront has no spatial multi-load form")
+            }
+            Method::Reorg | Method::Dlt if !matches!(problem, Problem::Heat1d { .. }) => {
+                reject("this baseline is implemented for Heat-1D only")
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Tiling × problem/method legality plus tile-geometry checks.
+    fn check_tiling(&self, problem: &Problem, s: usize) -> Result<(), PlanError> {
+        let reject = |why| {
+            Err(PlanError::TilingUnsupported {
+                tiling: self.tiling,
+                problem: problem.kind_name(),
+                why,
+            })
+        };
+        let is_jacobi_grid = matches!(
+            problem,
+            Problem::Heat1d { .. }
+                | Problem::Heat2d { .. }
+                | Problem::Box2d { .. }
+                | Problem::Life { .. }
+                | Problem::Heat3d { .. }
+        );
+        match self.tiling {
+            Tiling::None => Ok(()),
+            Tiling::Ghost { block, height } => {
+                if !is_jacobi_grid {
+                    return reject("ghost-zone tiling applies to Jacobi stencils only");
+                }
+                if matches!(self.method, Method::Reorg | Method::Dlt) {
+                    return Err(PlanError::MethodUnsupported {
+                        method: self.method,
+                        problem: problem.kind_name(),
+                        why: "the reorg/DLT baselines have no tiled form",
+                    });
+                }
+                if block == 0 {
+                    return Err(PlanError::ZeroTileExtent);
+                }
+                let vl = if matches!(problem, Problem::Life { .. }) {
+                    8
+                } else {
+                    4
+                };
+                if height < vl || height % vl != 0 {
+                    return Err(PlanError::BadTileHeight { height, vl });
+                }
+                Ok(())
+            }
+            Tiling::Skew { block, height } => {
+                if !problem.is_gauss_seidel() {
+                    return reject(
+                        "skewed (parallelogram) tiling applies to Gauss-Seidel stencils only",
+                    );
+                }
+                if matches!(self.method, Method::Reorg | Method::Dlt) {
+                    return Err(PlanError::MethodUnsupported {
+                        method: self.method,
+                        problem: problem.kind_name(),
+                        why: "the reorg/DLT baselines have no tiled form",
+                    });
+                }
+                if block == 0 {
+                    return Err(PlanError::ZeroTileExtent);
+                }
+                const VL: usize = 4;
+                if height < VL || height % VL != 0 {
+                    return Err(PlanError::BadTileHeight { height, vl: VL });
+                }
+                // Wave disjointness: a tile touches block ± one block only
+                // when blocks are at least height + VL·s + VL wide (scalar
+                // bands reach back `height` columns: stride 0).
+                let s_eff = if self.method == Method::Temporal {
+                    s
+                } else {
+                    0
+                };
+                let min = height + VL * s_eff + VL;
+                if block < min {
+                    return Err(PlanError::BlockTooNarrow { block, min });
+                }
+                Ok(())
+            }
+            Tiling::LcsRect { xblock, yblock } => {
+                if !matches!(problem, Problem::Lcs { .. }) {
+                    return reject("rectangle tiling applies to the LCS wavefront only");
+                }
+                if xblock == 0 || yblock == 0 {
+                    return Err(PlanError::ZeroTileExtent);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reorg-op counting support.
+    fn check_count(&self, problem: &Problem) -> Result<(), PlanError> {
+        if !self.count_reorg {
+            return Ok(());
+        }
+        match self.method {
+            Method::Reorg => Ok(()),
+            Method::Temporal => {
+                if !matches!(problem, Problem::Heat1d { .. } | Problem::Gs1d { .. }) {
+                    Err(PlanError::CountUnsupported {
+                        why: "only the 1-D temporal engine is instrumented",
+                    })
+                } else if !matches!(self.tiling, Tiling::None) {
+                    Err(PlanError::CountUnsupported {
+                        why: "tiled runs are not instrumented",
+                    })
+                } else if self.select != Select::Portable {
+                    Err(PlanError::CountUnsupported {
+                        why: "counting requires Select::Portable (the AVX2 steady state is not instrumented)",
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Err(PlanError::CountUnsupported {
+                why: "this method has no instrumented form",
+            }),
+        }
+    }
+
+    /// Stride legality for the temporal method (spatial methods ignore
+    /// the stride entirely).
+    fn check_stride_1d<K: Kernel1d>(&self, s: usize) -> Result<(), PlanError> {
+        if self.method != Method::Temporal {
+            return Ok(());
+        }
+        if s < K::MIN_STRIDE {
+            return Err(PlanError::StrideTooSmall {
+                stride: s,
+                min: K::MIN_STRIDE,
+            });
+        }
+        if s >= t1d::RING_CAP {
+            return Err(PlanError::StrideTooLarge {
+                stride: s,
+                max: t1d::RING_CAP - 1,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_stride_min(&self, s: usize, min: usize) -> Result<(), PlanError> {
+        if self.method == Method::Temporal && s < min {
+            return Err(PlanError::StrideTooSmall { stride: s, min });
+        }
+        Ok(())
+    }
+
+    /// Construct the executor, resolved engine and tile geometry.
+    #[allow(clippy::type_complexity)]
+    fn build_exec(
+        &self,
+        problem: &Problem,
+        s: usize,
+    ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError> {
+        match *problem {
+            Problem::Heat1d {
+                n, steps, coeffs, ..
+            } => {
+                self.check_stride_1d::<JacobiKern1d>(s)?;
+                match self.method {
+                    Method::Reorg => Ok((
+                        Box::new(Reorg1d {
+                            coeffs,
+                            steps,
+                            counted: self.count_reorg,
+                        }),
+                        None,
+                        None,
+                    )),
+                    Method::Dlt => Ok((Box::new(Dlt1d { coeffs, steps }), None, None)),
+                    _ => self.plan_1d(JacobiKern1d(coeffs), n, steps, s),
+                }
+            }
+            Problem::Gs1d {
+                n, steps, coeffs, ..
+            } => {
+                self.check_stride_1d::<GsKern1d>(s)?;
+                self.plan_1d(GsKern1d(coeffs), n, steps, s)
+            }
+            Problem::Heat2d {
+                nx,
+                ny,
+                steps,
+                coeffs,
+                boundary,
+            } => {
+                self.check_stride_min(s, JacobiKern2d::MIN_STRIDE)?;
+                self.plan_2d::<f64, 4, _>(JacobiKern2d(coeffs), nx, ny, boundary, steps, s)
+            }
+            Problem::Box2d {
+                nx,
+                ny,
+                steps,
+                coeffs,
+                boundary,
+            } => {
+                self.check_stride_min(s, BoxKern2d::MIN_STRIDE)?;
+                self.plan_2d::<f64, 4, _>(BoxKern2d(coeffs), nx, ny, boundary, steps, s)
+            }
+            Problem::Gs2d {
+                nx,
+                ny,
+                steps,
+                coeffs,
+                boundary,
+            } => {
+                self.check_stride_min(s, GsKern2d::MIN_STRIDE)?;
+                if let Tiling::Skew { block, height } = self.tiling {
+                    // The 2-D skew workspace is f64-only; reached here for
+                    // the one 2-D Gauss-Seidel kernel.
+                    let mode = self.skew_mode(s);
+                    let w = SkewGs2d::new(
+                        GsKern2d(coeffs),
+                        nx,
+                        ny,
+                        steps,
+                        block,
+                        height,
+                        mode,
+                        self.select,
+                    );
+                    let engine = w.engine();
+                    let tiles = w.blocks();
+                    Ok((
+                        Box::new(SkewExec2d(w)),
+                        engine,
+                        Some(TileGeometry {
+                            tiles,
+                            block,
+                            height,
+                        }),
+                    ))
+                } else {
+                    self.plan_2d::<f64, 4, _>(GsKern2d(coeffs), nx, ny, boundary, steps, s)
+                }
+            }
+            Problem::Life {
+                nx,
+                ny,
+                steps,
+                rule,
+                boundary,
+            } => {
+                self.check_stride_min(s, LifeKern2d::MIN_STRIDE)?;
+                self.plan_2d::<i32, 8, _>(LifeKern2d(rule), nx, ny, boundary, steps, s)
+            }
+            Problem::Heat3d {
+                nx,
+                ny,
+                nz,
+                steps,
+                coeffs,
+                boundary,
+            } => {
+                self.check_stride_min(s, JacobiKern3d::MIN_STRIDE)?;
+                self.plan_3d(JacobiKern3d(coeffs), nx, ny, nz, boundary, steps, s)
+            }
+            Problem::Gs3d {
+                nx,
+                ny,
+                nz,
+                steps,
+                coeffs,
+                boundary,
+            } => {
+                self.check_stride_min(s, GsKern3d::MIN_STRIDE)?;
+                self.plan_3d(GsKern3d(coeffs), nx, ny, nz, boundary, steps, s)
+            }
+            Problem::Lcs { la, lb } => self.plan_lcs(la, lb, s),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn plan_1d<K: Avx2Exec1d + Copy + Send + 'static>(
+        &self,
+        kern: K,
+        n: usize,
+        steps: usize,
+        s: usize,
+    ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError> {
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Temporal => {
+                    let has = K::avx2_tile(s) && shape_has_vector_tiles(n, steps, s);
+                    let engine = self.select.resolve(has);
+                    Ok((
+                        Box::new(Temporal1d {
+                            kern,
+                            steps,
+                            s,
+                            avx2: engine == Engine::Avx2,
+                            counted: self.count_reorg,
+                            scratch: t1d::Scratch1d::new(s),
+                        }),
+                        Some(engine),
+                        None,
+                    ))
+                }
+                Method::Multiload => Ok((
+                    Box::new(Multiload1d {
+                        kern,
+                        steps,
+                        tmp: vec![0.0; n + 2],
+                    }),
+                    None,
+                    None,
+                )),
+                Method::Scalar => Ok((Box::new(Scalar1d { kern, steps }), None, None)),
+                Method::Reorg | Method::Dlt => unreachable!("handled per-problem"),
+            },
+            Tiling::Ghost { block, height } => {
+                let mode = self.ghost_mode(s);
+                let w = GhostJacobi1d::new(kern, n, steps, block, height, mode, self.select);
+                let engine = w.engine();
+                let tiles = w.tiles();
+                Ok((
+                    Box::new(GhostExec1d(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles,
+                        block,
+                        height,
+                    }),
+                ))
+            }
+            Tiling::Skew { block, height } => {
+                let mode = self.skew_mode(s);
+                let w = SkewGs1d::new(kern, n, steps, block, height, mode, self.select);
+                let engine = w.engine();
+                let tiles = w.blocks();
+                Ok((
+                    Box::new(SkewExec1d(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles,
+                        block,
+                        height,
+                    }),
+                ))
+            }
+            Tiling::LcsRect { .. } => unreachable!("validated: LcsRect is LCS-only"),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn plan_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy + Send + 'static>(
+        &self,
+        kern: K,
+        nx: usize,
+        ny: usize,
+        bc: Boundary<T>,
+        steps: usize,
+        s: usize,
+    ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError>
+    where
+        Grid2<T>: crate::exec::StateGrid,
+    {
+        let rows = || (vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]);
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Temporal => {
+                    let has = K::avx2_tile(VL, s) && shape_has_vector_tiles(nx, steps, s);
+                    let engine = self.select.resolve(has);
+                    let scratch = if engine == Engine::Avx2 {
+                        Scratch2::Avx2(t2d::Scratch2d::new(s, ny))
+                    } else {
+                        Scratch2::Portable(t2d::Scratch2d::new(s, ny))
+                    };
+                    Ok((
+                        Box::new(Temporal2d::<T, VL, K> {
+                            kern,
+                            steps,
+                            s,
+                            scratch,
+                            rem_rows: rows(),
+                        }),
+                        Some(engine),
+                        None,
+                    ))
+                }
+                Method::Multiload => Ok((
+                    Box::new(Multiload2d {
+                        kern,
+                        steps,
+                        tmp: Grid2::new(nx, ny, 1, bc),
+                    }),
+                    None,
+                    None,
+                )),
+                Method::Scalar => Ok((
+                    Box::new(Scalar2d {
+                        kern,
+                        steps,
+                        rows: rows(),
+                    }),
+                    None,
+                    None,
+                )),
+                Method::Reorg | Method::Dlt => unreachable!("handled per-problem"),
+            },
+            Tiling::Ghost { block, height } => {
+                let mode = self.ghost_mode(s);
+                let w = GhostJacobi2d::<T, VL, K>::new(
+                    kern,
+                    nx,
+                    ny,
+                    bc,
+                    steps,
+                    block,
+                    height,
+                    mode,
+                    self.select,
+                );
+                let engine = w.engine();
+                let tiles = w.tiles();
+                Ok((
+                    Box::new(GhostExec2d(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles,
+                        block,
+                        height,
+                    }),
+                ))
+            }
+            Tiling::Skew { .. } => {
+                unreachable!("validated: 2-D skew is handled per-problem (GS-2D only)")
+            }
+            Tiling::LcsRect { .. } => unreachable!("validated: LcsRect is LCS-only"),
+        }
+    }
+
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn plan_3d<K: Avx2Exec3d + Copy + Send + 'static>(
+        &self,
+        kern: K,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        bc: Boundary<f64>,
+        steps: usize,
+        s: usize,
+    ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError> {
+        let planes = || {
+            let wp = (ny + 2) * (nz + 2);
+            (vec![0.0; wp], vec![0.0; wp])
+        };
+        match self.tiling {
+            Tiling::None => match self.method {
+                Method::Temporal => {
+                    let has = K::avx2_tile(s) && shape_has_vector_tiles(nx, steps, s);
+                    let engine = self.select.resolve(has);
+                    Ok((
+                        Box::new(Temporal3d {
+                            kern,
+                            steps,
+                            s,
+                            avx2: engine == Engine::Avx2,
+                            scratch: t3d::Scratch3d::new(s, ny, nz),
+                            rem_planes: planes(),
+                        }),
+                        Some(engine),
+                        None,
+                    ))
+                }
+                Method::Multiload => Ok((
+                    Box::new(Multiload3d {
+                        kern,
+                        steps,
+                        tmp: Grid3::new(nx, ny, nz, 1, bc),
+                    }),
+                    None,
+                    None,
+                )),
+                Method::Scalar => Ok((
+                    Box::new(Scalar3d {
+                        kern,
+                        steps,
+                        planes: planes(),
+                    }),
+                    None,
+                    None,
+                )),
+                Method::Reorg | Method::Dlt => unreachable!("handled per-problem"),
+            },
+            Tiling::Ghost { block, height } => {
+                let mode = self.ghost_mode(s);
+                let w = GhostJacobi3d::new(
+                    kern,
+                    nx,
+                    ny,
+                    nz,
+                    bc,
+                    steps,
+                    block,
+                    height,
+                    mode,
+                    self.select,
+                );
+                let engine = w.engine();
+                let tiles = w.tiles();
+                Ok((
+                    Box::new(GhostExec3d(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles,
+                        block,
+                        height,
+                    }),
+                ))
+            }
+            Tiling::Skew { block, height } => {
+                let mode = self.skew_mode(s);
+                let w = SkewGs3d::new(kern, nx, ny, nz, steps, block, height, mode, self.select);
+                let engine = w.engine();
+                let tiles = w.blocks();
+                Ok((
+                    Box::new(SkewExec3d(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles,
+                        block,
+                        height,
+                    }),
+                ))
+            }
+            Tiling::LcsRect { .. } => unreachable!("validated: LcsRect is LCS-only"),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn plan_lcs(
+        &self,
+        la: usize,
+        lb: usize,
+        s: usize,
+    ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError> {
+        let temporal = self.method == Method::Temporal;
+        // The LCS engines have no AVX2 steady state: temporal plans
+        // honestly resolve (and report) the portable engine.
+        let engine = temporal.then(|| self.select.resolve(false));
+        match self.tiling {
+            Tiling::None => Ok((
+                Box::new(SeqLcs {
+                    s,
+                    temporal,
+                    row: vec![0; lb + 1],
+                    scratch: lcs::ScratchLcs::new(s),
+                }),
+                engine,
+                None,
+            )),
+            Tiling::LcsRect { xblock, yblock } => {
+                let w = LcsRect::new(la, lb, xblock, yblock, s, temporal, self.select);
+                let engine = if temporal { w.engine() } else { None };
+                Ok((
+                    Box::new(RectLcs(w)),
+                    engine,
+                    Some(TileGeometry {
+                        tiles: la.div_ceil(xblock) * lb.div_ceil(yblock),
+                        block: xblock,
+                        height: yblock,
+                    }),
+                ))
+            }
+            Tiling::Ghost { .. } | Tiling::Skew { .. } => {
+                unreachable!("validated: grid tilings are not LCS tilings")
+            }
+        }
+    }
+
+    fn ghost_mode(&self, s: usize) -> ghost::Mode {
+        match self.method {
+            Method::Temporal => ghost::Mode::Temporal(s),
+            Method::Multiload => ghost::Mode::Auto,
+            Method::Scalar => ghost::Mode::Scalar,
+            Method::Reorg | Method::Dlt => unreachable!("validated: baselines are untiled"),
+        }
+    }
+
+    fn skew_mode(&self, s: usize) -> ghost::Mode {
+        match self.method {
+            Method::Temporal => ghost::Mode::Temporal(s),
+            Method::Scalar => ghost::Mode::Scalar,
+            _ => unreachable!("validated: skew runs temporal or scalar bands"),
+        }
+    }
+}
+
+/// A compiled, reusable execution plan: geometry validated, engine
+/// resolved, thread pool and scratch arenas allocated — once. Call
+/// [`Plan::run`] as many times as you like; after the first call no path
+/// except the documented one-shot baselines (reorg/DLT) allocates.
+pub struct Plan {
+    problem: Problem,
+    method: Method,
+    tiling: Tiling,
+    engine: Option<Engine>,
+    tiles: Option<TileGeometry>,
+    threads: usize,
+    count_reorg: bool,
+    pool: Pool,
+    exec: Box<dyn Exec>,
+}
+
+// A plan is the unit a serving system caches, pools and dispatches per
+// request, so it must stay transferable across threads.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    fn plan_is_send() {
+        assert_send::<Plan>();
+    }
+    let _ = plan_is_send;
+};
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("problem", &self.problem)
+            .field("method", &self.method)
+            .field("tiling", &self.tiling)
+            .field("engine", &self.engine)
+            .field("tiles", &self.tiles)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Plan {
+    /// The problem this plan was compiled for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The method this plan executes.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The tiling this plan executes.
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    /// The engine the plan resolved at build time (`Some` for the
+    /// dispatched temporal method, `None` otherwise).
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Worker threads the plan's pool runs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Advance `state` by the problem's time extent (compute the DP table
+    /// for LCS), reusing every arena the plan allocated at build time.
+    /// Returns a [`Report`] describing what executed.
+    ///
+    /// # Errors
+    /// [`PlanError::StateMismatch`] / [`PlanError::StateShapeMismatch`]
+    /// when `state` does not belong to this plan's problem.
+    pub fn run(&mut self, state: &mut State) -> Result<Report, PlanError> {
+        self.problem.check_state(state)?;
+        let session = self.count_reorg.then(count::Session::start);
+        let result = self.exec.run(state, &self.pool);
+        let reorg = session.map(count::Session::finish);
+        result?;
+        Ok(Report {
+            engine: self.engine,
+            steps: self.problem.steps(),
+            threads: self.threads,
+            tiles: self.tiles,
+            reorg,
+            lcs_length: state.lcs().and_then(|l| l.length),
+        })
+    }
+}

@@ -38,7 +38,7 @@ use core::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// operations: every kernel in the workspace (scalar reference, baseline and
 /// temporal) is written against these exact operations, so optimized paths
 /// can be compared **bit-for-bit** against the scalar oracle. In particular
-/// [`Scalar::mul_add`] is always the IEEE-754 fused multiply-add for floats
+/// `Scalar::mul_add` is always the IEEE-754 fused multiply-add for floats
 /// (never contracted or un-contracted by the optimizer behind our back) and
 /// integer arithmetic wraps (the kernels keep values far from the limits;
 /// wrapping avoids spurious overflow panics under `overflow-checks = true`).

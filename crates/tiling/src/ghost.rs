@@ -4,8 +4,8 @@
 //! the outermost space loop (§3.4). This reproduction substitutes the
 //! closest temporal-blocking scheme that composes *unchanged* with the
 //! rectangular temporal engines: **overlapped (ghost-zone) tiling**
-//! (Meng & Skadron, the paper's reference [22]; Ding & He's ghost-cell
-//! expansion, reference [9]). Both schemes share the properties the
+//! (Meng & Skadron, the paper's reference \[22\]; Ding & He's ghost-cell
+//! expansion, reference \[9\]). Both schemes share the properties the
 //! evaluation depends on — every tile advances `VL` time levels per
 //! synchronization, all tiles of a band run concurrently, and the
 //! in-tile kernel is exactly the sequential engine — so the scalability
@@ -14,19 +14,26 @@
 //! instead of the diamond's phase alternation. The substitution is
 //! recorded in DESIGN.md.
 //!
+//! # Reusable workspaces
+//!
+//! Each dimension exposes a **workspace** type — [`GhostJacobi1d`],
+//! [`GhostJacobi2d`], [`GhostJacobi3d`] — that resolves the geometry and
+//! the in-tile engine once, allocates the tile arena and temporal scratch
+//! once, and is then driven by repeated `advance(&mut grid, &pool)` calls
+//! that run **allocation-free**. This is the execution layer behind
+//! `tempora_plan::Plan`; the old `run_jacobi_*` free functions remain as
+//! deprecated one-shot wrappers.
+//!
 //! # Engine dispatch
 //!
 //! The temporal in-tile kernel goes through the same dispatch as the
-//! sequential engines: every runner takes a [`Select`], resolves it
-//! **once per run** against the kernel's AVX2 capability
-//! ([`Avx2Exec1d`] and friends) and the tile geometry, and returns
-//! the resolved [`Engine`] next to the result so the bench
-//! harness can report which steady state the parallel series actually
-//! measured. Degenerate geometries — no full band, or tiles too narrow to
-//! host a vector steady state — resolve portable, because every engine
-//! would run the identical scalar schedule there. Per-tile scratch lives
-//! in a run-level arena (one slot per tile), so the band loop runs
-//! allocation-free.
+//! sequential engines: every workspace takes a [`Select`], resolves it
+//! **once** against the kernel's AVX2 capability ([`Avx2Exec1d`] and
+//! friends) and the tile geometry, and reports the resolved [`Engine`]
+//! so the bench harness can record which steady state the parallel
+//! series actually measured. Degenerate geometries — no full band, or
+//! tiles too narrow to host a vector steady state — resolve portable,
+//! because every engine would run the identical scalar schedule there.
 //!
 //! # Correctness (contamination argument)
 //!
@@ -51,7 +58,7 @@
 use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select};
 use tempora_core::kernels::{Kernel2d, Kernel3d, Nbhd, Nbhd3};
 use tempora_core::{t1d, t2d, t3d};
-use tempora_grid::{Grid1, Grid2, Grid3};
+use tempora_grid::{Boundary, Grid1, Grid2, Grid3};
 use tempora_parallel::{Pool, SyncSlice};
 use tempora_simd::{Pack, Scalar};
 
@@ -122,8 +129,11 @@ fn resolve_ghost<const VL: usize>(
     sel.resolve(has_kernel_avx2 && vectorizable)
 }
 
-/// One multi-load (spatially vectorized) Jacobi step on a 1-D buffer.
-fn auto_step_1d<K: Avx2Exec1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
+/// One multi-load (spatially vectorized) Jacobi step on a 1-D buffer:
+/// `dst[1..=n]` from `src`, halos untouched. Bit-identical to the
+/// `multiload` baseline; exposed so sequential multi-load execution can
+/// ping-pong caller-owned buffers without per-step allocation.
+pub fn auto_step_1d<K: Avx2Exec1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K) {
     const N: usize = 4;
     let mut x = 1;
     while x + N <= n + 1 {
@@ -138,17 +148,214 @@ fn auto_step_1d<K: Avx2Exec1d>(src: &[f64], dst: &mut [f64], n: usize, kern: &K)
     }
 }
 
+// ---------------------------------------------------------------------
+// 1-D workspace
+// ---------------------------------------------------------------------
+
+/// Reusable ghost-zone workspace for 1-D Jacobi band tiling: geometry and
+/// in-tile engine resolved once in [`GhostJacobi1d::new`], tile arena and
+/// temporal scratch allocated once, then reused by every
+/// [`GhostJacobi1d::advance`] call — the band loop is allocation-free.
+pub struct GhostJacobi1d<K: Avx2Exec1d> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    engine: Option<Engine>,
+    n: usize,
+    ntiles: usize,
+    buf_len: usize,
+    bands: usize,
+    arena: Vec<f64>,
+    scratch: Vec<t1d::Scratch1d<4>>,
+}
+
+impl<K: Avx2Exec1d> GhostJacobi1d<K> {
+    /// Build a workspace for interior size `n`: bands of `height` time
+    /// levels, blocks of `block` interior cells. For [`Mode::Temporal`],
+    /// `sel` picks the in-tile steady state (resolved here, once).
+    ///
+    /// # Panics
+    /// Panics when `block == 0` or `height` is not a positive multiple of
+    /// the vector length 4 (`tempora_plan` validates these ahead of time
+    /// and returns a `PlanError` instead).
+    pub fn new(
+        kern: K,
+        n: usize,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        const VL: usize = 4;
+        assert!(block >= 1);
+        assert!(
+            height >= VL && height % VL == 0,
+            "height must be a multiple of {VL}"
+        );
+        let ntiles = n.div_ceil(block);
+        let ghost = height + 1;
+        let buf_len = block + 2 * ghost + 2;
+        let bands = steps / height;
+        let engine = match mode {
+            Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+                sel,
+                K::avx2_tile(s),
+                n,
+                block,
+                ghost,
+                bands,
+                s,
+            )),
+            _ => None,
+        };
+        // Per-tile temporal scratch (one arena slot per tile; the steady
+        // state runs allocation-free).
+        let scratch: Vec<t1d::Scratch1d<VL>> = match mode {
+            Mode::Temporal(s) => (0..ntiles).map(|_| t1d::Scratch1d::new(s)).collect(),
+            _ => Vec::new(),
+        };
+        GhostJacobi1d {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            engine,
+            n,
+            ntiles,
+            buf_len,
+            bands,
+            arena: vec![0.0f64; ntiles * buf_len * 2],
+            scratch,
+        }
+    }
+
+    /// The in-tile engine this workspace resolved to (`None` for the
+    /// non-dispatched scalar/auto modes).
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of tiles per band.
+    pub fn tiles(&self) -> usize {
+        self.ntiles
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place, tiles
+    /// of one band executed in parallel on `pool`. Results are
+    /// bit-identical to the sequential engines and the scalar reference
+    /// under every mode, selection and thread count.
+    ///
+    /// # Panics
+    /// Panics if `g` does not match the workspace geometry.
+    pub fn advance(&mut self, g: &mut Grid1<f64>, pool: &Pool) {
+        const VL: usize = 4;
+        assert_eq!(g.halo(), 1);
+        assert_eq!(g.n(), self.n, "grid does not match workspace geometry");
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            engine,
+            n,
+            ntiles,
+            buf_len,
+            bands,
+            arena,
+            scratch,
+        } = self;
+        let (n, block, height, buf_len) = (*n, *block, *height, *buf_len);
+        let ghost = height + 1;
+        let mode = *mode;
+        let engine = *engine;
+
+        for _ in 0..*bands {
+            let data = g.data_mut();
+            let shared = SyncSlice::new(data);
+            let arena_shared = SyncSlice::new(arena);
+            let scratch_shared = SyncSlice::new(scratch);
+            // Phase A: copy-in (shared array is read-only here).
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: tile t writes only its own arena chunk; the global
+                // array is only read during this phase.
+                let global = unsafe { shared.slice_mut() };
+                let chunk = unsafe {
+                    &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len]
+                };
+                let e = tile_extent(t, n, block, ghost);
+                chunk[..e.hi - e.lo + 1].copy_from_slice(&global[e.lo..=e.hi]);
+            });
+            // Phase B: advance private buffers, write back disjoint blocks.
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: tile t writes global[a..=b] only — disjoint across
+                // tiles — and reads nothing from the shared array; its arena
+                // chunk and scratch slot are its own.
+                let global = unsafe { shared.slice_mut() };
+                let chunk = unsafe {
+                    &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2]
+                };
+                let (buf, tmp) = chunk.split_at_mut(buf_len);
+                let e = tile_extent(t, n, block, ghost);
+                let nb = e.hi - e.lo - 1;
+                match mode {
+                    Mode::Scalar => {
+                        for _ in 0..height {
+                            t1d::scalar_step_inplace(buf, nb, kern);
+                        }
+                    }
+                    Mode::Auto => {
+                        tmp[..nb + 2].copy_from_slice(&buf[..nb + 2]);
+                        for step in 0..height {
+                            if step % 2 == 0 {
+                                auto_step_1d(buf, tmp, nb, kern);
+                            } else {
+                                auto_step_1d(tmp, buf, nb, kern);
+                            }
+                        }
+                        if height % 2 == 1 {
+                            buf[..nb + 2].copy_from_slice(&tmp[..nb + 2]);
+                        }
+                    }
+                    Mode::Temporal(s) => {
+                        let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
+                        match engine {
+                            Some(Engine::Avx2) => {
+                                for _ in 0..height / VL {
+                                    kern.tile_avx2(buf, nb, s, sc);
+                                }
+                            }
+                            _ => {
+                                for _ in 0..height / VL {
+                                    t1d::tile::<VL, false, K>(buf, nb, kern, s, sc);
+                                }
+                            }
+                        }
+                    }
+                }
+                let off = e.a - e.lo;
+                global[e.a..=e.b].copy_from_slice(&buf[off..off + (e.b - e.a + 1)]);
+            });
+        }
+        let a = g.data_mut();
+        for _ in 0..*steps % height {
+            t1d::scalar_step_inplace(a, n, kern);
+        }
+    }
+}
+
 /// Run `steps` Jacobi time steps over the grid with ghost-zone band
-/// tiling: bands of `height` time levels, blocks of `block` interior cells,
-/// tiles of one band executed in parallel on `pool`. For
-/// [`Mode::Temporal`], `sel` picks the in-tile steady state (resolved once
-/// per run); the resolved [`Engine`] is returned next to the grid
-/// (`None` for the non-dispatched scalar/auto modes).
-///
-/// Results are bit-identical to the sequential engines and the scalar
-/// reference under every mode, selection and thread count.
+/// tiling (one-shot wrapper over [`GhostJacobi1d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi1d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_jacobi_1d<K: Avx2Exec1d>(
+pub fn run_jacobi_1d<K: Avx2Exec1d + Copy>(
     grid: &Grid1<f64>,
     kern: &K,
     steps: usize,
@@ -158,115 +365,16 @@ pub fn run_jacobi_1d<K: Avx2Exec1d>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid1<f64>, Option<Engine>) {
-    const VL: usize = 4;
-    assert_eq!(grid.halo(), 1);
-    assert!(block >= 1);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of {VL}"
-    );
+    let mut w = GhostJacobi1d::new(*kern, grid.n(), steps, block, height, mode, sel);
     let mut g = grid.clone();
-    let n = g.n();
-    let ntiles = n.div_ceil(block);
-    let ghost = height + 1;
-    let buf_len = block + 2 * ghost + 2;
-    let mut arena = vec![0.0f64; ntiles * buf_len * 2];
-    let bands = steps / height;
-
-    let engine = match mode {
-        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
-            sel,
-            K::avx2_tile(s),
-            n,
-            block,
-            ghost,
-            bands,
-            s,
-        )),
-        _ => None,
-    };
-    // Per-tile temporal scratch, hoisted out of the band loop (one arena
-    // slot per tile; the steady state runs allocation-free).
-    let mut scratch: Vec<t1d::Scratch1d<VL>> = match mode {
-        Mode::Temporal(s) => (0..ntiles).map(|_| t1d::Scratch1d::new(s)).collect(),
-        _ => Vec::new(),
-    };
-
-    for _ in 0..bands {
-        let data = g.data_mut();
-        let shared = SyncSlice::new(data);
-        let arena_shared = SyncSlice::new(&mut arena);
-        let scratch_shared = SyncSlice::new(&mut scratch);
-        // Phase A: copy-in (shared array is read-only here).
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: tile t writes only its own arena chunk; the global
-            // array is only read during this phase.
-            let global = unsafe { shared.slice_mut() };
-            let chunk = unsafe {
-                &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len]
-            };
-            let e = tile_extent(t, n, block, ghost);
-            chunk[..e.hi - e.lo + 1].copy_from_slice(&global[e.lo..=e.hi]);
-        });
-        // Phase B: advance private buffers, write back disjoint blocks.
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: tile t writes global[a..=b] only — disjoint across
-            // tiles — and reads nothing from the shared array; its arena
-            // chunk and scratch slot are its own.
-            let global = unsafe { shared.slice_mut() };
-            let chunk =
-                unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2] };
-            let (buf, tmp) = chunk.split_at_mut(buf_len);
-            let e = tile_extent(t, n, block, ghost);
-            let nb = e.hi - e.lo - 1;
-            match mode {
-                Mode::Scalar => {
-                    for _ in 0..height {
-                        t1d::scalar_step_inplace(buf, nb, kern);
-                    }
-                }
-                Mode::Auto => {
-                    tmp[..nb + 2].copy_from_slice(&buf[..nb + 2]);
-                    for step in 0..height {
-                        if step % 2 == 0 {
-                            auto_step_1d(buf, tmp, nb, kern);
-                        } else {
-                            auto_step_1d(tmp, buf, nb, kern);
-                        }
-                    }
-                    if height % 2 == 1 {
-                        buf[..nb + 2].copy_from_slice(&tmp[..nb + 2]);
-                    }
-                }
-                Mode::Temporal(s) => {
-                    let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
-                    match engine {
-                        Some(Engine::Avx2) => {
-                            for _ in 0..height / VL {
-                                kern.tile_avx2(buf, nb, s, sc);
-                            }
-                        }
-                        _ => {
-                            for _ in 0..height / VL {
-                                t1d::tile::<VL, false, K>(buf, nb, kern, s, sc);
-                            }
-                        }
-                    }
-                }
-            }
-            let off = e.a - e.lo;
-            global[e.a..=e.b].copy_from_slice(&buf[off..off + (e.b - e.a + 1)]);
-        });
-    }
-    let a = g.data_mut();
-    for _ in 0..steps % height {
-        t1d::scalar_step_inplace(a, n, kern);
-    }
-    (g, engine)
+    w.advance(&mut g, pool);
+    (g, w.engine())
 }
 
 /// One multi-load Jacobi step on a 2-D buffer grid (vectorized along `y`).
-fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T>, kern: &K) {
+/// Bit-identical to the `multiload` baseline; exposed for caller-owned
+/// ping-pong execution.
+pub fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T>, kern: &K) {
     const N: usize = 4;
     let (nx, ny, p) = (src.nx(), src.ny(), src.pitch());
     let a = src.data();
@@ -314,9 +422,10 @@ fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T>, k
     }
 }
 
-/// Per-tile worker state for [`run_jacobi_2d`], allocated once per run so
-/// the band loop runs allocation-free. The temporal scratch splits by
-/// resolved engine because the AVX2 steady state is pinned to 4 lanes.
+/// Per-tile worker state for [`GhostJacobi2d`], allocated once per
+/// workspace so the band loop runs allocation-free. The temporal scratch
+/// splits by resolved engine because the AVX2 steady state is pinned to 4
+/// lanes.
 enum TileState2<T: Scalar, const VL: usize> {
     /// Scalar in-place row buffers.
     Rows(Vec<T>, Vec<T>),
@@ -328,12 +437,215 @@ enum TileState2<T: Scalar, const VL: usize> {
     Avx2(t2d::Scratch2d<T, 4>),
 }
 
+/// Reusable ghost-zone workspace for 2-D Jacobi band tiling along the
+/// outer dimension (`VL` = 4 for `f64` kernels, 8 for the integer Life
+/// kernel). See [`GhostJacobi1d`] for the lifecycle and engine contract.
+pub struct GhostJacobi2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    engine: Option<Engine>,
+    nx: usize,
+    ny: usize,
+    ntiles: usize,
+    bands: usize,
+    bufs: Vec<Grid2<T>>,
+    states: Vec<TileState2<T, VL>>,
+    rem_rows: (Vec<T>, Vec<T>),
+}
+
+impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
+    /// Build a workspace for an `nx × ny` interior with boundary `bc`.
+    /// See [`GhostJacobi1d::new`] for the panics contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kern: K,
+        nx: usize,
+        ny: usize,
+        bc: Boundary<T>,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        assert!(block >= 1);
+        assert!(
+            height >= VL && height % VL == 0,
+            "height must be a multiple of VL"
+        );
+        let ntiles = nx.div_ceil(block);
+        let ghost = height + 1;
+        let bands = steps / height;
+        let engine = match mode {
+            Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+                sel,
+                K::avx2_tile(VL, s),
+                nx,
+                block,
+                ghost,
+                bands,
+                s,
+            )),
+            _ => None,
+        };
+        // Persistent per-tile buffer grids (sized per tile).
+        let bufs: Vec<Grid2<T>> = (0..ntiles)
+            .map(|t| {
+                let e = tile_extent(t, nx, block, ghost);
+                Grid2::new(e.hi - e.lo - 1, ny, 1, bc)
+            })
+            .collect();
+        let states: Vec<TileState2<T, VL>> = (0..ntiles)
+            .map(|t| match (mode, engine) {
+                (Mode::Scalar, _) => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
+                (Mode::Auto, _) => TileState2::Tmp(bufs[t].clone()),
+                (Mode::Temporal(s), Some(Engine::Avx2)) => {
+                    TileState2::Avx2(t2d::Scratch2d::new(s, ny))
+                }
+                (Mode::Temporal(s), _) => TileState2::Portable(t2d::Scratch2d::new(s, ny)),
+            })
+            .collect();
+        GhostJacobi2d {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            engine,
+            nx,
+            ny,
+            ntiles,
+            bands,
+            bufs,
+            states,
+            rem_rows: (vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
+        }
+    }
+
+    /// The in-tile engine this workspace resolved to.
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of tiles per band.
+    pub fn tiles(&self) -> usize {
+        self.ntiles
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place. See
+    /// [`GhostJacobi1d::advance`].
+    pub fn advance(&mut self, g: &mut Grid2<T>, pool: &Pool) {
+        assert_eq!(g.halo(), 1);
+        assert_eq!(
+            (g.nx(), g.ny()),
+            (self.nx, self.ny),
+            "grid does not match workspace geometry"
+        );
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            ntiles,
+            bands,
+            bufs,
+            states,
+            rem_rows,
+            nx,
+            ..
+        } = self;
+        let (nx, block, height) = (*nx, *block, *height);
+        let ghost = height + 1;
+        let p = g.pitch();
+        let mode = *mode;
+
+        for _ in 0..*bands {
+            let data = g.data_mut();
+            let shared = SyncSlice::new(data);
+            let bufs_shared = SyncSlice::new(bufs);
+            let states_shared = SyncSlice::new(states);
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
+                let global = unsafe { shared.slice_mut() };
+                let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                let e = tile_extent(t, nx, block, ghost);
+                let rows = e.hi - e.lo + 1;
+                buf.data_mut()[..rows * p].copy_from_slice(&global[e.lo * p..(e.hi + 1) * p]);
+            });
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: phase B — global writes are the disjoint row blocks
+                // [a, b]; no shared reads; bufs[t] and states[t] are tile t's
+                // own slots.
+                let global = unsafe { shared.slice_mut() };
+                let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                let st = unsafe { &mut states_shared.slice_mut()[t] };
+                let e = tile_extent(t, nx, block, ghost);
+                match st {
+                    TileState2::Rows(ra, rb) => {
+                        for _ in 0..height {
+                            t2d::scalar_step_inplace(buf, kern, ra, rb);
+                        }
+                    }
+                    TileState2::Tmp(tmp) => {
+                        // Refresh the ping-pong buffer (including halo rows,
+                        // which the copy-in phase rewrote in `buf`).
+                        tmp.data_mut().copy_from_slice(buf.data());
+                        for step in 0..height {
+                            if step % 2 == 0 {
+                                auto_step_2d(buf, tmp, kern);
+                            } else {
+                                auto_step_2d(tmp, buf, kern);
+                            }
+                        }
+                        if height % 2 == 1 {
+                            core::mem::swap(buf, tmp);
+                        }
+                    }
+                    TileState2::Portable(sc) => {
+                        let Mode::Temporal(s) = mode else {
+                            unreachable!()
+                        };
+                        for _ in 0..height / VL {
+                            t2d::tile::<T, VL, K>(buf, kern, s, sc);
+                        }
+                    }
+                    TileState2::Avx2(sc) => {
+                        let Mode::Temporal(s) = mode else {
+                            unreachable!()
+                        };
+                        for _ in 0..height / VL {
+                            kern.tile_avx2(buf, s, sc);
+                        }
+                    }
+                }
+                let off = e.a - e.lo;
+                let src = buf.data();
+                global[e.a * p..(e.b + 1) * p]
+                    .copy_from_slice(&src[off * p..(off + e.b - e.a + 1) * p]);
+            });
+        }
+        let rem = *steps % height;
+        if rem > 0 {
+            let (ra, rb) = rem_rows;
+            for _ in 0..rem {
+                t2d::scalar_step_inplace(g, kern, ra, rb);
+            }
+        }
+    }
+}
+
 /// Run `steps` Jacobi time steps over a 2-D grid with ghost-zone band
-/// tiling along the outer dimension (`VL` = 4 for `f64` kernels, 8 for
-/// the integer Life kernel). See [`run_jacobi_1d`] for the `sel` /
-/// resolved-engine contract.
+/// tiling (one-shot wrapper over [`GhostJacobi2d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi2d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>>(
+pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy>(
     grid: &Grid2<T>,
     kern: &K,
     steps: usize,
@@ -343,127 +655,26 @@ pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid2<T>, Option<Engine>) {
-    assert_eq!(grid.halo(), 1);
-    assert!(block >= 1);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of VL"
+    let mut w = GhostJacobi2d::<T, VL, K>::new(
+        *kern,
+        grid.nx(),
+        grid.ny(),
+        grid.boundary(),
+        steps,
+        block,
+        height,
+        mode,
+        sel,
     );
     let mut g = grid.clone();
-    let (nx, ny, p) = (g.nx(), g.ny(), g.pitch());
-    let bc = g.boundary();
-    let ntiles = nx.div_ceil(block);
-    let ghost = height + 1;
-    let bands = steps / height;
-
-    let engine = match mode {
-        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
-            sel,
-            K::avx2_tile(VL, s),
-            nx,
-            block,
-            ghost,
-            bands,
-            s,
-        )),
-        _ => None,
-    };
-
-    // Persistent per-tile buffer grids (sized per tile).
-    let mut bufs: Vec<Grid2<T>> = (0..ntiles)
-        .map(|t| {
-            let e = tile_extent(t, nx, block, ghost);
-            Grid2::new(e.hi - e.lo - 1, ny, 1, bc)
-        })
-        .collect();
-    // Per-tile worker state, hoisted out of the band loop.
-    let mut states: Vec<TileState2<T, VL>> = (0..ntiles)
-        .map(|t| match (mode, engine) {
-            (Mode::Scalar, _) => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
-            (Mode::Auto, _) => TileState2::Tmp(bufs[t].clone()),
-            (Mode::Temporal(s), Some(Engine::Avx2)) => TileState2::Avx2(t2d::Scratch2d::new(s, ny)),
-            (Mode::Temporal(s), _) => TileState2::Portable(t2d::Scratch2d::new(s, ny)),
-        })
-        .collect();
-
-    for _ in 0..bands {
-        let data = g.data_mut();
-        let shared = SyncSlice::new(data);
-        let bufs_shared = SyncSlice::new(&mut bufs);
-        let states_shared = SyncSlice::new(&mut states);
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
-            let global = unsafe { shared.slice_mut() };
-            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
-            let e = tile_extent(t, nx, block, ghost);
-            let rows = e.hi - e.lo + 1;
-            buf.data_mut()[..rows * p].copy_from_slice(&global[e.lo * p..(e.hi + 1) * p]);
-        });
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: phase B — global writes are the disjoint row blocks
-            // [a, b]; no shared reads; bufs[t] and states[t] are tile t's
-            // own slots.
-            let global = unsafe { shared.slice_mut() };
-            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
-            let st = unsafe { &mut states_shared.slice_mut()[t] };
-            let e = tile_extent(t, nx, block, ghost);
-            match st {
-                TileState2::Rows(ra, rb) => {
-                    for _ in 0..height {
-                        t2d::scalar_step_inplace(buf, kern, ra, rb);
-                    }
-                }
-                TileState2::Tmp(tmp) => {
-                    // Refresh the ping-pong buffer (including halo rows,
-                    // which the copy-in phase rewrote in `buf`).
-                    tmp.data_mut().copy_from_slice(buf.data());
-                    for step in 0..height {
-                        if step % 2 == 0 {
-                            auto_step_2d(buf, tmp, kern);
-                        } else {
-                            auto_step_2d(tmp, buf, kern);
-                        }
-                    }
-                    if height % 2 == 1 {
-                        core::mem::swap(buf, tmp);
-                    }
-                }
-                TileState2::Portable(sc) => {
-                    let Mode::Temporal(s) = mode else {
-                        unreachable!()
-                    };
-                    for _ in 0..height / VL {
-                        t2d::tile::<T, VL, K>(buf, kern, s, sc);
-                    }
-                }
-                TileState2::Avx2(sc) => {
-                    let Mode::Temporal(s) = mode else {
-                        unreachable!()
-                    };
-                    for _ in 0..height / VL {
-                        kern.tile_avx2(buf, s, sc);
-                    }
-                }
-            }
-            let off = e.a - e.lo;
-            let src = buf.data();
-            global[e.a * p..(e.b + 1) * p]
-                .copy_from_slice(&src[off * p..(off + e.b - e.a + 1) * p]);
-        });
-    }
-    let rem = steps % height;
-    if rem > 0 {
-        let w = ny + 2;
-        let (mut ra, mut rb) = (vec![T::ZERO; w], vec![T::ZERO; w]);
-        for _ in 0..rem {
-            t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
-        }
-    }
-    (g, engine)
+    w.advance(&mut g, pool);
+    (g, w.engine())
 }
 
 /// One multi-load Jacobi step on a 3-D buffer grid (vectorized along `z`).
-fn auto_step_3d<K: Kernel3d<f64>>(src: &Grid3<f64>, dst: &mut Grid3<f64>, kern: &K) {
+/// Bit-identical to the `multiload` baseline; exposed for caller-owned
+/// ping-pong execution.
+pub fn auto_step_3d<K: Kernel3d<f64>>(src: &Grid3<f64>, dst: &mut Grid3<f64>, kern: &K) {
     const N: usize = 4;
     let (nx, ny, nz) = (src.nx(), src.ny(), src.nz());
     let (p, pl) = (src.pitch(), src.plane());
@@ -509,7 +720,8 @@ fn auto_step_3d<K: Kernel3d<f64>>(src: &Grid3<f64>, dst: &mut Grid3<f64>, kern: 
     }
 }
 
-/// Per-tile worker state for [`run_jacobi_3d`], allocated once per run.
+/// Per-tile worker state for [`GhostJacobi3d`], allocated once per
+/// workspace.
 enum TileState3 {
     /// Scalar in-place plane buffers.
     Planes(Vec<f64>, Vec<f64>),
@@ -520,11 +732,216 @@ enum TileState3 {
     Temporal(t3d::Scratch3d<f64, 4>),
 }
 
+/// Reusable ghost-zone workspace for 3-D Jacobi band tiling along the
+/// outer dimension. See [`GhostJacobi1d`] for the lifecycle and engine
+/// contract.
+pub struct GhostJacobi3d<K: Avx2Exec3d> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    mode: Mode,
+    engine: Option<Engine>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    ntiles: usize,
+    bands: usize,
+    bufs: Vec<Grid3<f64>>,
+    states: Vec<TileState3>,
+    rem_planes: (Vec<f64>, Vec<f64>),
+}
+
+impl<K: Avx2Exec3d> GhostJacobi3d<K> {
+    /// Build a workspace for an `nx × ny × nz` interior with boundary
+    /// `bc`. See [`GhostJacobi1d::new`] for the panics contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kern: K,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        bc: Boundary<f64>,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        const VL: usize = 4;
+        assert!(block >= 1);
+        assert!(
+            height >= VL && height % VL == 0,
+            "height must be a multiple of {VL}"
+        );
+        let ntiles = nx.div_ceil(block);
+        let ghost = height + 1;
+        let bands = steps / height;
+        let engine = match mode {
+            Mode::Temporal(s) => Some(resolve_ghost::<VL>(
+                sel,
+                K::avx2_tile(s),
+                nx,
+                block,
+                ghost,
+                bands,
+                s,
+            )),
+            _ => None,
+        };
+        let bufs: Vec<Grid3<f64>> = (0..ntiles)
+            .map(|t| {
+                let e = tile_extent(t, nx, block, ghost);
+                Grid3::new(e.hi - e.lo - 1, ny, nz, 1, bc)
+            })
+            .collect();
+        let wp = (ny + 2) * (nz + 2);
+        let states: Vec<TileState3> = (0..ntiles)
+            .map(|t| match mode {
+                Mode::Scalar => TileState3::Planes(vec![0.0; wp], vec![0.0; wp]),
+                Mode::Auto => TileState3::Tmp(bufs[t].clone()),
+                Mode::Temporal(s) => TileState3::Temporal(t3d::Scratch3d::new(s, ny, nz)),
+            })
+            .collect();
+        GhostJacobi3d {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            engine,
+            nx,
+            ny,
+            nz,
+            ntiles,
+            bands,
+            bufs,
+            states,
+            rem_planes: (vec![0.0; wp], vec![0.0; wp]),
+        }
+    }
+
+    /// The in-tile engine this workspace resolved to.
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of tiles per band.
+    pub fn tiles(&self) -> usize {
+        self.ntiles
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place. See
+    /// [`GhostJacobi1d::advance`].
+    pub fn advance(&mut self, g: &mut Grid3<f64>, pool: &Pool) {
+        const VL: usize = 4;
+        assert_eq!(g.halo(), 1);
+        assert_eq!(
+            (g.nx(), g.ny(), g.nz()),
+            (self.nx, self.ny, self.nz),
+            "grid does not match workspace geometry"
+        );
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            mode,
+            engine,
+            ntiles,
+            bands,
+            bufs,
+            states,
+            rem_planes,
+            nx,
+            ..
+        } = self;
+        let (nx, block, height) = (*nx, *block, *height);
+        let ghost = height + 1;
+        let pl = g.plane();
+        let mode = *mode;
+        let engine = *engine;
+
+        for _ in 0..*bands {
+            let data = g.data_mut();
+            let shared = SyncSlice::new(data);
+            let bufs_shared = SyncSlice::new(bufs);
+            let states_shared = SyncSlice::new(states);
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: phase A — see GhostJacobi2d::advance.
+                let global = unsafe { shared.slice_mut() };
+                let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                let e = tile_extent(t, nx, block, ghost);
+                let slabs = e.hi - e.lo + 1;
+                buf.data_mut()[..slabs * pl].copy_from_slice(&global[e.lo * pl..(e.hi + 1) * pl]);
+            });
+            pool.for_each_index(*ntiles, |t| {
+                // SAFETY: phase B — see GhostJacobi2d::advance.
+                let global = unsafe { shared.slice_mut() };
+                let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                let st = unsafe { &mut states_shared.slice_mut()[t] };
+                let e = tile_extent(t, nx, block, ghost);
+                match st {
+                    TileState3::Planes(pa, pb) => {
+                        for _ in 0..height {
+                            t3d::scalar_step_inplace(buf, kern, pa, pb);
+                        }
+                    }
+                    TileState3::Tmp(tmp) => {
+                        tmp.data_mut().copy_from_slice(buf.data());
+                        for step in 0..height {
+                            if step % 2 == 0 {
+                                auto_step_3d(buf, tmp, kern);
+                            } else {
+                                auto_step_3d(tmp, buf, kern);
+                            }
+                        }
+                        if height % 2 == 1 {
+                            core::mem::swap(buf, tmp);
+                        }
+                    }
+                    TileState3::Temporal(sc) => {
+                        let Mode::Temporal(s) = mode else {
+                            unreachable!()
+                        };
+                        match engine {
+                            Some(Engine::Avx2) => {
+                                for _ in 0..height / VL {
+                                    kern.tile_avx2(buf, s, sc);
+                                }
+                            }
+                            _ => {
+                                for _ in 0..height / VL {
+                                    t3d::tile::<f64, VL, K>(buf, kern, s, sc);
+                                }
+                            }
+                        }
+                    }
+                }
+                let off = e.a - e.lo;
+                let src = buf.data();
+                global[e.a * pl..(e.b + 1) * pl]
+                    .copy_from_slice(&src[off * pl..(off + e.b - e.a + 1) * pl]);
+            });
+        }
+        let rem = *steps % height;
+        if rem > 0 {
+            let (pa, pb) = rem_planes;
+            for _ in 0..rem {
+                t3d::scalar_step_inplace(g, kern, pa, pb);
+            }
+        }
+    }
+}
+
 /// Run `steps` Jacobi time steps over a 3-D grid with ghost-zone band
-/// tiling along the outer dimension. See [`run_jacobi_1d`] for the
-/// `sel` / resolved-engine contract.
+/// tiling (one-shot wrapper over [`GhostJacobi3d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi3d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_jacobi_3d<K: Avx2Exec3d>(
+pub fn run_jacobi_3d<K: Avx2Exec3d + Copy>(
     grid: &Grid3<f64>,
     kern: &K,
     steps: usize,
@@ -534,121 +951,21 @@ pub fn run_jacobi_3d<K: Avx2Exec3d>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid3<f64>, Option<Engine>) {
-    const VL: usize = 4;
-    assert_eq!(grid.halo(), 1);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of {VL}"
+    let mut w = GhostJacobi3d::new(
+        *kern,
+        grid.nx(),
+        grid.ny(),
+        grid.nz(),
+        grid.boundary(),
+        steps,
+        block,
+        height,
+        mode,
+        sel,
     );
     let mut g = grid.clone();
-    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
-    let pl = g.plane();
-    let bc = g.boundary();
-    let ntiles = nx.div_ceil(block);
-    let ghost = height + 1;
-    let bands = steps / height;
-
-    let engine = match mode {
-        Mode::Temporal(s) => Some(resolve_ghost::<VL>(
-            sel,
-            K::avx2_tile(s),
-            nx,
-            block,
-            ghost,
-            bands,
-            s,
-        )),
-        _ => None,
-    };
-
-    let mut bufs: Vec<Grid3<f64>> = (0..ntiles)
-        .map(|t| {
-            let e = tile_extent(t, nx, block, ghost);
-            Grid3::new(e.hi - e.lo - 1, ny, nz, 1, bc)
-        })
-        .collect();
-    let mut states: Vec<TileState3> = (0..ntiles)
-        .map(|t| match mode {
-            Mode::Scalar => {
-                let wp = (ny + 2) * (nz + 2);
-                TileState3::Planes(vec![0.0; wp], vec![0.0; wp])
-            }
-            Mode::Auto => TileState3::Tmp(bufs[t].clone()),
-            Mode::Temporal(s) => TileState3::Temporal(t3d::Scratch3d::new(s, ny, nz)),
-        })
-        .collect();
-
-    for _ in 0..bands {
-        let data = g.data_mut();
-        let shared = SyncSlice::new(data);
-        let bufs_shared = SyncSlice::new(&mut bufs);
-        let states_shared = SyncSlice::new(&mut states);
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: phase A — see run_jacobi_2d.
-            let global = unsafe { shared.slice_mut() };
-            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
-            let e = tile_extent(t, nx, block, ghost);
-            let slabs = e.hi - e.lo + 1;
-            buf.data_mut()[..slabs * pl].copy_from_slice(&global[e.lo * pl..(e.hi + 1) * pl]);
-        });
-        pool.for_each_index(ntiles, |t| {
-            // SAFETY: phase B — see run_jacobi_2d.
-            let global = unsafe { shared.slice_mut() };
-            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
-            let st = unsafe { &mut states_shared.slice_mut()[t] };
-            let e = tile_extent(t, nx, block, ghost);
-            match st {
-                TileState3::Planes(pa, pb) => {
-                    for _ in 0..height {
-                        t3d::scalar_step_inplace(buf, kern, pa, pb);
-                    }
-                }
-                TileState3::Tmp(tmp) => {
-                    tmp.data_mut().copy_from_slice(buf.data());
-                    for step in 0..height {
-                        if step % 2 == 0 {
-                            auto_step_3d(buf, tmp, kern);
-                        } else {
-                            auto_step_3d(tmp, buf, kern);
-                        }
-                    }
-                    if height % 2 == 1 {
-                        core::mem::swap(buf, tmp);
-                    }
-                }
-                TileState3::Temporal(sc) => {
-                    let Mode::Temporal(s) = mode else {
-                        unreachable!()
-                    };
-                    match engine {
-                        Some(Engine::Avx2) => {
-                            for _ in 0..height / VL {
-                                kern.tile_avx2(buf, s, sc);
-                            }
-                        }
-                        _ => {
-                            for _ in 0..height / VL {
-                                t3d::tile::<f64, VL, K>(buf, kern, s, sc);
-                            }
-                        }
-                    }
-                }
-            }
-            let off = e.a - e.lo;
-            let src = buf.data();
-            global[e.a * pl..(e.b + 1) * pl]
-                .copy_from_slice(&src[off * pl..(off + e.b - e.a + 1) * pl]);
-        });
-    }
-    let rem = steps % height;
-    if rem > 0 {
-        let wp = (ny + 2) * (nz + 2);
-        let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
-        for _ in 0..rem {
-            t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
-        }
-    }
-    (g, engine)
+    w.advance(&mut g, pool);
+    (g, w.engine())
 }
 
 #[cfg(test)]
@@ -660,6 +977,52 @@ mod tests {
     };
     use tempora_stencil::reference;
     use tempora_stencil::{Box2dCoeffs, Heat1dCoeffs, Heat2dCoeffs, Heat3dCoeffs, LifeRule};
+
+    /// Workspace-based equivalents of the deprecated one-shot wrappers,
+    /// used below so the test suite exercises the current API.
+    #[allow(clippy::too_many_arguments)]
+    fn ghost_1d<K: Avx2Exec1d + Copy>(
+        grid: &Grid1<f64>,
+        kern: &K,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+        pool: &Pool,
+    ) -> (Grid1<f64>, Option<Engine>) {
+        let mut w = GhostJacobi1d::new(*kern, grid.n(), steps, block, height, mode, sel);
+        let mut g = grid.clone();
+        w.advance(&mut g, pool);
+        (g, w.engine())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ghost_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy>(
+        grid: &Grid2<T>,
+        kern: &K,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+        pool: &Pool,
+    ) -> (Grid2<T>, Option<Engine>) {
+        let mut w = GhostJacobi2d::<T, VL, K>::new(
+            *kern,
+            grid.nx(),
+            grid.ny(),
+            grid.boundary(),
+            steps,
+            block,
+            height,
+            mode,
+            sel,
+        );
+        let mut g = grid.clone();
+        w.advance(&mut g, pool);
+        (g, w.engine())
+    }
 
     #[test]
     fn extents_partition_domain() {
@@ -687,8 +1050,7 @@ mod tests {
                 fill_random_1d(&mut g, n as u64, -1.0, 1.0);
                 let gold = reference::heat1d(&g, c, steps);
                 for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
-                    let (ours, _) =
-                        run_jacobi_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
+                    let (ours, _) = ghost_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
                     assert!(
                         ours.interior_eq(&gold),
                         "threads={threads} n={n} block={block} steps={steps} mode={mode:?} {:?}",
@@ -697,6 +1059,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ghost_1d_workspace_reuse_is_identical_and_allocation_free() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let pool = Pool::new(2);
+        let mut g0 = Grid1::new(300, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g0, 17, -1.0, 1.0);
+        let mut w = GhostJacobi1d::new(kern, 300, 8, 64, 4, Mode::Temporal(7), Select::Auto);
+        let mut a = g0.clone();
+        w.advance(&mut a, &pool);
+        // Second use of the same workspace on a fresh state must agree
+        // with a fresh workspace bit-for-bit and allocate nothing. The
+        // counter is process-global and sibling tests allocate
+        // concurrently, so retry until a clean window: if `advance`
+        // itself allocated, every window would show a delta.
+        let mut b = g0.clone();
+        let mut clean = false;
+        for _ in 0..32 {
+            b = g0.clone();
+            let before = tempora_grid::alloc_count();
+            w.advance(&mut b, &pool);
+            if tempora_grid::alloc_count() == before {
+                clean = true;
+                break;
+            }
+        }
+        assert!(clean, "advance allocated in every observed window");
+        assert!(a.interior_eq(&b));
+        assert!(a.interior_eq(&reference::heat1d(&g0, c, 8)));
     }
 
     #[test]
@@ -709,10 +1102,10 @@ mod tests {
         let mut g = Grid1::new(448, 1, Boundary::Dirichlet(0.0));
         fill_random_1d(&mut g, 3, -1.0, 1.0);
         // Non-temporal modes never dispatch.
-        let (_, e) = run_jacobi_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
+        let (_, e) = ghost_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
         assert_eq!(e, None);
         // Forced portable reports portable.
-        let (_, e) = run_jacobi_1d(
+        let (_, e) = ghost_1d(
             &g,
             &kern,
             8,
@@ -726,13 +1119,26 @@ mod tests {
         // A degenerate geometry (block so narrow that every tile falls
         // back to the scalar schedule) must resolve portable even when
         // AVX2 is available.
-        let (_, e) = run_jacobi_1d(&g, &kern, 8, 2, 4, Mode::Temporal(7), Select::Auto, &pool);
+        let (_, e) = ghost_1d(&g, &kern, 8, 2, 4, Mode::Temporal(7), Select::Auto, &pool);
         assert_eq!(e, Some(Engine::Portable));
         // On an AVX2 host, a healthy geometry resolves avx2 under Auto.
         if tempora_simd::arch::avx2_available() {
-            let (_, e) = run_jacobi_1d(&g, &kern, 8, 64, 4, Mode::Temporal(7), Select::Auto, &pool);
+            let (_, e) = ghost_1d(&g, &kern, 8, 64, 4, Mode::Temporal(7), Select::Auto, &pool);
             assert_eq!(e, Some(Engine::Avx2));
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let c = Heat1dCoeffs::classic(0.25);
+        let kern = JacobiKern1d(c);
+        let pool = Pool::new(2);
+        let mut g = Grid1::new(200, 1, Boundary::Dirichlet(0.5));
+        fill_random_1d(&mut g, 7, -1.0, 1.0);
+        let gold = reference::heat1d(&g, c, 8);
+        let (ours, _) = run_jacobi_1d(&g, &kern, 8, 64, 4, Mode::Temporal(7), Select::Auto, &pool);
+        assert!(ours.interior_eq(&gold));
     }
 
     #[test]
@@ -744,8 +1150,7 @@ mod tests {
         fill_random_2d(&mut g, 9, -1.0, 1.0);
         let gold = reference::heat2d(&g, c, 8);
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let (ours, _) =
-                run_jacobi_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, mode, Select::Auto, &pool);
+            let (ours, _) = ghost_2d::<f64, 4, _>(&g, &kern, 8, 16, 8, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "mode={mode:?} {:?}",
@@ -757,8 +1162,7 @@ mod tests {
         let kb = BoxKern2d(cb);
         let goldb = reference::box2d(&g, cb, 8);
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let (ours, _) =
-                run_jacobi_2d::<f64, 4, _>(&g, &kb, 8, 16, 4, mode, Select::Auto, &pool);
+            let (ours, _) = ghost_2d::<f64, 4, _>(&g, &kb, 8, 16, 4, mode, Select::Auto, &pool);
             assert!(ours.interior_eq(&goldb), "box mode={mode:?}");
         }
     }
@@ -772,8 +1176,7 @@ mod tests {
         fill_random_life(&mut g, 4, 0.4);
         let gold = reference::life(&g, rule, 16);
         for mode in [Mode::Scalar, Mode::Temporal(2)] {
-            let (ours, e) =
-                run_jacobi_2d::<i32, 8, _>(&g, &kern, 16, 24, 8, mode, Select::Auto, &pool);
+            let (ours, e) = ghost_2d::<i32, 8, _>(&g, &kern, 16, 24, 8, mode, Select::Auto, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "life mode={mode:?} {:?}",
@@ -796,7 +1199,20 @@ mod tests {
         fill_random_3d(&mut g, 11, -1.0, 1.0);
         let gold = reference::heat3d(&g, c, 9); // 2 bands + 1 remainder
         for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-            let (ours, _) = run_jacobi_3d(&g, &kern, 9, 12, 4, mode, Select::Auto, &pool);
+            let mut w = GhostJacobi3d::new(
+                kern,
+                g.nx(),
+                g.ny(),
+                g.nz(),
+                g.boundary(),
+                9,
+                12,
+                4,
+                mode,
+                Select::Auto,
+            );
+            let mut ours = g.clone();
+            w.advance(&mut ours, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "mode={mode:?} {:?}",

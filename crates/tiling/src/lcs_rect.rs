@@ -9,14 +9,22 @@
 //! [`tempora_parallel::Pool::waves`] with waves `w = 2I + J` satisfies
 //! both dependences, and same-wave tiles touch disjoint row segments and
 //! distinct column buffers.
+//!
+//! [`LcsRect`] is the reusable workspace form (row, column buffers and
+//! per-block temporal scratch allocated once, reused by every
+//! [`LcsRect::run`] call — the wavefront runs allocation-free); the old
+//! [`run_lcs`] free function remains as a deprecated one-shot wrapper.
+//! Like the sequential LCS engine, the wavefront has no hand-scheduled
+//! AVX2 steady state, so its temporal mode always resolves — and
+//! honestly reports — the portable engine.
 
+use tempora_core::engine::{Engine, Select};
 use tempora_core::lcs::{scalar_row_step_seg, tile_seg, ScratchLcs};
 use tempora_parallel::{Pool, SyncSlice};
 
 const VL: usize = 8;
 
-/// Per-tile working state: the temporal scratch reused across the tile's
-/// sub-bands.
+/// Per-tile executor parameters.
 struct TileRun<'a> {
     a: &'a [u8],
     b: &'a [u8],
@@ -38,11 +46,11 @@ impl TileRun<'_> {
         y1: usize,
         left: &[i32],
         right: &mut [i32],
+        sc: &mut ScratchLcs<VL>,
     ) {
         let height = x1 - x0;
         right[0] = row[y1];
         if self.temporal {
-            let mut sc = ScratchLcs::<VL>::new(self.s);
             let bands = height / VL;
             for t in 0..bands {
                 let base = t * VL;
@@ -55,7 +63,7 @@ impl TileRun<'_> {
                     self.s,
                     &left[base..base + VL + 1],
                     &mut right[base..base + VL + 1],
-                    &mut sc,
+                    sc,
                 );
             }
             for h in bands * VL..height {
@@ -71,11 +79,139 @@ impl TileRun<'_> {
     }
 }
 
-/// Compute the LCS length of `a` and `b` with rectangle tiling
-/// (`xblock × yblock`) executed as a pipelined wavefront on `pool`.
-///
-/// `temporal` selects the temporally vectorized in-tile kernel ("our")
-/// versus the scalar rows ("scalar"); both are exact.
+/// Reusable rectangle-tiling workspace for the LCS DP: the rolling row,
+/// the per-`J` column buffers and the per-block temporal scratch are
+/// allocated once in [`LcsRect::new`] and reused (re-zeroed, not
+/// reallocated) by every [`LcsRect::run`] call.
+pub struct LcsRect {
+    xblock: usize,
+    yblock: usize,
+    s: usize,
+    temporal: bool,
+    engine: Option<Engine>,
+    la: usize,
+    lb: usize,
+    row: Vec<i32>,
+    cols: Vec<Vec<i32>>,
+    scratch: Vec<ScratchLcs<VL>>,
+}
+
+impl LcsRect {
+    /// Build a workspace for sequences of lengths `la × lb` with
+    /// `xblock × yblock` rectangles and temporal stride `s`. `temporal`
+    /// selects the temporally vectorized in-tile kernel ("our") versus
+    /// scalar rows ("scalar"); both are exact. `sel` is resolved once —
+    /// the LCS wavefront has no AVX2 steady state, so every temporal
+    /// selection honestly resolves portable.
+    ///
+    /// # Panics
+    /// Panics when `s`, `xblock` or `yblock` is zero (`tempora_plan`
+    /// validates these ahead of time and returns a `PlanError` instead).
+    pub fn new(
+        la: usize,
+        lb: usize,
+        xblock: usize,
+        yblock: usize,
+        s: usize,
+        temporal: bool,
+        sel: Select,
+    ) -> Self {
+        assert!(s >= 1 && xblock >= 1 && yblock >= 1);
+        let n_j = lb.div_ceil(yblock);
+        // Column buffers: cols[j][h] = lcs[x0+h][y_j1] for the current
+        // tile row I; cols[0] is the (all-zero) table west edge, never
+        // written.
+        let cols: Vec<Vec<i32>> = (0..n_j + 1).map(|_| vec![0i32; xblock + 1]).collect();
+        // Per-block-column scratch: same-wave tiles differ in j by ≥ 2
+        // and tiles sharing j are serialized by the (I-1, J) dependence,
+        // so slot j is never touched concurrently. (Allocated for the
+        // scalar mode too — it is tiny and keeps the executor uniform.)
+        let scratch: Vec<ScratchLcs<VL>> = (0..n_j + 1).map(|_| ScratchLcs::new(s)).collect();
+        LcsRect {
+            xblock,
+            yblock,
+            s,
+            temporal,
+            engine: temporal.then(|| sel.resolve(false)),
+            la,
+            lb,
+            row: vec![0i32; lb + 1],
+            cols,
+            scratch,
+        }
+    }
+
+    /// The engine the temporal wavefront resolved to (`None` for scalar
+    /// rows; always [`Engine::Portable`] for temporal — no AVX2 LCS
+    /// steady state exists yet).
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Compute the LCS length of `a` and `b` as a pipelined wavefront on
+    /// `pool`. Reusable: internal buffers are re-zeroed, not reallocated.
+    ///
+    /// # Panics
+    /// Panics if the sequence lengths do not match the workspace.
+    pub fn run(&mut self, a: &[u8], b: &[u8], pool: &Pool) -> i32 {
+        assert_eq!(
+            (a.len(), b.len()),
+            (self.la, self.lb),
+            "sequences do not match workspace geometry"
+        );
+        let (la, lb) = (self.la, self.lb);
+        if la == 0 || lb == 0 {
+            return 0;
+        }
+        let n_i = la.div_ceil(self.xblock);
+        let n_j = lb.div_ceil(self.yblock);
+        self.row.fill(0);
+        for col in &mut self.cols {
+            col.fill(0);
+        }
+
+        let run = TileRun {
+            a,
+            b,
+            s: self.s,
+            temporal: self.temporal,
+        };
+        let (xblock, yblock) = (self.xblock, self.yblock);
+        {
+            let row_shared = SyncSlice::new(&mut self.row);
+            let cols_shared = SyncSlice::new(&mut self.cols);
+            let scratch_shared = SyncSlice::new(&mut self.scratch);
+            pool.waves(n_i, n_j, |i, j| {
+                // SAFETY: tile (i, j) writes row[y0..=y1] (disjoint segments
+                // across same-wave tiles, which differ in j by ≥ 2) and
+                // cols[j+1]; it reads cols[j], written by (i, j-1) on an
+                // earlier wave. The zero column cols[0] is never written.
+                // Scratch slot j is owned by the unique in-flight tile of
+                // block column j.
+                let row = unsafe { row_shared.slice_mut() };
+                let cols = unsafe { cols_shared.slice_mut() };
+                let x0 = i * xblock;
+                let x1 = ((i + 1) * xblock).min(la);
+                let y0 = j * yblock + 1;
+                let y1 = ((j + 1) * yblock).min(lb);
+                // Split the aliasing manually: left = cols[j], right = cols[j+1].
+                let (head, tail) = cols.split_at_mut(j + 1);
+                let left = &head[j];
+                let right = &mut tail[0];
+                let sc = unsafe { &mut scratch_shared.slice_mut()[j] };
+                run.run(row, x0, x1, y0, y1, left, right, sc);
+            });
+        }
+        self.row[lb]
+    }
+}
+
+/// Compute the LCS length of `a` and `b` with rectangle tiling (one-shot
+/// wrapper over [`LcsRect`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse an `lcs_rect::LcsRect` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_lcs(
     a: &[u8],
@@ -86,43 +222,7 @@ pub fn run_lcs(
     temporal: bool,
     pool: &Pool,
 ) -> i32 {
-    assert!(s >= 1 && xblock >= 1 && yblock >= 1);
-    let (la, lb) = (a.len(), b.len());
-    if la == 0 || lb == 0 {
-        return 0;
-    }
-    let n_i = la.div_ceil(xblock);
-    let n_j = lb.div_ceil(yblock);
-
-    let mut row = vec![0i32; lb + 1];
-    // Column buffers: cols[j][h] = lcs[x0+h][y_j1] for the current tile
-    // row I; cols[0] is the (all-zero) table west edge, reallocated per I
-    // because x0 changes (column 0 of the table is always zero).
-    let mut cols: Vec<Vec<i32>> = (0..n_j + 1).map(|_| vec![0i32; xblock + 1]).collect();
-
-    let run = TileRun { a, b, s, temporal };
-    {
-        let row_shared = SyncSlice::new(&mut row);
-        let cols_shared = SyncSlice::new(&mut cols);
-        pool.waves(n_i, n_j, |i, j| {
-            // SAFETY: tile (i, j) writes row[y0..=y1] (disjoint segments
-            // across same-wave tiles, which differ in j by ≥ 2) and
-            // cols[j+1]; it reads cols[j], written by (i, j-1) on an
-            // earlier wave. The zero column cols[0] is never written.
-            let row = unsafe { row_shared.slice_mut() };
-            let cols = unsafe { cols_shared.slice_mut() };
-            let x0 = i * xblock;
-            let x1 = ((i + 1) * xblock).min(la);
-            let y0 = j * yblock + 1;
-            let y1 = ((j + 1) * yblock).min(lb);
-            // Split the aliasing manually: left = cols[j], right = cols[j+1].
-            let (head, tail) = cols.split_at_mut(j + 1);
-            let left = &head[j];
-            let right = &mut tail[0];
-            run.run(row, x0, x1, y0, y1, left, right);
-        });
-    }
-    row[lb]
+    LcsRect::new(a.len(), b.len(), xblock, yblock, s, temporal, Select::Auto).run(a, b, pool)
 }
 
 #[cfg(test)]
@@ -130,6 +230,10 @@ mod tests {
     use super::*;
     use tempora_grid::random_sequence;
     use tempora_stencil::reference;
+
+    fn lcs_tiled(a: &[u8], b: &[u8], xb: usize, yb: usize, s: usize, t: bool, pool: &Pool) -> i32 {
+        LcsRect::new(a.len(), b.len(), xb, yb, s, t, Select::Auto).run(a, b, pool)
+    }
 
     #[test]
     fn tiled_lcs_matches_reference() {
@@ -141,7 +245,7 @@ mod tests {
                 let gold = reference::lcs_len(&a, &b);
                 for &(xb, yb) in &[(16usize, 32usize), (24, 40), (64, 128)] {
                     for temporal in [false, true] {
-                        let got = run_lcs(&a, &b, xb, yb, 1, temporal, &pool);
+                        let got = lcs_tiled(&a, &b, xb, yb, 1, temporal, &pool);
                         assert_eq!(
                             got, gold,
                             "threads={threads} la={la} lb={lb} xb={xb} yb={yb} temporal={temporal}"
@@ -153,18 +257,43 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_identical_and_allocation_free() {
+        let pool = Pool::new(2);
+        let a = random_sequence(100, 4, 1);
+        let b = random_sequence(140, 4, 2);
+        let gold = reference::lcs_len(&a, &b);
+        let mut w = LcsRect::new(100, 140, 24, 40, 1, true, Select::Auto);
+        assert_eq!(w.engine(), Some(Engine::Portable));
+        assert_eq!(w.run(&a, &b, &pool), gold);
+        // Process-global counter + concurrent sibling tests: retry until
+        // a clean window (a real allocation in `run` would taint every
+        // window).
+        let mut clean = false;
+        for _ in 0..32 {
+            let before = tempora_grid::alloc_count();
+            assert_eq!(w.run(&a, &b, &pool), gold);
+            if tempora_grid::alloc_count() == before {
+                clean = true;
+                break;
+            }
+        }
+        assert!(clean, "reused run allocated in every observed window");
+    }
+
+    #[test]
     fn stride_two_and_binary_alphabet() {
         let pool = Pool::new(2);
         let a = random_sequence(77, 2, 1);
         let b = random_sequence(201, 2, 2);
         let gold = reference::lcs_len(&a, &b);
         for s in 1..=2 {
-            assert_eq!(run_lcs(&a, &b, 32, 64, s, true, &pool), gold, "s={s}");
+            assert_eq!(lcs_tiled(&a, &b, 32, 64, s, true, &pool), gold, "s={s}");
         }
     }
 
     #[test]
-    fn degenerate_shapes() {
+    #[allow(deprecated)]
+    fn degenerate_shapes_and_deprecated_wrapper() {
         let pool = Pool::new(2);
         assert_eq!(run_lcs(b"", b"ABC", 8, 8, 1, true, &pool), 0);
         assert_eq!(run_lcs(b"ABC", b"", 8, 8, 1, true, &pool), 0);

@@ -15,12 +15,20 @@
 //! * [`lcs_rect`] — rectangle tiling with pipelined wavefronts for LCS,
 //!   the paper's `lcsA`/`lcsB` wavefront-array scheme.
 //!
+//! Each scheme is exposed as a **reusable workspace** — [`GhostJacobi1d`]
+//! / [`GhostJacobi2d`] / [`GhostJacobi3d`], [`SkewGs1d`] / [`SkewGs2d`] /
+//! [`SkewGs3d`], and [`LcsRect`] — that validates the geometry, resolves
+//! the in-tile engine, and allocates every arena **once**; repeated
+//! `advance` / `run` calls are then allocation-free. These workspaces are
+//! the execution layer behind `tempora_plan::Plan`; the old `run_*` free
+//! functions remain as deprecated one-shot wrappers for one release.
+//!
 //! The temporal in-tile kernels go through the same engine dispatch as
-//! the sequential engines: [`ghost`] and [`skew`] runners take a
-//! `tempora_core::engine::Select`, resolve it once per run (portable vs
+//! the sequential engines: workspaces take a
+//! `tempora_core::engine::Select`, resolve it once (portable vs
 //! hand-scheduled AVX2, degenerate geometries honestly portable) and
-//! return the resolved engine next to the result for per-series
-//! reporting in the bench harness.
+//! report the resolved engine for per-series reporting in the bench
+//! harness.
 //!
 //! Every parallel path is bit-identical to the sequential engines and the
 //! scalar references, for every thread count, engine selection and mode —
@@ -34,4 +42,6 @@ pub mod ghost;
 pub mod lcs_rect;
 pub mod skew;
 
-pub use ghost::Mode;
+pub use ghost::{GhostJacobi1d, GhostJacobi2d, GhostJacobi3d, Mode};
+pub use lcs_rect::LcsRect;
+pub use skew::{SkewGs1d, SkewGs2d, SkewGs3d};

@@ -17,21 +17,30 @@
 //! `[xl - height - VL·s, xr + 1]` and same-wave neighbours sit two
 //! blocks away.
 //!
+//! # Reusable workspaces
+//!
+//! Each dimension exposes a workspace — [`SkewGs1d`], [`SkewGs2d`],
+//! [`SkewGs3d`] — that validates the geometry and resolves the banded
+//! engine once, allocates the per-block band scratch once, and is driven
+//! by repeated `advance(&mut grid, &pool)` calls that run
+//! allocation-free. This is the execution layer behind
+//! `tempora_plan::Plan`; the old `run_gs_*` free functions remain as
+//! deprecated one-shot wrappers.
+//!
 //! # Engine dispatch
 //!
 //! The temporal band executor goes through the same dispatch as the
-//! sequential engines: every runner takes a [`Mode`] (scalar bands for
+//! sequential engines: every workspace takes a [`Mode`] (scalar bands for
 //! the paper's "scalar" curves, [`Mode::Temporal`] for "our"; spatial
 //! auto-vectorization of Gauss-Seidel is illegal and rejected) plus a
-//! [`Select`], resolves the selection **once per run** against the
-//! kernel's AVX2 band capability ([`Avx2Exec1d::avx2_band`] and friends)
-//! and the block geometry, and returns the resolved [`Engine`] next to
-//! the result. Geometries where *no* skewed block can host the vector
-//! steady state resolve portable, so the reported engine names the
-//! instruction mix that actually ran. Per-block band scratch lives in a
-//! run-level arena (one slot per block index — tasks with the same block
-//! index are ordered by the wave dependences, so slots are never touched
-//! concurrently).
+//! [`Select`], resolves the selection **once** against the kernel's AVX2
+//! band capability ([`Avx2Exec1d::avx2_band`] and friends) and the block
+//! geometry, and reports the resolved [`Engine`]. Geometries where *no*
+//! skewed block can host the vector steady state resolve portable, so the
+//! reported engine names the instruction mix that actually ran. Per-block
+//! band scratch lives in a workspace arena (one slot per block index —
+//! tasks with the same block index are ordered by the wave dependences,
+//! so slots are never touched concurrently).
 
 use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select};
 use tempora_core::t1d_band::vector_band_shape;
@@ -85,7 +94,7 @@ fn any_vector_band(n_outer: usize, block: usize, height: usize, s: usize) -> boo
     })
 }
 
-/// Resolve the banded engine once per run.
+/// Resolve the banded engine once per workspace.
 fn resolve_skew(
     sel: Select,
     mode: Mode,
@@ -103,16 +112,145 @@ fn resolve_skew(
     }
 }
 
+/// Shared geometry checks of every skew workspace.
+fn check_skew_geometry(block: usize, height: usize, s: usize) {
+    assert!(
+        height >= VL && height % VL == 0,
+        "height must be a multiple of {VL}"
+    );
+    assert!(
+        block >= height + VL * s + VL,
+        "block too narrow for wave disjointness"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 1-D workspace
+// ---------------------------------------------------------------------
+
+/// Reusable skewed-tiling workspace for 1-D Gauss-Seidel: geometry
+/// validated and banded engine resolved once in [`SkewGs1d::new`], then
+/// reused by every [`SkewGs1d::advance`] call (allocation-free — the 1-D
+/// band executors need no scratch).
+pub struct SkewGs1d<K: Avx2Exec1d> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    engine: Option<Engine>,
+    n: usize,
+    nblocks: usize,
+    bands: usize,
+}
+
+impl<K: Avx2Exec1d> SkewGs1d<K> {
+    /// Build a workspace for interior size `n`. `mode` selects the band
+    /// executor — [`Mode::Temporal`] for the paper's "our" curves,
+    /// [`Mode::Scalar`] for "scalar" — and `sel` picks the temporal
+    /// steady state.
+    ///
+    /// # Panics
+    /// Panics for a non-Gauss-Seidel kernel, [`Mode::Auto`], a height
+    /// that is not a positive multiple of 4, or a block narrower than the
+    /// wave-disjointness bound (`tempora_plan` validates these ahead of
+    /// time and returns a `PlanError` instead).
+    pub fn new(
+        kern: K,
+        n: usize,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        assert!(K::IS_GS);
+        let s = gs_stride(mode);
+        check_skew_geometry(block, height, s);
+        let bands = steps / height;
+        let nblocks = block_count(n, block, height);
+        let engine = resolve_skew(sel, mode, K::avx2_band(s), n, block, height, bands);
+        SkewGs1d {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            n,
+            nblocks,
+            bands,
+        }
+    }
+
+    /// The banded engine this workspace resolved to (`None` for scalar
+    /// bands).
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of skewed blocks per band.
+    pub fn blocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place. All
+    /// paths are bit-identical to the reference.
+    pub fn advance(&mut self, g: &mut Grid1<f64>, pool: &Pool) {
+        assert_eq!(g.n(), self.n, "grid does not match workspace geometry");
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            n,
+            nblocks,
+            bands,
+        } = self;
+        let (n, block, height, s) = (*n, *block, *height, *s);
+        let engine = *engine;
+        {
+            let data = g.data_mut();
+            let shared = SyncSlice::new(data);
+            pool.waves(*bands, *nblocks, |_b, i| {
+                // SAFETY: wave scheduling keeps concurrent tiles ≥ 2 blocks
+                // apart; a tile touches [xl - height - VL·s, xr + 1] ⊂ its
+                // block ± one block for block ≥ height + VL·s + VL (asserted).
+                let a = unsafe { shared.slice_mut() };
+                let (xl, xr) = block_bounds(i, n, block, height);
+                for j in 0..height / VL {
+                    let off = j * VL;
+                    if xr <= off {
+                        break;
+                    }
+                    let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                    match engine {
+                        None => t1d_band::band_scalar_gs(a, xlj, xrj, VL, n, kern),
+                        Some(Engine::Avx2) => kern.band_avx2(a, xlj, xrj, n, s),
+                        Some(Engine::Portable) => {
+                            t1d_band::band_temporal_gs::<VL, K>(a, xlj, xrj, n, s, kern)
+                        }
+                    }
+                }
+            });
+        }
+        let a = g.data_mut();
+        for _ in 0..*steps % height {
+            t1d::scalar_step_inplace(a, n, kern);
+        }
+    }
+}
+
 /// Run `steps` Gauss-Seidel time steps over a 1-D grid with pipelined
-/// skewed tiling. `mode` selects the band executor — [`Mode::Temporal`]
-/// for the paper's "our" curves, [`Mode::Scalar`] for "scalar" — and
-/// `sel` picks the temporal steady state (portable or AVX2, resolved once
-/// per run and returned next to the grid). All paths are bit-identical to
-/// the reference.
-// The run_gs_* parameter lists mirror the paper's tiling knobs
-// (steps, block, band, executor mode, engine selection, pool) one-to-one.
+/// skewed tiling (one-shot wrapper over [`SkewGs1d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs1d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_1d<K: Avx2Exec1d>(
+pub fn run_gs_1d<K: Avx2Exec1d + Copy>(
     grid: &Grid1<f64>,
     kern: &K,
     steps: usize,
@@ -122,58 +260,157 @@ pub fn run_gs_1d<K: Avx2Exec1d>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid1<f64>, Option<Engine>) {
-    assert!(K::IS_GS);
-    let s = gs_stride(mode);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of {VL}"
-    );
-    assert!(
-        block >= height + VL * s + VL,
-        "block too narrow for wave disjointness"
-    );
+    let mut w = SkewGs1d::new(*kern, grid.n(), steps, block, height, mode, sel);
     let mut g = grid.clone();
-    let n = g.n();
-    let bands = steps / height;
-    let nblocks = block_count(n, block, height);
-    let engine = resolve_skew(sel, mode, K::avx2_band(s), n, block, height, bands);
-    {
-        let data = g.data_mut();
-        let shared = SyncSlice::new(data);
-        pool.waves(bands, nblocks, |_b, i| {
-            // SAFETY: wave scheduling keeps concurrent tiles ≥ 2 blocks
-            // apart; a tile touches [xl - height - VL·s, xr + 1] ⊂ its
-            // block ± one block for block ≥ height + VL·s + VL (asserted).
-            let a = unsafe { shared.slice_mut() };
-            let (xl, xr) = block_bounds(i, n, block, height);
-            for j in 0..height / VL {
-                let off = j * VL;
-                if xr <= off {
-                    break;
-                }
-                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                match engine {
-                    None => t1d_band::band_scalar_gs(a, xlj, xrj, VL, n, kern),
-                    Some(Engine::Avx2) => kern.band_avx2(a, xlj, xrj, n, s),
-                    Some(Engine::Portable) => {
-                        t1d_band::band_temporal_gs::<VL, K>(a, xlj, xrj, n, s, kern)
+    w.advance(&mut g, pool);
+    (g, w.engine())
+}
+
+// ---------------------------------------------------------------------
+// 2-D workspace
+// ---------------------------------------------------------------------
+
+/// Reusable skewed-tiling workspace for 2-D Gauss-Seidel along the outer
+/// dimension. See [`SkewGs1d`] for the lifecycle and engine contract.
+pub struct SkewGs2d<K: Avx2Exec2d<f64>> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    engine: Option<Engine>,
+    nx: usize,
+    ny: usize,
+    nblocks: usize,
+    bands: usize,
+    scratch: Vec<t2d_band::BandScratch2d<VL>>,
+    rem_rows: (Vec<f64>, Vec<f64>),
+}
+
+impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
+    /// Build a workspace for an `nx × ny` interior. See
+    /// [`SkewGs1d::new`] for the panics contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kern: K,
+        nx: usize,
+        ny: usize,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        assert!(K::IS_GS);
+        let s = gs_stride(mode);
+        check_skew_geometry(block, height, s);
+        let bands = steps / height;
+        let nblocks = block_count(nx, block, height);
+        let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
+        // Per-block band scratch (the wave dependences serialize all
+        // tasks of one block index).
+        let scratch: Vec<t2d_band::BandScratch2d<VL>> = match engine {
+            Some(_) => (0..nblocks)
+                .map(|_| t2d_band::BandScratch2d::new(s, ny))
+                .collect(),
+            None => Vec::new(),
+        };
+        SkewGs2d {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            nx,
+            ny,
+            nblocks,
+            bands,
+            scratch,
+            rem_rows: (vec![0.0; ny + 2], vec![0.0; ny + 2]),
+        }
+    }
+
+    /// The banded engine this workspace resolved to.
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of skewed blocks per band.
+    pub fn blocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place.
+    pub fn advance(&mut self, g: &mut Grid2<f64>, pool: &Pool) {
+        assert_eq!(
+            (g.nx(), g.ny()),
+            (self.nx, self.ny),
+            "grid does not match workspace geometry"
+        );
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            nx,
+            nblocks,
+            bands,
+            scratch,
+            rem_rows,
+            ..
+        } = self;
+        let (nx, block, height, s) = (*nx, *block, *height, *s);
+        let engine = *engine;
+        {
+            let shared_grid = SyncSlice::new(core::slice::from_mut(g));
+            let scratch_shared = SyncSlice::new(scratch);
+            pool.waves(*bands, *nblocks, |_b, i| {
+                // SAFETY: same wave-distance argument as SkewGs1d, with rows
+                // as the banded unit; scratch slot i belongs to block i alone.
+                let g = &mut unsafe { shared_grid.slice_mut() }[0];
+                let (xl, xr) = block_bounds(i, nx, block, height);
+                for j in 0..height / VL {
+                    let off = j * VL;
+                    if xr <= off {
+                        break;
+                    }
+                    let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                    match engine {
+                        None => t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern),
+                        Some(eng) => {
+                            let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+                            match eng {
+                                Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
+                                Engine::Portable => {
+                                    t2d_band::band_temporal_gs2d::<VL, K>(g, xlj, xrj, s, kern, sc)
+                                }
+                            }
+                        }
                     }
                 }
+            });
+        }
+        let rem = *steps % height;
+        if rem > 0 {
+            let (ra, rb) = rem_rows;
+            for _ in 0..rem {
+                t2d::scalar_step_inplace(g, kern, ra, rb);
             }
-        });
+        }
     }
-    let a = g.data_mut();
-    for _ in 0..steps % height {
-        t1d::scalar_step_inplace(a, n, kern);
-    }
-    (g, engine)
 }
 
 /// Run `steps` Gauss-Seidel time steps over a 2-D grid with pipelined
-/// skewed tiling along the outer dimension. See [`run_gs_1d`] for the
-/// mode / selection / resolved-engine contract.
+/// skewed tiling (one-shot wrapper over [`SkewGs2d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs2d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_2d<K: Avx2Exec2d<f64>>(
+pub fn run_gs_2d<K: Avx2Exec2d<f64> + Copy>(
     grid: &Grid2<f64>,
     kern: &K,
     steps: usize,
@@ -183,74 +420,159 @@ pub fn run_gs_2d<K: Avx2Exec2d<f64>>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid2<f64>, Option<Engine>) {
-    assert!(K::IS_GS);
-    let s = gs_stride(mode);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of {VL}"
-    );
-    assert!(
-        block >= height + VL * s + VL,
-        "block too narrow for wave disjointness"
-    );
+    let mut w = SkewGs2d::new(*kern, grid.nx(), grid.ny(), steps, block, height, mode, sel);
     let mut g = grid.clone();
-    let (nx, ny) = (g.nx(), g.ny());
-    let bands = steps / height;
-    let nblocks = block_count(nx, block, height);
-    let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
-    // Per-block band scratch, hoisted out of the wave loop (the wave
-    // dependences serialize all tasks of one block index).
-    let mut scratch: Vec<t2d_band::BandScratch2d<VL>> = match engine {
-        Some(_) => (0..nblocks)
-            .map(|_| t2d_band::BandScratch2d::new(s, ny))
-            .collect(),
-        None => Vec::new(),
-    };
-    {
-        let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
-        let scratch_shared = SyncSlice::new(&mut scratch);
-        pool.waves(bands, nblocks, |_b, i| {
-            // SAFETY: same wave-distance argument as run_gs_1d, with rows
-            // as the banded unit; scratch slot i belongs to block i alone.
-            let g = &mut unsafe { shared_grid.slice_mut() }[0];
-            let (xl, xr) = block_bounds(i, nx, block, height);
-            for j in 0..height / VL {
-                let off = j * VL;
-                if xr <= off {
-                    break;
-                }
-                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                match engine {
-                    None => t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern),
-                    Some(eng) => {
-                        let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
-                        match eng {
-                            Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
-                            Engine::Portable => {
-                                t2d_band::band_temporal_gs2d::<VL, K>(g, xlj, xrj, s, kern, sc)
+    w.advance(&mut g, pool);
+    (g, w.engine())
+}
+
+// ---------------------------------------------------------------------
+// 3-D workspace
+// ---------------------------------------------------------------------
+
+/// Reusable skewed-tiling workspace for 3-D Gauss-Seidel along the outer
+/// dimension. See [`SkewGs1d`] for the lifecycle and engine contract.
+pub struct SkewGs3d<K: Avx2Exec3d> {
+    kern: K,
+    steps: usize,
+    block: usize,
+    height: usize,
+    s: usize,
+    engine: Option<Engine>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    nblocks: usize,
+    bands: usize,
+    scratch: Vec<t3d_band::BandScratch3d<VL>>,
+    rem_planes: (Vec<f64>, Vec<f64>),
+}
+
+impl<K: Avx2Exec3d> SkewGs3d<K> {
+    /// Build a workspace for an `nx × ny × nz` interior. See
+    /// [`SkewGs1d::new`] for the panics contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kern: K,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+    ) -> Self {
+        assert!(K::IS_GS);
+        let s = gs_stride(mode);
+        check_skew_geometry(block, height, s);
+        let bands = steps / height;
+        let nblocks = block_count(nx, block, height);
+        let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
+        let scratch: Vec<t3d_band::BandScratch3d<VL>> = match engine {
+            Some(_) => (0..nblocks)
+                .map(|_| t3d_band::BandScratch3d::new(s, ny, nz))
+                .collect(),
+            None => Vec::new(),
+        };
+        let wp = (ny + 2) * (nz + 2);
+        SkewGs3d {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            nx,
+            ny,
+            nz,
+            nblocks,
+            bands,
+            scratch,
+            rem_planes: (vec![0.0; wp], vec![0.0; wp]),
+        }
+    }
+
+    /// The banded engine this workspace resolved to.
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
+    }
+
+    /// Number of skewed blocks per band.
+    pub fn blocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Advance `g` by the workspace's `steps` time levels in place.
+    pub fn advance(&mut self, g: &mut Grid3<f64>, pool: &Pool) {
+        assert_eq!(
+            (g.nx(), g.ny(), g.nz()),
+            (self.nx, self.ny, self.nz),
+            "grid does not match workspace geometry"
+        );
+        let Self {
+            kern,
+            steps,
+            block,
+            height,
+            s,
+            engine,
+            nx,
+            nblocks,
+            bands,
+            scratch,
+            rem_planes,
+            ..
+        } = self;
+        let (nx, block, height, s) = (*nx, *block, *height, *s);
+        let engine = *engine;
+        {
+            let shared_grid = SyncSlice::new(core::slice::from_mut(g));
+            let scratch_shared = SyncSlice::new(scratch);
+            pool.waves(*bands, *nblocks, |_b, i| {
+                // SAFETY: same wave-distance argument, slabs as the unit;
+                // scratch slot i belongs to block i alone.
+                let g = &mut unsafe { shared_grid.slice_mut() }[0];
+                let (xl, xr) = block_bounds(i, nx, block, height);
+                for j in 0..height / VL {
+                    let off = j * VL;
+                    if xr <= off {
+                        break;
+                    }
+                    let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
+                    match engine {
+                        None => t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern),
+                        Some(eng) => {
+                            let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+                            match eng {
+                                Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
+                                Engine::Portable => {
+                                    t3d_band::band_temporal_gs3d::<VL, K>(g, xlj, xrj, s, kern, sc)
+                                }
                             }
                         }
                     }
                 }
+            });
+        }
+        let rem = *steps % height;
+        if rem > 0 {
+            let (pa, pb) = rem_planes;
+            for _ in 0..rem {
+                t3d::scalar_step_inplace(g, kern, pa, pb);
             }
-        });
-    }
-    let rem = steps % height;
-    if rem > 0 {
-        let w = ny + 2;
-        let (mut ra, mut rb) = (vec![0.0; w], vec![0.0; w]);
-        for _ in 0..rem {
-            t2d::scalar_step_inplace(&mut g, kern, &mut ra, &mut rb);
         }
     }
-    (g, engine)
 }
 
 /// Run `steps` Gauss-Seidel time steps over a 3-D grid with pipelined
-/// skewed tiling along the outer dimension. See [`run_gs_1d`] for the
-/// mode / selection / resolved-engine contract.
+/// skewed tiling (one-shot wrapper over [`SkewGs3d`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs3d` workspace) instead"
+)]
 #[allow(clippy::too_many_arguments)]
-pub fn run_gs_3d<K: Avx2Exec3d>(
+pub fn run_gs_3d<K: Avx2Exec3d + Copy>(
     grid: &Grid3<f64>,
     kern: &K,
     steps: usize,
@@ -260,65 +582,20 @@ pub fn run_gs_3d<K: Avx2Exec3d>(
     sel: Select,
     pool: &Pool,
 ) -> (Grid3<f64>, Option<Engine>) {
-    assert!(K::IS_GS);
-    let s = gs_stride(mode);
-    assert!(
-        height >= VL && height % VL == 0,
-        "height must be a multiple of {VL}"
-    );
-    assert!(
-        block >= height + VL * s + VL,
-        "block too narrow for wave disjointness"
+    let mut w = SkewGs3d::new(
+        *kern,
+        grid.nx(),
+        grid.ny(),
+        grid.nz(),
+        steps,
+        block,
+        height,
+        mode,
+        sel,
     );
     let mut g = grid.clone();
-    let (nx, ny, nz) = (g.nx(), g.ny(), g.nz());
-    let bands = steps / height;
-    let nblocks = block_count(nx, block, height);
-    let engine = resolve_skew(sel, mode, K::avx2_band(s), nx, block, height, bands);
-    let mut scratch: Vec<t3d_band::BandScratch3d<VL>> = match engine {
-        Some(_) => (0..nblocks)
-            .map(|_| t3d_band::BandScratch3d::new(s, ny, nz))
-            .collect(),
-        None => Vec::new(),
-    };
-    {
-        let shared_grid = SyncSlice::new(core::slice::from_mut(&mut g));
-        let scratch_shared = SyncSlice::new(&mut scratch);
-        pool.waves(bands, nblocks, |_b, i| {
-            // SAFETY: same wave-distance argument, slabs as the unit;
-            // scratch slot i belongs to block i alone.
-            let g = &mut unsafe { shared_grid.slice_mut() }[0];
-            let (xl, xr) = block_bounds(i, nx, block, height);
-            for j in 0..height / VL {
-                let off = j * VL;
-                if xr <= off {
-                    break;
-                }
-                let (xlj, xrj) = (xl.saturating_sub(off).max(1), xr - off);
-                match engine {
-                    None => t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern),
-                    Some(eng) => {
-                        let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
-                        match eng {
-                            Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
-                            Engine::Portable => {
-                                t3d_band::band_temporal_gs3d::<VL, K>(g, xlj, xrj, s, kern, sc)
-                            }
-                        }
-                    }
-                }
-            }
-        });
-    }
-    let rem = steps % height;
-    if rem > 0 {
-        let wp = (ny + 2) * (nz + 2);
-        let (mut pa, mut pb) = (vec![0.0; wp], vec![0.0; wp]);
-        for _ in 0..rem {
-            t3d::scalar_step_inplace(&mut g, kern, &mut pa, &mut pb);
-        }
-    }
-    (g, engine)
+    w.advance(&mut g, pool);
+    (g, w.engine())
 }
 
 #[cfg(test)]
@@ -328,6 +605,23 @@ mod tests {
     use tempora_grid::{fill_random_1d, fill_random_2d, fill_random_3d, Boundary};
     use tempora_stencil::reference;
     use tempora_stencil::{Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs};
+
+    #[allow(clippy::too_many_arguments)]
+    fn skew_1d<K: Avx2Exec1d + Copy>(
+        grid: &Grid1<f64>,
+        kern: &K,
+        steps: usize,
+        block: usize,
+        height: usize,
+        mode: Mode,
+        sel: Select,
+        pool: &Pool,
+    ) -> (Grid1<f64>, Option<Engine>) {
+        let mut w = SkewGs1d::new(*kern, grid.n(), steps, block, height, mode, sel);
+        let mut g = grid.clone();
+        w.advance(&mut g, pool);
+        (g, w.engine())
+    }
 
     #[test]
     fn gs1d_parallel_matches_reference_all_thread_counts() {
@@ -344,8 +638,7 @@ mod tests {
                 fill_random_1d(&mut g, n as u64 + threads as u64, -1.0, 1.0);
                 let gold = reference::gs1d(&g, c, steps);
                 for mode in [Mode::Scalar, Mode::Temporal(s)] {
-                    let (ours, _) =
-                        run_gs_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
+                    let (ours, _) = skew_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
                     assert!(
                         ours.interior_eq(&gold),
                         "threads={threads} n={n} block={block} s={s} steps={steps} \
@@ -364,9 +657,9 @@ mod tests {
         let pool = Pool::new(2);
         let mut g = Grid1::new(500, 1, Boundary::Dirichlet(0.6));
         fill_random_1d(&mut g, 9, -1.0, 1.0);
-        let (_, e) = run_gs_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
+        let (_, e) = skew_1d(&g, &kern, 8, 64, 4, Mode::Scalar, Select::Auto, &pool);
         assert_eq!(e, None);
-        let (_, e) = run_gs_1d(
+        let (_, e) = skew_1d(
             &g,
             &kern,
             8,
@@ -378,14 +671,14 @@ mod tests {
         );
         assert_eq!(e, Some(Engine::Portable));
         if tempora_simd::arch::avx2_available() {
-            let (_, e) = run_gs_1d(&g, &kern, 8, 64, 4, Mode::Temporal(2), Select::Auto, &pool);
+            let (_, e) = skew_1d(&g, &kern, 8, 64, 4, Mode::Temporal(2), Select::Auto, &pool);
             assert_eq!(e, Some(Engine::Avx2));
             // All-degenerate geometry (every block is an edge block or too
             // narrow for the vector band): honest portable even when AVX2
             // is requested.
             let mut small = Grid1::new(60, 1, Boundary::Dirichlet(0.0));
             fill_random_1d(&mut small, 2, -1.0, 1.0);
-            let (r, e) = run_gs_1d(
+            let (r, e) = skew_1d(
                 &small,
                 &kern,
                 8,
@@ -401,7 +694,20 @@ mod tests {
     }
 
     #[test]
-    fn gs2d_parallel_matches_reference() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let c = Gs1dCoeffs::classic(0.27);
+        let kern = GsKern1d(c);
+        let pool = Pool::new(2);
+        let mut g = Grid1::new(400, 1, Boundary::Dirichlet(0.1));
+        fill_random_1d(&mut g, 5, -1.0, 1.0);
+        let gold = reference::gs1d(&g, c, 8);
+        let (ours, _) = run_gs_1d(&g, &kern, 8, 64, 4, Mode::Temporal(2), Select::Auto, &pool);
+        assert!(ours.interior_eq(&gold));
+    }
+
+    #[test]
+    fn gs2d_parallel_matches_reference_and_workspace_reuse_is_allocation_free() {
         let c = Gs2dCoeffs::classic(0.19);
         let kern = GsKern2d(c);
         for threads in [1usize, 2] {
@@ -410,12 +716,31 @@ mod tests {
             fill_random_2d(&mut g, 21, -1.0, 1.0);
             let gold = reference::gs2d(&g, c, 8);
             for mode in [Mode::Scalar, Mode::Temporal(2)] {
-                let (ours, _) = run_gs_2d(&g, &kern, 8, 48, 8, mode, Select::Auto, &pool);
+                let mut w = SkewGs2d::new(kern, g.nx(), g.ny(), 8, 48, 8, mode, Select::Auto);
+                let mut ours = g.clone();
+                w.advance(&mut ours, &pool);
                 assert!(
                     ours.interior_eq(&gold),
                     "threads={threads} mode={mode:?} {:?}",
                     ours.first_diff(&gold)
                 );
+                // Reuse on a fresh state: identical and allocation-free.
+                // Process-global counter + concurrent sibling tests:
+                // retry until a clean window (a real allocation in
+                // `advance` would taint every window).
+                let mut clean = false;
+                for _ in 0..32 {
+                    let mut again = g.clone();
+                    let before = tempora_grid::alloc_count();
+                    w.advance(&mut again, &pool);
+                    let delta = tempora_grid::alloc_count() - before;
+                    assert!(again.interior_eq(&gold));
+                    if delta == 0 {
+                        clean = true;
+                        break;
+                    }
+                }
+                assert!(clean, "advance allocated in every observed window");
             }
         }
     }
@@ -429,7 +754,9 @@ mod tests {
         fill_random_3d(&mut g, 13, -1.0, 1.0);
         let gold = reference::gs3d(&g, c, 9); // 2 bands + remainder
         for mode in [Mode::Scalar, Mode::Temporal(2)] {
-            let (ours, _) = run_gs_3d(&g, &kern, 9, 24, 4, mode, Select::Auto, &pool);
+            let mut w = SkewGs3d::new(kern, g.nx(), g.ny(), g.nz(), 9, 24, 4, mode, Select::Auto);
+            let mut ours = g.clone();
+            w.advance(&mut ours, &pool);
             assert!(
                 ours.interior_eq(&gold),
                 "mode={mode:?} {:?}",

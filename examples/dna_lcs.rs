@@ -1,15 +1,13 @@
 //! Longest common subsequence of two DNA-like sequences, computed with
-//! the temporal DP engine (§3.4) and the parallel rectangle tiling.
+//! the temporal DP engine (§3.4) and the parallel rectangle tiling —
+//! all through the solver API.
 //!
 //! Run with: `cargo run --release --example dna_lcs`
 
 use std::time::Instant;
 
-use tempora::core::lcs;
 use tempora::grid::random_sequence;
-use tempora::parallel::Pool;
-use tempora::stencil::reference;
-use tempora::tiling::lcs_rect;
+use tempora::prelude::*;
 
 fn to_dna(seq: &[u8]) -> String {
     seq.iter()
@@ -17,11 +15,27 @@ fn to_dna(seq: &[u8]) -> String {
         .collect()
 }
 
+/// Compile a plan for `(a, b)` with the given builder and run it once,
+/// returning the LCS length and the wall time.
+fn run_lcs(a: &[u8], b: &[u8], builder: PlanBuilder) -> (i32, f64) {
+    let problem = Problem::lcs(a.len(), b.len());
+    let mut plan = builder.build(&problem).expect("valid configuration");
+    let mut state = problem.state();
+    {
+        let l = state.lcs_mut().unwrap();
+        l.a = a.to_vec();
+        l.b = b.to_vec();
+    }
+    let t0 = Instant::now();
+    let report = plan.run(&mut state).expect("state matches plan");
+    (report.lcs_length.unwrap(), t0.elapsed().as_secs_f64())
+}
+
 fn main() {
     // Small demo pair first: show the actual subsequence length.
     let a = b"GATTACAAGGTACCATGCA";
     let b = b"GTTAACAGGGTCCATGA";
-    let len = lcs::length(a, b, 1);
+    let (len, _) = run_lcs(a, b, PlanBuilder::new());
     println!(
         "LCS({}, {}) = {}",
         String::from_utf8_lossy(a),
@@ -44,15 +58,24 @@ fn main() {
     let gold = reference::lcs_len(&sa, &sb);
     let t_scalar = t0.elapsed().as_secs_f64();
 
-    let t0 = Instant::now();
-    let fast = lcs::length(&sa, &sb, 1);
-    let t_temporal = t0.elapsed().as_secs_f64();
+    // Sequential temporal DP (i32 × 8 lanes).
+    let (fast, t_temporal) = run_lcs(&sa, &sb, PlanBuilder::new());
     assert_eq!(fast, gold);
 
-    let pool = Pool::max();
-    let t0 = Instant::now();
-    let par = lcs_rect::run_lcs(&sa, &sb, 2048, 2048, 1, true, &pool);
-    let t_par = t0.elapsed().as_secs_f64();
+    // Parallel rectangle tiling on all cores.
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (par, t_par) = run_lcs(
+        &sa,
+        &sb,
+        PlanBuilder::new()
+            .tiling(Tiling::LcsRect {
+                xblock: 2048,
+                yblock: 2048,
+            })
+            .threads(threads),
+    );
     assert_eq!(par, gold);
 
     let gcells = |t: f64| (n as f64) * (n as f64) / t / 1e9;
@@ -71,8 +94,7 @@ fn main() {
         gcells(t_temporal)
     );
     println!(
-        "temporal + tiles ({}T): {:.3}s = {:.2} Gcells/s",
-        pool.threads(),
+        "temporal + tiles ({threads}T): {:.3}s = {:.2} Gcells/s",
         t_par,
         gcells(t_par)
     );

@@ -1,14 +1,14 @@
-//! Conway's Game of Life on the integer temporal engine (8 lanes).
+//! Conway's Game of Life on the integer temporal engine (8 lanes),
+//! driven through the solver API.
 //!
 //! The paper evaluates the Pluto B2S23 variant; this example runs classic
 //! Conway B3S23 so the famous patterns behave as expected, using the same
-//! `i32×8` temporal engine — one tile advances **eight generations per
-//! sweep** of the board.
+//! `i32×8` temporal engine — one plan run advances **eight generations
+//! per sweep** of the board (one temporal tile), and the compiled plan is
+//! reused for every batch of generations.
 //!
 //! Run with: `cargo run --release --example game_of_life`
 
-use tempora::core::kernels::LifeKern2d;
-use tempora::core::t2d;
 use tempora::grid::Grid2;
 use tempora::prelude::*;
 
@@ -21,12 +21,7 @@ fn render(g: &Grid2<i32>, rows: usize, cols: usize) {
     }
 }
 
-fn main() {
-    let (nx, ny) = (32usize, 64usize);
-    let rule = LifeRule::conway();
-    let kern = LifeKern2d(rule);
-
-    let mut board = Grid2::<i32>::new(nx, ny, 1, Boundary::Dirichlet(0));
+fn seed(board: &mut Grid2<i32>) {
     // A glider heading south-east…
     for &(x, y) in &[(2, 3), (3, 4), (4, 2), (4, 3), (4, 4)] {
         board.set(x, y, 1);
@@ -39,31 +34,38 @@ fn main() {
     for &(x, y) in &[(20, 20), (20, 21), (21, 20), (21, 21)] {
         board.set(x, y, 1);
     }
+}
+
+fn main() {
+    let (nx, ny) = (32usize, 64usize);
+    let rule = LifeRule::conway();
+
+    // One plan run = 8 generations: exactly one temporal tile of the
+    // vl = 8 integer engine.
+    let problem = Problem::life(nx, ny, 8, rule);
+    let mut plan = PlanBuilder::new()
+        .stride(2)
+        .build(&problem)
+        .expect("valid configuration");
+
+    let mut state = problem.state();
+    seed(state.grid2i_mut().unwrap());
 
     println!("generation 0:");
-    render(&board, nx, ny);
+    render(state.grid2i().unwrap(), nx, ny);
 
     for gen in [8usize, 16, 24] {
-        // Each call advances 8 generations: exactly one temporal tile of
-        // the vl = 8 integer engine.
-        board = t2d::run::<i32, 8, _>(&board, &kern, 8, 2);
+        plan.run(&mut state).expect("state matches plan");
         println!("\ngeneration {gen}:");
-        render(&board, nx, ny);
+        render(state.grid2i().unwrap(), nx, ny);
     }
 
     // The glider must have translated (+6, +6) after 24 generations and
     // the block must be unchanged — verified against the scalar oracle.
     let mut check = Grid2::<i32>::new(nx, ny, 1, Boundary::Dirichlet(0));
-    for &(x, y) in &[(2, 3), (3, 4), (4, 2), (4, 3), (4, 4)] {
-        check.set(x, y, 1);
-    }
-    for d in 0..3 {
-        check.set(10 + d, 40, 1);
-    }
-    for &(x, y) in &[(20, 20), (20, 21), (21, 20), (21, 21)] {
-        check.set(x, y, 1);
-    }
+    seed(&mut check);
     let gold = reference::life(&check, rule, 24);
+    let board = state.grid2i().unwrap();
     assert!(board.interior_eq(&gold));
     assert_eq!(board.get(20, 20), 1, "block is a still life");
     println!("\nverification vs scalar reference: exact ✓");

@@ -1,8 +1,11 @@
-//! Quickstart: temporal vectorization of a 1-D heat equation.
+//! Quickstart: temporal vectorization of a 1-D heat equation through the
+//! solver API.
 //!
-//! Builds a grid, advances it with the paper's temporal scheme, verifies
-//! the result bit-for-bit against the scalar reference, and reports the
-//! speedup.
+//! Describes the problem once, compiles a `Plan` once (geometry
+//! validated, engine resolved, scratch allocated), runs it against a
+//! state, verifies the result bit-for-bit against the scalar reference,
+//! and reports the speedup — then shows the point of plans: re-running
+//! the compiled plan on fresh states with amortized setup.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -15,26 +18,39 @@ fn main() {
     let n = 1 << 20;
     let steps = 1024;
     let coeffs = Heat1dCoeffs::classic(0.25);
+    let problem = Problem::heat1d(n, steps, coeffs);
 
-    let mut grid = Grid1::new(n, 1, Boundary::Dirichlet(0.0));
-    // A hot spot in the middle of a cold rod.
-    grid.fill_interior(|i| {
+    let hot_spot = |i: usize| {
         if (n / 2 - 50..n / 2 + 50).contains(&i) {
             1.0
         } else {
             0.0
         }
-    });
+    };
 
     // The paper's temporal vectorization: vector length 4 (AVX doubles),
-    // space stride s = 7 (8 in-flight input vectors, §3.3).
+    // space stride s = 7 (8 in-flight input vectors, §3.3). The plan
+    // resolves the engine (portable vs AVX2, honouring TEMPORA_ENGINE)
+    // and allocates every scratch buffer once, up front.
+    let mut plan = PlanBuilder::new()
+        .stride(7)
+        .select(Select::from_env())
+        .build(&problem)
+        .expect("valid configuration");
+
+    let mut state = problem.state();
+    state.grid1_mut().unwrap().fill_interior(hot_spot);
+
     let t0 = Instant::now();
-    let ours = temporal1d_jacobi(&grid, coeffs, steps, 7);
+    let report = plan.run(&mut state).expect("state matches plan");
     let t_our = t0.elapsed().as_secs_f64();
+    let ours = state.grid1().unwrap();
 
     // The naive scalar sweep (Algorithm 1 of the paper).
+    let mut init = Grid1::new(n, 1, Boundary::Dirichlet(0.0));
+    init.fill_interior(hot_spot);
     let t0 = Instant::now();
-    let gold = reference::heat1d(&grid, coeffs, steps);
+    let gold = reference::heat1d(&init, coeffs, steps);
     let t_ref = t0.elapsed().as_secs_f64();
 
     assert!(
@@ -45,9 +61,10 @@ fn main() {
     let gsten = |t: f64| (n as f64 * steps as f64) / t / 1e9;
     println!("grid:              {n} points, {steps} steps");
     println!(
-        "temporal (our):    {:.3}s  = {:.3} Gstencils/s",
+        "temporal (our):    {:.3}s  = {:.3} Gstencils/s  [engine: {}]",
         t_our,
-        gsten(t_our)
+        gsten(t_our),
+        report.engine.map_or("-", |e| e.name()),
     );
     println!(
         "scalar reference:  {:.3}s  = {:.3} Gstencils/s",
@@ -56,6 +73,20 @@ fn main() {
     );
     println!("speedup:           {:.2}x", t_ref / t_our);
     println!("results:           bit-identical ✓");
+
+    // Plan reuse: the same compiled plan serves fresh states with zero
+    // further setup (no validation, no engine resolution, no allocation).
+    let mut state2 = problem.state();
+    state2.grid1_mut().unwrap().fill_interior(hot_spot);
+    let t0 = Instant::now();
+    plan.run(&mut state2).unwrap();
+    let t_reuse = t0.elapsed().as_secs_f64();
+    assert!(state2.grid1().unwrap().interior_eq(&gold));
+    println!(
+        "plan reuse:        {:.3}s  = {:.3} Gstencils/s (second state, amortized setup)",
+        t_reuse,
+        gsten(t_reuse)
+    );
 
     // Peek at the diffused profile.
     let mid = n / 2;

@@ -227,7 +227,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Lengths accepted by [`vec`]: an exact length or a half-open range.
+    /// Lengths accepted by [`vec()`]: an exact length or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

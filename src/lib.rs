@@ -24,14 +24,19 @@
 //! | [`stencil`] | problem definitions, dependence analysis, scalar oracles |
 //! | [`baseline`] | spatial schemes: multi-load, data-reorganization, DLT |
 //! | [`core`] | **the paper's contribution**: temporal engines, AVX2 steady states, [`engine`] dispatch |
-//! | [`tiling`] | diamond / parallelogram / hybrid / rectangle tiling |
+//! | [`tiling`] | ghost / skewed / rectangle tiling workspaces |
 //! | [`parallel`] | crossbeam worker pool + wavefront executor |
+//! | [`plan`] | **the solver API**: `Problem → PlanBuilder → Plan → Report` |
 //!
-//! Engine selection (portable pack model vs hand-scheduled `std::arch`
-//! AVX2) is unified in [`engine`]; the `TEMPORA_ENGINE` environment
-//! variable (`auto` | `portable` | `avx2`) overrides it process-wide.
-//! Every engine is bit-identical to the scalar oracles, so dispatch
-//! never changes results.
+//! The unified entry point is the [`plan`] layer: describe a
+//! [`prelude::Problem`], compile a [`prelude::Plan`] (geometry validated,
+//! engine resolved, scratch and thread pool allocated once), then execute
+//! it against any number of states with amortized setup. Engine selection
+//! (portable pack model vs hand-scheduled `std::arch` AVX2) is unified in
+//! [`engine`]; the `TEMPORA_ENGINE` environment variable (`auto` |
+//! `portable` | `avx2`) overrides it process-wide via
+//! [`engine::Select::from_env`]. Every engine is bit-identical to the
+//! scalar oracles, so dispatch never changes results.
 //!
 //! ## Quickstart
 //!
@@ -39,16 +44,26 @@
 //! use tempora::prelude::*;
 //!
 //! // A 1-D heat equation on 1000 points, 64 time steps.
-//! let coeffs = Heat1dCoeffs::classic(0.25);
-//! let mut grid = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
-//! grid.fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+//! let problem = Problem::heat1d(1000, 64, Heat1dCoeffs::classic(0.25));
 //!
-//! // Temporal vectorization (the paper's scheme, space stride s = 7).
-//! let ours = temporal1d_jacobi(&grid, coeffs, 64, 7);
+//! // Compile a plan once: temporal vectorization (the paper's scheme,
+//! // space stride s = 7), engine resolved, scratch allocated.
+//! let mut plan = PlanBuilder::new().stride(7).build(&problem).unwrap();
 //!
-//! // Scalar reference.
-//! let gold = reference::heat1d(&grid, coeffs, 64);
-//! assert!(ours.interior_eq(&gold));
+//! // Run it against a state (reusable across many states).
+//! let mut state = problem.state();
+//! state
+//!     .grid1_mut()
+//!     .unwrap()
+//!     .fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+//! let report = plan.run(&mut state).unwrap();
+//! assert_eq!(report.steps, 64);
+//!
+//! // Scalar reference: bit-identical.
+//! let mut init = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
+//! init.fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+//! let gold = reference::heat1d(&init, Heat1dCoeffs::classic(0.25), 64);
+//! assert!(state.grid1().unwrap().interior_eq(&gold));
 //! ```
 
 #![deny(missing_docs)]
@@ -59,15 +74,22 @@ pub use tempora_core as core;
 pub use tempora_core::engine;
 pub use tempora_grid as grid;
 pub use tempora_parallel as parallel;
+pub use tempora_plan as plan;
 pub use tempora_simd as simd;
 pub use tempora_stencil as stencil;
 pub use tempora_tiling as tiling;
 
-/// Convenience re-exports covering the common workflow: build a grid,
-/// pick a stencil, run a scheme, compare against the oracle.
+/// Convenience re-exports covering the common workflow: describe a
+/// [`Problem`](plan::Problem), compile a [`Plan`](plan::Plan), run it,
+/// compare against the oracle. The quickstart in the crate docs compiles
+/// from this prelude alone.
 pub mod prelude {
     pub use tempora_core::{temporal1d_gs, temporal1d_jacobi};
     pub use tempora_grid::{Boundary, DoubleBuffer, Grid1, Grid2, Grid3};
+    pub use tempora_plan::{
+        Engine, LcsState, Method, Plan, PlanBuilder, PlanError, Problem, Report, Select, State,
+        TileGeometry, Tiling,
+    };
     pub use tempora_simd::{F64x4, I32x8, Pack, Scalar};
     pub use tempora_stencil::reference;
     pub use tempora_stencil::{

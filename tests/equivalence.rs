@@ -2,15 +2,19 @@
 //! baselines, temporal engines, tiled + parallel schedules — must
 //! reproduce the scalar references exactly (bit-for-bit for floats, since
 //! all kernels share the same fused operation trees; exact for integers).
+//!
+//! Every dispatched path is exercised through the unified solver API
+//! (`tempora::plan`): a [`Problem`] is compiled into a [`Plan`] and run
+//! against a state, so these tests cover validation, engine resolution
+//! and plan execution end to end.
 
 use tempora::baseline::{dlt, multiload, reorg};
-use tempora::core::engine::{self, Engine, Select};
+use tempora::core::engine;
 use tempora::core::kernels::*;
 use tempora::core::{lcs, t1d, t2d, t3d};
 use tempora::grid::*;
-use tempora::parallel::Pool;
+use tempora::prelude::{Engine, Method, Plan, PlanBuilder, Problem, Select, State, Tiling};
 use tempora::stencil::*;
-use tempora::tiling::{ghost, lcs_rect, skew, Mode};
 
 fn g1(n: usize, seed: u64, b: f64) -> Grid1<f64> {
     let mut g = Grid1::new(n, 1, Boundary::Dirichlet(b));
@@ -28,6 +32,77 @@ fn g3(n: usize, seed: u64) -> Grid3<f64> {
     let mut g = Grid3::new(n, n, n, 1, Boundary::Dirichlet(0.1));
     fill_random_3d(&mut g, seed, -1.0, 1.0);
     g
+}
+
+// ---------------------------------------------------------------------
+// Plan-driven execution helpers (compile + run + unwrap the state)
+// ---------------------------------------------------------------------
+
+fn compile(problem: &Problem, b: PlanBuilder) -> Plan {
+    b.build(problem).expect("test configuration must be valid")
+}
+
+fn run1(problem: &Problem, b: PlanBuilder, g: &Grid1<f64>) -> (Grid1<f64>, Option<Engine>) {
+    let mut plan = compile(problem, b);
+    let mut state = State::Grid1(g.clone());
+    let report = plan.run(&mut state).expect("state matches plan");
+    let State::Grid1(out) = state else {
+        unreachable!()
+    };
+    (out, report.engine)
+}
+
+fn run2(problem: &Problem, b: PlanBuilder, g: &Grid2<f64>) -> (Grid2<f64>, Option<Engine>) {
+    let mut plan = compile(problem, b);
+    let mut state = State::Grid2(g.clone());
+    let report = plan.run(&mut state).expect("state matches plan");
+    let State::Grid2(out) = state else {
+        unreachable!()
+    };
+    (out, report.engine)
+}
+
+fn run2i(problem: &Problem, b: PlanBuilder, g: &Grid2<i32>) -> (Grid2<i32>, Option<Engine>) {
+    let mut plan = compile(problem, b);
+    let mut state = State::Grid2i(g.clone());
+    let report = plan.run(&mut state).expect("state matches plan");
+    let State::Grid2i(out) = state else {
+        unreachable!()
+    };
+    (out, report.engine)
+}
+
+fn run3(problem: &Problem, b: PlanBuilder, g: &Grid3<f64>) -> (Grid3<f64>, Option<Engine>) {
+    let mut plan = compile(problem, b);
+    let mut state = State::Grid3(g.clone());
+    let report = plan.run(&mut state).expect("state matches plan");
+    let State::Grid3(out) = state else {
+        unreachable!()
+    };
+    (out, report.engine)
+}
+
+fn run_lcs_plan(b: PlanBuilder, a: &[u8], bs: &[u8]) -> (i32, Option<Engine>) {
+    let problem = Problem::lcs(a.len(), bs.len());
+    let mut plan = compile(&problem, b);
+    let mut state = problem.state();
+    {
+        let l = state.lcs_mut().unwrap();
+        l.a = a.to_vec();
+        l.b = bs.to_vec();
+    }
+    let report = plan.run(&mut state).expect("state matches plan");
+    (report.lcs_length.unwrap(), report.engine)
+}
+
+/// The three tiled in-tile schemes as `(label, method, stride)` rows.
+fn tiled_methods(s: usize, with_auto: bool) -> Vec<(Method, usize)> {
+    let mut v = vec![(Method::Scalar, s)];
+    if with_auto {
+        v.push((Method::Multiload, s));
+    }
+    v.push((Method::Temporal, s));
+    v
 }
 
 #[test]
@@ -51,20 +126,43 @@ fn heat1d_all_schemes_agree() {
     );
     assert!(reorg::heat1d(&g, c, steps).interior_eq(&gold), "reorg");
     assert!(dlt::heat1d(&g, c, steps).interior_eq(&gold), "dlt");
-    let pool = Pool::new(2);
-    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
-        assert!(
-            ghost::run_jacobi_1d(&g, &kern, steps, 128, 8, mode, Select::Auto, &pool)
-                .0
-                .interior_eq(&gold),
-            "ghost {mode:?}"
+    // All five methods again through the plan API (including the
+    // one-shot baselines) plus the ghost tiling on 2 workers.
+    let problem = Problem::Heat1d {
+        n: g.n(),
+        steps,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    for method in [
+        Method::Temporal,
+        Method::Multiload,
+        Method::Reorg,
+        Method::Dlt,
+        Method::Scalar,
+    ] {
+        let (r, _) = run1(&problem, PlanBuilder::new().method(method).stride(7), &g);
+        assert!(r.interior_eq(&gold), "plan {method:?}");
+    }
+    for (method, s) in tiled_methods(7, true) {
+        let (r, _) = run1(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Ghost {
+                    block: 128,
+                    height: 8,
+                })
+                .threads(2),
+            &g,
         );
+        assert!(r.interior_eq(&gold), "ghost {method:?}");
     }
 }
 
 #[test]
 fn heat2d_and_box2d_all_schemes_agree() {
-    let pool = Pool::new(2);
     let steps = 12;
     let g = g2(96, 33, 2, -0.25);
 
@@ -73,19 +171,27 @@ fn heat2d_and_box2d_all_schemes_agree() {
     let gold = reference::heat2d(&g, c, steps);
     assert!(t2d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::heat2d(&g, c, steps).interior_eq(&gold));
-    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-        assert!(ghost::run_jacobi_2d::<f64, 4, _>(
+    let problem = Problem::Heat2d {
+        nx: g.nx(),
+        ny: g.ny(),
+        steps,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    for (method, s) in tiled_methods(2, true) {
+        let (r, _) = run2(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Ghost {
+                    block: 24,
+                    height: 8,
+                })
+                .threads(2),
             &g,
-            &kern,
-            steps,
-            24,
-            8,
-            mode,
-            Select::Auto,
-            &pool
-        )
-        .0
-        .interior_eq(&gold));
+        );
+        assert!(r.interior_eq(&gold), "ghost {method:?}");
     }
 
     let cb = Box2dCoeffs::smooth(0.07);
@@ -93,11 +199,19 @@ fn heat2d_and_box2d_all_schemes_agree() {
     let goldb = reference::box2d(&g, cb, steps);
     assert!(t2d::run::<f64, 4, _>(&g, &kb, steps, 2).interior_eq(&goldb));
     assert!(multiload::box2d(&g, cb, steps).interior_eq(&goldb));
+    let problem = Problem::Box2d {
+        nx: g.nx(),
+        ny: g.ny(),
+        steps,
+        coeffs: cb,
+        boundary: g.boundary(),
+    };
+    let (r, _) = run2(&problem, PlanBuilder::new().stride(2), &g);
+    assert!(r.interior_eq(&goldb), "plan box2d");
 }
 
 #[test]
 fn life_all_schemes_agree() {
-    let pool = Pool::new(2);
     let rule = LifeRule::b2s23();
     let kern = LifeKern2d(rule);
     let mut g = Grid2::<i32>::new(80, 40, 1, Boundary::Dirichlet(0));
@@ -106,25 +220,37 @@ fn life_all_schemes_agree() {
     let gold = reference::life(&g, rule, steps);
     assert!(t2d::run::<i32, 8, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::life(&g, rule, steps).interior_eq(&gold));
-    for mode in [Mode::Scalar, Mode::Temporal(2)] {
-        assert!(ghost::run_jacobi_2d::<i32, 8, _>(
+    let problem = Problem::Life {
+        nx: g.nx(),
+        ny: g.ny(),
+        steps,
+        rule,
+        boundary: g.boundary(),
+    };
+    for (method, s) in [(Method::Scalar, 2), (Method::Temporal, 2)] {
+        let (r, e) = run2i(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Ghost {
+                    block: 24,
+                    height: 8,
+                })
+                .threads(2),
             &g,
-            &kern,
-            steps,
-            24,
-            8,
-            mode,
-            Select::Auto,
-            &pool
-        )
-        .0
-        .interior_eq(&gold));
+        );
+        assert!(r.interior_eq(&gold), "ghost {method:?}");
+        // Life has no AVX2 integer steady state: the temporal plan
+        // honestly reports portable.
+        if method == Method::Temporal {
+            assert_eq!(e, Some(Engine::Portable));
+        }
     }
 }
 
 #[test]
 fn heat3d_all_schemes_agree() {
-    let pool = Pool::new(2);
     let c = Heat3dCoeffs::classic(0.09);
     let kern = JacobiKern3d(c);
     let g = g3(24, 7);
@@ -132,18 +258,33 @@ fn heat3d_all_schemes_agree() {
     let gold = reference::heat3d(&g, c, steps);
     assert!(t3d::run::<f64, 4, _>(&g, &kern, steps, 2).interior_eq(&gold));
     assert!(multiload::heat3d(&g, c, steps).interior_eq(&gold));
-    for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
-        assert!(
-            ghost::run_jacobi_3d(&g, &kern, steps, 10, 4, mode, Select::Auto, &pool)
-                .0
-                .interior_eq(&gold)
+    let problem = Problem::Heat3d {
+        nx: g.nx(),
+        ny: g.ny(),
+        nz: g.nz(),
+        steps,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    for (method, s) in tiled_methods(2, true) {
+        let (r, _) = run3(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Ghost {
+                    block: 10,
+                    height: 4,
+                })
+                .threads(2),
+            &g,
         );
+        assert!(r.interior_eq(&gold), "ghost {method:?}");
     }
 }
 
 #[test]
 fn gauss_seidel_all_schemes_agree() {
-    let pool = Pool::new(2);
     let steps = 12;
 
     let c1 = Gs1dCoeffs::classic(0.23);
@@ -151,12 +292,26 @@ fn gauss_seidel_all_schemes_agree() {
     let g = g1(2000, 3, 0.4);
     let gold1 = reference::gs1d(&g, c1, steps);
     assert!(t1d::run::<4, _>(&g, &k1, steps, 7).interior_eq(&gold1));
-    for mode in [Mode::Scalar, Mode::Temporal(7)] {
-        assert!(
-            skew::run_gs_1d(&g, &k1, steps, 256, 8, mode, Select::Auto, &pool)
-                .0
-                .interior_eq(&gold1)
+    let problem = Problem::Gs1d {
+        n: g.n(),
+        steps,
+        coeffs: c1,
+        boundary: g.boundary(),
+    };
+    for (method, s) in tiled_methods(7, false) {
+        let (r, _) = run1(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Skew {
+                    block: 256,
+                    height: 8,
+                })
+                .threads(2),
+            &g,
         );
+        assert!(r.interior_eq(&gold1), "skew1d {method:?}");
     }
 
     let c2 = Gs2dCoeffs::classic(0.17);
@@ -164,12 +319,27 @@ fn gauss_seidel_all_schemes_agree() {
     let h = g2(100, 21, 4, -0.1);
     let gold2 = reference::gs2d(&h, c2, steps);
     assert!(t2d::run::<f64, 4, _>(&h, &k2, steps, 2).interior_eq(&gold2));
-    for mode in [Mode::Scalar, Mode::Temporal(2)] {
-        assert!(
-            skew::run_gs_2d(&h, &k2, steps, 32, 8, mode, Select::Auto, &pool)
-                .0
-                .interior_eq(&gold2)
+    let problem = Problem::Gs2d {
+        nx: h.nx(),
+        ny: h.ny(),
+        steps,
+        coeffs: c2,
+        boundary: h.boundary(),
+    };
+    for (method, s) in tiled_methods(2, false) {
+        let (r, _) = run2(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Skew {
+                    block: 32,
+                    height: 8,
+                })
+                .threads(2),
+            &h,
         );
+        assert!(r.interior_eq(&gold2), "skew2d {method:?}");
     }
 
     let c3 = Gs3dCoeffs::classic(0.12);
@@ -177,12 +347,28 @@ fn gauss_seidel_all_schemes_agree() {
     let v = g3(32, 9);
     let gold3 = reference::gs3d(&v, c3, 8);
     assert!(t3d::run::<f64, 4, _>(&v, &k3, 8, 2).interior_eq(&gold3));
-    for mode in [Mode::Scalar, Mode::Temporal(2)] {
-        assert!(
-            skew::run_gs_3d(&v, &k3, 8, 20, 4, mode, Select::Auto, &pool)
-                .0
-                .interior_eq(&gold3)
+    let problem = Problem::Gs3d {
+        nx: v.nx(),
+        ny: v.ny(),
+        nz: v.nz(),
+        steps: 8,
+        coeffs: c3,
+        boundary: v.boundary(),
+    };
+    for (method, s) in tiled_methods(2, false) {
+        let (r, _) = run3(
+            &problem,
+            PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Skew {
+                    block: 20,
+                    height: 4,
+                })
+                .threads(2),
+            &v,
         );
+        assert!(r.interior_eq(&gold3), "skew3d {method:?}");
     }
 }
 
@@ -194,9 +380,20 @@ fn lcs_all_schemes_agree() {
     assert_eq!(lcs::length(&a, &b, 1), gold);
     assert_eq!(lcs::length(&a, &b, 2), gold);
     for threads in [1, 2, 4] {
-        let pool = Pool::new(threads);
-        for temporal in [false, true] {
-            assert_eq!(lcs_rect::run_lcs(&a, &b, 64, 128, 1, temporal, &pool), gold);
+        for method in [Method::Scalar, Method::Temporal] {
+            let (len, _) = run_lcs_plan(
+                PlanBuilder::new()
+                    .method(method)
+                    .stride(1)
+                    .tiling(Tiling::LcsRect {
+                        xblock: 64,
+                        yblock: 128,
+                    })
+                    .threads(threads),
+                &a,
+                &b,
+            );
+            assert_eq!(len, gold, "threads={threads} {method:?}");
         }
     }
 }
@@ -204,18 +401,35 @@ fn lcs_all_schemes_agree() {
 #[test]
 fn parallel_results_are_deterministic_across_thread_counts() {
     let c = Heat1dCoeffs::classic(0.25);
-    let kern = JacobiKern1d(c);
     let g = g1(4096, 21, 0.0);
-    let m = Mode::Temporal(7);
-    let (r1, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(1));
-    let (r2, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(2));
-    let (r4, _) = ghost::run_jacobi_1d(&g, &kern, 32, 512, 16, m, Select::Auto, &Pool::new(4));
+    let problem = Problem::Heat1d {
+        n: g.n(),
+        steps: 32,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    let ghost = PlanBuilder::new().stride(7).tiling(Tiling::Ghost {
+        block: 512,
+        height: 16,
+    });
+    let (r1, _) = run1(&problem, ghost.threads(1), &g);
+    let (r2, _) = run1(&problem, ghost.threads(2), &g);
+    let (r4, _) = run1(&problem, ghost.threads(4), &g);
     assert!(r1.interior_eq(&r2) && r2.interior_eq(&r4));
 
     let cg = Gs1dCoeffs::classic(0.2);
-    let kg = GsKern1d(cg);
-    let (s1, _) = skew::run_gs_1d(&g, &kg, 32, 512, 16, m, Select::Auto, &Pool::new(1));
-    let (s4, _) = skew::run_gs_1d(&g, &kg, 32, 512, 16, m, Select::Auto, &Pool::new(4));
+    let problem = Problem::Gs1d {
+        n: g.n(),
+        steps: 32,
+        coeffs: cg,
+        boundary: g.boundary(),
+    };
+    let skew = PlanBuilder::new().stride(7).tiling(Tiling::Skew {
+        block: 512,
+        height: 16,
+    });
+    let (s1, _) = run1(&problem, skew.threads(1), &g);
+    let (s4, _) = run1(&problem, skew.threads(4), &g);
     assert!(s1.interior_eq(&s4));
 }
 
@@ -323,9 +537,9 @@ fn avx2_engines_match_scalar_oracles_bitwise() {
     }
 }
 
-/// Property: a `TEMPORA_ENGINE`-forced portable run and a forced AVX2 run
-/// of the same workload agree bit-for-bit, and the dispatch layer reports
-/// the engine that actually executed.
+/// Property: a forced-portable plan and a forced-AVX2 plan of the same
+/// workload agree bit-for-bit, and the plan reports the engine that
+/// actually executed.
 #[test]
 fn forced_portable_and_avx2_selections_agree_bitwise() {
     let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
@@ -344,12 +558,28 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
         let g = g1(n, (n + s) as u64, 0.4);
         let c = Heat1dCoeffs::classic(0.24);
         let cg = Gs1dCoeffs::classic(0.21);
+        let heat = Problem::Heat1d {
+            n,
+            steps,
+            coeffs: c,
+            boundary: g.boundary(),
+        };
+        let gs = Problem::Gs1d {
+            n,
+            steps,
+            coeffs: cg,
+            boundary: g.boundary(),
+        };
+        // The dispatch shape predicate: steps >= 4 vector tiles and
+        // n >= VL·s (all sampled shapes here are healthy for s <= 7).
+        let has_impl = steps >= 4 && n >= 4 * s;
         let mut results = vec![];
         for &sel in sels {
-            let (r, e) = engine::run_heat1d(sel, &g, &JacobiKern1d(c), steps, s);
-            assert_eq!(e, expect(sel, true), "heat1d {sel:?}");
-            let (rg, eg) = engine::run_gs1d(sel, &g, &GsKern1d(cg), steps, s);
-            assert_eq!(eg, expect(sel, true), "gs1d {sel:?}");
+            let b = PlanBuilder::new().stride(s).select(sel);
+            let (r, e) = run1(&heat, b, &g);
+            assert_eq!(e, Some(expect(sel, has_impl)), "heat1d {sel:?}");
+            let (rg, eg) = run1(&gs, b, &g);
+            assert_eq!(eg, Some(expect(sel, has_impl)), "gs1d {sel:?}");
             results.push((r, rg));
         }
         for (r, rg) in &results[1..] {
@@ -365,18 +595,56 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
     let g3v = g3(20, 3);
     let c3 = Heat3dCoeffs::classic(0.09);
     let cg3 = Gs3dCoeffs::classic(0.12);
+    let heat2 = Problem::Heat2d {
+        nx: 41,
+        ny: 23,
+        steps: 8,
+        coeffs: c2,
+        boundary: g.boundary(),
+    };
+    let box2 = Problem::Box2d {
+        nx: 41,
+        ny: 23,
+        steps: 8,
+        coeffs: cb,
+        boundary: g.boundary(),
+    };
+    let gs2 = Problem::Gs2d {
+        nx: 41,
+        ny: 23,
+        steps: 8,
+        coeffs: cg2,
+        boundary: g.boundary(),
+    };
+    let heat3 = Problem::Heat3d {
+        nx: 20,
+        ny: 20,
+        nz: 20,
+        steps: 8,
+        coeffs: c3,
+        boundary: g3v.boundary(),
+    };
+    let gs3 = Problem::Gs3d {
+        nx: 20,
+        ny: 20,
+        nz: 20,
+        steps: 8,
+        coeffs: cg3,
+        boundary: g3v.boundary(),
+    };
     let mut results = vec![];
     for &sel in sels {
-        let (h2, e) = engine::run_heat2d(sel, &g, &JacobiKern2d(c2), 8, 2);
-        assert_eq!(e, expect(sel, true), "heat2d {sel:?}");
-        let (b2, e) = engine::run_box2d(sel, &g, &BoxKern2d(cb), 8, 2);
-        assert_eq!(e, expect(sel, true), "box2d {sel:?}");
-        let (s2, e) = engine::run_gs2d(sel, &g, &GsKern2d(cg2), 8, 2);
-        assert_eq!(e, expect(sel, true), "gs2d {sel:?}");
-        let (h3, e) = engine::run_heat3d(sel, &g3v, &JacobiKern3d(c3), 8, 2);
-        assert_eq!(e, expect(sel, true), "heat3d {sel:?}");
-        let (s3, e) = engine::run_gs3d(sel, &g3v, &GsKern3d(cg3), 8, 2);
-        assert_eq!(e, expect(sel, true), "gs3d {sel:?}");
+        let b = PlanBuilder::new().stride(2).select(sel);
+        let (h2, e) = run2(&heat2, b, &g);
+        assert_eq!(e, Some(expect(sel, true)), "heat2d {sel:?}");
+        let (b2, e) = run2(&box2, b, &g);
+        assert_eq!(e, Some(expect(sel, true)), "box2d {sel:?}");
+        let (s2, e) = run2(&gs2, b, &g);
+        assert_eq!(e, Some(expect(sel, true)), "gs2d {sel:?}");
+        let (h3, e) = run3(&heat3, b, &g3v);
+        assert_eq!(e, Some(expect(sel, true)), "heat3d {sel:?}");
+        let (s3, e) = run3(&gs3, b, &g3v);
+        assert_eq!(e, Some(expect(sel, true)), "gs3d {sel:?}");
         results.push((h2, b2, s2, h3, s3));
     }
     for r in &results[1..] {
@@ -392,26 +660,32 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
     let mut gl = Grid2::<i32>::new(40, 30, 1, Boundary::Dirichlet(0));
     fill_random_life(&mut gl, 3, 0.35);
     let gold = reference::life(&gl, rule, 8);
+    let life = Problem::Life {
+        nx: 40,
+        ny: 30,
+        steps: 8,
+        rule,
+        boundary: gl.boundary(),
+    };
     for &sel in sels {
-        let (r, e) = engine::run_life(sel, &gl, &LifeKern2d(rule), 8, 2);
-        assert_eq!(e, Engine::Portable, "life {sel:?}");
+        let (r, e) = run2i(&life, PlanBuilder::new().stride(2).select(sel), &gl);
+        assert_eq!(e, Some(Engine::Portable), "life {sel:?}");
         assert!(r.interior_eq(&gold));
     }
     let a = random_sequence(300, 4, 11);
     let b = random_sequence(500, 4, 12);
     for &sel in sels {
-        let (len, e) = engine::run_lcs(sel, &a, &b, 1);
-        assert_eq!(e, Engine::Portable, "lcs {sel:?}");
+        let (len, e) = run_lcs_plan(PlanBuilder::new().stride(1).select(sel), &a, &b);
+        assert_eq!(e, Some(Engine::Portable), "lcs {sel:?}");
         assert_eq!(len, reference::lcs_len(&a, &b));
     }
 }
 
-/// Property: the tiled parallel runners agree bitwise between a forced
-/// portable run and a forced AVX2 run under a multi-thread pool, and both
-/// match the scalar reference — including degenerate tiles
-/// (`block < VL·s`, where every tile falls back to the scalar schedule
-/// and the resolved engine honestly reports portable) and
-/// `steps % height != 0` tails.
+/// Property: the tiled parallel plans agree bitwise between a forced
+/// portable run and a forced AVX2 run on a 4-worker pool, and both match
+/// the scalar reference — including degenerate tiles (`block < VL·s`,
+/// where every tile falls back to the scalar schedule and the resolved
+/// engine honestly reports portable) and `steps % height != 0` tails.
 #[test]
 fn tiled_forced_engines_agree_bitwise() {
     let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
@@ -420,22 +694,33 @@ fn tiled_forced_engines_agree_bitwise() {
     } else {
         &[Select::Portable, Select::Auto]
     };
-    let pool = Pool::new(4);
 
     // Ghost-zone Jacobi, 1-D: (block, height, steps, s, healthy-geometry?).
     // steps = 19 with height 8 leaves a 3-step scalar tail; block = 2
     // with s = 7 makes every tile degenerate.
     let c1 = Heat1dCoeffs::classic(0.24);
-    let k1 = JacobiKern1d(c1);
     let g = g1(448, 5, 0.3);
     for &(block, height, steps, s, healthy) in &[
         (64usize, 8usize, 19usize, 7usize, true),
         (2, 4, 13, 7, false),
     ] {
+        let problem = Problem::Heat1d {
+            n: g.n(),
+            steps,
+            coeffs: c1,
+            boundary: g.boundary(),
+        };
         let gold = reference::heat1d(&g, c1, steps);
         for &sel in sels {
-            let (r, e) =
-                ghost::run_jacobi_1d(&g, &k1, steps, block, height, Mode::Temporal(s), sel, &pool);
+            let (r, e) = run1(
+                &problem,
+                PlanBuilder::new()
+                    .stride(s)
+                    .select(sel)
+                    .tiling(Tiling::Ghost { block, height })
+                    .threads(4),
+                &g,
+            );
             assert!(
                 r.interior_eq(&gold),
                 "ghost1d sel={sel:?} block={block} {:?}",
@@ -452,25 +737,61 @@ fn tiled_forced_engines_agree_bitwise() {
 
     // Ghost-zone Jacobi, 2-D star + box and 3-D star, with a tail.
     let c2 = Heat2dCoeffs::classic(0.11);
-    let k2 = JacobiKern2d(c2);
     let cb = Box2dCoeffs::smooth(0.07);
-    let kb = BoxKern2d(cb);
     let h = g2(96, 17, 2, -0.25);
     let gold2 = reference::heat2d(&h, c2, 13);
     let goldb = reference::box2d(&h, cb, 13);
     let c3 = Heat3dCoeffs::classic(0.09);
-    let k3 = JacobiKern3d(c3);
     let v = g3(24, 7);
     let gold3 = reference::heat3d(&v, c3, 9);
+    let heat2 = Problem::Heat2d {
+        nx: h.nx(),
+        ny: h.ny(),
+        steps: 13,
+        coeffs: c2,
+        boundary: h.boundary(),
+    };
+    let box2 = Problem::Box2d {
+        nx: h.nx(),
+        ny: h.ny(),
+        steps: 13,
+        coeffs: cb,
+        boundary: h.boundary(),
+    };
+    let heat3 = Problem::Heat3d {
+        nx: v.nx(),
+        ny: v.ny(),
+        nz: v.nz(),
+        steps: 9,
+        coeffs: c3,
+        boundary: v.boundary(),
+    };
     for &sel in sels {
-        let (r, e) =
-            ghost::run_jacobi_2d::<f64, 4, _>(&h, &k2, 13, 24, 8, Mode::Temporal(2), sel, &pool);
+        let b2t = PlanBuilder::new()
+            .stride(2)
+            .select(sel)
+            .tiling(Tiling::Ghost {
+                block: 24,
+                height: 8,
+            })
+            .threads(4);
+        let (r, e) = run2(&heat2, b2t, &h);
         assert!(r.interior_eq(&gold2), "ghost2d sel={sel:?}");
         assert!(e.is_some(), "ghost2d must report an engine");
-        let (r, _) =
-            ghost::run_jacobi_2d::<f64, 4, _>(&h, &kb, 13, 24, 8, Mode::Temporal(2), sel, &pool);
+        let (r, _) = run2(&box2, b2t, &h);
         assert!(r.interior_eq(&goldb), "ghost2d box sel={sel:?}");
-        let (r, _) = ghost::run_jacobi_3d(&v, &k3, 9, 8, 4, Mode::Temporal(2), sel, &pool);
+        let (r, _) = run3(
+            &heat3,
+            PlanBuilder::new()
+                .stride(2)
+                .select(sel)
+                .tiling(Tiling::Ghost {
+                    block: 8,
+                    height: 4,
+                })
+                .threads(4),
+            &v,
+        );
         assert!(r.interior_eq(&gold3), "ghost3d sel={sel:?}");
     }
 
@@ -478,11 +799,27 @@ fn tiled_forced_engines_agree_bitwise() {
     // s=7) geometry has no interior vector block, so the engine honestly
     // resolves portable whatever the selection.
     let cg1 = Gs1dCoeffs::classic(0.21);
-    let kg1 = GsKern1d(cg1);
     let gg = g1(1000, 11, 0.4);
     let gold = reference::gs1d(&gg, cg1, 21);
+    let gs1 = Problem::Gs1d {
+        n: gg.n(),
+        steps: 21,
+        coeffs: cg1,
+        boundary: gg.boundary(),
+    };
     for &sel in sels {
-        let (r, e) = skew::run_gs_1d(&gg, &kg1, 21, 128, 8, Mode::Temporal(7), sel, &pool);
+        let (r, e) = run1(
+            &gs1,
+            PlanBuilder::new()
+                .stride(7)
+                .select(sel)
+                .tiling(Tiling::Skew {
+                    block: 128,
+                    height: 8,
+                })
+                .threads(4),
+            &gg,
+        );
         assert!(r.interior_eq(&gold), "skew1d sel={sel:?}");
         let expect = if sel != Select::Portable && can_force_avx2 {
             Engine::Avx2
@@ -493,29 +830,82 @@ fn tiled_forced_engines_agree_bitwise() {
     }
     let small = g1(60, 13, 0.0);
     let gold_small = reference::gs1d(&small, cg1, 10);
+    let gs_small = Problem::Gs1d {
+        n: small.n(),
+        steps: 10,
+        coeffs: cg1,
+        boundary: small.boundary(),
+    };
     for &sel in sels {
-        let (r, e) = skew::run_gs_1d(&small, &kg1, 10, 36, 4, Mode::Temporal(7), sel, &pool);
+        let (r, e) = run1(
+            &gs_small,
+            PlanBuilder::new()
+                .stride(7)
+                .select(sel)
+                .tiling(Tiling::Skew {
+                    block: 36,
+                    height: 4,
+                })
+                .threads(4),
+            &small,
+        );
         assert!(r.interior_eq(&gold_small), "skew1d degenerate sel={sel:?}");
         assert_eq!(e, Some(Engine::Portable), "skew1d degenerate sel={sel:?}");
     }
 
     let cg2 = Gs2dCoeffs::classic(0.17);
-    let kg2 = GsKern2d(cg2);
     let hh = g2(100, 21, 4, -0.1);
     let gold2 = reference::gs2d(&hh, cg2, 14);
     let cg3 = Gs3dCoeffs::classic(0.12);
-    let kg3 = GsKern3d(cg3);
     let vv = g3(32, 9);
     let gold3 = reference::gs3d(&vv, cg3, 10);
+    let gs2 = Problem::Gs2d {
+        nx: hh.nx(),
+        ny: hh.ny(),
+        steps: 14,
+        coeffs: cg2,
+        boundary: hh.boundary(),
+    };
+    let gs3 = Problem::Gs3d {
+        nx: vv.nx(),
+        ny: vv.ny(),
+        nz: vv.nz(),
+        steps: 10,
+        coeffs: cg3,
+        boundary: vv.boundary(),
+    };
     for &sel in sels {
-        let (r, _) = skew::run_gs_2d(&hh, &kg2, 14, 32, 8, Mode::Temporal(2), sel, &pool);
+        let (r, _) = run2(
+            &gs2,
+            PlanBuilder::new()
+                .stride(2)
+                .select(sel)
+                .tiling(Tiling::Skew {
+                    block: 32,
+                    height: 8,
+                })
+                .threads(4),
+            &hh,
+        );
         assert!(r.interior_eq(&gold2), "skew2d sel={sel:?}");
-        let (r, _) = skew::run_gs_3d(&vv, &kg3, 10, 20, 4, Mode::Temporal(2), sel, &pool);
+        let (r, _) = run3(
+            &gs3,
+            PlanBuilder::new()
+                .stride(2)
+                .select(sel)
+                .tiling(Tiling::Skew {
+                    block: 20,
+                    height: 4,
+                })
+                .threads(4),
+            &vv,
+        );
         assert!(r.interior_eq(&gold3), "skew3d sel={sel:?}");
     }
 }
 
-/// The `TEMPORA_ENGINE` environment variable drives `Select::from_env`.
+/// The `TEMPORA_ENGINE` environment variable drives `Select::from_env`,
+/// and a plan built with that selection reports the forced engine.
 #[test]
 fn tempora_engine_env_is_honoured() {
     // Parsing (pure).
@@ -529,8 +919,18 @@ fn tempora_engine_env_is_honoured() {
     assert_eq!(Select::from_env(), Select::Portable);
     let g = g1(300, 1, 0.0);
     let c = Heat1dCoeffs::classic(0.25);
-    let (_, e) = engine::run_heat1d(Select::from_env(), &g, &JacobiKern1d(c), 8, 7);
-    assert_eq!(e, Engine::Portable);
+    let problem = Problem::Heat1d {
+        n: g.n(),
+        steps: 8,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    let (_, e) = run1(
+        &problem,
+        PlanBuilder::new().stride(7).select(Select::from_env()),
+        &g,
+    );
+    assert_eq!(e, Some(Engine::Portable));
     std::env::remove_var(engine::ENV_VAR);
     assert_eq!(Select::from_env(), Select::Auto);
 }
@@ -545,15 +945,23 @@ fn canaries_survive_every_engine() {
     r.check_canaries().unwrap();
     let rm = multiload::heat2d(&g, c, 8);
     rm.check_canaries().unwrap();
-    let (rp, _) = ghost::run_jacobi_2d::<f64, 4, _>(
+    let problem = Problem::Heat2d {
+        nx: g.nx(),
+        ny: g.ny(),
+        steps: 8,
+        coeffs: c,
+        boundary: g.boundary(),
+    };
+    let (rp, _) = run2(
+        &problem,
+        PlanBuilder::new()
+            .stride(2)
+            .tiling(Tiling::Ghost {
+                block: 16,
+                height: 8,
+            })
+            .threads(2),
         &g,
-        &kern,
-        8,
-        16,
-        8,
-        Mode::Temporal(2),
-        Select::Auto,
-        &Pool::new(2),
     );
     rp.check_canaries().unwrap();
 }

@@ -1,0 +1,528 @@
+//! Contract tests for the unified `Problem → Plan → Report` solver API:
+//!
+//! * **Reuse**: running one compiled plan N times on fresh states is
+//!   bitwise-identical to N one-shot runs with freshly compiled plans,
+//!   across every method/tiling family.
+//! * **Allocation-freedom**: after the first `run`, repeated `plan.run`
+//!   calls perform zero aligned-buffer allocations (verified through the
+//!   `tempora::grid::alloc_count` counter; the one-shot reorg/DLT
+//!   baselines are the documented exceptions).
+//! * **Validation**: every invalid configuration returns a descriptive
+//!   [`PlanError`] — no panics — and the documented honest fallbacks
+//!   (degenerate geometries, workloads without an AVX2 steady state)
+//!   build fine and report the portable engine.
+
+use proptest::prelude::*;
+use tempora::grid::{
+    alloc_count, fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life, random_sequence,
+};
+use tempora::prelude::*;
+
+/// A catalogue of representative (problem, builder) configurations — one
+/// per method/tiling family the plan API supports.
+fn catalogue(seed: u64) -> Vec<(&'static str, Problem, PlanBuilder)> {
+    let h1 = Problem::heat1d(300 + (seed % 64) as usize, 13, Heat1dCoeffs::classic(0.24));
+    let g1 = Problem::gs1d(400, 11, Gs1dCoeffs::classic(0.22));
+    let h2 = Problem::heat2d(48, 17, 9, Heat2dCoeffs::classic(0.11));
+    let b2 = Problem::box2d(40, 15, 8, Box2dCoeffs::smooth(0.07));
+    let g2 = Problem::gs2d(64, 13, 10, Gs2dCoeffs::classic(0.17));
+    let life = Problem::life(40, 22, 17, LifeRule::b2s23());
+    let h3 = Problem::heat3d(20, 7, 6, 9, Heat3dCoeffs::classic(0.09));
+    let g3 = Problem::gs3d(24, 6, 5, 10, Gs3dCoeffs::classic(0.12));
+    let lcs = Problem::lcs(90, 140);
+    vec![
+        ("heat1d/temporal", h1, PlanBuilder::new().stride(7)),
+        (
+            "heat1d/temporal/portable",
+            h1,
+            PlanBuilder::new().stride(7).select(Select::Portable),
+        ),
+        (
+            "heat1d/multiload",
+            h1,
+            PlanBuilder::new().method(Method::Multiload),
+        ),
+        (
+            "heat1d/scalar",
+            h1,
+            PlanBuilder::new().method(Method::Scalar),
+        ),
+        (
+            "heat1d/ghost",
+            h1,
+            PlanBuilder::new()
+                .stride(3)
+                .tiling(Tiling::Ghost {
+                    block: 48,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        (
+            "gs1d/skew",
+            g1,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Skew {
+                    block: 64,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        ("heat2d/temporal", h2, PlanBuilder::new().stride(2)),
+        (
+            "heat2d/ghost",
+            h2,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Ghost {
+                    block: 12,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        ("box2d/temporal", b2, PlanBuilder::new().stride(2)),
+        ("gs2d/temporal", g2, PlanBuilder::new().stride(2)),
+        (
+            "gs2d/skew",
+            g2,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Skew {
+                    block: 20,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        ("life/temporal", life, PlanBuilder::new().stride(2)),
+        (
+            "life/ghost",
+            life,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Ghost {
+                    block: 16,
+                    height: 8,
+                })
+                .threads(2),
+        ),
+        ("heat3d/temporal", h3, PlanBuilder::new().stride(2)),
+        (
+            "heat3d/ghost",
+            h3,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Ghost {
+                    block: 8,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        ("gs3d/temporal", g3, PlanBuilder::new().stride(2)),
+        (
+            "gs3d/skew",
+            g3,
+            PlanBuilder::new()
+                .stride(2)
+                .tiling(Tiling::Skew {
+                    block: 22,
+                    height: 4,
+                })
+                .threads(2),
+        ),
+        ("lcs/temporal", lcs, PlanBuilder::new().stride(1)),
+        (
+            "lcs/rect",
+            lcs,
+            PlanBuilder::new()
+                .stride(1)
+                .tiling(Tiling::LcsRect {
+                    xblock: 24,
+                    yblock: 40,
+                })
+                .threads(2),
+        ),
+    ]
+}
+
+fn fresh_state(problem: &Problem, seed: u64) -> State {
+    let mut state = problem.state();
+    match &mut state {
+        State::Grid1(g) => fill_random_1d(g, seed, -1.0, 1.0),
+        State::Grid2(g) => fill_random_2d(g, seed, -1.0, 1.0),
+        State::Grid2i(g) => fill_random_life(g, seed, 0.4),
+        State::Grid3(g) => fill_random_3d(g, seed, -1.0, 1.0),
+        State::Lcs(l) => {
+            let (la, lb) = (l.a.len(), l.b.len());
+            l.a = random_sequence(la, 4, seed);
+            l.b = random_sequence(lb, 4, seed + 1);
+        }
+    }
+    state
+}
+
+fn states_equal(a: &State, b: &State) -> bool {
+    match (a, b) {
+        (State::Grid1(x), State::Grid1(y)) => x.interior_eq(y),
+        (State::Grid2(x), State::Grid2(y)) => x.interior_eq(y),
+        (State::Grid2i(x), State::Grid2i(y)) => x.interior_eq(y),
+        (State::Grid3(x), State::Grid3(y)) => x.interior_eq(y),
+        (State::Lcs(x), State::Lcs(y)) => x.length == y.length,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Reuse property: one plan run N times on fresh states ==
+    /// N freshly compiled one-shot plans, bitwise, for every family.
+    #[test]
+    fn plan_reuse_is_bitwise_identical_to_one_shot_runs(
+        seed in any::<u64>(),
+        reps in 2usize..4,
+    ) {
+        for (name, problem, builder) in catalogue(seed) {
+            let mut reused = builder.build(&problem).unwrap();
+            for r in 0..reps {
+                let state_seed = seed ^ (r as u64).wrapping_mul(0x9e37);
+                let mut a = fresh_state(&problem, state_seed);
+                let mut b = fresh_state(&problem, state_seed);
+                reused.run(&mut a).unwrap();
+                // One-shot: a fresh plan compiled for this run alone.
+                builder.build(&problem).unwrap().run(&mut b).unwrap();
+                prop_assert!(states_equal(&a, &b), "{name} rep={r}");
+            }
+        }
+    }
+}
+
+/// Allocation regression: after the warm-up run, `plan.run` performs
+/// **zero** aligned-buffer (grid/scratch) allocations — every arena was
+/// allocated at build time or during the first run.
+#[test]
+fn second_run_is_allocation_free() {
+    for (name, problem, builder) in catalogue(7) {
+        let mut plan = builder.build(&problem).unwrap();
+        let mut state = fresh_state(&problem, 42);
+        plan.run(&mut state).unwrap(); // warm-up (first run)
+        let mut state2 = fresh_state(&problem, 43);
+        // The counter is process-global and sibling tests allocate
+        // concurrently, so retry until a clean window: if `run` itself
+        // allocated, every window would show a delta.
+        let mut clean = false;
+        for _ in 0..32 {
+            let before = alloc_count();
+            plan.run(&mut state2).unwrap();
+            if alloc_count() == before {
+                clean = true;
+                break;
+            }
+        }
+        assert!(
+            clean,
+            "{name}: repeated plan.run allocated aligned buffers in every observed window"
+        );
+    }
+}
+
+/// The documented one-shot exceptions: reorg/DLT rebuild their transposed
+/// layouts per run (and say so in their docs) — but they still run
+/// correctly and repeatedly through the same plan.
+#[test]
+fn reorg_and_dlt_baselines_run_repeatedly() {
+    let c = Heat1dCoeffs::classic(0.25);
+    let problem = Problem::heat1d(256, 12, c);
+    for method in [Method::Reorg, Method::Dlt] {
+        let mut plan = PlanBuilder::new().method(method).build(&problem).unwrap();
+        for seed in [1u64, 2] {
+            let mut state = fresh_state(&problem, seed);
+            let init = state.grid1().unwrap().clone();
+            plan.run(&mut state).unwrap();
+            let gold = reference::heat1d(&init, c, 12);
+            assert!(state.grid1().unwrap().interior_eq(&gold), "{method:?}");
+        }
+    }
+}
+
+/// Every invalid configuration is a descriptive `PlanError`, never a
+/// panic; the documented honest fallbacks build and report portable.
+#[test]
+fn invalid_configurations_error_and_fallbacks_are_honest() {
+    let heat1 = Problem::heat1d(200, 8, Heat1dCoeffs::classic(0.25));
+    let gs1 = Problem::gs1d(200, 8, Gs1dCoeffs::classic(0.25));
+    let gs2 = Problem::gs2d(64, 64, 8, Gs2dCoeffs::classic(0.2));
+    let life = Problem::life(64, 64, 8, LifeRule::b2s23());
+    let lcs = Problem::lcs(64, 64);
+
+    // Stride 0 / below the dependence bound / beyond the ring capacity.
+    assert_eq!(
+        PlanBuilder::new().stride(0).build(&heat1).unwrap_err(),
+        PlanError::ZeroStride
+    );
+    assert_eq!(
+        PlanBuilder::new().stride(1).build(&heat1).unwrap_err(),
+        PlanError::StrideTooSmall { stride: 1, min: 2 }
+    );
+    assert!(matches!(
+        PlanBuilder::new().stride(40).build(&heat1).unwrap_err(),
+        PlanError::StrideTooLarge { .. }
+    ));
+
+    // Threads 0, and threads without tiling.
+    assert_eq!(
+        PlanBuilder::new().threads(0).build(&heat1).unwrap_err(),
+        PlanError::ZeroThreads
+    );
+    assert_eq!(
+        PlanBuilder::new().threads(4).build(&heat1).unwrap_err(),
+        PlanError::ThreadsRequireTiling { threads: 4 }
+    );
+
+    // Empty domain.
+    assert_eq!(
+        PlanBuilder::new()
+            .build(&Problem::heat1d(0, 8, Heat1dCoeffs::classic(0.25)))
+            .unwrap_err(),
+        PlanError::EmptyDomain
+    );
+
+    // Illegal method × stencil combinations.
+    for p in [&gs1, &gs2, &lcs] {
+        assert!(matches!(
+            PlanBuilder::new()
+                .method(Method::Multiload)
+                .build(p)
+                .unwrap_err(),
+            PlanError::MethodUnsupported { .. }
+        ));
+    }
+    for p in [&gs1, &life, &lcs] {
+        for method in [Method::Reorg, Method::Dlt] {
+            assert!(matches!(
+                PlanBuilder::new().method(method).build(p).unwrap_err(),
+                PlanError::MethodUnsupported { .. }
+            ));
+        }
+    }
+
+    // Tiling × stencil mismatches.
+    let ghost = Tiling::Ghost {
+        block: 32,
+        height: 4,
+    };
+    let skew = Tiling::Skew {
+        block: 64,
+        height: 4,
+    };
+    let rect = Tiling::LcsRect {
+        xblock: 8,
+        yblock: 8,
+    };
+    assert!(matches!(
+        PlanBuilder::new().tiling(ghost).build(&gs1).unwrap_err(),
+        PlanError::TilingUnsupported { .. }
+    ));
+    assert!(matches!(
+        PlanBuilder::new().tiling(skew).build(&heat1).unwrap_err(),
+        PlanError::TilingUnsupported { .. }
+    ));
+    assert!(matches!(
+        PlanBuilder::new().tiling(rect).build(&heat1).unwrap_err(),
+        PlanError::TilingUnsupported { .. }
+    ));
+    assert!(matches!(
+        PlanBuilder::new().tiling(ghost).build(&lcs).unwrap_err(),
+        PlanError::TilingUnsupported { .. }
+    ));
+
+    // Bad tile geometry: zero extents, misaligned heights, skewed blocks
+    // below the wave-disjointness bound. Life's vector length is 8, so a
+    // height of 4 is rejected for it specifically.
+    assert_eq!(
+        PlanBuilder::new()
+            .tiling(Tiling::Ghost {
+                block: 0,
+                height: 4
+            })
+            .build(&heat1)
+            .unwrap_err(),
+        PlanError::ZeroTileExtent
+    );
+    assert_eq!(
+        PlanBuilder::new()
+            .tiling(Tiling::Ghost {
+                block: 32,
+                height: 6
+            })
+            .build(&heat1)
+            .unwrap_err(),
+        PlanError::BadTileHeight { height: 6, vl: 4 }
+    );
+    assert_eq!(
+        PlanBuilder::new()
+            .tiling(Tiling::Ghost {
+                block: 32,
+                height: 4
+            })
+            .build(&life)
+            .unwrap_err(),
+        PlanError::BadTileHeight { height: 4, vl: 8 }
+    );
+    assert_eq!(
+        PlanBuilder::new()
+            .stride(7)
+            .tiling(Tiling::Skew {
+                block: 16,
+                height: 4
+            })
+            .build(&gs1)
+            .unwrap_err(),
+        PlanError::BlockTooNarrow {
+            block: 16,
+            min: 4 + 4 * 7 + 4
+        }
+    );
+    assert_eq!(
+        PlanBuilder::new()
+            .tiling(Tiling::LcsRect {
+                xblock: 0,
+                yblock: 8
+            })
+            .build(&lcs)
+            .unwrap_err(),
+        PlanError::ZeroTileExtent
+    );
+
+    // Reorg-op counting is only available on instrumented paths.
+    assert!(matches!(
+        PlanBuilder::new()
+            .count_reorg(true)
+            .build(&gs2)
+            .unwrap_err(),
+        PlanError::CountUnsupported { .. }
+    ));
+    assert!(matches!(
+        PlanBuilder::new()
+            .count_reorg(true)
+            .select(Select::Auto)
+            .build(&heat1)
+            .unwrap_err(),
+        PlanError::CountUnsupported { .. }
+    ));
+
+    // Select::Avx2 on a non-AVX2 host is an error, not a panic; on an
+    // AVX2 host, workloads without an AVX2 steady state (Temporal+Life)
+    // build fine and honestly fall back to the portable engine.
+    if tempora::simd::arch::avx2_available() {
+        let plan = PlanBuilder::new()
+            .select(Select::Avx2)
+            .stride(2)
+            .build(&life)
+            .unwrap();
+        assert_eq!(plan.engine(), Some(Engine::Portable));
+        // Degenerate geometry below VL·s: documented fallback, honest
+        // portable report even when AVX2 was requested.
+        let tiny = Problem::heat1d(8, 8, Heat1dCoeffs::classic(0.25));
+        let plan = PlanBuilder::new()
+            .select(Select::Avx2)
+            .stride(7)
+            .build(&tiny)
+            .unwrap();
+        assert_eq!(plan.engine(), Some(Engine::Portable));
+    } else {
+        assert_eq!(
+            PlanBuilder::new()
+                .select(Select::Avx2)
+                .build(&heat1)
+                .unwrap_err(),
+            PlanError::Avx2Unavailable
+        );
+    }
+
+    // State mismatches are errors, not panics or silent corruption.
+    let mut plan = PlanBuilder::new().stride(7).build(&heat1).unwrap();
+    let mut wrong_kind = gs2.state();
+    assert!(matches!(
+        plan.run(&mut wrong_kind).unwrap_err(),
+        PlanError::StateMismatch { .. }
+    ));
+    let mut wrong_shape = State::Grid1(Grid1::new(77, 1, Boundary::Dirichlet(0.0)));
+    assert!(matches!(
+        plan.run(&mut wrong_shape).unwrap_err(),
+        PlanError::StateShapeMismatch { .. }
+    ));
+    // Wide-halo grids use a different memory layout than the engines
+    // assume; rejected, not silently misread.
+    let mut wide_halo = State::Grid1(Grid1::new(200, 2, Boundary::Dirichlet(0.0)));
+    assert_eq!(
+        plan.run(&mut wide_halo).unwrap_err(),
+        PlanError::UnsupportedHalo { halo: 2 }
+    );
+}
+
+/// A plan can be moved to another thread and run there — the serving
+/// pattern (cache plans, dispatch per request) depends on `Plan: Send`.
+#[test]
+fn plan_is_send_and_runs_on_another_thread() {
+    let problem = Problem::heat1d(300, 8, Heat1dCoeffs::classic(0.25));
+    let mut plan = PlanBuilder::new().stride(7).build(&problem).unwrap();
+    let mut state = fresh_state(&problem, 3);
+    let init = state.grid1().unwrap().clone();
+    let state = std::thread::spawn(move || {
+        plan.run(&mut state).unwrap();
+        state
+    })
+    .join()
+    .unwrap();
+    let gold = reference::heat1d(&init, Heat1dCoeffs::classic(0.25), 8);
+    assert!(state.grid1().unwrap().interior_eq(&gold));
+}
+
+/// The `Report` carries the plan's resolved facts: engine, steps, tile
+/// geometry, reorg-op counts, LCS length.
+#[test]
+fn report_carries_geometry_and_counts() {
+    let problem = Problem::heat1d(4096, 16, Heat1dCoeffs::classic(0.25));
+    let mut plan = PlanBuilder::new()
+        .stride(7)
+        .tiling(Tiling::Ghost {
+            block: 512,
+            height: 8,
+        })
+        .threads(2)
+        .build(&problem)
+        .unwrap();
+    let mut state = fresh_state(&problem, 5);
+    let report = plan.run(&mut state).unwrap();
+    assert_eq!(report.steps, 16);
+    assert_eq!(report.threads, 2);
+    let tiles = report.tiles.expect("tiled plans report geometry");
+    assert_eq!(tiles.tiles, 8);
+    assert_eq!((tiles.block, tiles.height), (512, 8));
+    assert!(report.engine.is_some());
+
+    // Counted portable temporal run: the paper's 1 rotate + 1 blend per
+    // output vector shows up in the report.
+    let mut counted = PlanBuilder::new()
+        .stride(7)
+        .select(Select::Portable)
+        .count_reorg(true)
+        .build(&problem)
+        .unwrap();
+    let mut state = fresh_state(&problem, 6);
+    let report = counted.run(&mut state).unwrap();
+    let k = report.reorg.expect("count_reorg plans report counts");
+    assert!(k.output_vectors > 0);
+    assert_eq!(k.cross_lane, k.output_vectors);
+    assert_eq!(k.in_lane, k.output_vectors);
+
+    // LCS length lands in the report (and the state).
+    let lcs = Problem::lcs(120, 200);
+    let mut plan = PlanBuilder::new().stride(1).build(&lcs).unwrap();
+    let mut state = fresh_state(&lcs, 9);
+    let report = plan.run(&mut state).unwrap();
+    let a = state.lcs().unwrap();
+    assert_eq!(report.lcs_length, a.length);
+    assert_eq!(report.lcs_length.unwrap(), reference::lcs_len(&a.a, &a.b));
+}

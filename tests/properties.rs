@@ -4,13 +4,11 @@
 
 use proptest::prelude::*;
 
-use tempora::core::engine::Select;
 use tempora::core::kernels::*;
 use tempora::core::{lcs, t1d, t2d};
 use tempora::grid::*;
-use tempora::parallel::Pool;
+use tempora::prelude::{Method, PlanBuilder, Problem, State, Tiling};
 use tempora::stencil::*;
-use tempora::tiling::{ghost, lcs_rect, skew, Mode};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -91,15 +89,21 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let c = Heat1dCoeffs::classic(0.25);
-        let kern = JacobiKern1d(c);
         let mut g = Grid1::new(n, 1, Boundary::Dirichlet(0.3));
         fill_random_1d(&mut g, seed, -1.0, 1.0);
-        let pool = Pool::new(2);
         let gold = reference::heat1d(&g, c, steps);
-        for mode in [Mode::Scalar, Mode::Temporal(3)] {
-            let (ours, _) =
-                ghost::run_jacobi_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
-            prop_assert!(ours.interior_eq(&gold), "mode={mode:?}");
+        let problem = Problem::Heat1d { n, steps, coeffs: c, boundary: g.boundary() };
+        for method in [Method::Scalar, Method::Temporal] {
+            let mut plan = PlanBuilder::new()
+                .method(method)
+                .stride(3)
+                .tiling(Tiling::Ghost { block, height: 4 })
+                .threads(2)
+                .build(&problem)
+                .unwrap();
+            let mut state = State::Grid1(g.clone());
+            plan.run(&mut state).unwrap();
+            prop_assert!(state.grid1().unwrap().interior_eq(&gold), "method={method:?}");
         }
     }
 
@@ -113,14 +117,21 @@ proptest! {
         let s = 2;
         let block = 2 * 4 * s * blockq; // respect the disjointness bound
         let c = Gs1dCoeffs::classic(0.26);
-        let kern = GsKern1d(c);
         let mut g = Grid1::new(n, 1, Boundary::Dirichlet(-0.7));
         fill_random_1d(&mut g, seed, -1.0, 1.0);
-        let pool = Pool::new(2);
         let gold = reference::gs1d(&g, c, steps);
-        for mode in [Mode::Scalar, Mode::Temporal(s)] {
-            let (ours, _) = skew::run_gs_1d(&g, &kern, steps, block, 4, mode, Select::Auto, &pool);
-            prop_assert!(ours.interior_eq(&gold), "mode={mode:?}");
+        let problem = Problem::Gs1d { n, steps, coeffs: c, boundary: g.boundary() };
+        for method in [Method::Scalar, Method::Temporal] {
+            let mut plan = PlanBuilder::new()
+                .method(method)
+                .stride(s)
+                .tiling(Tiling::Skew { block, height: 4 })
+                .threads(2)
+                .build(&problem)
+                .unwrap();
+            let mut state = State::Grid1(g.clone());
+            plan.run(&mut state).unwrap();
+            prop_assert!(state.grid1().unwrap().interior_eq(&gold), "method={method:?}");
         }
     }
 
@@ -137,8 +148,18 @@ proptest! {
         let b = random_sequence(lb, alpha, seed ^ 0xabcd);
         let gold = reference::lcs_len(&a, &b);
         prop_assert_eq!(lcs::length(&a, &b, 1), gold);
-        let pool = Pool::new(2);
-        prop_assert_eq!(lcs_rect::run_lcs(&a, &b, xb, yb, 1, true, &pool), gold);
+        let problem = Problem::lcs(la, lb);
+        let mut plan = PlanBuilder::new()
+            .stride(1)
+            .tiling(Tiling::LcsRect { xblock: xb, yblock: yb })
+            .threads(2)
+            .build(&problem)
+            .unwrap();
+        let mut state = problem.state();
+        state.lcs_mut().unwrap().a = a.clone();
+        state.lcs_mut().unwrap().b = b.clone();
+        let report = plan.run(&mut state).unwrap();
+        prop_assert_eq!(report.lcs_length.unwrap(), gold);
     }
 
     #[test]

@@ -5,6 +5,28 @@
 use tempora::prelude::*;
 
 #[test]
+fn quickstart_plan_lifecycle_from_prelude_alone() {
+    // The crate-level quickstart: Problem → PlanBuilder → Plan → Report,
+    // using only prelude exports.
+    let problem = Problem::heat1d(1000, 64, Heat1dCoeffs::classic(0.25));
+    let mut plan = PlanBuilder::new().stride(7).build(&problem).unwrap();
+    let mut state = problem.state();
+    state
+        .grid1_mut()
+        .unwrap()
+        .fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+    let report = plan.run(&mut state).unwrap();
+    assert_eq!(report.steps, 64);
+    assert!(report.engine.is_some());
+
+    let mut init = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
+    init.fill_interior(|i| if i == 500 { 1.0 } else { 0.0 });
+    let gold = reference::heat1d(&init, Heat1dCoeffs::classic(0.25), 64);
+    assert!(state.grid1().unwrap().interior_eq(&gold));
+    state.grid1().unwrap().check_canaries().unwrap();
+}
+
+#[test]
 fn quickstart_temporal_matches_reference() {
     let coeffs = Heat1dCoeffs::classic(0.25);
     let mut grid = Grid1::new(1000, 1, Boundary::Dirichlet(0.0));
