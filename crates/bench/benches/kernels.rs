@@ -8,6 +8,8 @@ use std::time::Duration;
 use tempora_baseline::{dlt, multiload, reorg};
 use tempora_core::kernels::*;
 use tempora_core::{lcs, t1d, t2d, t3d};
+#[cfg(target_arch = "x86_64")]
+use tempora_core::{lcs_avx2, t2d_avx2};
 use tempora_grid::*;
 use tempora_stencil::*;
 
@@ -107,6 +109,12 @@ fn life_schemes(crit: &mut Criterion) {
     group.bench_function("temporal_vl8", |b| {
         b.iter(|| std::hint::black_box(t2d::run::<i32, 8, _>(&g, &kern, steps, 2)))
     });
+    #[cfg(target_arch = "x86_64")]
+    if tempora_simd::arch::avx2_available() {
+        group.bench_function("temporal_vl8_avx2", |b| {
+            b.iter(|| std::hint::black_box(t2d_avx2::run_life2d_avx2(&g, &kern, steps, 2)))
+        });
+    }
     group.bench_function("multiload", |b| {
         b.iter(|| std::hint::black_box(multiload::life(&g, rule, steps)))
     });
@@ -149,6 +157,15 @@ fn lcs_schemes(crit: &mut Criterion) {
     group.bench_function("temporal_i32x8", |b| {
         b.iter(|| std::hint::black_box(lcs::length(&a, &b_seq, 1)))
     });
+    #[cfg(target_arch = "x86_64")]
+    if tempora_simd::arch::avx2_available() {
+        group.bench_function("temporal_i32x8_avx2", |b| {
+            b.iter(|| std::hint::black_box(lcs_avx2::length_avx2(&a, &b_seq, 1)))
+        });
+        group.bench_function("temporal_i32x8_avx2_s2", |b| {
+            b.iter(|| std::hint::black_box(lcs_avx2::length_avx2(&a, &b_seq, 2)))
+        });
+    }
     group.bench_function("scalar", |b| {
         b.iter(|| std::hint::black_box(reference::lcs_len(&a, &b_seq)))
     });

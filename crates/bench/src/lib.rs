@@ -829,8 +829,8 @@ pub fn fig5e(scale: usize) -> Figure {
 
 /// Figure 5g: LCS sequential (one full DP table; Gcells/s). The temporal
 /// series is dispatched like every other figure: its plan resolves (and
-/// reports) the engine — honestly portable, as no AVX2 LCS steady state
-/// exists.
+/// reports) the engine — the `i32×8` AVX2 LCS steady state on AVX2
+/// hosts, portable otherwise.
 pub fn fig5g(scale: usize) -> Figure {
     let hi = match scale {
         0..=1 => 17,
@@ -1107,8 +1107,9 @@ pub fn fig5f(scale: usize, max_cores: usize) -> Figure {
 }
 
 /// Figure 5h: LCS parallel scaling (rectangle tiles, wavefront). Routed
-/// through the same plan dispatch as every other figure, so the temporal
-/// series now reports its resolved engine (honestly portable).
+/// through the same plan dispatch as every other figure; the rectangle
+/// workspace resolves the `i32×8` AVX2 steady state per block column on
+/// AVX2 hosts.
 pub fn fig5h(scale: usize, max_cores: usize) -> Figure {
     let (n, xb, yb) = parallel_configs(scale).lcs;
     let sel = Select::from_env();
@@ -1374,12 +1375,18 @@ mod tests {
     }
 
     #[test]
-    fn lcs_series_report_portable_engine() {
+    fn lcs_series_report_resolved_engine() {
         // fig5g/fig5h regression: the LCS temporal series must carry the
-        // resolved engine like every other dispatched series.
+        // resolved engine like every other dispatched series — avx2 on
+        // AVX2 hosts now that the integer steady state exists.
+        let expect = if tempora_simd::arch::avx2_available() {
+            Some("avx2")
+        } else {
+            Some("portable")
+        };
         let problem = Problem::lcs(128, 128);
         let seq = plan_sample(&problem, PlanBuilder::new().stride(1), &fill_state);
-        assert_eq!(seq.engine, Some("portable"));
+        assert_eq!(seq.engine, expect);
         let par = plan_sample(
             &problem,
             PlanBuilder::new()
@@ -1391,7 +1398,14 @@ mod tests {
                 .threads(2),
             &fill_state,
         );
-        assert_eq!(par.engine, Some("portable"));
+        assert_eq!(par.engine, expect);
+        // Forced portable stays portable.
+        let forced = plan_sample(
+            &problem,
+            PlanBuilder::new().stride(1).select(Select::Portable),
+            &fill_state,
+        );
+        assert_eq!(forced.engine, Some("portable"));
     }
 
     #[test]

@@ -18,11 +18,14 @@
 //!   AVX2+FMA; workloads with no hand-scheduled variant still resolve to
 //!   portable, reported as such).
 //!
-//! Degenerate shapes that cannot exercise a vector steady state at all —
-//! fewer than one full `VL = 4` time tile, or an outer extent below
-//! `VL·s` — also resolve portable, because every engine would run the
-//! identical scalar schedule there and reporting `avx2` would misname
-//! the instruction mix that actually executed.
+//! Every workload now has a hand-scheduled steady state: the f64 kernels
+//! run at `vl = 4` double lanes, and the two integer workloads — Life
+//! and LCS — at the paper's `vl = 8` i32 lanes. Degenerate shapes that
+//! cannot exercise a vector steady state at all — fewer than one full
+//! `vl`-level time tile, or an outer extent below `vl·s` (for LCS, a row
+//! segment below `vl·s + 1`) — resolve portable, because every engine
+//! would run the identical scalar schedule there and reporting `avx2`
+//! would misname the instruction mix that actually executed.
 //!
 //! The selection is overridable at process level through the
 //! `TEMPORA_ENGINE` environment variable (`auto` | `portable` | `avx2`,
@@ -139,13 +142,14 @@ impl Engine {
 }
 
 /// True when a workload shape can actually exercise a vector steady
-/// state: at least one full `VL = 4` time tile, and an outer extent that
-/// hosts the vector schedule (`n ≥ VL·s`). Degenerate shapes run the
-/// scalar schedule in *every* engine, so dispatch resolves them portable
-/// — the returned [`Engine`] must name the steady state that executes,
-/// not the one that was asked for.
-pub fn shape_has_vector_tiles(n_outer: usize, steps: usize, s: usize) -> bool {
-    steps >= 4 && n_outer >= 4 * s
+/// state at vector length `vl` (4 for the f64 kernels, 8 for the
+/// integer Life kernel): at least one full `vl`-level time tile, and an
+/// outer extent that hosts the vector schedule (`n ≥ vl·s`). Degenerate
+/// shapes run the scalar schedule in *every* engine, so dispatch
+/// resolves them portable — the returned [`Engine`] must name the
+/// steady state that executes, not the one that was asked for.
+pub fn shape_has_vector_tiles(vl: usize, n_outer: usize, steps: usize, s: usize) -> bool {
+    steps >= vl && n_outer >= vl * s
 }
 
 /// Run Heat-1D (1D3P Jacobi) under `sel`; returns the final grid and the
@@ -175,7 +179,7 @@ pub(crate) fn run_heat1d_impl(
     steps: usize,
     s: usize,
 ) -> (Grid1<f64>, Engine) {
-    let has_impl = JacobiKern1d::avx2_tile(s) && shape_has_vector_tiles(grid.n(), steps, s);
+    let has_impl = JacobiKern1d::avx2_tile(s) && shape_has_vector_tiles(4, grid.n(), steps, s);
     match sel.resolve(has_impl) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
@@ -212,7 +216,7 @@ pub(crate) fn run_gs1d_impl(
     steps: usize,
     s: usize,
 ) -> (Grid1<f64>, Engine) {
-    let has_impl = GsKern1d::avx2_tile(s) && shape_has_vector_tiles(grid.n(), steps, s);
+    let has_impl = GsKern1d::avx2_tile(s) && shape_has_vector_tiles(4, grid.n(), steps, s);
     match sel.resolve(has_impl) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
@@ -238,7 +242,7 @@ pub fn run_heat2d(
     steps: usize,
     s: usize,
 ) -> (Grid2<f64>, Engine) {
-    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+    match sel.resolve(shape_has_vector_tiles(4, grid.nx(), steps, s)) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
             crate::t2d_avx2::run_heat2d_avx2(grid, kern, steps, s),
@@ -266,7 +270,7 @@ pub fn run_box2d(
     steps: usize,
     s: usize,
 ) -> (Grid2<f64>, Engine) {
-    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+    match sel.resolve(shape_has_vector_tiles(4, grid.nx(), steps, s)) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
             crate::t2d_avx2::run_box2d_avx2(grid, kern, steps, s),
@@ -294,7 +298,7 @@ pub fn run_gs2d(
     steps: usize,
     s: usize,
 ) -> (Grid2<f64>, Engine) {
-    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+    match sel.resolve(shape_has_vector_tiles(4, grid.nx(), steps, s)) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
             crate::t2d_avx2::run_gs2d_avx2(grid, kern, steps, s),
@@ -309,9 +313,12 @@ pub fn run_gs2d(
     }
 }
 
-/// Run Game-of-Life (integer 2D9P, 8 lanes) under `sel`. No AVX2 integer
-/// steady state exists yet, so every selection resolves to the portable
-/// engine (reported honestly).
+/// Run Game-of-Life (integer 2D9P, 8 lanes) under `sel`; returns the
+/// final grid and the engine that executed. The AVX2 integer steady
+/// state runs at `vl = 8` i32 lanes, so the degenerate bounds are
+/// `steps ≥ 8` whole tiles and `nx ≥ 8·s`; smaller shapes resolve
+/// portable because every engine runs the identical scalar schedule
+/// there.
 #[deprecated(
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
@@ -323,9 +330,21 @@ pub fn run_life(
     steps: usize,
     s: usize,
 ) -> (Grid2<i32>, Engine) {
-    let engine = sel.resolve(false);
-    debug_assert_eq!(engine, Engine::Portable);
-    (t2d::run::<i32, 8, _>(grid, kern, steps, s), engine)
+    let has_impl = <LifeKern2d as Avx2Exec2d<i32>>::avx2_tile(8, s)
+        && shape_has_vector_tiles(8, grid.nx(), steps, s);
+    match sel.resolve(has_impl) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (
+            crate::t2d_avx2::run_life2d_avx2(grid, kern, steps, s),
+            Engine::Avx2,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (
+            t2d::run::<i32, 8, _>(grid, kern, steps, s),
+            Engine::Portable,
+        ),
+    }
 }
 
 /// Run Heat-3D (3D7P Jacobi) under `sel`; returns the final grid and the
@@ -341,7 +360,7 @@ pub fn run_heat3d(
     steps: usize,
     s: usize,
 ) -> (Grid3<f64>, Engine) {
-    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+    match sel.resolve(shape_has_vector_tiles(4, grid.nx(), steps, s)) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
             crate::t3d_avx2::run_heat3d_avx2(grid, kern, steps, s),
@@ -369,7 +388,7 @@ pub fn run_gs3d(
     steps: usize,
     s: usize,
 ) -> (Grid3<f64>, Engine) {
-    match sel.resolve(shape_has_vector_tiles(grid.nx(), steps, s)) {
+    match sel.resolve(shape_has_vector_tiles(4, grid.nx(), steps, s)) {
         #[cfg(target_arch = "x86_64")]
         Engine::Avx2 => (
             crate::t3d_avx2::run_gs3d_avx2(grid, kern, steps, s),
@@ -384,16 +403,24 @@ pub fn run_gs3d(
     }
 }
 
-/// Run the LCS length DP under `sel`. The `i32×8` LCS kernel has no AVX2
-/// steady state yet, so every selection resolves to portable.
+/// Run the LCS length DP under `sel`; returns the length and the engine
+/// that executed. The `i32×8` AVX2 steady state requires at least one
+/// full 8-level `A` tile and a row segment hosting the vector schedule
+/// (`lb ≥ 8·s + 1`, see [`crate::lcs_avx2::seq_has_vector_tiles`]);
+/// degenerate shapes resolve portable.
 #[deprecated(
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` instead; this one-shot wrapper allocates scratch per call"
 )]
 pub fn run_lcs(sel: Select, a: &[u8], b: &[u8], s: usize) -> (i32, Engine) {
-    let engine = sel.resolve(false);
-    debug_assert_eq!(engine, Engine::Portable);
-    (lcs::length(a, b, s), engine)
+    let has_impl = crate::lcs_avx2::seq_has_vector_tiles(a.len(), b.len(), s);
+    match sel.resolve(has_impl) {
+        #[cfg(target_arch = "x86_64")]
+        Engine::Avx2 => (crate::lcs_avx2::length_avx2(a, b, s), Engine::Avx2),
+        #[cfg(not(target_arch = "x86_64"))]
+        Engine::Avx2 => unreachable!("AVX2 resolved on a non-x86-64 target"),
+        Engine::Portable => (lcs::length(a, b, s), Engine::Portable),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -479,10 +506,25 @@ impl Avx2Exec1d for GsKern1d {
     }
 }
 
+/// Downcast a generic 2-D temporal scratch to the lane count an AVX2
+/// steady state is pinned to. The `avx2_tile(vl, s)` capability check
+/// guarantees the runner's lane count equals the steady state's, so the
+/// downcast can only fail on a dispatch bug — and then it fails loudly.
+fn scratch_at<T: Scalar, const VL: usize, const W: usize>(
+    sc: &mut Scratch2d<T, VL>,
+) -> &mut Scratch2d<T, W> {
+    (sc as &mut dyn core::any::Any)
+        .downcast_mut::<Scratch2d<T, W>>()
+        .expect("AVX2 steady state invoked at a lane count its avx2_tile check rejected")
+}
+
 /// Hand-scheduled AVX2 executors a 2-D kernel exposes to the tiled layer;
-/// see [`Avx2Exec1d`]. The temporal tile exists only at `vl = 4` f64
-/// lanes (the AVX2 register width), so `avx2_tile` takes the vector
-/// length the caller runs at.
+/// see [`Avx2Exec1d`]. Each steady state is pinned to one `__m256`
+/// register width — `vl = 4` f64 lanes for the floating-point kernels,
+/// `vl = 8` i32 lanes for the integer Life kernel — so `avx2_tile` takes
+/// the vector length the caller runs at and `tile_avx2` accepts the
+/// caller's scratch generically (a `true` capability check guarantees
+/// the lane counts match).
 pub trait Avx2Exec2d<T: Scalar>: Kernel2d<T> {
     /// True when this kernel has a hand-scheduled AVX2 temporal tile at
     /// vector length `vl` and stride `s` and the CPU supports AVX2+FMA.
@@ -491,10 +533,10 @@ pub trait Avx2Exec2d<T: Scalar>: Kernel2d<T> {
         false
     }
 
-    /// Advance one `VL = 4` temporal tile with the AVX2 steady state
+    /// Advance one `VL`-level temporal tile with the AVX2 steady state
     /// (bit-identical to `t2d::tile`). Only callable when
-    /// [`Avx2Exec2d::avx2_tile`] returned true.
-    fn tile_avx2(&self, g: &mut Grid2<T>, s: usize, sc: &mut Scratch2d<T, 4>) {
+    /// [`Avx2Exec2d::avx2_tile`] returned true for this `VL`.
+    fn tile_avx2<const VL: usize>(&self, g: &mut Grid2<T>, s: usize, sc: &mut Scratch2d<T, VL>) {
         let _ = (g, s, sc);
         unreachable!("kernel has no AVX2 temporal tile");
     }
@@ -528,8 +570,13 @@ impl Avx2Exec2d<f64> for JacobiKern2d {
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
-        crate::t2d_avx2::tile_heat2d_avx2(g, self, s, sc);
+    fn tile_avx2<const VL: usize>(
+        &self,
+        g: &mut Grid2<f64>,
+        s: usize,
+        sc: &mut Scratch2d<f64, VL>,
+    ) {
+        crate::t2d_avx2::tile_heat2d_avx2(g, self, s, scratch_at::<f64, VL, 4>(sc));
     }
 }
 
@@ -539,8 +586,13 @@ impl Avx2Exec2d<f64> for BoxKern2d {
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
-        crate::t2d_avx2::tile_box2d_avx2(g, self, s, sc);
+    fn tile_avx2<const VL: usize>(
+        &self,
+        g: &mut Grid2<f64>,
+        s: usize,
+        sc: &mut Scratch2d<f64, VL>,
+    ) {
+        crate::t2d_avx2::tile_box2d_avx2(g, self, s, scratch_at::<f64, VL, 4>(sc));
     }
 }
 
@@ -550,8 +602,13 @@ impl Avx2Exec2d<f64> for GsKern2d {
     }
 
     #[cfg(target_arch = "x86_64")]
-    fn tile_avx2(&self, g: &mut Grid2<f64>, s: usize, sc: &mut Scratch2d<f64, 4>) {
-        crate::t2d_avx2::tile_gs2d_avx2(g, self, s, sc);
+    fn tile_avx2<const VL: usize>(
+        &self,
+        g: &mut Grid2<f64>,
+        s: usize,
+        sc: &mut Scratch2d<f64, VL>,
+    ) {
+        crate::t2d_avx2::tile_gs2d_avx2(g, self, s, scratch_at::<f64, VL, 4>(sc));
     }
 
     fn avx2_band(_s: usize) -> bool {
@@ -571,9 +628,24 @@ impl Avx2Exec2d<f64> for GsKern2d {
     }
 }
 
-/// No AVX2 integer steady state exists yet: Life keeps every default and
-/// the tiled runners honestly resolve it portable.
-impl Avx2Exec2d<i32> for LifeKern2d {}
+/// The integer Life steady state runs at `vl = 8` i32 lanes (one full
+/// `__m256i`), matching the portable Life engine's lane count, so the
+/// tiled runners dispatch it exactly like the f64 kernels.
+impl Avx2Exec2d<i32> for LifeKern2d {
+    fn avx2_tile(vl: usize, _s: usize) -> bool {
+        vl == 8 && tempora_simd::arch::avx2_available()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn tile_avx2<const VL: usize>(
+        &self,
+        g: &mut Grid2<i32>,
+        s: usize,
+        sc: &mut Scratch2d<i32, VL>,
+    ) {
+        crate::t2d_avx2::tile_life2d_avx2(g, self, s, scratch_at::<i32, VL, 8>(sc));
+    }
+}
 
 /// Hand-scheduled AVX2 executors a 3-D kernel exposes to the tiled layer;
 /// see [`Avx2Exec1d`].

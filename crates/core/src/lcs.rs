@@ -32,14 +32,14 @@
 //! *segment*, importing the per-level west values of the neighbouring
 //! block as a column vector and exporting its own east column.
 
-use tempora_simd::{Mask, Pack};
-use tempora_stencil::{lcs_update, lcs_update_pack};
+use tempora_simd::Pack;
+use tempora_stencil::lcs_update;
 
 /// Scratch for the LCS engine (head/tail wavefront triangles).
 pub struct ScratchLcs<const VL: usize> {
-    head: Vec<Vec<i32>>,
-    tail: Vec<Vec<i32>>,
-    ring: Vec<Pack<i32, VL>>,
+    pub(crate) head: Vec<Vec<i32>>,
+    pub(crate) tail: Vec<Vec<i32>>,
+    pub(crate) ring: Vec<Pack<i32, VL>>,
 }
 
 impl<const VL: usize> ScratchLcs<VL> {
@@ -88,6 +88,12 @@ pub fn scalar_row_step_seg(
 /// * `left_col[k]` = `lcs[x0+k][y0-1]` for `k ∈ 0..=VL` (all zeros when
 ///   the segment starts at column 1);
 /// * on return `right_col[k]` = `lcs[x0+k][y1]`.
+///
+/// The tile is the composition of the phases exposed below —
+/// [`tile_seg_fallback_if_degenerate`], [`tile_seg_prologue`],
+/// [`tile_seg_steady`], [`tile_seg_epilogue`] — so that arch-specialized
+/// steady states (see `lcs_avx2`) can swap the middle phase while sharing
+/// the exact head/tail wavefront-triangle machinery.
 #[allow(clippy::too_many_arguments)]
 pub fn tile_seg<const VL: usize>(
     row: &mut [i32],
@@ -100,20 +106,63 @@ pub fn tile_seg<const VL: usize>(
     right_col: &mut [i32],
     sc: &mut ScratchLcs<VL>,
 ) {
+    if tile_seg_fallback_if_degenerate::<VL>(row, y0, y1, a_tile, b, s, left_col, right_col) {
+        return;
+    }
+    let (y_max, o_prev) = tile_seg_prologue::<VL>(row, y0, y1, a_tile, b, s, left_col, sc);
+    tile_seg_steady::<VL>(row, y0, y_max, a_tile, b, s, sc, o_prev);
+    tile_seg_epilogue::<VL>(row, y1, a_tile, b, s, right_col, sc, y_max);
+}
+
+/// Shared degenerate-segment guard: when the segment cannot host the
+/// vector schedule (`seg < VL·s + 1`), run the `VL` levels with scalar
+/// row steps instead (same results, `right_col` fully exported) and
+/// report `true`. Also validates the shared tile contract.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg_fallback_if_degenerate<const VL: usize>(
+    row: &mut [i32],
+    y0: usize,
+    y1: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    left_col: &[i32],
+    right_col: &mut [i32],
+) -> bool {
     assert!(s >= 1);
     assert_eq!(a_tile.len(), VL);
     assert!(left_col.len() > VL && right_col.len() > VL);
     debug_assert!(y0 >= 1 && y1 >= y0 && y1 < row.len());
-    let seg = y1 + 1 - y0;
     right_col[0] = row[y1];
-
-    if seg < VL * s + 1 {
-        for (k, &ca) in a_tile.iter().enumerate() {
-            scalar_row_step_seg(row, ca, b, y0, y1, left_col[k + 1], left_col[k]);
-            right_col[k + 1] = row[y1];
-        }
-        return;
+    if y1 + 1 - y0 > VL * s {
+        return false;
     }
+    for (k, &ca) in a_tile.iter().enumerate() {
+        scalar_row_step_seg(row, ca, b, y0, y1, left_col[k + 1], left_col[k]);
+        right_col[k + 1] = row[y1];
+    }
+    true
+}
+
+/// Phase 1 of an LCS temporal tile: scalar head wavefront triangles for
+/// levels `1..VL`, the initial input-vector ring `V(y0-1) ..= V(y0-1+s)`
+/// and the initial output vector `O(y0-1)`. Returns `(y_max, o_prev)` —
+/// the last steady anchor column and the output vector the steady state
+/// starts from. The segment must not be degenerate (see
+/// [`tile_seg_fallback_if_degenerate`]).
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg_prologue<const VL: usize>(
+    row: &mut [i32],
+    y0: usize,
+    y1: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    left_col: &[i32],
+    sc: &mut ScratchLcs<VL>,
+) -> (usize, Pack<i32, VL>) {
+    let seg = y1 + 1 - y0;
+    assert!(seg > VL * s, "degenerate segment: call the fallback");
     let y_max = y1 - VL * s; // last steady anchor (absolute column)
 
     // Prologue: head[k][j] = lcs[x0+k][y0-1+j] for j ∈ 0..=(VL-k)·s.
@@ -154,7 +203,7 @@ pub fn tile_seg<const VL: usize>(
         });
     }
     // O(y0-1): lane i = lcs[x0+1+i][y0-1 + (VL-1-i)·s].
-    let mut o_prev = Pack::<i32, VL>::from_fn(|i| {
+    let o_prev = Pack::<i32, VL>::from_fn(|i| {
         let j = (VL - 1 - i) * s;
         if i == VL - 1 {
             left_col[VL]
@@ -162,24 +211,110 @@ pub fn tile_seg<const VL: usize>(
             sc.head[i + 1][j]
         }
     });
+    (y_max, o_prev)
+}
 
+/// Phase 2 of an LCS temporal tile (portable): the §3.4 steady state
+/// `O(y) = select(eq, diag + 1, max(up, left))` over the anchors
+/// `y ∈ [y0, y_max]`. `(y_max, o_prev)` must come from
+/// [`tile_seg_prologue`].
+///
+/// The loop keeps the ring traffic at one read and one write per
+/// iteration: the write at column `y` lands in the very slot the
+/// diagonal operand was read from (`y+s ≡ y-1 mod s+1`), so `diag` is
+/// simply the previous iteration's `up` vector, carried in a register.
+/// At the minimum stride `s = 1` the character vector `B` advances by
+/// one column per iteration and is produced by the same
+/// rotate-and-blend rule as the input vectors — no per-iteration gather
+/// remains in the hot loop.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg_steady<const VL: usize>(
+    row: &mut [i32],
+    y0: usize,
+    y_max: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    sc: &mut ScratchLcs<VL>,
+    mut o_prev: Pack<i32, VL>,
+) {
+    let rlen = s + 1;
     // Per-tile constant: lane i compares against A[x0+1+i].
     let a_pack = Pack::<i32, VL>::from_fn(|i| a_tile[i] as i32);
-
-    // Steady state.
-    for y in y0..=y_max {
-        let diag = sc.ring[(y + rlen - 1) % rlen];
-        let up = sc.ring[y % rlen];
-        let b_pack = Pack::<i32, VL>::from_fn(|i| b[y + (VL - 1 - i) * s - 1] as i32);
-        let eq: Mask<VL> = a_pack.eq_mask(b_pack);
-        let o = lcs_update_pack(diag, up, o_prev, eq);
-        row[y] = o.top();
-        let bottom = row[y + VL * s];
-        sc.ring[(y + s) % rlen] = o.shift_up_insert(bottom);
-        o_prev = o;
+    // One fused lane function instead of eq_mask + select: the compare,
+    // the sign-extended mask and the blend stay in a single lane-parallel
+    // expression (`mask = -(a==b); (diag+1 & mask) | (max & !mask)`),
+    // which LLVM lowers to compare/blend vector code without
+    // materializing the `[bool; VL]` mask array — bit-identical to
+    // `lcs_update_pack` (see `fused_update_matches_lcs_update_pack`).
+    let fused = |diag: Pack<i32, VL>, up: Pack<i32, VL>, left: Pack<i32, VL>, bv: Pack<i32, VL>| {
+        Pack::<i32, VL>::from_fn(|i| {
+            let mask = -((a_pack.0[i] == bv.0[i]) as i32);
+            (diag.0[i].wrapping_add(1) & mask) | (up.0[i].max(left.0[i]) & !mask)
+        })
+    };
+    let mut diag = sc.ring[(y0 + rlen - 1) % rlen];
+    let mut iu = y0 % rlen;
+    let mut iw = (y0 + s) % rlen;
+    if s == 1 {
+        let mut b_pack = Pack::<i32, VL>::from_fn(|i| b[y0 - 1 + (VL - 1 - i)] as i32);
+        for y in y0..=y_max {
+            let up = sc.ring[iu];
+            let o = fused(diag, up, o_prev, b_pack);
+            row[y] = o.top();
+            let bottom = row[y + VL];
+            sc.ring[iw] = o.shift_up_insert(bottom);
+            o_prev = o;
+            diag = up;
+            b_pack = b_pack.shift_up_insert(b[y + VL - 1] as i32);
+            iu += 1;
+            if iu == rlen {
+                iu = 0;
+            }
+            iw += 1;
+            if iw == rlen {
+                iw = 0;
+            }
+        }
+    } else {
+        for y in y0..=y_max {
+            let up = sc.ring[iu];
+            let b_pack = Pack::<i32, VL>::from_fn(|i| b[y + (VL - 1 - i) * s - 1] as i32);
+            let o = fused(diag, up, o_prev, b_pack);
+            row[y] = o.top();
+            let bottom = row[y + VL * s];
+            sc.ring[iw] = o.shift_up_insert(bottom);
+            o_prev = o;
+            diag = up;
+            iu += 1;
+            if iu == rlen {
+                iu = 0;
+            }
+            iw += 1;
+            if iw == rlen {
+                iw = 0;
+            }
+        }
     }
+}
 
-    // Epilogue: drain ring into tail planes, then finish each level.
+/// Phase 3 of an LCS temporal tile: drain the surviving ring into the
+/// tail triangles, finish every level scalar-wise up to `y1` and export
+/// the east column. `y_max` must match the value [`tile_seg_prologue`]
+/// returned and the ring must hold `V(j)` at slot `j % (s+1)` for
+/// `j ∈ y_max ..= y_max+s`, as left behind by the steady state.
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg_epilogue<const VL: usize>(
+    row: &mut [i32],
+    y1: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    right_col: &mut [i32],
+    sc: &mut ScratchLcs<VL>,
+    y_max: usize,
+) {
+    let rlen = s + 1;
     for i in 1..VL {
         let base = y_max + (VL - 1 - i) * s;
         for j in y_max..=y_max + s {
@@ -266,7 +401,27 @@ pub fn length(a: &[u8], b: &[u8], s: usize) -> i32 {
 mod tests {
     use super::*;
     use tempora_grid::random_sequence;
-    use tempora_stencil::reference;
+    use tempora_simd::Mask;
+    use tempora_stencil::{lcs_update_pack, reference};
+
+    #[test]
+    fn fused_update_matches_lcs_update_pack() {
+        // The steady state's fused mask-blend lane function must agree
+        // with the two-step eq_mask + lcs_update_pack form bit for bit
+        // (including at i32::MAX, where diag + 1 wraps in both).
+        let diag = Pack::<i32, 8>::from_fn(|i| [0, 3, -1, i32::MAX, 7, 2, 5, 1][i]);
+        let up = Pack::<i32, 8>::from_fn(|i| (i as i32) * 3 - 4);
+        let left = Pack::<i32, 8>::from_fn(|i| 6 - i as i32);
+        let a = Pack::<i32, 8>::from_fn(|i| (i % 3) as i32);
+        let b = Pack::<i32, 8>::from_fn(|i| (i % 2) as i32);
+        let eq: Mask<8> = a.eq_mask(b);
+        let gold = lcs_update_pack(diag, up, left, eq);
+        let fused = Pack::<i32, 8>::from_fn(|i| {
+            let mask = -((a.0[i] == b.0[i]) as i32);
+            (diag.0[i].wrapping_add(1) & mask) | (up.0[i].max(left.0[i]) & !mask)
+        });
+        assert_eq!(fused, gold);
+    }
 
     #[test]
     fn final_row_matches_reference() {

@@ -1,0 +1,342 @@
+//! Hand-scheduled AVX2 (`std::arch`) steady state for the LCS temporal
+//! engine (paper §3.4) at the paper's integer width `vl = 8`.
+//!
+//! The portable engine in [`crate::lcs`] leaves instruction selection to
+//! LLVM; this variant pins the steady state to the instruction mix the
+//! paper's analysis assumes — `vpcmpeqd` for the character-equality
+//! mask, `vpaddd`/`vpmaxsd` for the two update candidates, `vpblendvb`
+//! for the equality blend, and one `vpermd` (lane-crossing rotate) plus
+//! one `vpblendd` (in-lane) per produced vector for the input production
+//! — while the head/tail wavefront triangles, the degenerate fallback
+//! and the segmented (rectangle-tiled) entry point are shared with the
+//! portable engine through its phase split
+//! ([`crate::lcs::tile_seg_prologue`] /
+//! [`crate::lcs::tile_seg_epilogue`]). At the minimum stride `s = 1` the
+//! `B`-character vector is produced by the same rotate-and-blend rule;
+//! wider strides gather it with the strided `vloadset` helper. Results
+//! stay bit-identical to the portable engine and therefore to the
+//! scalar DP.
+//!
+//! Use [`crate::engine`] (or a `tempora_plan::Plan`) for transparent
+//! runtime dispatch; the shape predicates [`seq_has_vector_tiles`] /
+//! [`rect_has_vector_tiles`] are what the dispatch layers feed to
+//! `Select::resolve`.
+
+use crate::lcs::ScratchLcs;
+
+/// The integer vector length of the AVX2 LCS steady state (8 × i32 lanes
+/// in one `__m256i` — the paper's "theoretical maximal speedup of 8").
+pub const VL: usize = 8;
+
+/// True when the sequential (whole-row) LCS engine can run the AVX2
+/// steady state: the CPU supports AVX2+FMA, at least one full `VL = 8`
+/// temporal tile of `A`-positions exists, and the row segment hosts the
+/// vector schedule (`lb ≥ VL·s + 1`). Degenerate shapes run the scalar
+/// schedule in every engine, so dispatch must resolve them portable.
+pub fn seq_has_vector_tiles(la: usize, lb: usize, s: usize) -> bool {
+    tempora_simd::arch::avx2_available() && la >= VL && lb > VL * s
+}
+
+/// True when every rectangle tile of an `xblock × yblock` tiling can run
+/// the AVX2 steady state: whole `VL`-level bands exist (`la ≥ VL` and
+/// `xblock ≥ VL`) and **every** block column's segment — the ragged last
+/// one included — hosts the vector schedule. A short final row band
+/// (`x`-remainder `< VL`) runs scalar rows in every engine, like the
+/// `steps mod height` tails of the grid tilings, and does not demote the
+/// report; a column block too narrow for the steady state would, because
+/// all of its tiles would silently run the scalar schedule.
+pub fn rect_has_vector_tiles(la: usize, lb: usize, xblock: usize, yblock: usize, s: usize) -> bool {
+    if !(tempora_simd::arch::avx2_available() && la >= VL && xblock >= VL) {
+        return false;
+    }
+    let last = match lb % yblock {
+        0 => yblock,
+        r => r,
+    };
+    yblock.min(lb) > VL * s && last > VL * s
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::VL;
+    use crate::lcs::ScratchLcs;
+    use tempora_simd::arch::avx2;
+    use tempora_simd::I32x8;
+
+    /// AVX2 steady state of one LCS temporal tile: same loop structure as
+    /// [`crate::lcs::tile_seg_steady`], with the diagonal, the previous
+    /// output vector and (at `s = 1`) the `B`-character vector all
+    /// carried in `__m256i` registers between iterations.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn steady(
+        row: &mut [i32],
+        y0: usize,
+        y_max: usize,
+        a_tile: &[u8],
+        b: &[u8],
+        s: usize,
+        sc: &mut ScratchLcs<VL>,
+        o_prev: I32x8,
+    ) {
+        let rlen = s + 1;
+        let ones = avx2::splat_i32(1);
+        let a_vec = avx2::from_pack_i32(I32x8::from_fn(|i| a_tile[i] as i32));
+        let mut o_prev = avx2::from_pack_i32(o_prev);
+        let mut diag = avx2::from_pack_i32(sc.ring[(y0 + rlen - 1) % rlen]);
+        let mut iu = y0 % rlen;
+        let mut iw = (y0 + s) % rlen;
+        if s == 1 {
+            // One-rotate-one-blend input production for the characters
+            // too: lane 0 takes the next byte, every other lane shifts up.
+            let mut b_vec = avx2::gather_u8_i32(b, y0 - 1 + (VL - 1), -1);
+            for y in y0..=y_max {
+                let up = avx2::from_pack_i32(sc.ring[iu]);
+                let eq = avx2::cmpeq_i32(a_vec, b_vec);
+                let o = avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
+                row[y] = avx2::extract_top_i32(o);
+                let bottom = row[y + VL];
+                sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                o_prev = o;
+                diag = up;
+                b_vec = avx2::shift_up_insert_i32(b_vec, b[y + VL - 1] as i32);
+                iu += 1;
+                if iu == rlen {
+                    iu = 0;
+                }
+                iw += 1;
+                if iw == rlen {
+                    iw = 0;
+                }
+            }
+        } else {
+            for y in y0..=y_max {
+                let up = avx2::from_pack_i32(sc.ring[iu]);
+                // Strided vloadset of the B characters: lane i reads
+                // b[y - 1 + (VL-1-i)·s].
+                let b_vec = avx2::gather_u8_i32(b, y - 1 + (VL - 1) * s, -(s as isize));
+                let eq = avx2::cmpeq_i32(a_vec, b_vec);
+                let o = avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
+                row[y] = avx2::extract_top_i32(o);
+                let bottom = row[y + VL * s];
+                sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                o_prev = o;
+                diag = up;
+                iu += 1;
+                if iu == rlen {
+                    iu = 0;
+                }
+                iw += 1;
+                if iw == rlen {
+                    iw = 0;
+                }
+            }
+        }
+    }
+}
+
+/// One segmented LCS temporal tile with the AVX2 steady state (shared
+/// head/tail triangles and degenerate fallback with the portable
+/// engine); the drop-in `std::arch` counterpart of
+/// [`crate::lcs::tile_seg`]. Panics if AVX2+FMA are unavailable. The
+/// tiled layer (`tempora_tiling::lcs_rect`) reaches this through its
+/// resolved engine.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub fn tile_seg_avx2(
+    row: &mut [i32],
+    y0: usize,
+    y1: usize,
+    a_tile: &[u8],
+    b: &[u8],
+    s: usize,
+    left_col: &[i32],
+    right_col: &mut [i32],
+    sc: &mut ScratchLcs<VL>,
+) {
+    assert!(
+        tempora_simd::arch::avx2_available(),
+        "AVX2+FMA not available on this CPU"
+    );
+    if crate::lcs::tile_seg_fallback_if_degenerate::<VL>(
+        row, y0, y1, a_tile, b, s, left_col, right_col,
+    ) {
+        return;
+    }
+    let (y_max, o_prev) =
+        crate::lcs::tile_seg_prologue::<VL>(row, y0, y1, a_tile, b, s, left_col, sc);
+    // SAFETY: availability asserted above.
+    unsafe { imp::steady(row, y0, y_max, a_tile, b, s, sc, o_prev) };
+    crate::lcs::tile_seg_epilogue::<VL>(row, y1, a_tile, b, s, right_col, sc, y_max);
+}
+
+/// Advance the full DP row by `VL = 8` sequence-`A` positions with the
+/// AVX2 steady state (whole-row temporal tile); the `std::arch`
+/// counterpart of [`crate::lcs::tile`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_avx2(row: &mut [i32], a_tile: &[u8], b: &[u8], s: usize, sc: &mut ScratchLcs<VL>) {
+    let lb = b.len();
+    let zeros = [0i32; VL + 1];
+    let mut sink = [0i32; VL + 1];
+    tile_seg_avx2(row, 1, lb, a_tile, b, s, &zeros, &mut sink, sc);
+}
+
+/// Compute the final DP row with the AVX2 steady state; bit-identical to
+/// [`crate::lcs::final_row`] and the scalar reference. Panics if
+/// AVX2+FMA are unavailable (use [`crate::engine`] for dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn final_row_avx2(a: &[u8], b: &[u8], s: usize) -> Vec<i32> {
+    let mut row = vec![0i32; b.len() + 1];
+    if b.is_empty() {
+        return row;
+    }
+    let mut sc = ScratchLcs::<VL>::new(s);
+    let tiles = a.len() / VL;
+    for t in 0..tiles {
+        tile_avx2(&mut row, &a[t * VL..(t + 1) * VL], b, s, &mut sc);
+    }
+    for &ca in &a[tiles * VL..] {
+        crate::lcs::scalar_row_step(&mut row, ca, b);
+    }
+    row
+}
+
+/// LCS length via the AVX2 temporal scheme; bit-identical to
+/// [`crate::lcs::length`]. Panics if AVX2+FMA are unavailable.
+#[cfg(target_arch = "x86_64")]
+pub fn length_avx2(a: &[u8], b: &[u8], s: usize) -> i32 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    *final_row_avx2(a, b, s).last().unwrap()
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use tempora_grid::random_sequence;
+    use tempora_simd::arch::avx2_available;
+    use tempora_stencil::reference;
+
+    #[test]
+    fn final_row_avx2_matches_portable_and_reference() {
+        if !avx2_available() {
+            return;
+        }
+        for &(la, lb) in &[
+            (8usize, 40usize),
+            (16, 100),
+            (24, 33),
+            (40, 17),
+            (7, 50),
+            (64, 257),
+        ] {
+            for s in 1..=3 {
+                let a = random_sequence(la, 4, la as u64);
+                let b = random_sequence(lb, 4, lb as u64 + 1);
+                let ours = final_row_avx2(&a, &b, s);
+                assert_eq!(
+                    ours,
+                    crate::lcs::final_row::<8>(&a, &b, s),
+                    "la={la} lb={lb} s={s} (vs portable)"
+                );
+                assert_eq!(
+                    ours,
+                    reference::lcs_final_row(&a, &b),
+                    "la={la} lb={lb} s={s} (vs reference)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_alphabet_and_tiny_b() {
+        if !avx2_available() {
+            return;
+        }
+        for seed in 0..4 {
+            let a = random_sequence(48, 2, seed);
+            let b = random_sequence(96, 2, seed + 100);
+            assert_eq!(
+                length_avx2(&a, &b, 1),
+                *reference::lcs_final_row(&a, &b).last().unwrap()
+            );
+        }
+        // b too short for any vector segment: shared scalar fallback.
+        let a = random_sequence(16, 4, 9);
+        let b = random_sequence(5, 4, 10);
+        assert_eq!(final_row_avx2(&a, &b, 1), reference::lcs_final_row(&a, &b));
+        assert_eq!(length_avx2(b"", b"ABC", 1), 0);
+        assert_eq!(length_avx2(b"ABC", b"", 1), 0);
+    }
+
+    #[test]
+    fn segmented_tiles_stitch_exactly() {
+        if !avx2_available() {
+            return;
+        }
+        // Same stitching property as the portable engine: process the
+        // table in column blocks, threading edges through tile_seg_avx2.
+        let a = random_sequence(32, 3, 5);
+        let b = random_sequence(200, 3, 6);
+        let (la, lb) = (a.len(), b.len());
+        let gold_table = reference::lcs_table(&a, &b);
+        let w = lb + 1;
+        for s in [1usize, 2] {
+            for block in [24usize, 64, 96] {
+                let mut row = vec![0i32; lb + 1];
+                let mut sc = ScratchLcs::<8>::new(s);
+                for t in 0..la / 8 {
+                    let x0 = t * 8;
+                    let mut left = [0i32; 9];
+                    let mut right = [0i32; 9];
+                    let mut y0 = 1usize;
+                    while y0 <= lb {
+                        let y1 = (y0 + block - 1).min(lb);
+                        tile_seg_avx2(
+                            &mut row,
+                            y0,
+                            y1,
+                            &a[x0..x0 + 8],
+                            &b,
+                            s,
+                            &left,
+                            &mut right,
+                            &mut sc,
+                        );
+                        for k in 0..=8 {
+                            assert_eq!(
+                                right[k],
+                                gold_table[(x0 + k) * w + y1],
+                                "s={s} block={block} x0={x0} y1={y1} k={k}"
+                            );
+                        }
+                        left = right;
+                        y0 = y1 + 1;
+                    }
+                }
+                let gold_row = &gold_table[(la / 8 * 8) * w..(la / 8 * 8) * w + w];
+                assert_eq!(&row[..], gold_row);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_predicates() {
+        let cpu = avx2_available();
+        assert_eq!(seq_has_vector_tiles(8, 9, 1), cpu);
+        assert!(!seq_has_vector_tiles(7, 100, 1)); // no full A tile
+        assert!(!seq_has_vector_tiles(100, 8, 1)); // segment too short
+        assert!(!seq_has_vector_tiles(100, 16, 2)); // 16 < 8·2 + 1
+        assert_eq!(rect_has_vector_tiles(90, 140, 24, 40, 1), cpu);
+        assert!(!rect_has_vector_tiles(90, 140, 4, 40, 1)); // xblock < VL
+        assert!(!rect_has_vector_tiles(6, 140, 24, 40, 1)); // la < VL
+        assert!(!rect_has_vector_tiles(90, 140, 24, 8, 1)); // yblock segment
+        assert_eq!(rect_has_vector_tiles(90, 132, 24, 40, 1), cpu); // ragged 12 ≥ 9
+        assert!(!rect_has_vector_tiles(90, 125, 24, 40, 1)); // last segment 5 < 9
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`t3d`] | 3-D outer-loop engine: Heat-3D, GS-3D |
 //! | [`t3d_avx2`] | hand-scheduled AVX2 steady states: Heat-3D, GS-3D |
 //! | [`lcs`] | the LCS dynamic program as a temporal 1-D stencil (`i32×8`) |
+//! | [`lcs_avx2`] | hand-scheduled AVX2 integer steady state for LCS |
 //! | [`kernels`] | operand-convention adapters between stencils and engines |
 //!
 //! The portable 2-D/3-D engines expose the same prologue / steady-state /
@@ -35,6 +36,7 @@
 pub mod engine;
 pub mod kernels;
 pub mod lcs;
+pub mod lcs_avx2;
 pub mod t1d;
 pub mod t1d_avx2;
 pub mod t1d_band;

@@ -1,11 +1,14 @@
 //! Hand-scheduled AVX2 (`std::arch`) steady states for the 2-D temporal
-//! engines: Heat-2D (2D5P Jacobi), 2D9P (box Jacobi) and GS-2D.
+//! engines: Heat-2D (2D5P Jacobi), 2D9P (box Jacobi), GS-2D and
+//! Game-of-Life (integer 2D9P at `vl = 8`).
 //!
 //! The portable engine in [`crate::t2d`] leaves instruction selection to
 //! LLVM; these variants pin the steady state to the instruction mix the
-//! paper's §3.3 analysis assumes — `vfmadd231pd` for the stencil update,
-//! one `vpermpd` (lane-crossing rotate) plus one `vblendpd` (in-lane) for
-//! the input-vector production — while the wavefront ring, prologue,
+//! paper's §3.3 analysis assumes — `vfmadd231pd` for the f64 stencil
+//! updates, a `vpaddd` tree plus the `vpsravd` rule-table bit test for
+//! the integer Life update, and one lane-crossing rotate (`vpermpd` /
+//! `vpermd`) plus one in-lane blend (`vblendpd` / `vpblendd`) for the
+//! input-vector production — while the wavefront ring, prologue,
 //! epilogue and all boundary handling are shared with the portable engine
 //! through its three-phase split ([`crate::t2d::tile_prologue`] /
 //! [`crate::t2d::tile_epilogue`]). Results stay bit-identical to the
@@ -19,12 +22,14 @@ use crate::kernels::Kernel2d;
 use crate::t2d::{self, Scratch2d};
 #[cfg(target_arch = "x86_64")]
 use tempora_grid::Grid2;
+#[cfg(target_arch = "x86_64")]
+use tempora_simd::Scalar;
 
 #[cfg(target_arch = "x86_64")]
 mod imp {
     use super::*;
-    use crate::kernels::{BoxKern2d, GsKern2d, JacobiKern2d};
-    use core::arch::x86_64::__m256d;
+    use crate::kernels::{BoxKern2d, GsKern2d, JacobiKern2d, LifeKern2d};
+    use core::arch::x86_64::{__m256d, __m256i};
     use tempora_simd::arch::avx2;
 
     /// AVX2 steady state of the Heat-2D (2D5P star Jacobi) tile: same
@@ -220,6 +225,76 @@ mod imp {
             core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
         }
     }
+
+    /// AVX2 steady state of the Game-of-Life (integer 2D9P box) tile at
+    /// `vl = 8` i32 lanes: the eight neighbour packs are summed with a
+    /// `vpaddd` tree and the B/S rule table is applied branch-free as
+    /// `(mask >> sum) & 1` — `vpmulld` rule-mask select, `vpsravd`
+    /// variable shift — exactly the portable `LifeRule::apply_pack`
+    /// arithmetic, lane for lane.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2+FMA are available
+    /// (`tempora_simd::arch::avx2_available()`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn steady_life2d(
+        g: &mut Grid2<i32>,
+        kern: &LifeKern2d,
+        s: usize,
+        sc: &mut Scratch2d<i32, 8>,
+        x_max: usize,
+    ) {
+        const VL: usize = 8;
+        let (ny, p) = (g.ny(), g.pitch());
+        let rlen = s + 2;
+        let a = g.data_mut();
+        let birth = avx2::splat_i32(kern.0.birth as i32);
+        let delta = avx2::splat_i32(kern.0.survive as i32 - kern.0.birth as i32);
+        let one = avx2::splat_i32(1);
+        for x in 1..=x_max {
+            let im1 = (x - 1) % rlen;
+            let i0 = x % rlen;
+            let ip1 = (x + 1) % rlen;
+            let ips = (x + s) % rlen;
+            let mut wrow = core::mem::take(&mut sc.ring[ips]);
+            {
+                let rm1 = &sc.ring[im1];
+                let r0 = &sc.ring[i0];
+                let rp1 = &sc.ring[ip1];
+                let mut w = avx2::from_pack_i32(r0[0]);
+                let mut m = avx2::from_pack_i32(r0[1]);
+                for y in 1..=ny {
+                    let e = avx2::from_pack_i32(r0[y + 1]);
+                    // Neighbour-sum tree over the eight box neighbours
+                    // (wrapping adds are associative, so the tree order
+                    // is free to maximize ILP while staying bit-identical
+                    // to the portable left-to-right sum).
+                    let n: [__m256i; 6] = [
+                        avx2::from_pack_i32(rm1[y - 1]),
+                        avx2::from_pack_i32(rm1[y]),
+                        avx2::from_pack_i32(rm1[y + 1]),
+                        avx2::from_pack_i32(rp1[y - 1]),
+                        avx2::from_pack_i32(rp1[y]),
+                        avx2::from_pack_i32(rp1[y + 1]),
+                    ];
+                    let sum = avx2::add_i32(
+                        avx2::add_i32(avx2::add_i32(n[0], n[1]), avx2::add_i32(n[2], n[3])),
+                        avx2::add_i32(avx2::add_i32(n[4], n[5]), avx2::add_i32(w, e)),
+                    );
+                    // Rule table: mask = birth + cur·(survive - birth);
+                    // out = (mask >> sum) & 1.
+                    let mask = avx2::add_i32(birth, avx2::mullo_i32(m, delta));
+                    let o = avx2::and_i32(avx2::srav_i32(mask, sum), one);
+                    a[x * p + y] = avx2::extract_top_i32(o);
+                    let bottom = a[(x + VL * s) * p + y];
+                    wrow[y] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                    w = m;
+                    m = e;
+                }
+            }
+            sc.ring[ips] = wrow;
+        }
+    }
 }
 
 /// One Heat-2D temporal tile with the AVX2 steady state (shared
@@ -242,25 +317,26 @@ pub fn tile_heat2d_avx2(
 
 /// Shared three-phase sandwich of one AVX2 tile: availability assert,
 /// degenerate fallback, portable prologue, the given steady state,
-/// portable epilogue.
+/// portable epilogue. Generic over the element type and lane count so
+/// the f64 (`vl = 4`) and integer (`vl = 8`) steady states share it.
 #[cfg(target_arch = "x86_64")]
-fn tile_with<K: Kernel2d<f64>>(
-    g: &mut Grid2<f64>,
+fn tile_with<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    g: &mut Grid2<T>,
     kern: &K,
     s: usize,
-    sc: &mut Scratch2d<f64, 4>,
-    steady: impl FnOnce(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>, usize),
+    sc: &mut Scratch2d<T, VL>,
+    steady: impl FnOnce(&mut Grid2<T>, &K, usize, &mut Scratch2d<T, VL>, usize),
 ) {
     assert!(
         tempora_simd::arch::avx2_available(),
         "AVX2+FMA not available on this CPU"
     );
-    if t2d::tile_fallback_if_degenerate::<f64, 4, K>(g, kern, s, sc) {
+    if t2d::tile_fallback_if_degenerate::<T, VL, K>(g, kern, s, sc) {
         return;
     }
-    let x_max = t2d::tile_prologue::<f64, 4, K>(g, kern, s, sc);
+    let x_max = t2d::tile_prologue::<T, VL, K>(g, kern, s, sc);
     steady(g, kern, s, sc, x_max);
-    t2d::tile_epilogue::<f64, 4, K>(g, kern, s, sc, x_max);
+    t2d::tile_epilogue::<T, VL, K>(g, kern, s, sc, x_max);
 }
 
 /// One 2D9P (box Jacobi) temporal tile with the AVX2 steady state; see
@@ -293,23 +369,40 @@ pub fn tile_gs2d_avx2(
     });
 }
 
-/// Drive `steps` time steps through whole AVX2 tiles; the `steps mod 4`
+/// One Game-of-Life temporal tile with the AVX2 integer steady state
+/// (`vl = 8` i32 lanes); see [`tile_heat2d_avx2`] for the three-phase
+/// contract. The tiled layer reaches this through
+/// [`crate::engine::Avx2Exec2d`].
+#[cfg(target_arch = "x86_64")]
+pub fn tile_life2d_avx2(
+    g: &mut Grid2<i32>,
+    kern: &crate::kernels::LifeKern2d,
+    s: usize,
+    sc: &mut Scratch2d<i32, 8>,
+) {
+    tile_with(g, kern, s, sc, |g, k, s, sc, xm| {
+        // SAFETY: tile_with asserted AVX2+FMA availability.
+        unsafe { imp::steady_life2d(g, k, s, sc, xm) }
+    });
+}
+
+/// Drive `steps` time steps through whole AVX2 tiles; the `steps mod VL`
 /// remainder runs scalar, exactly like [`t2d::run`].
 #[cfg(target_arch = "x86_64")]
-fn run_with<K: Kernel2d<f64>>(
-    grid: &Grid2<f64>,
+fn run_with<T: Scalar, const VL: usize, K: Kernel2d<T>>(
+    grid: &Grid2<T>,
     kern: &K,
     steps: usize,
     s: usize,
-    tile: impl Fn(&mut Grid2<f64>, &K, usize, &mut Scratch2d<f64, 4>),
-) -> Grid2<f64> {
+    tile: impl Fn(&mut Grid2<T>, &K, usize, &mut Scratch2d<T, VL>),
+) -> Grid2<T> {
     assert_eq!(grid.halo(), 1, "temporal engines use halo width 1");
     let mut g = grid.clone();
-    let mut sc = Scratch2d::<f64, 4>::new(s, g.ny());
-    for _ in 0..steps / 4 {
+    let mut sc = Scratch2d::<T, VL>::new(s, g.ny());
+    for _ in 0..steps / VL {
         tile(&mut g, kern, s, &mut sc);
     }
-    for _ in 0..steps % 4 {
+    for _ in 0..steps % VL {
         let (mut ra, mut rb) = (
             core::mem::take(&mut sc.row_a),
             core::mem::take(&mut sc.row_b),
@@ -356,6 +449,19 @@ pub fn run_gs2d_avx2(
     s: usize,
 ) -> Grid2<f64> {
     run_with(grid, kern, steps, s, tile_gs2d_avx2)
+}
+
+/// Run `steps` Game-of-Life time steps with the AVX2 integer steady
+/// state (`vl = 8`); panics if AVX2+FMA are unavailable (use
+/// [`crate::engine`] for dispatch).
+#[cfg(target_arch = "x86_64")]
+pub fn run_life2d_avx2(
+    grid: &Grid2<i32>,
+    kern: &crate::kernels::LifeKern2d,
+    steps: usize,
+    s: usize,
+) -> Grid2<i32> {
+    run_with(grid, kern, steps, s, tile_life2d_avx2)
 }
 
 #[cfg(all(test, target_arch = "x86_64"))]
@@ -447,6 +553,55 @@ mod tests {
             let g = grid(nx, 6, nx as u64, 0.5);
             let ours = run_heat2d_avx2(&g, &kern, 5, 2); // nx < 4·2
             let gold = reference::heat2d(&g, c, 5);
+            assert!(ours.interior_eq(&gold), "nx={nx}");
+        }
+    }
+
+    #[test]
+    fn life_avx2_matches_reference_bitwise() {
+        if !avx2_available() {
+            return;
+        }
+        use crate::kernels::LifeKern2d;
+        use tempora_grid::fill_random_life;
+        use tempora_stencil::LifeRule;
+        for rule in [LifeRule::b2s23(), LifeRule::conway()] {
+            let kern = LifeKern2d(rule);
+            for &(nx, ny) in &[(20usize, 16usize), (33, 9), (48, 25)] {
+                let mut g = Grid2::<i32>::new(nx, ny, 1, Boundary::Dirichlet(0));
+                fill_random_life(&mut g, (nx * ny) as u64, 0.35);
+                for s in 2..=3 {
+                    for steps in [8usize, 11, 16] {
+                        let ours = run_life2d_avx2(&g, &kern, steps, s);
+                        let gold = reference::life(&g, rule, steps);
+                        assert!(
+                            ours.interior_eq(&gold),
+                            "nx={nx} ny={ny} s={s} steps={steps} {:?}",
+                            ours.first_diff(&gold)
+                        );
+                        ours.check_canaries().unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn life_avx2_degenerate_grid_falls_back() {
+        if !avx2_available() {
+            return;
+        }
+        use crate::kernels::LifeKern2d;
+        use tempora_grid::fill_random_life;
+        use tempora_stencil::LifeRule;
+        let rule = LifeRule::b2s23();
+        let kern = LifeKern2d(rule);
+        for nx in 1..16 {
+            // nx < VL·s = 16: shared scalar fallback.
+            let mut g = Grid2::<i32>::new(nx, 10, 1, Boundary::Dirichlet(0));
+            fill_random_life(&mut g, nx as u64, 0.4);
+            let ours = run_life2d_avx2(&g, &kern, 9, 2);
+            let gold = reference::life(&g, rule, 9);
             assert!(ours.interior_eq(&gold), "nx={nx}");
         }
     }

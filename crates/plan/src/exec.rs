@@ -15,7 +15,7 @@ use crate::{PlanError, State};
 use tempora_baseline::{dlt, reorg};
 use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d};
 use tempora_core::kernels::{Kernel1d, Kernel2d, Kernel3d};
-use tempora_core::{lcs, t1d, t2d, t3d};
+use tempora_core::{lcs, lcs_avx2, t1d, t2d, t3d};
 use tempora_grid::{Grid1, Grid2, Grid3};
 use tempora_parallel::Pool;
 use tempora_simd::Scalar;
@@ -205,20 +205,16 @@ impl Exec for Dlt1d {
 // Sequential 2-D
 // ---------------------------------------------------------------------
 
-/// Temporal 2-D scratch, split by resolved engine (the AVX2 steady state
-/// is pinned to 4 lanes; the portable one runs at the plan's `VL`).
-pub(crate) enum Scratch2<T: Scalar, const VL: usize> {
-    Portable(t2d::Scratch2d<T, VL>),
-    Avx2(t2d::Scratch2d<T, 4>),
-}
-
-/// Sequential temporal 2-D engine, scratch and remainder rows reused
-/// across runs.
+/// Sequential temporal 2-D engine (portable or AVX2 steady state, fixed
+/// at plan time), scratch and remainder rows reused across runs. Both
+/// steady states run at the plan's own lane count (4 f64 lanes, 8 i32
+/// lanes for Life), so they share one scratch.
 pub(crate) struct Temporal2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> {
     pub kern: K,
     pub steps: usize,
     pub s: usize,
-    pub scratch: Scratch2<T, VL>,
+    pub avx2: bool,
+    pub scratch: t2d::Scratch2d<T, VL>,
     pub rem_rows: (Vec<T>, Vec<T>),
 }
 
@@ -229,9 +225,10 @@ where
     fn run(&mut self, state: &mut State, _pool: &Pool) -> Result<(), PlanError> {
         let g = <Grid2<T> as StateGrid>::from_state(state)?;
         for _ in 0..self.steps / VL {
-            match &mut self.scratch {
-                Scratch2::Avx2(sc) => self.kern.tile_avx2(g, self.s, sc),
-                Scratch2::Portable(sc) => t2d::tile::<T, VL, K>(g, &self.kern, self.s, sc),
+            if self.avx2 {
+                self.kern.tile_avx2(g, self.s, &mut self.scratch);
+            } else {
+                t2d::tile::<T, VL, K>(g, &self.kern, self.s, &mut self.scratch);
             }
         }
         let rem = self.steps % VL;
@@ -377,12 +374,13 @@ impl<K: Kernel3d<f64> + Send> Exec for Multiload3d<K> {
 // Sequential LCS
 // ---------------------------------------------------------------------
 
-/// Sequential LCS DP (temporal `i32×8` tiles or scalar rows), rolling row
-/// and scratch reused across runs. Writes the result into
-/// `LcsState::length`.
+/// Sequential LCS DP (temporal `i32×8` tiles — portable or AVX2 steady
+/// state, fixed at plan time — or scalar rows), rolling row and scratch
+/// reused across runs. Writes the result into `LcsState::length`.
 pub(crate) struct SeqLcs {
     pub s: usize,
     pub temporal: bool,
+    pub avx2: bool,
     pub row: Vec<i32>,
     pub scratch: lcs::ScratchLcs<8>,
 }
@@ -403,13 +401,14 @@ impl Exec for SeqLcs {
             const VL: usize = 8;
             let tiles = la / VL;
             for t in 0..tiles {
-                lcs::tile::<VL>(
-                    row,
-                    &l.a[t * VL..(t + 1) * VL],
-                    &l.b,
-                    self.s,
-                    &mut self.scratch,
-                );
+                let a_tile = &l.a[t * VL..(t + 1) * VL];
+                match self.avx2 {
+                    #[cfg(target_arch = "x86_64")]
+                    true => lcs_avx2::tile_avx2(row, a_tile, &l.b, self.s, &mut self.scratch),
+                    #[cfg(not(target_arch = "x86_64"))]
+                    true => unreachable!("AVX2 resolved on a non-x86-64 target"),
+                    false => lcs::tile::<VL>(row, a_tile, &l.b, self.s, &mut self.scratch),
+                }
             }
             for &ca in &l.a[tiles * VL..] {
                 lcs::scalar_row_step(row, ca, &l.b);

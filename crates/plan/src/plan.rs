@@ -3,8 +3,8 @@
 
 use crate::exec::{
     Dlt1d, Exec, GhostExec1d, GhostExec2d, GhostExec3d, Multiload1d, Multiload2d, Multiload3d,
-    RectLcs, Reorg1d, Scalar1d, Scalar2d, Scalar3d, Scratch2, SeqLcs, SkewExec1d, SkewExec2d,
-    SkewExec3d, Temporal1d, Temporal2d, Temporal3d,
+    RectLcs, Reorg1d, Scalar1d, Scalar2d, Scalar3d, SeqLcs, SkewExec1d, SkewExec2d, SkewExec3d,
+    Temporal1d, Temporal2d, Temporal3d,
 };
 use crate::{PlanError, Problem, State};
 use tempora_core::engine::{
@@ -14,7 +14,7 @@ use tempora_core::kernels::{
     BoxKern2d, GsKern1d, GsKern2d, GsKern3d, JacobiKern1d, JacobiKern2d, JacobiKern3d, Kernel1d,
     Kernel2d, Kernel3d, LifeKern2d,
 };
-use tempora_core::{lcs, t1d, t2d, t3d};
+use tempora_core::{lcs, lcs_avx2, t1d, t2d, t3d};
 use tempora_grid::{Boundary, Grid2, Grid3};
 use tempora_parallel::Pool;
 use tempora_simd::count;
@@ -533,7 +533,7 @@ impl PlanBuilder {
         match self.tiling {
             Tiling::None => match self.method {
                 Method::Temporal => {
-                    let has = K::avx2_tile(s) && shape_has_vector_tiles(n, steps, s);
+                    let has = K::avx2_tile(s) && shape_has_vector_tiles(4, n, steps, s);
                     let engine = self.select.resolve(has);
                     Ok((
                         Box::new(Temporal1d {
@@ -611,19 +611,15 @@ impl PlanBuilder {
         match self.tiling {
             Tiling::None => match self.method {
                 Method::Temporal => {
-                    let has = K::avx2_tile(VL, s) && shape_has_vector_tiles(nx, steps, s);
+                    let has = K::avx2_tile(VL, s) && shape_has_vector_tiles(VL, nx, steps, s);
                     let engine = self.select.resolve(has);
-                    let scratch = if engine == Engine::Avx2 {
-                        Scratch2::Avx2(t2d::Scratch2d::new(s, ny))
-                    } else {
-                        Scratch2::Portable(t2d::Scratch2d::new(s, ny))
-                    };
                     Ok((
                         Box::new(Temporal2d::<T, VL, K> {
                             kern,
                             steps,
                             s,
-                            scratch,
+                            avx2: engine == Engine::Avx2,
+                            scratch: t2d::Scratch2d::new(s, ny),
                             rem_rows: rows(),
                         }),
                         Some(engine),
@@ -700,7 +696,7 @@ impl PlanBuilder {
         match self.tiling {
             Tiling::None => match self.method {
                 Method::Temporal => {
-                    let has = K::avx2_tile(s) && shape_has_vector_tiles(nx, steps, s);
+                    let has = K::avx2_tile(s) && shape_has_vector_tiles(4, nx, steps, s);
                     let engine = self.select.resolve(has);
                     Ok((
                         Box::new(Temporal3d {
@@ -788,20 +784,27 @@ impl PlanBuilder {
         s: usize,
     ) -> Result<(Box<dyn Exec>, Option<Engine>, Option<TileGeometry>), PlanError> {
         let temporal = self.method == Method::Temporal;
-        // The LCS engines have no AVX2 steady state: temporal plans
-        // honestly resolve (and report) the portable engine.
-        let engine = temporal.then(|| self.select.resolve(false));
         match self.tiling {
-            Tiling::None => Ok((
-                Box::new(SeqLcs {
-                    s,
-                    temporal,
-                    row: vec![0; lb + 1],
-                    scratch: lcs::ScratchLcs::new(s),
-                }),
-                engine,
-                None,
-            )),
+            Tiling::None => {
+                // Whole-row tiles: the AVX2 steady state needs one full
+                // 8-level A tile and a row segment hosting the vector
+                // schedule; degenerate shapes honestly resolve portable.
+                let engine = temporal.then(|| {
+                    self.select
+                        .resolve(lcs_avx2::seq_has_vector_tiles(la, lb, s))
+                });
+                Ok((
+                    Box::new(SeqLcs {
+                        s,
+                        temporal,
+                        avx2: engine == Some(Engine::Avx2),
+                        row: vec![0; lb + 1],
+                        scratch: lcs::ScratchLcs::new(s),
+                    }),
+                    engine,
+                    None,
+                ))
+            }
             Tiling::LcsRect { xblock, yblock } => {
                 let w = LcsRect::new(la, lb, xblock, yblock, s, temporal, self.select);
                 let engine = if temporal { w.engine() } else { None };

@@ -188,13 +188,190 @@ pub mod avx2 {
         *r2 = _mm256_permute2f128_pd::<0x31>(t0, t2); // a2 b2 c2 d2
         *r3 = _mm256_permute2f128_pd::<0x31>(t1, t3); // a3 b3 c3 d3
     }
+
+    // -----------------------------------------------------------------
+    // epi32 vocabulary (`__m256i`, 8 × i32 lanes) — the integer steady
+    // states (Life, LCS) run the same rotate-and-blend schedule as the
+    // f64 kernels, at the paper's `vl = 8` integer width.
+    // -----------------------------------------------------------------
+
+    use crate::pack::I32x8;
+
+    /// Bit-cast a portable 8-lane i32 pack to `__m256i`.
+    ///
+    /// `I32x8` is `#[repr(C, align(32))]` over `[i32; 8]`, so an aligned
+    /// vector load from its address is always valid.
+    #[inline(always)]
+    pub fn from_pack_i32(p: I32x8) -> __m256i {
+        // SAFETY: I32x8 is 32 bytes, 32-byte aligned, lane i at offset
+        // 4*i — exactly the __m256i memory layout.
+        unsafe { _mm256_load_si256(p.0.as_ptr() as *const __m256i) }
+    }
+
+    /// Bit-cast an `__m256i` back to a portable 8-lane i32 pack.
+    #[inline(always)]
+    pub fn to_pack_i32(v: __m256i) -> I32x8 {
+        let mut out = I32x8::splat(0);
+        // SAFETY: same layout argument as `from_pack_i32`.
+        unsafe { _mm256_store_si256(out.0.as_mut_ptr() as *mut __m256i, v) };
+        out
+    }
+
+    /// Broadcast a scalar to all eight lanes.
+    #[inline(always)]
+    pub fn splat_i32(v: i32) -> __m256i {
+        // SAFETY: no memory access; plain register broadcast.
+        unsafe { _mm256_set1_epi32(v) }
+    }
+
+    /// Lane-wise wrapping add (`vpaddd`) — the Life neighbour-sum tree.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn add_i32(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_add_epi32(a, b)
+    }
+
+    /// Lane-wise wrapping multiply (`vpmulld`) — the Life rule-mask
+    /// select `birth + cur·(survive - birth)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn mullo_i32(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_mullo_epi32(a, b)
+    }
+
+    /// Lane-wise signed maximum (`vpmaxsd`) — the LCS `max(up, left)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn max_i32(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_max_epi32(a, b)
+    }
+
+    /// Lane-wise equality (`vpcmpeqd`): all-ones lanes where `a == b`,
+    /// zero lanes elsewhere — the LCS character-equality mask.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn cmpeq_i32(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_cmpeq_epi32(a, b)
+    }
+
+    /// Mask select (`vpblendvb`): lane `i` of the result is `a[i]` where
+    /// the mask lane is all-ones and `b[i]` where it is zero. With masks
+    /// from [`cmpeq_i32`] every mask byte within a lane agrees, so the
+    /// byte-granular blend is exact — the paper's "blend instruction with
+    /// a mask vector of equalities".
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn blendv_i32(b: __m256i, a: __m256i, mask: __m256i) -> __m256i {
+        _mm256_blendv_epi8(b, a, mask)
+    }
+
+    /// Lane-wise arithmetic right shift by per-lane counts (`vpsravd`) —
+    /// the Life rule-table bit test `(mask >> sum) & 1`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn srav_i32(v: __m256i, counts: __m256i) -> __m256i {
+        _mm256_srav_epi32(v, counts)
+    }
+
+    /// Lane-wise bitwise AND (`vpand`).
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn and_i32(a: __m256i, b: __m256i) -> __m256i {
+        _mm256_and_si256(a, b)
+    }
+
+    /// The paper's `vrotate` at 8 integer lanes: lane `j` of the result
+    /// is lane `(j+7) % 8` of the input — a single lane-crossing
+    /// `vpermd`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn rotate_up_i32(v: __m256i) -> __m256i {
+        // Per-output-lane source indices, lane 0 first.
+        let idx = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+        _mm256_permutevar8x32_epi32(v, idx)
+    }
+
+    /// The paper's `vblend` at 8 integer lanes: replace lane 0 with the
+    /// new bottom element — an in-lane `vpblendd` against a broadcast.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn blend_bottom_i32(v: __m256i, bottom: i32) -> __m256i {
+        _mm256_blend_epi32::<0b0000_0001>(v, _mm256_set1_epi32(bottom))
+    }
+
+    /// Steady-state input-vector production ([`rotate_up_i32`] then
+    /// [`blend_bottom_i32`] fused): shift lanes up one step, dropping the
+    /// top lane, and insert `bottom` into lane 0.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn shift_up_insert_i32(v: __m256i, bottom: i32) -> __m256i {
+        blend_bottom_i32(rotate_up_i32(v), bottom)
+    }
+
+    /// Extract the top lane (lane 7).
+    ///
+    /// # Safety
+    /// Requires AVX2 (guard with [`super::avx2_available`]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn extract_top_i32(v: __m256i) -> i32 {
+        _mm256_extract_epi32::<7>(v)
+    }
+
+    /// Strided gather of 8 bytes widened to `i32` lanes: lane `i` reads
+    /// `src[(base + i*stride) as usize] as i32` — the paper's `vloadset`
+    /// at the integer width, used by the LCS steady state's per-iteration
+    /// load of the `B`-sequence characters (the "variable coefficient"
+    /// of §3.4).
+    ///
+    /// # Safety
+    /// All eight indices must be in bounds (checked by `debug_assert!`).
+    #[inline(always)]
+    pub unsafe fn gather_u8_i32(src: &[u8], base: usize, stride: isize) -> __m256i {
+        let i = |k: isize| -> i32 {
+            let idx = base as isize + k * stride;
+            debug_assert!(idx >= 0 && (idx as usize) < src.len());
+            *src.get_unchecked(idx as usize) as i32
+        };
+        _mm256_setr_epi32(i(0), i(1), i(2), i(3), i(4), i(5), i(6), i(7))
+    }
 }
 
 #[cfg(all(test, target_arch = "x86_64"))]
 mod tests {
     use super::avx2::*;
     use super::avx2_available;
-    use crate::pack::{transpose, F64x4, Pack};
+    use crate::pack::{transpose, F64x4, I32x8, Pack};
 
     fn p(a: f64, b: f64, c: f64, d: f64) -> F64x4 {
         Pack([a, b, c, d])
@@ -276,6 +453,102 @@ mod tests {
             unsafe { storeu(loadu(&src, at), &mut dst, at) };
         }
         assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn epi32_roundtrip_splat_extract() {
+        if !avx2_available() {
+            return;
+        }
+        let x = I32x8::from_fn(|i| i as i32 * 3 - 7);
+        assert_eq!(to_pack_i32(from_pack_i32(x)), x);
+        assert_eq!(to_pack_i32(splat_i32(-9)), I32x8::splat(-9));
+        assert_eq!(unsafe { extract_top_i32(from_pack_i32(x)) }, x.top());
+    }
+
+    #[test]
+    fn epi32_arithmetic_matches_portable() {
+        if !avx2_available() {
+            return;
+        }
+        let a = I32x8::from_fn(|i| (i as i32) * 5 - 13);
+        let b = I32x8::from_fn(|i| 17 - (i as i32) * 3);
+        let (va, vb) = (from_pack_i32(a), from_pack_i32(b));
+        assert_eq!(to_pack_i32(unsafe { add_i32(va, vb) }), a + b);
+        assert_eq!(to_pack_i32(unsafe { mullo_i32(va, vb) }), a * b);
+        assert_eq!(to_pack_i32(unsafe { max_i32(va, vb) }), a.max(b));
+        // Wrapping semantics match the portable Scalar contract.
+        let big = I32x8::splat(i32::MAX);
+        let one = I32x8::splat(1);
+        assert_eq!(
+            to_pack_i32(unsafe { add_i32(from_pack_i32(big), from_pack_i32(one)) }),
+            big + one
+        );
+    }
+
+    #[test]
+    fn epi32_cmpeq_blendv_matches_portable_select() {
+        if !avx2_available() {
+            return;
+        }
+        let a = I32x8::from_fn(|i| (i % 3) as i32);
+        let b = I32x8::from_fn(|i| (i % 2) as i32);
+        let take = I32x8::from_fn(|i| 100 + i as i32);
+        let other = I32x8::from_fn(|i| -(i as i32));
+        let mask = unsafe { cmpeq_i32(from_pack_i32(a), from_pack_i32(b)) };
+        let r = unsafe { blendv_i32(from_pack_i32(other), from_pack_i32(take), mask) };
+        let gold = I32x8::select(a.eq_mask(b), take, other);
+        assert_eq!(to_pack_i32(r), gold);
+    }
+
+    #[test]
+    fn epi32_variable_shift_matches_scalar_rule_test() {
+        if !avx2_available() {
+            return;
+        }
+        // The Life rule test: (mask >> sum) & 1 for sums 0..=7 in lanes.
+        let mask = I32x8::splat(0b1100);
+        let sums = I32x8::from_fn(|i| i as i32);
+        let r = unsafe {
+            and_i32(
+                srav_i32(from_pack_i32(mask), from_pack_i32(sums)),
+                splat_i32(1),
+            )
+        };
+        let gold = I32x8::from_fn(|i| (mask[i] >> sums[i]) & 1);
+        assert_eq!(to_pack_i32(r), gold);
+    }
+
+    #[test]
+    fn epi32_rotate_blend_identity_matches_portable() {
+        if !avx2_available() {
+            return;
+        }
+        // The steady state's input production: rotate + blend equals the
+        // portable shift_up_insert, and fused == two-step.
+        let x = I32x8::from_fn(|i| 10 * i as i32 + 1);
+        let r = unsafe { rotate_up_i32(from_pack_i32(x)) };
+        assert_eq!(to_pack_i32(r), x.rotate_up());
+        let bl = unsafe { blend_bottom_i32(from_pack_i32(x), 99) };
+        assert_eq!(to_pack_i32(bl), x.replace(0, 99));
+        let fused = unsafe { shift_up_insert_i32(from_pack_i32(x), 99) };
+        assert_eq!(to_pack_i32(fused), x.shift_up_insert(99));
+        let two_step = unsafe { blend_bottom_i32(rotate_up_i32(from_pack_i32(x)), 99) };
+        assert_eq!(to_pack_i32(two_step), x.rotate_up().replace(0, 99));
+    }
+
+    #[test]
+    fn epi32_gathers_match_portable() {
+        if !avx2_available() {
+            return;
+        }
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 7 % 251) as u8).collect();
+        for &(base, stride) in &[(0usize, 1isize), (20, -2), (7, 8), (63, -9)] {
+            let g = unsafe { gather_u8_i32(&bytes, base, stride) };
+            let gold =
+                I32x8::from_fn(|i| bytes[(base as isize + i as isize * stride) as usize] as i32);
+            assert_eq!(to_pack_i32(g), gold, "base={base} stride={stride}");
+        }
     }
 
     #[test]

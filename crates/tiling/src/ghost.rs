@@ -423,18 +423,19 @@ pub fn auto_step_2d<T: Scalar, K: Kernel2d<T>>(src: &Grid2<T>, dst: &mut Grid2<T
 }
 
 /// Per-tile worker state for [`GhostJacobi2d`], allocated once per
-/// workspace so the band loop runs allocation-free. The temporal scratch
-/// splits by resolved engine because the AVX2 steady state is pinned to 4
-/// lanes.
+/// workspace so the band loop runs allocation-free. The portable and
+/// AVX2 steady states share one temporal scratch: every hand-scheduled
+/// 2-D tile runs at the workspace's own lane count (4 f64 lanes, 8 i32
+/// lanes for Life), which `Avx2Exec2d::avx2_tile` guarantees before the
+/// engine can resolve to AVX2.
 enum TileState2<T: Scalar, const VL: usize> {
     /// Scalar in-place row buffers.
     Rows(Vec<T>, Vec<T>),
     /// Multi-load ping-pong buffer.
     Tmp(Grid2<T>),
-    /// Portable temporal scratch at the runner's vector length.
-    Portable(t2d::Scratch2d<T, VL>),
-    /// AVX2 temporal scratch (`VL = 4`).
-    Avx2(t2d::Scratch2d<T, 4>),
+    /// Temporal scratch (portable or AVX2 steady state, per the resolved
+    /// engine).
+    Temporal(t2d::Scratch2d<T, VL>),
 }
 
 /// Reusable ghost-zone workspace for 2-D Jacobi band tiling along the
@@ -499,13 +500,10 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
             })
             .collect();
         let states: Vec<TileState2<T, VL>> = (0..ntiles)
-            .map(|t| match (mode, engine) {
-                (Mode::Scalar, _) => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
-                (Mode::Auto, _) => TileState2::Tmp(bufs[t].clone()),
-                (Mode::Temporal(s), Some(Engine::Avx2)) => {
-                    TileState2::Avx2(t2d::Scratch2d::new(s, ny))
-                }
-                (Mode::Temporal(s), _) => TileState2::Portable(t2d::Scratch2d::new(s, ny)),
+            .map(|t| match mode {
+                Mode::Scalar => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
+                Mode::Auto => TileState2::Tmp(bufs[t].clone()),
+                Mode::Temporal(s) => TileState2::Temporal(t2d::Scratch2d::new(s, ny)),
             })
             .collect();
         GhostJacobi2d {
@@ -550,6 +548,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
             block,
             height,
             mode,
+            engine,
             ntiles,
             bands,
             bufs,
@@ -562,6 +561,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
         let ghost = height + 1;
         let p = g.pitch();
         let mode = *mode;
+        let engine = *engine;
 
         for _ in 0..*bands {
             let data = g.data_mut();
@@ -605,20 +605,21 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
                             core::mem::swap(buf, tmp);
                         }
                     }
-                    TileState2::Portable(sc) => {
+                    TileState2::Temporal(sc) => {
                         let Mode::Temporal(s) = mode else {
                             unreachable!()
                         };
-                        for _ in 0..height / VL {
-                            t2d::tile::<T, VL, K>(buf, kern, s, sc);
-                        }
-                    }
-                    TileState2::Avx2(sc) => {
-                        let Mode::Temporal(s) = mode else {
-                            unreachable!()
-                        };
-                        for _ in 0..height / VL {
-                            kern.tile_avx2(buf, s, sc);
+                        match engine {
+                            Some(Engine::Avx2) => {
+                                for _ in 0..height / VL {
+                                    kern.tile_avx2(buf, s, sc);
+                                }
+                            }
+                            _ => {
+                                for _ in 0..height / VL {
+                                    t2d::tile::<T, VL, K>(buf, kern, s, sc);
+                                }
+                            }
                         }
                     }
                 }
@@ -1182,12 +1183,36 @@ mod tests {
                 "life mode={mode:?} {:?}",
                 ours.first_diff(&gold)
             );
-            // Life has no AVX2 integer steady state: temporal mode
-            // honestly reports portable.
+            // Life now carries the AVX2 integer steady state: on AVX2
+            // hosts this healthy geometry resolves avx2 under Auto.
             if let Mode::Temporal(_) = mode {
-                assert_eq!(e, Some(Engine::Portable));
+                let expect = if tempora_simd::arch::avx2_available() {
+                    Engine::Avx2
+                } else {
+                    Engine::Portable
+                };
+                assert_eq!(e, Some(expect));
             }
         }
+        // Forced portable stays portable, bit-identically.
+        let (ours, e) = ghost_2d::<i32, 8, _>(
+            &g,
+            &kern,
+            16,
+            24,
+            8,
+            Mode::Temporal(2),
+            Select::Portable,
+            &pool,
+        );
+        assert!(ours.interior_eq(&gold));
+        assert_eq!(e, Some(Engine::Portable));
+        // A block too narrow for the 8-lane steady state resolves
+        // portable even under Auto.
+        let (ours, e) =
+            ghost_2d::<i32, 8, _>(&g, &kern, 16, 2, 8, Mode::Temporal(8), Select::Auto, &pool);
+        assert!(ours.interior_eq(&gold));
+        assert_eq!(e, Some(Engine::Portable));
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! per-block temporal scratch allocated once, reused by every
 //! [`LcsRect::run`] call — the wavefront runs allocation-free); the old
 //! [`run_lcs`] free function remains as a deprecated one-shot wrapper.
-//! Like the sequential LCS engine, the wavefront has no hand-scheduled
-//! AVX2 steady state, so its temporal mode always resolves — and
-//! honestly reports — the portable engine.
+//! The temporal in-tile kernel dispatches like the grid tilings: the
+//! workspace resolves its [`Select`] once against the AVX2 LCS steady
+//! state's shape predicate
+//! ([`tempora_core::lcs_avx2::rect_has_vector_tiles`] — every block
+//! column must host the `vl = 8` vector schedule) and reports the
+//! resolved [`Engine`]; degenerate geometries honestly stay portable.
 
 use tempora_core::engine::{Engine, Select};
 use tempora_core::lcs::{scalar_row_step_seg, tile_seg, ScratchLcs};
+use tempora_core::lcs_avx2;
 use tempora_parallel::{Pool, SyncSlice};
 
 const VL: usize = 8;
@@ -30,6 +34,7 @@ struct TileRun<'a> {
     b: &'a [u8],
     s: usize,
     temporal: bool,
+    avx2: bool,
 }
 
 impl TileRun<'_> {
@@ -54,17 +59,18 @@ impl TileRun<'_> {
             let bands = height / VL;
             for t in 0..bands {
                 let base = t * VL;
-                tile_seg::<VL>(
-                    row,
-                    y0,
-                    y1,
-                    &self.a[x0 + base..x0 + base + VL],
-                    self.b,
-                    self.s,
-                    &left[base..base + VL + 1],
-                    &mut right[base..base + VL + 1],
-                    sc,
-                );
+                let a_tile = &self.a[x0 + base..x0 + base + VL];
+                let lcol = &left[base..base + VL + 1];
+                let rcol = &mut right[base..base + VL + 1];
+                match self.avx2 {
+                    #[cfg(target_arch = "x86_64")]
+                    true => {
+                        lcs_avx2::tile_seg_avx2(row, y0, y1, a_tile, self.b, self.s, lcol, rcol, sc)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    true => unreachable!("AVX2 resolved on a non-x86-64 target"),
+                    false => tile_seg::<VL>(row, y0, y1, a_tile, self.b, self.s, lcol, rcol, sc),
+                }
             }
             for h in bands * VL..height {
                 scalar_row_step_seg(row, self.a[x0 + h], self.b, y0, y1, left[h + 1], left[h]);
@@ -100,9 +106,11 @@ impl LcsRect {
     /// Build a workspace for sequences of lengths `la × lb` with
     /// `xblock × yblock` rectangles and temporal stride `s`. `temporal`
     /// selects the temporally vectorized in-tile kernel ("our") versus
-    /// scalar rows ("scalar"); both are exact. `sel` is resolved once —
-    /// the LCS wavefront has no AVX2 steady state, so every temporal
-    /// selection honestly resolves portable.
+    /// scalar rows ("scalar"); both are exact. `sel` is resolved once,
+    /// against the AVX2 steady state's rectangle shape predicate: every
+    /// block column (the ragged last one included) must host the
+    /// `vl = 8` vector schedule, otherwise the run honestly resolves
+    /// portable.
     ///
     /// # Panics
     /// Panics when `s`, `xblock` or `yblock` is zero (`tempora_plan`
@@ -132,7 +140,8 @@ impl LcsRect {
             yblock,
             s,
             temporal,
-            engine: temporal.then(|| sel.resolve(false)),
+            engine: temporal
+                .then(|| sel.resolve(lcs_avx2::rect_has_vector_tiles(la, lb, xblock, yblock, s))),
             la,
             lb,
             row: vec![0i32; lb + 1],
@@ -142,8 +151,7 @@ impl LcsRect {
     }
 
     /// The engine the temporal wavefront resolved to (`None` for scalar
-    /// rows; always [`Engine::Portable`] for temporal — no AVX2 LCS
-    /// steady state exists yet).
+    /// rows).
     pub fn engine(&self) -> Option<Engine> {
         self.engine
     }
@@ -175,6 +183,7 @@ impl LcsRect {
             b,
             s: self.s,
             temporal: self.temporal,
+            avx2: self.engine == Some(Engine::Avx2),
         };
         let (xblock, yblock) = (self.xblock, self.yblock);
         {
@@ -263,7 +272,12 @@ mod tests {
         let b = random_sequence(140, 4, 2);
         let gold = reference::lcs_len(&a, &b);
         let mut w = LcsRect::new(100, 140, 24, 40, 1, true, Select::Auto);
-        assert_eq!(w.engine(), Some(Engine::Portable));
+        let expect = if tempora_simd::arch::avx2_available() {
+            Engine::Avx2
+        } else {
+            Engine::Portable
+        };
+        assert_eq!(w.engine(), Some(expect));
         assert_eq!(w.run(&a, &b, &pool), gold);
         // Process-global counter + concurrent sibling tests: retry until
         // a clean window (a real allocation in `run` would taint every
@@ -288,6 +302,36 @@ mod tests {
         let gold = reference::lcs_len(&a, &b);
         for s in 1..=2 {
             assert_eq!(lcs_tiled(&a, &b, 32, 64, s, true, &pool), gold, "s={s}");
+        }
+    }
+
+    #[test]
+    fn engine_report_is_honest_and_forced_engines_agree() {
+        let pool = Pool::new(2);
+        let a = random_sequence(96, 4, 21);
+        let b = random_sequence(130, 4, 22);
+        let gold = reference::lcs_len(&a, &b);
+        // Scalar mode never dispatches.
+        let mut w = LcsRect::new(96, 130, 24, 40, 1, false, Select::Auto);
+        assert_eq!(w.engine(), None);
+        assert_eq!(w.run(&a, &b, &pool), gold);
+        // Forced portable reports portable.
+        let mut w = LcsRect::new(96, 130, 24, 40, 1, true, Select::Portable);
+        assert_eq!(w.engine(), Some(Engine::Portable));
+        assert_eq!(w.run(&a, &b, &pool), gold);
+        // Degenerate geometries resolve portable even under Auto: a
+        // column block below VL·s + 1, and an xblock below VL.
+        let mut w = LcsRect::new(96, 130, 24, 6, 1, true, Select::Auto);
+        assert_eq!(w.engine(), Some(Engine::Portable));
+        assert_eq!(w.run(&a, &b, &pool), gold);
+        let mut w = LcsRect::new(96, 130, 4, 40, 1, true, Select::Auto);
+        assert_eq!(w.engine(), Some(Engine::Portable));
+        assert_eq!(w.run(&a, &b, &pool), gold);
+        // Forced AVX2 on a healthy geometry agrees with forced portable.
+        if tempora_simd::arch::avx2_available() {
+            let mut w = LcsRect::new(96, 130, 24, 40, 1, true, Select::Avx2);
+            assert_eq!(w.engine(), Some(Engine::Avx2));
+            assert_eq!(w.run(&a, &b, &pool), gold);
         }
     }
 

@@ -241,10 +241,15 @@ fn life_all_schemes_agree() {
             &g,
         );
         assert!(r.interior_eq(&gold), "ghost {method:?}");
-        // Life has no AVX2 integer steady state: the temporal plan
-        // honestly reports portable.
+        // Life carries the AVX2 integer steady state: on AVX2 hosts this
+        // healthy ghost geometry resolves avx2 under Auto.
         if method == Method::Temporal {
-            assert_eq!(e, Some(Engine::Portable));
+            let expect = if tempora::simd::arch::avx2_available() {
+                Engine::Avx2
+            } else {
+                Engine::Portable
+            };
+            assert_eq!(e, Some(expect));
         }
     }
 }
@@ -655,7 +660,8 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
         assert!(r.4.interior_eq(&results[0].4), "gs3d");
     }
 
-    // Workloads without an AVX2 steady state resolve portable honestly.
+    // The two integer workloads dispatch like the f64 ones now: every
+    // selection agrees bitwise and the report names what executed.
     let rule = LifeRule::b2s23();
     let mut gl = Grid2::<i32>::new(40, 30, 1, Boundary::Dirichlet(0));
     fill_random_life(&mut gl, 3, 0.35);
@@ -669,14 +675,14 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
     };
     for &sel in sels {
         let (r, e) = run2i(&life, PlanBuilder::new().stride(2).select(sel), &gl);
-        assert_eq!(e, Some(Engine::Portable), "life {sel:?}");
+        assert_eq!(e, Some(expect(sel, true)), "life {sel:?}");
         assert!(r.interior_eq(&gold));
     }
     let a = random_sequence(300, 4, 11);
     let b = random_sequence(500, 4, 12);
     for &sel in sels {
         let (len, e) = run_lcs_plan(PlanBuilder::new().stride(1).select(sel), &a, &b);
-        assert_eq!(e, Some(Engine::Portable), "lcs {sel:?}");
+        assert_eq!(e, Some(expect(sel, true)), "lcs {sel:?}");
         assert_eq!(len, reference::lcs_len(&a, &b));
     }
 }
@@ -901,6 +907,194 @@ fn tiled_forced_engines_agree_bitwise() {
             &vv,
         );
         assert!(r.interior_eq(&gold3), "skew3d sel={sel:?}");
+    }
+}
+
+/// Property: the integer Life workload agrees bitwise between a forced
+/// portable plan and a forced AVX2 plan — sequential and under a
+/// 4-thread ghost tiling — across random B/S rules, degenerate outer
+/// extents (`nx < VL·s`) and `steps % height != 0` tails, and the
+/// resolved engine honestly names what executed.
+#[test]
+fn life_forced_engines_agree_bitwise() {
+    let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
+    let sels: &[Select] = if can_force_avx2 {
+        &[Select::Portable, Select::Avx2, Select::Auto]
+    } else {
+        &[Select::Portable, Select::Auto]
+    };
+    // Random-ish rules beyond the two named ones: arbitrary B/S masks.
+    let rules = [
+        LifeRule::b2s23(),
+        LifeRule::conway(),
+        LifeRule {
+            birth: 0b0011_0100,
+            survive: 0b0101_0110,
+        },
+        LifeRule {
+            birth: 0b1_0000_0010,
+            survive: 0b0_1000_1101,
+        },
+    ];
+    for (ri, &rule) in rules.iter().enumerate() {
+        // Sequential: healthy (48×26) and degenerate (nx = 10 < 8·2)
+        // shapes, with a steps % 8 remainder.
+        for &(nx, ny, steps, healthy) in &[(48usize, 26usize, 19usize, true), (10, 26, 16, false)] {
+            let mut g = Grid2::<i32>::new(nx, ny, 1, Boundary::Dirichlet(0));
+            fill_random_life(&mut g, (ri * 100 + nx) as u64, 0.4);
+            let gold = reference::life(&g, rule, steps);
+            let problem = Problem::Life {
+                nx,
+                ny,
+                steps,
+                rule,
+                boundary: g.boundary(),
+            };
+            for &sel in sels {
+                let (r, e) = run2i(&problem, PlanBuilder::new().stride(2).select(sel), &g);
+                assert!(
+                    r.interior_eq(&gold),
+                    "seq life rule#{ri} nx={nx} sel={sel:?} {:?}",
+                    r.first_diff(&gold)
+                );
+                let expect = if sel != Select::Portable && can_force_avx2 && healthy {
+                    Engine::Avx2
+                } else {
+                    Engine::Portable
+                };
+                assert_eq!(e, Some(expect), "seq life rule#{ri} nx={nx} sel={sel:?}");
+            }
+        }
+        // Ghost-tiled on 4 workers: healthy blocks, a steps % height
+        // tail, and a degenerate geometry (at stride 3 a block-2 tile's
+        // ghost buffer is 20 cells, below VL·s = 24, so every tile runs
+        // the scalar fallback schedule).
+        let mut g = Grid2::<i32>::new(96, 20, 1, Boundary::Dirichlet(0));
+        fill_random_life(&mut g, ri as u64 + 7, 0.37);
+        for &(block, steps, s, healthy) in &[(24usize, 19usize, 2usize, true), (2, 16, 3, false)] {
+            let gold = reference::life(&g, rule, steps);
+            let problem = Problem::Life {
+                nx: 96,
+                ny: 20,
+                steps,
+                rule,
+                boundary: g.boundary(),
+            };
+            for &sel in sels {
+                let (r, e) = run2i(
+                    &problem,
+                    PlanBuilder::new()
+                        .stride(s)
+                        .select(sel)
+                        .tiling(Tiling::Ghost { block, height: 8 })
+                        .threads(4),
+                    &g,
+                );
+                assert!(
+                    r.interior_eq(&gold),
+                    "ghost life rule#{ri} block={block} sel={sel:?} {:?}",
+                    r.first_diff(&gold)
+                );
+                let expect = if sel != Select::Portable && can_force_avx2 && healthy {
+                    Engine::Avx2
+                } else {
+                    Engine::Portable
+                };
+                assert_eq!(
+                    e,
+                    Some(expect),
+                    "ghost life rule#{ri} block={block} sel={sel:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Property: the LCS workload agrees exactly between a forced portable
+/// plan and a forced AVX2 plan — sequential and under a 4-thread
+/// rectangle tiling — across random alphabet sizes, strides and
+/// degenerate segments (`lb < VL·s + 1`), with honest engine reports.
+#[test]
+fn lcs_forced_engines_agree() {
+    let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
+    let sels: &[Select] = if can_force_avx2 {
+        &[Select::Portable, Select::Avx2, Select::Auto]
+    } else {
+        &[Select::Portable, Select::Auto]
+    };
+    // (la, lb, alphabet, s, healthy-sequential?): the 300×12 shape at
+    // s = 2 has lb < 8·2 + 1 and must honestly resolve portable; the
+    // 5×200 shape has no full 8-level A tile.
+    for &(la, lb, alpha, s, healthy) in &[
+        (120usize, 250usize, 4u8, 1usize, true),
+        (77, 133, 2, 2, true),
+        (64, 97, 26, 3, true),
+        (300, 12, 4, 2, false),
+        (5, 200, 4, 1, false),
+    ] {
+        let a = random_sequence(la, alpha, (la + lb) as u64);
+        let b = random_sequence(lb, alpha, (la * 31 + lb) as u64);
+        let gold = reference::lcs_len(&a, &b);
+        for &sel in sels {
+            let (len, e) = run_lcs_plan(PlanBuilder::new().stride(s).select(sel), &a, &b);
+            assert_eq!(len, gold, "seq lcs la={la} lb={lb} s={s} sel={sel:?}");
+            let expect = if sel != Select::Portable && can_force_avx2 && healthy {
+                Engine::Avx2
+            } else {
+                Engine::Portable
+            };
+            assert_eq!(e, Some(expect), "seq lcs la={la} lb={lb} s={s} sel={sel:?}");
+        }
+    }
+    // Rectangle-tiled on 4 workers: a healthy blocking, a healthy
+    // ragged-last column block (260 % 70 = 50 ≥ VL·s + 1), a blocking
+    // whose ragged last column block is too short for the steady state
+    // (260 % 64 = 4), and a degenerate narrow column block.
+    let a = random_sequence(150, 3, 41);
+    let b = random_sequence(260, 3, 42);
+    let gold = reference::lcs_len(&a, &b);
+    for &(xb, yb, healthy) in &[
+        (32usize, 65usize, true),
+        (24, 70, true),
+        (32, 64, false),
+        (32, 6, false),
+    ] {
+        let problem = Problem::lcs(150, 260);
+        for &sel in sels {
+            let mut plan = compile(
+                &problem,
+                PlanBuilder::new()
+                    .stride(1)
+                    .select(sel)
+                    .tiling(Tiling::LcsRect {
+                        xblock: xb,
+                        yblock: yb,
+                    })
+                    .threads(4),
+            );
+            let mut state = problem.state();
+            {
+                let l = state.lcs_mut().unwrap();
+                l.a = a.clone();
+                l.b = b.clone();
+            }
+            let report = plan.run(&mut state).expect("state matches plan");
+            assert_eq!(
+                report.lcs_length,
+                Some(gold),
+                "rect lcs xb={xb} yb={yb} sel={sel:?}"
+            );
+            let expect = if sel != Select::Portable && can_force_avx2 && healthy {
+                Engine::Avx2
+            } else {
+                Engine::Portable
+            };
+            assert_eq!(
+                report.engine,
+                Some(expect),
+                "rect lcs xb={xb} yb={yb} sel={sel:?}"
+            );
+        }
     }
 }
 

@@ -155,7 +155,7 @@ fn fresh_state(problem: &Problem, seed: u64) -> State {
         State::Lcs(l) => {
             let (la, lb) = (l.a.len(), l.b.len());
             l.a = random_sequence(la, 4, seed);
-            l.b = random_sequence(lb, 4, seed + 1);
+            l.b = random_sequence(lb, 4, seed.wrapping_add(1));
         }
     }
     state
@@ -223,6 +223,68 @@ fn second_run_is_allocation_free() {
             clean,
             "{name}: repeated plan.run allocated aligned buffers in every observed window"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Integer-kernel plans (Life and LCS — the workloads whose AVX2
+    /// steady states dispatch at `vl = 8`) stay allocation-free across
+    /// reuse, whatever engine the geometry resolves: after the warm-up
+    /// run, repeated `plan.run` calls perform zero aligned-buffer
+    /// allocations under both forced-portable and Auto selection.
+    #[test]
+    fn integer_plan_reuse_is_allocation_free(
+        seed in any::<u64>(),
+        nx in 20usize..80,
+        la in 30usize..120,
+    ) {
+        let life = Problem::life(nx, 24, 16, LifeRule::b2s23());
+        let lcs = Problem::lcs(la, 2 * la);
+        let configs: Vec<(Problem, PlanBuilder)> = vec![
+            (life, PlanBuilder::new().stride(2)),
+            (life, PlanBuilder::new().stride(2).select(Select::Portable)),
+            (
+                life,
+                PlanBuilder::new()
+                    .stride(2)
+                    .tiling(Tiling::Ghost { block: 24, height: 8 })
+                    .threads(2),
+            ),
+            (lcs, PlanBuilder::new().stride(1)),
+            (lcs, PlanBuilder::new().stride(1).select(Select::Portable)),
+            (
+                lcs,
+                PlanBuilder::new()
+                    .stride(1)
+                    .tiling(Tiling::LcsRect { xblock: 16, yblock: 32 })
+                    .threads(2),
+            ),
+        ];
+        for (i, (problem, builder)) in configs.into_iter().enumerate() {
+            let mut plan = builder.build(&problem).unwrap();
+            let mut state = fresh_state(&problem, seed);
+            plan.run(&mut state).unwrap(); // warm-up (first run)
+            let mut state2 = fresh_state(&problem, seed ^ 0x5bd1e995);
+            // Process-global counter + concurrent sibling tests: retry
+            // until a clean window (a real allocation in `run` would
+            // taint every window).
+            let mut clean = false;
+            for _ in 0..32 {
+                let before = alloc_count();
+                plan.run(&mut state2).unwrap();
+                if alloc_count() == before {
+                    clean = true;
+                    break;
+                }
+            }
+            prop_assert!(
+                clean,
+                "config #{i} ({:?}): reused integer plan allocated in every observed window",
+                plan.engine()
+            );
+        }
     }
 }
 
@@ -412,13 +474,23 @@ fn invalid_configurations_error_and_fallbacks_are_honest() {
     ));
 
     // Select::Avx2 on a non-AVX2 host is an error, not a panic; on an
-    // AVX2 host, workloads without an AVX2 steady state (Temporal+Life)
-    // build fine and honestly fall back to the portable engine.
+    // AVX2 host, degenerate geometries below the engine's `VL·s` bound
+    // build fine and honestly fall back to the portable engine — even
+    // for the integer workloads, which now carry AVX2 steady states of
+    // their own (checked at `vl = 8`: a 12-wide Life outer extent cannot
+    // host an 8-lane tile at stride 2).
     if tempora::simd::arch::avx2_available() {
         let plan = PlanBuilder::new()
             .select(Select::Avx2)
             .stride(2)
             .build(&life)
+            .unwrap();
+        assert_eq!(plan.engine(), Some(Engine::Avx2));
+        let tiny_life = Problem::life(12, 64, 8, LifeRule::b2s23());
+        let plan = PlanBuilder::new()
+            .select(Select::Avx2)
+            .stride(2)
+            .build(&tiny_life)
             .unwrap();
         assert_eq!(plan.engine(), Some(Engine::Portable));
         // Degenerate geometry below VL·s: documented fallback, honest
