@@ -4,11 +4,12 @@
 //! repro [--scale K] [--cores N] [--csv DIR] [--json FILE] <target>...
 //!
 //! targets: table1, fig4a..fig4j, fig5a..fig5h,
-//!          ablate-reorg, ablate-stride, ablate-baselines,
+//!          ablate-reorg, ablate-stride, ablate-baselines, ablate-waves,
 //!          seq (all sequential), par (all parallel), all
 //! --scale K   divide the paper's problem sizes by K (default 16;
 //!             --scale 1 = paper sizes, needs a big machine)
-//! --cores N   max worker count for parallel figures (default: all)
+//! --cores N   max worker count for parallel figures (default: all;
+//!             clamped to the logical cores actually available)
 //! --csv DIR   additionally write each figure as DIR/<id>.csv
 //! --json FILE additionally write all figures + machine metadata as one
 //!             JSON document (the committed BENCH_*.json baseline format)
@@ -18,23 +19,42 @@ use std::io::Write;
 
 use tempora_bench as tb;
 
-fn machine_banner() -> String {
+fn machine_banner(avail: usize) -> String {
     format!(
-        "machine: {} logical cores, avx2+fma: {}, engine: {} (TEMPORA_ENGINE)\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        "machine: {} logical cores, avx2+fma: {}, pinning: {}, engine: {} (TEMPORA_ENGINE)\n",
+        avail,
         tempora_simd::arch::avx2_available(),
+        tempora_parallel::Pool::pinning_supported(),
         tempora_core::engine::Select::from_env().name(),
     )
 }
 
+/// Malformed command line: print the problem to stderr and exit 2 (a
+/// usage error, not a panic with a backtrace).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg} (see repro --help)");
+    std::process::exit(2);
+}
+
+/// Parse the value of a `--flag N` pair as a positive integer, exiting
+/// with a usage error on anything else.
+fn parse_count(flag: &str, value: Option<String>) -> usize {
+    let Some(v) = value else {
+        usage_error(&format!("{flag} needs a positive integer"));
+    };
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => usage_error(&format!("{flag} needs a positive integer, got '{v}'")),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 16usize;
-    let mut cores = std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut scale = 16usize;
+    let mut cores_requested = avail;
     let mut csv_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut targets: Vec<String> = vec![];
@@ -42,24 +62,20 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scale" => {
-                scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs an integer");
-            }
+            "--scale" => scale = parse_count("--scale", it.next()),
             "--paper" => scale = 1,
-            "--cores" => {
-                cores = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--cores needs an integer");
-            }
+            "--cores" => cores_requested = parse_count("--cores", it.next()),
             "--csv" => {
-                csv_dir = Some(it.next().expect("--csv needs a directory"));
+                let Some(dir) = it.next() else {
+                    usage_error("--csv needs a directory");
+                };
+                csv_dir = Some(dir);
             }
             "--json" => {
-                json_path = Some(it.next().expect("--json needs a file path"));
+                let Some(path) = it.next() else {
+                    usage_error("--json needs a file path");
+                };
+                json_path = Some(path);
             }
             "--help" | "-h" => {
                 // Print the usage block between the doc comment's two
@@ -92,13 +108,29 @@ fn main() {
         targets.push("all".into());
     }
 
+    // Oversubscribing a 1-core host with `--cores 8` would print a
+    // "scaling" curve where every point ran the same hardware — clamp to
+    // what the machine actually has, loudly.
+    let cores = cores_requested.min(avail);
+    if cores < cores_requested {
+        eprintln!(
+            "repro: --cores {cores_requested} exceeds the {avail} available logical cores; \
+             clamping to {cores}"
+        );
+    }
+
     let seq_ids = [
         "fig4a", "fig4c", "fig4e", "fig4g", "fig4i", "fig5a", "fig5c", "fig5e", "fig5g",
     ];
     let par_ids = [
         "fig4b", "fig4d", "fig4f", "fig4h", "fig4j", "fig5b", "fig5d", "fig5f", "fig5h",
     ];
-    let ablate_ids = ["ablate-reorg", "ablate-stride", "ablate-baselines"];
+    let ablate_ids = [
+        "ablate-reorg",
+        "ablate-stride",
+        "ablate-baselines",
+        "ablate-waves",
+    ];
 
     let mut expanded: Vec<String> = vec![];
     for t in &targets {
@@ -116,8 +148,8 @@ fn main() {
         }
     }
 
-    print!("{}", machine_banner());
-    println!("scale: 1/{scale}, max cores: {cores}\n");
+    print!("{}", machine_banner(avail));
+    println!("scale: 1/{scale}, max cores: {cores} (requested {cores_requested})\n");
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -134,6 +166,7 @@ fn main() {
             }
             "ablate-stride" => tb::ablate_stride(scale),
             "ablate-baselines" => tb::ablate_baselines(scale),
+            "ablate-waves" => tb::ablate_waves(scale, cores),
             "fig4a" => tb::fig4a(scale),
             "fig4b" => tb::fig4b(scale, cores),
             "fig4c" => tb::fig4c(scale),
@@ -169,8 +202,11 @@ fn main() {
     if let Some(path) = &json_path {
         let figs: Vec<String> = figures.iter().map(|f| f.to_json()).collect();
         let doc = format!(
-            "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"avx2\":{},\"engine_select\":\"{}\",\"scale\":{},\"figures\":[\n{}\n]}}\n",
+            "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"cores_requested\":{},\"cores_effective\":{},\"pinning_supported\":{},\"avx2\":{},\"engine_select\":\"{}\",\"scale\":{},\"figures\":[\n{}\n]}}\n",
             cores,
+            cores_requested,
+            cores,
+            tempora_parallel::Pool::pinning_supported(),
             tempora_simd::arch::avx2_available(),
             tempora_core::engine::Select::from_env().name(),
             scale,

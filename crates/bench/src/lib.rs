@@ -18,6 +18,7 @@
 //! | `ablate-reorg` | §3.3/§3.5 reorganization budgets | [`ablate_reorg`] |
 //! | `ablate-stride` | §3.3 stride/ILP sweep | [`ablate_stride`] |
 //! | `ablate-baselines` | §2.2 baseline comparison | [`ablate_baselines`] |
+//! | `ablate-waves` | pipelined vs barrier wavefront schedule | [`ablate_waves`] |
 //!
 //! Every series runs through the unified solver API
 //! (`tempora_plan::Plan`): the harness compiles one plan per
@@ -49,25 +50,68 @@ use tempora_stencil::{
     LifeRule,
 };
 
-/// One measured curve: label + `(x, Gstencils/s)` points.
+/// One measured curve: label + `(x, Gstencils/s)` points, with the
+/// resolved engine and worker count recorded **per point** (a sweep can
+/// legitimately resolve different engines at different sizes, e.g. a
+/// degenerate small geometry falling back to portable — recording only
+/// the first point's engine would misreport the rest of the curve).
 #[derive(Clone, Debug)]
 pub struct Series {
     /// Scheme name (`our`, `auto`, `scalar`, …).
     pub label: String,
-    /// The engine the plan resolved to for this series (`portable` |
-    /// `avx2`), for dispatched (temporal) series — sequential *and*
-    /// tiling-driven parallel sweeps alike, LCS included. `None` for
-    /// baseline schemes and non-dispatched methods.
-    pub engine: Option<String>,
+    /// Per-point engine the plan resolved to (`portable` | `avx2`), for
+    /// dispatched (temporal) series — sequential *and* tiling-driven
+    /// parallel sweeps alike, LCS included. `None` entries for baseline
+    /// schemes and non-dispatched methods. Same length as `points`.
+    pub engines: Vec<Option<String>>,
+    /// Per-point worker-thread count the measuring plan ran (1 for
+    /// sequential sweeps, the x-axis core count for parallel sweeps).
+    /// Same length as `points`.
+    pub cores: Vec<usize>,
     /// `(x, Gstencils/s)` samples.
     pub points: Vec<(f64, f64)>,
 }
 
 impl Series {
+    /// An empty series with the given scheme label.
+    pub fn new(label: &str) -> Series {
+        Series {
+            label: label.to_string(),
+            engines: vec![],
+            cores: vec![],
+            points: vec![],
+        }
+    }
+
+    /// Append one measured point with its resolved engine and worker
+    /// count.
+    pub fn push(&mut self, x: f64, gst: f64, cores: usize, engine: Option<&str>) {
+        self.points.push((x, gst));
+        self.cores.push(cores);
+        self.engines.push(engine.map(str::to_string));
+    }
+
+    /// Summary of the per-point engines: `None` when no point was
+    /// dispatched, the engine name when every dispatched point agrees,
+    /// and `"mixed"` when the sweep resolved different engines at
+    /// different points.
+    pub fn engine_summary(&self) -> Option<String> {
+        let mut summary: Option<&str> = None;
+        for e in self.engines.iter().flatten() {
+            match summary {
+                None => summary = Some(e),
+                Some(s) if s == e => {}
+                Some(_) => return Some("mixed".to_string()),
+            }
+        }
+        summary.map(str::to_string)
+    }
+
     /// Column heading: the label, suffixed with the resolved engine for
-    /// dispatched series (`our:avx2`).
+    /// dispatched series (`our:avx2`; `our:mixed` when the sweep did not
+    /// resolve one engine throughout).
     pub fn column_label(&self) -> String {
-        match &self.engine {
+        match self.engine_summary() {
             Some(e) => format!("{}:{e}", self.label),
             None => self.label.clone(),
         }
@@ -160,6 +204,10 @@ impl Figure {
 
     /// Render as a JSON object (`{"id", "title", "xlabel", "series"}`),
     /// the element format of the committed `BENCH_*.json` baselines.
+    /// Each series carries the summary `"engine"` (when dispatched) plus
+    /// per-point `"cores"` and `"engines"` arrays aligned with
+    /// `"points"`, so a reader can tell exactly which engine produced
+    /// each sample and at how many workers.
     pub fn to_json(&self) -> String {
         let series: Vec<String> = self
             .series
@@ -170,13 +218,24 @@ impl Figure {
                     .iter()
                     .map(|&(x, g)| format!("[{},{}]", json_num(x), json_num(g)))
                     .collect();
-                let engine = match &s.engine {
-                    Some(e) => format!("\"engine\":\"{}\",", json_escape(e)),
+                let engine = match s.engine_summary() {
+                    Some(e) => format!("\"engine\":\"{}\",", json_escape(&e)),
                     None => String::new(),
                 };
+                let cores: Vec<String> = s.cores.iter().map(|c| c.to_string()).collect();
+                let engines: Vec<String> = s
+                    .engines
+                    .iter()
+                    .map(|e| match e {
+                        Some(e) => format!("\"{}\"", json_escape(e)),
+                        None => "null".to_string(),
+                    })
+                    .collect();
                 format!(
-                    "{{\"label\":\"{}\",{engine}\"points\":[{}]}}",
+                    "{{\"label\":\"{}\",{engine}\"cores\":[{}],\"engines\":[{}],\"points\":[{}]}}",
                     json_escape(&s.label),
+                    cores.join(","),
+                    engines.join(","),
                     pts.join(",")
                 )
             })
@@ -477,26 +536,14 @@ fn seq_sweep<'a>(
     runs: Vec<SeqRun<'a>>,
     steps_hi: usize,
 ) -> Figure {
-    let mut series: Vec<Series> = runs
-        .iter()
-        .map(|(label, _)| Series {
-            label: label.to_string(),
-            engine: None,
-            points: vec![],
-        })
-        .collect();
+    let mut series: Vec<Series> = runs.iter().map(|(label, _)| Series::new(label)).collect();
     for &n in xs {
         let pts = points_of(n);
         let steps = choose_steps(pts, SEQ_BUDGET, 4, steps_hi);
         for (k, (_, run)) in runs.iter().enumerate() {
             let (problem, builder) = run(n, steps);
             let smp = plan_sample(&problem, builder, &fill_state);
-            if series[k].engine.is_none() {
-                series[k].engine = smp.engine.map(str::to_string);
-            }
-            series[k]
-                .points
-                .push((xmap(n), gstencils(pts, steps, smp.secs)));
+            series[k].push(xmap(n), gstencils(pts, steps, smp.secs), 1, smp.engine);
         }
     }
     Figure {
@@ -531,26 +578,22 @@ fn parallel_sweep<'a>(
     steps: usize,
     runs: Vec<ParRun<'a>>,
 ) -> Figure {
-    let mut series: Vec<Series> = runs
-        .iter()
-        .map(|(label, _)| Series {
-            label: label.to_string(),
-            engine: None,
-            points: vec![],
-        })
-        .collect();
+    let mut series: Vec<Series> = runs.iter().map(|(label, _)| Series::new(label)).collect();
     for &cores in &core_counts(max_cores) {
         for (k, (_, run)) in runs.iter().enumerate() {
             let (problem, builder) = run();
             // plan_sample's built-in warm-up faults in pages and spins up
-            // the plan's workers before the three timed runs.
-            let smp = plan_sample(&problem, builder.threads(cores), &fill_state);
-            if series[k].engine.is_none() {
-                series[k].engine = smp.engine.map(str::to_string);
-            }
-            series[k]
-                .points
-                .push((cores as f64, gstencils(pts, steps, smp.secs)));
+            // the plan's workers before the three timed runs. Workers are
+            // pinned one-per-core (best-effort) so the core-count axis
+            // means what it says, and the plan first-touches its tile
+            // arenas from their owning workers.
+            let smp = plan_sample(&problem, builder.threads(cores).pin(true), &fill_state);
+            series[k].push(
+                cores as f64,
+                gstencils(pts, steps, smp.secs),
+                cores,
+                smp.engine,
+            );
         }
     }
     Figure {
@@ -844,11 +887,7 @@ pub fn fig5g(scale: usize) -> Figure {
     ];
     let mut series: Vec<Series> = builders
         .iter()
-        .map(|(label, _)| Series {
-            label: label.to_string(),
-            engine: None,
-            points: vec![],
-        })
+        .map(|(label, _)| Series::new(label))
         .collect();
     // One run computes the whole n × n table, so the "step" count is n
     // DP rows — fixed by the problem, not by the point budget.
@@ -856,12 +895,7 @@ pub fn fig5g(scale: usize) -> Figure {
         let problem = Problem::lcs(n, n);
         for (k, (_, builder)) in builders.iter().enumerate() {
             let smp = plan_sample(&problem, *builder, &fill_state);
-            if series[k].engine.is_none() {
-                series[k].engine = smp.engine.map(str::to_string);
-            }
-            series[k]
-                .points
-                .push(((n as f64).log2(), gstencils(n, n, smp.secs)));
+            series[k].push((n as f64).log2(), gstencils(n, n, smp.secs), 1, smp.engine);
         }
     }
     Figure {
@@ -1222,26 +1256,20 @@ pub fn ablate_stride(scale: usize) -> Figure {
     let sel = Select::from_env();
     let steps = choose_steps(n, SEQ_BUDGET, 8, 4096);
     let problem = Problem::heat1d(n, steps, c);
-    let mut pts = vec![];
-    let mut eng = None;
+    let mut series = Series::new("our");
     for s in 2..=8 {
         let smp = plan_sample(
             &problem,
             PlanBuilder::new().stride(s).select(sel),
             &fill_state,
         );
-        eng = smp.engine.map(str::to_string);
-        pts.push((s as f64, gstencils(n, steps, smp.secs)));
+        series.push(s as f64, gstencils(n, steps, smp.secs), 1, smp.engine);
     }
     Figure {
         id: "ablate-stride".into(),
         title: "Temporal stride sweep (Heat-1D)".into(),
         xlabel: "stride s".into(),
-        series: vec![Series {
-            label: "our".into(),
-            engine: eng,
-            points: pts,
-        }],
+        series: vec![series],
     }
 }
 
@@ -1278,6 +1306,45 @@ pub fn ablate_baselines(scale: usize) -> Figure {
     )
 }
 
+/// Wavefront-schedule A/B: the dependence-counter pipelined schedule
+/// versus the legacy barrier-per-anti-diagonal schedule on the skew-tiled
+/// GS-2D workload, across core counts. Both schedules are bit-identical
+/// (verified by the tiling test suite); this ablation measures only the
+/// synchronization cost the barrier adds per wave.
+pub fn ablate_waves(scale: usize, max_cores: usize) -> Figure {
+    use tempora_plan::WaveSchedule;
+    let (n, steps, block, height) = parallel_configs(scale).gs2d;
+    let c = Gs2dCoeffs::classic(0.2);
+    let sel = Select::from_env();
+    let tiling = Tiling::Skew { block, height };
+    let mk = move |label: &'static str, schedule: WaveSchedule| -> ParRun<'static> {
+        (
+            label,
+            Box::new(move || {
+                (
+                    Problem::gs2d(n, n, steps, c),
+                    PlanBuilder::new()
+                        .stride(2)
+                        .select(sel)
+                        .tiling(tiling)
+                        .wave_schedule(schedule),
+                )
+            }),
+        )
+    };
+    parallel_sweep(
+        "ablate-waves",
+        "Wavefront schedule A/B (GS-2D, pipelined vs barrier)",
+        max_cores,
+        n * n,
+        steps,
+        vec![
+            mk("pipelined", WaveSchedule::Pipelined),
+            mk("barrier", WaveSchedule::Barrier),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1304,22 +1371,17 @@ mod tests {
 
     #[test]
     fn figure_rendering() {
+        let mut a = Series::new("a");
+        a.push(1.0, 2.0, 1, None);
+        a.push(2.0, 3.0, 2, None);
+        let mut our = Series::new("our");
+        our.push(1.0, 4.0, 1, Some("avx2"));
+        our.push(2.0, 5.0, 2, Some("avx2"));
         let f = Figure {
             id: "t".into(),
             title: "T".into(),
             xlabel: "x".into(),
-            series: vec![
-                Series {
-                    label: "a".into(),
-                    engine: None,
-                    points: vec![(1.0, 2.0), (2.0, 3.0)],
-                },
-                Series {
-                    label: "our".into(),
-                    engine: Some("avx2".into()),
-                    points: vec![(1.0, 4.0), (2.0, 5.0)],
-                },
-            ],
+            series: vec![a, our],
         };
         let table = f.to_table();
         assert!(table.contains("# t — T"));
@@ -1330,6 +1392,29 @@ mod tests {
         let json = f.to_json();
         assert!(json.contains("\"engine\":\"avx2\""), "{json}");
         assert!(!json.contains("\"label\":\"a\",\"engine\""), "{json}");
+        // Per-point provenance lands in the JSON baselines.
+        assert!(json.contains("\"cores\":[1,2]"), "{json}");
+        assert!(json.contains("\"engines\":[\"avx2\",\"avx2\"]"), "{json}");
+        assert!(json.contains("\"engines\":[null,null]"), "{json}");
+    }
+
+    #[test]
+    fn mixed_engine_sweeps_are_reported_honestly() {
+        // Regression for the first-point-only engine recording: a sweep
+        // whose plans resolve different engines at different points must
+        // say "mixed", not whatever the first point happened to resolve.
+        let mut s = Series::new("our");
+        s.push(1.0, 1.0, 1, Some("avx2"));
+        s.push(2.0, 1.0, 1, Some("portable"));
+        assert_eq!(s.engine_summary().as_deref(), Some("mixed"));
+        assert_eq!(s.column_label(), "our:mixed");
+        // Uniform sweeps keep the plain engine name; undispatched points
+        // (None) don't poison the summary.
+        let mut u = Series::new("our");
+        u.push(1.0, 1.0, 1, None);
+        u.push(2.0, 1.0, 1, Some("portable"));
+        assert_eq!(u.engine_summary().as_deref(), Some("portable"));
+        assert_eq!(Series::new("scalar").engine_summary(), None);
     }
 
     #[test]

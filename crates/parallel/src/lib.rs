@@ -2,26 +2,212 @@
 //!
 //! The multicore substrate for the parallel experiments (paper §4: "The
 //! parallel codes were scaled from uni-core to all the 24 cores"),
-//! replacing the authors' OpenMP runtime with a small crossbeam-based
+//! replacing the authors' OpenMP runtime with a small pinned-worker
 //! executor:
 //!
-//! * [`Pool::for_each_index`] — a bulk-synchronous parallel-for with
-//!   atomic work stealing, used by the ghost-zone (overlapped) Jacobi
-//!   tiling where every tile of a time band is independent;
-//! * [`Pool::waves`] — a pipelined wavefront over a `(band, block)` grid
-//!   with the dependence pattern of skewed/rectangular time tiling
-//!   (`(b, i)` waits for `(b, i-1)` and `(b-1, i..=i+1)`), scheduled by
-//!   waves `w = 2b + i` so that same-wave tasks are provably disjoint;
+//! * [`Pool::for_each_index`] — a parallel-for with chunked atomic work
+//!   claiming, used where every task of a region is independent;
+//! * [`Pool::for_each_owned`] — a parallel-for with **static contiguous
+//!   ownership**: index `i` always runs on the same worker, so a
+//!   workspace can first-touch its arenas from the worker that will
+//!   later advance them (NUMA-correct page placement);
+//! * [`Pool::waves`] — a wavefront over a `(band, block)` grid with the
+//!   dependence pattern of skewed/rectangular time tiling (`(b, i)`
+//!   waits for `(b, i-1)` and `(b-1, i..=i+1)`). The default
+//!   [`WaveSchedule::Pipelined`] schedule tracks per-task predecessor
+//!   counts and releases each task the moment its last dependence
+//!   completes — no full-pool barrier per anti-diagonal; the legacy
+//!   [`WaveSchedule::Barrier`] schedule is kept for A/B ablations;
+//! * per-core **pinning** ([`PoolConfig::pin`]) via `sched_setaffinity`
+//!   on Linux/x86_64 behind a capability probe, a no-op elsewhere;
 //! * [`SyncSlice`] — a shared-mutable slice handle for tile executors
 //!   whose write sets are disjoint by construction.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+
+/// Thread-to-core pinning via raw `sched_{get,set}affinity` syscalls.
+///
+/// The workspace vendors no libc, so on Linux/x86_64 the two syscalls
+/// are issued directly with inline assembly; every other target
+/// compiles to an honest "unsupported" stub and pinning is a no-op.
+mod affinity {
+    /// Bits per mask word.
+    const WORD_BITS: usize = 64;
+    /// Words in a 1024-bit CPU mask (the kernel's default ceiling).
+    const MASK_WORDS: usize = 1024 / WORD_BITS;
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    mod sys {
+        use super::MASK_WORDS;
+
+        const SYS_SCHED_SETAFFINITY: isize = 203;
+        const SYS_SCHED_GETAFFINITY: isize = 204;
+
+        /// Issue a 3-argument Linux syscall; returns the raw kernel
+        /// result (negative errno on failure).
+        unsafe fn syscall3(num: isize, a1: usize, a2: usize, a3: usize) -> isize {
+            let mut ret = num;
+            core::arch::asm!(
+                "syscall",
+                inout("rax") ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+            ret
+        }
+
+        /// The calling thread's affinity mask, or `None` if the kernel
+        /// refused (the capability probe).
+        pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+            let mut mask = [0u64; MASK_WORDS];
+            let r = unsafe {
+                syscall3(
+                    SYS_SCHED_GETAFFINITY,
+                    0,
+                    core::mem::size_of_val(&mask),
+                    mask.as_mut_ptr() as usize,
+                )
+            };
+            (r > 0).then_some(mask)
+        }
+
+        /// Replace the calling thread's affinity mask; returns success.
+        pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+            let r = unsafe {
+                syscall3(
+                    SYS_SCHED_SETAFFINITY,
+                    0,
+                    core::mem::size_of_val(mask),
+                    mask.as_ptr() as usize,
+                )
+            };
+            r == 0
+        }
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    mod sys {
+        use super::MASK_WORDS;
+
+        pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+            None
+        }
+
+        pub fn set_mask(_mask: &[u64; MASK_WORDS]) -> bool {
+            false
+        }
+    }
+
+    /// A saved affinity mask, used to restore the dispatching thread's
+    /// original affinity when a pinned pool is dropped.
+    #[derive(Clone, Copy)]
+    pub(crate) struct Mask([u64; MASK_WORDS]);
+
+    /// Snapshot the calling thread's current affinity mask.
+    pub(crate) fn current() -> Option<Mask> {
+        sys::get_mask().map(Mask)
+    }
+
+    /// Restore a previously saved mask; returns success.
+    pub(crate) fn restore(mask: &Mask) -> bool {
+        sys::set_mask(&mask.0)
+    }
+
+    /// CPU ids the calling thread may currently run on, in ascending
+    /// order. Empty when affinity control is unsupported.
+    pub(crate) fn available_cpus() -> Vec<usize> {
+        let Some(mask) = sys::get_mask() else {
+            return Vec::new();
+        };
+        let mut cpus = Vec::new();
+        for (w, &word) in mask.iter().enumerate() {
+            for b in 0..WORD_BITS {
+                if word & (1u64 << b) != 0 {
+                    cpus.push(w * WORD_BITS + b);
+                }
+            }
+        }
+        cpus
+    }
+
+    /// Pin the calling thread to a single CPU; returns success.
+    pub(crate) fn pin_to(cpu: usize) -> bool {
+        if cpu >= MASK_WORDS * WORD_BITS {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+        sys::set_mask(&mask)
+    }
+
+    /// Whether this platform supports affinity control at all.
+    pub(crate) fn supported() -> bool {
+        sys::get_mask().is_some()
+    }
+}
+
+/// Which schedule [`Pool::waves`] dispatches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WaveSchedule {
+    /// Dependence-counter pipeline: every `(band, block)` task carries
+    /// an atomic count of its ≤ 3 unfinished predecessors and is
+    /// released to a ready queue the moment the last one completes, so
+    /// bands overlap and no full-pool barrier runs per anti-diagonal.
+    /// The default.
+    #[default]
+    Pipelined,
+    /// The legacy bulk-synchronous schedule: anti-diagonal `w = 2b + i`
+    /// runs as one parallel region with a barrier between waves. Kept
+    /// behind this flag for A/B comparison in ablation runs.
+    Barrier,
+}
+
+/// Construction-time options for [`Pool::with_config`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker count, including the dispatching thread (clamped to ≥ 1).
+    pub threads: usize,
+    /// Pin each worker (and the dispatching thread) to one CPU.
+    /// Best-effort: [`Pool::is_pinned`] reports whether every pin took
+    /// effect. The dispatcher's original affinity is restored on drop.
+    pub pin: bool,
+    /// The schedule [`Pool::waves`] uses.
+    pub schedule: WaveSchedule,
+}
+
+impl PoolConfig {
+    /// Options for an unpinned pool of `threads` workers with the
+    /// default pipelined wavefront schedule.
+    pub fn new(threads: usize) -> Self {
+        PoolConfig {
+            threads,
+            pin: false,
+            schedule: WaveSchedule::Pipelined,
+        }
+    }
+
+    /// Request per-core pinning.
+    pub fn pin(mut self, pin: bool) -> Self {
+        self.pin = pin;
+        self
+    }
+
+    /// Select the wavefront schedule.
+    pub fn schedule(mut self, schedule: WaveSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
 
 /// A fat pointer to the current region's task, smuggled to the workers.
 ///
@@ -31,18 +217,45 @@ use parking_lot::{Condvar, Mutex};
 struct TaskRef(&'static (dyn Fn(usize) + Sync));
 
 // SAFETY: the underlying closure is Sync and only invoked while the
-// dispatching `for_each_index` call keeps the original borrow alive.
+// dispatching call keeps the original borrow alive.
 unsafe impl Send for TaskRef {}
+
+/// How a region's index space is handed to the workers.
+#[derive(Clone, Copy)]
+enum RegionSpec {
+    /// Workers claim runs of `chunk` indices per `fetch_add`.
+    Dynamic { n: usize, chunk: usize },
+    /// Worker `w` of `T` statically owns indices
+    /// `[w·n/T, (w+1)·n/T)` — no atomics, and index `i` lands on the
+    /// same worker in every region of the same size.
+    Owned { n: usize },
+}
 
 struct PoolState {
     /// Region generation; bumped once per dispatched parallel region.
     generation: u64,
-    /// The current region's task and task count.
-    task: Option<(TaskRef, usize)>,
+    /// The current region's task and index-space shape.
+    task: Option<(TaskRef, RegionSpec)>,
     /// Workers still running the current region.
     active: usize,
+    /// Workers that finished startup (pinning settled).
+    started: usize,
     /// Pool shutdown flag (set on drop).
     shutdown: bool,
+}
+
+/// Reusable scratch for the pipelined wavefront: predecessor counts and
+/// the ready-slot queue. Grow-only, so steady-state `waves` calls are
+/// allocation-free.
+#[derive(Default)]
+struct WaveScratch {
+    /// Remaining unfinished predecessors per task.
+    counts: Vec<AtomicUsize>,
+    /// Ready queue: slot `k` holds `task_id + 1` once the `k`-th task to
+    /// become ready is published (0 = not yet).
+    slots: Vec<AtomicUsize>,
+    /// Next free publish slot.
+    cursor: AtomicUsize,
 }
 
 struct PoolShared {
@@ -50,54 +263,121 @@ struct PoolShared {
     work_cv: Condvar,
     done_cv: Condvar,
     next: AtomicUsize,
+    /// Worker count, including the dispatching thread.
+    threads: usize,
+    /// False if any requested worker pin failed.
+    pin_ok: AtomicBool,
+    wave_scratch: Mutex<WaveScratch>,
 }
 
 /// A fixed-width worker pool with **persistent, parked workers**.
 ///
 /// Stencil time-tiling dispatches thousands of small parallel regions
-/// (one or two per band or wavefront); spawning threads per region costs
-/// hundreds of microseconds on some kernels and would dominate the tile
-/// work, so the workers are created once and woken through a condvar.
-/// The dispatching thread participates in the work.
+/// (one or two per band, or one per tile grid); spawning threads per
+/// region costs hundreds of microseconds on some kernels and would
+/// dominate the tile work, so the workers are created once and woken
+/// through a condvar. The dispatching thread participates in the work
+/// as worker 0.
 pub struct Pool {
     shared: Arc<PoolShared>,
     threads: usize,
     handles: Vec<std::thread::JoinHandle<()>>,
+    pinned: bool,
+    schedule: WaveSchedule,
+    /// The dispatcher's pre-pinning affinity, restored on drop.
+    caller_mask: Option<affinity::Mask>,
 }
 
 impl std::fmt::Debug for Pool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Pool(threads={})", self.threads)
+        write!(
+            f,
+            "Pool(threads={}, pinned={}, schedule={:?})",
+            self.threads, self.pinned, self.schedule
+        )
     }
 }
 
 impl Pool {
-    /// Create a pool using `threads` workers (clamped to ≥ 1). One of
-    /// them is the caller itself, so `threads - 1` OS threads are
+    /// Create an unpinned pool using `threads` workers (clamped to
+    /// ≥ 1) and the default pipelined wavefront schedule. One of the
+    /// workers is the caller itself, so `threads - 1` OS threads are
     /// spawned.
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
+        Pool::with_config(PoolConfig::new(threads))
+    }
+
+    /// Create a pool from explicit [`PoolConfig`] options.
+    pub fn with_config(cfg: PoolConfig) -> Self {
+        let threads = cfg.threads.max(1);
+        // Enumerate pinnable CPUs up front; worker k goes to
+        // cpus[k mod len] so oversubscribed pools still pin sanely.
+        let cpus = if cfg.pin {
+            affinity::available_cpus()
+        } else {
+            Vec::new()
+        };
+        let want_pin = cfg.pin && !cpus.is_empty();
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 generation: 0,
                 task: None,
                 active: 0,
+                started: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             next: AtomicUsize::new(0),
+            threads,
+            pin_ok: AtomicBool::new(true),
+            wave_scratch: Mutex::new(WaveScratch::default()),
         });
-        let handles = (1..threads)
-            .map(|_| {
+        let handles: Vec<_> = (1..threads)
+            .map(|k| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                let target = want_pin.then(|| cpus[k % cpus.len()]);
+                std::thread::spawn(move || {
+                    if let Some(cpu) = target {
+                        if !affinity::pin_to(cpu) {
+                            shared.pin_ok.store(false, Ordering::Release);
+                        }
+                    }
+                    {
+                        let mut st = shared.state.lock();
+                        st.started += 1;
+                        shared.done_cv.notify_all();
+                    }
+                    worker_loop(&shared, k);
+                })
             })
             .collect();
+        // Pin the dispatcher (worker 0), keeping its original mask so
+        // Drop can hand the thread back unpinned.
+        let mut caller_mask = None;
+        let mut pinned = want_pin;
+        if want_pin {
+            caller_mask = affinity::current();
+            if !affinity::pin_to(cpus[0]) {
+                pinned = false;
+            }
+        }
+        // Wait for every worker's pin attempt to settle so is_pinned()
+        // is accurate from the first query.
+        {
+            let mut st = shared.state.lock();
+            while st.started != threads - 1 {
+                shared.done_cv.wait(&mut st);
+            }
+        }
+        pinned = pinned && shared.pin_ok.load(Ordering::Acquire);
         Pool {
             shared,
             threads,
             handles,
+            pinned,
+            schedule: cfg.schedule,
+            caller_mask,
         }
     }
 
@@ -115,9 +395,53 @@ impl Pool {
         self.threads
     }
 
+    /// True when pinning was requested and every thread of the pool
+    /// (workers and dispatcher) was successfully pinned to a CPU.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// The wavefront schedule [`Pool::waves`] dispatches.
+    pub fn wave_schedule(&self) -> WaveSchedule {
+        self.schedule
+    }
+
+    /// Whether this platform supports thread-to-core pinning at all
+    /// (Linux/x86_64 with a readable affinity mask).
+    pub fn pinning_supported() -> bool {
+        affinity::supported()
+    }
+
+    /// Dispatch one parallel region and block until it completes.
+    fn dispatch(&self, spec: RegionSpec, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the closure's lifetime; the wait below keeps it alive
+        // until every worker is done with it.
+        // SAFETY: see TaskRef — the borrow outlives the region because
+        // this function blocks until `active == 0`.
+        let task = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        {
+            let mut st = self.shared.state.lock();
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.task = Some((task, spec));
+            st.active = self.threads - 1;
+            st.generation += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // The dispatcher helps as worker 0.
+        run_region(&self.shared, 0, task, spec);
+        // Wait for the workers to drain their in-flight tasks.
+        let mut st = self.shared.state.lock();
+        while st.active != 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.task = None;
+    }
+
     /// Run `f(i)` for every `i ∈ 0..n`, distributing indices over the
-    /// workers with an atomic counter. Returns when all tasks finished
-    /// (bulk-synchronous).
+    /// workers in chunked runs claimed off one atomic counter. Returns
+    /// when all tasks finished (bulk-synchronous).
     pub fn for_each_index<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
@@ -128,50 +452,152 @@ impl Pool {
             }
             return;
         }
-        // Erase the closure's lifetime; the wait below keeps it alive
-        // until every worker is done with it.
-        let wide: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: see TaskRef — the borrow outlives the region because
-        // this function blocks until `active == 0`.
-        let task = TaskRef(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
-        });
-
-        {
-            let mut st = self.shared.state.lock();
-            self.shared.next.store(0, Ordering::Relaxed);
-            st.task = Some((task, n));
-            st.active = self.threads - 1;
-            st.generation += 1;
-            self.shared.work_cv.notify_all();
-        }
-        // The dispatcher helps.
-        loop {
-            let i = self.shared.next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            f(i);
-        }
-        // Wait for the workers to drain their in-flight tasks.
-        let mut st = self.shared.state.lock();
-        while st.active != 0 {
-            self.shared.done_cv.wait(&mut st);
-        }
-        st.task = None;
+        // ~4 chunks per worker: coarse enough that tiny tile regions
+        // stop hammering the shared counter, fine enough to balance.
+        let chunk = (n / (self.threads * 4)).max(1);
+        self.dispatch(RegionSpec::Dynamic { n, chunk }, &f);
     }
 
-    /// Execute `f(band, block)` for all `(band, block) ∈ n_bands × n_blocks`
-    /// in pipelined wavefront order: wave `w` runs every task with
-    /// `2·band + block == w`, waves in ascending order with a barrier
-    /// between them.
+    /// Run `f(i)` for every `i ∈ 0..n` with **static ownership**:
+    /// worker `w` of `T` always executes the contiguous range
+    /// `[w·n/T, (w+1)·n/T)`. Two calls with the same `n` on the same
+    /// pool run each index on the same worker, which is what lets a
+    /// workspace first-touch tile arenas from the worker that will
+    /// advance them. No atomics are touched on the hot path.
+    pub fn for_each_owned<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        if n == 0 {
+            return;
+        }
+        self.dispatch(RegionSpec::Owned { n }, &f);
+    }
+
+    /// Execute `f(band, block)` for all `(band, block) ∈ n_bands ×
+    /// n_blocks` respecting the dependences of skewed time tiling —
+    /// `(b, i)` after `(b, i-1)`, `(b-1, i)` and `(b-1, i+1)` — using
+    /// the pool's configured [`WaveSchedule`].
     ///
-    /// This order satisfies the dependences of skewed time tiling —
-    /// `(b, i)` after `(b, i-1)` (wave `w-1`) and after `(b-1, i)` /
-    /// `(b-1, i+1)` (waves `w-2` / `w-1`) — while keeping same-wave tasks
-    /// at band distance ≥ 1 and block distance ≥ 2, which the tiling
-    /// layer uses to prove write-set disjointness.
+    /// Tasks that may run concurrently under either schedule are at
+    /// band distance ≥ 1 and block distance ≥ 2, which the tiling
+    /// layer uses to prove write-set disjointness. `f` must not
+    /// dispatch further regions on this pool.
     pub fn waves<F>(&self, n_bands: usize, n_blocks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        match self.schedule {
+            WaveSchedule::Pipelined => self.waves_pipelined(n_bands, n_blocks, f),
+            WaveSchedule::Barrier => self.waves_barrier(n_bands, n_blocks, f),
+        }
+    }
+
+    /// The dependence-counter pipelined wavefront (see
+    /// [`WaveSchedule::Pipelined`]). One parallel region covers the
+    /// whole `(band, block)` grid: each task's atomic predecessor count
+    /// is decremented as its dependences complete, and the task is
+    /// published to a lock-free ready queue when the count hits zero.
+    /// Workers claim ready slots in publish order, so bands overlap and
+    /// the pool is woken exactly once.
+    pub fn waves_pipelined<F>(&self, n_bands: usize, n_blocks: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n_bands == 0 || n_blocks == 0 {
+            return;
+        }
+        let total = n_bands * n_blocks;
+        if self.threads == 1 || total == 1 {
+            // Row-major order satisfies every dependence sequentially.
+            for b in 0..n_bands {
+                for i in 0..n_blocks {
+                    f(b, i);
+                }
+            }
+            return;
+        }
+        let mut scratch = self.shared.wave_scratch.lock();
+        let scratch = &mut *scratch;
+        if scratch.counts.len() < total {
+            scratch.counts.resize_with(total, || AtomicUsize::new(0));
+            scratch.slots.resize_with(total, || AtomicUsize::new(0));
+        }
+        for b in 0..n_bands {
+            for i in 0..n_blocks {
+                let preds = usize::from(i > 0)
+                    + usize::from(b > 0)
+                    + usize::from(b > 0 && i + 1 < n_blocks);
+                scratch.counts[b * n_blocks + i].store(preds, Ordering::Relaxed);
+            }
+        }
+        for s in &scratch.slots[..total] {
+            s.store(0, Ordering::Relaxed);
+        }
+        // Only (0, 0) starts with zero predecessors; publish it.
+        scratch.slots[0].store(1, Ordering::Relaxed);
+        scratch.cursor.store(1, Ordering::Relaxed);
+        let scratch = &*scratch;
+        // Each worker claims sequential tickets; ticket k spins until
+        // the k-th ready task is published. Liveness: among the workers
+        // the one spinning on the lowest ticket always has every lower
+        // ticket's task executing on some other worker, and whenever
+        // unexecuted tasks remain the dependence DAG has a minimal
+        // element whose final predecessor's completion publishes it.
+        let run_one = move |ticket: usize| {
+            let mut spins = 0u32;
+            let task = loop {
+                let v = scratch.slots[ticket].load(Ordering::Acquire);
+                if v != 0 {
+                    break v - 1;
+                }
+                spins = spins.wrapping_add(1);
+                if spins % 64 == 0 {
+                    // Keep oversubscribed pools (threads > cores) live.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            };
+            let b = task / n_blocks;
+            let i = task % n_blocks;
+            f(b, i);
+            let release = |tb: usize, ti: usize| {
+                let id = tb * n_blocks + ti;
+                // AcqRel chains every predecessor's writes into the
+                // publish below; the claimer's Acquire load sees both.
+                if scratch.counts[id].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let p = scratch.cursor.fetch_add(1, Ordering::Relaxed);
+                    scratch.slots[p].store(id + 1, Ordering::Release);
+                }
+            };
+            if i + 1 < n_blocks {
+                release(b, i + 1);
+            }
+            if b + 1 < n_bands {
+                release(b + 1, i);
+                if i > 0 {
+                    release(b + 1, i - 1);
+                }
+            }
+        };
+        // chunk = 1: tickets are awaited individually, so claiming runs
+        // would serialize the pipeline's release order.
+        self.dispatch(RegionSpec::Dynamic { n: total, chunk: 1 }, &run_one);
+    }
+
+    /// The legacy bulk-synchronous wavefront (see
+    /// [`WaveSchedule::Barrier`]): wave `w` runs every task with
+    /// `2·band + block == w`, waves in ascending order with a full-pool
+    /// barrier between them. Kept for A/B ablation against
+    /// [`Pool::waves_pipelined`].
+    pub fn waves_barrier<F>(&self, n_bands: usize, n_blocks: usize, f: F)
     where
         F: Fn(usize, usize) + Sync,
     {
@@ -206,13 +632,37 @@ impl Drop for Pool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        if let Some(mask) = self.caller_mask.take() {
+            let _ = affinity::restore(&mask);
+        }
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+/// Execute one region's share of work as worker `id`.
+fn run_region(shared: &PoolShared, id: usize, task: TaskRef, spec: RegionSpec) {
+    match spec {
+        RegionSpec::Dynamic { n, chunk } => loop {
+            let start = shared.next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            for i in start..(start + chunk).min(n) {
+                (task.0)(i);
+            }
+        },
+        RegionSpec::Owned { n } => {
+            let t = shared.threads;
+            for i in (id * n / t)..((id + 1) * n / t) {
+                (task.0)(i);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, id: usize) {
     let mut seen = 0u64;
     loop {
-        let (task, n) = {
+        let (task, spec) = {
             let mut st = shared.state.lock();
             loop {
                 if st.shutdown {
@@ -226,13 +676,7 @@ fn worker_loop(shared: &PoolShared) {
             }
             st.task.expect("woken without a task")
         };
-        loop {
-            let i = shared.next.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
-            (task.0)(i);
-        }
+        run_region(shared, id, task, spec);
         let mut st = shared.state.lock();
         st.active -= 1;
         if st.active == 0 {
@@ -286,7 +730,7 @@ impl<'a, T> SyncSlice<'a, T> {
     /// The caller must guarantee that no two concurrently-live borrows
     /// (from any thread) access overlapping index ranges, and that reads
     /// of ranges written by other tasks happen only after those tasks
-    /// completed (e.g. across a pool barrier).
+    /// completed (e.g. across a pool barrier or a wavefront dependence).
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self) -> &mut [T] {
         core::slice::from_raw_parts_mut(self.ptr, self.len)
@@ -323,18 +767,52 @@ mod tests {
     }
 
     #[test]
-    fn waves_cover_grid_and_respect_order() {
-        let (nb, nc) = (5usize, 7usize);
-        let pool = Pool::new(2);
+    fn owned_covers_all_once_and_is_stable() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            for n in [0usize, 1, 3, 37, 100] {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.for_each_owned(n, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+            // Ownership must be stable: the same index lands on the same
+            // worker thread across regions of the same size.
+            let n = 37;
+            let owner_map = || {
+                let owners = Mutex::new(vec![None; n]);
+                pool.for_each_owned(n, |i| {
+                    owners.lock().unwrap()[i] = Some(std::thread::current().id());
+                });
+                owners.into_inner().unwrap()
+            };
+            let first = owner_map();
+            assert!(first.iter().all(|o| o.is_some()));
+            assert_eq!(first, owner_map(), "threads={threads}");
+        }
+    }
+
+    /// The stamp oracle shared by every wavefront test: run the
+    /// schedule, then check that each task's completion stamp is after
+    /// all three of its dependences.
+    fn check_wave_order(pool: &Pool, nb: usize, nc: usize, barrier: bool) {
         let log = Mutex::new(Vec::new());
         let stamp = AtomicU64::new(0);
-        pool.waves(nb, nc, |b, i| {
+        let record = |b: usize, i: usize| {
             let t = stamp.fetch_add(1, Ordering::SeqCst);
             log.lock().unwrap().push((b, i, t));
-        });
+        };
+        if barrier {
+            pool.waves_barrier(nb, nc, record);
+        } else {
+            pool.waves_pipelined(nb, nc, record);
+        }
         let log = log.into_inner().unwrap();
         assert_eq!(log.len(), nb * nc);
-        // Completion stamps must respect the dependence order.
         let stamp_of = |b: usize, i: usize| log.iter().find(|e| e.0 == b && e.1 == i).unwrap().2;
         for b in 0..nb {
             for i in 0..nc {
@@ -352,6 +830,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn waves_cover_grid_and_respect_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            for (nb, nc) in [(5usize, 7usize), (1, 9), (6, 1), (3, 3)] {
+                check_wave_order(&pool, nb, nc, false);
+                check_wave_order(&pool, nb, nc, true);
+            }
+        }
+    }
+
+    #[test]
+    fn waves_dispatches_configured_schedule() {
+        let pool = Pool::with_config(PoolConfig::new(2).schedule(WaveSchedule::Barrier));
+        assert_eq!(pool.wave_schedule(), WaveSchedule::Barrier);
+        let count = AtomicUsize::new(0);
+        pool.waves(4, 5, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+        assert_eq!(Pool::new(1).wave_schedule(), WaveSchedule::Pipelined);
+    }
+
+    #[test]
+    fn many_small_regions_generation_churn() {
+        // Time tiling dispatches thousands of tiny regions back to
+        // back; the generation protocol must not lose or double-run
+        // any of them.
+        let pool = Pool::new(4);
+        let count = AtomicUsize::new(0);
+        for _ in 0..1500 {
+            pool.for_each_index(3, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1500 * 3);
+        for _ in 0..200 {
+            pool.waves(2, 3, |_, _| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1500 * 3 + 200 * 6);
+        for _ in 0..500 {
+            pool.for_each_owned(5, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1500 * 3 + 200 * 6 + 500 * 5);
+    }
+
+    #[test]
+    fn pinned_pool_runs_and_reports() {
+        let pool = Pool::with_config(PoolConfig::new(2).pin(true));
+        // On Linux pinning should take effect; elsewhere it must be an
+        // honest no-op, never a panic.
+        assert_eq!(pool.is_pinned(), Pool::pinning_supported());
+        let count = AtomicUsize::new(0);
+        pool.for_each_index(100, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.waves(3, 4, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 112);
     }
 
     #[test]

@@ -31,6 +31,12 @@ use tempora_tiling::{
 /// across request threads.
 pub(crate) trait Exec: Send {
     fn run(&mut self, state: &mut State, pool: &Pool) -> Result<(), PlanError>;
+
+    /// First-touch the executor's arenas through `pool` so each page is
+    /// faulted in by the worker that will later advance it (the tiled
+    /// workspaces reuse `advance`'s owner map). Sequential executors
+    /// have nothing to place, so the default is a no-op.
+    fn fault_in(&mut self, _pool: &Pool) {}
 }
 
 fn mismatch(expected: &'static str, state: &State) -> PlanError {
@@ -435,6 +441,10 @@ impl<K: Avx2Exec1d + Send> Exec for GhostExec1d<K> {
             .advance(<Grid1<f64> as StateGrid>::from_state(state)?, pool);
         Ok(())
     }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
+    }
 }
 
 pub(crate) struct GhostExec2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>>(
@@ -450,6 +460,10 @@ where
             .advance(<Grid2<T> as StateGrid>::from_state(state)?, pool);
         Ok(())
     }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
+    }
 }
 
 pub(crate) struct GhostExec3d<K: Avx2Exec3d>(pub GhostJacobi3d<K>);
@@ -459,6 +473,10 @@ impl<K: Avx2Exec3d + Send> Exec for GhostExec3d<K> {
         self.0
             .advance(<Grid3<f64> as StateGrid>::from_state(state)?, pool);
         Ok(())
+    }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
     }
 }
 
@@ -480,6 +498,10 @@ impl<K: Avx2Exec2d<f64> + Send> Exec for SkewExec2d<K> {
             .advance(<Grid2<f64> as StateGrid>::from_state(state)?, pool);
         Ok(())
     }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
+    }
 }
 
 pub(crate) struct SkewExec3d<K: Avx2Exec3d>(pub SkewGs3d<K>);
@@ -489,6 +511,10 @@ impl<K: Avx2Exec3d + Send> Exec for SkewExec3d<K> {
         self.0
             .advance(<Grid3<f64> as StateGrid>::from_state(state)?, pool);
         Ok(())
+    }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
     }
 }
 
@@ -501,5 +527,9 @@ impl Exec for RectLcs {
         };
         l.length = Some(self.0.run(&l.a, &l.b, pool));
         Ok(())
+    }
+
+    fn fault_in(&mut self, pool: &Pool) {
+        self.0.fault_in(pool);
     }
 }

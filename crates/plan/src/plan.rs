@@ -16,7 +16,7 @@ use tempora_core::kernels::{
 };
 use tempora_core::{lcs, lcs_avx2, t1d, t2d, t3d};
 use tempora_grid::{Boundary, Grid2, Grid3};
-use tempora_parallel::Pool;
+use tempora_parallel::{Pool, PoolConfig, WaveSchedule};
 use tempora_simd::count;
 use tempora_simd::Scalar;
 use tempora_tiling::{
@@ -99,6 +99,10 @@ pub struct Report {
     pub steps: usize,
     /// Worker threads the plan's pool runs.
     pub threads: usize,
+    /// True when per-core pinning was requested with
+    /// [`PlanBuilder::pin`] and every pool thread was successfully
+    /// pinned.
+    pub pinned: bool,
     /// Tile geometry, for tiled plans.
     pub tiles: Option<TileGeometry>,
     /// Reorganization-op counts of this run, when the plan was built with
@@ -121,6 +125,8 @@ pub struct PlanBuilder {
     threads: Option<usize>,
     stride: Option<usize>,
     count_reorg: bool,
+    pin: bool,
+    wave_schedule: WaveSchedule,
 }
 
 impl PlanBuilder {
@@ -160,6 +166,24 @@ impl PlanBuilder {
     /// 7 in 1-D, 2 in 2-D/3-D, 1 for LCS).
     pub fn stride(mut self, stride: usize) -> PlanBuilder {
         self.stride = Some(stride);
+        self
+    }
+
+    /// Pin each pool thread to one CPU (best-effort;
+    /// `sched_setaffinity` on Linux/x86_64, an honest no-op elsewhere).
+    /// The built plan reports whether pinning took effect via
+    /// [`Plan::is_pinned`] and [`Report::pinned`]. Default off.
+    pub fn pin(mut self, pin: bool) -> PlanBuilder {
+        self.pin = pin;
+        self
+    }
+
+    /// Set the wavefront schedule for skew/LCS tilings (default
+    /// [`WaveSchedule::Pipelined`]; [`WaveSchedule::Barrier`] keeps the
+    /// legacy bulk-synchronous schedule for A/B ablations). Both are
+    /// bit-identical; only the synchronization pattern differs.
+    pub fn wave_schedule(mut self, schedule: WaveSchedule) -> PlanBuilder {
+        self.wave_schedule = schedule;
         self
     }
 
@@ -213,7 +237,16 @@ impl PlanBuilder {
         self.check_tiling(problem, s)?;
         self.check_count(problem)?;
 
-        let (exec, engine, tiles) = self.build_exec(problem, s)?;
+        let (mut exec, engine, tiles) = self.build_exec(problem, s)?;
+        // Pool first, then first-touch: the workspaces fault their tile
+        // arenas in from the workers that will advance them (the owned
+        // schedule reuses the same owner map).
+        let pool = Pool::with_config(
+            PoolConfig::new(threads)
+                .pin(self.pin)
+                .schedule(self.wave_schedule),
+        );
+        exec.fault_in(&pool);
         Ok(Plan {
             problem: *problem,
             method: self.method,
@@ -222,7 +255,7 @@ impl PlanBuilder {
             tiles,
             threads,
             count_reorg: self.count_reorg,
-            pool: Pool::new(threads),
+            pool,
             exec,
         })
     }
@@ -908,6 +941,18 @@ impl Plan {
         self.threads
     }
 
+    /// True when [`PlanBuilder::pin`] was requested and every pool
+    /// thread was successfully pinned to a CPU.
+    pub fn is_pinned(&self) -> bool {
+        self.pool.is_pinned()
+    }
+
+    /// The wavefront schedule the plan's pool dispatches for skew/LCS
+    /// tilings.
+    pub fn wave_schedule(&self) -> WaveSchedule {
+        self.pool.wave_schedule()
+    }
+
     /// Advance `state` by the problem's time extent (compute the DP table
     /// for LCS), reusing every arena the plan allocated at build time.
     /// Returns a [`Report`] describing what executed.
@@ -925,6 +970,7 @@ impl Plan {
             engine: self.engine,
             steps: self.problem.steps(),
             threads: self.threads,
+            pinned: self.pool.is_pinned(),
             tiles: self.tiles,
             reorg,
             lcs_length: state.lcs().and_then(|l| l.length),

@@ -54,6 +54,13 @@
 //! shared). The pool barrier between the phases is what makes the
 //! overlapping ghost reads race-free. Per-tile scratch slots are touched
 //! only by their owning tile.
+//!
+//! Both phases run under [`Pool::for_each_owned`] **static ownership**:
+//! tile `t` is advanced by the same worker in every band of every
+//! `advance` call, and the workspaces' `fault_in` methods first-touch
+//! each tile's arena through the pool with the *same* owner map, so on
+//! NUMA machines a tile's pages live on the node of the worker that
+//! computes it.
 
 use tempora_core::engine::{Avx2Exec1d, Avx2Exec2d, Avx2Exec3d, Engine, Select};
 use tempora_core::kernels::{Kernel2d, Kernel3d, Nbhd, Nbhd3};
@@ -244,6 +251,30 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
         self.ntiles
     }
 
+    /// First-touch the workspace arenas through `pool`: tile `t`'s
+    /// buffer pages are faulted in (and its temporal scratch
+    /// re-allocated) by the worker that [`GhostJacobi1d::advance`] will
+    /// later run tile `t` on — the owned schedule's `tiles()`-sized
+    /// owner map is identical in both calls. Purely a placement
+    /// optimization; results are unchanged whether or not it runs.
+    pub fn fault_in(&mut self, pool: &Pool) {
+        let buf_len = self.buf_len;
+        let mode = self.mode;
+        let arena_shared = SyncSlice::new(&mut self.arena);
+        let scratch_shared = SyncSlice::new(&mut self.scratch);
+        pool.for_each_owned(self.ntiles, |t| {
+            // SAFETY: tile t touches only its own arena chunk and
+            // scratch slot (the same ownership advance relies on).
+            let chunk =
+                unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2] };
+            crate::touch_pages(chunk);
+            if let Mode::Temporal(s) = mode {
+                let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
+                *sc = t1d::Scratch1d::new(s);
+            }
+        });
+    }
+
     /// Advance `g` by the workspace's `steps` time levels in place, tiles
     /// of one band executed in parallel on `pool`. Results are
     /// bit-identical to the sequential engines and the scalar reference
@@ -279,8 +310,10 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
             let shared = SyncSlice::new(data);
             let arena_shared = SyncSlice::new(arena);
             let scratch_shared = SyncSlice::new(scratch);
-            // Phase A: copy-in (shared array is read-only here).
-            pool.for_each_index(*ntiles, |t| {
+            // Phase A: copy-in (shared array is read-only here). Owned
+            // scheduling: tile t always runs on the worker that
+            // fault_in placed its pages on.
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: tile t writes only its own arena chunk; the global
                 // array is only read during this phase.
                 let global = unsafe { shared.slice_mut() };
@@ -291,7 +324,7 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
                 chunk[..e.hi - e.lo + 1].copy_from_slice(&global[e.lo..=e.hi]);
             });
             // Phase B: advance private buffers, write back disjoint blocks.
-            pool.for_each_index(*ntiles, |t| {
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: tile t writes global[a..=b] only — disjoint across
                 // tiles — and reads nothing from the shared array; its arena
                 // chunk and scratch slot are its own.
@@ -533,6 +566,28 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
         self.ntiles
     }
 
+    /// First-touch the per-tile buffer grids (and re-allocate the
+    /// per-tile state) through `pool`, on the same owner map
+    /// [`GhostJacobi2d::advance`] uses. See [`GhostJacobi1d::fault_in`].
+    pub fn fault_in(&mut self, pool: &Pool) {
+        let mode = self.mode;
+        let ny = self.ny;
+        let bufs_shared = SyncSlice::new(&mut self.bufs);
+        let states_shared = SyncSlice::new(&mut self.states);
+        pool.for_each_owned(self.ntiles, |t| {
+            // SAFETY: tile t touches only its own buffer grid and state
+            // slot (the same ownership advance relies on).
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            crate::touch_pages(buf.data_mut());
+            let st = unsafe { &mut states_shared.slice_mut()[t] };
+            *st = match mode {
+                Mode::Scalar => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
+                Mode::Auto => TileState2::Tmp(buf.clone()),
+                Mode::Temporal(s) => TileState2::Temporal(t2d::Scratch2d::new(s, ny)),
+            };
+        });
+    }
+
     /// Advance `g` by the workspace's `steps` time levels in place. See
     /// [`GhostJacobi1d::advance`].
     pub fn advance(&mut self, g: &mut Grid2<T>, pool: &Pool) {
@@ -568,7 +623,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
             let shared = SyncSlice::new(data);
             let bufs_shared = SyncSlice::new(bufs);
             let states_shared = SyncSlice::new(states);
-            pool.for_each_index(*ntiles, |t| {
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
                 let global = unsafe { shared.slice_mut() };
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
@@ -576,7 +631,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
                 let rows = e.hi - e.lo + 1;
                 buf.data_mut()[..rows * p].copy_from_slice(&global[e.lo * p..(e.hi + 1) * p]);
             });
-            pool.for_each_index(*ntiles, |t| {
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: phase B — global writes are the disjoint row blocks
                 // [a, b]; no shared reads; bufs[t] and states[t] are tile t's
                 // own slots.
@@ -832,6 +887,29 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
         self.ntiles
     }
 
+    /// First-touch the per-tile buffer grids (and re-allocate the
+    /// per-tile state) through `pool`, on the same owner map
+    /// [`GhostJacobi3d::advance`] uses. See [`GhostJacobi1d::fault_in`].
+    pub fn fault_in(&mut self, pool: &Pool) {
+        let mode = self.mode;
+        let wp = (self.ny + 2) * (self.nz + 2);
+        let (ny, nz) = (self.ny, self.nz);
+        let bufs_shared = SyncSlice::new(&mut self.bufs);
+        let states_shared = SyncSlice::new(&mut self.states);
+        pool.for_each_owned(self.ntiles, |t| {
+            // SAFETY: tile t touches only its own buffer grid and state
+            // slot (the same ownership advance relies on).
+            let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+            crate::touch_pages(buf.data_mut());
+            let st = unsafe { &mut states_shared.slice_mut()[t] };
+            *st = match mode {
+                Mode::Scalar => TileState3::Planes(vec![0.0; wp], vec![0.0; wp]),
+                Mode::Auto => TileState3::Tmp(buf.clone()),
+                Mode::Temporal(s) => TileState3::Temporal(t3d::Scratch3d::new(s, ny, nz)),
+            };
+        });
+    }
+
     /// Advance `g` by the workspace's `steps` time levels in place. See
     /// [`GhostJacobi1d::advance`].
     pub fn advance(&mut self, g: &mut Grid3<f64>, pool: &Pool) {
@@ -868,7 +946,7 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
             let shared = SyncSlice::new(data);
             let bufs_shared = SyncSlice::new(bufs);
             let states_shared = SyncSlice::new(states);
-            pool.for_each_index(*ntiles, |t| {
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: phase A — see GhostJacobi2d::advance.
                 let global = unsafe { shared.slice_mut() };
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
@@ -876,7 +954,7 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
                 let slabs = e.hi - e.lo + 1;
                 buf.data_mut()[..slabs * pl].copy_from_slice(&global[e.lo * pl..(e.hi + 1) * pl]);
             });
-            pool.for_each_index(*ntiles, |t| {
+            pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: phase B — see GhostJacobi2d::advance.
                 let global = unsafe { shared.slice_mut() };
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
@@ -1213,6 +1291,58 @@ mod tests {
             ghost_2d::<i32, 8, _>(&g, &kern, 16, 2, 8, Mode::Temporal(8), Select::Auto, &pool);
         assert!(ours.interior_eq(&gold));
         assert_eq!(e, Some(Engine::Portable));
+    }
+
+    #[test]
+    fn fault_in_preserves_results_bitwise() {
+        let pool = Pool::new(4);
+        // 1-D.
+        let c1 = Heat1dCoeffs::classic(0.25);
+        let k1 = JacobiKern1d(c1);
+        let mut g1 = Grid1::new(300, 1, Boundary::Dirichlet(0.0));
+        fill_random_1d(&mut g1, 17, -1.0, 1.0);
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(7)] {
+            let mut plain = GhostJacobi1d::new(k1, 300, 8, 64, 4, mode, Select::Auto);
+            let mut faulted = GhostJacobi1d::new(k1, 300, 8, 64, 4, mode, Select::Auto);
+            faulted.fault_in(&pool);
+            let (mut a, mut b) = (g1.clone(), g1.clone());
+            plain.advance(&mut a, &pool);
+            faulted.advance(&mut b, &pool);
+            assert!(a.interior_eq(&b), "1d mode={mode:?}");
+        }
+        // 2-D.
+        let c2 = Heat2dCoeffs::classic(0.12);
+        let k2 = JacobiKern2d(c2);
+        let mut g2 = Grid2::new(60, 13, 1, Boundary::Dirichlet(0.1));
+        fill_random_2d(&mut g2, 9, -1.0, 1.0);
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+            let mk = || {
+                GhostJacobi2d::<f64, 4, _>::new(k2, 60, 13, g2.boundary(), 8, 16, 8, mode, {
+                    Select::Auto
+                })
+            };
+            let (mut plain, mut faulted) = (mk(), mk());
+            faulted.fault_in(&pool);
+            let (mut a, mut b) = (g2.clone(), g2.clone());
+            plain.advance(&mut a, &pool);
+            faulted.advance(&mut b, &pool);
+            assert!(a.interior_eq(&b), "2d mode={mode:?}");
+        }
+        // 3-D.
+        let c3 = Heat3dCoeffs::classic(0.1);
+        let k3 = JacobiKern3d(c3);
+        let mut g3 = Grid3::new(40, 6, 7, 1, Boundary::Dirichlet(-0.2));
+        fill_random_3d(&mut g3, 11, -1.0, 1.0);
+        for mode in [Mode::Scalar, Mode::Auto, Mode::Temporal(2)] {
+            let mk =
+                || GhostJacobi3d::new(k3, 40, 6, 7, g3.boundary(), 9, 12, 4, mode, Select::Auto);
+            let (mut plain, mut faulted) = (mk(), mk());
+            faulted.fault_in(&pool);
+            let (mut a, mut b) = (g3.clone(), g3.clone());
+            plain.advance(&mut a, &pool);
+            faulted.advance(&mut b, &pool);
+            assert!(a.interior_eq(&b), "3d mode={mode:?}");
+        }
     }
 
     #[test]

@@ -156,6 +156,26 @@ impl LcsRect {
         self.engine
     }
 
+    /// First-touch the per-column buffers and re-allocate the
+    /// per-block-column scratch through `pool` (best-effort NUMA spread
+    /// — the wavefront schedule has no static tile owner). The rolling
+    /// row, shared by all tiles, stays caller-touched. Results are
+    /// unchanged whether or not this runs.
+    pub fn fault_in(&mut self, pool: &Pool) {
+        let s = self.s;
+        let n_slots = self.cols.len();
+        let cols_shared = SyncSlice::new(&mut self.cols);
+        let scratch_shared = SyncSlice::new(&mut self.scratch);
+        pool.for_each_owned(n_slots, |j| {
+            // SAFETY: slot j is written only by its owning worker.
+            let col = unsafe { &mut cols_shared.slice_mut()[j] };
+            crate::touch_pages(col);
+            let sc = unsafe { &mut scratch_shared.slice_mut()[j] };
+            *sc = ScratchLcs::new(s);
+        });
+        crate::touch_pages(&mut self.row);
+    }
+
     /// Compute the LCS length of `a` and `b` as a pipelined wavefront on
     /// `pool`. Reusable: internal buffers are re-zeroed, not reallocated.
     ///
@@ -332,6 +352,24 @@ mod tests {
             let mut w = LcsRect::new(96, 130, 24, 40, 1, true, Select::Avx2);
             assert_eq!(w.engine(), Some(Engine::Avx2));
             assert_eq!(w.run(&a, &b, &pool), gold);
+        }
+    }
+
+    #[test]
+    fn pipelined_and_barrier_schedules_agree_and_fault_in_is_safe() {
+        use tempora_parallel::{PoolConfig, WaveSchedule};
+        let a = random_sequence(100, 4, 1);
+        let b = random_sequence(140, 4, 2);
+        let gold = reference::lcs_len(&a, &b);
+        for threads in [2usize, 4, 8] {
+            let pipe = Pool::with_config(PoolConfig::new(threads));
+            let barr = Pool::with_config(PoolConfig::new(threads).schedule(WaveSchedule::Barrier));
+            for temporal in [false, true] {
+                let mut w = LcsRect::new(100, 140, 24, 40, 1, temporal, Select::Auto);
+                w.fault_in(&pipe);
+                assert_eq!(w.run(&a, &b, &pipe), gold, "pipelined threads={threads}");
+                assert_eq!(w.run(&a, &b, &barr), gold, "barrier threads={threads}");
+            }
         }
     }
 

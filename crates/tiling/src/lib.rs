@@ -42,6 +42,24 @@ pub mod ghost;
 pub mod lcs_rect;
 pub mod skew;
 
+/// Force a write fault on every page of `slice` without changing its
+/// contents (one volatile read + write-back per 4 KiB page). The
+/// workspaces' `fault_in` methods run this through the pool so each
+/// tile's arena pages are placed on the NUMA node of the worker that
+/// will later advance the tile (first-touch placement).
+pub(crate) fn touch_pages<T: Copy>(slice: &mut [T]) {
+    let step = (4096 / core::mem::size_of::<T>().max(1)).max(1);
+    let mut i = 0;
+    while i < slice.len() {
+        // SAFETY: `i` is in bounds; volatile keeps the no-op write alive.
+        unsafe {
+            let p = slice.as_mut_ptr().add(i);
+            core::ptr::write_volatile(p, core::ptr::read_volatile(p));
+        }
+        i += step;
+    }
+}
+
 pub use ghost::{GhostJacobi1d, GhostJacobi2d, GhostJacobi3d, Mode};
 pub use lcs_rect::LcsRect;
 pub use skew::{SkewGs1d, SkewGs2d, SkewGs3d};

@@ -341,6 +341,24 @@ impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
         self.nblocks
     }
 
+    /// Re-allocate the per-block band scratch through `pool` so each
+    /// slot's pages are faulted in by a pool worker (best-effort NUMA
+    /// spread — the wavefront schedule has no static block owner; the
+    /// grid itself is caller-owned and advanced in place). Results are
+    /// unchanged whether or not this runs.
+    pub fn fault_in(&mut self, pool: &Pool) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        let (s, ny) = (self.s, self.ny);
+        let scratch_shared = SyncSlice::new(&mut self.scratch);
+        pool.for_each_owned(self.nblocks, |i| {
+            // SAFETY: slot i is written only by its owning worker.
+            let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+            *sc = t2d_band::BandScratch2d::new(s, ny);
+        });
+    }
+
     /// Advance `g` by the workspace's `steps` time levels in place.
     pub fn advance(&mut self, g: &mut Grid2<f64>, pool: &Pool) {
         assert_eq!(
@@ -501,6 +519,21 @@ impl<K: Avx2Exec3d> SkewGs3d<K> {
     /// Number of skewed blocks per band.
     pub fn blocks(&self) -> usize {
         self.nblocks
+    }
+
+    /// Re-allocate the per-block band scratch through `pool` (best-effort
+    /// NUMA spread). See [`SkewGs2d::fault_in`].
+    pub fn fault_in(&mut self, pool: &Pool) {
+        if self.scratch.is_empty() {
+            return;
+        }
+        let (s, ny, nz) = (self.s, self.ny, self.nz);
+        let scratch_shared = SyncSlice::new(&mut self.scratch);
+        pool.for_each_owned(self.nblocks, |i| {
+            // SAFETY: slot i is written only by its owning worker.
+            let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
+            *sc = t3d_band::BandScratch3d::new(s, ny, nz);
+        });
     }
 
     /// Advance `g` by the workspace's `steps` time levels in place.
@@ -741,6 +774,33 @@ mod tests {
                     }
                 }
                 assert!(clean, "advance allocated in every observed window");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_and_barrier_schedules_agree_bitwise() {
+        use tempora_parallel::{PoolConfig, WaveSchedule};
+        let c = Gs2dCoeffs::classic(0.19);
+        let kern = GsKern2d(c);
+        let mut g = Grid2::new(120, 9, 1, Boundary::Dirichlet(-0.3));
+        fill_random_2d(&mut g, 21, -1.0, 1.0);
+        for threads in [2usize, 4, 8] {
+            let pipe = Pool::with_config(PoolConfig::new(threads));
+            let barr = Pool::with_config(PoolConfig::new(threads).schedule(WaveSchedule::Barrier));
+            for mode in [Mode::Scalar, Mode::Temporal(2)] {
+                let mut wa = SkewGs2d::new(kern, 120, 9, 8, 48, 8, mode, Select::Auto);
+                let mut wb = SkewGs2d::new(kern, 120, 9, 8, 48, 8, mode, Select::Auto);
+                // fault_in on one side must not perturb results either.
+                wa.fault_in(&pipe);
+                let (mut ga, mut gb) = (g.clone(), g.clone());
+                wa.advance(&mut ga, &pipe);
+                wb.advance(&mut gb, &barr);
+                assert!(
+                    ga.interior_eq(&gb),
+                    "threads={threads} mode={mode:?} {:?}",
+                    ga.first_diff(&gb)
+                );
             }
         }
     }

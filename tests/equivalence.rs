@@ -688,12 +688,21 @@ fn forced_portable_and_avx2_selections_agree_bitwise() {
 }
 
 /// Property: the tiled parallel plans agree bitwise between a forced
-/// portable run and a forced AVX2 run on a 4-worker pool, and both match
-/// the scalar reference — including degenerate tiles (`block < VL·s`,
-/// where every tile falls back to the scalar schedule and the resolved
-/// engine honestly reports portable) and `steps % height != 0` tails.
+/// portable run and a forced AVX2 run at every tested worker count, and
+/// both match the scalar reference — including degenerate tiles
+/// (`block < VL·s`, where every tile falls back to the scalar schedule
+/// and the resolved engine honestly reports portable) and
+/// `steps % height != 0` tails.
 #[test]
 fn tiled_forced_engines_agree_bitwise() {
+    // 1 worker exercises the dispatcher-only path, 2 and 4 exercise real
+    // pipelining, 8 oversubscribes the pool on most CI hosts.
+    for threads in [1usize, 2, 4, 8] {
+        tiled_forced_engines_agree_at(threads);
+    }
+}
+
+fn tiled_forced_engines_agree_at(threads: usize) {
     let can_force_avx2 = cfg!(target_arch = "x86_64") && tempora::simd::arch::avx2_available();
     let sels: &[Select] = if can_force_avx2 {
         &[Select::Portable, Select::Avx2, Select::Auto]
@@ -724,7 +733,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     .stride(s)
                     .select(sel)
                     .tiling(Tiling::Ghost { block, height })
-                    .threads(4),
+                    .threads(threads),
                 &g,
             );
             assert!(
@@ -780,7 +789,7 @@ fn tiled_forced_engines_agree_bitwise() {
                 block: 24,
                 height: 8,
             })
-            .threads(4);
+            .threads(threads);
         let (r, e) = run2(&heat2, b2t, &h);
         assert!(r.interior_eq(&gold2), "ghost2d sel={sel:?}");
         assert!(e.is_some(), "ghost2d must report an engine");
@@ -795,7 +804,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     block: 8,
                     height: 4,
                 })
-                .threads(4),
+                .threads(threads),
             &v,
         );
         assert!(r.interior_eq(&gold3), "ghost3d sel={sel:?}");
@@ -823,7 +832,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     block: 128,
                     height: 8,
                 })
-                .threads(4),
+                .threads(threads),
             &gg,
         );
         assert!(r.interior_eq(&gold), "skew1d sel={sel:?}");
@@ -852,7 +861,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     block: 36,
                     height: 4,
                 })
-                .threads(4),
+                .threads(threads),
             &small,
         );
         assert!(r.interior_eq(&gold_small), "skew1d degenerate sel={sel:?}");
@@ -890,7 +899,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     block: 32,
                     height: 8,
                 })
-                .threads(4),
+                .threads(threads),
             &hh,
         );
         assert!(r.interior_eq(&gold2), "skew2d sel={sel:?}");
@@ -903,7 +912,7 @@ fn tiled_forced_engines_agree_bitwise() {
                     block: 20,
                     height: 4,
                 })
-                .threads(4),
+                .threads(threads),
             &vv,
         );
         assert!(r.interior_eq(&gold3), "skew3d sel={sel:?}");
