@@ -727,6 +727,7 @@ impl Avx2Exec3d for GsKern3d {
 }
 
 #[cfg(test)]
+// Justification: these tests pin the deprecated one-shot wrappers' behavior until their removal.
 #[allow(deprecated)]
 mod tests {
     use super::*;

@@ -71,6 +71,7 @@ mod imp {
     /// # Safety
     /// Caller must ensure AVX2+FMA are available
     /// (`tempora_simd::arch::avx2_available()`).
+    // Justification: same tile-contract signature as the portable `tile_seg`.
     #[allow(clippy::too_many_arguments)]
     #[target_feature(enable = "avx2")]
     pub unsafe fn steady(
@@ -90,49 +91,63 @@ mod imp {
         let mut diag = avx2::from_pack_i32(sc.ring[(y0 + rlen - 1) % rlen]);
         let mut iu = y0 % rlen;
         let mut iw = (y0 + s) % rlen;
-        if s == 1 {
-            // One-rotate-one-blend input production for the characters
-            // too: lane 0 takes the next byte, every other lane shifts up.
-            let mut b_vec = avx2::gather_u8_i32(b, y0 - 1 + (VL - 1), -1);
-            for y in y0..=y_max {
-                let up = avx2::from_pack_i32(sc.ring[iu]);
-                let eq = avx2::cmpeq_i32(a_vec, b_vec);
-                let o = avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
-                row[y] = avx2::extract_top_i32(o);
-                let bottom = row[y + VL];
-                sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
-                o_prev = o;
-                diag = up;
-                b_vec = avx2::shift_up_insert_i32(b_vec, b[y + VL - 1] as i32);
-                iu += 1;
-                if iu == rlen {
-                    iu = 0;
+        // SAFETY: the vocabulary calls below are gated only on AVX2,
+        // discharged by this fn's own `#[target_feature(enable = "avx2")]`
+        // caller contract. The two `gather_u8_i32` uses additionally
+        // require their eight lane indices in bounds for `b`: the caller
+        // (`tile_seg_avx2` after `tile_seg_fallback_if_degenerate`)
+        // guarantees the non-degenerate segment shape `y_max + VL·s ≤
+        // b.len()` with `y0 ≥ 1`, so the highest gathered index
+        // `y - 1 + (VL-1)·s ≤ y_max - 1 + (VL-1)·s < b.len()` and the
+        // lowest `y - 1 ≥ 0`. Row access (`row[y]`, `row[y + VL·s]`) is
+        // checked slice indexing.
+        unsafe {
+            if s == 1 {
+                // One-rotate-one-blend input production for the characters
+                // too: lane 0 takes the next byte, every other lane shifts up.
+                let mut b_vec = avx2::gather_u8_i32(b, y0 - 1 + (VL - 1), -1);
+                for y in y0..=y_max {
+                    let up = avx2::from_pack_i32(sc.ring[iu]);
+                    let eq = avx2::cmpeq_i32(a_vec, b_vec);
+                    let o =
+                        avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
+                    row[y] = avx2::extract_top_i32(o);
+                    let bottom = row[y + VL];
+                    sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                    o_prev = o;
+                    diag = up;
+                    b_vec = avx2::shift_up_insert_i32(b_vec, b[y + VL - 1] as i32);
+                    iu += 1;
+                    if iu == rlen {
+                        iu = 0;
+                    }
+                    iw += 1;
+                    if iw == rlen {
+                        iw = 0;
+                    }
                 }
-                iw += 1;
-                if iw == rlen {
-                    iw = 0;
-                }
-            }
-        } else {
-            for y in y0..=y_max {
-                let up = avx2::from_pack_i32(sc.ring[iu]);
-                // Strided vloadset of the B characters: lane i reads
-                // b[y - 1 + (VL-1-i)·s].
-                let b_vec = avx2::gather_u8_i32(b, y - 1 + (VL - 1) * s, -(s as isize));
-                let eq = avx2::cmpeq_i32(a_vec, b_vec);
-                let o = avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
-                row[y] = avx2::extract_top_i32(o);
-                let bottom = row[y + VL * s];
-                sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
-                o_prev = o;
-                diag = up;
-                iu += 1;
-                if iu == rlen {
-                    iu = 0;
-                }
-                iw += 1;
-                if iw == rlen {
-                    iw = 0;
+            } else {
+                for y in y0..=y_max {
+                    let up = avx2::from_pack_i32(sc.ring[iu]);
+                    // Strided vloadset of the B characters: lane i reads
+                    // b[y - 1 + (VL-1-i)·s].
+                    let b_vec = avx2::gather_u8_i32(b, y - 1 + (VL - 1) * s, -(s as isize));
+                    let eq = avx2::cmpeq_i32(a_vec, b_vec);
+                    let o =
+                        avx2::blendv_i32(avx2::max_i32(up, o_prev), avx2::add_i32(diag, ones), eq);
+                    row[y] = avx2::extract_top_i32(o);
+                    let bottom = row[y + VL * s];
+                    sc.ring[iw] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                    o_prev = o;
+                    diag = up;
+                    iu += 1;
+                    if iu == rlen {
+                        iu = 0;
+                    }
+                    iw += 1;
+                    if iw == rlen {
+                        iw = 0;
+                    }
                 }
             }
         }
@@ -146,6 +161,7 @@ mod imp {
 /// tiled layer (`tempora_tiling::lcs_rect`) reaches this through its
 /// resolved engine.
 #[cfg(target_arch = "x86_64")]
+// Justification: same tile-contract signature as the portable `tile_seg`.
 #[allow(clippy::too_many_arguments)]
 pub fn tile_seg_avx2(
     row: &mut [i32],

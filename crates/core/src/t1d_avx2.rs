@@ -25,7 +25,6 @@ pub const MAX_STRIDE: usize = 15;
 #[cfg(target_arch = "x86_64")]
 mod imp {
     use super::*;
-    use core::arch::x86_64::*;
     use tempora_simd::arch::avx2;
     use tempora_simd::Pack;
 
@@ -71,20 +70,29 @@ mod imp {
         let mut v0 = ring[1 % ring_len];
         let mut ip1 = 2 % ring_len;
         let mut im1 = 0usize;
-        for x in 1..=x_max {
-            let vp1 = ring[ip1];
-            // w·vm1 + (c·v0 + e·vp1), the same fused tree as the scalar
-            // oracle: l.mul_add(w, m.mul_add(c, r*e)).
-            let o = _mm256_fmadd_pd(vm1, cw, _mm256_fmadd_pd(v0, cc, _mm256_mul_pd(vp1, ce)));
-            // Store the finished top lane a[t+4][x].
-            a[x] = avx2::extract_top(o);
-            // Produce V(x+s): vpermpd rotate + vblendpd bottom insert.
-            let bottom = a[x + VL * s];
-            ring[im1] = avx2::shift_up_insert(o, bottom);
-            vm1 = v0;
-            v0 = vp1;
-            im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
-            ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+        // SAFETY: every unsafe op in the steady-state loop is an AVX2/FMA
+        // intrinsic or `arch::avx2` vocabulary call whose sole
+        // precondition is feature availability — discharged by this fn's
+        // own `#[target_feature(enable = "avx2,fma")]` caller contract.
+        // All grid access (`a[x]`, `a[x + VL·s]`) is checked slice
+        // indexing, in bounds because `tile_prologue` established
+        // `x_max + VL·s ≤ n + 1` for the non-degenerate `n ≥ VL·s` case.
+        unsafe {
+            for x in 1..=x_max {
+                let vp1 = ring[ip1];
+                // w·vm1 + (c·v0 + e·vp1), the same fused tree as the scalar
+                // oracle: l.mul_add(w, m.mul_add(c, r*e)).
+                let o = avx2::fmadd(vm1, cw, avx2::fmadd(v0, cc, avx2::mul(vp1, ce)));
+                // Store the finished top lane a[t+4][x].
+                a[x] = avx2::extract_top(o);
+                // Produce V(x+s): vpermpd rotate + vblendpd bottom insert.
+                let bottom = a[x + VL * s];
+                ring[im1] = avx2::shift_up_insert(o, bottom);
+                vm1 = v0;
+                v0 = vp1;
+                im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
+                ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+            }
         }
 
         // Hand the surviving ring back for the shared epilogue.
@@ -133,18 +141,25 @@ mod imp {
         let mut v0 = ring[1 % ring_len];
         let mut ip1 = 2 % ring_len;
         let mut im1 = 0usize;
-        for x in 1..=x_max {
-            let vp1 = ring[ip1];
-            // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
-            // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
-            let o = _mm256_fmadd_pd(o_prev, cw, _mm256_fmadd_pd(v0, cc, _mm256_mul_pd(vp1, ce)));
-            a[x] = avx2::extract_top(o);
-            let bottom = a[x + VL * s];
-            ring[im1] = avx2::shift_up_insert(o, bottom);
-            o_prev = o;
-            v0 = vp1;
-            im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
-            ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+        // SAFETY: same contract as `tile_avx2`'s steady state — only
+        // feature-gated intrinsics/vocabulary calls (discharged by this
+        // fn's `#[target_feature(enable = "avx2,fma")]`), with all grid
+        // access through checked indexing (`x_max + VL·s ≤ n + 1` per
+        // the prologue).
+        unsafe {
+            for x in 1..=x_max {
+                let vp1 = ring[ip1];
+                // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
+                // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
+                let o = avx2::fmadd(o_prev, cw, avx2::fmadd(v0, cc, avx2::mul(vp1, ce)));
+                a[x] = avx2::extract_top(o);
+                let bottom = a[x + VL * s];
+                ring[im1] = avx2::shift_up_insert(o, bottom);
+                o_prev = o;
+                v0 = vp1;
+                im1 = if im1 + 1 == ring_len { 0 } else { im1 + 1 };
+                ip1 = if ip1 + 1 == ring_len { 0 } else { ip1 + 1 };
+            }
         }
 
         let mut back = [Pack::<f64, 4>::splat(0.0); 17];
@@ -251,6 +266,7 @@ pub fn run_heat1d_auto(
     steps: usize,
     s: usize,
 ) -> Grid1<f64> {
+    // Justification: this deprecated wrapper forwards to the deprecated engine entry point.
     #[allow(deprecated)]
     crate::engine::run_heat1d(crate::engine::Select::Auto, grid, kern, steps, s).0
 }
@@ -318,6 +334,7 @@ mod tests {
     }
 
     #[test]
+    // Justification: exercises the deprecated auto-dispatch wrapper until its removal.
     #[allow(deprecated)]
     fn auto_dispatch_matches_portable() {
         let c = Heat1dCoeffs::new(0.3, 0.45, 0.25);

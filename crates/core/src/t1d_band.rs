@@ -253,7 +253,6 @@ pub fn band_temporal_gs_avx2(
 mod imp {
     use super::{Pack, MAX_BAND_STRIDE, RING_CAP};
     use crate::kernels::GsKern1d;
-    use core::arch::x86_64::*;
     use tempora_simd::arch::avx2;
 
     /// The AVX2 steady state of one skewed Gauss-Seidel band: identical
@@ -278,38 +277,47 @@ mod imp {
         const VL: usize = 4;
         debug_assert!(s <= MAX_BAND_STRIDE);
         let rlen = s + 1;
-        let cw = avx2::splat(kern.0.w);
-        let cc = avx2::splat(kern.0.c);
-        let ce = avx2::splat(kern.0.e);
+        // SAFETY: every unsafe op below is an AVX2/FMA intrinsic or an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // band accesses use checked slice indexing; the deepest read
+        // `a[x_max + VL·s]` is in bounds because `vector_band_shape`
+        // verified `x_max + VL·s ≤ a.len() - 1` before dispatch.
+        unsafe {
+            let cw = avx2::splat(kern.0.w);
+            let cc = avx2::splat(kern.0.c);
+            let ce = avx2::splat(kern.0.e);
 
-        let mut ring = [avx2::splat(0.0); RING_CAP];
-        for k in 0..rlen {
-            ring[k] = avx2::from_pack(ring_init[k]);
-        }
-        let mut o_prev = avx2::from_pack(o_prev0);
-        let mut v0 = ring[x_start % rlen];
-        let mut ip1 = (x_start + 1) % rlen;
-        // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
-        let mut ips = (x_start + s) % rlen;
-        for x in x_start..=x_max {
-            let vp1 = ring[ip1];
-            // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
-            // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
-            let o = _mm256_fmadd_pd(o_prev, cw, _mm256_fmadd_pd(v0, cc, _mm256_mul_pd(vp1, ce)));
-            a[x] = avx2::extract_top(o);
-            let bottom = a[x + VL * s];
-            ring[ips] = avx2::shift_up_insert(o, bottom);
-            o_prev = o;
-            v0 = vp1;
-            ips = if ips + 1 == rlen { 0 } else { ips + 1 };
-            ip1 = if ip1 + 1 == rlen { 0 } else { ip1 + 1 };
-        }
+            let mut ring = [avx2::splat(0.0); RING_CAP];
+            for k in 0..rlen {
+                ring[k] = avx2::from_pack(ring_init[k]);
+            }
+            let mut o_prev = avx2::from_pack(o_prev0);
+            let mut v0 = ring[x_start % rlen];
+            let mut ip1 = (x_start + 1) % rlen;
+            // V(x+s) replaces the dead V(x-1) slot ((x+s) ≡ x-1 mod s+1).
+            let mut ips = (x_start + s) % rlen;
+            for x in x_start..=x_max {
+                let vp1 = ring[ip1];
+                // w·O(x-1) + (c·v0 + e·vp1), the same fused tree as the
+                // scalar oracle: l_new.mul_add(w, m.mul_add(c, r*e)).
+                let o = avx2::fmadd(o_prev, cw, avx2::fmadd(v0, cc, avx2::mul(vp1, ce)));
+                a[x] = avx2::extract_top(o);
+                let bottom = a[x + VL * s];
+                ring[ips] = avx2::shift_up_insert(o, bottom);
+                o_prev = o;
+                v0 = vp1;
+                ips = if ips + 1 == rlen { 0 } else { ips + 1 };
+                ip1 = if ip1 + 1 == rlen { 0 } else { ip1 + 1 };
+            }
 
-        let mut back = [Pack::<f64, 4>::splat(0.0); RING_CAP];
-        for k in 0..rlen {
-            back[k] = avx2::to_pack(ring[k]);
+            let mut back = [Pack::<f64, 4>::splat(0.0); RING_CAP];
+            for k in 0..rlen {
+                back[k] = avx2::to_pack(ring[k]);
+            }
+            (back, avx2::to_pack(o_prev))
         }
-        (back, avx2::to_pack(o_prev))
     }
 }
 

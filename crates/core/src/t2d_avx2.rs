@@ -29,8 +29,8 @@ use tempora_simd::Scalar;
 mod imp {
     use super::*;
     use crate::kernels::{BoxKern2d, GsKern2d, JacobiKern2d, LifeKern2d};
-    use core::arch::x86_64::{__m256d, __m256i};
     use tempora_simd::arch::avx2;
+    use tempora_simd::arch::avx2::{__m256d, __m256i};
 
     /// AVX2 steady state of the Heat-2D (2D5P star Jacobi) tile: same
     /// loop structure as [`t2d::tile_steady`], with the west/centre packs
@@ -56,41 +56,50 @@ mod imp {
         let cc = avx2::splat(kern.0.cc);
         let ce = avx2::splat(kern.0.ce);
         let cs = avx2::splat(kern.0.cs);
-        for x in 1..=x_max {
-            let im1 = (x - 1) % rlen;
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wrow = core::mem::take(&mut sc.ring[ips]);
-            {
-                let rm1 = &sc.ring[im1];
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                let mut w = avx2::from_pack(r0[0]);
-                let mut m = avx2::from_pack(r0[1]);
-                for y in 1..=ny {
-                    let e = avx2::from_pack(r0[y + 1]);
-                    let n = avx2::from_pack(rm1[y]);
-                    let sth = avx2::from_pack(rp1[y]);
-                    // n·cn + (w·cw + (m·cc + (e·ce + s·cs))), the same
-                    // fused tree as Heat2dCoeffs::apply.
-                    let o = avx2::fmadd(
-                        n,
-                        cn,
-                        avx2::fmadd(
-                            w,
-                            cw,
-                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
-                        ),
-                    );
-                    a[x * p + y] = avx2::extract_top(o);
-                    let bottom = a[(x + VL * s) * p + y];
-                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
-                    w = m;
-                    m = e;
+        // SAFETY: every unsafe op in the steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·p + y]` is in bounds because the shared
+        // prologue established `x_max + VL·s ≤ nx + 1`.
+        unsafe {
+            for x in 1..=x_max {
+                let im1 = (x - 1) % rlen;
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wrow = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let rm1 = &sc.ring[im1];
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    let mut w = avx2::from_pack(r0[0]);
+                    let mut m = avx2::from_pack(r0[1]);
+                    for y in 1..=ny {
+                        let e = avx2::from_pack(r0[y + 1]);
+                        let n = avx2::from_pack(rm1[y]);
+                        let sth = avx2::from_pack(rp1[y]);
+                        // n·cn + (w·cw + (m·cc + (e·ce + s·cs))), the same
+                        // fused tree as Heat2dCoeffs::apply.
+                        let o = avx2::fmadd(
+                            n,
+                            cn,
+                            avx2::fmadd(
+                                w,
+                                cw,
+                                avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                            ),
+                        );
+                        a[x * p + y] = avx2::extract_top(o);
+                        let bottom = a[(x + VL * s) * p + y];
+                        wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                        w = m;
+                        m = e;
+                    }
                 }
+                sc.ring[ips] = wrow;
             }
-            sc.ring[ips] = wrow;
         }
     }
 
@@ -113,52 +122,61 @@ mod imp {
         let a = g.data_mut();
         let c: [[__m256d; 3]; 3] =
             core::array::from_fn(|i| core::array::from_fn(|j| avx2::splat(kern.0.c[i][j])));
-        for x in 1..=x_max {
-            let im1 = (x - 1) % rlen;
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wrow = core::mem::take(&mut sc.ring[ips]);
-            {
-                let rm1 = &sc.ring[im1];
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                let mut w = avx2::from_pack(r0[0]);
-                let mut m = avx2::from_pack(r0[1]);
-                for y in 1..=ny {
-                    let e = avx2::from_pack(r0[y + 1]);
-                    // Row-major 3×3 fused chain, identical to
-                    // Box2dCoeffs::apply.
-                    let v: [[__m256d; 3]; 3] = [
-                        [
-                            avx2::from_pack(rm1[y - 1]),
-                            avx2::from_pack(rm1[y]),
-                            avx2::from_pack(rm1[y + 1]),
-                        ],
-                        [w, m, e],
-                        [
-                            avx2::from_pack(rp1[y - 1]),
-                            avx2::from_pack(rp1[y]),
-                            avx2::from_pack(rp1[y + 1]),
-                        ],
-                    ];
-                    let mut o = avx2::mul(v[2][2], c[2][2]);
-                    o = avx2::fmadd(v[2][1], c[2][1], o);
-                    o = avx2::fmadd(v[2][0], c[2][0], o);
-                    o = avx2::fmadd(v[1][2], c[1][2], o);
-                    o = avx2::fmadd(v[1][1], c[1][1], o);
-                    o = avx2::fmadd(v[1][0], c[1][0], o);
-                    o = avx2::fmadd(v[0][2], c[0][2], o);
-                    o = avx2::fmadd(v[0][1], c[0][1], o);
-                    o = avx2::fmadd(v[0][0], c[0][0], o);
-                    a[x * p + y] = avx2::extract_top(o);
-                    let bottom = a[(x + VL * s) * p + y];
-                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
-                    w = m;
-                    m = e;
+        // SAFETY: every unsafe op in the steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·p + y]` is in bounds because the shared
+        // prologue established `x_max + VL·s ≤ nx + 1`.
+        unsafe {
+            for x in 1..=x_max {
+                let im1 = (x - 1) % rlen;
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wrow = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let rm1 = &sc.ring[im1];
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    let mut w = avx2::from_pack(r0[0]);
+                    let mut m = avx2::from_pack(r0[1]);
+                    for y in 1..=ny {
+                        let e = avx2::from_pack(r0[y + 1]);
+                        // Row-major 3×3 fused chain, identical to
+                        // Box2dCoeffs::apply.
+                        let v: [[__m256d; 3]; 3] = [
+                            [
+                                avx2::from_pack(rm1[y - 1]),
+                                avx2::from_pack(rm1[y]),
+                                avx2::from_pack(rm1[y + 1]),
+                            ],
+                            [w, m, e],
+                            [
+                                avx2::from_pack(rp1[y - 1]),
+                                avx2::from_pack(rp1[y]),
+                                avx2::from_pack(rp1[y + 1]),
+                            ],
+                        ];
+                        let mut o = avx2::mul(v[2][2], c[2][2]);
+                        o = avx2::fmadd(v[2][1], c[2][1], o);
+                        o = avx2::fmadd(v[2][0], c[2][0], o);
+                        o = avx2::fmadd(v[1][2], c[1][2], o);
+                        o = avx2::fmadd(v[1][1], c[1][1], o);
+                        o = avx2::fmadd(v[1][0], c[1][0], o);
+                        o = avx2::fmadd(v[0][2], c[0][2], o);
+                        o = avx2::fmadd(v[0][1], c[0][1], o);
+                        o = avx2::fmadd(v[0][0], c[0][0], o);
+                        a[x * p + y] = avx2::extract_top(o);
+                        let bottom = a[(x + VL * s) * p + y];
+                        wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                        w = m;
+                        m = e;
+                    }
                 }
+                sc.ring[ips] = wrow;
             }
-            sc.ring[ips] = wrow;
         }
     }
 
@@ -188,41 +206,50 @@ mod imp {
         let cc = avx2::splat(kern.0.cc);
         let ce = avx2::splat(kern.0.ce);
         let cs = avx2::splat(kern.0.cs);
-        for x in 1..=x_max {
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wrow = core::mem::take(&mut sc.ring[ips]);
-            {
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
-                let mut m = avx2::from_pack(r0[1]);
-                for y in 1..=ny {
-                    let e = avx2::from_pack(r0[y + 1]);
-                    let sth = avx2::from_pack(rp1[y]);
-                    let n_new = avx2::from_pack(sc.o_prev[y]);
-                    // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
-                    // the same fused tree as Gs2dCoeffs::apply.
-                    let o = avx2::fmadd(
-                        n_new,
-                        cn,
-                        avx2::fmadd(
-                            o_west,
-                            cw,
-                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
-                        ),
-                    );
-                    a[x * p + y] = avx2::extract_top(o);
-                    let bottom = a[(x + VL * s) * p + y];
-                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
-                    sc.o_cur[y] = avx2::to_pack(o);
-                    o_west = o;
-                    m = e;
+        // SAFETY: every unsafe op in the steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·p + y]` is in bounds because the shared
+        // prologue established `x_max + VL·s ≤ nx + 1`.
+        unsafe {
+            for x in 1..=x_max {
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wrow = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
+                    let mut m = avx2::from_pack(r0[1]);
+                    for y in 1..=ny {
+                        let e = avx2::from_pack(r0[y + 1]);
+                        let sth = avx2::from_pack(rp1[y]);
+                        let n_new = avx2::from_pack(sc.o_prev[y]);
+                        // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
+                        // the same fused tree as Gs2dCoeffs::apply.
+                        let o = avx2::fmadd(
+                            n_new,
+                            cn,
+                            avx2::fmadd(
+                                o_west,
+                                cw,
+                                avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                            ),
+                        );
+                        a[x * p + y] = avx2::extract_top(o);
+                        let bottom = a[(x + VL * s) * p + y];
+                        wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                        sc.o_cur[y] = avx2::to_pack(o);
+                        o_west = o;
+                        m = e;
+                    }
                 }
+                sc.ring[ips] = wrow;
+                core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
             }
-            sc.ring[ips] = wrow;
-            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
         }
     }
 
@@ -251,48 +278,57 @@ mod imp {
         let birth = avx2::splat_i32(kern.0.birth as i32);
         let delta = avx2::splat_i32(kern.0.survive as i32 - kern.0.birth as i32);
         let one = avx2::splat_i32(1);
-        for x in 1..=x_max {
-            let im1 = (x - 1) % rlen;
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wrow = core::mem::take(&mut sc.ring[ips]);
-            {
-                let rm1 = &sc.ring[im1];
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                let mut w = avx2::from_pack_i32(r0[0]);
-                let mut m = avx2::from_pack_i32(r0[1]);
-                for y in 1..=ny {
-                    let e = avx2::from_pack_i32(r0[y + 1]);
-                    // Neighbour-sum tree over the eight box neighbours
-                    // (wrapping adds are associative, so the tree order
-                    // is free to maximize ILP while staying bit-identical
-                    // to the portable left-to-right sum).
-                    let n: [__m256i; 6] = [
-                        avx2::from_pack_i32(rm1[y - 1]),
-                        avx2::from_pack_i32(rm1[y]),
-                        avx2::from_pack_i32(rm1[y + 1]),
-                        avx2::from_pack_i32(rp1[y - 1]),
-                        avx2::from_pack_i32(rp1[y]),
-                        avx2::from_pack_i32(rp1[y + 1]),
-                    ];
-                    let sum = avx2::add_i32(
-                        avx2::add_i32(avx2::add_i32(n[0], n[1]), avx2::add_i32(n[2], n[3])),
-                        avx2::add_i32(avx2::add_i32(n[4], n[5]), avx2::add_i32(w, e)),
-                    );
-                    // Rule table: mask = birth + cur·(survive - birth);
-                    // out = (mask >> sum) & 1.
-                    let mask = avx2::add_i32(birth, avx2::mullo_i32(m, delta));
-                    let o = avx2::and_i32(avx2::srav_i32(mask, sum), one);
-                    a[x * p + y] = avx2::extract_top_i32(o);
-                    let bottom = a[(x + VL * s) * p + y];
-                    wrow[y] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
-                    w = m;
-                    m = e;
+        // SAFETY: every unsafe op in the steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is AVX2
+        // availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·p + y]` is in bounds because the shared
+        // prologue established `x_max + VL·s ≤ nx + 1`.
+        unsafe {
+            for x in 1..=x_max {
+                let im1 = (x - 1) % rlen;
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wrow = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let rm1 = &sc.ring[im1];
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    let mut w = avx2::from_pack_i32(r0[0]);
+                    let mut m = avx2::from_pack_i32(r0[1]);
+                    for y in 1..=ny {
+                        let e = avx2::from_pack_i32(r0[y + 1]);
+                        // Neighbour-sum tree over the eight box neighbours
+                        // (wrapping adds are associative, so the tree order
+                        // is free to maximize ILP while staying bit-identical
+                        // to the portable left-to-right sum).
+                        let n: [__m256i; 6] = [
+                            avx2::from_pack_i32(rm1[y - 1]),
+                            avx2::from_pack_i32(rm1[y]),
+                            avx2::from_pack_i32(rm1[y + 1]),
+                            avx2::from_pack_i32(rp1[y - 1]),
+                            avx2::from_pack_i32(rp1[y]),
+                            avx2::from_pack_i32(rp1[y + 1]),
+                        ];
+                        let sum = avx2::add_i32(
+                            avx2::add_i32(avx2::add_i32(n[0], n[1]), avx2::add_i32(n[2], n[3])),
+                            avx2::add_i32(avx2::add_i32(n[4], n[5]), avx2::add_i32(w, e)),
+                        );
+                        // Rule table: mask = birth + cur·(survive - birth);
+                        // out = (mask >> sum) & 1.
+                        let mask = avx2::add_i32(birth, avx2::mullo_i32(m, delta));
+                        let o = avx2::and_i32(avx2::srav_i32(mask, sum), one);
+                        a[x * p + y] = avx2::extract_top_i32(o);
+                        let bottom = a[(x + VL * s) * p + y];
+                        wrow[y] = avx2::to_pack_i32(avx2::shift_up_insert_i32(o, bottom));
+                        w = m;
+                        m = e;
+                    }
                 }
+                sc.ring[ips] = wrow;
             }
-            sc.ring[ips] = wrow;
         }
     }
 }

@@ -306,45 +306,54 @@ mod imp {
         let cc = avx2::splat(kern.0.cc);
         let ce = avx2::splat(kern.0.ce);
         let cs = avx2::splat(kern.0.cs);
-        for x in x_start..=x_max {
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wrow = core::mem::take(&mut sc.ring[ips]);
-            {
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
-                let mut m = avx2::from_pack(r0[1]);
-                for y in 1..=ny {
-                    let e = avx2::from_pack(r0[y + 1]);
-                    let sth = avx2::from_pack(rp1[y]);
-                    let n_new = avx2::from_pack(sc.o_prev[y]);
-                    // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
-                    // the same fused tree as Gs2dCoeffs::apply.
-                    let o = avx2::fmadd(
-                        n_new,
-                        cn,
-                        avx2::fmadd(
-                            o_west,
-                            cw,
-                            avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
-                        ),
-                    );
-                    a[x * p + y] = avx2::extract_top(o);
-                    let bottom = a[(x + VL * s) * p + y];
-                    wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
-                    sc.o_cur[y] = avx2::to_pack(o);
-                    o_west = o;
-                    m = e;
+        // SAFETY: every unsafe op in the band steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·p + y]` is in bounds because the band
+        // shape check verified `x_max + VL·s ≤ nx + 1` before dispatch.
+        unsafe {
+            for x in x_start..=x_max {
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wrow = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    let mut o_west = avx2::splat(bc); // O(x, 0): y-boundary
+                    let mut m = avx2::from_pack(r0[1]);
+                    for y in 1..=ny {
+                        let e = avx2::from_pack(r0[y + 1]);
+                        let sth = avx2::from_pack(rp1[y]);
+                        let n_new = avx2::from_pack(sc.o_prev[y]);
+                        // new_n·cn + (new_w·cw + (m·cc + (e·ce + s·cs))),
+                        // the same fused tree as Gs2dCoeffs::apply.
+                        let o = avx2::fmadd(
+                            n_new,
+                            cn,
+                            avx2::fmadd(
+                                o_west,
+                                cw,
+                                avx2::fmadd(m, cc, avx2::fmadd(e, ce, avx2::mul(sth, cs))),
+                            ),
+                        );
+                        a[x * p + y] = avx2::extract_top(o);
+                        let bottom = a[(x + VL * s) * p + y];
+                        wrow[y] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                        sc.o_cur[y] = avx2::to_pack(o);
+                        o_west = o;
+                        m = e;
+                    }
+                    wrow[0] = Pack::splat(bc);
+                    wrow[ny + 1] = Pack::splat(bc);
                 }
-                wrow[0] = Pack::splat(bc);
-                wrow[ny + 1] = Pack::splat(bc);
+                sc.ring[ips] = wrow;
+                core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
+                sc.o_cur[0] = Pack::splat(bc);
+                sc.o_cur[ny + 1] = Pack::splat(bc);
             }
-            sc.ring[ips] = wrow;
-            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
-            sc.o_cur[0] = Pack::splat(bc);
-            sc.o_cur[ny + 1] = Pack::splat(bc);
         }
     }
 }

@@ -374,67 +374,76 @@ mod imp {
         let czp = avx2::splat(kern.0.czp);
         let cyp = avx2::splat(kern.0.cyp);
         let cxp = avx2::splat(kern.0.cxp);
-        for x in x_start..=x_max {
-            let i0 = x % rlen;
-            let ip1 = (x + 1) % rlen;
-            let ips = (x + s) % rlen;
-            let mut wplane = core::mem::take(&mut sc.ring[ips]);
-            {
-                let r0 = &sc.ring[i0];
-                let rp1 = &sc.ring[ip1];
-                for y in 1..=ny {
-                    let mut o_z = avx2::splat(bc); // O(x, y, 0): z-boundary
-                    let mut m = avx2::from_pack(r0[lp(y, 1)]);
-                    for z in 1..=nz {
-                        let idx = lp(y, z);
-                        let zp = avx2::from_pack(r0[idx + 1]);
-                        let yp = avx2::from_pack(r0[idx + wz]);
-                        let xp = avx2::from_pack(rp1[idx]);
-                        let new_xm = avx2::from_pack(sc.o_prev[idx]);
-                        let new_ym = avx2::from_pack(sc.o_cur[idx - wz]);
-                        // The same fused tree as Gs3dCoeffs::apply.
-                        let o = avx2::fmadd(
-                            new_xm,
-                            cxm,
-                            avx2::fmadd(
-                                new_ym,
-                                cym,
+        // SAFETY: every unsafe op in the band steady-state loop is an
+        // `arch::avx2` vocabulary call whose sole precondition is
+        // AVX2/FMA availability — discharged by this fn's own
+        // `#[target_feature(enable = "avx2,fma")]` caller contract. All
+        // grid and ring accesses use checked slice indexing; the deepest
+        // read `a[(x_max + VL·s)·pl + …]` is in bounds because the band
+        // shape check verified `x_max + VL·s ≤ nx + 1` before dispatch.
+        unsafe {
+            for x in x_start..=x_max {
+                let i0 = x % rlen;
+                let ip1 = (x + 1) % rlen;
+                let ips = (x + s) % rlen;
+                let mut wplane = core::mem::take(&mut sc.ring[ips]);
+                {
+                    let r0 = &sc.ring[i0];
+                    let rp1 = &sc.ring[ip1];
+                    for y in 1..=ny {
+                        let mut o_z = avx2::splat(bc); // O(x, y, 0): z-boundary
+                        let mut m = avx2::from_pack(r0[lp(y, 1)]);
+                        for z in 1..=nz {
+                            let idx = lp(y, z);
+                            let zp = avx2::from_pack(r0[idx + 1]);
+                            let yp = avx2::from_pack(r0[idx + wz]);
+                            let xp = avx2::from_pack(rp1[idx]);
+                            let new_xm = avx2::from_pack(sc.o_prev[idx]);
+                            let new_ym = avx2::from_pack(sc.o_cur[idx - wz]);
+                            // The same fused tree as Gs3dCoeffs::apply.
+                            let o = avx2::fmadd(
+                                new_xm,
+                                cxm,
                                 avx2::fmadd(
-                                    o_z,
-                                    czm,
+                                    new_ym,
+                                    cym,
                                     avx2::fmadd(
-                                        m,
-                                        cc,
+                                        o_z,
+                                        czm,
                                         avx2::fmadd(
-                                            zp,
-                                            czp,
-                                            avx2::fmadd(yp, cyp, avx2::mul(xp, cxp)),
+                                            m,
+                                            cc,
+                                            avx2::fmadd(
+                                                zp,
+                                                czp,
+                                                avx2::fmadd(yp, cyp, avx2::mul(xp, cxp)),
+                                            ),
                                         ),
                                     ),
                                 ),
-                            ),
-                        );
-                        a[x * pl + y * p + z] = avx2::extract_top(o);
-                        let bottom = a[(x + VL * s) * pl + y * p + z];
-                        wplane[idx] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
-                        sc.o_cur[idx] = avx2::to_pack(o);
-                        o_z = o;
-                        m = zp;
+                            );
+                            a[x * pl + y * p + z] = avx2::extract_top(o);
+                            let bottom = a[(x + VL * s) * pl + y * p + z];
+                            wplane[idx] = avx2::to_pack(avx2::shift_up_insert(o, bottom));
+                            sc.o_cur[idx] = avx2::to_pack(o);
+                            o_z = o;
+                            m = zp;
+                        }
+                    }
+                    for z in 0..wz {
+                        wplane[lp(0, z)] = Pack::splat(bc);
+                        wplane[lp(ny + 1, z)] = Pack::splat(bc);
+                    }
+                    for y in 1..=ny {
+                        wplane[lp(y, 0)] = Pack::splat(bc);
+                        wplane[lp(y, nz + 1)] = Pack::splat(bc);
                     }
                 }
+                sc.ring[ips] = wplane;
+                core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
                 for z in 0..wz {
-                    wplane[lp(0, z)] = Pack::splat(bc);
-                    wplane[lp(ny + 1, z)] = Pack::splat(bc);
+                    sc.o_cur[lp(0, z)] = Pack::splat(bc);
                 }
-                for y in 1..=ny {
-                    wplane[lp(y, 0)] = Pack::splat(bc);
-                    wplane[lp(y, nz + 1)] = Pack::splat(bc);
-                }
-            }
-            sc.ring[ips] = wplane;
-            core::mem::swap(&mut sc.o_prev, &mut sc.o_cur);
-            for z in 0..wz {
-                sc.o_cur[lp(0, z)] = Pack::splat(bc);
             }
         }
     }

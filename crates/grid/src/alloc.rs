@@ -29,6 +29,8 @@ static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 /// aligned-buffer allocations performed since the `before` snapshot
 /// (across all threads).
 pub fn alloc_count() -> u64 {
+    // Ordering: Relaxed — a monotonic statistics counter; callers compare
+    // snapshots taken on one thread, no cross-thread data is published.
     ALLOC_COUNT.load(Ordering::Relaxed)
 }
 
@@ -57,6 +59,8 @@ impl<T: Scalar> AlignedBuf<T> {
                 len: 0,
             };
         }
+        // Ordering: Relaxed — a monotonic statistics counter; the count is
+        // the only shared state and no other memory rides on this edge.
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
         let layout = Self::layout(len);
         // SAFETY: layout has non-zero size (len > 0) and valid alignment.

@@ -1,0 +1,152 @@
+//! Thread-to-core pinning via raw `sched_{get,set}affinity` syscalls.
+//!
+//! The workspace vendors no libc, so on Linux/x86_64 the two syscalls
+//! are issued directly with inline assembly; every other target
+//! compiles to an honest "unsupported" stub and pinning is a no-op.
+//!
+//! This module is the workspace's **only** sanctioned home for inline
+//! `asm!` outside `tempora_simd::arch` — `cargo xtask audit` bans the
+//! construct everywhere else. Keeping the syscall surface in one small
+//! leaf module keeps the unsafe boundary auditable: everything above it
+//! (worker startup, `Pool::with_config`, drop-time restore) is safe
+//! code over the four `pub(crate)` entry points below.
+
+/// Bits per mask word.
+const WORD_BITS: usize = 64;
+/// Words in a 1024-bit CPU mask (the kernel's default ceiling).
+const MASK_WORDS: usize = 1024 / WORD_BITS;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+mod sys {
+    use super::MASK_WORDS;
+
+    const SYS_SCHED_SETAFFINITY: isize = 203;
+    const SYS_SCHED_GETAFFINITY: isize = 204;
+
+    /// Issue a 3-argument Linux syscall; returns the raw kernel
+    /// result (negative errno on failure).
+    ///
+    /// # Safety
+    /// `num` must be a syscall whose three arguments are plain values
+    /// or pointers valid for the kernel's access pattern; for the two
+    /// affinity syscalls used here, `a3` must point to at least `a2`
+    /// bytes of (writable, for GET) memory.
+    unsafe fn syscall3(num: isize, a1: usize, a2: usize, a3: usize) -> isize {
+        let mut ret = num;
+        // SAFETY: the `syscall` instruction with the x86-64 Linux ABI —
+        // number in rax, args in rdi/rsi/rdx — clobbers only rcx/r11
+        // (declared) and rax (inout). The caller's contract guarantees
+        // the pointed-to mask buffer outlives and fits the call, and
+        // `options(nostack)` holds: no stack access is performed.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inout("rax") ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// The calling thread's affinity mask, or `None` if the kernel
+    /// refused (the capability probe).
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: `mask` is a live, writable 128-byte buffer on this
+        // frame and `size_of_val(&mask)` is exactly its length, so the
+        // kernel's write stays in bounds; arg 0 (pid) means "self".
+        let r = unsafe {
+            syscall3(
+                SYS_SCHED_GETAFFINITY,
+                0,
+                core::mem::size_of_val(&mask),
+                mask.as_mut_ptr() as usize,
+            )
+        };
+        (r > 0).then_some(mask)
+    }
+
+    /// Replace the calling thread's affinity mask; returns success.
+    pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        // SAFETY: `mask` is a live 128-byte buffer borrowed for the
+        // whole call and `size_of_val(mask)` is exactly its length; the
+        // kernel only reads it; arg 0 (pid) means "self".
+        let r = unsafe {
+            syscall3(
+                SYS_SCHED_SETAFFINITY,
+                0,
+                core::mem::size_of_val(mask),
+                mask.as_ptr() as usize,
+            )
+        };
+        r == 0
+    }
+}
+
+// Miri cannot execute inline asm (and there is no kernel to call), so
+// the interpreter — like every non-Linux/x86-64 target — gets the
+// honest "unsupported" stub and pinning becomes a no-op.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64", not(miri))))]
+mod sys {
+    use super::MASK_WORDS;
+
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        None
+    }
+
+    pub fn set_mask(_mask: &[u64; MASK_WORDS]) -> bool {
+        false
+    }
+}
+
+/// A saved affinity mask, used to restore the dispatching thread's
+/// original affinity when a pinned pool is dropped.
+#[derive(Clone, Copy)]
+pub(crate) struct Mask([u64; MASK_WORDS]);
+
+/// Snapshot the calling thread's current affinity mask.
+pub(crate) fn current() -> Option<Mask> {
+    sys::get_mask().map(Mask)
+}
+
+/// Restore a previously saved mask; returns success.
+pub(crate) fn restore(mask: &Mask) -> bool {
+    sys::set_mask(&mask.0)
+}
+
+/// CPU ids the calling thread may currently run on, in ascending
+/// order. Empty when affinity control is unsupported.
+pub(crate) fn available_cpus() -> Vec<usize> {
+    let Some(mask) = sys::get_mask() else {
+        return Vec::new();
+    };
+    let mut cpus = Vec::new();
+    for (w, &word) in mask.iter().enumerate() {
+        for b in 0..WORD_BITS {
+            if word & (1u64 << b) != 0 {
+                cpus.push(w * WORD_BITS + b);
+            }
+        }
+    }
+    cpus
+}
+
+/// Pin the calling thread to a single CPU; returns success.
+pub(crate) fn pin_to(cpu: usize) -> bool {
+    if cpu >= MASK_WORDS * WORD_BITS {
+        return false;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    mask[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
+    sys::set_mask(&mask)
+}
+
+/// Whether this platform supports affinity control at all.
+pub(crate) fn supported() -> bool {
+    sys::get_mask().is_some()
+}

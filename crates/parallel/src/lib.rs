@@ -31,130 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-/// Thread-to-core pinning via raw `sched_{get,set}affinity` syscalls.
-///
-/// The workspace vendors no libc, so on Linux/x86_64 the two syscalls
-/// are issued directly with inline assembly; every other target
-/// compiles to an honest "unsupported" stub and pinning is a no-op.
-mod affinity {
-    /// Bits per mask word.
-    const WORD_BITS: usize = 64;
-    /// Words in a 1024-bit CPU mask (the kernel's default ceiling).
-    const MASK_WORDS: usize = 1024 / WORD_BITS;
-
-    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-    mod sys {
-        use super::MASK_WORDS;
-
-        const SYS_SCHED_SETAFFINITY: isize = 203;
-        const SYS_SCHED_GETAFFINITY: isize = 204;
-
-        /// Issue a 3-argument Linux syscall; returns the raw kernel
-        /// result (negative errno on failure).
-        unsafe fn syscall3(num: isize, a1: usize, a2: usize, a3: usize) -> isize {
-            let mut ret = num;
-            core::arch::asm!(
-                "syscall",
-                inout("rax") ret,
-                in("rdi") a1,
-                in("rsi") a2,
-                in("rdx") a3,
-                out("rcx") _,
-                out("r11") _,
-                options(nostack),
-            );
-            ret
-        }
-
-        /// The calling thread's affinity mask, or `None` if the kernel
-        /// refused (the capability probe).
-        pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
-            let mut mask = [0u64; MASK_WORDS];
-            let r = unsafe {
-                syscall3(
-                    SYS_SCHED_GETAFFINITY,
-                    0,
-                    core::mem::size_of_val(&mask),
-                    mask.as_mut_ptr() as usize,
-                )
-            };
-            (r > 0).then_some(mask)
-        }
-
-        /// Replace the calling thread's affinity mask; returns success.
-        pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
-            let r = unsafe {
-                syscall3(
-                    SYS_SCHED_SETAFFINITY,
-                    0,
-                    core::mem::size_of_val(mask),
-                    mask.as_ptr() as usize,
-                )
-            };
-            r == 0
-        }
-    }
-
-    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
-    mod sys {
-        use super::MASK_WORDS;
-
-        pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
-            None
-        }
-
-        pub fn set_mask(_mask: &[u64; MASK_WORDS]) -> bool {
-            false
-        }
-    }
-
-    /// A saved affinity mask, used to restore the dispatching thread's
-    /// original affinity when a pinned pool is dropped.
-    #[derive(Clone, Copy)]
-    pub(crate) struct Mask([u64; MASK_WORDS]);
-
-    /// Snapshot the calling thread's current affinity mask.
-    pub(crate) fn current() -> Option<Mask> {
-        sys::get_mask().map(Mask)
-    }
-
-    /// Restore a previously saved mask; returns success.
-    pub(crate) fn restore(mask: &Mask) -> bool {
-        sys::set_mask(&mask.0)
-    }
-
-    /// CPU ids the calling thread may currently run on, in ascending
-    /// order. Empty when affinity control is unsupported.
-    pub(crate) fn available_cpus() -> Vec<usize> {
-        let Some(mask) = sys::get_mask() else {
-            return Vec::new();
-        };
-        let mut cpus = Vec::new();
-        for (w, &word) in mask.iter().enumerate() {
-            for b in 0..WORD_BITS {
-                if word & (1u64 << b) != 0 {
-                    cpus.push(w * WORD_BITS + b);
-                }
-            }
-        }
-        cpus
-    }
-
-    /// Pin the calling thread to a single CPU; returns success.
-    pub(crate) fn pin_to(cpu: usize) -> bool {
-        if cpu >= MASK_WORDS * WORD_BITS {
-            return false;
-        }
-        let mut mask = [0u64; MASK_WORDS];
-        mask[cpu / WORD_BITS] |= 1u64 << (cpu % WORD_BITS);
-        sys::set_mask(&mask)
-    }
-
-    /// Whether this platform supports affinity control at all.
-    pub(crate) fn supported() -> bool {
-        sys::get_mask().is_some()
-    }
-}
+mod affinity;
 
 /// Which schedule [`Pool::waves`] dispatches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -209,15 +86,30 @@ impl PoolConfig {
     }
 }
 
-/// A fat pointer to the current region's task, smuggled to the workers.
+/// A type-erased pointer to the current region's task, smuggled to the
+/// workers as a raw data pointer plus a monomorphized call shim.
 ///
 /// The dispatching call blocks until every worker has finished the
-/// region, so the erased lifetime never escapes the borrow.
+/// region, so the erased borrow never outlives the closure it points
+/// to. Plain raw-pointer erasure (no `transmute`, no fabricated
+/// `'static` lifetime) keeps the invariant visible at the single
+/// `unsafe` call site in [`run_region`].
 #[derive(Clone, Copy)]
-struct TaskRef(&'static (dyn Fn(usize) + Sync));
+struct TaskRef {
+    /// Borrow of the dispatching call's closure, erased to `*const ()`.
+    data: *const (),
+    /// Monomorphized shim that casts `data` back to the concrete
+    /// closure type and invokes it.
+    ///
+    /// # Safety (to call)
+    /// `data` must still point to the live closure this shim was
+    /// instantiated for.
+    call: unsafe fn(*const (), usize),
+}
 
-// SAFETY: the underlying closure is Sync and only invoked while the
-// dispatching call keeps the original borrow alive.
+// SAFETY: `data` points to a `Sync` closure (enforced by the
+// `F: Fn(usize) + Sync` bound in `Pool::dispatch`), and it is only
+// invoked while the dispatching call blocks, keeping the closure alive.
 unsafe impl Send for TaskRef {}
 
 /// How a region's index space is handed to the workers.
@@ -340,6 +232,10 @@ impl Pool {
                 std::thread::spawn(move || {
                     if let Some(cpu) = target {
                         if !affinity::pin_to(cpu) {
+                            // Ordering: Release — pairs with the Acquire
+                            // load in `with_config` after the startup
+                            // handshake, so a failed pin is visible once
+                            // `started` reaches its target.
                             shared.pin_ok.store(false, Ordering::Release);
                         }
                     }
@@ -370,6 +266,8 @@ impl Pool {
                 shared.done_cv.wait(&mut st);
             }
         }
+        // Ordering: Acquire — pairs with each worker's Release store so
+        // every pin failure published before the handshake is observed.
         pinned = pinned && shared.pin_ok.load(Ordering::Acquire);
         Pool {
             shared,
@@ -413,16 +311,27 @@ impl Pool {
     }
 
     /// Dispatch one parallel region and block until it completes.
-    fn dispatch(&self, spec: RegionSpec, f: &(dyn Fn(usize) + Sync)) {
-        // Erase the closure's lifetime; the wait below keeps it alive
-        // until every worker is done with it.
-        // SAFETY: see TaskRef — the borrow outlives the region because
-        // this function blocks until `active == 0`.
-        let task = TaskRef(unsafe {
-            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
-        });
+    fn dispatch<F: Fn(usize) + Sync>(&self, spec: RegionSpec, f: &F) {
+        /// Cast the erased pointer back to `F` and run one index.
+        ///
+        /// # Safety
+        /// `data` must point to a live `F` (guaranteed here because
+        /// `dispatch` blocks until every worker finished the region).
+        unsafe fn call_shim<F: Fn(usize)>(data: *const (), i: usize) {
+            // SAFETY: `data` was produced from `&F` two frames up and
+            // that borrow is still held by the blocked `dispatch` call.
+            unsafe { (*(data as *const F))(i) }
+        }
+        // Erase the closure behind a raw pointer; the wait below keeps
+        // the pointee alive until every worker is done with it.
+        let task = TaskRef {
+            data: f as *const F as *const (),
+            call: call_shim::<F>,
+        };
         {
             let mut st = self.shared.state.lock();
+            // Ordering: Relaxed — the reset is published to workers by
+            // the state-mutex release below, not by the atomic itself.
             self.shared.next.store(0, Ordering::Relaxed);
             st.task = Some((task, spec));
             st.active = self.threads - 1;
@@ -529,19 +438,28 @@ impl Pool {
             scratch.counts.resize_with(total, || AtomicUsize::new(0));
             scratch.slots.resize_with(total, || AtomicUsize::new(0));
         }
+        // Ordering (all four init loops/stores): Relaxed — this thread
+        // holds the scratch mutex and has not dispatched yet; the whole
+        // initialized state is published to the workers by the region
+        // handoff in `dispatch` (state-mutex release → condvar wake),
+        // which happens-after every store here.
         for b in 0..n_bands {
             for i in 0..n_blocks {
                 let preds = usize::from(i > 0)
                     + usize::from(b > 0)
                     + usize::from(b > 0 && i + 1 < n_blocks);
+                // Ordering: Relaxed — see the init-block comment above.
                 scratch.counts[b * n_blocks + i].store(preds, Ordering::Relaxed);
             }
         }
         for s in &scratch.slots[..total] {
+            // Ordering: Relaxed — see the init-block comment above.
             s.store(0, Ordering::Relaxed);
         }
         // Only (0, 0) starts with zero predecessors; publish it.
+        // Ordering: Relaxed — see the init-block comment above.
         scratch.slots[0].store(1, Ordering::Relaxed);
+        // Ordering: Relaxed — see the init-block comment above.
         scratch.cursor.store(1, Ordering::Relaxed);
         let scratch = &*scratch;
         // Each worker claims sequential tickets; ticket k spins until
@@ -553,6 +471,11 @@ impl Pool {
         let run_one = move |ticket: usize| {
             let mut spins = 0u32;
             let task = loop {
+                // Ordering: Acquire — pairs with the Release publish in
+                // `release` below; seeing slot != 0 therefore also makes
+                // every predecessor task's stencil writes visible to
+                // this claimer (the happens-before edge the schedule's
+                // correctness rests on).
                 let v = scratch.slots[ticket].load(Ordering::Acquire);
                 if v != 0 {
                     break v - 1;
@@ -570,10 +493,21 @@ impl Pool {
             f(b, i);
             let release = |tb: usize, ti: usize| {
                 let id = tb * n_blocks + ti;
-                // AcqRel chains every predecessor's writes into the
-                // publish below; the claimer's Acquire load sees both.
+                // Ordering: AcqRel — the Release half publishes this
+                // predecessor's stencil writes into the counter; the
+                // Acquire half makes the *other* predecessors' writes
+                // (published by their own decrements) visible to
+                // whichever thread performs the final decrement, so the
+                // Release publish below carries all of them.
                 if scratch.counts[id].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Ordering: Relaxed — the cursor only reserves a
+                    // unique publish slot; the payload is ordered by the
+                    // slot's own Release store below.
                     let p = scratch.cursor.fetch_add(1, Ordering::Relaxed);
+                    // Ordering: Release — pairs with the claimer's
+                    // Acquire load; publishes the task id together with
+                    // every predecessor write chained through the
+                    // AcqRel decrement above.
                     scratch.slots[p].store(id + 1, Ordering::Release);
                 }
             };
@@ -640,20 +574,29 @@ impl Drop for Pool {
 
 /// Execute one region's share of work as worker `id`.
 fn run_region(shared: &PoolShared, id: usize, task: TaskRef, spec: RegionSpec) {
+    // SAFETY (both arms): `task` was published for the current region
+    // by `Pool::dispatch`, which blocks until this worker reports done,
+    // so `task.data` still points to the live closure `task.call` was
+    // monomorphized for.
     match spec {
         RegionSpec::Dynamic { n, chunk } => loop {
+            // Ordering: Relaxed — the counter only parcels out index
+            // ranges; the task closure itself was published through the
+            // state mutex, and claimers need no cross-claim ordering.
             let start = shared.next.fetch_add(chunk, Ordering::Relaxed);
             if start >= n {
                 break;
             }
             for i in start..(start + chunk).min(n) {
-                (task.0)(i);
+                // SAFETY: see above — the closure outlives the region.
+                unsafe { (task.call)(task.data, i) };
             }
         },
         RegionSpec::Owned { n } => {
             let t = shared.threads;
             for i in (id * n / t)..((id + 1) * n / t) {
-                (task.0)(i);
+                // SAFETY: see above — the closure outlives the region.
+                unsafe { (task.call)(task.data, i) };
             }
         }
     }
@@ -700,8 +643,11 @@ pub struct SyncSlice<'a, T> {
 }
 
 // SAFETY: access discipline is delegated to the caller per the type docs;
-// the pointer itself is valid for 'a.
+// the pointer itself is valid for 'a and T is plain Send data.
 unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+// SAFETY: sharing the handle only exposes `slice_mut`, whose own
+// contract requires disjoint (or happens-before-ordered) access; the
+// handle itself holds no thread-affine state.
 unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
 
 impl<'a, T> SyncSlice<'a, T> {
@@ -731,9 +677,15 @@ impl<'a, T> SyncSlice<'a, T> {
     /// (from any thread) access overlapping index ranges, and that reads
     /// of ranges written by other tasks happen only after those tasks
     /// completed (e.g. across a pool barrier or a wavefront dependence).
+    // Returning `&mut` from `&self` is this type's entire purpose: the
+    // disjointness proof lives with the caller, per the contract below.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self) -> &mut [T] {
-        core::slice::from_raw_parts_mut(self.ptr, self.len)
+        // SAFETY: `ptr`/`len` come from the `&'a mut [T]` captured in
+        // `new`, so the region is valid and writable for 'a; aliasing
+        // between the returned borrows is excluded by this method's
+        // caller contract (disjoint index ranges or happens-before).
+        unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 }
 
@@ -919,5 +871,148 @@ mod tests {
     fn pool_sizes() {
         assert_eq!(Pool::new(0).threads(), 1);
         assert!(Pool::max().threads() >= 1);
+    }
+
+    /// Snapshot the wave scratch (counts prefix, slots prefix, cursor)
+    /// for the regression assertions below.
+    fn scratch_state(pool: &Pool, total: usize) -> (Vec<usize>, Vec<usize>, usize) {
+        let sc = pool.shared.wave_scratch.lock();
+        let counts = sc.counts[..total]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let slots = sc.slots[..total]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect();
+        (counts, slots, sc.cursor.load(Ordering::Relaxed))
+    }
+
+    /// Regression: the pipelined queue's `counts`/`slots`/`cursor` must
+    /// re-initialize on every `waves` call, including a *smaller* grid
+    /// reusing scratch that still holds the previous run's state — a
+    /// stale non-zero slot inside the new prefix would release a wrong
+    /// (or out-of-bounds) task id.
+    #[test]
+    fn wave_scratch_resets_across_reuse() {
+        let pool = Pool::new(4);
+        let run = |nb: usize, nc: usize| {
+            let hits: Vec<AtomicUsize> = (0..nb * nc).map(|_| AtomicUsize::new(0)).collect();
+            pool.waves_pipelined(nb, nc, |b, i| {
+                hits[b * nc + i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "coverage hole at {nb}x{nc}"
+            );
+        };
+        for &(nb, nc) in &[(5usize, 7usize), (3, 3), (5, 7), (2, 2)] {
+            run(nb, nc);
+            let total = nb * nc;
+            let (counts, slots, cursor) = scratch_state(&pool, total);
+            // Every task was released, so every predecessor count
+            // drained to zero.
+            assert!(
+                counts.iter().all(|&c| c == 0),
+                "{nb}x{nc}: counts {counts:?}"
+            );
+            // Every task id was published exactly once: the slot prefix
+            // is a permutation of 1..=total (ids stored off-by-one).
+            let mut seen = slots.clone();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (1..=total).collect();
+            assert_eq!(seen, expect, "{nb}x{nc}: slots {slots:?}");
+            // The publish cursor stopped exactly at the grid size.
+            assert_eq!(cursor, total, "{nb}x{nc}");
+        }
+    }
+
+    /// A tiny deterministic PRNG (splitmix64) for the adversarial
+    /// schedules; no external crates, stable across platforms.
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// The adversarial wavefront harness (the dynamic complement of the
+    /// static orderings audit): deterministically perturb each task's
+    /// completion time with a seeded busy delay — which permutes the
+    /// dependence-counter queue's release order — and assert that the
+    /// pipelined schedule still computes the exact same dataflow result
+    /// as the barrier schedule and the sequential reference.
+    ///
+    /// Each task `(b, i)` writes one cell from its three predecessors'
+    /// cells, so any missing happens-before edge in the queue (a stale
+    /// read of a predecessor cell) changes the output bitwise.
+    #[test]
+    fn waves_adversarial_release_orders_agree_bitwise() {
+        // Miri executes ~1000x slower and already explores its own
+        // interleavings; shrink the sweep but keep both schedules.
+        let (grids, seeds): (&[(usize, usize)], u64) = if cfg!(miri) {
+            (&[(3, 4)], 2)
+        } else {
+            (&[(5, 7), (2, 9), (8, 3)], 6)
+        };
+        let mix = |a: u64, b: u64, c: u64, t: u64| {
+            splitmix(a ^ b.rotate_left(17) ^ c.rotate_left(34) ^ t)
+        };
+        for &(nb, nc) in grids {
+            // Sequential reference for the dataflow value of each cell.
+            let mut gold = vec![0u64; nb * nc];
+            for b in 0..nb {
+                for i in 0..nc {
+                    let left = if i > 0 { gold[b * nc + i - 1] } else { 7 };
+                    let below = if b > 0 { gold[(b - 1) * nc + i] } else { 11 };
+                    let right = if b > 0 && i + 1 < nc {
+                        gold[(b - 1) * nc + i + 1]
+                    } else {
+                        13
+                    };
+                    gold[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+                }
+            }
+            for threads in [2usize, 4, 8] {
+                let pool = Pool::new(threads);
+                for seed in 0..seeds {
+                    for barrier in [false, true] {
+                        let mut cells = vec![0u64; nb * nc];
+                        let shared = SyncSlice::new(&mut cells);
+                        let task = |b: usize, i: usize| {
+                            // Seeded perturbation: stall this task so its
+                            // successors' releases happen in a different
+                            // order on every (seed, b, i).
+                            let delay = splitmix(seed ^ ((b * nc + i) as u64) << 8) % 500;
+                            for _ in 0..delay {
+                                std::hint::spin_loop();
+                            }
+                            // SAFETY: task (b, i) writes only cell
+                            // b*nc+i and reads only predecessor cells,
+                            // whose tasks completed before this one was
+                            // released (the waves dependence contract).
+                            let cells = unsafe { shared.slice_mut() };
+                            let left = if i > 0 { cells[b * nc + i - 1] } else { 7 };
+                            let below = if b > 0 { cells[(b - 1) * nc + i] } else { 11 };
+                            let right = if b > 0 && i + 1 < nc {
+                                cells[(b - 1) * nc + i + 1]
+                            } else {
+                                13
+                            };
+                            cells[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+                        };
+                        if barrier {
+                            pool.waves_barrier(nb, nc, task);
+                        } else {
+                            pool.waves_pipelined(nb, nc, task);
+                        }
+                        assert_eq!(
+                            cells, gold,
+                            "{nb}x{nc} threads={threads} seed={seed} barrier={barrier}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

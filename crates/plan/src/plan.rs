@@ -431,6 +431,7 @@ impl PlanBuilder {
     }
 
     /// Construct the executor, resolved engine and tile geometry.
+    // Justification: the boxed executor closure type is spelled out exactly once, here; a type alias would not make it clearer.
     #[allow(clippy::type_complexity)]
     fn build_exec(
         &self,
@@ -555,6 +556,7 @@ impl PlanBuilder {
         }
     }
 
+    // Justification: the boxed executor closure type is spelled out at each plan_* builder; a type alias would not make it clearer.
     #[allow(clippy::type_complexity)]
     fn plan_1d<K: Avx2Exec1d + Copy + Send + 'static>(
         &self,
@@ -627,6 +629,7 @@ impl PlanBuilder {
         }
     }
 
+    // Justification: the boxed executor closure type is spelled out at each plan_* builder; a type alias would not make it clearer.
     #[allow(clippy::type_complexity)]
     fn plan_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy + Send + 'static>(
         &self,
@@ -711,6 +714,7 @@ impl PlanBuilder {
         }
     }
 
+    // Justification: boxed executor closure type plus the 3-D tile geometry; neither an alias nor a params struct would clarify.
     #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn plan_3d<K: Avx2Exec3d + Copy + Send + 'static>(
         &self,
@@ -809,6 +813,7 @@ impl PlanBuilder {
         }
     }
 
+    // Justification: the boxed executor closure type is spelled out at each plan_* builder; a type alias would not make it clearer.
     #[allow(clippy::type_complexity)]
     fn plan_lcs(
         &self,

@@ -18,13 +18,17 @@
 /// On non-x86-64 targets this is always `false` and the portable pack
 /// implementation is used everywhere.
 pub fn avx2_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
+    // Miri interprets portable Rust only — it cannot execute the
+    // `std::arch` intrinsics. Reporting "no AVX2" here routes every
+    // engine::Select dispatch in the workspace onto the portable packs,
+    // which is exactly the path `cargo miri test` is meant to check.
+    #[cfg(any(miri, not(target_arch = "x86_64")))]
     {
         false
+    }
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
     }
 }
 
@@ -33,6 +37,11 @@ pub fn avx2_available() -> bool {
 pub mod avx2 {
     use crate::pack::F64x4;
     use core::arch::x86_64::*;
+
+    // Re-exported so downstream engines can name the register types
+    // without importing `core::arch` themselves (`cargo xtask audit`
+    // bans raw `core::arch` use outside this module).
+    pub use core::arch::x86_64::{__m256d, __m256i};
 
     /// Bit-cast a portable pack to `__m256d`.
     ///
@@ -61,7 +70,10 @@ pub mod avx2 {
     #[inline(always)]
     pub unsafe fn loadu(src: &[f64], at: usize) -> __m256d {
         debug_assert!(at + 4 <= src.len());
-        _mm256_loadu_pd(src.as_ptr().add(at))
+        // SAFETY: caller guarantees `at + 4 <= src.len()`, so the pointer
+        // offset stays inside the slice allocation and the 32-byte
+        // unaligned read covers in-bounds, initialized f64 lanes only.
+        unsafe { _mm256_loadu_pd(src.as_ptr().add(at)) }
     }
 
     /// Unaligned vector store of 4 doubles into `dst[at..at+4]`.
@@ -71,7 +83,10 @@ pub mod avx2 {
     #[inline(always)]
     pub unsafe fn storeu(v: __m256d, dst: &mut [f64], at: usize) {
         debug_assert!(at + 4 <= dst.len());
-        _mm256_storeu_pd(dst.as_mut_ptr().add(at), v)
+        // SAFETY: caller guarantees `at + 4 <= dst.len()`, so the pointer
+        // offset stays inside the exclusive borrow and the 32-byte
+        // unaligned write lands on in-bounds f64 lanes only.
+        unsafe { _mm256_storeu_pd(dst.as_mut_ptr().add(at), v) }
     }
 
     /// Broadcast a scalar to all four lanes.
@@ -135,7 +150,9 @@ pub mod avx2 {
     #[target_feature(enable = "avx2")]
     #[inline]
     pub unsafe fn shift_up_insert(v: __m256d, bottom: f64) -> __m256d {
-        blend_bottom(rotate_up(v), bottom)
+        // SAFETY: both callees require exactly AVX2, which this fn's own
+        // `#[target_feature]` contract already obliges the caller to prove.
+        unsafe { blend_bottom(rotate_up(v), bottom) }
     }
 
     /// Extract the top lane (lane 3).
@@ -159,9 +176,13 @@ pub mod avx2 {
         let i = |k: isize| -> f64 {
             let idx = base as isize + k * stride;
             debug_assert!(idx >= 0 && (idx as usize) < src.len());
-            *src.get_unchecked(idx as usize)
+            // SAFETY: caller guarantees all four gathered indices
+            // `base + k*stride` (k = 0..4) are in bounds for `src`.
+            unsafe { *src.get_unchecked(idx as usize) }
         };
-        _mm256_set_pd(i(3), i(2), i(1), i(0))
+        // SAFETY: `_mm256_set_pd` touches no memory; it is only gated on
+        // AVX, which this fn's caller-proved feature set implies.
+        unsafe { _mm256_set_pd(i(3), i(2), i(1), i(0)) }
     }
 
     /// In-register 4×4 transpose using `vunpcklpd`/`vunpckhpd` plus two
@@ -335,7 +356,9 @@ pub mod avx2 {
     #[target_feature(enable = "avx2")]
     #[inline]
     pub unsafe fn shift_up_insert_i32(v: __m256i, bottom: i32) -> __m256i {
-        blend_bottom_i32(rotate_up_i32(v), bottom)
+        // SAFETY: both callees require exactly AVX2, which this fn's own
+        // `#[target_feature]` contract already obliges the caller to prove.
+        unsafe { blend_bottom_i32(rotate_up_i32(v), bottom) }
     }
 
     /// Extract the top lane (lane 7).
@@ -361,13 +384,22 @@ pub mod avx2 {
         let i = |k: isize| -> i32 {
             let idx = base as isize + k * stride;
             debug_assert!(idx >= 0 && (idx as usize) < src.len());
-            *src.get_unchecked(idx as usize) as i32
+            // SAFETY: caller guarantees all eight gathered indices
+            // `base + k*stride` (k = 0..8) are in bounds for `src`.
+            unsafe { *src.get_unchecked(idx as usize) as i32 }
         };
-        _mm256_setr_epi32(i(0), i(1), i(2), i(3), i(4), i(5), i(6), i(7))
+        // SAFETY: `_mm256_setr_epi32` touches no memory; it is only gated
+        // on AVX, which this fn's caller-proved feature set implies.
+        unsafe { _mm256_setr_epi32(i(0), i(1), i(2), i(3), i(4), i(5), i(6), i(7)) }
     }
 }
 
 #[cfg(all(test, target_arch = "x86_64"))]
+// Justification: every test early-returns unless `avx2_available()`, and
+// each unsafe op is a vocabulary call whose only precondition is that
+// probe — a per-block SAFETY comment would repeat the same sentence
+// dozens of times without adding information.
+#[allow(clippy::undocumented_unsafe_blocks)]
 mod tests {
     use super::avx2::*;
     use super::avx2_available;

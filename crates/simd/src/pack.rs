@@ -266,6 +266,7 @@ impl<const N: usize> Mask<N> {
     /// An inherent method (not the `std::ops::Not` trait) so call sites
     /// read as the mask vocabulary `m.not().and(k)` used throughout.
     #[inline(always)]
+    // Justification: lane-wise logical not; an inherent method keeps call sites trait-import-free.
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Mask(core::array::from_fn(|i| !self.0[i]))

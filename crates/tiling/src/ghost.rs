@@ -269,6 +269,8 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
                 unsafe { &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2] };
             crate::touch_pages(chunk);
             if let Mode::Temporal(s) = mode {
+                // SAFETY: tile t writes only its own scratch slot `[t]`;
+                // slots are disjoint across tiles.
                 let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
                 *sc = t1d::Scratch1d::new(s);
             }
@@ -314,9 +316,11 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
             // scheduling: tile t always runs on the worker that
             // fault_in placed its pages on.
             pool.for_each_owned(*ntiles, |t| {
-                // SAFETY: tile t writes only its own arena chunk; the global
-                // array is only read during this phase.
+                // SAFETY: the global array is only read during this phase,
+                // so overlapping views across tiles never alias a write.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: tile t writes only its own arena chunk; chunks
+                // are disjoint across tiles.
                 let chunk = unsafe {
                     &mut arena_shared.slice_mut()[t * buf_len * 2..t * buf_len * 2 + buf_len]
                 };
@@ -326,9 +330,10 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
             // Phase B: advance private buffers, write back disjoint blocks.
             pool.for_each_owned(*ntiles, |t| {
                 // SAFETY: tile t writes global[a..=b] only — disjoint across
-                // tiles — and reads nothing from the shared array; its arena
-                // chunk and scratch slot are its own.
+                // tiles — and reads nothing else from the shared array.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: tile t touches only its own arena chunk; chunks
+                // are disjoint across tiles.
                 let chunk = unsafe {
                     &mut arena_shared.slice_mut()[t * buf_len * 2..(t + 1) * buf_len * 2]
                 };
@@ -355,6 +360,8 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
                         }
                     }
                     Mode::Temporal(s) => {
+                        // SAFETY: tile t writes only its own scratch slot
+                        // `[t]`; slots are disjoint across tiles.
                         let sc = unsafe { &mut scratch_shared.slice_mut()[t] };
                         match engine {
                             Some(Engine::Avx2) => {
@@ -387,6 +394,7 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi1d` workspace) instead"
 )]
+// Justification: the parameter list is the ghost-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_jacobi_1d<K: Avx2Exec1d + Copy>(
     grid: &Grid1<f64>,
@@ -493,6 +501,7 @@ pub struct GhostJacobi2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> {
 impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
     /// Build a workspace for an `nx × ny` interior with boundary `bc`.
     /// See [`GhostJacobi1d::new`] for the panics contract.
+    // Justification: constructor takes the full tile geometry; see the run_* wrapper rationale.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kern: K,
@@ -575,10 +584,12 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
         let bufs_shared = SyncSlice::new(&mut self.bufs);
         let states_shared = SyncSlice::new(&mut self.states);
         pool.for_each_owned(self.ntiles, |t| {
-            // SAFETY: tile t touches only its own buffer grid and state
-            // slot (the same ownership advance relies on).
+            // SAFETY: tile t touches only its own buffer grid `bufs[t]`
+            // (the same ownership advance relies on).
             let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
             crate::touch_pages(buf.data_mut());
+            // SAFETY: tile t writes only its own state slot `states[t]`;
+            // slots are disjoint across tiles.
             let st = unsafe { &mut states_shared.slice_mut()[t] };
             *st = match mode {
                 Mode::Scalar => TileState2::Rows(vec![T::ZERO; ny + 2], vec![T::ZERO; ny + 2]),
@@ -624,19 +635,22 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
             let bufs_shared = SyncSlice::new(bufs);
             let states_shared = SyncSlice::new(states);
             pool.for_each_owned(*ntiles, |t| {
-                // SAFETY: phase A — tile t writes only bufs[t]; global reads only.
+                // SAFETY: phase A — the global array is only read, so
+                // overlapping views across tiles never alias a write.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: phase A — tile t writes only its own bufs[t].
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
                 let e = tile_extent(t, nx, block, ghost);
                 let rows = e.hi - e.lo + 1;
                 buf.data_mut()[..rows * p].copy_from_slice(&global[e.lo * p..(e.hi + 1) * p]);
             });
             pool.for_each_owned(*ntiles, |t| {
-                // SAFETY: phase B — global writes are the disjoint row blocks
-                // [a, b]; no shared reads; bufs[t] and states[t] are tile t's
-                // own slots.
+                // SAFETY: phase B — tile t's global writes are its own
+                // disjoint row block [a, b]; no shared reads.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: phase B — bufs[t] is tile t's own slot.
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                // SAFETY: phase B — states[t] is tile t's own slot.
                 let st = unsafe { &mut states_shared.slice_mut()[t] };
                 let e = tile_extent(t, nx, block, ghost);
                 match st {
@@ -700,6 +714,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi2d` workspace) instead"
 )]
+// Justification: the parameter list is the ghost-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_jacobi_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy>(
     grid: &Grid2<T>,
@@ -811,6 +826,7 @@ pub struct GhostJacobi3d<K: Avx2Exec3d> {
 impl<K: Avx2Exec3d> GhostJacobi3d<K> {
     /// Build a workspace for an `nx × ny × nz` interior with boundary
     /// `bc`. See [`GhostJacobi1d::new`] for the panics contract.
+    // Justification: constructor takes the full tile geometry; see the run_* wrapper rationale.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kern: K,
@@ -897,10 +913,12 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
         let bufs_shared = SyncSlice::new(&mut self.bufs);
         let states_shared = SyncSlice::new(&mut self.states);
         pool.for_each_owned(self.ntiles, |t| {
-            // SAFETY: tile t touches only its own buffer grid and state
-            // slot (the same ownership advance relies on).
+            // SAFETY: tile t touches only its own buffer grid `bufs[t]`
+            // (the same ownership advance relies on).
             let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
             crate::touch_pages(buf.data_mut());
+            // SAFETY: tile t writes only its own state slot `states[t]`;
+            // slots are disjoint across tiles.
             let st = unsafe { &mut states_shared.slice_mut()[t] };
             *st = match mode {
                 Mode::Scalar => TileState3::Planes(vec![0.0; wp], vec![0.0; wp]),
@@ -947,17 +965,22 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
             let bufs_shared = SyncSlice::new(bufs);
             let states_shared = SyncSlice::new(states);
             pool.for_each_owned(*ntiles, |t| {
-                // SAFETY: phase A — see GhostJacobi2d::advance.
+                // SAFETY: phase A — the global array is only read, so
+                // overlapping views across tiles never alias a write.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: phase A — tile t writes only its own bufs[t].
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
                 let e = tile_extent(t, nx, block, ghost);
                 let slabs = e.hi - e.lo + 1;
                 buf.data_mut()[..slabs * pl].copy_from_slice(&global[e.lo * pl..(e.hi + 1) * pl]);
             });
             pool.for_each_owned(*ntiles, |t| {
-                // SAFETY: phase B — see GhostJacobi2d::advance.
+                // SAFETY: phase B — tile t's global writes are its own
+                // disjoint slab block [a, b]; no shared reads.
                 let global = unsafe { shared.slice_mut() };
+                // SAFETY: phase B — bufs[t] is tile t's own slot.
                 let buf = unsafe { &mut bufs_shared.slice_mut()[t] };
+                // SAFETY: phase B — states[t] is tile t's own slot.
                 let st = unsafe { &mut states_shared.slice_mut()[t] };
                 let e = tile_extent(t, nx, block, ghost);
                 match st {
@@ -1019,6 +1042,7 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `ghost::GhostJacobi3d` workspace) instead"
 )]
+// Justification: the parameter list is the ghost-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_jacobi_3d<K: Avx2Exec3d + Copy>(
     grid: &Grid3<f64>,
@@ -1059,6 +1083,7 @@ mod tests {
 
     /// Workspace-based equivalents of the deprecated one-shot wrappers,
     /// used below so the test suite exercises the current API.
+    // Justification: test helper mirrors the run contract signature.
     #[allow(clippy::too_many_arguments)]
     fn ghost_1d<K: Avx2Exec1d + Copy>(
         grid: &Grid1<f64>,
@@ -1076,6 +1101,7 @@ mod tests {
         (g, w.engine())
     }
 
+    // Justification: test helper mirrors the run contract signature.
     #[allow(clippy::too_many_arguments)]
     fn ghost_2d<T: Scalar, const VL: usize, K: Avx2Exec2d<T> + Copy>(
         grid: &Grid2<T>,
@@ -1208,6 +1234,7 @@ mod tests {
     }
 
     #[test]
+    // Justification: pins the deprecated one-shot wrappers' behavior until their removal.
     #[allow(deprecated)]
     fn deprecated_wrappers_still_work() {
         let c = Heat1dCoeffs::classic(0.25);

@@ -41,6 +41,7 @@ impl TileRun<'_> {
     /// Advance the row segment `[y0, y1]` from level `x0` to `x1`
     /// (exclusive upper), reading `left[h] = lcs[x0+h][y0-1]` and filling
     /// `right[h] = lcs[x0+h][y1]` for `h ∈ 0..=x1-x0`.
+    // Justification: the parameter list is the rectangle-tile contract (sequences, row, columns, scratch, bounds).
     #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
@@ -167,9 +168,10 @@ impl LcsRect {
         let cols_shared = SyncSlice::new(&mut self.cols);
         let scratch_shared = SyncSlice::new(&mut self.scratch);
         pool.for_each_owned(n_slots, |j| {
-            // SAFETY: slot j is written only by its owning worker.
+            // SAFETY: column slot j is written only by its owning worker.
             let col = unsafe { &mut cols_shared.slice_mut()[j] };
             crate::touch_pages(col);
+            // SAFETY: scratch slot j is written only by its owning worker.
             let sc = unsafe { &mut scratch_shared.slice_mut()[j] };
             *sc = ScratchLcs::new(s);
         });
@@ -211,13 +213,12 @@ impl LcsRect {
             let cols_shared = SyncSlice::new(&mut self.cols);
             let scratch_shared = SyncSlice::new(&mut self.scratch);
             pool.waves(n_i, n_j, |i, j| {
-                // SAFETY: tile (i, j) writes row[y0..=y1] (disjoint segments
-                // across same-wave tiles, which differ in j by ≥ 2) and
-                // cols[j+1]; it reads cols[j], written by (i, j-1) on an
-                // earlier wave. The zero column cols[0] is never written.
-                // Scratch slot j is owned by the unique in-flight tile of
-                // block column j.
+                // SAFETY: tile (i, j) writes row[y0..=y1] only — disjoint
+                // segments across same-wave tiles, which differ in j by ≥ 2.
                 let row = unsafe { row_shared.slice_mut() };
+                // SAFETY: tile (i, j) writes cols[j+1] and reads cols[j],
+                // written by (i, j-1) on an earlier wave (dependence edge).
+                // The zero column cols[0] is never written.
                 let cols = unsafe { cols_shared.slice_mut() };
                 let x0 = i * xblock;
                 let x1 = ((i + 1) * xblock).min(la);
@@ -227,6 +228,8 @@ impl LcsRect {
                 let (head, tail) = cols.split_at_mut(j + 1);
                 let left = &head[j];
                 let right = &mut tail[0];
+                // SAFETY: scratch slot j is owned by the unique in-flight
+                // tile of block column j.
                 let sc = unsafe { &mut scratch_shared.slice_mut()[j] };
                 run.run(row, x0, x1, y0, y1, left, right, sc);
             });
@@ -241,6 +244,7 @@ impl LcsRect {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse an `lcs_rect::LcsRect` workspace) instead"
 )]
+// Justification: the parameter list is the LCS run contract; a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_lcs(
     a: &[u8],
@@ -374,6 +378,7 @@ mod tests {
     }
 
     #[test]
+    // Justification: pins the deprecated one-shot wrapper's behavior until its removal.
     #[allow(deprecated)]
     fn degenerate_shapes_and_deprecated_wrapper() {
         let pool = Pool::new(2);

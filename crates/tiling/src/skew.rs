@@ -249,6 +249,7 @@ impl<K: Avx2Exec1d> SkewGs1d<K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs1d` workspace) instead"
 )]
+// Justification: the parameter list is the skew-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_gs_1d<K: Avx2Exec1d + Copy>(
     grid: &Grid1<f64>,
@@ -290,6 +291,7 @@ pub struct SkewGs2d<K: Avx2Exec2d<f64>> {
 impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
     /// Build a workspace for an `nx × ny` interior. See
     /// [`SkewGs1d::new`] for the panics contract.
+    // Justification: constructor takes the full tile geometry; see the run_* wrapper rationale.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kern: K,
@@ -399,6 +401,9 @@ impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
                     match engine {
                         None => t2d_band::band_scalar_gs2d(g, xlj, xrj, VL, kern),
                         Some(eng) => {
+                            // SAFETY: scratch slot i belongs to block i
+                            // alone; one tile of block i is in flight at a
+                            // time (wavefront dependences).
                             let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
                             match eng {
                                 Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
@@ -427,6 +432,7 @@ impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs2d` workspace) instead"
 )]
+// Justification: the parameter list is the skew-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_gs_2d<K: Avx2Exec2d<f64> + Copy>(
     grid: &Grid2<f64>,
@@ -469,6 +475,7 @@ pub struct SkewGs3d<K: Avx2Exec3d> {
 impl<K: Avx2Exec3d> SkewGs3d<K> {
     /// Build a workspace for an `nx × ny × nz` interior. See
     /// [`SkewGs1d::new`] for the panics contract.
+    // Justification: constructor takes the full tile geometry; see the run_* wrapper rationale.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kern: K,
@@ -576,6 +583,9 @@ impl<K: Avx2Exec3d> SkewGs3d<K> {
                     match engine {
                         None => t3d_band::band_scalar_gs3d(g, xlj, xrj, VL, kern),
                         Some(eng) => {
+                            // SAFETY: scratch slot i belongs to block i
+                            // alone; one tile of block i is in flight at a
+                            // time (wavefront dependences).
                             let sc = unsafe { &mut scratch_shared.slice_mut()[i] };
                             match eng {
                                 Engine::Avx2 => kern.band_avx2(g, xlj, xrj, s, sc),
@@ -604,6 +614,7 @@ impl<K: Avx2Exec3d> SkewGs3d<K> {
     since = "0.2.0",
     note = "build a `tempora_plan::Plan` (or reuse a `skew::SkewGs3d` workspace) instead"
 )]
+// Justification: the parameter list is the skew-tile run contract (grid, kernel, steps, tiling, pool); a params struct would obscure it.
 #[allow(clippy::too_many_arguments)]
 pub fn run_gs_3d<K: Avx2Exec3d + Copy>(
     grid: &Grid3<f64>,
@@ -639,6 +650,7 @@ mod tests {
     use tempora_stencil::reference;
     use tempora_stencil::{Gs1dCoeffs, Gs2dCoeffs, Gs3dCoeffs};
 
+    // Justification: test helper mirrors the run contract signature.
     #[allow(clippy::too_many_arguments)]
     fn skew_1d<K: Avx2Exec1d + Copy>(
         grid: &Grid1<f64>,
@@ -727,6 +739,7 @@ mod tests {
     }
 
     #[test]
+    // Justification: pins the deprecated one-shot wrappers' behavior until their removal.
     #[allow(deprecated)]
     fn deprecated_wrappers_still_work() {
         let c = Gs1dCoeffs::classic(0.27);

@@ -163,6 +163,7 @@ pub fn black_box<T>(x: T) -> T {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "` (generated by `criterion_group!`).")]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+

@@ -427,6 +427,7 @@ mod tests {
     fn failing_property_panics_with_case_info() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
+            // Justification: the grammar test only checks macro expansion; the fn body is reached via the failure path.
             #[allow(unused)]
             fn always_fails(x in 0usize..10) {
                 prop_assert!(x > 100, "x was {}", x);

@@ -1,0 +1,8 @@
+//! Fixture: atomic op with no ordering rationale.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counter.
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() { N.fetch_add(1, Ordering::Relaxed); }

@@ -1,0 +1,8 @@
+//! Fixture: deprecated shim usage.
+
+// Justification: silencing the shim deprecation.
+#[allow(deprecated)]
+fn old() {
+    let g = make();
+    engine::run_heat1d(&g);
+}

@@ -1,0 +1,15 @@
+//! Fixture: banned constructs outside the sanctuaries.
+
+/// Type import straight from the arch module.
+use core::arch::x86_64::__m256d;
+
+/// Bit-cast a float.
+pub fn bits(x: f64) -> u64 {
+    // SAFETY: same size and both types are plain old data.
+    unsafe { core::mem::transmute(x) }
+}
+
+/// Raw intrinsic call.
+pub fn fma(a: __m256d) -> __m256d {
+    unsafe { _mm256_add_pd(a, a) }
+}

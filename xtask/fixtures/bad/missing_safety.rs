@@ -1,0 +1,16 @@
+//! Fixture: unsafe without contracts.
+
+struct Foo;
+
+/// Incr (docs, but no safety section).
+pub unsafe fn incr(_p: *mut u32) {}
+
+/// Read a value.
+///
+/// Docs but no contract.
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+// A marker impl with no justification.
+unsafe impl Send for Foo {}

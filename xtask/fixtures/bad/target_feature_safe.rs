@@ -1,0 +1,6 @@
+//! Fixture: safe `target_feature` fn with no probe documentation.
+
+/// Fast path.
+///
+#[target_feature(enable = "avx2")]
+pub fn fast() {}

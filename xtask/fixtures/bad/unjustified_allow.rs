@@ -1,0 +1,9 @@
+//! Fixture: bare allow attribute.
+
+/// A doc comment is not a justification.
+#[allow(dead_code)]
+fn helper() {}
+
+// Justification: demo — reached only from doctests.
+#[allow(unused)]
+fn ok() {}

@@ -1,0 +1,49 @@
+//! Fixture: satisfies every `cargo xtask audit` rule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Event counter.
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+/// Bump the event counter.
+pub fn bump() {
+    // Ordering: Relaxed — a monotonic statistics counter; no other
+    // memory rides on this edge.
+    N.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Increment through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads and writes of a `u32`.
+pub unsafe fn incr(p: *mut u32) {
+    // SAFETY: caller contract — `p` is valid for reads and writes.
+    unsafe { *p += 1 };
+}
+
+/// Demo kernel dispatched behind the capability probe.
+///
+/// # Safety
+///
+/// Caller must have verified `avx2_available()` before dispatching here
+/// (engine::Select does).
+#[target_feature(enable = "avx2")]
+pub unsafe fn fast() {}
+
+// Justification: demo helper reached only from doctests.
+#[allow(dead_code)]
+fn helper() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_in_tests() {
+        N.store(0, Ordering::Relaxed);
+        let x = 1u32;
+        let p = &x as *const u32;
+        unsafe { assert_eq!(*p, 1) };
+    }
+}

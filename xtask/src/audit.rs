@@ -1,0 +1,720 @@
+//! The safety audit wall: repo-specific lints over workspace sources.
+//!
+//! Six rules, each scoped to where it is meaningful (unit-test regions
+//! are recognized by `#[cfg(test)]` / `#[test]` tracking, and files
+//! under `tests/`, `benches/` or `examples/` count as test code):
+//!
+//! | rule | requirement | scope |
+//! |---|---|---|
+//! | `safety-comment` | every `unsafe` block/fn/impl carries a `// SAFETY:` contract (or `# Safety` doc section for `unsafe fn`) | non-test code |
+//! | `allow-justification` | every `#[allow(...)]` carries a justification comment, same line or directly above | everywhere |
+//! | `ordering-rationale` | every atomic `Ordering::` use carries an ordering-rationale comment, same line or directly above | non-test code |
+//! | `forbidden-construct` | `transmute`, raw `core::arch`/`std::arch` intrinsics and inline `asm!` only in `tempora_simd::arch` and the pinning module | everywhere |
+//! | `target-feature` | every `#[target_feature]` fn is `unsafe` and documents the `avx2_available()` capability probe it is dispatched behind | everywhere |
+//! | `deprecation-gate` | no `allow(deprecated)` or direct deprecated-shim calls outside the deprecating modules (ports the old CI shell grep) | path-scoped |
+//!
+//! The engine is deliberately line-based and dependency-free: it
+//! complements (never replaces) the denied rustc/clippy lints in
+//! `[workspace.lints]`, and its exact accept/reject behavior is pinned
+//! by the fixture tests at the bottom of this file.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------
+// Needles. Built with `concat!` so this file does not trip its own
+// lints when the audit walks `xtask/src` itself.
+// ---------------------------------------------------------------------
+
+const UNSAFE: &str = concat!("un", "safe");
+const SAFETY_MARK: &str = concat!("SAF", "ETY");
+const SAFETY_DOC: &str = concat!("# Saf", "ety");
+const ALLOW_ATTR: &str = concat!("#[al", "low(");
+const ALLOW_INNER_ATTR: &str = concat!("#![al", "low(");
+const ORDERING: &str = concat!("Order", "ing::");
+const TRANSMUTE: &str = concat!("trans", "mute");
+const ASM_BANG: &str = concat!("asm", "!");
+const CORE_ARCH: &str = concat!("core::", "arch");
+const STD_ARCH: &str = concat!("std::", "arch");
+const MM_INTRINSIC: &str = concat!("_m", "m");
+const TARGET_FEATURE: &str = concat!("#[tar", "get_feature");
+const AVAILABLE_PROBE: &str = concat!("avx2_av", "ailable");
+const ALLOW_DEPRECATED: &str = concat!("allow(dep", "recated)");
+const DEPRECATED_SHIMS: [&str; 4] = [
+    concat!("engine::", "run_"),
+    concat!("ghost::", "run_"),
+    concat!("skew::", "run_"),
+    concat!("lcs_rect::", "run_lcs"),
+];
+
+/// Files allowed to use `transmute` / raw intrinsics / inline `asm!`:
+/// the SIMD vocabulary and the affinity (pinning) syscall leaf.
+const CONSTRUCT_SANCTUARIES: [&str; 2] =
+    ["crates/simd/src/arch.rs", "crates/parallel/src/affinity.rs"];
+
+/// Directory prefixes where `allow(deprecated)` remains legal: the
+/// modules that declare the deprecations (and vendored/infra code).
+const DEPRECATION_HOMES: [&str; 4] = ["crates/core/", "crates/tiling/", "shims/", "xtask/"];
+
+/// Directory prefixes that must not call the deprecated one-shot shims
+/// at all (same set the old CI shell gate scanned).
+const DEPRECATION_CALLER_BAN: [&str; 5] = [
+    "src/",
+    "examples/",
+    "tests/",
+    "crates/plan/",
+    "crates/bench/",
+];
+
+/// One audit violation, rendered as `file:line: [rule] message`.
+pub(crate) struct Diagnostic {
+    pub(crate) file: String,
+    pub(crate) line: usize,
+    pub(crate) rule: &'static str,
+    pub(crate) msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// File walking
+// ---------------------------------------------------------------------
+
+/// Collect every workspace `.rs` file under `root`, as sorted
+/// `/`-separated paths relative to `root`. Skips `target/`, `.git/` and
+/// the deliberately-violating lint fixtures under `xtask/fixtures/`.
+pub(crate) fn collect_rs_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel) = stack.pop() {
+        let dir = root.join(&rel);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            let sub = if rel.as_os_str().is_empty() {
+                PathBuf::from(&name)
+            } else {
+                rel.join(&name)
+            };
+            let ty = entry.file_type();
+            if ty.as_ref().map(|t| t.is_dir()).unwrap_or(false) {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(sub);
+            } else if name.ends_with(".rs") {
+                out.push(sub.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Line model
+// ---------------------------------------------------------------------
+
+/// Comment-stripped view of one line: the code part (line comments and
+/// block-comment spans removed, string literal contents kept) plus
+/// whether the raw line carried a `//` line comment.
+fn strip_comments(line: &str, in_block: &mut bool) -> (String, bool) {
+    let b = line.as_bytes();
+    let mut out = String::new();
+    let mut has_line_comment = false;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        if *in_block {
+            if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_str {
+            if b[i] == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b[i] == b'"' {
+                in_str = false;
+            }
+            out.push(b[i] as char);
+            i += 1;
+            continue;
+        }
+        match b[i] {
+            b'"' => {
+                in_str = true;
+                out.push('"');
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                has_line_comment = true;
+                break;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                *in_block = true;
+                i += 2;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    (out, has_line_comment)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `tok` occurs in `code` with a non-identifier character (or the line
+/// boundary) on each side.
+fn contains_token(code: &str, tok: &str) -> bool {
+    let b = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(tok) {
+        let p = start + pos;
+        let end = p + tok.len();
+        let before_ok = p == 0 || !is_ident(b[p - 1]);
+        let after_ok = end >= b.len() || !is_ident(b[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+/// `tok` occurs with a non-identifier character before it (suffix may
+/// continue as an identifier — used for the `_mm…` intrinsic family).
+fn contains_prefix_token(code: &str, tok: &str) -> bool {
+    let b = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(tok) {
+        let p = start + pos;
+        if p == 0 || !is_ident(b[p - 1]) {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+/// After an occurrence of `needle` in `code`, the identifier run must be
+/// followed by `(` for the line to count as a call site.
+fn is_call_site(code: &str, needle: &str) -> bool {
+    let b = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let mut i = start + pos + needle.len();
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        while i < b.len() && (b[i] == b' ' || b[i] == b'\t') {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'(' {
+            return true;
+        }
+        start = pos + start + 1;
+    }
+    false
+}
+
+struct FileView {
+    /// Raw source lines.
+    raw: Vec<String>,
+    /// Comment-stripped code parts, index-aligned with `raw`.
+    code: Vec<String>,
+    /// Raw line carries a `//` line comment (trailing or whole-line).
+    commented: Vec<bool>,
+    /// Line sits inside a `#[cfg(test)]` / `#[test]` region.
+    in_test: Vec<bool>,
+}
+
+fn build_view(src: &str) -> FileView {
+    let raw: Vec<String> = src.lines().map(str::to_owned).collect();
+    let mut code = Vec::with_capacity(raw.len());
+    let mut commented = Vec::with_capacity(raw.len());
+    let mut in_block = false;
+    for line in &raw {
+        let (c, lc) = strip_comments(line, &mut in_block);
+        code.push(c);
+        commented.push(lc);
+    }
+
+    // Brace-depth tracking for test regions: a `#[cfg(… test …)]` or
+    // `#[test]` attribute arms the tracker; the next `{` opens a region
+    // that closes when depth returns to its entry value. A `;` before
+    // any `{` (attribute on a use/statement) disarms it.
+    let mut in_test = vec![false; raw.len()];
+    let mut depth: i64 = 0;
+    let mut region_depth: Option<i64> = None;
+    let mut armed = false;
+    for (i, c) in code.iter().enumerate() {
+        let t = c.trim();
+        if region_depth.is_none()
+            && t.starts_with("#[")
+            && (t.contains("test") && !t.contains("not("))
+        {
+            armed = true;
+        }
+        if region_depth.is_none() && armed && c.contains('{') {
+            region_depth = Some(depth);
+            armed = false;
+        } else if armed && c.contains(';') && !c.contains('{') {
+            armed = false;
+        }
+        if region_depth.is_some() {
+            in_test[i] = true;
+        }
+        for ch in c.bytes() {
+            match ch {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(d) = region_depth {
+            if depth <= d {
+                region_depth = None;
+            }
+        }
+    }
+    FileView {
+        raw,
+        code,
+        commented,
+        in_test,
+    }
+}
+
+/// Any raw line in `lines[lo..=hi]` mentions the SAFETY marker.
+fn safety_nearby(v: &FileView, lo: usize, hi: usize) -> bool {
+    v.raw[lo..=hi].iter().any(|l| l.contains(SAFETY_MARK))
+}
+
+/// An `unsafe` block/impl at line `i` has a SAFETY contract: on the line
+/// itself, anywhere in the contiguous comment block directly above it
+/// (contracts often run long), or — grace window — within the six
+/// preceding lines, so a short binding between the contract and the
+/// block it governs does not break the association.
+fn block_has_safety(v: &FileView, i: usize) -> bool {
+    if v.raw[i].contains(SAFETY_MARK) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = v.raw[j].trim_start();
+        if !t.starts_with("//") {
+            break;
+        }
+        if v.raw[j].contains(SAFETY_MARK) {
+            return true;
+        }
+    }
+    safety_nearby(v, i.saturating_sub(6), i)
+}
+
+/// Scan the contiguous doc/attribute/comment block directly above line
+/// `i`; true if any of it contains `needle`.
+fn header_block_contains(v: &FileView, i: usize, needle: &str) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = v.raw[j].trim_start();
+        if t.starts_with("///")
+            || t.starts_with("//!")
+            || t.starts_with("//")
+            || t.starts_with("#[")
+        {
+            if v.raw[j].contains(needle) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// The line directly above `i` is a plain `//` comment (not a doc
+/// comment), or line `i` itself carries a trailing comment.
+fn has_adjacent_comment(v: &FileView, i: usize) -> bool {
+    if v.commented[i] {
+        return true;
+    }
+    if i == 0 {
+        return false;
+    }
+    let t = v.raw[i - 1].trim_start();
+    t.starts_with("//") && !t.starts_with("///")
+}
+
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+// ---------------------------------------------------------------------
+// The audit proper
+// ---------------------------------------------------------------------
+
+/// Run every audit rule over one file; `path` must be `/`-separated and
+/// relative to the workspace root (it scopes the path-based rules).
+pub(crate) fn audit_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let v = build_view(src);
+    let test_path = is_test_path(path);
+    let sanctuary = CONSTRUCT_SANCTUARIES.contains(&path);
+    let dep_allow_banned = !DEPRECATION_HOMES.iter().any(|p| path.starts_with(p));
+    let dep_call_banned = DEPRECATION_CALLER_BAN.iter().any(|p| path.starts_with(p));
+    let mut out = Vec::new();
+    let mut push = |line: usize, rule: &'static str, msg: String| {
+        out.push(Diagnostic {
+            file: path.to_owned(),
+            line: line + 1,
+            rule,
+            msg,
+        });
+    };
+
+    for i in 0..v.raw.len() {
+        let code = &v.code[i];
+        let in_test = test_path || v.in_test[i];
+
+        // --- safety-comment -------------------------------------------
+        if !in_test && contains_token(code, UNSAFE) {
+            let is_fn = code.contains(&format!("{UNSAFE} fn"));
+            let is_impl = code.contains(&format!("{UNSAFE} impl"));
+            if is_fn {
+                if !header_block_contains(&v, i, SAFETY_DOC)
+                    && !header_block_contains(&v, i, SAFETY_MARK)
+                {
+                    push(
+                        i,
+                        "safety-comment",
+                        format!(
+                            "`{UNSAFE} fn` without a `{SAFETY_DOC}` doc section \
+                             (or `// {SAFETY_MARK}:` contract) above"
+                        ),
+                    );
+                }
+            } else if is_impl {
+                if !block_has_safety(&v, i) {
+                    push(
+                        i,
+                        "safety-comment",
+                        format!(
+                            "`{UNSAFE} impl` without a `// {SAFETY_MARK}:` justification above"
+                        ),
+                    );
+                }
+            } else if !block_has_safety(&v, i) {
+                push(
+                    i,
+                    "safety-comment",
+                    format!(
+                        "`{UNSAFE}` block without a `// {SAFETY_MARK}:` contract \
+                         in the preceding lines"
+                    ),
+                );
+            }
+        }
+
+        // --- allow-justification --------------------------------------
+        if (code.contains(ALLOW_ATTR) || code.contains(ALLOW_INNER_ATTR))
+            && !has_adjacent_comment(&v, i)
+            && !header_block_contains(&v, i, "Justification")
+        {
+            push(
+                i,
+                "allow-justification",
+                format!("`{ALLOW_ATTR}...)]` without a justification comment (same line or above)"),
+            );
+        }
+
+        // --- ordering-rationale ---------------------------------------
+        if !in_test && code.contains(ORDERING) && !has_adjacent_comment(&v, i) {
+            push(
+                i,
+                "ordering-rationale",
+                format!(
+                    "atomic `{ORDERING}` use without an ordering-rationale comment \
+                     (same line or directly above)"
+                ),
+            );
+        }
+
+        // --- forbidden-construct --------------------------------------
+        if !sanctuary {
+            let mut banned: Option<&str> = None;
+            if contains_token(code, TRANSMUTE) {
+                banned = Some(TRANSMUTE);
+            } else if contains_token(code, ASM_BANG) {
+                banned = Some(ASM_BANG);
+            } else if code.contains(CORE_ARCH) {
+                banned = Some(CORE_ARCH);
+            } else if code.contains(STD_ARCH) {
+                banned = Some(STD_ARCH);
+            } else if contains_prefix_token(code, MM_INTRINSIC) {
+                banned = Some(MM_INTRINSIC);
+            }
+            if let Some(tok) = banned {
+                push(
+                    i,
+                    "forbidden-construct",
+                    format!(
+                        "`{tok}` is banned outside tempora_simd::arch and the pinning module \
+                         (crates/parallel/src/affinity.rs)"
+                    ),
+                );
+            }
+        }
+
+        // --- target-feature -------------------------------------------
+        if code.contains(TARGET_FEATURE) {
+            let mut decl_unsafe = false;
+            for j in i + 1..(i + 8).min(v.raw.len()) {
+                let c = &v.code[j];
+                if c.contains("fn ") {
+                    decl_unsafe = c.contains(&format!("{UNSAFE} fn"));
+                    break;
+                }
+            }
+            if !decl_unsafe {
+                push(
+                    i,
+                    "target-feature",
+                    format!("`{TARGET_FEATURE}]` fn must be declared `{UNSAFE} fn`"),
+                );
+            }
+            if !header_block_contains(&v, i, AVAILABLE_PROBE) {
+                push(
+                    i,
+                    "target-feature",
+                    format!(
+                        "`{TARGET_FEATURE}]` fn must document its capability probe: a \
+                         `{SAFETY_DOC}` section referencing `{AVAILABLE_PROBE}()` \
+                         (dispatch goes through engine::Select)"
+                    ),
+                );
+            }
+        }
+
+        // --- deprecation-gate -----------------------------------------
+        if dep_allow_banned && code.contains(ALLOW_DEPRECATED) {
+            push(
+                i,
+                "deprecation-gate",
+                format!(
+                    "`{ALLOW_DEPRECATED}` outside the deprecating modules \
+                     (one-shot shims are superseded by tempora_plan)"
+                ),
+            );
+        }
+        if dep_call_banned {
+            for needle in DEPRECATED_SHIMS {
+                if code.contains(needle) && is_call_site(code, needle) {
+                    push(
+                        i,
+                        "deprecation-gate",
+                        format!("direct call to deprecated shim `{needle}…` (use tempora_plan)"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fixture tests: every lint, known-good and known-bad, with the exact
+// diagnostic text and line numbers pinned.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<String> {
+        audit_source(path, src)
+            .iter()
+            .map(|d| d.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn good_fixture_is_clean() {
+        let src = include_str!("../fixtures/good/clean.rs");
+        assert_eq!(diags("crates/demo/src/lib.rs", src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_safety_comment_is_flagged_with_location() {
+        let src = include_str!("../fixtures/bad/missing_safety.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![
+                format!(
+                    "crates/demo/src/lib.rs:6: [safety-comment] `{UNSAFE} fn` without a \
+                     `{SAFETY_DOC}` doc section (or `// {SAFETY_MARK}:` contract) above"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:12: [safety-comment] `{UNSAFE}` block without a \
+                     `// {SAFETY_MARK}:` contract in the preceding lines"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:16: [safety-comment] `{UNSAFE} impl` without a \
+                     `// {SAFETY_MARK}:` justification above"
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn unjustified_allow_is_flagged() {
+        let src = include_str!("../fixtures/bad/unjustified_allow.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![format!(
+                "crates/demo/src/lib.rs:4: [allow-justification] `{ALLOW_ATTR}...)]` without \
+                 a justification comment (same line or above)"
+            )]
+        );
+    }
+
+    #[test]
+    fn bare_ordering_is_flagged_outside_tests_only() {
+        let src = include_str!("../fixtures/bad/bare_ordering.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![format!(
+                "crates/demo/src/lib.rs:8: [ordering-rationale] atomic `{ORDERING}` use \
+                 without an ordering-rationale comment (same line or directly above)"
+            )]
+        );
+    }
+
+    #[test]
+    fn forbidden_constructs_flagged_outside_sanctuaries() {
+        let src = include_str!("../fixtures/bad/forbidden.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![
+                format!(
+                    "crates/demo/src/lib.rs:4: [forbidden-construct] `{CORE_ARCH}` is banned \
+                     outside tempora_simd::arch and the pinning module \
+                     (crates/parallel/src/affinity.rs)"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:9: [forbidden-construct] `{TRANSMUTE}` is banned \
+                     outside tempora_simd::arch and the pinning module \
+                     (crates/parallel/src/affinity.rs)"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:14: [forbidden-construct] `{MM_INTRINSIC}` is \
+                     banned outside tempora_simd::arch and the pinning module \
+                     (crates/parallel/src/affinity.rs)"
+                ),
+            ]
+        );
+        // The same source inside a sanctuary is legal.
+        assert_eq!(diags("crates/simd/src/arch.rs", src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn safe_target_feature_fn_is_flagged_twice() {
+        let src = include_str!("../fixtures/bad/target_feature_safe.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![
+                format!(
+                    "crates/demo/src/lib.rs:5: [target-feature] `{TARGET_FEATURE}]` fn must \
+                     be declared `{UNSAFE} fn`"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:5: [target-feature] `{TARGET_FEATURE}]` fn must \
+                     document its capability probe: a `{SAFETY_DOC}` section referencing \
+                     `{AVAILABLE_PROBE}()` (dispatch goes through engine::Select)"
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn deprecation_gate_ports_the_ci_shell_rules() {
+        let src = include_str!("../fixtures/bad/deprecated_use.rs");
+        // Banned where the old CI grep scanned…
+        let d = diags("tests/smoke.rs", src);
+        assert_eq!(
+            d,
+            vec![
+                format!(
+                    "tests/smoke.rs:4: [deprecation-gate] `{ALLOW_DEPRECATED}` outside the \
+                     deprecating modules (one-shot shims are superseded by tempora_plan)"
+                ),
+                format!(
+                    "tests/smoke.rs:7: [deprecation-gate] direct call to deprecated shim \
+                     `{}…` (use tempora_plan)",
+                    DEPRECATED_SHIMS[0]
+                ),
+            ]
+        );
+        // …and legal inside the modules that own the deprecations.
+        assert_eq!(
+            diags("crates/core/src/engine.rs", src),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_test_scoped_rules() {
+        // The good fixture keeps an undocumented Ordering:: use and an
+        // uncommented unsafe block inside `mod tests` — both exempt.
+        let src = include_str!("../fixtures/good/clean.rs");
+        assert!(src.contains("mod tests"));
+        assert_eq!(diags("crates/demo/src/lib.rs", src), Vec::<String>::new());
+        // A tests/ path exempts the whole file.
+        let bad_ordering = include_str!("../fixtures/bad/bare_ordering.rs");
+        assert_eq!(
+            diags("crates/demo/tests/it.rs", bad_ordering),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn walker_skips_fixtures_and_target() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let files = collect_rs_files(&root);
+        assert!(files.iter().any(|f| f == "xtask/src/audit.rs"));
+        assert!(!files.iter().any(|f| f.contains("fixtures")));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+    }
+}

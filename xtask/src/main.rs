@@ -1,0 +1,67 @@
+//! Repo-local automation for the tempora workspace.
+//!
+//! The only subcommand today is `audit` — the safety audit wall. It is
+//! wired up as a cargo alias (`.cargo/config.toml`), so the entry point
+//! everyone uses is:
+//!
+//! ```text
+//! cargo xtask audit
+//! ```
+//!
+//! The audit walks every workspace `.rs` file (skipping `target/`,
+//! `.git/` and the lint fixtures under `xtask/fixtures/`) and enforces
+//! the repo's safety policy; see [`audit`] for the rule catalogue. Any
+//! violation prints one `file:line: [rule] message` diagnostic and the
+//! process exits non-zero, so CI can gate on it directly.
+
+mod audit;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => run_audit(),
+        _ => {
+            eprintln!("usage: cargo xtask audit");
+            eprintln!();
+            eprintln!("subcommands:");
+            eprintln!("  audit   run the repo safety lints over every workspace .rs file");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_audit() -> ExitCode {
+    // xtask always lives one directory below the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf();
+    let files = audit::collect_rs_files(&root);
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask audit: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        diags.extend(audit::audit_source(rel, &src));
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("xtask audit: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask audit: {} violation(s) in {} files scanned",
+            diags.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
