@@ -14,8 +14,13 @@
 //! --json FILE additionally write all figures + machine metadata as one
 //!             JSON document (the committed BENCH_*.json baseline format)
 //! ```
+//!
+//! A target that fails (panics, or cannot write its CSV) does not abort
+//! the sweep: the error is reported, recorded as `{"id", "error"}` in the
+//! JSON document, and the remaining targets still run; the process exits
+//! non-zero with a summary of the failed targets at the end.
 
-use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use tempora_bench as tb;
 
@@ -47,6 +52,33 @@ fn parse_count(flag: &str, value: Option<String>) -> usize {
         _ => usage_error(&format!("{flag} needs a positive integer, got '{v}'")),
     }
 }
+
+/// Every id `run_target` accepts, for up-front validation of the sweep.
+const KNOWN_TARGETS: &[&str] = &[
+    "table1",
+    "ablate-reorg",
+    "ablate-stride",
+    "ablate-baselines",
+    "ablate-waves",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "fig4g",
+    "fig4h",
+    "fig4i",
+    "fig4j",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "fig5g",
+    "fig5h",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -151,56 +183,53 @@ fn main() {
     print!("{}", machine_banner(avail));
     println!("scale: 1/{scale}, max cores: {cores} (requested {cores_requested})\n");
 
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let mut figures: Vec<tb::Figure> = vec![];
+    // Reject unknown targets up front (usage error, exit 2) so a typo is
+    // not reported as a "failed figure" at the end of a long sweep.
     for id in &expanded {
-        let fig = match id.as_str() {
-            "table1" => {
-                writeln!(out, "{}", tb::table1(scale)).unwrap();
-                continue;
-            }
-            "ablate-reorg" => {
-                writeln!(out, "{}", tb::ablate_reorg()).unwrap();
-                continue;
-            }
-            "ablate-stride" => tb::ablate_stride(scale),
-            "ablate-baselines" => tb::ablate_baselines(scale),
-            "ablate-waves" => tb::ablate_waves(scale, cores),
-            "fig4a" => tb::fig4a(scale),
-            "fig4b" => tb::fig4b(scale, cores),
-            "fig4c" => tb::fig4c(scale),
-            "fig4d" => tb::fig4d(scale, cores),
-            "fig4e" => tb::fig4e(scale),
-            "fig4f" => tb::fig4f(scale, cores),
-            "fig4g" => tb::fig4g(scale),
-            "fig4h" => tb::fig4h(scale, cores),
-            "fig4i" => tb::fig4i(scale),
-            "fig4j" => tb::fig4j(scale, cores),
-            "fig5a" => tb::fig5a(scale),
-            "fig5b" => tb::fig5b(scale, cores),
-            "fig5c" => tb::fig5c(scale),
-            "fig5d" => tb::fig5d(scale, cores),
-            "fig5e" => tb::fig5e(scale),
-            "fig5f" => tb::fig5f(scale, cores),
-            "fig5g" => tb::fig5g(scale),
-            "fig5h" => tb::fig5h(scale, cores),
-            other => {
-                eprintln!("unknown target: {other}");
-                std::process::exit(2);
-            }
-        };
-        writeln!(out, "{}", fig.to_table()).unwrap();
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{dir}/{}.csv", fig.id);
-            std::fs::write(&path, fig.to_csv()).expect("write csv");
+        if !KNOWN_TARGETS.contains(&id.as_str()) {
+            usage_error(&format!("unknown target: {id}"));
         }
-        figures.push(fig);
+    }
+
+    // One JSON entry per target, success or failure, in sweep order.
+    let mut fig_docs: Vec<String> = vec![];
+    let mut failed: Vec<(String, String)> = vec![];
+    for id in &expanded {
+        // Containment boundary: a panicking figure (a bug in one bench
+        // path, an injected failpoint, a poisoned plan) must not take the
+        // rest of the sweep down with it.
+        let result = catch_unwind(AssertUnwindSafe(|| run_target(id, scale, cores)));
+        match result {
+            Ok(Ok(Some(fig))) => {
+                let mut err = None;
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{}.csv", fig.id);
+                    if let Err(e) = std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(&path, fig.to_csv()))
+                    {
+                        err = Some(format!("writing {path}: {e}"));
+                    }
+                }
+                fig_docs.push(fig.to_json());
+                if let Some(err) = err {
+                    record_failure(&mut failed, id, err);
+                }
+            }
+            Ok(Ok(None)) => {} // text-only target, nothing to record
+            Ok(Err(never)) => match never {},
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                fig_docs.push(format!(
+                    "{{\"id\":\"{}\",\"error\":\"{}\"}}",
+                    tb::json_escape(id),
+                    tb::json_escape(&msg)
+                ));
+                record_failure(&mut failed, id, msg);
+            }
+        }
     }
 
     if let Some(path) = &json_path {
-        let figs: Vec<String> = figures.iter().map(|f| f.to_json()).collect();
         let doc = format!(
             "{{\"schema\":\"tempora-bench-v1\",\"cores\":{},\"cores_requested\":{},\"cores_effective\":{},\"pinning_supported\":{},\"avx2\":{},\"engine_select\":\"{}\",\"scale\":{},\"figures\":[\n{}\n]}}\n",
             cores,
@@ -210,9 +239,92 @@ fn main() {
             tempora_simd::arch::avx2_available(),
             tempora_core::engine::Select::from_env().name(),
             scale,
-            figs.join(",\n")
+            fig_docs.join(",\n")
         );
-        std::fs::write(path, doc).expect("write json");
-        println!("wrote {path}");
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => record_failure(&mut failed, path, format!("writing JSON: {e}")),
+        }
+    }
+
+    if !failed.is_empty() {
+        eprintln!("\nrepro: {} target(s) failed:", failed.len());
+        for (id, msg) in &failed {
+            eprintln!("  {id}: {msg}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Report one target's failure on stderr and remember it for the final
+/// summary (and exit code).
+fn record_failure(failed: &mut Vec<(String, String)>, id: &str, msg: String) {
+    eprintln!("repro: {id} failed: {msg}");
+    failed.push((id.to_string(), msg));
+}
+
+/// Render a caught panic payload as the failure message for a figure.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Compute one figure target; `None` for ids that are not figure targets
+/// (the text-only `table1` / `ablate-reorg`, or an unknown id).
+fn compute_target(id: &str, scale: usize, cores: usize) -> Option<tb::Figure> {
+    Some(match id {
+        "ablate-stride" => tb::ablate_stride(scale),
+        "ablate-baselines" => tb::ablate_baselines(scale),
+        "ablate-waves" => tb::ablate_waves(scale, cores),
+        "fig4a" => tb::fig4a(scale),
+        "fig4b" => tb::fig4b(scale, cores),
+        "fig4c" => tb::fig4c(scale),
+        "fig4d" => tb::fig4d(scale, cores),
+        "fig4e" => tb::fig4e(scale),
+        "fig4f" => tb::fig4f(scale, cores),
+        "fig4g" => tb::fig4g(scale),
+        "fig4h" => tb::fig4h(scale, cores),
+        "fig4i" => tb::fig4i(scale),
+        "fig4j" => tb::fig4j(scale, cores),
+        "fig5a" => tb::fig5a(scale),
+        "fig5b" => tb::fig5b(scale, cores),
+        "fig5c" => tb::fig5c(scale),
+        "fig5d" => tb::fig5d(scale, cores),
+        "fig5e" => tb::fig5e(scale),
+        "fig5f" => tb::fig5f(scale, cores),
+        "fig5g" => tb::fig5g(scale),
+        "fig5h" => tb::fig5h(scale, cores),
+        _ => return None,
+    })
+}
+
+/// Run one target: print its table (or text block) to stdout and return
+/// the figure when the target produces one. The `Err` arm is
+/// uninhabited — it exists so the caller's match stays exhaustive if a
+/// fallible target is ever added.
+fn run_target(
+    id: &str,
+    scale: usize,
+    cores: usize,
+) -> Result<Option<tb::Figure>, std::convert::Infallible> {
+    match id {
+        "table1" => {
+            println!("{}", tb::table1(scale));
+            Ok(None)
+        }
+        "ablate-reorg" => {
+            println!("{}", tb::ablate_reorg());
+            Ok(None)
+        }
+        _ => {
+            // Unknown ids were rejected before the sweep started.
+            let fig = compute_target(id, scale, cores)
+                .unwrap_or_else(|| unreachable!("target {id} validated before the sweep"));
+            println!("{}", fig.to_table());
+            Ok(Some(fig))
+        }
     }
 }

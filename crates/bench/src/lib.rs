@@ -250,7 +250,10 @@ impl Figure {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON document (quotes, backslashes
+/// and control characters). Public so the `repro` binary can record
+/// failure messages in the same JSON format as [`Figure::to_json`].
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -348,11 +351,15 @@ pub struct Sample {
 pub fn plan_sample(problem: &Problem, builder: PlanBuilder, fill: &dyn Fn(&mut State)) -> Sample {
     let mut plan = builder
         .build(problem)
+        // Panic-justification: every harness configuration is hard-coded
+        // against its problem; a build failure is a bench-suite bug.
         .expect("bench configurations are valid by construction");
     let mut state = problem.state();
     fill(&mut state);
     let mut engine = None;
     let secs = time_stable(|| {
+        // Panic-justification: the state comes from `problem.state()`, so
+        // the shape check cannot fail; a poisoned plan aborts the bench.
         let report = plan.run(&mut state).expect("state matches plan");
         engine = report.engine.map(|e| e.name());
         std::hint::black_box(&state);
@@ -1222,12 +1229,17 @@ pub fn ablate_reorg() -> String {
             .select(Select::Portable)
             .count_reorg(true)
             .build(&problem)
+            // Panic-justification: the configuration is hard-coded above;
+            // a build failure is an ablation-harness bug.
             .expect("counting configuration is valid");
         let mut state = problem.state();
         fill_state(&mut state);
         plan.run(&mut state)
+            // Panic-justification: the state comes from `problem.state()`.
             .expect("state matches plan")
             .reorg
+            // Panic-justification: `count_reorg(true)` was set on the
+            // builder two lines up, so the report always carries counts.
             .expect("count_reorg plans report counts")
     };
     line("temporal (ours)", counted(Method::Temporal));

@@ -515,6 +515,9 @@ fn scratch_at<T: Scalar, const VL: usize, const W: usize>(
 ) -> &mut Scratch2d<T, W> {
     (sc as &mut dyn core::any::Any)
         .downcast_mut::<Scratch2d<T, W>>()
+        // Panic-justification: `avx2_tile` only dispatches here when
+        // VL == W, so a failed downcast is a dispatch-table bug that must
+        // fail loudly rather than corrupt the tile.
         .expect("AVX2 steady state invoked at a lane count its avx2_tile check rejected")
 }
 

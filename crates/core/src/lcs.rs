@@ -399,6 +399,8 @@ pub fn length(a: &[u8], b: &[u8], s: usize) -> i32 {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
+    // Panic-justification: `b` is non-empty (checked above), so the final
+    // row has `b.len()` entries and `last()` is always Some.
     *final_row::<8>(a, b, s).last().unwrap()
 }
 

@@ -59,6 +59,11 @@ impl<T: Scalar> AlignedBuf<T> {
                 len: 0,
             };
         }
+        // Every real grid/arena allocation in the workspace funnels
+        // through here, so this one site lets tests inject allocation
+        // failures anywhere (the k-th hit is as deterministic as the
+        // ALLOC_COUNT the allocation-free tests rely on).
+        tempora_failpoint::failpoint!("arena_alloc");
         // Ordering: Relaxed — a monotonic statistics counter; the count is
         // the only shared state and no other memory rides on this edge.
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
@@ -81,8 +86,12 @@ impl<T: Scalar> AlignedBuf<T> {
     }
 
     fn layout(len: usize) -> Layout {
-        Layout::from_size_align(len * core::mem::size_of::<T>(), GRID_ALIGN)
-            .expect("grid allocation too large")
+        let bytes = len * core::mem::size_of::<T>();
+        // Panic-justification: a byte size overflowing isize::MAX cannot
+        // be allocated on any supported target; there is no fallible
+        // grid-construction API to surface it through, and real callers
+        // run out of memory (handle_alloc_error) long before this bound.
+        Layout::from_size_align(bytes, GRID_ALIGN).expect("grid allocation too large")
     }
 
     /// Number of elements.

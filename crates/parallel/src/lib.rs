@@ -21,15 +21,27 @@
 //! * per-core **pinning** ([`PoolConfig::pin`]) via `sched_setaffinity`
 //!   on Linux/x86_64 behind a capability probe, a no-op elsewhere;
 //! * [`SyncSlice`] — a shared-mutable slice handle for tile executors
-//!   whose write sets are disjoint by construction.
+//!   whose write sets are disjoint by construction;
+//! * **failure containment** — every worker task boundary runs under
+//!   `catch_unwind`: the first panic raises a pool-wide cancel flag that
+//!   drains the region (a panicking wavefront task still releases its
+//!   successors, so no peer blocks on a dead predecessor), the payload
+//!   is re-thrown to the dispatching caller, and the pool itself
+//!   survives to run the next job. An opt-in
+//!   [`PoolConfig::stall_timeout`] watchdog converts a silently wedged
+//!   wavefront into a panic carrying a task-graph snapshot.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use tempora_failpoint::failpoint;
 
 mod affinity;
 
@@ -60,6 +72,13 @@ pub struct PoolConfig {
     pub pin: bool,
     /// The schedule [`Pool::waves`] uses.
     pub schedule: WaveSchedule,
+    /// Opt-in wavefront watchdog: when set, a worker that observes no
+    /// publish-cursor progress for this long while waiting on a ready
+    /// slot panics with a task-graph snapshot instead of spinning
+    /// forever, converting a silent scheduler wedge into a contained,
+    /// diagnosable failure. `None` (the default) keeps the hot claim
+    /// loop free of clock reads.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl PoolConfig {
@@ -70,6 +89,7 @@ impl PoolConfig {
             threads,
             pin: false,
             schedule: WaveSchedule::Pipelined,
+            stall_timeout: None,
         }
     }
 
@@ -82,6 +102,13 @@ impl PoolConfig {
     /// Select the wavefront schedule.
     pub fn schedule(mut self, schedule: WaveSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Arm the wavefront stall watchdog (see
+    /// [`PoolConfig::stall_timeout`]).
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
         self
     }
 }
@@ -160,6 +187,44 @@ struct PoolShared {
     /// False if any requested worker pin failed.
     pin_ok: AtomicBool,
     wave_scratch: Mutex<WaveScratch>,
+    /// Raised by the first panicking task of a region; tells every other
+    /// worker to drain (skip remaining work) instead of running on.
+    cancel: AtomicBool,
+    /// The first panic payload of the current region, re-thrown to the
+    /// dispatching caller once the region has drained.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Copy of [`PoolConfig::stall_timeout`] for the wavefront watchdog.
+    stall_timeout: Option<Duration>,
+}
+
+impl PoolShared {
+    /// Record `payload` as the region's first panic (later panics are
+    /// dropped — the first one is the root cause) and raise the cancel
+    /// flag so the rest of the region drains without running.
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot = self.panic_payload.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // Ordering: Relaxed — the flag is an advisory drain signal; the
+        // payload handoff itself is ordered by the payload mutex plus
+        // the end-of-region handshake on the state mutex.
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// True once a task of the current region has panicked.
+    fn cancelled(&self) -> bool {
+        // Ordering: Relaxed — see `record_panic`; a slightly stale read
+        // only means one more task runs before the drain is observed.
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Take the recorded panic payload, if any, leaving the slot empty.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic_payload.lock().take()
+    }
 }
 
 /// A fixed-width worker pool with **persistent, parked workers**.
@@ -224,20 +289,33 @@ impl Pool {
             threads,
             pin_ok: AtomicBool::new(true),
             wave_scratch: Mutex::new(WaveScratch::default()),
+            cancel: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            stall_timeout: cfg.stall_timeout,
         });
         let handles: Vec<_> = (1..threads)
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 let target = want_pin.then(|| cpus[k % cpus.len()]);
                 std::thread::spawn(move || {
-                    if let Some(cpu) = target {
-                        if !affinity::pin_to(cpu) {
-                            // Ordering: Release — pairs with the Acquire
-                            // load in `with_config` after the startup
-                            // handshake, so a failed pin is visible once
-                            // `started` reaches its target.
-                            shared.pin_ok.store(false, Ordering::Release);
+                    // Startup runs under a panic boundary: a worker that
+                    // died before the handshake would leave `with_config`
+                    // waiting forever on `started`. The payload is
+                    // recorded and re-thrown to the constructing caller.
+                    let startup = catch_unwind(AssertUnwindSafe(|| {
+                        failpoint!("pool_worker_spawn", k);
+                        if let Some(cpu) = target {
+                            if !affinity::pin_to(cpu) {
+                                // Ordering: Release — pairs with the Acquire
+                                // load in `with_config` after the startup
+                                // handshake, so a failed pin is visible once
+                                // `started` reaches its target.
+                                shared.pin_ok.store(false, Ordering::Release);
+                            }
                         }
+                    }));
+                    if let Err(payload) = startup {
+                        shared.record_panic(payload);
                     }
                     {
                         let mut st = shared.state.lock();
@@ -269,14 +347,22 @@ impl Pool {
         // Ordering: Acquire — pairs with each worker's Release store so
         // every pin failure published before the handshake is observed.
         pinned = pinned && shared.pin_ok.load(Ordering::Acquire);
-        Pool {
+        let pool = Pool {
             shared,
             threads,
             handles,
             pinned,
             schedule: cfg.schedule,
             caller_mask,
+        };
+        // A panic during worker startup (failpoint-injected) is re-thrown
+        // to the constructing caller only now, after the pool is fully
+        // assembled: the surviving workers are parked, so dropping `pool`
+        // during the unwind shuts them down cleanly.
+        if let Some(payload) = pool.shared.take_panic() {
+            resume_unwind(payload);
         }
+        pool
     }
 
     /// A pool sized to the machine.
@@ -310,8 +396,15 @@ impl Pool {
         affinity::supported()
     }
 
-    /// Dispatch one parallel region and block until it completes.
-    fn dispatch<F: Fn(usize) + Sync>(&self, spec: RegionSpec, f: &F) {
+    /// Dispatch one parallel region and block until it completes (every
+    /// worker done, including a drain after a panic). Returns the first
+    /// panic payload raised by a task of the region, if any; the caller
+    /// re-throws it after restoring its own invariants.
+    fn dispatch<F: Fn(usize) + Sync>(
+        &self,
+        spec: RegionSpec,
+        f: &F,
+    ) -> Option<Box<dyn Any + Send>> {
         /// Cast the erased pointer back to `F` and run one index.
         ///
         /// # Safety
@@ -333,6 +426,10 @@ impl Pool {
             // Ordering: Relaxed — the reset is published to workers by
             // the state-mutex release below, not by the atomic itself.
             self.shared.next.store(0, Ordering::Relaxed);
+            // Ordering: Relaxed — like `next`, the cleared cancel flag is
+            // published by the state-mutex release below. No worker from
+            // the previous region is live (its dispatch drained fully).
+            self.shared.cancel.store(false, Ordering::Relaxed);
             st.task = Some((task, spec));
             st.active = self.threads - 1;
             st.generation += 1;
@@ -341,22 +438,31 @@ impl Pool {
         // The dispatcher helps as worker 0.
         run_region(&self.shared, 0, task, spec);
         // Wait for the workers to drain their in-flight tasks.
-        let mut st = self.shared.state.lock();
-        while st.active != 0 {
-            self.shared.done_cv.wait(&mut st);
+        {
+            let mut st = self.shared.state.lock();
+            while st.active != 0 {
+                self.shared.done_cv.wait(&mut st);
+            }
+            st.task = None;
         }
-        st.task = None;
+        self.shared.take_panic()
     }
 
     /// Run `f(i)` for every `i ∈ 0..n`, distributing indices over the
     /// workers in chunked runs claimed off one atomic counter. Returns
     /// when all tasks finished (bulk-synchronous).
+    ///
+    /// # Panics
+    /// Re-throws the first panic raised by `f` after the region has
+    /// drained (remaining indices are skipped, none run twice). The pool
+    /// itself survives and can dispatch further regions.
     pub fn for_each_index<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
         if self.threads == 1 || n <= 1 {
             for i in 0..n {
+                failpoint!("pool_task", i);
                 f(i);
             }
             return;
@@ -364,7 +470,9 @@ impl Pool {
         // ~4 chunks per worker: coarse enough that tiny tile regions
         // stop hammering the shared counter, fine enough to balance.
         let chunk = (n / (self.threads * 4)).max(1);
-        self.dispatch(RegionSpec::Dynamic { n, chunk }, &f);
+        if let Some(payload) = self.dispatch(RegionSpec::Dynamic { n, chunk }, &f) {
+            resume_unwind(payload);
+        }
     }
 
     /// Run `f(i)` for every `i ∈ 0..n` with **static ownership**:
@@ -373,12 +481,17 @@ impl Pool {
     /// pool run each index on the same worker, which is what lets a
     /// workspace first-touch tile arenas from the worker that will
     /// advance them. No atomics are touched on the hot path.
+    ///
+    /// # Panics
+    /// Re-throws the first panic raised by `f` after the region has
+    /// drained, like [`Pool::for_each_index`].
     pub fn for_each_owned<F>(&self, n: usize, f: F)
     where
         F: Fn(usize) + Sync,
     {
         if self.threads == 1 {
             for i in 0..n {
+                failpoint!("pool_task", i);
                 f(i);
             }
             return;
@@ -386,7 +499,9 @@ impl Pool {
         if n == 0 {
             return;
         }
-        self.dispatch(RegionSpec::Owned { n }, &f);
+        if let Some(payload) = self.dispatch(RegionSpec::Owned { n }, &f) {
+            resume_unwind(payload);
+        }
     }
 
     /// Execute `f(band, block)` for all `(band, block) ∈ n_bands ×
@@ -398,6 +513,13 @@ impl Pool {
     /// band distance ≥ 1 and block distance ≥ 2, which the tiling
     /// layer uses to prove write-set disjointness. `f` must not
     /// dispatch further regions on this pool.
+    ///
+    /// # Panics
+    /// Re-throws the first panic raised by `f` after the wavefront has
+    /// drained: a panicking task still releases its successors, which are
+    /// then skipped under the pool-wide cancel flag, so no peer blocks on
+    /// a dead predecessor. The pool (and its wave scratch) is left
+    /// reusable for the next job.
     pub fn waves<F>(&self, n_bands: usize, n_blocks: usize, f: F)
     where
         F: Fn(usize, usize) + Sync,
@@ -424,9 +546,12 @@ impl Pool {
         }
         let total = n_bands * n_blocks;
         if self.threads == 1 || total == 1 {
-            // Row-major order satisfies every dependence sequentially.
+            // Row-major order satisfies every dependence sequentially. A
+            // panic unwinds directly to the caller — there are no peers
+            // to drain — carrying the same payload a parallel run would.
             for b in 0..n_bands {
                 for i in 0..n_blocks {
+                    failpoint!("wave_task", b, i);
                     f(b, i);
                 }
             }
@@ -462,15 +587,25 @@ impl Pool {
         // Ordering: Relaxed — see the init-block comment above.
         scratch.cursor.store(1, Ordering::Relaxed);
         let scratch = &*scratch;
+        let shared = &*self.shared;
+        let stall = shared.stall_timeout;
         // Each worker claims sequential tickets; ticket k spins until
         // the k-th ready task is published. Liveness: among the workers
         // the one spinning on the lowest ticket always has every lower
         // ticket's task executing on some other worker, and whenever
         // unexecuted tasks remain the dependence DAG has a minimal
         // element whose final predecessor's completion publishes it.
+        // A panicking task breaks the second half of that argument, so
+        // the claim loop also watches the pool-wide cancel flag.
         let run_one = move |ticket: usize| {
             let mut spins = 0u32;
+            let mut watch = stall.map(|timeout| (timeout, usize::MAX, Instant::now()));
             let task = loop {
+                if shared.cancelled() {
+                    // A peer panicked; this ticket's task may never be
+                    // published, so stop waiting and drain.
+                    return;
+                }
                 // Ordering: Acquire — pairs with the Release publish in
                 // `release` below; seeing slot != 0 therefore also makes
                 // every predecessor task's stencil writes visible to
@@ -487,10 +622,45 @@ impl Pool {
                 } else {
                     std::hint::spin_loop();
                 }
+                // Opt-in watchdog: if the publish cursor makes no progress
+                // for the configured window while this claimer starves, a
+                // lost wakeup or wedged peer has silenced the wavefront —
+                // panic with a task-graph snapshot instead of spinning
+                // forever (the panic is then contained like any other).
+                if let Some((timeout, last_cursor, since)) = watch.as_mut() {
+                    if spins % 1024 == 0 {
+                        // Ordering: Relaxed — the cursor is read only as a
+                        // progress heartbeat; publication ordering is
+                        // carried by the slot loads above.
+                        let cur = scratch.cursor.load(Ordering::Relaxed);
+                        if cur != *last_cursor {
+                            *last_cursor = cur;
+                            *since = Instant::now();
+                        } else if since.elapsed() >= *timeout {
+                            panic!(
+                                "{}",
+                                stall_report(scratch, n_bands, n_blocks, ticket, *timeout)
+                            );
+                        }
+                    }
+                }
             };
             let b = task / n_blocks;
             let i = task % n_blocks;
-            f(b, i);
+            // Contain this task's panic locally so the releases below
+            // still run: successors must be freed (they are then skipped
+            // under the cancel flag) or peers would spin forever on a
+            // dead predecessor. Under an already-raised cancel flag the
+            // task body is skipped outright — only the drain remains.
+            if !shared.cancelled() {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    failpoint!("wave_task", b, i);
+                    f(b, i);
+                }));
+                if let Err(payload) = result {
+                    shared.record_panic(payload);
+                }
+            }
             let release = |tb: usize, ti: usize| {
                 let id = tb * n_blocks + ti;
                 // Ordering: AcqRel — the Release half publishes this
@@ -523,7 +693,26 @@ impl Pool {
         };
         // chunk = 1: tickets are awaited individually, so claiming runs
         // would serialize the pipeline's release order.
-        self.dispatch(RegionSpec::Dynamic { n: total, chunk: 1 }, &run_one);
+        let panicked = self.dispatch(RegionSpec::Dynamic { n: total, chunk: 1 }, &run_one);
+        if let Some(payload) = panicked {
+            // A cancelled wavefront leaves counts/slots mid-flight; zero
+            // the used prefix so the scratch is back to a clean reusable
+            // state (the next `waves` call re-initializes it anyway, but
+            // a zeroed prefix keeps the reuse invariant auditable).
+            for c in &scratch.counts[..total] {
+                // Ordering (all three reset stores): Relaxed — every
+                // worker of the region has drained (`dispatch` returned)
+                // and the next region's handoff publishes these values.
+                c.store(0, Ordering::Relaxed);
+            }
+            for s in &scratch.slots[..total] {
+                // Ordering: Relaxed — see the reset-block comment above.
+                s.store(0, Ordering::Relaxed);
+            }
+            // Ordering: Relaxed — see the reset-block comment above.
+            scratch.cursor.store(0, Ordering::Relaxed);
+            resume_unwind(payload);
+        }
     }
 
     /// The legacy bulk-synchronous wavefront (see
@@ -547,9 +736,12 @@ impl Pool {
                 continue;
             }
             let count = b_hi - b_lo + 1;
+            // A panic inside a wave propagates out of `for_each_index`
+            // after that wave drained; the remaining waves never start.
             self.for_each_index(count, |k| {
                 let b = b_lo + k;
                 let i = w - 2 * b;
+                failpoint!("wave_task", b, i);
                 f(b, i);
             });
         }
@@ -572,14 +764,37 @@ impl Drop for Pool {
     }
 }
 
-/// Execute one region's share of work as worker `id`.
+/// Run one task index under the region's panic boundary: a panic from
+/// the closure is recorded in `shared` (first panic wins) and the
+/// pool-wide cancel flag raised so the rest of the region drains.
+fn run_task_contained(shared: &PoolShared, task: TaskRef, i: usize) {
+    // AssertUnwindSafe: a panic may leave the closure's captured state
+    // mid-update. That state belongs to the dispatching caller, who
+    // receives the re-thrown payload and owns the decision of whether
+    // the data is still usable (tempora_plan answers by poisoning the
+    // plan until an explicit reset).
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        failpoint!("pool_task", i);
+        // SAFETY: `task` was published for the current region by
+        // `Pool::dispatch`, which blocks until every worker reports
+        // done, so `task.data` still points to the live closure
+        // `task.call` was monomorphized for.
+        unsafe { (task.call)(task.data, i) };
+    }));
+    if let Err(payload) = result {
+        shared.record_panic(payload);
+    }
+}
+
+/// Execute one region's share of work as worker `id`. Every task runs
+/// through [`run_task_contained`], so a panic can never unwind out of a
+/// worker thread; once the cancel flag is up, remaining work is skipped.
 fn run_region(shared: &PoolShared, id: usize, task: TaskRef, spec: RegionSpec) {
-    // SAFETY (both arms): `task` was published for the current region
-    // by `Pool::dispatch`, which blocks until this worker reports done,
-    // so `task.data` still points to the live closure `task.call` was
-    // monomorphized for.
     match spec {
         RegionSpec::Dynamic { n, chunk } => loop {
+            if shared.cancelled() {
+                break;
+            }
             // Ordering: Relaxed — the counter only parcels out index
             // ranges; the task closure itself was published through the
             // state mutex, and claimers need no cross-claim ordering.
@@ -588,18 +803,62 @@ fn run_region(shared: &PoolShared, id: usize, task: TaskRef, spec: RegionSpec) {
                 break;
             }
             for i in start..(start + chunk).min(n) {
-                // SAFETY: see above — the closure outlives the region.
-                unsafe { (task.call)(task.data, i) };
+                if shared.cancelled() {
+                    break;
+                }
+                run_task_contained(shared, task, i);
             }
         },
         RegionSpec::Owned { n } => {
             let t = shared.threads;
             for i in (id * n / t)..((id + 1) * n / t) {
-                // SAFETY: see above — the closure outlives the region.
-                unsafe { (task.call)(task.data, i) };
+                if shared.cancelled() {
+                    break;
+                }
+                run_task_contained(shared, task, i);
             }
         }
     }
+}
+
+/// Compose the watchdog's diagnostic: which ready slot the claimer was
+/// starving on, how far publication got, and a bounded snapshot of the
+/// tasks still waiting on predecessors.
+fn stall_report(
+    scratch: &WaveScratch,
+    n_bands: usize,
+    n_blocks: usize,
+    ticket: usize,
+    timeout: Duration,
+) -> String {
+    use std::fmt::Write as _;
+    let total = n_bands * n_blocks;
+    // Ordering (both snapshot loads): Relaxed — diagnostic only; the
+    // wavefront is already considered wedged.
+    let published = scratch.cursor.load(Ordering::Relaxed).min(total);
+    let mut blocked = String::new();
+    let mut n_blocked = 0usize;
+    for b in 0..n_bands {
+        for i in 0..n_blocks {
+            // Ordering: Relaxed — see the snapshot comment above.
+            let c = scratch.counts[b * n_blocks + i].load(Ordering::Relaxed);
+            if c > 0 {
+                if n_blocked < 8 {
+                    let _ = write!(blocked, " ({b},{i})<={c}");
+                }
+                n_blocked += 1;
+            }
+        }
+    }
+    if n_blocked > 8 {
+        let _ = write!(blocked, " ...and {} more", n_blocked - 8);
+    }
+    format!(
+        "wavefront stalled: no publish-cursor progress for {timeout:?} while \
+         waiting on ready slot {ticket} ({published}/{total} tasks published \
+         on a {n_bands}x{n_blocks} grid); tasks still awaiting predecessors \
+         (task<=count):{blocked}"
+    )
 }
 
 fn worker_loop(shared: &PoolShared, id: usize) {
@@ -617,6 +876,9 @@ fn worker_loop(shared: &PoolShared, id: usize) {
                 }
                 shared.work_cv.wait(&mut st);
             }
+            // Panic-justification: a fresh generation with no task is a
+            // bug in the dispatch protocol itself (dispatch publishes
+            // both under one lock), not a recoverable runtime condition.
             st.task.expect("woken without a task")
         };
         run_region(shared, id, task, spec);
@@ -925,6 +1187,158 @@ mod tests {
             // The publish cursor stopped exactly at the grid size.
             assert_eq!(cursor, total, "{nb}x{nc}");
         }
+    }
+
+    /// Extract the human-readable message of a caught panic payload.
+    fn payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>")
+    }
+
+    /// Containment on the parallel-for surfaces: the first panic is
+    /// re-thrown to the caller with its original payload, no index runs
+    /// twice, and the same pool instance completes the next region.
+    #[test]
+    fn for_each_panic_propagates_and_pool_survives() {
+        for threads in [1usize, 2, 4, 8] {
+            for owned in [false, true] {
+                let pool = Pool::new(threads);
+                let dispatch = |f: &(dyn Fn(usize) + Sync)| {
+                    if owned {
+                        pool.for_each_owned(64, f);
+                    } else {
+                        pool.for_each_index(64, f);
+                    }
+                };
+                let err = catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(&|i| {
+                        if i == 17 {
+                            panic!("boom-index");
+                        }
+                    });
+                }))
+                .expect_err("panic must propagate to the dispatching caller");
+                assert_eq!(payload_str(&*err), "boom-index", "threads={threads}");
+                // Survival: full single coverage on the next region.
+                let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+                dispatch(&|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} owned={owned}"
+                );
+            }
+        }
+    }
+
+    /// Containment on both wavefront schedules: an injected task panic
+    /// neither deadlocks peers (the dead task's successors are released
+    /// but skipped) nor poisons the pool — the next wavefront on the same
+    /// pool reproduces the sequential dataflow bitwise.
+    #[test]
+    fn wave_panic_drains_and_next_job_is_bitwise_correct() {
+        let (nb, nc) = (4usize, 5usize);
+        let mix = |a: u64, b: u64, c: u64, t: u64| {
+            splitmix(a ^ b.rotate_left(17) ^ c.rotate_left(34) ^ t)
+        };
+        // Sequential gold for the dataflow check after recovery.
+        let mut gold = vec![0u64; nb * nc];
+        for b in 0..nb {
+            for i in 0..nc {
+                let left = if i > 0 { gold[b * nc + i - 1] } else { 7 };
+                let below = if b > 0 { gold[(b - 1) * nc + i] } else { 11 };
+                let right = if b > 0 && i + 1 < nc {
+                    gold[(b - 1) * nc + i + 1]
+                } else {
+                    13
+                };
+                gold[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+            }
+        }
+        for threads in [1usize, 2, 4, 8] {
+            for schedule in [WaveSchedule::Pipelined, WaveSchedule::Barrier] {
+                let pool = Pool::with_config(PoolConfig::new(threads).schedule(schedule));
+                let err = catch_unwind(AssertUnwindSafe(|| {
+                    pool.waves(nb, nc, |b, i| {
+                        if (b, i) == (2, 3) {
+                            panic!("boom-wave");
+                        }
+                    });
+                }))
+                .expect_err("panic must propagate out of waves");
+                assert_eq!(
+                    payload_str(&*err),
+                    "boom-wave",
+                    "threads={threads} schedule={schedule:?}"
+                );
+                if schedule == WaveSchedule::Pipelined && threads > 1 {
+                    // The pipelined queue must be reset to a clean
+                    // reusable state, not left mid-flight.
+                    let (counts, slots, cursor) = scratch_state(&pool, nb * nc);
+                    assert!(counts.iter().all(|&c| c == 0), "counts {counts:?}");
+                    assert!(slots.iter().all(|&s| s == 0), "slots {slots:?}");
+                    assert_eq!(cursor, 0);
+                }
+                // Survival: the next job on the same pool is bitwise
+                // identical to the sequential reference.
+                let mut cells = vec![0u64; nb * nc];
+                let shared = SyncSlice::new(&mut cells);
+                pool.waves(nb, nc, |b, i| {
+                    // SAFETY: task (b, i) writes only cell b*nc+i and
+                    // reads only predecessor cells, whose tasks completed
+                    // before this one was released (the waves dependence
+                    // contract).
+                    let cells = unsafe { shared.slice_mut() };
+                    let left = if i > 0 { cells[b * nc + i - 1] } else { 7 };
+                    let below = if b > 0 { cells[(b - 1) * nc + i] } else { 11 };
+                    let right = if b > 0 && i + 1 < nc {
+                        cells[(b - 1) * nc + i + 1]
+                    } else {
+                        13
+                    };
+                    cells[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+                });
+                assert_eq!(cells, gold, "threads={threads} schedule={schedule:?}");
+            }
+        }
+    }
+
+    /// The opt-in watchdog: a wavefront whose publish cursor stops moving
+    /// (here: one task sleeping far past the timeout on a fully serial
+    /// dependence chain) panics with a task-graph snapshot instead of
+    /// spinning forever, and the pool survives to run the next job.
+    #[test]
+    #[cfg_attr(miri, ignore = "wall-clock watchdog is meaningless under miri")]
+    fn watchdog_converts_stall_into_panic() {
+        let pool = Pool::with_config(
+            PoolConfig::new(4).stall_timeout(std::time::Duration::from_millis(50)),
+        );
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.waves_pipelined(1, 16, |_b, i| {
+                if i == 0 {
+                    // Holds back every successor: the other claimers see
+                    // zero cursor progress for >> stall_timeout.
+                    std::thread::sleep(std::time::Duration::from_millis(600));
+                }
+            });
+        }))
+        .expect_err("watchdog must fire");
+        let msg = payload_str(&*err);
+        assert!(
+            msg.contains("wavefront stalled"),
+            "unexpected message: {msg}"
+        );
+        assert!(msg.contains("1x16 grid"), "unexpected message: {msg}");
+        // Survival: the same pool completes the next wavefront.
+        let count = AtomicUsize::new(0);
+        pool.waves_pipelined(1, 16, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
     }
 
     /// A tiny deterministic PRNG (splitmix64) for the adversarial

@@ -112,6 +112,14 @@ pub enum PlanError {
         /// Halo width of the passed grid.
         halo: usize,
     },
+    /// A run of this plan panicked mid-step, so the state may be half
+    /// advanced. The panicking `Plan::run` call and every subsequent one
+    /// return this variant until [`crate::Plan::reset`] is called with a
+    /// re-initialized state; no `Report` is fabricated for a failed run.
+    Poisoned {
+        /// Panic message of the run that poisoned the plan.
+        panic: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -168,6 +176,11 @@ impl std::fmt::Display for PlanError {
             PlanError::UnsupportedHalo { halo } => write!(
                 f,
                 "grid has halo width {halo}; the solver engines require halo 1"
+            ),
+            PlanError::Poisoned { panic } => write!(
+                f,
+                "plan is poisoned by a panicked run ({panic}); \
+                 re-initialize the state and call Plan::reset"
             ),
         }
     }

@@ -246,6 +246,9 @@ impl PlanBuilder {
                 .pin(self.pin)
                 .schedule(self.wave_schedule),
         );
+        // A panic here (e.g. an injected `fault_in` failpoint) unwinds to
+        // the caller: no `Plan` exists yet, so there is nothing to
+        // poison, and dropping `pool` shuts its workers down cleanly.
         exec.fault_in(&pool);
         Ok(Plan {
             problem: *problem,
@@ -257,6 +260,7 @@ impl PlanBuilder {
             count_reorg: self.count_reorg,
             pool,
             exec,
+            poisoned: None,
         })
     }
 
@@ -894,6 +898,10 @@ pub struct Plan {
     count_reorg: bool,
     pool: Pool,
     exec: Box<dyn Exec>,
+    /// `Some(panic message)` after a run panicked mid-step: the state (and
+    /// in principle the executor scratch) may be half advanced, so `run`
+    /// refuses to produce further `Report`s until [`Plan::reset`].
+    poisoned: Option<String>,
 }
 
 // A plan is the unit a serving system caches, pools and dispatches per
@@ -965,11 +973,33 @@ impl Plan {
     /// # Errors
     /// [`PlanError::StateMismatch`] / [`PlanError::StateShapeMismatch`]
     /// when `state` does not belong to this plan's problem.
+    /// [`PlanError::Poisoned`] when a run panicked mid-step — for the
+    /// panicking call itself (the panic is caught here, never re-thrown)
+    /// and for every later call until [`Plan::reset`]. A failed run never
+    /// fabricates a [`Report`].
     pub fn run(&mut self, state: &mut State) -> Result<Report, PlanError> {
+        if let Some(panic) = &self.poisoned {
+            return Err(PlanError::Poisoned {
+                panic: panic.clone(),
+            });
+        }
         self.problem.check_state(state)?;
         let session = self.count_reorg.then(count::Session::start);
-        let result = self.exec.run(state, &self.pool);
+        // AssertUnwindSafe: on a panic the executor scratch and `state`
+        // may be mid-update, which is exactly what the poisoned flag
+        // records — neither is read again before an explicit reset.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.exec.run(state, &self.pool)
+        }));
         let reorg = session.map(count::Session::finish);
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let panic = panic_message(payload.as_ref());
+                self.poisoned = Some(panic.clone());
+                return Err(PlanError::Poisoned { panic });
+            }
+        };
         result?;
         Ok(Report {
             engine: self.engine,
@@ -981,4 +1011,40 @@ impl Plan {
             lcs_length: state.lcs().and_then(|l| l.length),
         })
     }
+
+    /// True when a previous [`Plan::run`] panicked and the plan refuses
+    /// to run until [`Plan::reset`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Clear poisoning after a panicked run.
+    ///
+    /// The caller re-initializes `state`'s payload data first (a panicked
+    /// run may have advanced it partially); `reset` re-validates that the
+    /// state still belongs to this plan's problem and then restores the
+    /// plan to a runnable configuration. Every executor fully rewrites
+    /// the scratch it reads at the start of each run (the invariant the
+    /// plan-reuse bitwise tests pin down), so after `reset` a run on a
+    /// freshly initialized state is bitwise-identical to a fresh plan's.
+    ///
+    /// # Errors
+    /// [`PlanError::StateMismatch`] / [`PlanError::StateShapeMismatch`]
+    /// when `state` does not belong to this plan's problem; the plan
+    /// stays poisoned in that case. Calling `reset` on a healthy plan is
+    /// a no-op.
+    pub fn reset(&mut self, state: &mut State) -> Result<(), PlanError> {
+        self.problem.check_state(state)?;
+        self.poisoned = None;
+        Ok(())
+    }
+}
+
+/// Render a caught panic payload for [`PlanError::Poisoned`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
 }

@@ -258,6 +258,7 @@ impl<K: Avx2Exec1d> GhostJacobi1d<K> {
     /// owner map is identical in both calls. Purely a placement
     /// optimization; results are unchanged whether or not it runs.
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         let buf_len = self.buf_len;
         let mode = self.mode;
         let arena_shared = SyncSlice::new(&mut self.arena);
@@ -579,6 +580,7 @@ impl<T: Scalar, const VL: usize, K: Avx2Exec2d<T>> GhostJacobi2d<T, VL, K> {
     /// per-tile state) through `pool`, on the same owner map
     /// [`GhostJacobi2d::advance`] uses. See [`GhostJacobi1d::fault_in`].
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         let mode = self.mode;
         let ny = self.ny;
         let bufs_shared = SyncSlice::new(&mut self.bufs);
@@ -907,6 +909,7 @@ impl<K: Avx2Exec3d> GhostJacobi3d<K> {
     /// per-tile state) through `pool`, on the same owner map
     /// [`GhostJacobi3d::advance`] uses. See [`GhostJacobi1d::fault_in`].
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         let mode = self.mode;
         let wp = (self.ny + 2) * (self.nz + 2);
         let (ny, nz) = (self.ny, self.nz);

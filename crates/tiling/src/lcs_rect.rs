@@ -163,6 +163,7 @@ impl LcsRect {
     /// row, shared by all tiles, stays caller-touched. Results are
     /// unchanged whether or not this runs.
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         let s = self.s;
         let n_slots = self.cols.len();
         let cols_shared = SyncSlice::new(&mut self.cols);

@@ -349,6 +349,7 @@ impl<K: Avx2Exec2d<f64>> SkewGs2d<K> {
     /// grid itself is caller-owned and advanced in place). Results are
     /// unchanged whether or not this runs.
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         if self.scratch.is_empty() {
             return;
         }
@@ -531,6 +532,7 @@ impl<K: Avx2Exec3d> SkewGs3d<K> {
     /// Re-allocate the per-block band scratch through `pool` (best-effort
     /// NUMA spread). See [`SkewGs2d::fault_in`].
     pub fn fault_in(&mut self, pool: &Pool) {
+        tempora_failpoint::failpoint!("fault_in");
         if self.scratch.is_empty() {
             return;
         }

@@ -42,12 +42,17 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // Panic-justification: the Option is None only inside
+        // `Condvar::wait`, which holds the only `&mut` borrow — no other
+        // deref can run concurrently.
         self.0.as_ref().expect("guard taken during wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // Panic-justification: see `Deref` — None is unobservable outside
+        // `Condvar::wait`.
         self.0.as_mut().expect("guard taken during wait")
     }
 }
@@ -65,6 +70,9 @@ impl Condvar {
     /// Atomically release the guarded lock and block until notified; the
     /// lock is re-acquired (into the same guard) before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Panic-justification: wait() is the only code that takes the
+        // inner guard, and it puts it back before returning; a None here
+        // means a reentrant wait on the same guard, which `&mut` forbids.
         let inner = guard.0.take().expect("guard already taken");
         let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);

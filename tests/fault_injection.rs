@@ -1,0 +1,390 @@
+//! Failpoint-driven fault-injection tests (run with `--features failpoints`).
+//!
+//! Each test arms a deterministic failpoint (see `tempora_failpoint`),
+//! drives a real workload into it, and then proves the *containment
+//! contract* of the layer under test:
+//!
+//! * the worker pool survives an injected task panic — the wavefront
+//!   drains without deadlock and the next job on the same pool is
+//!   bitwise-identical to the sequential reference;
+//! * a `Plan` whose run panics is poisoned — every later `run` returns
+//!   [`PlanError::Poisoned`] without touching the state — and after
+//!   `Plan::reset` it produces bitwise the same results as a fresh plan;
+//! * construction-time injections (worker spawn, `fault_in`, arena
+//!   allocation) fail the constructor cleanly and leave the process
+//!   healthy.
+//!
+//! The failpoint registry is process-global, so every test serializes on
+//! [`fp_guard`] and starts from a cleared registry.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use tempora::grid::{fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life};
+use tempora::parallel::{Pool, PoolConfig, SyncSlice, WaveSchedule};
+use tempora::prelude::*;
+use tempora_failpoint as fp;
+
+/// Serialize tests on the process-global failpoint registry, and leave it
+/// disarmed on entry and exit (even when the test body panics).
+// Justification: the lock is never read — it is held only so Drop
+// releases it (and clears the registry) at end of scope.
+struct FpGuard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+fn fp_guard() -> FpGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let lock = LOCK.get_or_init(|| Mutex::new(()));
+    let g = lock.lock().unwrap_or_else(PoisonError::into_inner);
+    fp::clear();
+    FpGuard(g)
+}
+
+impl Drop for FpGuard {
+    fn drop(&mut self) {
+        fp::clear();
+    }
+}
+
+/// Render a caught panic payload for assertions.
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// A fresh state for `problem` with a deterministic fill.
+fn fresh_state(problem: &Problem, seed: u64) -> State {
+    let mut state = problem.state();
+    match &mut state {
+        State::Grid1(g) => fill_random_1d(g, seed, -1.0, 1.0),
+        State::Grid2(g) => fill_random_2d(g, seed, -1.0, 1.0),
+        State::Grid2i(g) => fill_random_life(g, seed, 0.4),
+        State::Grid3(g) => fill_random_3d(g, seed, -1.0, 1.0),
+        State::Lcs(l) => {
+            let (la, lb) = (l.a.len(), l.b.len());
+            l.a = vec![1; la];
+            l.b = vec![1; lb];
+        }
+    }
+    state
+}
+
+fn states_equal(a: &State, b: &State) -> bool {
+    match (a, b) {
+        (State::Grid1(x), State::Grid1(y)) => x.interior_eq(y),
+        (State::Grid2(x), State::Grid2(y)) => x.interior_eq(y),
+        (State::Grid2i(x), State::Grid2i(y)) => x.interior_eq(y),
+        (State::Grid3(x), State::Grid3(y)) => x.interior_eq(y),
+        (State::Lcs(x), State::Lcs(y)) => x.length == y.length,
+        _ => false,
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// An injected panic in one `(band, block)` wavefront task neither
+/// deadlocks nor aborts the pool, at every thread count and under both
+/// schedules; the next job on the same pool is bitwise-identical to the
+/// sequential dataflow reference.
+#[test]
+fn wave_task_injection_is_contained_and_pool_is_reusable() {
+    let _g = fp_guard();
+    let (nb, nc) = (4usize, 5usize);
+    let mix =
+        |a: u64, b: u64, c: u64, t: u64| splitmix(a ^ b.rotate_left(17) ^ c.rotate_left(34) ^ t);
+    // Sequential gold for the post-recovery dataflow check.
+    let mut gold = vec![0u64; nb * nc];
+    for b in 0..nb {
+        for i in 0..nc {
+            let left = if i > 0 { gold[b * nc + i - 1] } else { 7 };
+            let below = if b > 0 { gold[(b - 1) * nc + i] } else { 11 };
+            let right = if b > 0 && i + 1 < nc {
+                gold[(b - 1) * nc + i + 1]
+            } else {
+                13
+            };
+            gold[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+        }
+    }
+    for threads in [1usize, 2, 4, 8] {
+        for schedule in [WaveSchedule::Pipelined, WaveSchedule::Barrier] {
+            for pin in [false, true] {
+                let pool = Pool::with_config(PoolConfig::new(threads).schedule(schedule).pin(pin));
+                // Target one exact task by its instance key: deterministic
+                // at any thread count because the key names the task.
+                fp::arm("wave_task:2:3=panic@1");
+                let err = catch_unwind(AssertUnwindSafe(|| {
+                    pool.waves(nb, nc, |_, _| {});
+                }))
+                .expect_err("injected panic must propagate out of waves");
+                assert_eq!(
+                    payload_str(&*err),
+                    "failpoint `wave_task:2:3` injected panic on hit 1",
+                    "threads={threads} schedule={schedule:?} pin={pin}"
+                );
+                fp::clear();
+                // Survival: same pool, full wavefront, bitwise dataflow.
+                let mut cells = vec![0u64; nb * nc];
+                let shared = SyncSlice::new(&mut cells);
+                pool.waves(nb, nc, |b, i| {
+                    // SAFETY: task (b, i) writes only cell b*nc+i and reads
+                    // only predecessor cells, whose tasks completed before
+                    // this one was released (the waves dependence contract).
+                    let cells = unsafe { shared.slice_mut() };
+                    let left = if i > 0 { cells[b * nc + i - 1] } else { 7 };
+                    let below = if b > 0 { cells[(b - 1) * nc + i] } else { 11 };
+                    let right = if b > 0 && i + 1 < nc {
+                        cells[(b - 1) * nc + i + 1]
+                    } else {
+                        13
+                    };
+                    cells[b * nc + i] = mix(left, below, right, (b * nc + i) as u64);
+                });
+                assert_eq!(
+                    cells, gold,
+                    "threads={threads} schedule={schedule:?} pin={pin}"
+                );
+            }
+        }
+    }
+}
+
+/// An injected panic in one indexed task surfaces from `for_each_index` /
+/// `for_each_owned` and the pool then covers a full region exactly once.
+#[test]
+fn for_each_injection_surfaces_and_pool_survives() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let _g = fp_guard();
+    for threads in [1usize, 2, 4, 8] {
+        for owned in [false, true] {
+            let pool = Pool::new(threads);
+            fp::arm("pool_task:17=panic@1");
+            let run = |n: usize, f: &(dyn Fn(usize) + Sync)| {
+                if owned {
+                    pool.for_each_owned(n, f);
+                } else {
+                    pool.for_each_index(n, f);
+                }
+            };
+            let err = catch_unwind(AssertUnwindSafe(|| run(64, &|_| {})))
+                .expect_err("injected panic must propagate out of for_each");
+            assert_eq!(
+                payload_str(&*err),
+                "failpoint `pool_task:17` injected panic on hit 1",
+                "threads={threads} owned={owned}"
+            );
+            fp::clear();
+            let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+            run(64, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads} owned={owned}: region not covered exactly once"
+            );
+        }
+    }
+}
+
+/// A panic during worker start-up propagates out of pool construction
+/// instead of leaving a half-built pool (or a detached worker) behind.
+#[test]
+fn worker_spawn_injection_fails_pool_construction_cleanly() {
+    let _g = fp_guard();
+    fp::arm("pool_worker_spawn=panic@1");
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _pool = Pool::new(4);
+    }))
+    .expect_err("spawn-time panic must propagate out of Pool construction");
+    assert!(
+        payload_str(&*err).contains("failpoint `pool_worker_spawn`"),
+        "unexpected payload: {}",
+        payload_str(&*err)
+    );
+    fp::clear();
+    // The process is healthy: a new pool builds and runs.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pool = Pool::new(4);
+    let count = AtomicUsize::new(0);
+    pool.for_each_index(32, |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 32);
+}
+
+/// A panic inside `fault_in` (first-touch page faulting of the tile
+/// arenas) escapes `PlanBuilder::build` cleanly; the same builder then
+/// succeeds once disarmed, and the resulting plan matches a one-shot run.
+#[test]
+fn fault_in_injection_fails_build_and_next_build_succeeds() {
+    let _g = fp_guard();
+    let problem = Problem::heat1d(300, 13, Heat1dCoeffs::classic(0.24));
+    let builder = PlanBuilder::new()
+        .stride(3)
+        .tiling(Tiling::Ghost {
+            block: 48,
+            height: 4,
+        })
+        .threads(2);
+    fp::arm("fault_in=panic@1");
+    let err = catch_unwind(AssertUnwindSafe(|| builder.build(&problem)))
+        .expect_err("fault_in panic must propagate out of build");
+    assert!(
+        payload_str(&*err).contains("failpoint `fault_in`"),
+        "unexpected payload: {}",
+        payload_str(&*err)
+    );
+    fp::clear();
+    let mut plan = builder.build(&problem).expect("disarmed build succeeds");
+    let mut a = fresh_state(&problem, 99);
+    let mut b = fresh_state(&problem, 99);
+    plan.run(&mut a).expect("disarmed run succeeds");
+    builder
+        .build(&problem)
+        .expect("one-shot build succeeds")
+        .run(&mut b)
+        .expect("one-shot run succeeds");
+    assert!(states_equal(&a, &b));
+}
+
+/// A panic at the single arena-allocation funnel escapes state
+/// construction cleanly and the process stays healthy.
+#[test]
+fn arena_alloc_injection_is_contained() {
+    let _g = fp_guard();
+    let problem = Problem::heat1d(200, 9, Heat1dCoeffs::classic(0.2));
+    fp::arm("arena_alloc=panic@1");
+    let err = catch_unwind(AssertUnwindSafe(|| problem.state()))
+        .expect_err("allocation panic must propagate out of state construction");
+    assert!(
+        payload_str(&*err).contains("failpoint `arena_alloc`"),
+        "unexpected payload: {}",
+        payload_str(&*err)
+    );
+    fp::clear();
+    let mut plan = PlanBuilder::new().stride(3).build(&problem).expect("build");
+    let mut state = fresh_state(&problem, 5);
+    plan.run(&mut state).expect("run after recovery");
+}
+
+/// A plan whose run panics is poisoned: every later `run` returns
+/// [`PlanError::Poisoned`] without executing, `Plan::reset` clears the
+/// poison, and the reset plan is bitwise-identical to a fresh one — for
+/// both wavefront schedules and pinned/unpinned pools.
+#[test]
+fn poisoned_plan_returns_poisoned_until_reset_and_reset_matches_fresh() {
+    let _g = fp_guard();
+    let h1 = Problem::heat1d(300, 13, Heat1dCoeffs::classic(0.24));
+    let g1 = Problem::gs1d(400, 11, Gs1dCoeffs::classic(0.22));
+    let ghost = |schedule: WaveSchedule, pin: bool| {
+        PlanBuilder::new()
+            .stride(3)
+            .tiling(Tiling::Ghost {
+                block: 48,
+                height: 4,
+            })
+            .threads(2)
+            .wave_schedule(schedule)
+            .pin(pin)
+    };
+    let skew = |schedule: WaveSchedule, pin: bool| {
+        PlanBuilder::new()
+            .stride(2)
+            .tiling(Tiling::Skew {
+                block: 64,
+                height: 4,
+            })
+            .threads(2)
+            .wave_schedule(schedule)
+            .pin(pin)
+    };
+    let configs: Vec<(&str, &Problem, PlanBuilder)> = vec![
+        (
+            "heat1d/ghost/pipelined",
+            &h1,
+            ghost(WaveSchedule::Pipelined, false),
+        ),
+        (
+            "heat1d/ghost/barrier",
+            &h1,
+            ghost(WaveSchedule::Barrier, true),
+        ),
+        (
+            "gs1d/skew/pipelined",
+            &g1,
+            skew(WaveSchedule::Pipelined, true),
+        ),
+        ("gs1d/skew/barrier", &g1, skew(WaveSchedule::Barrier, false)),
+    ];
+    for (name, problem, builder) in configs {
+        // Gold: a fresh plan over a fresh state.
+        let mut gold = fresh_state(problem, 1234);
+        builder
+            .build(problem)
+            .expect("gold build")
+            .run(&mut gold)
+            .expect("gold run");
+
+        // Victim: build first (fault_in runs the pool), then arm both task
+        // sites so whichever surface this executor drives gets hit.
+        let mut plan = builder.build(problem).expect("victim build");
+        fp::arm("wave_task=panic@1;pool_task=panic@1");
+        let mut state = fresh_state(problem, 1234);
+        let err = plan
+            .run(&mut state)
+            .expect_err("injected panic must poison the plan");
+        match &err {
+            PlanError::Poisoned { panic } => {
+                assert!(panic.contains("injected panic"), "{name}: {panic}")
+            }
+            other => panic!("{name}: expected Poisoned, got {other:?}"),
+        }
+        assert!(plan.is_poisoned(), "{name}");
+        assert!(fp::hits("wave_task") + fp::hits("pool_task") >= 1, "{name}");
+
+        // Still poisoned on the next run, with no execution behind it.
+        let mut again = fresh_state(problem, 1234);
+        assert!(
+            matches!(plan.run(&mut again), Err(PlanError::Poisoned { .. })),
+            "{name}: second run must short-circuit"
+        );
+
+        // Recovery: disarm, re-initialize the state, reset, run — bitwise
+        // identical to the fresh-plan gold.
+        fp::clear();
+        let mut recovered = fresh_state(problem, 1234);
+        plan.reset(&mut recovered).expect("reset accepts the state");
+        assert!(!plan.is_poisoned(), "{name}");
+        plan.run(&mut recovered).expect("run after reset");
+        assert!(states_equal(&recovered, &gold), "{name}: reset != fresh");
+    }
+}
+
+/// The `TEMPORA_FAILPOINT` environment syntax arms the same registry the
+/// programmatic API uses.
+#[test]
+fn env_variable_syntax_arms_failpoints() {
+    let _g = fp_guard();
+    std::env::set_var("TEMPORA_FAILPOINT", "pool_task:2=panic@1");
+    fp::reload_from_env();
+    std::env::remove_var("TEMPORA_FAILPOINT");
+    let pool = Pool::new(1);
+    let err = catch_unwind(AssertUnwindSafe(|| pool.for_each_index(4, |_| {})))
+        .expect_err("env-armed failpoint must fire");
+    assert_eq!(
+        payload_str(&*err),
+        "failpoint `pool_task:2` injected panic on hit 1"
+    );
+    assert_eq!(fp::hits("pool_task:2"), 1);
+    fp::clear();
+    pool.for_each_index(4, |_| {});
+}

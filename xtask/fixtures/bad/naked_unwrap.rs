@@ -1,0 +1,11 @@
+//! Fixture: panicking calls without a justification comment.
+
+/// Loses the reason this cannot be None.
+pub fn f(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// An expect message is not a justification comment.
+pub fn g(v: Option<u32>) -> u32 {
+    v.expect("present")
+}

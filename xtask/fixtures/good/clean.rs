@@ -35,6 +35,15 @@ pub unsafe fn fast() {}
 #[allow(dead_code)]
 fn helper() {}
 
+/// Panicking calls with their reasons on record.
+pub fn justified(v: Option<u32>) -> u32 {
+    // Panic-justification: `v` is produced by a constructor that never
+    // returns None for the inputs this demo accepts.
+    let a = v.unwrap();
+    let b = v.expect("present"); // Panic-justification: same invariant.
+    a + b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +54,6 @@ mod tests {
         let x = 1u32;
         let p = &x as *const u32;
         unsafe { assert_eq!(*p, 1) };
+        assert_eq!(justified(Some(1)), Some(1).unwrap() * 2);
     }
 }

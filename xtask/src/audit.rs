@@ -1,6 +1,6 @@
 //! The safety audit wall: repo-specific lints over workspace sources.
 //!
-//! Six rules, each scoped to where it is meaningful (unit-test regions
+//! Seven rules, each scoped to where it is meaningful (unit-test regions
 //! are recognized by `#[cfg(test)]` / `#[test]` tracking, and files
 //! under `tests/`, `benches/` or `examples/` count as test code):
 //!
@@ -9,6 +9,7 @@
 //! | `safety-comment` | every `unsafe` block/fn/impl carries a `// SAFETY:` contract (or `# Safety` doc section for `unsafe fn`) | non-test code |
 //! | `allow-justification` | every `#[allow(...)]` carries a justification comment, same line or directly above | everywhere |
 //! | `ordering-rationale` | every atomic `Ordering::` use carries an ordering-rationale comment, same line or directly above | non-test code |
+//! | `panic-justification` | every `.unwrap()` / `.expect(` call carries a justification comment, same line or directly above | non-test code |
 //! | `forbidden-construct` | `transmute`, raw `core::arch`/`std::arch` intrinsics and inline `asm!` only in `tempora_simd::arch` and the pinning module | everywhere |
 //! | `target-feature` | every `#[target_feature]` fn is `unsafe` and documents the `avx2_available()` capability probe it is dispatched behind | everywhere |
 //! | `deprecation-gate` | no `allow(deprecated)` or direct deprecated-shim calls outside the deprecating modules (ports the old CI shell grep) | path-scoped |
@@ -32,6 +33,8 @@ const SAFETY_DOC: &str = concat!("# Saf", "ety");
 const ALLOW_ATTR: &str = concat!("#[al", "low(");
 const ALLOW_INNER_ATTR: &str = concat!("#![al", "low(");
 const ORDERING: &str = concat!("Order", "ing::");
+const UNWRAP_CALL: &str = concat!(".unw", "rap()");
+const EXPECT_CALL: &str = concat!(".exp", "ect(");
 const TRANSMUTE: &str = concat!("trans", "mute");
 const ASM_BANG: &str = concat!("asm", "!");
 const CORE_ARCH: &str = concat!("core::", "arch");
@@ -463,6 +466,23 @@ pub(crate) fn audit_source(path: &str, src: &str) -> Vec<Diagnostic> {
             );
         }
 
+        // --- panic-justification --------------------------------------
+        if !in_test && !has_adjacent_comment(&v, i) {
+            for tok in [UNWRAP_CALL, EXPECT_CALL] {
+                if code.contains(tok) {
+                    push(
+                        i,
+                        "panic-justification",
+                        format!(
+                            "`{tok}…` without a panic-justification comment \
+                             (same line or directly above)"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
         // --- forbidden-construct --------------------------------------
         if !sanctuary {
             let mut banned: Option<&str> = None;
@@ -615,6 +635,27 @@ mod tests {
                  without an ordering-rationale comment (same line or directly above)"
             )]
         );
+    }
+
+    #[test]
+    fn naked_unwrap_and_expect_are_flagged() {
+        let src = include_str!("../fixtures/bad/naked_unwrap.rs");
+        let d = diags("crates/demo/src/lib.rs", src);
+        assert_eq!(
+            d,
+            vec![
+                format!(
+                    "crates/demo/src/lib.rs:5: [panic-justification] `{UNWRAP_CALL}…` without \
+                     a panic-justification comment (same line or directly above)"
+                ),
+                format!(
+                    "crates/demo/src/lib.rs:10: [panic-justification] `{EXPECT_CALL}…` without \
+                     a panic-justification comment (same line or directly above)"
+                ),
+            ]
+        );
+        // Test paths are exempt, like the other non-test-scoped rules.
+        assert_eq!(diags("crates/demo/tests/it.rs", src), Vec::<String>::new());
     }
 
     #[test]

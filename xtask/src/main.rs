@@ -36,6 +36,8 @@ fn run_audit() -> ExitCode {
     // xtask always lives one directory below the workspace root.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
+        // Panic-justification: CARGO_MANIFEST_DIR is compile-time known
+        // ("<root>/xtask"), so a missing parent means a broken checkout.
         .expect("xtask sits inside the workspace")
         .to_path_buf();
     let files = audit::collect_rs_files(&root);
