@@ -1,0 +1,441 @@
+//! `serve-bench` — the service latency harness.
+//!
+//! Spawns a release `tempora-serve` process per scenario, drives it with
+//! `tempora-agent` processes (two per scenario, splitting connections),
+//! merges their latency histograms, and writes `summary.json` with
+//! p50/p95/p99 latency, throughput and cache hit-rate per scenario.
+//!
+//! Before benchmarking it runs a **verification pass** against a
+//! dedicated server: the cached-plan path must perform zero plan
+//! rebuilds (asserted via the reply's cache counters) and return a
+//! state digest bitwise-identical to a fresh in-process plan run on the
+//! same `(problem, seed)`. Any mismatch fails the whole run with a
+//! nonzero exit.
+//!
+//! ```text
+//! serve-bench [--out PATH] [--bin-dir DIR] [--requests N] [--conns N]
+//!             [--scenarios a,b,c] [--n N] [--steps N]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use tempora_client::hist::Histogram;
+use tempora_client::Client;
+use tempora_plan::Problem;
+use tempora_proto::{state_digest, JobSpec};
+use tempora_server::fresh_state;
+use tempora_stencil::Heat1dCoeffs;
+
+struct Options {
+    out: PathBuf,
+    bin_dir: Option<PathBuf>,
+    requests: usize,
+    conns: usize,
+    scenarios: Vec<String>,
+    n: usize,
+    steps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            out: PathBuf::from("summary.json"),
+            bin_dir: None,
+            requests: 240,
+            conns: 4,
+            scenarios: ["baseline", "fan-out", "fan-in", "churn"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            n: 4096,
+            steps: 32,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve-bench [--out PATH] [--bin-dir DIR] [--requests N] [--conns N] \
+         [--scenarios baseline,fan-out,fan-in,churn] [--n N] [--steps N]"
+    );
+    ExitCode::from(2)
+}
+
+/// The directory holding the sibling `tempora-serve` / `tempora-agent`
+/// binaries: `--bin-dir` if given, else this executable's own directory.
+fn bin_dir(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(dir) = &opts.bin_dir {
+        return Ok(dir.clone());
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe failed: {e}"))?;
+    exe.parent()
+        .map(PathBuf::from)
+        .ok_or_else(|| "executable has no parent directory".to_string())
+}
+
+/// Minimal JSON field scanners for the agent's flat one-line summaries
+/// (keys are unique and values are unnested, so substring search is
+/// exact).
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn json_str<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// A serve process with its parsed TCP address; killed on drop.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    fn start(dir: &Path, cache_cap: Option<usize>) -> Result<ServeProc, String> {
+        let mut cmd = Command::new(dir.join("tempora-serve"));
+        cmd.arg("--tcp")
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(cap) = cache_cap {
+            cmd.arg("--cache-cap").arg(cap.to_string());
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning tempora-serve failed: {e}"))?;
+        let stdout = match child.stdout.take() {
+            Some(s) => s,
+            None => {
+                let _ = child.kill();
+                return Err("tempora-serve stdout not captured".to_string());
+            }
+        };
+        let mut line = String::new();
+        if BufReader::new(stdout).read_line(&mut line).is_err() || line.is_empty() {
+            let _ = child.kill();
+            return Err("tempora-serve printed no listening line".to_string());
+        }
+        // "tempora-serve listening tcp=HOST:PORT uds=-"
+        let addr = line
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("tcp="))
+            .map(str::to_string);
+        match addr {
+            Some(addr) if addr != "-" => Ok(ServeProc { child, addr }),
+            _ => {
+                let _ = child.kill();
+                Err(format!("unparseable listening line: {line:?}"))
+            }
+        }
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One scenario's merged result.
+struct ScenarioResult {
+    name: String,
+    agents: usize,
+    ok: u64,
+    errors: u64,
+    hits: u64,
+    misses: u64,
+    max_batched: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+}
+
+impl ScenarioResult {
+    fn to_json(&self) -> String {
+        let hit_rate = if self.ok > 0 {
+            self.hits as f64 / self.ok as f64
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "{{\"scenario\":\"{}\",\"agents\":{},\"ok\":{},\"errors\":{},",
+                "\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"max_batched\":{},",
+                "\"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},",
+                "\"throughput_rps\":{:.3}}}"
+            ),
+            self.name,
+            self.agents,
+            self.ok,
+            self.errors,
+            self.hits,
+            self.misses,
+            hit_rate,
+            self.max_batched,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.throughput_rps,
+        )
+    }
+}
+
+/// Run one scenario: its own server, two agent processes splitting the
+/// load, histograms merged across agents.
+fn run_scenario(dir: &Path, opts: &Options, name: &str) -> Result<ScenarioResult, String> {
+    // Churn gets a deliberately tiny cache so rotation forces evictions.
+    let cache_cap = if name == "churn" { Some(4) } else { None };
+    let server = ServeProc::start(dir, cache_cap)?;
+    let agents = if name == "baseline" { 1 } else { 2 };
+    let mut children = Vec::new();
+    for a in 0..agents {
+        let conns = (opts.conns / agents).max(1);
+        let requests = opts.requests / agents;
+        let child = Command::new(dir.join("tempora-agent"))
+            .args([
+                "--connect",
+                &server.addr,
+                "--scenario",
+                name,
+                "--conns",
+                &conns.to_string(),
+                "--requests",
+                &requests.to_string(),
+                "--distinct",
+                "8",
+                "--seed",
+                &(1000 + a as u64).to_string(),
+                "--problem",
+                "heat1d",
+                "--n",
+                &opts.n.to_string(),
+                "--steps",
+                &opts.steps.to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning tempora-agent failed: {e}"))?;
+        children.push(child);
+    }
+
+    let mut merged = Histogram::new();
+    let mut result = ScenarioResult {
+        name: name.to_string(),
+        agents,
+        ok: 0,
+        errors: 0,
+        hits: 0,
+        misses: 0,
+        max_batched: 0,
+        p50_us: 0.0,
+        p95_us: 0.0,
+        p99_us: 0.0,
+        throughput_rps: 0.0,
+    };
+    let mut elapsed_s: f64 = 0.0;
+    for child in children {
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("waiting for tempora-agent failed: {e}"))?;
+        if !out.status.success() {
+            return Err(format!("tempora-agent exited with {:?}", out.status));
+        }
+        let line = String::from_utf8_lossy(&out.stdout);
+        let line = line.trim();
+        let field =
+            |k: &str| json_num(line, k).ok_or_else(|| format!("agent line missing {k:?}: {line}"));
+        result.ok += field("ok")? as u64;
+        result.errors += field("errors")? as u64;
+        result.hits += field("hits")? as u64;
+        result.misses += field("misses")? as u64;
+        result.max_batched = result.max_batched.max(field("max_batched")? as u64);
+        elapsed_s = elapsed_s.max(field("elapsed_s")?);
+        let sparse =
+            json_str(line, "hist").ok_or_else(|| format!("agent line missing hist: {line}"))?;
+        merged.merge(&Histogram::from_sparse(sparse));
+    }
+    result.p50_us = merged.percentile(0.50) as f64 / 1000.0;
+    result.p95_us = merged.percentile(0.95) as f64 / 1000.0;
+    result.p99_us = merged.percentile(0.99) as f64 / 1000.0;
+    result.throughput_rps = if elapsed_s > 0.0 {
+        result.ok as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    if result.errors > 0 {
+        return Err(format!(
+            "scenario {name} saw {} request errors",
+            result.errors
+        ));
+    }
+    if merged.count() == 0 {
+        return Err(format!("scenario {name} recorded no latencies"));
+    }
+    Ok(result)
+}
+
+/// The acceptance check: against a dedicated server, the cached path
+/// performs zero rebuilds and returns bitwise-identical state to a
+/// fresh in-process plan.
+fn verify(dir: &Path, opts: &Options) -> Result<String, String> {
+    let server = ServeProc::start(dir, None)?;
+    let spec = JobSpec::new(Problem::heat1d(
+        opts.n,
+        opts.steps,
+        Heat1dCoeffs::classic(0.25),
+    ));
+    let seed = 0x5eed;
+
+    // In-process reference: fresh plan, fresh state, one run.
+    let mut state = fresh_state(&spec.problem, seed);
+    let report = spec
+        .config
+        .plan_builder()
+        .build(&spec.problem)
+        .map_err(|e| format!("reference build failed: {e}"))?
+        .run(&mut state)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let want_digest = state_digest(&state);
+
+    let mut client =
+        Client::connect_tcp(&server.addr).map_err(|e| format!("connect failed: {e}"))?;
+    let cold = client
+        .run_steps(&spec, seed)
+        .map_err(|e| format!("cold run failed: {e}"))?;
+    let warm = client
+        .run_steps(&spec, seed)
+        .map_err(|e| format!("warm run failed: {e}"))?;
+
+    if warm.plan_builds != 1 {
+        return Err(format!(
+            "cached path rebuilt: plan_builds = {} (want 1)",
+            warm.plan_builds
+        ));
+    }
+    if !warm.cache_hit {
+        return Err("second request was not a cache hit".to_string());
+    }
+    for (label, got) in [("cold", &cold), ("warm", &warm)] {
+        if got.digest != want_digest {
+            return Err(format!(
+                "{label} digest {:#x} != fresh in-process digest {want_digest:#x}",
+                got.digest
+            ));
+        }
+        if got.steps != report.steps as u64
+            || got.engine != report.engine
+            || got.threads != report.threads as u32
+            || got.pinned != report.pinned
+            || got.lcs_length != report.lcs_length
+        {
+            return Err(format!(
+                "{label} reply's Report fields diverge from fresh plan"
+            ));
+        }
+    }
+    let engine = report.engine.map(|e| e.name()).unwrap_or("none");
+    Ok(format!(
+        concat!(
+            "{{\"digest_match\":true,\"zero_rebuilds\":true,\"cache_hit\":true,",
+            "\"digest\":\"{:#x}\",\"engine\":\"{}\",\"steps\":{},\"plan_builds\":{}}}"
+        ),
+        want_digest, engine, report.steps, warm.plan_builds
+    ))
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let dir = bin_dir(opts)?;
+    for bin in ["tempora-serve", "tempora-agent"] {
+        if !dir.join(bin).exists() {
+            return Err(format!(
+                "{} not found in {} — build it first (cargo build --release -p tempora_server -p tempora_client)",
+                bin,
+                dir.display()
+            ));
+        }
+    }
+    eprintln!("serve-bench: verifying cached-path bitwise identity");
+    let verify_json = verify(&dir, opts)?;
+    let mut scenarios = Vec::new();
+    for name in &opts.scenarios {
+        eprintln!("serve-bench: running scenario {name}");
+        let result = run_scenario(&dir, opts, name)?;
+        eprintln!(
+            "serve-bench: {name}: p50 {:.1}us p99 {:.1}us, {:.0} req/s, hits {}/{}",
+            result.p50_us, result.p99_us, result.throughput_rps, result.hits, result.ok
+        );
+        scenarios.push(result.to_json());
+    }
+    let summary = format!(
+        "{{\"schema\":\"tempora-serve-bench-v1\",\"problem\":\"heat1d\",\"n\":{},\"steps\":{},\"requests\":{},\"verify\":{},\"scenarios\":[{}]}}\n",
+        opts.n,
+        opts.steps,
+        opts.requests,
+        verify_json,
+        scenarios.join(",")
+    );
+    let mut file = std::fs::File::create(&opts.out)
+        .map_err(|e| format!("creating {} failed: {e}", opts.out.display()))?;
+    file.write_all(summary.as_bytes())
+        .map_err(|e| format!("writing {} failed: {e}", opts.out.display()))?;
+    eprintln!("serve-bench: wrote {}", opts.out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if matches!(arg.as_str(), "--help" | "-h") {
+            return usage();
+        }
+        let Some(value) = args.next() else {
+            eprintln!("serve-bench: {arg} needs a value");
+            return usage();
+        };
+        let ok = match arg.as_str() {
+            "--out" => {
+                opts.out = value.into();
+                true
+            }
+            "--bin-dir" => {
+                opts.bin_dir = Some(value.into());
+                true
+            }
+            "--scenarios" => {
+                opts.scenarios = value.split(',').map(str::to_string).collect();
+                true
+            }
+            "--requests" => value.parse().map(|v| opts.requests = v).is_ok(),
+            "--conns" => value.parse().map(|v| opts.conns = v).is_ok(),
+            "--n" => value.parse().map(|v| opts.n = v).is_ok(),
+            "--steps" => value.parse().map(|v| opts.steps = v).is_ok(),
+            _ => {
+                eprintln!("serve-bench: unknown flag {arg}");
+                return usage();
+            }
+        };
+        if !ok {
+            eprintln!("serve-bench: bad value for {arg}");
+            return usage();
+        }
+    }
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve-bench: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

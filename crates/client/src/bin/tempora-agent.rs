@@ -1,0 +1,114 @@
+//! `tempora-agent` — a closed-loop load generator for `tempora-serve`.
+//!
+//! ```text
+//! tempora-agent --connect HOST:PORT [--scenario NAME] [--conns N]
+//!               [--requests N] [--distinct N] [--seed N]
+//!               [--problem KIND] [--n N] [--steps N] [--threads N]
+//! ```
+//!
+//! Runs one scenario (`baseline`, `fan-out`, `fan-in`, `churn`) and
+//! prints exactly one JSON line with hit/miss counts, latency
+//! percentiles and the sparse latency histogram — the `serve-bench`
+//! harness consumes that line and merges histograms across agents.
+
+use std::process::ExitCode;
+use tempora_client::scenario::{self, Scenario, ScenarioCfg};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tempora-agent (--connect HOST:PORT | --uds PATH) \
+         [--scenario baseline|fan-out|fan-in|churn] [--conns N] [--requests N] \
+         [--distinct N] [--seed N] [--problem heat1d|gs1d|heat2d|lcs] [--n N] \
+         [--steps N] [--threads N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut tcp = None;
+    let mut uds = None;
+    let mut name = "baseline".to_string();
+    let mut conns = 1usize;
+    let mut requests = 64usize;
+    let mut distinct = 4usize;
+    let mut seed = 0xc0ffee_u64;
+    let mut problem = "heat1d".to_string();
+    let mut n = 4096usize;
+    let mut steps = 32usize;
+    let mut threads = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if matches!(arg.as_str(), "--help" | "-h") {
+            return usage();
+        }
+        let Some(value) = args.next() else {
+            eprintln!("tempora-agent: {arg} needs a value");
+            return usage();
+        };
+        let parsed: Result<(), ()> = match arg.as_str() {
+            "--connect" => {
+                tcp = Some(value);
+                Ok(())
+            }
+            "--uds" => {
+                uds = Some(value);
+                Ok(())
+            }
+            "--scenario" => {
+                name = value;
+                Ok(())
+            }
+            "--problem" => {
+                problem = value;
+                Ok(())
+            }
+            "--conns" => value.parse().map(|v| conns = v).map_err(drop),
+            "--requests" => value.parse().map(|v| requests = v).map_err(drop),
+            "--distinct" => value.parse().map(|v| distinct = v).map_err(drop),
+            "--seed" => value.parse().map(|v| seed = v).map_err(drop),
+            "--n" => value.parse().map(|v| n = v).map_err(drop),
+            "--steps" => value.parse().map(|v| steps = v).map_err(drop),
+            "--threads" => value.parse().map(|v| threads = v).map_err(drop),
+            _ => {
+                eprintln!("tempora-agent: unknown flag {arg}");
+                return usage();
+            }
+        };
+        if parsed.is_err() {
+            eprintln!("tempora-agent: bad value for {arg}");
+            return usage();
+        }
+    }
+
+    let Some(scenario) = Scenario::parse(&name) else {
+        eprintln!("tempora-agent: unknown scenario {name:?}");
+        return usage();
+    };
+    let Some(mut base) = scenario::default_spec(&problem, n, steps) else {
+        eprintln!("tempora-agent: unknown problem kind {problem:?}");
+        return usage();
+    };
+    base.config.threads = threads;
+
+    let cfg = ScenarioCfg {
+        tcp,
+        uds,
+        scenario,
+        conns,
+        requests,
+        distinct,
+        seed,
+        base,
+    };
+    match scenario::run(&cfg) {
+        Ok(outcome) => {
+            println!("{}", outcome.to_json_line());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tempora-agent: scenario failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

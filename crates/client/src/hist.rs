@@ -1,0 +1,181 @@
+//! An HDR-lite latency histogram: log2 octaves split into 32
+//! sub-buckets (≈ 3% relative resolution), fixed memory, lossless
+//! merge, and a sparse text form that survives a trip through the
+//! agent's JSON summary line.
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets: values below `SUB` get exact buckets; above, one per
+/// (octave, sub-bucket) pair up to `u64::MAX`.
+const BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// Fixed-size log-linear histogram of `u64` samples (nanoseconds, in
+/// this crate's use). Recording never allocates; relative error is
+/// bounded by `1/32`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    // Highest set bit e ≥ SUB_BITS; drop to the octave's sub-bucket.
+    let e = 63 - v.leading_zeros();
+    let sub = (v >> (e - SUB_BITS)) - SUB;
+    ((e - SUB_BITS + 1) as u64 * SUB + sub) as usize
+}
+
+/// The smallest value that lands in `idx` (used as the reported
+/// percentile value — a ≤ 3% underestimate, never an overestimate).
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = (idx - SUB) / SUB;
+    let sub = (idx - SUB) % SUB;
+    (SUB + sub) << octave
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Add every sample of `other` into `self` (lossless: equal-shaped
+    /// buckets).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (lower bucket bound; 0 for
+    /// an empty histogram).
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// Sparse text form: `idx:count` pairs joined by `,` (empty string
+    /// for an empty histogram). Fits inside one JSON string field.
+    #[must_use]
+    pub fn to_sparse(&self) -> String {
+        let mut out = String::new();
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                if !out.is_empty() {
+                    out.push(',');
+                }
+                out.push_str(&format!("{idx}:{c}"));
+            }
+        }
+        out
+    }
+
+    /// Parse [`Histogram::to_sparse`] output. Unknown indices and
+    /// malformed pairs are ignored (forward compatibility beats strictness
+    /// for merge-side tooling).
+    #[must_use]
+    pub fn from_sparse(s: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for pair in s.split(',').filter(|p| !p.is_empty()) {
+            if let Some((idx, count)) = pair.split_once(':') {
+                if let (Ok(idx), Ok(count)) = (idx.parse::<usize>(), count.parse::<u64>()) {
+                    if idx < BUCKETS {
+                        h.counts[idx] += count;
+                        h.total += count;
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut last = 0;
+        for v in (0..100_000u64).step_by(37) {
+            let idx = bucket_index(v);
+            assert!(idx >= last || bucket_index(v - 37) <= idx);
+            last = idx;
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above sample {v}");
+            // ≤ 1/32 relative error for values beyond the linear range.
+            if v >= 32 {
+                assert!((v - floor) as f64 / v as f64 <= 1.0 / 32.0 + 1e-9);
+            } else {
+                assert_eq!(floor, v);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_merge_and_sparse_roundtrip() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 1000)
+            } else {
+                b.record(v * 1000)
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 1000);
+        let p50 = merged.percentile(0.50);
+        let p99 = merged.percentile(0.99);
+        assert!((470_000..=500_000).contains(&p50), "p50 was {p50}");
+        assert!((950_000..=990_000).contains(&p99), "p99 was {p99}");
+        let back = Histogram::from_sparse(&merged.to_sparse());
+        assert_eq!(back.count(), merged.count());
+        assert_eq!(back.percentile(0.95), merged.percentile(0.95));
+    }
+}

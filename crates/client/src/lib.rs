@@ -1,0 +1,159 @@
+//! # tempora-client — blocking client for the solver service
+//!
+//! [`Client`] speaks the [`tempora_proto`] frames over TCP or a Unix
+//! socket: `submit` interns a plan server-side, `run_steps` executes it
+//! against a seeded state and returns the server's [`RunReply`]. The
+//! [`scenario`] module drives closed-loop load patterns (baseline,
+//! fan-out, fan-in, cache-churn) and is what the `tempora-agent` binary
+//! wraps; [`hist::Histogram`] collects the latency distributions those
+//! scenarios report.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hist;
+pub mod scenario;
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use tempora_proto::{read_frame, write_frame, ErrorCode, Frame, JobSpec, RunReply, WireError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server's bytes failed to decode.
+    Wire(WireError),
+    /// The server answered with a typed `ErrorReply`.
+    Server {
+        /// The failure category.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered out of protocol (wrong id, wrong frame).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to `tempora-serve` with one in-flight request
+/// at a time.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: BufWriter<Box<dyn Write + Send>>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client::from_parts(Box::new(reader), Box::new(stream)))
+    }
+
+    /// Connect over a Unix socket.
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        Ok(Client::from_parts(Box::new(reader), Box::new(stream)))
+    }
+
+    fn from_parts(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Client {
+        Client {
+            reader: BufReader::new(reader),
+            writer: BufWriter::new(writer),
+            next_id: 1,
+        }
+    }
+
+    /// Intern (prepare) `spec`'s plan server-side without running it.
+    /// The reply has `steps == 0`.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<RunReply, ClientError> {
+        let request_id = self.next_id();
+        self.roundtrip(
+            Frame::SubmitProblem {
+                request_id,
+                spec: *spec,
+            },
+            request_id,
+        )
+    }
+
+    /// Run `spec`'s plan over its full time extent against a fresh
+    /// server-side state derived from `seed`.
+    pub fn run_steps(&mut self, spec: &JobSpec, seed: u64) -> Result<RunReply, ClientError> {
+        let request_id = self.next_id();
+        self.roundtrip(
+            Frame::RunSteps {
+                request_id,
+                spec: *spec,
+                seed,
+            },
+            request_id,
+        )
+    }
+
+    /// Send a raw frame and read one raw reply — escape hatch for the
+    /// protocol tests (adversarial frames, version probing).
+    pub fn raw_roundtrip(&mut self, frame: &Frame) -> Result<Option<Frame>, ClientError> {
+        write_frame(&mut self.writer, frame)?;
+        Ok(read_frame(&mut self.reader)?)
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn roundtrip(&mut self, frame: Frame, request_id: u64) -> Result<RunReply, ClientError> {
+        write_frame(&mut self.writer, &frame)?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::ReportReply {
+                request_id: rid,
+                reply,
+            }) => {
+                if rid != request_id {
+                    return Err(ClientError::Protocol("reply for a different request id"));
+                }
+                Ok(reply)
+            }
+            Some(Frame::ErrorReply { code, message, .. }) => {
+                Err(ClientError::Server { code, message })
+            }
+            Some(_) => Err(ClientError::Protocol("unexpected frame type in reply")),
+            None => Err(ClientError::Protocol("server closed mid-request")),
+        }
+    }
+}

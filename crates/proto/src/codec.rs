@@ -1,0 +1,285 @@
+//! Primitive byte codec: little-endian writer/reader with total,
+//! descriptive decode errors.
+//!
+//! Everything above this module (frames, canonical problems) is built
+//! from these two types, so "never panic on hostile bytes" reduces to
+//! the invariant that every [`ByteReader`] accessor is bounds-checked.
+
+/// Why a frame (or a canonical encoding) failed to decode. Every variant
+/// is a protocol-level condition a server can answer with an
+/// `ErrorReply`; none of them panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The body ended before a fixed-width field or counted payload.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        have: usize,
+    },
+    /// A length prefix exceeded [`crate::MAX_FRAME_LEN`] — rejected
+    /// before any allocation so a hostile peer cannot balloon memory.
+    FrameTooLarge {
+        /// The advertised body length.
+        len: u64,
+        /// The bound it violated.
+        max: u64,
+    },
+    /// The frame's version byte is not [`crate::PROTO_VERSION`]. The
+    /// whole body was still consumed, so the stream stays in sync and
+    /// the server can reply instead of closing.
+    UnknownVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The frame tag byte names no known frame type.
+    UnknownTag {
+        /// The tag byte received.
+        got: u8,
+    },
+    /// A field held a value outside its domain (bad enum tag, oversized
+    /// string, non-UTF-8 text, trailing bytes after a complete frame).
+    BadValue {
+        /// Which field was malformed.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, have {have}"
+                )
+            }
+            DecodeError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte bound")
+            }
+            DecodeError::UnknownVersion { got } => write!(f, "unknown protocol version {got}"),
+            DecodeError::UnknownTag { got } => write!(f, "unknown frame tag {got}"),
+            DecodeError::BadValue { what } => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum bytes of text accepted in one string field (error messages);
+/// long messages are truncated by the encoder, never rejected.
+pub const MAX_TEXT_LEN: usize = 4096;
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Default, Debug)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consume the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the wire is 64-bit regardless of
+    /// host width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append UTF-8 text as `u32` length + bytes, truncated to
+    /// [`MAX_TEXT_LEN`] on a character boundary.
+    pub fn put_str(&mut self, s: &str) {
+        let mut end = s.len().min(MAX_TEXT_LEN);
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let bytes = &s.as_bytes()[..end];
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64` and narrow it to the host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::BadValue {
+            what: "usize field exceeds host width",
+        })
+    }
+
+    /// Read a counted UTF-8 string (bounded by [`MAX_TEXT_LEN`]).
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > MAX_TEXT_LEN {
+            return Err(DecodeError::BadValue {
+                what: "string field exceeds the text bound",
+            });
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadValue {
+            what: "string field is not UTF-8",
+        })
+    }
+
+    /// Assert the buffer was fully consumed (a complete frame has no
+    /// trailing bytes).
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::BadValue {
+                what: "trailing bytes after frame body",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_i32(-12);
+        w.put_usize(99);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.i32().unwrap(), -12);
+        assert_eq!(r.usize().unwrap(), 99);
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(DecodeError::Truncated { needed: 4, have: 2 }));
+    }
+
+    #[test]
+    fn long_text_is_truncated_on_encode_and_bounded_on_decode() {
+        let mut w = ByteWriter::new();
+        w.put_str(&"é".repeat(MAX_TEXT_LEN)); // 2 bytes per char
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let s = r.str().unwrap();
+        assert!(s.len() <= MAX_TEXT_LEN);
+        // A hostile over-long length prefix is rejected up front.
+        let mut w = ByteWriter::new();
+        w.put_u32((MAX_TEXT_LEN + 1) as u32);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).str(),
+            Err(DecodeError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(DecodeError::BadValue { .. })));
+    }
+}

@@ -1,0 +1,517 @@
+//! Versioned, length-prefixed frames and their stream I/O.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! len: u32le            — body length, bounded by MAX_FRAME_LEN
+//! body[0]: u8           — PROTO_VERSION
+//! body[1]: u8           — frame tag
+//! body[2..]: payload    — tag-specific fields (little-endian)
+//! ```
+//!
+//! [`read_frame`] always consumes the *entire* advertised body before
+//! validating version or tag, so a recoverable decode error (unknown
+//! version, unknown tag, malformed payload) leaves the stream in sync
+//! and the server can answer with [`Frame::ErrorReply`] instead of
+//! closing the connection. Only a length prefix above [`MAX_FRAME_LEN`]
+//! or an I/O error is unrecoverable.
+
+use crate::canon::JobSpec;
+use crate::codec::{ByteReader, ByteWriter, DecodeError};
+use std::io::{Read, Write};
+use tempora_core::engine::Engine;
+
+/// The protocol version this build speaks. Frames carrying any other
+/// version decode to [`DecodeError::UnknownVersion`].
+pub const PROTO_VERSION: u8 = 1;
+
+/// Upper bound on one frame's body length (16 MiB). Length prefixes
+/// above this are rejected **before** any allocation.
+pub const MAX_FRAME_LEN: u64 = 1 << 24;
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_RUN: u8 = 2;
+const TAG_REPORT: u8 = 3;
+const TAG_ERROR: u8 = 4;
+
+/// Typed failure category carried by [`Frame::ErrorReply`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request frame failed to decode (the stream stayed in sync).
+    BadFrame,
+    /// The request's version byte is not [`PROTO_VERSION`].
+    UnsupportedVersion,
+    /// `PlanBuilder::build` rejected the spec.
+    BuildFailed,
+    /// `Plan::run` returned a non-poisoning error.
+    RunFailed,
+    /// The cached plan for this spec is poisoned and recovery also
+    /// failed; the entry was evicted — retrying will rebuild.
+    Poisoned,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::UnsupportedVersion => 2,
+            ErrorCode::BuildFailed => 3,
+            ErrorCode::RunFailed => 4,
+            ErrorCode::Poisoned => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ErrorCode, DecodeError> {
+        Ok(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::BuildFailed,
+            4 => ErrorCode::RunFailed,
+            5 => ErrorCode::Poisoned,
+            6 => ErrorCode::Internal,
+            _ => return Err(DecodeError::BadValue { what: "error code" }),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::BuildFailed => "build-failed",
+            ErrorCode::RunFailed => "run-failed",
+            ErrorCode::Poisoned => "poisoned",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What the server did for one `RunSteps` (or `SubmitProblem`, with
+/// `steps == 0`): cache provenance, the solver's `Report` fields, a
+/// digest of the resulting state, and service time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReply {
+    /// True when the plan was served from cache (no build this request).
+    pub cache_hit: bool,
+    /// Lifetime builds of this cache entry (1 = built once, never
+    /// rebuilt — the clone-free steady state).
+    pub plan_builds: u64,
+    /// Lifetime poison-recovery resets of this cache entry.
+    pub resets: u64,
+    /// Requests serviced in the same combining batch as this one
+    /// (≥ 1; this request counts itself).
+    pub batched: u32,
+    /// Resolved engine (`Report::engine`), if the method dispatches.
+    pub engine: Option<Engine>,
+    /// Time steps advanced (`Report::steps`).
+    pub steps: u64,
+    /// Worker threads of the plan's pool (`Report::threads`).
+    pub threads: u32,
+    /// Whether every pool worker was pinned (`Report::pinned`).
+    pub pinned: bool,
+    /// Tile geometry `(tiles, block, height)` for tiled plans
+    /// (`Report::tiles`).
+    pub tiles: Option<(u64, u64, u64)>,
+    /// The LCS length for LCS problems (`Report::lcs_length`).
+    pub lcs_length: Option<i32>,
+    /// FNV-1a digest of the full output state
+    /// ([`crate::canon::state_digest`]); lets clients assert bitwise
+    /// identity against a local reference run.
+    pub digest: u64,
+    /// Server-side service time for this request, in nanoseconds
+    /// (queueing + run, excluding socket I/O).
+    pub server_ns: u64,
+}
+
+impl RunReply {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.cache_hit as u8);
+        w.put_u64(self.plan_builds);
+        w.put_u64(self.resets);
+        w.put_u32(self.batched);
+        w.put_u8(match self.engine {
+            None => 0,
+            Some(Engine::Portable) => 1,
+            Some(Engine::Avx2) => 2,
+        });
+        w.put_u64(self.steps);
+        w.put_u32(self.threads);
+        w.put_u8(self.pinned as u8);
+        match self.tiles {
+            None => w.put_u8(0),
+            Some((t, b, h)) => {
+                w.put_u8(1);
+                w.put_u64(t);
+                w.put_u64(b);
+                w.put_u64(h);
+            }
+        }
+        match self.lcs_length {
+            None => w.put_u8(0),
+            Some(l) => {
+                w.put_u8(1);
+                w.put_i32(l);
+            }
+        }
+        w.put_u64(self.digest);
+        w.put_u64(self.server_ns);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<RunReply, DecodeError> {
+        let cache_hit = flag(r, "cache-hit flag")?;
+        let plan_builds = r.u64()?;
+        let resets = r.u64()?;
+        let batched = r.u32()?;
+        let engine = match r.u8()? {
+            0 => None,
+            1 => Some(Engine::Portable),
+            2 => Some(Engine::Avx2),
+            _ => return Err(DecodeError::BadValue { what: "engine tag" }),
+        };
+        let steps = r.u64()?;
+        let threads = r.u32()?;
+        let pinned = flag(r, "pinned flag")?;
+        let tiles = match r.u8()? {
+            0 => None,
+            1 => Some((r.u64()?, r.u64()?, r.u64()?)),
+            _ => {
+                return Err(DecodeError::BadValue {
+                    what: "tiles option tag",
+                })
+            }
+        };
+        let lcs_length = match r.u8()? {
+            0 => None,
+            1 => Some(r.i32()?),
+            _ => {
+                return Err(DecodeError::BadValue {
+                    what: "lcs-length option tag",
+                })
+            }
+        };
+        Ok(RunReply {
+            cache_hit,
+            plan_builds,
+            resets,
+            batched,
+            engine,
+            steps,
+            threads,
+            pinned,
+            tiles,
+            lcs_length,
+            digest: r.u64()?,
+            server_ns: r.u64()?,
+        })
+    }
+}
+
+fn flag(r: &mut ByteReader<'_>, what: &'static str) -> Result<bool, DecodeError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(DecodeError::BadValue { what }),
+    }
+}
+
+/// One protocol message. See the crate docs for the frame table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server: intern (prepare) a plan for `spec` without
+    /// running it. Replied with [`Frame::ReportReply`] (`steps == 0`).
+    SubmitProblem {
+        /// Client-chosen correlation id, echoed in the reply.
+        request_id: u64,
+        /// The problem and solver configuration to compile.
+        spec: JobSpec,
+    },
+    /// Client → server: run `spec`'s plan over its full time extent
+    /// against a fresh state deterministically filled from `seed`.
+    RunSteps {
+        /// Client-chosen correlation id, echoed in the reply.
+        request_id: u64,
+        /// The problem and solver configuration to run.
+        spec: JobSpec,
+        /// Seed for the server-side deterministic initial state.
+        seed: u64,
+    },
+    /// Server → client: success.
+    ReportReply {
+        /// The request this answers.
+        request_id: u64,
+        /// What executed.
+        reply: RunReply,
+    },
+    /// Server → client: typed failure. `request_id` is 0 when the
+    /// request was too malformed to carry one.
+    ErrorReply {
+        /// The request this answers (0 if unknown).
+        request_id: u64,
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable detail (bounded; see
+        /// [`crate::codec::MAX_TEXT_LEN`]).
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Encode this frame's *body* (version + tag + payload), without the
+    /// length prefix.
+    #[must_use]
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(PROTO_VERSION);
+        match self {
+            Frame::SubmitProblem { request_id, spec } => {
+                w.put_u8(TAG_SUBMIT);
+                w.put_u64(*request_id);
+                spec.encode(&mut w);
+            }
+            Frame::RunSteps {
+                request_id,
+                spec,
+                seed,
+            } => {
+                w.put_u8(TAG_RUN);
+                w.put_u64(*request_id);
+                spec.encode(&mut w);
+                w.put_u64(*seed);
+            }
+            Frame::ReportReply { request_id, reply } => {
+                w.put_u8(TAG_REPORT);
+                w.put_u64(*request_id);
+                reply.encode(&mut w);
+            }
+            Frame::ErrorReply {
+                request_id,
+                code,
+                message,
+            } => {
+                w.put_u8(TAG_ERROR);
+                w.put_u64(*request_id);
+                w.put_u8(code.to_u8());
+                w.put_str(message);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode one frame *body* (as framed by the length prefix).
+    ///
+    /// The caller has already consumed the whole body from the stream,
+    /// so any error here is recoverable: reply and keep reading.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
+        let mut r = ByteReader::new(body);
+        let version = r.u8()?;
+        if version != PROTO_VERSION {
+            return Err(DecodeError::UnknownVersion { got: version });
+        }
+        let tag = r.u8()?;
+        let frame = match tag {
+            TAG_SUBMIT => Frame::SubmitProblem {
+                request_id: r.u64()?,
+                spec: JobSpec::decode(&mut r)?,
+            },
+            TAG_RUN => Frame::RunSteps {
+                request_id: r.u64()?,
+                spec: JobSpec::decode(&mut r)?,
+                seed: r.u64()?,
+            },
+            TAG_REPORT => Frame::ReportReply {
+                request_id: r.u64()?,
+                reply: RunReply::decode(&mut r)?,
+            },
+            TAG_ERROR => Frame::ErrorReply {
+                request_id: r.u64()?,
+                code: ErrorCode::from_u8(r.u8()?)?,
+                message: r.str()?,
+            },
+            got => return Err(DecodeError::UnknownTag { got }),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// The correlation id carried by this frame (0 for none).
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::SubmitProblem { request_id, .. }
+            | Frame::RunSteps { request_id, .. }
+            | Frame::ReportReply { request_id, .. }
+            | Frame::ErrorReply { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// A stream-level protocol failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The peer's bytes failed to decode. `recoverable()` tells whether
+    /// the stream is still in sync.
+    Decode(DecodeError),
+}
+
+impl WireError {
+    /// True when the whole frame body was consumed before the failure,
+    /// so the connection can continue after an `ErrorReply`. False for
+    /// I/O errors and for length prefixes above [`MAX_FRAME_LEN`]
+    /// (where the remaining stream contents are unknowable).
+    #[must_use]
+    pub fn recoverable(&self) -> bool {
+        match self {
+            WireError::Io(_) => false,
+            WireError::Decode(DecodeError::FrameTooLarge { .. }) => false,
+            WireError::Decode(_) => true,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Decode(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> WireError {
+        WireError::Decode(e)
+    }
+}
+
+/// Write one length-prefixed frame and flush.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let body = frame.encode_body();
+    debug_assert!((body.len() as u64) <= MAX_FRAME_LEN);
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer hung
+/// up between frames). A length prefix above [`MAX_FRAME_LEN`] is
+/// rejected before any allocation and is **not** recoverable; any other
+/// [`DecodeError`] is returned after the full body was consumed, so the
+/// caller may reply and keep serving the connection.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None), // clean EOF between frames
+            Ok(0) => {
+                return Err(WireError::Decode(DecodeError::Truncated {
+                    needed: prefix.len() - got,
+                    have: 0,
+                }))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Decode(DecodeError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        }));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(Frame::decode_body(&body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::JobSpec;
+    use tempora_plan::Problem;
+    use tempora_stencil::Heat1dCoeffs;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(Problem::heat1d(256, 8, Heat1dCoeffs::classic(0.25)))
+    }
+
+    #[test]
+    fn stream_roundtrip_and_clean_eof() {
+        let frames = vec![
+            Frame::SubmitProblem {
+                request_id: 1,
+                spec: spec(),
+            },
+            Frame::RunSteps {
+                request_id: 2,
+                spec: spec(),
+                seed: 42,
+            },
+            Frame::ErrorReply {
+                request_id: 3,
+                code: ErrorCode::Poisoned,
+                message: "cached plan poisoned".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), *f);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Decode(DecodeError::FrameTooLarge { .. })
+        ));
+        assert!(!err.recoverable());
+    }
+
+    #[test]
+    fn unknown_version_is_recoverable() {
+        let mut body = Frame::SubmitProblem {
+            request_id: 9,
+            spec: spec(),
+        }
+        .encode_body();
+        body[0] = PROTO_VERSION + 1;
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnknownVersion {
+                got: PROTO_VERSION + 1
+            }
+        );
+        assert!(WireError::from(err).recoverable());
+    }
+}

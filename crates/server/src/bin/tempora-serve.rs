@@ -1,0 +1,92 @@
+//! `tempora-serve` — stand up the solver service and run until killed.
+//!
+//! ```text
+//! tempora-serve [--tcp ADDR] [--uds PATH] [--cache-cap N] [--shards N]
+//! ```
+//!
+//! With no flags it binds TCP on `127.0.0.1:0` (ephemeral port). On
+//! success it prints exactly one line to stdout —
+//! `tempora-serve listening tcp=HOST:PORT uds=PATH` — which the bench
+//! harness parses to discover the resolved port, then serves forever.
+
+use std::process::ExitCode;
+use tempora_server::{CacheConfig, Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tempora-serve [--tcp ADDR] [--uds PATH] [--cache-cap N] [--shards N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        tcp: None,
+        uds: None,
+        cache: CacheConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = match arg.as_str() {
+            "--help" | "-h" => return usage(),
+            _ => match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("tempora-serve: {arg} needs a value");
+                    return usage();
+                }
+            },
+        };
+        match arg.as_str() {
+            "--tcp" => config.tcp = Some(value),
+            "--uds" => config.uds = Some(value.into()),
+            "--cache-cap" => match value.parse() {
+                Ok(n) => config.cache.capacity = n,
+                Err(_) => {
+                    eprintln!("tempora-serve: --cache-cap wants an integer, got {value:?}");
+                    return usage();
+                }
+            },
+            "--shards" => match value.parse() {
+                Ok(n) if n > 0 => config.cache.shards = n,
+                _ => {
+                    eprintln!("tempora-serve: --shards wants a positive integer, got {value:?}");
+                    return usage();
+                }
+            },
+            _ => {
+                eprintln!("tempora-serve: unknown flag {arg}");
+                return usage();
+            }
+        }
+    }
+    if config.tcp.is_none() && config.uds.is_none() {
+        config.tcp = Some("127.0.0.1:0".to_string());
+    }
+
+    let server = match Server::start(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tempora-serve: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tcp = server
+        .tcp_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    let uds = config
+        .uds
+        .as_ref()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| "-".to_string());
+    println!("tempora-serve listening tcp={tcp} uds={uds}");
+    // The harness reads this line to find the port; make sure it is out
+    // before we block.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    // Serve until the process is killed (the bench harness and CI both
+    // manage lifetime externally).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,473 @@
+//! The sharded concurrent plan cache with same-plan request batching.
+//!
+//! # Interning
+//!
+//! Compiled [`Plan`]s are interned by [`SpecKey`] — the canonical bytes
+//! of problem *and* solver configuration — across a fixed array of
+//! shards, each an independent `Mutex<HashMap>`. Shard locks guard only
+//! map lookups (never a build or a run), so concurrent requests for
+//! *different* problems don't serialize on each other. Each shard holds
+//! at most `capacity / shards` entries; inserting beyond that evicts the
+//! least-recently-used entry of that shard. In-flight requests keep the
+//! evicted entry alive through their `Arc` — eviction only unlinks it
+//! from the map.
+//!
+//! # Batching (flat combining)
+//!
+//! Requests for the same entry don't queue on a lock one by one. Each
+//! request enqueues a job on the entry and then tries to become the
+//! entry's **combiner** (`try_lock` on the plan slot). The winner drains
+//! the whole queue under a single slot acquisition — plan built once,
+//! then one run per job — while the losers block on their job's condvar.
+//! A drained job records how many requests shared its acquisition
+//! ([`tempora_proto::RunReply::batched`]).
+//!
+//! # Poisoning
+//!
+//! A panic inside a cached plan's run (PR 8's failure model) returns
+//! [`PlanError::Poisoned`] and marks *only that entry's* plan. The
+//! poisoned run's own request gets [`ServeError::Poisoned`]; the **next**
+//! job for the same key finds `Plan::is_poisoned()`, calls
+//! [`Plan::reset`] against its fresh state, and runs — bitwise identical
+//! to a fresh build (pinned by `tests/fault_injection.rs`). If even the
+//! reset run fails, the plan is dropped from the slot so the following
+//! request rebuilds from scratch. A poisoned plan is never served as-is.
+
+use crate::fill::fresh_state;
+use crate::ServeError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
+use std::time::{Duration, Instant};
+use tempora_plan::{Plan, PlanError};
+use tempora_proto::{state_digest, JobSpec, RunReply, SpecKey};
+
+/// Lock a std mutex, continuing through lock poisoning: every critical
+/// section below leaves the guarded data consistent even if a holder
+/// panicked (worst case a `None` plan slot, which rebuilds).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cache shape knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independent shards (lock granularity).
+    pub shards: usize,
+    /// Total cached-plan capacity across all shards.
+    pub capacity: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            shards: 8,
+            capacity: 64,
+        }
+    }
+}
+
+/// Monotonic cache counters (all `Relaxed`: they are statistics, never
+/// used to order memory accesses).
+#[derive(Default, Debug)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    poison_resets: AtomicU64,
+    evictions: AtomicU64,
+    drains: AtomicU64,
+    drained_jobs: AtomicU64,
+}
+
+/// A point-in-time copy of the cache's internal counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Lookups that found an interned entry.
+    pub hits: u64,
+    /// Lookups that inserted a fresh entry.
+    pub misses: u64,
+    /// `PlanBuilder::build` invocations.
+    pub builds: u64,
+    /// Poison recoveries via `Plan::reset`.
+    pub poison_resets: u64,
+    /// Entries unlinked by LRU pressure.
+    pub evictions: u64,
+    /// Combiner drains executed.
+    pub drains: u64,
+    /// Jobs serviced across all drains.
+    pub drained_jobs: u64,
+}
+
+impl CacheStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        // Relaxed throughout: independent monotonic counters read for
+        // reporting; no cross-counter consistency is promised.
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed), // Relaxed: reporting
+            misses: self.misses.load(Ordering::Relaxed), // Relaxed: reporting
+            builds: self.builds.load(Ordering::Relaxed), // Relaxed: reporting
+            poison_resets: self.poison_resets.load(Ordering::Relaxed), // Relaxed: reporting
+            evictions: self.evictions.load(Ordering::Relaxed), // Relaxed: reporting
+            drains: self.drains.load(Ordering::Relaxed), // Relaxed: reporting
+            drained_jobs: self.drained_jobs.load(Ordering::Relaxed), // Relaxed: reporting
+        }
+    }
+}
+
+/// Where one request parks until its combiner publishes a result.
+struct JobSlot {
+    result: Mutex<Option<Result<RunReply, ServeError>>>,
+    ready: Condvar,
+}
+
+struct Job {
+    seed: u64,
+    /// True when the map lookup found the entry already interned.
+    map_hit: bool,
+    enqueued: Instant,
+    done: Arc<JobSlot>,
+}
+
+/// One interned spec: its compiled plan (the slot) plus the batching
+/// queue. The slot mutex doubles as the combiner token.
+struct Entry {
+    spec: JobSpec,
+    /// LRU tick of the last lookup. Relaxed: an approximate recency
+    /// order is all eviction needs.
+    last_used: AtomicU64,
+    builds: AtomicU64,
+    resets: AtomicU64,
+    slot: Mutex<Option<Plan>>,
+    queue: Mutex<VecDeque<Job>>,
+}
+
+type Shard = Mutex<HashMap<SpecKey, Arc<Entry>>>;
+
+/// The sharded concurrent plan cache. See the module docs.
+pub struct PlanCache {
+    shards: Vec<Shard>,
+    per_shard_cap: usize,
+    clock: AtomicU64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache with `config`'s shape.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> PlanCache {
+        let shards = config.shards.max(1);
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: (config.capacity / shards).max(1),
+            clock: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Interned entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// True when nothing is interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Find or intern the entry for `spec`, bumping LRU recency and the
+    /// hit/miss counters, evicting the shard's LRU entry on overflow.
+    fn entry(&self, spec: &JobSpec) -> (Arc<Entry>, bool) {
+        let key = spec.key();
+        let shard = &self.shards[(key.hash64() as usize) % self.shards.len()];
+        // Relaxed: the tick only orders evictions approximately.
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut map = lock(shard);
+        if let Some(entry) = map.get(&key) {
+            // Relaxed: recency bookkeeping only.
+            entry.last_used.store(now, Ordering::Relaxed);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+            return (Arc::clone(entry), true);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+        if map.len() >= self.per_shard_cap {
+            // Relaxed: same recency bookkeeping as above.
+            let lru = map
+                .iter()
+                // Relaxed: recency bookkeeping only.
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(lru) = lru {
+                map.remove(&lru);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+            }
+        }
+        let entry = Arc::new(Entry {
+            spec: *spec,
+            last_used: AtomicU64::new(now),
+            builds: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+            slot: Mutex::new(None),
+            queue: Mutex::new(VecDeque::new()),
+        });
+        map.insert(key, Arc::clone(&entry));
+        (entry, false)
+    }
+
+    /// Intern `spec` and compile its plan without running it (the
+    /// `SubmitProblem` path). The reply carries `steps == 0` and the
+    /// entry's build counters.
+    pub fn prepare(&self, spec: &JobSpec) -> Result<RunReply, ServeError> {
+        let start = Instant::now();
+        let (entry, map_hit) = self.entry(spec);
+        let mut slot = lock(&entry.slot);
+        let built_now = slot.is_none();
+        let plan = self.ensure_plan(&entry, &mut slot)?;
+        Ok(RunReply {
+            cache_hit: map_hit && !built_now,
+            // Relaxed: reporting monotonic counters.
+            plan_builds: entry.builds.load(Ordering::Relaxed),
+            resets: entry.resets.load(Ordering::Relaxed), // Relaxed: reporting
+            batched: 1,
+            engine: plan.engine(),
+            steps: 0,
+            threads: plan.threads() as u32,
+            pinned: false,
+            tiles: None,
+            lcs_length: None,
+            digest: 0,
+            server_ns: start.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Run `spec`'s plan against a fresh `seed`-derived state, batching
+    /// with any concurrent same-spec requests. Blocks until a combiner
+    /// (possibly this thread) publishes the result.
+    pub fn run(&self, spec: &JobSpec, seed: u64) -> Result<RunReply, ServeError> {
+        let (entry, map_hit) = self.entry(spec);
+        let done = Arc::new(JobSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        lock(&entry.queue).push_back(Job {
+            seed,
+            map_hit,
+            enqueued: Instant::now(),
+            done: Arc::clone(&done),
+        });
+        loop {
+            if let Some(result) = lock(&done.result).take() {
+                return result;
+            }
+            match entry.slot.try_lock() {
+                Ok(mut slot) => self.drain(&entry, &mut slot),
+                // Another thread holds the combiner token and a poisoned
+                // token still drains queued jobs consistently.
+                Err(TryLockError::Poisoned(p)) => self.drain(&entry, &mut p.into_inner()),
+                Err(TryLockError::WouldBlock) => {
+                    // A combiner is active. Wait for it to publish our
+                    // result, with a timeout so the push-after-drain race
+                    // (combiner exits just before our enqueue became
+                    // visible) re-enters try_lock instead of hanging.
+                    let guard = lock(&done.result);
+                    if guard.is_some() {
+                        continue;
+                    }
+                    drop(
+                        done.ready
+                            .wait_timeout(guard, Duration::from_micros(500))
+                            .unwrap_or_else(PoisonError::into_inner),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Drain every queued job of `entry` under one slot acquisition —
+    /// the flat-combining step.
+    fn drain(&self, entry: &Entry, slot: &mut Option<Plan>) {
+        let jobs: Vec<Job> = lock(&entry.queue).drain(..).collect();
+        if jobs.is_empty() {
+            return;
+        }
+        // Relaxed: statistics.
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .drained_jobs
+            // Relaxed: statistics.
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let batched = jobs.len() as u32;
+        for job in jobs {
+            let built_now = slot.is_none();
+            let outcome = self.run_one(entry, slot, &job, built_now, batched);
+            *lock(&job.done.result) = Some(outcome);
+            job.done.ready.notify_all();
+        }
+    }
+
+    /// Execute one job against the (possibly still unbuilt, possibly
+    /// poisoned) plan in `slot`.
+    fn run_one(
+        &self,
+        entry: &Entry,
+        slot: &mut Option<Plan>,
+        job: &Job,
+        built_now: bool,
+        batched: u32,
+    ) -> Result<RunReply, ServeError> {
+        let plan = self.ensure_plan(entry, slot)?;
+        let mut state = fresh_state(&entry.spec.problem, job.seed);
+        if plan.is_poisoned() {
+            // Poison recovery: reset against the fresh state, then run.
+            // The entry's plan is reused — zero rebuilds — and the run
+            // below is bitwise-identical to a fresh plan's.
+            plan.reset(&mut state).map_err(ServeError::Run)?;
+            // Relaxed: statistics.
+            entry.resets.fetch_add(1, Ordering::Relaxed);
+            self.stats.poison_resets.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+        }
+        let report = match plan.run(&mut state) {
+            Ok(report) => report,
+            Err(PlanError::Poisoned { panic }) => {
+                // This request's run panicked: the entry stays interned
+                // with its poisoned plan (the *next* job resets it) and
+                // only this request fails.
+                return Err(ServeError::Poisoned(panic));
+            }
+            Err(e) => {
+                // A non-poisoning failure after a reset means the plan is
+                // beyond recovery; drop it so the next request rebuilds.
+                *slot = None;
+                return Err(ServeError::Run(e));
+            }
+        };
+        Ok(RunReply {
+            cache_hit: job.map_hit && !built_now,
+            // Relaxed: reporting monotonic counters.
+            plan_builds: entry.builds.load(Ordering::Relaxed),
+            resets: entry.resets.load(Ordering::Relaxed), // Relaxed: reporting
+            batched,
+            engine: report.engine,
+            steps: report.steps as u64,
+            threads: report.threads as u32,
+            pinned: report.pinned,
+            tiles: report
+                .tiles
+                .map(|t| (t.tiles as u64, t.block as u64, t.height as u64)),
+            lcs_length: report.lcs_length,
+            digest: state_digest(&state),
+            server_ns: job.enqueued.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Build the entry's plan if the slot is empty.
+    fn ensure_plan<'s>(
+        &self,
+        entry: &Entry,
+        slot: &'s mut Option<Plan>,
+    ) -> Result<&'s mut Plan, ServeError> {
+        if slot.is_none() {
+            let plan = entry
+                .spec
+                .config
+                .plan_builder()
+                .build(&entry.spec.problem)
+                .map_err(ServeError::Build)?;
+            // Relaxed: statistics.
+            entry.builds.fetch_add(1, Ordering::Relaxed);
+            self.stats.builds.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+            *slot = Some(plan);
+        }
+        match slot.as_mut() {
+            Some(plan) => Ok(plan),
+            // The branch above just filled the slot; `None` here is
+            // impossible but still mapped to an error, never a panic.
+            None => Err(ServeError::Internal("plan slot empty after build")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_plan::Problem;
+    use tempora_proto::Tiling;
+    use tempora_stencil::Heat1dCoeffs;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(Problem::heat1d(512, 8, Heat1dCoeffs::classic(0.25)))
+    }
+
+    #[test]
+    fn second_run_hits_without_rebuilding() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let first = cache.run(&spec(), 1).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.plan_builds, 1);
+        let second = cache.run(&spec(), 1).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.plan_builds, 1, "hit must not rebuild");
+        assert_eq!(second.digest, first.digest, "same seed, same state");
+        let stats = cache.stats();
+        assert_eq!((stats.builds, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_configs_intern_distinct_plans() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let a = spec();
+        let mut b = spec();
+        b.config.tiling = Tiling::Ghost {
+            block: 64,
+            height: 4,
+        };
+        b.config.threads = 2;
+        cache.run(&a, 1).unwrap();
+        cache.run(&b, 1).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_cache_bounded() {
+        let cache = PlanCache::new(CacheConfig {
+            shards: 1,
+            capacity: 2,
+        });
+        for n in [128usize, 160, 192, 224] {
+            let s = JobSpec::new(Problem::heat1d(n, 4, Heat1dCoeffs::classic(0.25)));
+            cache.run(&s, 1).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+        // An evicted spec comes back as a miss + rebuild, not an error.
+        let s = JobSpec::new(Problem::heat1d(128, 4, Heat1dCoeffs::classic(0.25)));
+        let r = cache.run(&s, 1).unwrap();
+        assert!(!r.cache_hit);
+    }
+
+    #[test]
+    fn concurrent_same_spec_requests_share_one_build() {
+        let cache = std::sync::Arc::new(PlanCache::new(CacheConfig::default()));
+        let mut handles = Vec::new();
+        for seed in 0..8u64 {
+            let cache = std::sync::Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                cache.run(&spec(), seed).unwrap()
+            }));
+        }
+        let replies: Vec<RunReply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(cache.stats().builds, 1, "one build for the whole burst");
+        assert!(replies.iter().all(|r| r.plan_builds == 1));
+        // Same seed ⇒ same digest; different seeds ⇒ (almost surely) not.
+        assert_ne!(replies[0].digest, replies[1].digest);
+    }
+}

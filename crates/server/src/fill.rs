@@ -1,0 +1,66 @@
+//! Deterministic server-side state initialization.
+//!
+//! `RunSteps` carries only a `seed`, never grid payloads (frames stay
+//! tiny and the cache key stays purely geometric), so the server and any
+//! reference run must derive the *same* initial state from
+//! `(problem, seed)`. This module is that single definition — the bench
+//! harness and the fault-injection tests call it in-process to assert
+//! bitwise identity against server-side runs.
+
+use tempora_grid::{fill_random_1d, fill_random_2d, fill_random_3d, fill_random_life};
+use tempora_plan::{Problem, State};
+
+/// A freshly initialized state for `problem`, deterministically filled
+/// from `seed`: uniform `[-1, 1)` for the `f64` grids, 35% alive cells
+/// for Life, and 4-symbol pseudo-random sequences for LCS.
+#[must_use]
+pub fn fresh_state(problem: &Problem, seed: u64) -> State {
+    let mut state = problem.state();
+    match &mut state {
+        State::Grid1(g) => fill_random_1d(g, seed, -1.0, 1.0),
+        State::Grid2(g) => fill_random_2d(g, seed, -1.0, 1.0),
+        State::Grid2i(g) => fill_random_life(g, seed, 0.35),
+        State::Grid3(g) => fill_random_3d(g, seed, -1.0, 1.0),
+        State::Lcs(l) => {
+            let mut s = splitmix(seed);
+            for v in l.a.iter_mut() {
+                s = splitmix(s);
+                *v = (s % 4) as u8;
+            }
+            for v in l.b.iter_mut() {
+                s = splitmix(s);
+                *v = (s % 4) as u8;
+            }
+            l.length = None;
+        }
+    }
+    state
+}
+
+/// One SplitMix64 step — a tiny, stable PRNG for the LCS alphabets
+/// (the grid fills reuse the workspace RNG via `tempora_grid`).
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempora_proto::state_digest;
+    use tempora_stencil::Heat1dCoeffs;
+
+    #[test]
+    fn same_seed_same_state_different_seed_different_state() {
+        let heat = Problem::heat1d(128, 4, Heat1dCoeffs::classic(0.25));
+        for p in [heat, Problem::lcs(64, 48)] {
+            let a = fresh_state(&p, 7);
+            let b = fresh_state(&p, 7);
+            let c = fresh_state(&p, 8);
+            assert_eq!(state_digest(&a), state_digest(&b));
+            assert_ne!(state_digest(&a), state_digest(&c));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! # tempora-server — the long-running solver service
+//!
+//! `tempora-serve` turns the prepared-statement lifecycle
+//! (`Problem → Plan → run`) into a service: plans are compiled once,
+//! interned in a sharded concurrent [`PlanCache`], and reused clone-free
+//! across every connection that asks for the same canonical
+//! [`JobSpec`](tempora_proto::JobSpec). The paper's economics — pay the
+//! temporal-reorg/plan cost once, stream steady-state steps at SIMD
+//! speed — applied across requests instead of within one process run.
+//!
+//! The network layer is deliberately small: a hand-rolled
+//! thread-per-connection loop over TCP and/or Unix sockets speaking the
+//! [`tempora_proto`] length-prefixed frames. All concurrency of interest
+//! lives in the cache (batching, poisoning recovery), not the sockets.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cache;
+mod fill;
+
+pub use cache::{CacheConfig, PlanCache, StatsSnapshot};
+pub use fill::fresh_state;
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tempora_plan::PlanError;
+use tempora_proto::{read_frame, write_frame, DecodeError, ErrorCode, Frame, WireError};
+
+/// Why the server could not answer a request with a `ReportReply`.
+#[derive(Debug)]
+pub enum ServeError {
+    /// `PlanBuilder::build` rejected the spec.
+    Build(PlanError),
+    /// `Plan::run` (or a pre-run check) failed without poisoning.
+    Run(PlanError),
+    /// The run panicked and poisoned the cached plan; the payload is the
+    /// captured panic message. The entry recovers on the next request.
+    Poisoned(String),
+    /// An internal invariant failed.
+    Internal(&'static str),
+}
+
+impl ServeError {
+    /// The wire-level error category for this failure.
+    #[must_use]
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::Build(_) => ErrorCode::BuildFailed,
+            ServeError::Run(_) => ErrorCode::RunFailed,
+            ServeError::Poisoned(_) => ErrorCode::Poisoned,
+            ServeError::Internal(_) => ErrorCode::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Build(e) => write!(f, "plan build failed: {e}"),
+            ServeError::Run(e) => write!(f, "plan run failed: {e}"),
+            ServeError::Poisoned(p) => write!(f, "cached plan poisoned by panic: {p}"),
+            ServeError::Internal(m) => write!(f, "internal server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Server shape: where to listen and how big the plan cache is.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// TCP bind address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub tcp: Option<String>,
+    /// Unix-socket path (removed and re-bound on start).
+    pub uds: Option<PathBuf>,
+    /// Plan-cache shape.
+    pub cache: CacheConfig,
+}
+
+/// A running server: accept loops live on background threads until
+/// [`Server::shutdown`] (or drop, which only detaches them).
+pub struct Server {
+    cache: Arc<PlanCache>,
+    stop: Arc<AtomicBool>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+    acceptors: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the configured listeners and start accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let cache = Arc::new(PlanCache::new(config.cache));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr.as_str())?;
+            tcp_addr = Some(listener.local_addr()?);
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            acceptors.push(std::thread::spawn(move || {
+                accept_tcp(listener, cache, stop)
+            }));
+        }
+        let mut uds_path = None;
+        if let Some(path) = &config.uds {
+            // A stale socket file from a previous run would make bind fail.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            uds_path = Some(path.clone());
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            acceptors.push(std::thread::spawn(move || {
+                accept_uds(listener, cache, stop)
+            }));
+        }
+        Ok(Server {
+            cache,
+            stop,
+            tcp_addr,
+            uds_path,
+            acceptors,
+        })
+    }
+
+    /// The bound TCP address (with the resolved ephemeral port), if TCP
+    /// was configured.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The shared plan cache (for in-process inspection in tests and
+    /// the bench harness).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Stop accepting and join the accept loops. Already-open
+    /// connections finish their in-flight frame and close on next read.
+    pub fn shutdown(mut self) {
+        // Release: pairs with the Acquire in the accept loops so a loop
+        // woken by the poke below observes the flag.
+        self.stop.store(true, Ordering::Release);
+        // Poke each listener so its blocking accept() returns.
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = UnixStream::connect(path);
+            let _ = std::fs::remove_file(path);
+        }
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_tcp(listener: TcpListener, cache: Arc<PlanCache>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        // Acquire: pairs with the Release store in `shutdown`.
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                serve_connection(reader, BufWriter::new(stream), &cache);
+            });
+        }
+    }
+}
+
+fn accept_uds(listener: UnixListener, cache: Arc<PlanCache>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        // Acquire: pairs with the Release store in `shutdown`.
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                serve_connection(reader, BufWriter::new(stream), &cache);
+            });
+        }
+    }
+}
+
+/// One connection's request→reply loop. Recoverable decode failures
+/// (truncated body, unknown version/tag, malformed payload — the body
+/// was fully consumed, the stream is in sync) answer an `ErrorReply`
+/// and keep serving; I/O errors and oversized length prefixes close.
+fn serve_connection(
+    mut reader: impl std::io::Read,
+    mut writer: impl std::io::Write,
+    cache: &PlanCache,
+) {
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean EOF
+            Err(err) => {
+                if err.recoverable() {
+                    let code = match &err {
+                        WireError::Decode(DecodeError::UnknownVersion { .. }) => {
+                            ErrorCode::UnsupportedVersion
+                        }
+                        _ => ErrorCode::BadFrame,
+                    };
+                    let reply = Frame::ErrorReply {
+                        request_id: 0,
+                        code,
+                        message: err.to_string(),
+                    };
+                    if write_frame(&mut writer, &reply).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                return;
+            }
+        };
+        let reply = match frame {
+            Frame::SubmitProblem { request_id, spec } => match cache.prepare(&spec) {
+                Ok(reply) => Frame::ReportReply { request_id, reply },
+                Err(e) => Frame::ErrorReply {
+                    request_id,
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            },
+            Frame::RunSteps {
+                request_id,
+                spec,
+                seed,
+            } => match cache.run(&spec, seed) {
+                Ok(reply) => Frame::ReportReply { request_id, reply },
+                Err(e) => Frame::ErrorReply {
+                    request_id,
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            },
+            // Reply frames arriving at the server are a client bug.
+            Frame::ReportReply { request_id, .. } | Frame::ErrorReply { request_id, .. } => {
+                Frame::ErrorReply {
+                    request_id,
+                    code: ErrorCode::BadFrame,
+                    message: "reply frame sent to server".into(),
+                }
+            }
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //! | [`tiling`] | ghost / skewed / rectangle tiling workspaces |
 //! | [`parallel`] | crossbeam worker pool + wavefront executor |
 //! | [`plan`] | **the solver API**: `Problem → PlanBuilder → Plan → Report` |
+//! | [`proto`] | service wire protocol + canonical `Problem` serialization / cache keys |
+//! | [`server`] | `tempora-serve`: sharded concurrent plan cache, request batching |
+//! | [`client`] | blocking service client + `tempora-agent` load scenarios |
 //!
 //! The unified entry point is the [`plan`] layer: describe a
 //! [`prelude::Problem`], compile a [`prelude::Plan`] (geometry validated,
@@ -70,11 +73,14 @@
 #![warn(rust_2018_idioms)]
 
 pub use tempora_baseline as baseline;
+pub use tempora_client as client;
 pub use tempora_core as core;
 pub use tempora_core::engine;
 pub use tempora_grid as grid;
 pub use tempora_parallel as parallel;
 pub use tempora_plan as plan;
+pub use tempora_proto as proto;
+pub use tempora_server as server;
 pub use tempora_simd as simd;
 pub use tempora_stencil as stencil;
 pub use tempora_tiling as tiling;

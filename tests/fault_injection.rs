@@ -388,3 +388,82 @@ fn env_variable_syntax_arms_failpoints() {
     fp::clear();
     pool.for_each_index(4, |_| {});
 }
+
+/// The plan-cache × poisoning interaction (PR 9): an injected panic
+/// inside a *cached* plan's run must poison only that entry. The next
+/// request for the same key gets a reset plan — zero rebuilds, bitwise
+/// identical to a fresh in-process plan — and unrelated entries never
+/// notice.
+#[test]
+fn cached_plan_poisoning_is_per_entry_and_recovers() {
+    use tempora::proto::{state_digest, JobSpec, Tiling as ProtoTiling};
+    use tempora::server::{CacheConfig, PlanCache, ServeError};
+
+    let _g = fp_guard();
+    // Spec A: threaded ghost-tiled heat — its run drives the pool/wave
+    // task sites the failpoints arm. Spec B: a different key entirely.
+    let mut spec_a = JobSpec::new(Problem::heat1d(300, 13, Heat1dCoeffs::classic(0.24)));
+    spec_a.config.stride = Some(3);
+    spec_a.config.tiling = ProtoTiling::Ghost {
+        block: 48,
+        height: 4,
+    };
+    spec_a.config.threads = 2;
+    let mut spec_b = JobSpec::new(Problem::gs1d(400, 11, Gs1dCoeffs::classic(0.22)));
+    spec_b.config.stride = Some(2);
+    spec_b.config.tiling = ProtoTiling::Skew {
+        block: 64,
+        height: 4,
+    };
+    spec_b.config.threads = 2;
+    let seed = 1234u64;
+
+    // Gold digests: fresh plans run in-process over the same
+    // deterministic fill the server uses.
+    let gold = |spec: &JobSpec| {
+        let mut state = tempora::server::fresh_state(&spec.problem, seed);
+        spec.config
+            .plan_builder()
+            .build(&spec.problem)
+            .expect("gold build")
+            .run(&mut state)
+            .expect("gold run");
+        state_digest(&state)
+    };
+    let gold_a = gold(&spec_a);
+    let gold_b = gold(&spec_b);
+
+    let cache = PlanCache::new(CacheConfig::default());
+    assert_eq!(cache.run(&spec_a, seed).expect("warm A").digest, gold_a);
+    assert_eq!(cache.run(&spec_b, seed).expect("warm B").digest, gold_b);
+    assert_eq!(cache.stats().builds, 2);
+
+    // Inject: A's next run panics inside the pool and poisons A's entry.
+    fp::arm("wave_task=panic@1;pool_task=panic@1");
+    match cache.run(&spec_a, seed) {
+        Err(ServeError::Poisoned(panic)) => {
+            assert!(panic.contains("injected panic"), "{panic}")
+        }
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    fp::clear();
+
+    // B's entry never noticed: still a hit, still one build, same bits.
+    let b = cache.run(&spec_b, seed).expect("B after A poisoned");
+    assert!(b.cache_hit, "B must be unaffected by A's poisoning");
+    assert_eq!(b.plan_builds, 1);
+    assert_eq!(b.resets, 0);
+    assert_eq!(b.digest, gold_b);
+
+    // A recovers by reset, not rebuild, and matches the fresh plan
+    // bitwise.
+    let a = cache.run(&spec_a, seed).expect("A recovers");
+    assert!(a.cache_hit);
+    assert_eq!(a.plan_builds, 1, "recovery must not rebuild");
+    assert_eq!(a.resets, 1, "recovery goes through Plan::reset");
+    assert_eq!(a.digest, gold_a, "reset plan != fresh plan");
+
+    let stats = cache.stats();
+    assert_eq!(stats.poison_resets, 1);
+    assert_eq!(stats.builds, 2, "whole scenario: exactly two builds");
+}
