@@ -14,17 +14,31 @@
 //!
 //! ```text
 //! serve-bench [--out PATH] [--bin-dir DIR] [--requests N] [--conns N]
-//!             [--scenarios a,b,c] [--n N] [--steps N]
+//!             [--scenarios a,b,c] [--n N] [--steps N] [--chaos]
 //! ```
+//!
+//! `--chaos` (requires a `--features failpoints` build) runs the
+//! **network-chaos scenario** instead: an in-process server on a Unix
+//! socket, hammered by retrying clients while the harness repeatedly
+//! kills connections mid-request via the `conn_frame` failpoint, stalls
+//! replies via `conn_reply`, hard-drops a whole server generation, and
+//! gracefully drains another. It reports availability (success rate,
+//! retry/reconnect counts, p99 under faults) plus the `DrainReport`,
+//! and fails unless every successful reply was bitwise-identical to a
+//! fresh in-process run.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tempora_client::hist::Histogram;
+use tempora_client::retry::{RetryPolicy, RetryingClient, Target};
 use tempora_client::Client;
 use tempora_plan::Problem;
 use tempora_proto::{state_digest, JobSpec};
-use tempora_server::fresh_state;
+use tempora_server::{fresh_state, CacheConfig, ResilienceConfig, Server, ServerConfig};
 use tempora_stencil::Heat1dCoeffs;
 
 struct Options {
@@ -35,6 +49,7 @@ struct Options {
     scenarios: Vec<String>,
     n: usize,
     steps: usize,
+    chaos: bool,
 }
 
 impl Default for Options {
@@ -50,6 +65,7 @@ impl Default for Options {
                 .collect(),
             n: 4096,
             steps: 32,
+            chaos: false,
         }
     }
 }
@@ -57,7 +73,7 @@ impl Default for Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve-bench [--out PATH] [--bin-dir DIR] [--requests N] [--conns N] \
-         [--scenarios baseline,fan-out,fan-in,churn] [--n N] [--steps N]"
+         [--scenarios baseline,fan-out,fan-in,churn] [--n N] [--steps N] [--chaos]"
     );
     ExitCode::from(2)
 }
@@ -354,7 +370,253 @@ fn verify(dir: &Path, opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// Shared progress the chaos driver watches while its clients run.
+#[derive(Default)]
+struct ChaosCounters {
+    ok: AtomicU64,
+    errors: AtomicU64,
+    digest_mismatches: AtomicU64,
+}
+
+impl ChaosCounters {
+    fn progress(&self) -> u64 {
+        // Relaxed: monotonic progress estimate for pacing the chaos
+        // timeline; no cross-counter consistency needed.
+        self.ok.load(Ordering::Relaxed) + self.errors.load(Ordering::Relaxed)
+    }
+}
+
+fn chaos_server_config(path: &Path) -> ServerConfig {
+    ServerConfig {
+        tcp: None,
+        uds: Some(path.to_path_buf()),
+        cache: CacheConfig::default(),
+        resilience: ResilienceConfig {
+            poll_tick: Duration::from_millis(10),
+            stall_timeout: Duration::from_millis(500),
+            ..ResilienceConfig::default()
+        },
+    }
+}
+
+/// The network-chaos scenario (see the module docs): retrying clients
+/// vs injected connection kills, reply stalls, one hard server drop and
+/// one graceful drain — all on one Unix socket path.
+fn chaos(opts: &Options) -> Result<String, String> {
+    if !tempora_failpoint::enabled() {
+        return Err(
+            "--chaos needs live failpoints: rebuild with --features failpoints".to_string(),
+        );
+    }
+    let path = std::env::temp_dir().join(format!("tempora-chaos-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let spec = JobSpec::new(Problem::heat1d(
+        opts.n,
+        opts.steps,
+        Heat1dCoeffs::classic(0.25),
+    ));
+    let seed = 0xc4a05;
+
+    // The ground truth every reply — first try or Nth retry — must hit.
+    let mut state = fresh_state(&spec.problem, seed);
+    spec.config
+        .plan_builder()
+        .build(&spec.problem)
+        .map_err(|e| format!("reference build failed: {e}"))?
+        .run(&mut state)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let want_digest = state_digest(&state);
+
+    let workers = opts.conns.max(2);
+    let per_worker = (opts.requests / workers).max(20);
+    let total = (workers * per_worker) as u64;
+    let counters = Arc::new(ChaosCounters::default());
+    let merged = Arc::new(Mutex::new(Histogram::new()));
+    let retry_totals = Arc::new(Mutex::new((0u64, 0u64))); // (retries, reconnects)
+
+    // Injected connection kills are *expected* here; keep their panic
+    // reports to one quiet line each instead of a full backtrace storm.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().cloned();
+        match msg {
+            Some(m) if m.starts_with("failpoint `conn_") => {
+                eprintln!("serve-bench: injected fault: {m}");
+            }
+            _ => default_hook(info),
+        }
+    }));
+
+    tempora_failpoint::clear();
+    let gen1 =
+        Server::start(chaos_server_config(&path)).map_err(|e| format!("gen-1 bind failed: {e}"))?;
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let path = path.clone();
+        let counters = Arc::clone(&counters);
+        let merged = Arc::clone(&merged);
+        let retry_totals = Arc::clone(&retry_totals);
+        handles.push(std::thread::spawn(move || {
+            let mut client = RetryingClient::new(
+                Target::Uds(path),
+                RetryPolicy {
+                    max_attempts: 64,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                    jitter_seed: 0x5eed ^ (w as u64) << 8,
+                },
+            )
+            .with_io_timeout(Duration::from_secs(5));
+            let mut latency = Histogram::new();
+            for _ in 0..per_worker {
+                let sent = Instant::now();
+                match client.run_steps(&spec, seed) {
+                    Ok(reply) => {
+                        // Relaxed: statistics.
+                        counters.ok.fetch_add(1, Ordering::Relaxed);
+                        if reply.digest != want_digest {
+                            // Relaxed: statistic.
+                            counters.digest_mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        latency.record(sent.elapsed().as_nanos() as u64);
+                    }
+                    Err(_) => {
+                        // Relaxed: statistic.
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            let stats = client.stats();
+            // Justification: lock poisoning here means a sibling worker
+            // panicked, which already fails the bench.
+            let mut totals = retry_totals.lock().expect("retry totals mutex");
+            totals.0 += stats.retries;
+            totals.1 += stats.reconnects;
+            // Justification: poisoned only if a sibling worker panicked.
+            merged.lock().expect("histogram mutex").merge(&latency);
+        }));
+    }
+
+    // Chaos timeline, paced by client progress so every phase lands
+    // mid-scenario regardless of machine speed.
+    let wait_until = |frac: f64, label: &str| -> Result<(), String> {
+        let target = (total as f64 * frac) as u64;
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while counters.progress() < target {
+            if Instant::now() > deadline {
+                return Err(format!("chaos stalled waiting for {label}"));
+            }
+            // Connection-kill faults: each arm panics (at most) one
+            // connection thread at its next request — a dropped
+            // connection mid-stream, from the client's point of view.
+            tempora_failpoint::arm("conn_frame=panic@1");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    };
+
+    wait_until(1.0 / 6.0, "first fault window")?;
+    // A stalled reply (slow server, not dead server).
+    tempora_failpoint::arm("conn_reply=sleep:100@1");
+    wait_until(2.0 / 6.0, "hard-kill point")?;
+
+    // Hard kill: no farewell, no drain — connections are force-closed
+    // and the socket file vanishes, exactly like a crashed process.
+    drop(gen1);
+    let gen2 =
+        Server::start(chaos_server_config(&path)).map_err(|e| format!("gen-2 bind failed: {e}"))?;
+
+    wait_until(4.0 / 6.0, "graceful-drain point")?;
+
+    // Graceful drain mid-load: shutdown must flush in-flight replies,
+    // farewell the rest, and join every connection thread.
+    tempora_failpoint::clear();
+    let drain = gen2.shutdown(Duration::from_secs(10));
+    if drain.elapsed > Duration::from_secs(10) {
+        return Err(format!("mid-load drain blew its deadline: {drain:?}"));
+    }
+    let gen3 =
+        Server::start(chaos_server_config(&path)).map_err(|e| format!("gen-3 bind failed: {e}"))?;
+
+    for handle in handles {
+        handle
+            .join()
+            .map_err(|_| "chaos worker panicked".to_string())?;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let final_drain = gen3.shutdown(Duration::from_secs(10));
+    if !final_drain.clean {
+        return Err(format!("final drain left stragglers: {final_drain:?}"));
+    }
+    let _ = std::fs::remove_file(&path);
+
+    let ok = counters.ok.load(Ordering::Relaxed); // Relaxed: reporting
+    let errors = counters.errors.load(Ordering::Relaxed); // Relaxed: reporting
+                                                          // Relaxed: reporting.
+    let mismatches = counters.digest_mismatches.load(Ordering::Relaxed);
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} replies diverged from the fresh in-process digest"
+        ));
+    }
+    if ok + errors != total {
+        return Err(format!(
+            "accounting hole: {ok} ok + {errors} errors != {total} issued"
+        ));
+    }
+    let availability = ok as f64 / total as f64;
+    // Justification: workers are joined; a poisoned lock means one
+    // panicked and the bench should die loudly.
+    let (retries, reconnects) = *retry_totals.lock().expect("retry totals mutex");
+    if reconnects == 0 {
+        return Err("chaos run saw zero reconnects — faults never landed".to_string());
+    }
+    // Justification: workers are joined; poisoning implies a panic.
+    let merged = merged.lock().expect("histogram mutex");
+    Ok(format!(
+        concat!(
+            "{{\"scenario\":\"chaos\",\"workers\":{},\"requests\":{},",
+            "\"ok\":{},\"errors\":{},\"availability\":{:.4},",
+            "\"retries\":{},\"reconnects\":{},\"digest_match\":true,",
+            "\"restarts\":2,\"drain_drained\":{},\"drain_forced\":{},",
+            "\"drain_clean\":{},\"drain_elapsed_ms\":{:.1},",
+            "\"p50_us\":{:.3},\"p99_us\":{:.3},\"elapsed_s\":{:.3}}}"
+        ),
+        workers,
+        total,
+        ok,
+        errors,
+        availability,
+        retries,
+        reconnects,
+        drain.drained,
+        drain.forced,
+        drain.clean,
+        drain.elapsed.as_secs_f64() * 1000.0,
+        merged.percentile(0.50) as f64 / 1000.0,
+        merged.percentile(0.99) as f64 / 1000.0,
+        elapsed_s,
+    ))
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    if opts.chaos {
+        eprintln!("serve-bench: running network-chaos scenario");
+        let chaos_json = chaos(opts)?;
+        let summary = format!(
+            "{{\"schema\":\"tempora-serve-chaos-v1\",\"problem\":\"heat1d\",\"n\":{},\"steps\":{},\"chaos\":{}}}\n",
+            opts.n, opts.steps, chaos_json
+        );
+        let mut file = std::fs::File::create(&opts.out)
+            .map_err(|e| format!("creating {} failed: {e}", opts.out.display()))?;
+        file.write_all(summary.as_bytes())
+            .map_err(|e| format!("writing {} failed: {e}", opts.out.display()))?;
+        eprintln!("serve-bench: wrote {}", opts.out.display());
+        return Ok(());
+    }
     let dir = bin_dir(opts)?;
     for bin in ["tempora-serve", "tempora-agent"] {
         if !dir.join(bin).exists() {
@@ -399,6 +661,10 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         if matches!(arg.as_str(), "--help" | "-h") {
             return usage();
+        }
+        if arg == "--chaos" {
+            opts.chaos = true;
+            continue;
         }
         let Some(value) = args.next() else {
             eprintln!("serve-bench: {arg} needs a value");

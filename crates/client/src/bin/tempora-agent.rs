@@ -4,6 +4,7 @@
 //! tempora-agent --connect HOST:PORT [--scenario NAME] [--conns N]
 //!               [--requests N] [--distinct N] [--seed N]
 //!               [--problem KIND] [--n N] [--steps N] [--threads N]
+//!               [--retry ATTEMPTS] [--retry-base-ms MS] [--io-timeout-ms MS]
 //! ```
 //!
 //! Runs one scenario (`baseline`, `fan-out`, `fan-in`, `churn`) and
@@ -12,6 +13,8 @@
 //! harness consumes that line and merges histograms across agents.
 
 use std::process::ExitCode;
+use std::time::Duration;
+use tempora_client::retry::RetryPolicy;
 use tempora_client::scenario::{self, Scenario, ScenarioCfg};
 
 fn usage() -> ExitCode {
@@ -19,7 +22,8 @@ fn usage() -> ExitCode {
         "usage: tempora-agent (--connect HOST:PORT | --uds PATH) \
          [--scenario baseline|fan-out|fan-in|churn] [--conns N] [--requests N] \
          [--distinct N] [--seed N] [--problem heat1d|gs1d|heat2d|lcs] [--n N] \
-         [--steps N] [--threads N]"
+         [--steps N] [--threads N] [--retry ATTEMPTS] [--retry-base-ms MS] \
+         [--io-timeout-ms MS]"
     );
     ExitCode::from(2)
 }
@@ -36,6 +40,9 @@ fn main() -> ExitCode {
     let mut n = 4096usize;
     let mut steps = 32usize;
     let mut threads = 1usize;
+    let mut retry_attempts = 0u32;
+    let mut retry_base_ms = 5u64;
+    let mut io_timeout_ms = 0u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +77,9 @@ fn main() -> ExitCode {
             "--n" => value.parse().map(|v| n = v).map_err(drop),
             "--steps" => value.parse().map(|v| steps = v).map_err(drop),
             "--threads" => value.parse().map(|v| threads = v).map_err(drop),
+            "--retry" => value.parse().map(|v| retry_attempts = v).map_err(drop),
+            "--retry-base-ms" => value.parse().map(|v| retry_base_ms = v).map_err(drop),
+            "--io-timeout-ms" => value.parse().map(|v| io_timeout_ms = v).map_err(drop),
             _ => {
                 eprintln!("tempora-agent: unknown flag {arg}");
                 return usage();
@@ -91,6 +101,12 @@ fn main() -> ExitCode {
     };
     base.config.threads = threads;
 
+    let retry = (retry_attempts > 1).then(|| RetryPolicy {
+        max_attempts: retry_attempts,
+        base: Duration::from_millis(retry_base_ms),
+        jitter_seed: seed,
+        ..RetryPolicy::default()
+    });
     let cfg = ScenarioCfg {
         tcp,
         uds,
@@ -100,6 +116,8 @@ fn main() -> ExitCode {
         distinct,
         seed,
         base,
+        retry,
+        io_timeout: (io_timeout_ms > 0).then(|| Duration::from_millis(io_timeout_ms)),
     };
     match scenario::run(&cfg) {
         Ok(outcome) => {

@@ -7,17 +7,28 @@
 //! fan-out, fan-in, cache-churn) and is what the `tempora-agent` binary
 //! wraps; [`hist::Histogram`] collects the latency distributions those
 //! scenarios report.
+//!
+//! For unreliable networks and draining servers, wrap the connection in
+//! [`retry::RetryingClient`]: it reconnects on broken streams, honors
+//! the server's `Busy`/`GoingAway` retry hints, and backs off with
+//! capped decorrelated jitter ([`retry::RetryPolicy`]).
+//!
+//! Request ids are chosen by the client starting at 1 — **id 0 is
+//! reserved** for the server's uncorrelated replies (decode errors,
+//! drain farewells) and is never issued, even across wraparound.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod hist;
+pub mod retry;
 pub mod scenario;
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 use tempora_proto::{read_frame, write_frame, ErrorCode, Frame, JobSpec, RunReply, WireError};
 
 /// Why a client call failed.
@@ -76,15 +87,38 @@ pub struct Client {
 impl Client {
     /// Connect over TCP (`host:port`).
     pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_tcp_with(addr, None)
+    }
+
+    /// Connect over TCP with an optional socket read/write timeout, so a
+    /// stalled or killed server surfaces as an I/O error instead of a
+    /// hang (the retry layer then reconnects).
+    pub fn connect_tcp_with(
+        addr: &str,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let reader = stream.try_clone()?;
         Ok(Client::from_parts(Box::new(reader), Box::new(stream)))
     }
 
     /// Connect over a Unix socket.
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Client::connect_uds_with(path, None)
+    }
+
+    /// Connect over a Unix socket with an optional socket read/write
+    /// timeout (see [`Client::connect_tcp_with`]).
+    pub fn connect_uds_with(
+        path: impl AsRef<Path>,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
         let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let reader = stream.try_clone()?;
         Ok(Client::from_parts(Box::new(reader), Box::new(stream)))
     }
@@ -133,7 +167,12 @@ impl Client {
 
     fn next_id(&mut self) -> u64 {
         let id = self.next_id;
-        self.next_id += 1;
+        // Id 0 is reserved for the server's uncorrelated replies; skip
+        // it even if the counter ever wraps.
+        self.next_id = match self.next_id.wrapping_add(1) {
+            0 => 1,
+            n => n,
+        };
         id
     }
 

@@ -1,0 +1,459 @@
+//! Self-healing request layer: [`RetryPolicy`] backoff and the
+//! transparently-reconnecting [`RetryingClient`].
+//!
+//! # The retry contract
+//!
+//! A request is retried only when failure is **safe to repeat** and the
+//! server (or the transport) said so:
+//!
+//! - broken streams — connect failures, socket errors, short reads,
+//!   reply-stream desync — reconnect and retry: `RunSteps` and
+//!   `SubmitProblem` are idempotent (a run is a pure function of
+//!   `(spec, seed)`, so a replay is bitwise-identical to the lost
+//!   original);
+//! - [`ErrorCode::retryable`] replies — [`ErrorCode::Busy`] (honoring
+//!   its `retry_after_ms` hint), [`ErrorCode::GoingAway`] (reconnect:
+//!   the server is draining this connection), `DeadlineExceeded` and
+//!   `Poisoned`.
+//!
+//! Everything else (`BuildFailed`, `BadFrame`, …) fails fast — retrying
+//! a deterministic rejection cannot help.
+//!
+//! # Backoff
+//!
+//! [`Backoff`] implements capped exponential backoff with
+//! **decorrelated jitter**: each delay is drawn uniformly from
+//! `[base, prev * 3]` and capped, so synchronized clients spread out
+//! instead of retrying in lockstep. The random stream is a seeded
+//! `splitmix64` and the sleep goes through an injectable [`RetryClock`],
+//! making every schedule reproducible in tests.
+
+use crate::{Client, ClientError};
+use std::path::PathBuf;
+use std::time::Duration;
+use tempora_proto::{ErrorCode, JobSpec, RunReply};
+
+/// The sleep side-effect behind [`RetryingClient`], injectable so tests
+/// observe exact backoff schedules without real time passing.
+pub trait RetryClock {
+    /// Block the caller for `d` (or just record it, in tests).
+    fn sleep(&mut self, d: Duration);
+}
+
+/// The production clock: `std::thread::sleep`.
+#[derive(Debug, Default)]
+pub struct ThreadClock;
+
+impl RetryClock for ThreadClock {
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// How hard to try before giving up, and how long to wait in between.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff floor — the first delay and every delay's lower bound.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the decorrelated jitter; vary it per client so a fleet
+    /// doesn't retry in lockstep.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Capped exponential backoff with decorrelated jitter:
+/// `delay = min(cap, uniform(base, prev * 3))`.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base_ns: u64,
+    cap_ns: u64,
+    prev_ns: u64,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule for `policy`.
+    #[must_use]
+    pub fn new(policy: &RetryPolicy) -> Backoff {
+        let base_ns = (policy.base.as_nanos() as u64).max(1);
+        Backoff {
+            base_ns,
+            cap_ns: (policy.cap.as_nanos() as u64).max(base_ns),
+            prev_ns: base_ns,
+            rng: policy.jitter_seed,
+        }
+    }
+
+    /// The next delay: uniform in `[base, prev * 3]`, capped.
+    pub fn next_delay(&mut self) -> Duration {
+        let hi = self.prev_ns.saturating_mul(3).max(self.base_ns + 1);
+        let span = hi - self.base_ns;
+        self.prev_ns = (self.base_ns + splitmix64(&mut self.rng) % span).min(self.cap_ns);
+        Duration::from_nanos(self.prev_ns)
+    }
+
+    /// Forget accumulated growth after a success, so the next failure
+    /// starts again from `base`.
+    pub fn reset(&mut self) {
+        self.prev_ns = self.base_ns;
+    }
+}
+
+/// Where [`RetryingClient`] (re)connects to.
+#[derive(Clone, Debug)]
+pub enum Target {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix-socket path.
+    Uds(PathBuf),
+}
+
+impl Target {
+    fn connect(&self, io_timeout: Option<Duration>) -> Result<Client, ClientError> {
+        match self {
+            Target::Tcp(addr) => Client::connect_tcp_with(addr, io_timeout),
+            Target::Uds(path) => Client::connect_uds_with(path, io_timeout),
+        }
+    }
+}
+
+/// What the retry layer did on the caller's behalf.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetryStats {
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Connections re-established after a drop.
+    pub reconnects: u64,
+    /// `Busy` replies honored (shed or admission-refused work).
+    pub busy: u64,
+    /// `GoingAway` farewells absorbed (server drains survived).
+    pub going_away: u64,
+    /// Requests that exhausted the policy and surfaced their error.
+    pub gave_up: u64,
+}
+
+/// How one failed attempt should be handled.
+struct Verdict {
+    retryable: bool,
+    /// The connection is unusable (or about to be); reconnect first.
+    drop_conn: bool,
+    /// Server-provided minimum wait (Busy's `retry_after_ms`).
+    hint: Option<Duration>,
+}
+
+fn classify(err: &ClientError) -> Verdict {
+    match err {
+        // Transport damage: the stream is gone or desynced. Safe to
+        // replay (requests are idempotent), but only on a fresh
+        // connection.
+        ClientError::Io(_) | ClientError::Wire(_) | ClientError::Protocol(_) => Verdict {
+            retryable: true,
+            drop_conn: true,
+            hint: None,
+        },
+        ClientError::Server { code, .. } => Verdict {
+            retryable: code.retryable(),
+            // GoingAway means this connection is draining; Deadline
+            // means the server already cut it.
+            drop_conn: matches!(code, ErrorCode::GoingAway | ErrorCode::DeadlineExceeded),
+            hint: code
+                .retry_after_ms()
+                .map(|ms| Duration::from_millis(ms.into())),
+        },
+    }
+}
+
+/// A [`Client`] wrapper that transparently reconnects and retries per
+/// its [`RetryPolicy`] — the self-healing side of the service's
+/// resilience contract (see the module docs for what is and is not
+/// retried).
+pub struct RetryingClient {
+    target: Target,
+    io_timeout: Option<Duration>,
+    policy: RetryPolicy,
+    backoff: Backoff,
+    clock: Box<dyn RetryClock + Send>,
+    conn: Option<Client>,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// A lazily-connecting client for `target` (first request dials).
+    #[must_use]
+    pub fn new(target: Target, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient {
+            target,
+            io_timeout: None,
+            backoff: Backoff::new(&policy),
+            policy,
+            clock: Box::new(ThreadClock),
+            conn: None,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Bound every socket read/write; a peer that stops answering turns
+    /// into a retryable I/O error instead of a hang.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Duration) -> RetryingClient {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Replace the sleep implementation (deterministic tests).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Box<dyn RetryClock + Send>) -> RetryingClient {
+        self.clock = clock;
+        self
+    }
+
+    /// Counters for availability reporting.
+    #[must_use]
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// `Client::submit` with reconnect-and-retry.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<RunReply, ClientError> {
+        let spec = *spec;
+        self.call(move |c| c.submit(&spec))
+    }
+
+    /// `Client::run_steps` with reconnect-and-retry. A replayed run is
+    /// bitwise-identical to the lost original: the server derives state
+    /// from `(spec, seed)` alone.
+    pub fn run_steps(&mut self, spec: &JobSpec, seed: u64) -> Result<RunReply, ClientError> {
+        let spec = *spec;
+        self.call(move |c| c.run_steps(&spec, seed))
+    }
+
+    fn call(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<RunReply, ClientError>,
+    ) -> Result<RunReply, ClientError> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = match self.ensure_conn() {
+                Ok(conn) => op(conn),
+                Err(e) => Err(e),
+            };
+            let err = match outcome {
+                Ok(reply) => {
+                    self.backoff.reset();
+                    return Ok(reply);
+                }
+                Err(err) => err,
+            };
+            let verdict = classify(&err);
+            match &err {
+                ClientError::Server {
+                    code: ErrorCode::Busy { .. },
+                    ..
+                } => self.stats.busy += 1,
+                ClientError::Server {
+                    code: ErrorCode::GoingAway,
+                    ..
+                } => self.stats.going_away += 1,
+                _ => {}
+            }
+            if verdict.drop_conn {
+                self.conn = None;
+            }
+            if !verdict.retryable || attempt >= max_attempts {
+                if verdict.retryable {
+                    self.stats.gave_up += 1;
+                }
+                return Err(err);
+            }
+            self.stats.retries += 1;
+            let mut delay = self.backoff.next_delay();
+            if let Some(hint) = verdict.hint {
+                delay = delay.max(hint);
+            }
+            self.clock.sleep(delay);
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            let fresh = self.target.connect(self.io_timeout)?;
+            // Only a *re*-connect counts: the first dial is just startup.
+            if self.stats.retries > 0 || self.stats.reconnects > 0 {
+                self.stats.reconnects += 1;
+            }
+            self.conn = Some(fresh);
+        }
+        match self.conn.as_mut() {
+            Some(conn) => Ok(conn),
+            // Unreachable: the branch above just filled the slot.
+            None => Err(ClientError::Protocol("connection slot empty")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_stays_within_base_cap_and_decorrelation_bounds() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            jitter_seed: 42,
+        };
+        let mut backoff = Backoff::new(&policy);
+        let mut prev = policy.base;
+        for _ in 0..1000 {
+            let d = backoff.next_delay();
+            assert!(d >= policy.base, "floor: {d:?}");
+            assert!(d <= policy.cap, "cap: {d:?}");
+            // Decorrelated jitter: next <= max(cap, prev * 3).
+            assert!(
+                d <= policy.cap.min(prev * 3).max(policy.base),
+                "growth: {d:?} from {prev:?}"
+            );
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_resets_to_base() {
+        let policy = RetryPolicy {
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(&RetryPolicy {
+                jitter_seed: seed,
+                ..policy
+            });
+            (0..16).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same schedule");
+        assert_ne!(schedule(7), schedule(8), "different seed, different jitter");
+
+        let mut b = Backoff::new(&policy);
+        for _ in 0..16 {
+            b.next_delay();
+        }
+        b.reset();
+        let after_reset = b.next_delay();
+        // Post-reset the window is [base, base*3) again.
+        assert!(
+            after_reset < policy.base * 3,
+            "reset forgot growth: {after_reset:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_toward_the_cap() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(64),
+            jitter_seed: 3,
+            ..RetryPolicy::default()
+        };
+        let mut b = Backoff::new(&policy);
+        let hits_cap_region = (0..64).any(|_| b.next_delay() >= Duration::from_millis(32));
+        assert!(hits_cap_region, "1000x span never reached half the cap");
+    }
+
+    #[test]
+    fn retrying_client_follows_the_schedule_then_gives_up() {
+        use std::sync::{Arc, Mutex};
+
+        struct RecordingClock(Arc<Mutex<Vec<Duration>>>);
+        impl RetryClock for RecordingClock {
+            fn sleep(&mut self, d: Duration) {
+                self.0.lock().expect("clock mutex").push(d);
+            }
+        }
+
+        // A port with nothing behind it: bind, learn the port, drop the
+        // listener, so every connect is refused deterministically.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(3),
+            cap: Duration::from_millis(100),
+            jitter_seed: 1234,
+        };
+        let sleeps = Arc::new(Mutex::new(Vec::new()));
+        let mut client = RetryingClient::new(Target::Tcp(addr), policy)
+            .with_clock(Box::new(RecordingClock(Arc::clone(&sleeps))));
+        let spec = tempora_proto::JobSpec::new(tempora_proto::Problem::lcs(16, 16));
+        let err = client.run_steps(&spec, 1).expect_err("nothing listening");
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+
+        // Exactly max_attempts - 1 sleeps, each inside [base, cap] and
+        // matching the policy's own deterministic schedule.
+        let sleeps = sleeps.lock().expect("clock mutex").clone();
+        assert_eq!(sleeps.len(), 4, "5 attempts bracket 4 backoffs");
+        let mut reference = Backoff::new(&policy);
+        for d in &sleeps {
+            assert_eq!(*d, reference.next_delay(), "schedule must be reproducible");
+            assert!(*d >= policy.base && *d <= policy.cap);
+        }
+        let stats = client.stats();
+        assert_eq!(stats.retries, 4);
+        assert_eq!(stats.gave_up, 1);
+    }
+
+    #[test]
+    fn classification_retries_transport_and_hinted_codes_only() {
+        let io = ClientError::Io(std::io::Error::from(std::io::ErrorKind::BrokenPipe));
+        let v = classify(&io);
+        assert!(v.retryable && v.drop_conn);
+
+        let busy = ClientError::Server {
+            code: ErrorCode::Busy { retry_after_ms: 40 },
+            message: String::new(),
+        };
+        let v = classify(&busy);
+        assert!(v.retryable && !v.drop_conn);
+        assert_eq!(v.hint, Some(Duration::from_millis(40)));
+
+        let going = ClientError::Server {
+            code: ErrorCode::GoingAway,
+            message: String::new(),
+        };
+        let v = classify(&going);
+        assert!(v.retryable && v.drop_conn, "GoingAway must reconnect");
+
+        let build = ClientError::Server {
+            code: ErrorCode::BuildFailed,
+            message: String::new(),
+        };
+        let v = classify(&build);
+        assert!(!v.retryable, "deterministic rejections fail fast");
+    }
+}

@@ -13,9 +13,10 @@
 //! | `churn` | N connections rotating through more specs than the cache holds — eviction pressure |
 
 use crate::hist::Histogram;
+use crate::retry::{RetryPolicy, RetryingClient, Target};
 use crate::{Client, ClientError};
-use std::time::Instant;
-use tempora_proto::{JobSpec, Problem};
+use std::time::{Duration, Instant};
+use tempora_proto::{JobSpec, Problem, RunReply};
 use tempora_stencil::{Gs1dCoeffs, Heat1dCoeffs, Heat2dCoeffs};
 
 /// Which load pattern to run.
@@ -76,6 +77,13 @@ pub struct ScenarioCfg {
     pub seed: u64,
     /// The base spec every variant derives from.
     pub base: JobSpec,
+    /// When set, every connection goes through a [`RetryingClient`]
+    /// with this policy (jitter-seeded per connection): broken streams
+    /// reconnect, `Busy`/`GoingAway` back off and retry, and request
+    /// failures count as `errors` instead of aborting the scenario.
+    pub retry: Option<RetryPolicy>,
+    /// Socket read/write timeout for retry-enabled connections.
+    pub io_timeout: Option<Duration>,
 }
 
 /// What one agent observed, ready to serialize as one JSON line.
@@ -99,6 +107,10 @@ pub struct Outcome {
     pub built: u64,
     /// Largest combiner batch observed.
     pub max_batched: u32,
+    /// Retry attempts beyond each request's first try (retry mode).
+    pub retries: u64,
+    /// Connections re-established after a drop (retry mode).
+    pub reconnects: u64,
     /// End-to-end client-side request latencies (ns).
     pub latency: Histogram,
     /// Wall-clock duration of the whole scenario (seconds).
@@ -121,6 +133,7 @@ impl Outcome {
             concat!(
                 "{{\"scenario\":\"{}\",\"conns\":{},\"ok\":{},\"errors\":{},",
                 "\"hits\":{},\"misses\":{},\"built\":{},\"max_batched\":{},",
+                "\"retries\":{},\"reconnects\":{},",
                 "\"p50_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},",
                 "\"throughput_rps\":{:.3},\"elapsed_s\":{:.6},\"hist\":\"{}\"}}"
             ),
@@ -132,6 +145,8 @@ impl Outcome {
             self.misses,
             self.built,
             self.max_batched,
+            self.retries,
+            self.reconnects,
             p50 as f64 / 1000.0,
             p95 as f64 / 1000.0,
             p99 as f64 / 1000.0,
@@ -171,13 +186,59 @@ pub fn vary_spec(base: &JobSpec, idx: usize) -> JobSpec {
     spec
 }
 
-fn connect(cfg: &ScenarioCfg) -> Result<Client, ClientError> {
+fn target(cfg: &ScenarioCfg) -> Result<Target, ClientError> {
     if let Some(path) = &cfg.uds {
-        return Client::connect_uds(path);
+        return Ok(Target::Uds(path.into()));
     }
     match &cfg.tcp {
-        Some(addr) => Client::connect_tcp(addr),
+        Some(addr) => Ok(Target::Tcp(addr.clone())),
         None => Err(ClientError::Protocol("no --connect or --uds target")),
+    }
+}
+
+/// One connection's request path: bare [`Client`] (a request failure
+/// beyond a typed server error aborts the scenario) or a
+/// [`RetryingClient`] (failures surface only after the policy is
+/// exhausted, and count as errors rather than aborting).
+enum Driver {
+    Plain(Client),
+    Retrying(RetryingClient),
+}
+
+impl Driver {
+    fn new(cfg: &ScenarioCfg, conn_idx: usize) -> Result<Driver, ClientError> {
+        let target = target(cfg)?;
+        match cfg.retry {
+            Some(policy) => {
+                // Distinct jitter stream per connection so a fleet's
+                // retries spread instead of stampeding.
+                let policy = RetryPolicy {
+                    jitter_seed: policy
+                        .jitter_seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(conn_idx as u64 + 1)),
+                    ..policy
+                };
+                let mut client = RetryingClient::new(target, policy);
+                if let Some(t) = cfg.io_timeout {
+                    client = client.with_io_timeout(t);
+                }
+                Ok(Driver::Retrying(client))
+            }
+            None => {
+                let client = match &target {
+                    Target::Tcp(addr) => Client::connect_tcp(addr)?,
+                    Target::Uds(path) => Client::connect_uds(path)?,
+                };
+                Ok(Driver::Plain(client))
+            }
+        }
+    }
+
+    fn run_steps(&mut self, spec: &JobSpec, seed: u64) -> Result<RunReply, ClientError> {
+        match self {
+            Driver::Plain(c) => c.run_steps(spec, seed),
+            Driver::Retrying(c) => c.run_steps(spec, seed),
+        }
     }
 }
 
@@ -200,7 +261,7 @@ pub fn run(cfg: &ScenarioCfg) -> Result<Outcome, ClientError> {
         let requests = cfg.requests / conns + usize::from(conn_idx < cfg.requests % conns);
         handles.push(std::thread::spawn(
             move || -> Result<Outcome, ClientError> {
-                let mut client = connect(&cfg)?;
+                let mut driver = Driver::new(&cfg, conn_idx)?;
                 let mut out = Outcome::default();
                 for req in 0..requests {
                     let spec_idx = match cfg.scenario {
@@ -213,7 +274,7 @@ pub fn run(cfg: &ScenarioCfg) -> Result<Outcome, ClientError> {
                     let spec = vary_spec(&cfg.base, spec_idx);
                     let seed = cfg.seed ^ ((spec_idx as u64) << 32);
                     let sent = Instant::now();
-                    match client.run_steps(&spec, seed) {
+                    match driver.run_steps(&spec, seed) {
                         Ok(reply) => {
                             out.ok += 1;
                             if reply.cache_hit {
@@ -228,8 +289,17 @@ pub fn run(cfg: &ScenarioCfg) -> Result<Outcome, ClientError> {
                             out.latency.record(sent.elapsed().as_nanos() as u64);
                         }
                         Err(ClientError::Server { .. }) => out.errors += 1,
+                        // Retry mode: the policy already fought for this
+                        // request; an exhausted retryable failure is an
+                        // availability miss, not a harness abort.
+                        Err(_) if matches!(driver, Driver::Retrying(_)) => out.errors += 1,
                         Err(fatal) => return Err(fatal),
                     }
+                }
+                if let Driver::Retrying(client) = &driver {
+                    let stats = client.stats();
+                    out.retries = stats.retries;
+                    out.reconnects = stats.reconnects;
                 }
                 Ok(out)
             },
@@ -250,6 +320,8 @@ pub fn run(cfg: &ScenarioCfg) -> Result<Outcome, ClientError> {
                 total.misses += out.misses;
                 total.built += out.built;
                 total.max_batched = total.max_batched.max(out.max_batched);
+                total.retries += out.retries;
+                total.reconnects += out.reconnects;
                 total.latency.merge(&out.latency);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),

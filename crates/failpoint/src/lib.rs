@@ -34,9 +34,17 @@
 //!   suite uses.
 //!
 //! Each directive fires at most once; [`clear`]ing and re-[`arm`]ing resets
-//! the hit counters. The only supported action is `panic` — the point of
-//! the crate is to exercise the containment and recovery paths in
-//! `tempora_parallel` and `tempora_plan`.
+//! the hit counters. Three actions are supported:
+//!
+//! - `panic` — throw a panic at the site, exercising the containment and
+//!   recovery paths in `tempora_parallel`, `tempora_plan` and
+//!   `tempora_server` (a panic in a connection thread *is* a dropped
+//!   connection);
+//! - `sleep:MS` — block the hitting thread for `MS` milliseconds,
+//!   modelling a stalled peer or a slow I/O path without killing it;
+//! - `exit:CODE` — terminate the whole process with `CODE` immediately
+//!   (no unwinding, no drain), modelling a server crash mid-scenario for
+//!   the network-chaos harness.
 
 /// True when this build carries live failpoints.
 ///
@@ -97,13 +105,26 @@ mod imp {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Mutex, OnceLock, PoisonError};
 
-    /// One armed directive: panic on the `at`-th hit of its key.
+    /// What a directive does when its hit number is reached.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Action {
+        /// Throw a panic at the site.
+        Panic,
+        /// Block the hitting thread for this many milliseconds.
+        Sleep(u64),
+        /// Terminate the process with this exit code (no unwinding).
+        Exit(i32),
+    }
+
+    /// One armed directive: act on the `at`-th hit of its key.
     struct Arm {
-        /// 1-based hit number to panic on.
+        /// 1-based hit number to act on.
         at: usize,
+        /// What to do when the hit is reached.
+        action: Action,
         /// Hits observed so far for this key.
         hits: usize,
-        /// Whether the panic already fired (each directive is single-shot).
+        /// Whether the action already fired (each directive is single-shot).
         fired: bool,
     }
 
@@ -148,7 +169,7 @@ mod imp {
                 continue;
             }
             let (key, action) = directive.split_once('=').unwrap_or_else(|| {
-                panic!("malformed failpoint directive `{directive}`: expected `site=panic[@k]`")
+                panic!("malformed failpoint directive `{directive}`: expected `site=action[@k]`")
             });
             let (action, at) = match action.split_once('@') {
                 Some((action, k)) => {
@@ -159,11 +180,23 @@ mod imp {
                 }
                 None => (action, 1),
             };
-            if action != "panic" {
-                panic!(
-                    "malformed failpoint directive `{directive}`: unsupported action `{action}`"
-                );
-            }
+            let action = match action.split_once(':') {
+                None if action == "panic" => Action::Panic,
+                Some(("sleep", ms)) => Action::Sleep(ms.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "malformed failpoint directive `{directive}`: `sleep:{ms}` wants milliseconds"
+                    )
+                })),
+                Some(("exit", code)) => Action::Exit(code.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "malformed failpoint directive `{directive}`: `exit:{code}` wants an exit code"
+                    )
+                })),
+                _ => panic!(
+                    "malformed failpoint directive `{directive}`: unsupported action `{action}` \
+                     (expected `panic`, `sleep:MS` or `exit:CODE`)"
+                ),
+            };
             if at == 0 {
                 panic!("malformed failpoint directive `{directive}`: hit numbers are 1-based");
             }
@@ -171,6 +204,7 @@ mod imp {
                 key.to_owned(),
                 Arm {
                     at,
+                    action,
                     hits: 0,
                     fired: false,
                 },
@@ -207,7 +241,7 @@ mod imp {
                 return;
             }
         }
-        let mut trip: Option<String> = None;
+        let mut trip: Option<(Action, String)> = None;
         {
             let mut reg = lock();
             let mut visit = |key: &str| {
@@ -215,9 +249,14 @@ mod imp {
                     arm.hits += 1;
                     if !arm.fired && arm.hits == arm.at {
                         arm.fired = true;
-                        trip = Some(format!(
-                            "failpoint `{key}` injected panic on hit {}",
-                            arm.at
+                        let what = match arm.action {
+                            Action::Panic => "panic".to_owned(),
+                            Action::Sleep(ms) => format!("{ms}ms sleep"),
+                            Action::Exit(code) => format!("exit({code})"),
+                        };
+                        trip = Some((
+                            arm.action,
+                            format!("failpoint `{key}` injected {what} on hit {}", arm.at),
                         ));
                     }
                 }
@@ -232,8 +271,18 @@ mod imp {
                 visit(&key);
             }
         }
-        if let Some(msg) = trip {
-            panic!("{msg}");
+        // Act outside the registry lock so a panic (or a long sleep) never
+        // wedges other sites' bookkeeping.
+        match trip {
+            Some((Action::Panic, msg)) => panic!("{msg}"),
+            Some((Action::Sleep(ms), _)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms))
+            }
+            Some((Action::Exit(code), msg)) => {
+                eprintln!("tempora_failpoint: {msg} — exiting");
+                std::process::exit(code)
+            }
+            None => {}
         }
     }
 
@@ -338,10 +387,42 @@ mod tests {
     }
 
     #[test]
+    fn sleep_action_stalls_without_panicking() {
+        let _g = guard();
+        super::clear();
+        super::arm("stall=sleep:50@2");
+        let t0 = std::time::Instant::now();
+        assert!(!fires("stall", &[]));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(40),
+            "hit 1 must not sleep"
+        );
+        let t1 = std::time::Instant::now();
+        assert!(!fires("stall", &[]));
+        assert!(
+            t1.elapsed() >= std::time::Duration::from_millis(50),
+            "hit 2 sleeps 50ms"
+        );
+        // Single-shot: the third hit does not sleep again.
+        let t2 = std::time::Instant::now();
+        assert!(!fires("stall", &[]));
+        assert!(t2.elapsed() < std::time::Duration::from_millis(40));
+        super::clear();
+    }
+
+    #[test]
     fn malformed_directives_are_rejected() {
         let _g = guard();
         super::clear();
-        for bad in ["nosign", "x=explode", "x=panic@zero", "x=panic@0"] {
+        for bad in [
+            "nosign",
+            "x=explode",
+            "x=panic@zero",
+            "x=panic@0",
+            "x=sleep",
+            "x=sleep:soon",
+            "x=exit:never",
+        ] {
             assert!(
                 catch_unwind(AssertUnwindSafe(|| super::arm(bad))).is_err(),
                 "directive `{bad}` should be rejected"

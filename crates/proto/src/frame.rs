@@ -35,6 +35,15 @@ const TAG_REPORT: u8 = 3;
 const TAG_ERROR: u8 = 4;
 
 /// Typed failure category carried by [`Frame::ErrorReply`].
+///
+/// The resilience codes added for graceful degradation
+/// ([`ErrorCode::GoingAway`], [`ErrorCode::Busy`],
+/// [`ErrorCode::DeadlineExceeded`]) are *retry hints*: a well-behaved
+/// client treats them as transient, backs off (honoring
+/// [`ErrorCode::retry_after_ms`] when present) and retries — `RunSteps`
+/// is idempotent by construction, every retry is bitwise-identical to
+/// the first attempt. The wire encoding is append-only: new codes take
+/// new tag values, old tags never change meaning.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ErrorCode {
@@ -46,33 +55,86 @@ pub enum ErrorCode {
     BuildFailed,
     /// `Plan::run` returned a non-poisoning error.
     RunFailed,
-    /// The cached plan for this spec is poisoned and recovery also
-    /// failed; the entry was evicted — retrying will rebuild.
+    /// The cached plan for this spec was poisoned by this request's own
+    /// panic; the entry recovers (via `Plan::reset`) on the next
+    /// request, so retrying is safe.
     Poisoned,
     /// Any other server-side failure.
     Internal,
+    /// The server is draining for shutdown: this connection will be
+    /// closed after this reply and no new work is accepted. Sent both as
+    /// the answer to a request that arrives during the drain window and
+    /// as an unsolicited farewell (`request_id == 0`) on idle
+    /// connections. Reconnect (to a restarted instance) and retry.
+    GoingAway,
+    /// The server refused to take the work on — the connection limit or
+    /// a cache entry's queue-depth bound was hit. Retry after
+    /// `retry_after_ms` (with jitter on top).
+    Busy {
+        /// Server-suggested minimum backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// The peer was too slow: a frame stayed half-read past the server's
+    /// stall timeout (slow-loris defense) or a reply could not be
+    /// written within the write timeout. The connection is closed after
+    /// this reply; reconnect and retry.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
-    fn to_u8(self) -> u8 {
+    /// True when the failure is transient and the request (idempotent by
+    /// construction) should be retried, possibly on a new connection.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Poisoned
+                | ErrorCode::GoingAway
+                | ErrorCode::Busy { .. }
+                | ErrorCode::DeadlineExceeded
+        )
+    }
+
+    /// The server's minimum-backoff hint in milliseconds, when the code
+    /// carries one.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> Option<u32> {
         match self {
-            ErrorCode::BadFrame => 1,
-            ErrorCode::UnsupportedVersion => 2,
-            ErrorCode::BuildFailed => 3,
-            ErrorCode::RunFailed => 4,
-            ErrorCode::Poisoned => 5,
-            ErrorCode::Internal => 6,
+            ErrorCode::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 
-    fn from_u8(v: u8) -> Result<ErrorCode, DecodeError> {
-        Ok(match v {
+    fn encode(self, w: &mut ByteWriter) {
+        match self {
+            ErrorCode::BadFrame => w.put_u8(1),
+            ErrorCode::UnsupportedVersion => w.put_u8(2),
+            ErrorCode::BuildFailed => w.put_u8(3),
+            ErrorCode::RunFailed => w.put_u8(4),
+            ErrorCode::Poisoned => w.put_u8(5),
+            ErrorCode::Internal => w.put_u8(6),
+            ErrorCode::GoingAway => w.put_u8(7),
+            ErrorCode::Busy { retry_after_ms } => {
+                w.put_u8(8);
+                w.put_u32(retry_after_ms);
+            }
+            ErrorCode::DeadlineExceeded => w.put_u8(9),
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<ErrorCode, DecodeError> {
+        Ok(match r.u8()? {
             1 => ErrorCode::BadFrame,
             2 => ErrorCode::UnsupportedVersion,
             3 => ErrorCode::BuildFailed,
             4 => ErrorCode::RunFailed,
             5 => ErrorCode::Poisoned,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::GoingAway,
+            8 => ErrorCode::Busy {
+                retry_after_ms: r.u32()?,
+            },
+            9 => ErrorCode::DeadlineExceeded,
             _ => return Err(DecodeError::BadValue { what: "error code" }),
         })
     }
@@ -80,15 +142,19 @@ impl ErrorCode {
 
 impl std::fmt::Display for ErrorCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            ErrorCode::BadFrame => "bad-frame",
-            ErrorCode::UnsupportedVersion => "unsupported-version",
-            ErrorCode::BuildFailed => "build-failed",
-            ErrorCode::RunFailed => "run-failed",
-            ErrorCode::Poisoned => "poisoned",
-            ErrorCode::Internal => "internal",
-        };
-        f.write_str(name)
+        match self {
+            ErrorCode::BadFrame => f.write_str("bad-frame"),
+            ErrorCode::UnsupportedVersion => f.write_str("unsupported-version"),
+            ErrorCode::BuildFailed => f.write_str("build-failed"),
+            ErrorCode::RunFailed => f.write_str("run-failed"),
+            ErrorCode::Poisoned => f.write_str("poisoned"),
+            ErrorCode::Internal => f.write_str("internal"),
+            ErrorCode::GoingAway => f.write_str("going-away"),
+            ErrorCode::Busy { retry_after_ms } => {
+                write!(f, "busy (retry after {retry_after_ms}ms)")
+            }
+            ErrorCode::DeadlineExceeded => f.write_str("deadline-exceeded"),
+        }
     }
 }
 
@@ -221,12 +287,23 @@ fn flag(r: &mut ByteReader<'_>, what: &'static str) -> Result<bool, DecodeError>
 }
 
 /// One protocol message. See the crate docs for the frame table.
+///
+/// # Request-id 0 is reserved
+///
+/// Correlation ids are client-chosen, but **id 0 is reserved for
+/// uncorrelated server messages**: an [`Frame::ErrorReply`] answering a
+/// request too malformed to carry an id, or an unsolicited
+/// [`ErrorCode::GoingAway`] farewell during shutdown drain. Clients MUST
+/// start their id counter at 1 and never wrap back onto 0, so an
+/// uncorrelated reply can never be mistaken for the answer to a real
+/// request (`tempora_client` enforces this).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
     /// Client → server: intern (prepare) a plan for `spec` without
     /// running it. Replied with [`Frame::ReportReply`] (`steps == 0`).
     SubmitProblem {
-        /// Client-chosen correlation id, echoed in the reply.
+        /// Client-chosen correlation id (≥ 1; 0 is reserved), echoed in
+        /// the reply.
         request_id: u64,
         /// The problem and solver configuration to compile.
         spec: JobSpec,
@@ -234,7 +311,8 @@ pub enum Frame {
     /// Client → server: run `spec`'s plan over its full time extent
     /// against a fresh state deterministically filled from `seed`.
     RunSteps {
-        /// Client-chosen correlation id, echoed in the reply.
+        /// Client-chosen correlation id (≥ 1; 0 is reserved), echoed in
+        /// the reply.
         request_id: u64,
         /// The problem and solver configuration to run.
         spec: JobSpec,
@@ -296,7 +374,7 @@ impl Frame {
             } => {
                 w.put_u8(TAG_ERROR);
                 w.put_u64(*request_id);
-                w.put_u8(code.to_u8());
+                code.encode(&mut w);
                 w.put_str(message);
             }
         }
@@ -330,7 +408,7 @@ impl Frame {
             },
             TAG_ERROR => Frame::ErrorReply {
                 request_id: r.u64()?,
-                code: ErrorCode::from_u8(r.u8()?)?,
+                code: ErrorCode::decode(&mut r)?,
                 message: r.str()?,
             },
             got => return Err(DecodeError::UnknownTag { got }),
@@ -409,40 +487,153 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
     Ok(())
 }
 
+/// What one [`FrameAccum::poll`] produced.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A whole frame arrived (and decoded).
+    Frame(Frame),
+    /// Clean EOF at a frame boundary (the peer hung up between frames).
+    Eof,
+    /// The read would block (the socket's read timeout elapsed).
+    /// `mid_frame` says whether part of the next frame has already been
+    /// consumed into the accumulator — a `true` here that persists is a
+    /// stalled peer (slow-loris); a `false` is mere idleness.
+    Pending {
+        /// True when the accumulator holds a partial frame.
+        mid_frame: bool,
+    },
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// [`read_frame`] blocks until a whole frame arrives, which pins the
+/// reading thread for as long as the peer dawdles. `FrameAccum` instead
+/// accumulates partial bytes across calls: give the socket a short read
+/// timeout and call [`FrameAccum::poll`] in a loop — every
+/// [`FramePoll::Pending`] wakeup is a chance to check shutdown flags,
+/// idle budgets and stall deadlines without losing a half-received
+/// frame. This is the server's slow-peer defense primitive.
+#[derive(Debug, Default)]
+pub struct FrameAccum {
+    prefix: [u8; 4],
+    got_prefix: usize,
+    /// `Some(body)` once the length prefix is complete; `got_body` bytes
+    /// of it are filled so far.
+    body: Option<Vec<u8>>,
+    got_body: usize,
+}
+
+impl FrameAccum {
+    /// An empty accumulator, at a frame boundary.
+    #[must_use]
+    pub fn new() -> FrameAccum {
+        FrameAccum::default()
+    }
+
+    /// True when part of the next frame has been consumed — a timeout in
+    /// this state means the peer stalled mid-frame and the stream cannot
+    /// be resynchronized by anything but closing it.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.got_prefix > 0 || self.body.is_some()
+    }
+
+    /// Drive the accumulator with whatever `r` has available.
+    ///
+    /// Returns [`FramePoll::Pending`] when the underlying read times out
+    /// (`WouldBlock`/`TimedOut`), preserving all bytes consumed so far.
+    /// Error semantics match [`read_frame`]: oversized length prefixes
+    /// are unrecoverable, any other [`DecodeError`] is returned with the
+    /// stream in sync (the accumulator is reset to the next frame
+    /// boundary).
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<FramePoll, WireError> {
+        while self.got_prefix < 4 {
+            match r.read(&mut self.prefix[self.got_prefix..]) {
+                Ok(0) if self.got_prefix == 0 => return Ok(FramePoll::Eof),
+                Ok(0) => {
+                    return Err(WireError::Decode(DecodeError::Truncated {
+                        needed: 4 - self.got_prefix,
+                        have: 0,
+                    }))
+                }
+                Ok(n) => self.got_prefix += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => {
+                    return Ok(FramePoll::Pending {
+                        mid_frame: self.mid_frame(),
+                    })
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        if self.body.is_none() {
+            let len = u32::from_le_bytes(self.prefix) as u64;
+            if len > MAX_FRAME_LEN {
+                return Err(WireError::Decode(DecodeError::FrameTooLarge {
+                    len,
+                    max: MAX_FRAME_LEN,
+                }));
+            }
+            self.body = Some(vec![0u8; len as usize]);
+            self.got_body = 0;
+        }
+        loop {
+            // Justification (panic-justification): the branch above
+            // guarantees `body` is `Some` on every path reaching here.
+            let body = self.body.as_mut().expect("length prefix parsed");
+            if self.got_body == body.len() {
+                break;
+            }
+            match r.read(&mut body[self.got_body..]) {
+                Ok(0) => {
+                    let needed = body.len() - self.got_body;
+                    *self = FrameAccum::new();
+                    return Err(WireError::Decode(DecodeError::Truncated {
+                        needed,
+                        have: 0,
+                    }));
+                }
+                Ok(n) => self.got_body += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Ok(FramePoll::Pending { mid_frame: true }),
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        // Justification (panic-justification): `body` was `Some` in the
+        // loop above and nothing cleared it since.
+        let body = self.body.take().expect("body buffer filled");
+        *self = FrameAccum::new();
+        Ok(FramePoll::Frame(Frame::decode_body(&body)?))
+    }
+}
+
+/// True for the error kinds a socket read deadline produces.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Read one length-prefixed frame.
 ///
 /// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer hung
 /// up between frames). A length prefix above [`MAX_FRAME_LEN`] is
 /// rejected before any allocation and is **not** recoverable; any other
 /// [`DecodeError`] is returned after the full body was consumed, so the
-/// caller may reply and keep serving the connection.
+/// caller may reply and keep serving the connection. A read timeout on
+/// the underlying socket surfaces as an unrecoverable `Io` error — use
+/// [`FrameAccum`] to keep the stream alive across timeouts.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
-    let mut prefix = [0u8; 4];
-    let mut got = 0;
-    while got < prefix.len() {
-        match r.read(&mut prefix[got..]) {
-            Ok(0) if got == 0 => return Ok(None), // clean EOF between frames
-            Ok(0) => {
-                return Err(WireError::Decode(DecodeError::Truncated {
-                    needed: prefix.len() - got,
-                    have: 0,
-                }))
-            }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e)),
-        }
+    let mut accum = FrameAccum::new();
+    match accum.poll(r)? {
+        FramePoll::Frame(frame) => Ok(Some(frame)),
+        FramePoll::Eof => Ok(None),
+        FramePoll::Pending { .. } => Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "read timed out mid-frame",
+        ))),
     }
-    let len = u32::from_le_bytes(prefix) as u64;
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::Decode(DecodeError::FrameTooLarge {
-            len,
-            max: MAX_FRAME_LEN,
-        }));
-    }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    Ok(Some(Frame::decode_body(&body)?))
 }
 
 #[cfg(test)]
@@ -495,6 +686,147 @@ mod tests {
             WireError::Decode(DecodeError::FrameTooLarge { .. })
         ));
         assert!(!err.recoverable());
+    }
+
+    #[test]
+    fn resilience_error_codes_roundtrip() {
+        for code in [
+            ErrorCode::GoingAway,
+            ErrorCode::Busy {
+                retry_after_ms: 1234,
+            },
+            ErrorCode::DeadlineExceeded,
+        ] {
+            let frame = Frame::ErrorReply {
+                request_id: 0,
+                code,
+                message: "drain".into(),
+            };
+            let decoded = Frame::decode_body(&frame.encode_body()).unwrap();
+            assert_eq!(decoded, frame);
+            assert!(code.retryable());
+        }
+        assert_eq!(
+            ErrorCode::Busy { retry_after_ms: 25 }.retry_after_ms(),
+            Some(25)
+        );
+        assert_eq!(ErrorCode::GoingAway.retry_after_ms(), None);
+        assert!(!ErrorCode::BuildFailed.retryable());
+        assert!(ErrorCode::Poisoned.retryable());
+    }
+
+    /// A reader that dribbles one byte per call, interleaving timeouts,
+    /// to model a slow peer against [`FrameAccum`].
+    struct Dribble {
+        bytes: Vec<u8>,
+        at: usize,
+        /// Return a WouldBlock before each real byte.
+        starve: bool,
+    }
+
+    impl std::io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.starve {
+                self.starve = false;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "starved",
+                ));
+            }
+            self.starve = true;
+            if self.at == self.bytes.len() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_accum_survives_timeouts_mid_frame() {
+        let frame = Frame::RunSteps {
+            request_id: 7,
+            spec: spec(),
+            seed: 3,
+        };
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        write_frame(&mut bytes, &frame).unwrap();
+        let mut r = Dribble {
+            bytes,
+            at: 0,
+            starve: true,
+        };
+        let mut accum = FrameAccum::new();
+        let mut frames = 0;
+        let mut pendings = 0;
+        loop {
+            match accum.poll(&mut r).unwrap() {
+                FramePoll::Frame(got) => {
+                    assert_eq!(got, frame);
+                    frames += 1;
+                }
+                FramePoll::Eof => break,
+                FramePoll::Pending { mid_frame } => {
+                    pendings += 1;
+                    // After the first byte of a frame and before its
+                    // last, the accumulator must report mid-frame.
+                    assert_eq!(mid_frame, accum.mid_frame());
+                }
+            }
+        }
+        assert_eq!(frames, 2, "both dribbled frames decode");
+        assert!(pendings > 8, "every byte was preceded by a timeout");
+    }
+
+    #[test]
+    fn frame_accum_pending_idle_vs_stalled() {
+        let frame = Frame::SubmitProblem {
+            request_id: 1,
+            spec: spec(),
+        };
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        // Only half the frame arrives, then endless timeouts.
+        bytes.truncate(bytes.len() / 2);
+        struct HalfThenBlock {
+            bytes: Vec<u8>,
+            at: usize,
+        }
+        impl std::io::Read for HalfThenBlock {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.at == self.bytes.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "stalled",
+                    ));
+                }
+                let n = buf.len().min(self.bytes.len() - self.at);
+                buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+                self.at += n;
+                Ok(n)
+            }
+        }
+        // Idle: nothing has arrived at all.
+        let mut idle = HalfThenBlock {
+            bytes: Vec::new(),
+            at: 0,
+        };
+        let mut accum = FrameAccum::new();
+        assert!(matches!(
+            accum.poll(&mut idle).unwrap(),
+            FramePoll::Pending { mid_frame: false }
+        ));
+        assert!(!accum.mid_frame());
+        // Stalled: half a frame arrived, then silence.
+        let mut stalled = HalfThenBlock { bytes, at: 0 };
+        let mut accum = FrameAccum::new();
+        assert!(matches!(
+            accum.poll(&mut stalled).unwrap(),
+            FramePoll::Pending { mid_frame: true }
+        ));
+        assert!(accum.mid_frame());
     }
 
     #[test]

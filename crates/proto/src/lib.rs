@@ -15,6 +15,15 @@
 //! | [`Frame::ReportReply`] | server → client | what executed: cache provenance, resolved engine, state digest, service time |
 //! | [`Frame::ErrorReply`] | server → client | typed failure ([`ErrorCode`]) with a message; never a panic |
 //!
+//! Request ids are client-chosen and **id 0 is reserved** for
+//! uncorrelated server messages (decode-failure replies, unsolicited
+//! [`ErrorCode::GoingAway`] farewells) — see [`Frame`]. The resilience
+//! codes [`ErrorCode::GoingAway`], [`ErrorCode::Busy`] and
+//! [`ErrorCode::DeadlineExceeded`] are retry hints
+//! ([`ErrorCode::retryable`]); servers reading with short socket
+//! timeouts keep half-received frames alive across wakeups with
+//! [`FrameAccum`].
+//!
 //! On the wire each frame is `len: u32le` followed by `len` body bytes;
 //! the body starts with `version: u8` ([`PROTO_VERSION`]) and `tag: u8`.
 //! Decoding is total: truncated bodies, oversized length prefixes
@@ -41,7 +50,8 @@ pub mod frame;
 pub use canon::{canon_f64, state_digest, JobSpec, ProblemKey, SolveConfig, SpecKey};
 pub use codec::{ByteReader, ByteWriter, DecodeError};
 pub use frame::{
-    read_frame, write_frame, ErrorCode, Frame, RunReply, WireError, MAX_FRAME_LEN, PROTO_VERSION,
+    read_frame, write_frame, ErrorCode, Frame, FrameAccum, FramePoll, RunReply, WireError,
+    MAX_FRAME_LEN, PROTO_VERSION,
 };
 
 // The protocol speaks the solver vocabulary directly.

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! tempora-serve [--tcp ADDR] [--uds PATH] [--cache-cap N] [--shards N]
+//!               [--max-conns N] [--idle-ms MS] [--stall-ms MS]
+//!               [--queue-depth N]
 //! ```
 //!
 //! With no flags it binds TCP on `127.0.0.1:0` (ephemeral port). On
@@ -10,10 +12,13 @@
 //! harness parses to discover the resolved port, then serves forever.
 
 use std::process::ExitCode;
-use tempora_server::{CacheConfig, Server, ServerConfig};
+use tempora_server::{CacheConfig, ResilienceConfig, Server, ServerConfig};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: tempora-serve [--tcp ADDR] [--uds PATH] [--cache-cap N] [--shards N]");
+    eprintln!(
+        "usage: tempora-serve [--tcp ADDR] [--uds PATH] [--cache-cap N] [--shards N] \
+         [--max-conns N] [--idle-ms MS] [--stall-ms MS] [--queue-depth N]"
+    );
     ExitCode::from(2)
 }
 
@@ -22,6 +27,7 @@ fn main() -> ExitCode {
         tcp: None,
         uds: None,
         cache: CacheConfig::default(),
+        resilience: ResilienceConfig::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +55,34 @@ fn main() -> ExitCode {
                 Ok(n) if n > 0 => config.cache.shards = n,
                 _ => {
                     eprintln!("tempora-serve: --shards wants a positive integer, got {value:?}");
+                    return usage();
+                }
+            },
+            "--max-conns" => match value.parse() {
+                Ok(n) => config.resilience.max_connections = n,
+                Err(_) => {
+                    eprintln!("tempora-serve: --max-conns wants an integer, got {value:?}");
+                    return usage();
+                }
+            },
+            "--idle-ms" => match value.parse() {
+                Ok(ms) => config.resilience.idle_timeout = std::time::Duration::from_millis(ms),
+                Err(_) => {
+                    eprintln!("tempora-serve: --idle-ms wants milliseconds, got {value:?}");
+                    return usage();
+                }
+            },
+            "--stall-ms" => match value.parse() {
+                Ok(ms) => config.resilience.stall_timeout = std::time::Duration::from_millis(ms),
+                Err(_) => {
+                    eprintln!("tempora-serve: --stall-ms wants milliseconds, got {value:?}");
+                    return usage();
+                }
+            },
+            "--queue-depth" => match value.parse() {
+                Ok(n) => config.cache.max_queue_depth = n,
+                Err(_) => {
+                    eprintln!("tempora-serve: --queue-depth wants an integer, got {value:?}");
                     return usage();
                 }
             },

@@ -56,6 +56,14 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Total cached-plan capacity across all shards.
     pub capacity: usize,
+    /// Per-entry batching-queue bound: a `run` arriving while this many
+    /// jobs already wait on the same entry is **shed** with
+    /// [`ServeError::Busy`] instead of queueing unbounded work. `0`
+    /// sheds everything (a test hook); large values approximate the old
+    /// unbounded behavior.
+    pub max_queue_depth: usize,
+    /// The `retry_after_ms` hint carried by shed replies.
+    pub busy_retry_ms: u32,
 }
 
 impl Default for CacheConfig {
@@ -63,6 +71,8 @@ impl Default for CacheConfig {
         CacheConfig {
             shards: 8,
             capacity: 64,
+            max_queue_depth: 64,
+            busy_retry_ms: 25,
         }
     }
 }
@@ -78,6 +88,7 @@ pub struct CacheStats {
     evictions: AtomicU64,
     drains: AtomicU64,
     drained_jobs: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// A point-in-time copy of the cache's internal counters.
@@ -97,6 +108,19 @@ pub struct StatsSnapshot {
     pub drains: u64,
     /// Jobs serviced across all drains.
     pub drained_jobs: u64,
+    /// Runs shed with `Busy` because an entry's queue was full.
+    pub shed: u64,
+    /// Connections accepted by the network layer (zero for a bare
+    /// cache; merged in by `Server::stats`).
+    pub conns_opened: u64,
+    /// Connections rejected at admission (`Busy` before spawn).
+    pub conns_rejected: u64,
+    /// Connections cut for stalling mid-frame (`DeadlineExceeded`).
+    pub deadline_closes: u64,
+    /// Connections reaped for sitting idle past the idle timeout.
+    pub idle_closes: u64,
+    /// `GoingAway` farewells sent while draining.
+    pub going_away: u64,
 }
 
 impl CacheStats {
@@ -111,6 +135,13 @@ impl CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed), // Relaxed: reporting
             drains: self.drains.load(Ordering::Relaxed), // Relaxed: reporting
             drained_jobs: self.drained_jobs.load(Ordering::Relaxed), // Relaxed: reporting
+            shed: self.shed.load(Ordering::Relaxed), // Relaxed: reporting
+            // Network-layer counters live on the server, not the cache.
+            conns_opened: 0,
+            conns_rejected: 0,
+            deadline_closes: 0,
+            idle_closes: 0,
+            going_away: 0,
         }
     }
 }
@@ -148,6 +179,8 @@ type Shard = Mutex<HashMap<SpecKey, Arc<Entry>>>;
 pub struct PlanCache {
     shards: Vec<Shard>,
     per_shard_cap: usize,
+    max_queue_depth: usize,
+    busy_retry_ms: u32,
     clock: AtomicU64,
     stats: CacheStats,
 }
@@ -160,6 +193,8 @@ impl PlanCache {
         PlanCache {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard_cap: (config.capacity / shards).max(1),
+            max_queue_depth: config.max_queue_depth,
+            busy_retry_ms: config.busy_retry_ms,
             clock: AtomicU64::new(0),
             stats: CacheStats::default(),
         }
@@ -257,12 +292,24 @@ impl PlanCache {
             result: Mutex::new(None),
             ready: Condvar::new(),
         });
-        lock(&entry.queue).push_back(Job {
-            seed,
-            map_hit,
-            enqueued: Instant::now(),
-            done: Arc::clone(&done),
-        });
+        {
+            // Queue-depth shed: refuse work the combiner can't batch soon
+            // rather than queueing unboundedly — the caller gets a typed
+            // Busy with a retry hint instead of latency collapse.
+            let mut queue = lock(&entry.queue);
+            if queue.len() >= self.max_queue_depth {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed); // Relaxed: statistic
+                return Err(ServeError::Busy {
+                    retry_after_ms: self.busy_retry_ms,
+                });
+            }
+            queue.push_back(Job {
+                seed,
+                map_hit,
+                enqueued: Instant::now(),
+                done: Arc::clone(&done),
+            });
+        }
         loop {
             if let Some(result) = lock(&done.result).take() {
                 return result;
@@ -441,6 +488,7 @@ mod tests {
         let cache = PlanCache::new(CacheConfig {
             shards: 1,
             capacity: 2,
+            ..CacheConfig::default()
         });
         for n in [128usize, 160, 192, 224] {
             let s = JobSpec::new(Problem::heat1d(n, 4, Heat1dCoeffs::classic(0.25)));

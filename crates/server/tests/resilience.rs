@@ -1,0 +1,346 @@
+//! Resilience tests: graceful drain, slow-loris defense, admission
+//! control, queue shedding, stale-socket reclaim, and the self-healing
+//! client surviving a server restart. These pin the PR's acceptance
+//! behaviors: `shutdown(deadline)` joins every connection thread, a
+//! late request during drain gets `GoingAway`, a stalled half-frame is
+//! cut with `DeadlineExceeded`, and a retried `RunSteps` is
+//! bitwise-identical to a fresh one.
+
+use std::io::Write;
+use std::time::Duration;
+use tempora_client::retry::{RetryPolicy, RetryingClient, Target};
+use tempora_client::{Client, ClientError};
+use tempora_proto::{read_frame, state_digest, write_frame, ErrorCode, Frame, JobSpec, Problem};
+use tempora_server::{fresh_state, CacheConfig, ResilienceConfig, Server, ServerConfig};
+use tempora_stencil::Heat1dCoeffs;
+
+fn heat_spec() -> JobSpec {
+    JobSpec::new(Problem::heat1d(2048, 16, Heat1dCoeffs::classic(0.25)))
+}
+
+/// A spec whose run takes long enough to still be in flight when the
+/// test calls `shutdown` a few milliseconds after sending it.
+fn heavy_spec() -> JobSpec {
+    JobSpec::new(Problem::heat1d(1 << 17, 192, Heat1dCoeffs::classic(0.25)))
+}
+
+fn start_tcp(resilience: ResilienceConfig, cache: CacheConfig) -> (Server, String) {
+    let server = Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        uds: None,
+        cache,
+        resilience,
+    })
+    .expect("bind loopback");
+    let addr = server.tcp_addr().expect("tcp configured").to_string();
+    (server, addr)
+}
+
+fn uds_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "tempora-resilience-{tag}-{}.sock",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn slow_loris_half_frame_is_cut_with_deadline_exceeded() {
+    let (server, addr) = start_tcp(
+        ResilienceConfig {
+            poll_tick: Duration::from_millis(10),
+            stall_timeout: Duration::from_millis(150),
+            ..ResilienceConfig::default()
+        },
+        CacheConfig::default(),
+    );
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect raw");
+    // A length prefix promising 64 bytes, then two body bytes, then
+    // silence: a classic slow-loris half-frame.
+    stream.write_all(&64u32.to_le_bytes()).expect("prefix");
+    stream.write_all(&[1, 2]).expect("partial body");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+    let reply = read_frame(&mut stream)
+        .expect("typed goodbye")
+        .expect("frame");
+    assert!(
+        matches!(
+            reply,
+            Frame::ErrorReply {
+                request_id: 0,
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            }
+        ),
+        "wanted DeadlineExceeded, got {reply:?}"
+    );
+    // The server hung up after the goodbye.
+    assert!(read_frame(&mut stream).expect("clean close").is_none());
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean, "stalled conn already reaped: {report:?}");
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_late_request_gets_going_away() {
+    let (server, addr) = start_tcp(
+        ResilienceConfig {
+            poll_tick: Duration::from_millis(100),
+            ..ResilienceConfig::default()
+        },
+        CacheConfig::default(),
+    );
+    let spec = heavy_spec();
+    let seed = 0xd00d;
+
+    // Reference digest from a fresh in-process plan.
+    let mut state = fresh_state(&spec.problem, seed);
+    spec.config
+        .plan_builder()
+        .build(&spec.problem)
+        .expect("reference build")
+        .run(&mut state)
+        .expect("reference run");
+    let want_digest = state_digest(&state);
+
+    // Connection A: a heavy run that will be in flight during shutdown.
+    let addr_a = addr.clone();
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect_tcp(&addr_a).expect("connect A");
+        client.run_steps(&spec, seed)
+    });
+
+    // Connection B: idle until the drain farewell arrives.
+    let mut b = std::net::TcpStream::connect(&addr).expect("connect B");
+    b.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+
+    // Give A time to get its request onto the server.
+    std::thread::sleep(Duration::from_millis(30));
+    let handle = std::thread::spawn(move || server.shutdown(Duration::from_secs(10)));
+
+    // B receives the unsolicited farewell (request id 0)...
+    let farewell = read_frame(&mut b).expect("farewell").expect("frame");
+    assert!(
+        matches!(
+            farewell,
+            Frame::ErrorReply {
+                request_id: 0,
+                code: ErrorCode::GoingAway,
+                ..
+            }
+        ),
+        "wanted GoingAway farewell, got {farewell:?}"
+    );
+    // ...and a request racing the drain still gets a *correlated*
+    // GoingAway instead of a dead socket.
+    write_frame(
+        &mut b,
+        &Frame::RunSteps {
+            request_id: 9,
+            spec: heat_spec(),
+            seed: 1,
+        },
+    )
+    .expect("late request");
+    let late = read_frame(&mut b).expect("late reply").expect("frame");
+    assert!(
+        matches!(
+            late,
+            Frame::ErrorReply {
+                request_id: 9,
+                code: ErrorCode::GoingAway,
+                ..
+            }
+        ),
+        "wanted correlated GoingAway, got {late:?}"
+    );
+
+    // The in-flight run completed with the right bits: drain waited.
+    let reply = in_flight
+        .join()
+        .expect("thread A")
+        .expect("in-flight reply");
+    assert_eq!(reply.digest, want_digest, "drained run must be complete");
+
+    // And shutdown joined everything without force-closing.
+    let report = handle.join().expect("shutdown thread");
+    assert!(report.clean, "no stragglers expected: {report:?}");
+    assert_eq!(report.drained, 2, "both connections drained: {report:?}");
+    assert!(
+        report.elapsed < Duration::from_secs(10),
+        "drained within deadline: {report:?}"
+    );
+}
+
+#[test]
+fn admission_control_answers_busy_beyond_max_connections() {
+    let (server, addr) = start_tcp(
+        ResilienceConfig {
+            max_connections: 1,
+            retry_after_ms: 40,
+            ..ResilienceConfig::default()
+        },
+        CacheConfig::default(),
+    );
+    // First connection occupies the only slot (a completed request
+    // guarantees the acceptor registered it).
+    let mut first = Client::connect_tcp(&addr).expect("connect first");
+    first.run_steps(&heat_spec(), 1).expect("first run");
+
+    // Second connection is turned away with a typed, hinted Busy.
+    let mut second = std::net::TcpStream::connect(&addr).expect("connect second");
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+    let reply = read_frame(&mut second).expect("busy reply").expect("frame");
+    let Frame::ErrorReply {
+        request_id: 0,
+        code: ErrorCode::Busy { retry_after_ms },
+        ..
+    } = reply
+    else {
+        panic!("wanted Busy, got {reply:?}");
+    };
+    assert_eq!(retry_after_ms, 40);
+    assert!(read_frame(&mut second)
+        .expect("rejected conn closes")
+        .is_none());
+
+    let stats = server.stats();
+    assert_eq!(stats.conns_rejected, 1);
+    assert_eq!(stats.conns_opened, 1);
+    let report = server.shutdown(Duration::from_secs(5));
+    assert!(report.clean);
+}
+
+#[test]
+fn full_entry_queue_sheds_with_busy() {
+    // max_queue_depth 0: every run is shed — the deterministic probe of
+    // the shed path.
+    let (server, addr) = start_tcp(
+        ResilienceConfig::default(),
+        CacheConfig {
+            max_queue_depth: 0,
+            busy_retry_ms: 15,
+            ..CacheConfig::default()
+        },
+    );
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let err = client.run_steps(&heat_spec(), 1).expect_err("must shed");
+    let ClientError::Server { code, .. } = err else {
+        panic!("wanted a typed server error, got {err:?}");
+    };
+    assert_eq!(code, ErrorCode::Busy { retry_after_ms: 15 });
+    assert!(code.retryable());
+    assert_eq!(server.stats().shed, 1);
+    server.shutdown(Duration::from_secs(5));
+}
+
+#[test]
+fn stale_uds_socket_is_reclaimed_but_live_one_is_not() {
+    let path = uds_path("stale");
+    let _ = std::fs::remove_file(&path);
+    let config = ServerConfig {
+        tcp: None,
+        uds: Some(path.clone()),
+        cache: CacheConfig::default(),
+        resilience: ResilienceConfig::default(),
+    };
+
+    // A live server's socket must not be stolen.
+    let live = Server::start(config.clone()).expect("first bind");
+    let err = match Server::start(config.clone()) {
+        Err(err) => err,
+        Ok(_) => panic!("second bind over a live socket must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    live.shutdown(Duration::from_secs(5));
+    assert!(!path.exists(), "shutdown removes the socket file");
+
+    // A stale file (listener long gone) is reclaimed transparently.
+    drop(std::os::unix::net::UnixListener::bind(&path).expect("make stale socket"));
+    assert!(path.exists(), "stale file is on disk");
+    let server = Server::start(config).expect("bind over stale socket");
+    let mut client = Client::connect_uds(&path).expect("connect");
+    client.run_steps(&heat_spec(), 1).expect("serves normally");
+    server.shutdown(Duration::from_secs(5));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dropping_a_server_without_shutdown_cleans_up_best_effort() {
+    let path = uds_path("drop");
+    let _ = std::fs::remove_file(&path);
+    {
+        let server = Server::start(ServerConfig {
+            tcp: None,
+            uds: Some(path.clone()),
+            cache: CacheConfig::default(),
+            resilience: ResilienceConfig::default(),
+        })
+        .expect("bind");
+        let mut client = Client::connect_uds(&path).expect("connect");
+        client.run_steps(&heat_spec(), 1).expect("run");
+        drop(server);
+    }
+    assert!(!path.exists(), "Drop removes the socket file");
+    // The address is immediately rebindable.
+    let server = Server::start(ServerConfig {
+        tcp: None,
+        uds: Some(path.clone()),
+        cache: CacheConfig::default(),
+        resilience: ResilienceConfig::default(),
+    })
+    .expect("rebind after drop");
+    server.shutdown(Duration::from_secs(5));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn retrying_client_survives_a_server_restart_with_identical_bits() {
+    let path = uds_path("restart");
+    let _ = std::fs::remove_file(&path);
+    let config = ServerConfig {
+        tcp: None,
+        uds: Some(path.clone()),
+        cache: CacheConfig::default(),
+        resilience: ResilienceConfig::default(),
+    };
+    let spec = heat_spec();
+    let seed = 0xabcd;
+
+    let first_gen = Server::start(config.clone()).expect("first server");
+    let mut client = RetryingClient::new(
+        Target::Uds(path.clone()),
+        RetryPolicy {
+            max_attempts: 64,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+            jitter_seed: 99,
+        },
+    )
+    .with_io_timeout(Duration::from_secs(2));
+
+    let before = client.run_steps(&spec, seed).expect("run against gen 1");
+
+    // Full restart: drain gen 1 (its socket file goes away), then bring
+    // up gen 2 on the same path while the client keeps calling.
+    let report = first_gen.shutdown(Duration::from_secs(5));
+    assert!(report.clean, "gen 1 drains: {report:?}");
+    let second_gen = Server::start(config).expect("second server");
+
+    let after = client.run_steps(&spec, seed).expect("run against gen 2");
+    assert_eq!(
+        after.digest, before.digest,
+        "retried run must be bitwise-identical to the original"
+    );
+    assert!(!after.cache_hit, "gen 2 started cold");
+    let stats = client.stats();
+    assert!(
+        stats.reconnects >= 1,
+        "the restart must have forced a reconnect: {stats:?}"
+    );
+    second_gen.shutdown(Duration::from_secs(5));
+    let _ = std::fs::remove_file(&path);
+}

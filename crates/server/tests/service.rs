@@ -14,6 +14,7 @@ fn start_tcp(cache: CacheConfig) -> (Server, String) {
         tcp: Some("127.0.0.1:0".to_string()),
         uds: None,
         cache,
+        ..ServerConfig::default()
     })
     .expect("bind loopback");
     let addr = server.tcp_addr().expect("tcp configured").to_string();
@@ -60,7 +61,7 @@ fn served_run_matches_fresh_in_process_plan_bitwise() {
     assert_eq!(second.digest, first.digest);
     let stats = server.cache().stats();
     assert_eq!(stats.builds, 1);
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -75,7 +76,7 @@ fn submit_prepares_without_running() {
     let run = client.run_steps(&spec, 1).expect("run after submit");
     assert!(run.cache_hit);
     assert_eq!(run.plan_builds, 1);
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -99,7 +100,7 @@ fn fan_out_over_many_connections_builds_once() {
     assert_eq!(stats.builds, 1, "16 requests, one compiled plan");
     assert_eq!(stats.hits + stats.misses, 16);
     assert!(stats.hits >= 15, "at most the first lookup may miss");
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -126,7 +127,7 @@ fn distinct_specs_do_not_share_plans_and_seeds_matter() {
     // Different seed, different initial state, different bits.
     let a2 = client.run_steps(&heat, 8).expect("heat reseeded");
     assert_ne!(a.digest, a2.digest);
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -134,6 +135,7 @@ fn small_cache_evicts_and_rebuilds_transparently() {
     let (server, addr) = start_tcp(CacheConfig {
         shards: 1,
         capacity: 2,
+        ..CacheConfig::default()
     });
     let mut client = Client::connect_tcp(&addr).expect("connect");
     let specs: Vec<JobSpec> = [1024usize, 1152, 1280, 1408]
@@ -152,7 +154,7 @@ fn small_cache_evicts_and_rebuilds_transparently() {
     let stats = server.cache().stats();
     assert!(stats.evictions >= 2, "cap 2 must evict, saw {stats:?}");
     assert!(stats.builds >= 4);
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -198,7 +200,7 @@ fn unknown_version_gets_error_reply_and_connection_survives() {
     write_frame(&mut stream, &good).expect("send good frame");
     let reply = read_frame(&mut stream).expect("read reply").expect("frame");
     assert!(matches!(reply, Frame::ReportReply { request_id: 5, .. }));
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
 
 #[test]
@@ -208,6 +210,7 @@ fn uds_roundtrip() {
         tcp: None,
         uds: Some(path.clone()),
         cache: CacheConfig::default(),
+        ..ServerConfig::default()
     })
     .expect("bind uds");
     let mut client = Client::connect_uds(&path).expect("connect uds");
@@ -216,5 +219,5 @@ fn uds_roundtrip() {
     let b = client.run_steps(&spec, 11).expect("uds run 2");
     assert_eq!(a.digest, b.digest);
     assert!(b.cache_hit);
-    server.shutdown();
+    server.shutdown(std::time::Duration::from_secs(5));
 }
